@@ -1,0 +1,189 @@
+//! Average inter-vertex distances: the data behind Eq. (5) and Figure 2.
+//!
+//! Averages are over **all ordered pairs including `X = Y`** (the paper's
+//! convention for Eq. (5); the self-pairs contribute distance 0, so the
+//! two conventions differ by the factor `N/(N−1)`).
+
+use debruijn_core::{distance, DeBruijn, Word};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn order(space: DeBruijn) -> usize {
+    space
+        .order_usize()
+        .expect("exact averages require an enumerable space")
+}
+
+/// Exact average distance of the **directed** `DG(d,k)` by enumerating
+/// all `N²` ordered pairs with Property 1. `O(N²·k)`.
+///
+/// # Panics
+///
+/// Panics if `d^k` does not fit in `usize`.
+pub fn exact_directed(space: DeBruijn) -> f64 {
+    let n = order(space);
+    let words: Vec<Word> = space.vertices().collect();
+    let mut total: u64 = 0;
+    for x in &words {
+        for y in &words {
+            total += distance::directed::distance(x, y) as u64;
+        }
+    }
+    total as f64 / (n as f64 * n as f64)
+}
+
+/// Exact average distance of the **undirected** `DG(d,k)` (the quantity
+/// plotted in the paper's Figure 2) by enumerating all ordered pairs with
+/// Theorem 2. `O(N²·k²)`.
+///
+/// # Panics
+///
+/// Panics if `d^k` does not fit in `usize`.
+pub fn exact_undirected(space: DeBruijn) -> f64 {
+    let n = order(space);
+    let words: Vec<Word> = space.vertices().collect();
+    let mut total: u64 = 0;
+    for x in &words {
+        for y in &words {
+            total += distance::undirected::distance(x, y) as u64;
+        }
+    }
+    total as f64 / (n as f64 * n as f64)
+}
+
+/// Exact average undirected distance computed with BFS from every vertex
+/// over the materialized graph — an independent cross-check of
+/// [`exact_undirected`] that never touches the distance formula.
+///
+/// # Panics
+///
+/// Panics if the graph cannot be materialized.
+pub fn exact_undirected_bfs(space: DeBruijn) -> f64 {
+    let graph = debruijn_graph::DebruijnGraph::undirected(space)
+        .expect("space small enough to materialize");
+    let n = graph.node_count();
+    let mut total: u64 = 0;
+    for v in graph.nodes() {
+        for dist in debruijn_graph::bfs::distances(&graph, v) {
+            assert_ne!(dist, debruijn_graph::bfs::UNREACHABLE);
+            total += u64::from(dist);
+        }
+    }
+    total as f64 / (n as f64 * n as f64)
+}
+
+/// Monte-Carlo estimate of the average distance over uniform ordered
+/// pairs. Deterministic for a fixed seed. Works for spaces far too large
+/// to enumerate (up to `u128` ranks).
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or `d^k` overflows `u128`.
+pub fn sampled(space: DeBruijn, directed: bool, samples: usize, seed: u64) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let n = space.order().expect("rank sampling requires d^k to fit u128");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total: u64 = 0;
+    for _ in 0..samples {
+        let xr = sample_rank(&mut rng, n);
+        let yr = sample_rank(&mut rng, n);
+        let x = space.word_from_rank(xr).expect("sampled below order");
+        let y = space.word_from_rank(yr).expect("sampled below order");
+        total += if directed {
+            distance::directed::distance(&x, &y) as u64
+        } else {
+            distance::undirected::distance(&x, &y) as u64
+        };
+    }
+    total as f64 / samples as f64
+}
+
+fn sample_rank(rng: &mut StdRng, n: u128) -> u128 {
+    if let Ok(small) = u64::try_from(n) {
+        u128::from(rng.gen_range(0..small))
+    } else {
+        // Rejection sampling over the full u128 range.
+        loop {
+            let hi = u128::from(rng.gen::<u64>());
+            let lo = u128::from(rng.gen::<u64>());
+            let candidate = (hi << 64) | lo;
+            // Accept candidates below the largest multiple of n.
+            let limit = u128::MAX - (u128::MAX % n);
+            if candidate < limit {
+                return candidate % n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debruijn_core::directed_average_distance;
+
+    fn space(d: u8, k: usize) -> DeBruijn {
+        DeBruijn::new(d, k).unwrap()
+    }
+
+    #[test]
+    fn exact_directed_dg22_is_nine_eighths() {
+        assert!((exact_directed(space(2, 2)) - 1.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq5_upper_bounds_exact_directed() {
+        for (d, k) in [(2u8, 2usize), (2, 4), (2, 6), (3, 3), (4, 2), (5, 2)] {
+            let exact = exact_directed(space(d, k));
+            let formula = directed_average_distance(d, k);
+            assert!(
+                formula >= exact - 1e-12,
+                "d={d} k={k}: formula {formula} < exact {exact}"
+            );
+            // The gap shrinks fast with d.
+            assert!(formula - exact < 1.0 / (f64::from(d) - 1.0) + 0.1, "d={d} k={k}");
+        }
+    }
+
+    #[test]
+    fn undirected_average_is_below_directed() {
+        for (d, k) in [(2u8, 4usize), (3, 3)] {
+            let s = space(d, k);
+            assert!(exact_undirected(s) <= exact_directed(s) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn formula_engine_and_bfs_engine_agree() {
+        for (d, k) in [(2u8, 3usize), (2, 5), (3, 3), (4, 2)] {
+            let s = space(d, k);
+            let by_formula = exact_undirected(s);
+            let by_bfs = exact_undirected_bfs(s);
+            assert!(
+                (by_formula - by_bfs).abs() < 1e-12,
+                "d={d} k={k}: {by_formula} vs {by_bfs}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_converges_to_exact() {
+        let s = space(2, 5);
+        let exact = exact_undirected(s);
+        let est = sampled(s, false, 20_000, 99);
+        assert!((est - exact).abs() < 0.05, "estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let s = space(3, 3);
+        assert_eq!(sampled(s, true, 500, 7).to_bits(), sampled(s, true, 500, 7).to_bits());
+    }
+
+    #[test]
+    fn sampling_works_beyond_enumeration() {
+        // d = 2, k = 100: 2^100 vertices; only label algorithms survive.
+        let s = space(2, 100);
+        let est = sampled(s, false, 200, 1);
+        assert!(est > 90.0 && est <= 100.0, "estimate {est}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Least-squares fits for empirical complexity verification (E5).
+
+/// Least-squares slope of `log(y)` against `log(x)`.
+///
+/// For timing data `(k, t(k))`, the slope estimates the exponent `p` in
+/// `t = c·k^p`: ≈1 for the paper's linear Algorithms 1 and 4, ≈2 for
+/// Algorithm 2.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any coordinate is not
+/// strictly positive.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points to fit a slope");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "log-log fit needs positive data");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    slope(&logs)
+}
+
+/// Plain least-squares slope of `y` against `x`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or all `x` are equal.
+pub fn slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points to fit a slope");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "x values must not be constant");
+    (n * sxy - sx * sy) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_slope() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        assert!((slope(&pts) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_power_law_exponents() {
+        for p in [1.0f64, 2.0, 3.0] {
+            let pts: Vec<(f64, f64)> =
+                (1..=20).map(|i| (i as f64, 5.0 * (i as f64).powf(p))).collect();
+            assert!((log_log_slope(&pts) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let pts: Vec<(f64, f64)> = (1..=50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = 1.0 + 0.01 * ((i * 37 % 11) as f64 - 5.0) / 5.0;
+                (x, 2.0 * x * x * noise)
+            })
+            .collect();
+        let s = log_log_slope(&pts);
+        assert!((s - 2.0).abs() < 0.05, "slope {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn rejects_non_positive_data() {
+        log_log_slope(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn rejects_single_point() {
+        slope(&[(1.0, 1.0)]);
+    }
+}

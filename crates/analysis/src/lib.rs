@@ -1,0 +1,33 @@
+//! Experiment harness: average distances, distributions, fits and tables.
+//!
+//! This crate holds the computations behind the paper-reproduction
+//! experiments (E1–E9 in DESIGN.md):
+//!
+//! * [`average`] — exact (all-pairs) and Monte-Carlo average distances for
+//!   the directed and undirected graphs, the quantities behind Eq. (5)
+//!   and Figure 2;
+//! * [`distribution`] — exact distance histograms;
+//! * [`fit`] — log-log scaling fits used to verify the `O(k)` / `O(k²)`
+//!   complexity claims empirically;
+//! * [`table`] — plain-text table/series rendering shared by the
+//!   experiment benches so their output matches the paper's rows.
+//!
+//! # Example
+//!
+//! ```
+//! use debruijn_analysis::average;
+//! use debruijn_core::DeBruijn;
+//!
+//! let space = DeBruijn::new(2, 2)?;
+//! // The exact directed average differs from the paper's Eq. (5): 9/8 vs 10/8.
+//! let exact = average::exact_directed(space);
+//! assert!((exact - 1.125).abs() < 1e-12);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod average;
+pub mod distribution;
+pub mod fit;
+pub mod table;
+
+pub use table::Table;

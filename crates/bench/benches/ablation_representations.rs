@@ -1,0 +1,152 @@
+//! Ablation: word representation and route-computation caching.
+//!
+//! DESIGN.md calls out two implementation choices worth isolating:
+//!
+//! * byte-per-digit [`debruijn_core::Word`] vs the bit-packed `u128`
+//!   [`debruijn_core::packed::PackedWord`] for the hot shift/overlap
+//!   operations;
+//! * per-pair Algorithm 1 vs the destination-cached
+//!   [`debruijn_core::routing::DirectedDestinationRouter`] in
+//!   convergecast patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use debruijn_bench::random_pairs;
+use debruijn_core::packed::PackedWord;
+use debruijn_core::routing::{self, DirectedDestinationRouter};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_packed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("word_representation");
+    group.sample_size(20).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(100));
+    for k in [16usize, 64, 128] {
+        let pairs = random_pairs(2, k, 8, 0xAB);
+        let packed: Vec<(PackedWord, PackedWord)> = pairs
+            .iter()
+            .map(|(x, y)| {
+                (PackedWord::from_word(x).expect("fits"), PackedWord::from_word(y).expect("fits"))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("vec_u8_overlap", k), &k, |b, _| {
+            b.iter(|| {
+                for (x, y) in &pairs {
+                    black_box(debruijn_core::distance::directed::distance(x, y));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("packed_u128_overlap", k), &k, |b, _| {
+            b.iter(|| {
+                for (x, y) in &packed {
+                    black_box(x.distance_directed(y));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vec_u8_shifts", k), &k, |b, _| {
+            b.iter(|| {
+                let mut w = pairs[0].0.clone();
+                for _ in 0..64 {
+                    w = black_box(w.shift_left(1));
+                }
+                w
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("packed_u128_shifts", k), &k, |b, _| {
+            b.iter(|| {
+                let mut w = packed[0].0;
+                for _ in 0..64 {
+                    w = black_box(w.shift_left(1));
+                }
+                w
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cached_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergecast");
+    group.sample_size(20).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(100));
+    for k in [16usize, 128, 1024] {
+        let pairs = random_pairs(2, k, 32, 0xCA);
+        let sink = pairs[0].1.clone();
+        group.bench_with_input(BenchmarkId::new("algorithm1_per_pair", k), &k, |b, _| {
+            b.iter(|| {
+                for (x, _) in &pairs {
+                    black_box(routing::algorithm1(x, &sink));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cached_destination", k), &k, |b, _| {
+            let router = DirectedDestinationRouter::new(sink.clone());
+            b.iter(|| {
+                for (x, _) in &pairs {
+                    black_box(router.route_from(x));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing_tables(c: &mut Criterion) {
+    use debruijn_core::DeBruijn;
+    use debruijn_graph::{tables::RoutingTables, DebruijnGraph};
+
+    let mut group = c.benchmark_group("route_state");
+    group.sample_size(15).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(100));
+    for k in [6usize, 8, 10] {
+        let space = DeBruijn::new(2, k).expect("valid");
+        let graph = DebruijnGraph::undirected(space).expect("materializable");
+        let tables = RoutingTables::build(&graph);
+        let n = graph.node_count() as u32;
+        let (src, dst) = (1u32, n - 2);
+        let (x, y) = (graph.word_of(src), graph.word_of(dst));
+        group.bench_with_input(
+            BenchmarkId::new(format!("table_lookup_{}MB", tables.memory_bytes() >> 20), k),
+            &k,
+            |b, _| b.iter(|| black_box(tables.route(src, dst))),
+        );
+        group.bench_with_input(BenchmarkId::new("label_algorithm4_0_state", k), &k, |b, _| {
+            b.iter(|| black_box(routing::algorithm4(black_box(&x), black_box(&y))))
+        });
+        group.bench_with_input(BenchmarkId::new("table_build", k), &k, |b, _| {
+            b.iter(|| black_box(RoutingTables::build(black_box(&graph))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_failure_tables(c: &mut Criterion) {
+    use debruijn_strings::MpMatcher;
+
+    let mut group = c.benchmark_group("failure_function_variant");
+    group.sample_size(15).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(100));
+    // Adversarial periodic input: weak failure cascades, strong jumps.
+    for m in [64usize, 512] {
+        let pattern = vec![0u8; m];
+        let mut text = vec![0u8; 4 * m];
+        for (i, t) in text.iter_mut().enumerate() {
+            if i % (m - 1) == m - 2 {
+                *t = 1;
+            }
+        }
+        let weak = MpMatcher::new(pattern.clone());
+        let strong = MpMatcher::new_strong(pattern.clone());
+        group.bench_with_input(BenchmarkId::new("weak_morris_pratt", m), &m, |b, _| {
+            b.iter(|| black_box(weak.prefix_match_lengths(black_box(&text))))
+        });
+        group.bench_with_input(BenchmarkId::new("strong_kmp", m), &m, |b, _| {
+            b.iter(|| black_box(strong.prefix_match_lengths(black_box(&text))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_packed,
+    bench_cached_router,
+    bench_routing_tables,
+    bench_failure_tables
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion timings of the three Theorem-2 distance engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use debruijn_bench::random_pairs;
+use debruijn_core::distance::undirected::{distance_with, Engine};
+use debruijn_core::distance::directed;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+    for k in [8usize, 32, 128, 512] {
+        let pairs = random_pairs(2, k, 8, 0xD15);
+        group.bench_with_input(BenchmarkId::new("directed_property1", k), &k, |b, _| {
+            b.iter(|| {
+                for (x, y) in &pairs {
+                    black_box(directed::distance(black_box(x), black_box(y)));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("undirected_morris_pratt", k), &k, |b, _| {
+            b.iter(|| {
+                for (x, y) in &pairs {
+                    black_box(distance_with(Engine::MorrisPratt, x, y));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("undirected_suffix_tree", k), &k, |b, _| {
+            b.iter(|| {
+                for (x, y) in &pairs {
+                    black_box(distance_with(Engine::SuffixTree, x, y));
+                }
+            })
+        });
+        if k <= 32 {
+            group.bench_with_input(BenchmarkId::new("undirected_naive", k), &k, |b, _| {
+                b.iter(|| {
+                    for (x, y) in &pairs {
+                        black_box(distance_with(Engine::Naive, x, y));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

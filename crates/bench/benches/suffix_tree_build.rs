@@ -1,0 +1,33 @@
+//! Criterion timings of the suffix-tree substrate (Ukkonen construction
+//! and the two-string match minimum), checking the linear-time claim of
+//! Weiner's construction that Algorithm 4 relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use debruijn_bench::random_word;
+use debruijn_strings::{SuffixTree, TwoStringTree};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suffix_tree");
+    group.sample_size(15).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+    for n in [64usize, 512, 4096, 32768] {
+        let text = random_word(4, n, 7).digits_u32();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("ukkonen_build", n), &n, |b, _| {
+            b.iter(|| black_box(SuffixTree::build_with_sentinel(black_box(&text))))
+        });
+        let x = random_word(4, n, 8).digits_u32();
+        let y = random_word(4, n, 9).digits_u32();
+        group.bench_with_input(BenchmarkId::new("two_string_minimum", n), &n, |b, _| {
+            b.iter(|| {
+                let tree = TwoStringTree::new(black_box(&x), black_box(&y));
+                black_box(tree.match_minimum())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Shared helpers for the benchmark and experiment binaries.
+
+use debruijn_core::Word;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random word of length `k` over `d` digits.
+///
+/// # Panics
+///
+/// Panics if `d < 2` or `k < 1`.
+pub fn random_word(d: u8, k: usize, seed: u64) -> Word {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let digits: Vec<u8> = (0..k).map(|_| rng.gen_range(0..d)).collect();
+    Word::new(d, digits).expect("digits drawn below d")
+}
+
+/// A deterministic batch of random word pairs for timing sweeps.
+pub fn random_pairs(d: u8, k: usize, count: usize, seed: u64) -> Vec<(Word, Word)> {
+    (0..count)
+        .map(|i| {
+            (
+                random_word(d, k, seed ^ (2 * i as u64 + 1)),
+                random_word(d, k, seed ^ (2 * i as u64 + 2)),
+            )
+        })
+        .collect()
+}
+
+/// Median wall-clock nanoseconds per call of `f`, over `reps` timed
+/// batches of `batch` calls each. Used by the experiment benches, which
+/// need raw numbers for slope fits rather than criterion's report format.
+pub fn median_nanos_per_call<F: FnMut()>(mut f: F, batch: usize, reps: usize) -> f64 {
+    assert!(batch > 0 && reps > 0);
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_word_is_deterministic() {
+        assert_eq!(random_word(3, 10, 5), random_word(3, 10, 5));
+        assert_ne!(random_word(3, 10, 5), random_word(3, 10, 6));
+    }
+
+    #[test]
+    fn random_pairs_have_requested_shape() {
+        let pairs = random_pairs(2, 8, 5, 1);
+        assert_eq!(pairs.len(), 5);
+        for (x, y) in &pairs {
+            assert_eq!(x.len(), 8);
+            assert_eq!(y.len(), 8);
+        }
+    }
+
+    #[test]
+    fn median_timer_returns_positive() {
+        let t = median_nanos_per_call(
+            || {
+                std::hint::black_box(1 + 1);
+            },
+            100,
+            5,
+        );
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Distance in the **directed** de Bruijn graph (paper's Property 1).
+//!
+//! Only left shifts `X → X⁻(a)` are arcs, so a walk of length `n` replaces
+//! `X` by `(x_{n+1}, …, x_k, b_1, …, b_n)`: reaching `Y` requires the kept
+//! suffix of `X` to be a prefix of `Y`. Hence
+//!
+//! `D(X,Y) = k − max{ s | x_{k−s+1}…x_k = y_1…y_s }`
+//!
+//! and the maximum (the *overlap* of `X` onto `Y`) is computable in `O(k)`
+//! with the Morris–Pratt failure function.
+
+use debruijn_strings::failure;
+
+use super::assert_same_space;
+use crate::word::Word;
+
+/// The paper's `l` of Eq. (2): length of the longest suffix of `X` that is
+/// a prefix of `Y` (0 if none, `k` iff `X = Y`).
+///
+/// # Panics
+///
+/// Panics if the words are not in the same `DG(d,k)`.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::{distance::directed, Word};
+///
+/// let x = Word::parse(2, "0110")?;
+/// let y = Word::parse(2, "1001")?;
+/// assert_eq!(directed::overlap(&x, &y), 2); // suffix "10" = prefix "10"
+/// # Ok::<(), debruijn_core::Error>(())
+/// ```
+pub fn overlap(x: &Word, y: &Word) -> usize {
+    assert_same_space(x, y);
+    failure::overlap(x.digits(), y.digits())
+}
+
+/// Distance from `X` to `Y` in the directed `DG(d,k)` (Property 1),
+/// computed in `O(k)`.
+///
+/// Note the asymmetry: `distance(x, y)` and `distance(y, x)` generally
+/// differ in a directed graph.
+///
+/// # Panics
+///
+/// Panics if the words are not in the same `DG(d,k)`.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::{distance::directed, Word};
+///
+/// let zeros = Word::parse(2, "000")?;
+/// let ones = Word::parse(2, "111")?;
+/// // The paper's diameter witness: 0…0 to 1…1 takes k steps.
+/// assert_eq!(directed::distance(&zeros, &ones), 3);
+/// # Ok::<(), debruijn_core::Error>(())
+/// ```
+pub fn distance(x: &Word, y: &Word) -> usize {
+    x.len() - overlap(x, y)
+}
+
+/// Distance computed from the definition by scanning all suffix lengths
+/// (`O(k²)`); reference implementation for differential testing.
+pub fn distance_naive(x: &Word, y: &Word) -> usize {
+    assert_same_space(x, y);
+    x.len() - failure::overlap_naive(x.digits(), y.digits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DeBruijn;
+
+    #[test]
+    fn distance_is_zero_iff_equal() {
+        let g = DeBruijn::new(2, 4).unwrap();
+        for x in g.vertices() {
+            for y in g.vertices() {
+                let d = distance(&x, &y);
+                assert_eq!(d == 0, x == y, "{x} {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_never_exceeds_diameter() {
+        let g = DeBruijn::new(3, 3).unwrap();
+        for x in g.vertices() {
+            for y in g.vertices() {
+                assert!(distance(&x, &y) <= g.diameter());
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_exhaustively() {
+        for (d, k) in [(2u8, 5usize), (3, 3), (4, 2)] {
+            let g = DeBruijn::new(d, k).unwrap();
+            for x in g.vertices() {
+                for y in g.vertices() {
+                    assert_eq!(distance(&x, &y), distance_naive(&x, &y), "{x} {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_step_neighbors_are_at_distance_one() {
+        let g = DeBruijn::new(2, 4).unwrap();
+        for x in g.vertices() {
+            for n in g.directed_out_neighbors(&x) {
+                assert_eq!(distance(&x, &n), 1, "{x} -> {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_over_arcs() {
+        // D(X,Y) <= D(X,Z) + D(Z,Y) for all triples in DG(2,3).
+        let g = DeBruijn::new(2, 3).unwrap();
+        let all: Vec<_> = g.vertices().collect();
+        for x in &all {
+            for y in &all {
+                for z in &all {
+                    assert!(distance(x, y) <= distance(x, z) + distance(z, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_example() {
+        let x = Word::parse(2, "001").unwrap();
+        let y = Word::parse(2, "011").unwrap();
+        // 001 → 011 in one left shift; 011 → 001 needs more.
+        assert_eq!(distance(&x, &y), 1);
+        assert_eq!(distance(&y, &x), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "share radix and length")]
+    fn rejects_mismatched_spaces() {
+        let x = Word::parse(2, "01").unwrap();
+        let y = Word::parse(2, "011").unwrap();
+        distance(&x, &y);
+    }
+}

@@ -1,0 +1,24 @@
+//! Distance functions for de Bruijn graphs.
+//!
+//! * [`directed`] — Property 1: `D(X,Y) = k − overlap(X,Y)` where the
+//!   overlap is the longest suffix of `X` that is a prefix of `Y`.
+//! * [`undirected`] — Theorem 2 / Corollary 4: the distance is a minimum
+//!   over the two matching-function families `l_{i,j}` and `r_{i,j}`.
+//!
+//! The undirected engines expose their minimizers (the paper's
+//! `(s₁,t₁,θ₁)` and `(s₂,t₂,θ₂)`), which the routing algorithms consume to
+//! emit explicit shortest paths.
+
+pub mod directed;
+pub mod undirected;
+
+pub(crate) fn assert_same_space(x: &crate::Word, y: &crate::Word) {
+    assert!(
+        x.same_space(y),
+        "words must share radix and length: ({}, k={}) vs ({}, k={})",
+        x.radix(),
+        x.len(),
+        y.radix(),
+        y.len()
+    );
+}

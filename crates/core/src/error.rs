@@ -1,0 +1,101 @@
+//! Error types for de Bruijn word and parameter validation.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced when constructing de Bruijn words or parameter spaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The digit radix `d` must be at least 2.
+    RadixTooSmall {
+        /// The rejected radix.
+        d: u8,
+    },
+    /// The word length `k` must be at least 1.
+    LengthTooSmall,
+    /// A digit was out of the range `0..d`.
+    DigitOutOfRange {
+        /// The offending digit value.
+        digit: u8,
+        /// The radix it was checked against.
+        d: u8,
+        /// Index of the digit within the word.
+        index: usize,
+    },
+    /// A rank exceeded the number of vertices `d^k`.
+    RankOutOfRange {
+        /// The rejected rank.
+        rank: u128,
+        /// The radix.
+        d: u8,
+        /// The word length.
+        k: usize,
+    },
+    /// A character could not be parsed as a digit.
+    ParseDigit {
+        /// Byte offset of the offending character.
+        index: usize,
+    },
+    /// Parsing produced an empty word.
+    ParseEmpty,
+    /// A serialized routing path was malformed.
+    MalformedRoute {
+        /// What was wrong with the encoding.
+        reason: &'static str,
+    },
+    /// A word does not fit the 128-bit packed representation.
+    PackedTooWide {
+        /// The word length.
+        k: usize,
+        /// The radix.
+        d: u8,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::RadixTooSmall { d } => {
+                write!(f, "de Bruijn radix must be at least 2, got {d}")
+            }
+            Error::LengthTooSmall => write!(f, "de Bruijn word length must be at least 1"),
+            Error::DigitOutOfRange { digit, d, index } => {
+                write!(f, "digit {digit} at index {index} is not below the radix {d}")
+            }
+            Error::RankOutOfRange { rank, d, k } => {
+                write!(f, "rank {rank} exceeds the vertex count {d}^{k}")
+            }
+            Error::ParseDigit { index } => {
+                write!(f, "unparsable digit at byte offset {index}")
+            }
+            Error::ParseEmpty => write!(f, "parsed word is empty"),
+            Error::MalformedRoute { reason } => {
+                write!(f, "malformed routing path: {reason}")
+            }
+            Error::PackedTooWide { k, d } => {
+                write!(f, "word of {k} radix-{d} digits exceeds 128 packed bits")
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::DigitOutOfRange { digit: 7, d: 3, index: 2 };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('3') && s.contains('2'), "{s}");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

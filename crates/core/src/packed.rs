@@ -1,0 +1,309 @@
+//! Bit-packed words: a constant-time shift-register representation.
+//!
+//! [`Word`] stores one digit per byte, which is the right general-purpose
+//! representation but wastes time on per-digit loops for the operations a
+//! router executes millions of times: shifts, equality, rank. A
+//! [`PackedWord`] packs the `k` digits into a single `u128` at
+//! `⌈log₂ d⌉` bits per digit, making both shift operations and equality
+//! `O(1)` word operations, and the directed-distance overlap a loop of
+//! `k` single-word compares.
+//!
+//! The packing is an *ablation* of the paper's model: the algorithms stay
+//! identical; only the register arithmetic changes. The
+//! `routing_algorithms` bench group measures the difference.
+
+use crate::error::Error;
+use crate::word::Word;
+
+/// A `DG(d,k)` vertex packed into a `u128` at `⌈log₂ d⌉` bits per digit.
+///
+/// Digit `x_1` (the paper's leftmost) occupies the most significant used
+/// bits, so the numeric order of the raw value matches [`Word::rank`]
+/// order when `d` is a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::packed::PackedWord;
+/// use debruijn_core::Word;
+///
+/// let w = Word::parse(2, "0110")?;
+/// let p = PackedWord::from_word(&w)?;
+/// assert_eq!(p.shift_left(1).to_word(), w.shift_left(1));
+/// assert_eq!(p.shift_right(1).to_word(), w.shift_right(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedWord {
+    bits: u128,
+    d: u8,
+    k: u16,
+    bits_per_digit: u8,
+}
+
+impl PackedWord {
+    /// Bits needed per digit for radix `d` (i.e. to represent `d − 1`).
+    fn digit_width(d: u8) -> u8 {
+        (16 - (u16::from(d) - 1).leading_zeros()).max(1) as u8
+    }
+
+    /// Packs a [`Word`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthTooSmall`]-style validation errors when the
+    /// word does not fit: `k · ⌈log₂ d⌉` must be at most 128.
+    pub fn from_word(w: &Word) -> Result<Self, Error> {
+        let width = Self::digit_width(w.radix());
+        let needed = w.len() * usize::from(width);
+        if needed > 128 {
+            return Err(Error::PackedTooWide { k: w.len(), d: w.radix() });
+        }
+        let mut bits: u128 = 0;
+        for &digit in w.digits() {
+            bits = (bits << width) | u128::from(digit);
+        }
+        Ok(Self {
+            bits,
+            d: w.radix(),
+            k: w.len() as u16,
+            bits_per_digit: width,
+        })
+    }
+
+    /// Packs digits directly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Word::new`] plus the width check of
+    /// [`PackedWord::from_word`].
+    pub fn new(d: u8, digits: &[u8]) -> Result<Self, Error> {
+        Self::from_word(&Word::new(d, digits.to_vec())?)
+    }
+
+    /// Unpacks into a [`Word`].
+    pub fn to_word(&self) -> Word {
+        let width = self.bits_per_digit;
+        let mask = self.digit_mask();
+        let digits: Vec<u8> = (0..self.k)
+            .rev()
+            .map(|i| ((self.bits >> (u32::from(i) * u32::from(width))) & mask) as u8)
+            .collect();
+        Word::new(self.d, digits).expect("packed digits are below d")
+    }
+
+    fn digit_mask(&self) -> u128 {
+        (1u128 << self.bits_per_digit) - 1
+    }
+
+    fn value_mask(&self) -> u128 {
+        let total = u32::from(self.k) * u32::from(self.bits_per_digit);
+        if total == 128 {
+            u128::MAX
+        } else {
+            (1u128 << total) - 1
+        }
+    }
+
+    /// The radix `d`.
+    pub fn radix(&self) -> u8 {
+        self.d
+    }
+
+    /// The word length `k`.
+    pub fn len(&self) -> usize {
+        usize::from(self.k)
+    }
+
+    /// Always `false` (`k >= 1`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The left shift `X⁻(a)` in `O(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= d`.
+    pub fn shift_left(&self, a: u8) -> PackedWord {
+        assert!(a < self.d, "shift digit {a} not below radix {}", self.d);
+        let bits =
+            ((self.bits << self.bits_per_digit) | u128::from(a)) & self.value_mask();
+        PackedWord { bits, ..*self }
+    }
+
+    /// The right shift `X⁺(a)` in `O(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= d`.
+    pub fn shift_right(&self, a: u8) -> PackedWord {
+        assert!(a < self.d, "shift digit {a} not below radix {}", self.d);
+        let top = u32::from(self.k - 1) * u32::from(self.bits_per_digit);
+        let bits = (self.bits >> self.bits_per_digit) | (u128::from(a) << top);
+        PackedWord { bits, ..*self }
+    }
+
+    /// The digit at the paper's 1-indexed position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is `0` or greater than `k`.
+    pub fn digit_1idx(&self, i: usize) -> u8 {
+        assert!(i >= 1 && i <= self.len(), "1-indexed digit {i} out of range");
+        let shift = (self.len() - i) as u32 * u32::from(self.bits_per_digit);
+        ((self.bits >> shift) & self.digit_mask()) as u8
+    }
+
+    /// The overlap of Eq. (2) — longest suffix of `self` equal to a
+    /// prefix of `other` — via word-parallel masked compares: `O(k)`
+    /// iterations of `O(1)` work each, no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words differ in radix or length.
+    pub fn overlap(&self, other: &PackedWord) -> usize {
+        assert!(
+            self.d == other.d && self.k == other.k,
+            "packed words must share radix and length"
+        );
+        let width = u32::from(self.bits_per_digit);
+        // Suffix of length s of self: low s·width bits.
+        // Prefix of length s of other: bits shifted down by (k−s)·width.
+        for s in (1..=usize::from(self.k)).rev() {
+            let low_bits = s as u32 * width;
+            let mask = if low_bits == 128 { u128::MAX } else { (1u128 << low_bits) - 1 };
+            let suffix = self.bits & mask;
+            let prefix = other.bits >> ((u32::from(self.k) - s as u32) * width);
+            if suffix == prefix {
+                return s;
+            }
+        }
+        0
+    }
+
+    /// Directed distance (Property 1) on packed words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words differ in radix or length.
+    pub fn distance_directed(&self, other: &PackedWord) -> usize {
+        self.len() - self.overlap(other)
+    }
+
+    /// The rank of the word (digits as a radix-`d` number) — `O(1)` when
+    /// `d` is a power of two, `O(k)` otherwise.
+    pub fn rank(&self) -> u128 {
+        if self.d.is_power_of_two() {
+            self.bits
+        } else {
+            self.to_word().rank()
+        }
+    }
+}
+
+impl std::fmt::Display for PackedWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.to_word().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::directed;
+    use crate::space::DeBruijn;
+
+    #[test]
+    fn round_trips_through_word() {
+        for (d, k) in [(2u8, 4usize), (3, 3), (5, 5), (16, 8)] {
+            let g = DeBruijn::new(d, k).unwrap();
+            for w in g.vertices().take(200) {
+                let p = PackedWord::from_word(&w).unwrap();
+                assert_eq!(p.to_word(), w, "d={d} k={k}");
+                assert_eq!(p.len(), k);
+                assert_eq!(p.radix(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn shifts_match_word_shifts_exhaustively() {
+        let g = DeBruijn::new(3, 4).unwrap();
+        for w in g.vertices() {
+            let p = PackedWord::from_word(&w).unwrap();
+            for a in 0..3 {
+                assert_eq!(p.shift_left(a).to_word(), w.shift_left(a));
+                assert_eq!(p.shift_right(a).to_word(), w.shift_right(a));
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_matches_unpacked_distance() {
+        for (d, k) in [(2u8, 6usize), (3, 3), (4, 3)] {
+            let g = DeBruijn::new(d, k).unwrap();
+            for x in g.vertices() {
+                for y in g.vertices() {
+                    let px = PackedWord::from_word(&x).unwrap();
+                    let py = PackedWord::from_word(&y).unwrap();
+                    assert_eq!(
+                        px.distance_directed(&py),
+                        directed::distance(&x, &y),
+                        "d={d} {x} {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_matches_word_rank() {
+        for (d, k) in [(2u8, 8usize), (3, 4), (4, 4)] {
+            let g = DeBruijn::new(d, k).unwrap();
+            for w in g.vertices() {
+                let p = PackedWord::from_word(&w).unwrap();
+                assert_eq!(p.rank(), w.rank(), "d={d} k={k} {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn digit_accessor_matches() {
+        let w = Word::parse(5, "40312").unwrap();
+        let p = PackedWord::from_word(&w).unwrap();
+        for i in 1..=5 {
+            assert_eq!(p.digit_1idx(i), w.digit_1idx(i));
+        }
+    }
+
+    #[test]
+    fn full_width_binary_word_works() {
+        // k = 128, d = 2: exactly 128 bits.
+        let digits: Vec<u8> = (0..128).map(|i| (i % 2) as u8).collect();
+        let w = Word::new(2, digits).unwrap();
+        let p = PackedWord::from_word(&w).unwrap();
+        assert_eq!(p.to_word(), w);
+        assert_eq!(p.shift_left(1).to_word(), w.shift_left(1));
+        assert_eq!(p.overlap(&p), 128);
+    }
+
+    #[test]
+    fn oversized_words_are_rejected() {
+        let w = Word::uniform(2, 129, 0).unwrap();
+        assert!(matches!(
+            PackedWord::from_word(&w),
+            Err(Error::PackedTooWide { .. })
+        ));
+        let w16 = Word::uniform(16, 33, 0).unwrap(); // 33 * 4 = 132 bits
+        assert!(PackedWord::from_word(&w16).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "share radix and length")]
+    fn overlap_rejects_mismatched_words() {
+        let a = PackedWord::new(2, &[0, 1]).unwrap();
+        let b = PackedWord::new(2, &[0, 1, 1]).unwrap();
+        a.overlap(&b);
+    }
+}

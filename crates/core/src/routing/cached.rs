@@ -1,0 +1,137 @@
+//! Amortized routing toward a fixed destination.
+//!
+//! Algorithm 1's only preprocessing is the Morris–Pratt failure function
+//! of the destination address `Y`. In convergecast patterns (many sources
+//! sending to one sink — the common case for gather operations on a
+//! multiprocessor) that table can be built once and reused: routing each
+//! additional source then costs a single `O(k)` automaton scan with no
+//! allocation beyond the emitted path.
+
+use debruijn_strings::MpMatcher;
+
+use crate::distance::assert_same_space;
+use crate::routing::{RoutePath, Step};
+use crate::word::Word;
+
+/// A reusable Algorithm 1 router toward one fixed destination in the
+/// uni-directional network.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::routing::DirectedDestinationRouter;
+/// use debruijn_core::{routing, Word};
+///
+/// let sink = Word::parse(2, "1011")?;
+/// let router = DirectedDestinationRouter::new(sink.clone());
+/// let src = Word::parse(2, "0110")?;
+/// assert_eq!(router.route_from(&src), routing::algorithm1(&src, &sink));
+/// # Ok::<(), debruijn_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectedDestinationRouter {
+    destination: Word,
+    matcher: MpMatcher<u8>,
+}
+
+impl DirectedDestinationRouter {
+    /// Builds the router, preprocessing the destination in `O(k)`.
+    pub fn new(destination: Word) -> Self {
+        let matcher = MpMatcher::new(destination.digits().to_vec());
+        Self { destination, matcher }
+    }
+
+    /// The fixed destination.
+    pub fn destination(&self) -> &Word {
+        &self.destination
+    }
+
+    /// The overlap `l` of Eq. (2) for a given source: the longest suffix
+    /// of `x` that is a prefix of the destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not in the destination's `DG(d,k)`.
+    pub fn overlap_from(&self, x: &Word) -> usize {
+        assert_same_space(x, &self.destination);
+        let mut state = 0usize;
+        for digit in x.digits() {
+            state = self.matcher.step(state, digit);
+        }
+        state
+    }
+
+    /// The distance from `x` to the destination (Property 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not in the destination's `DG(d,k)`.
+    pub fn distance_from(&self, x: &Word) -> usize {
+        self.destination.len() - self.overlap_from(x)
+    }
+
+    /// A shortest uni-directional route from `x` (Algorithm 1, with the
+    /// destination's failure function amortized across calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not in the destination's `DG(d,k)`.
+    pub fn route_from(&self, x: &Word) -> RoutePath {
+        let l = self.overlap_from(x);
+        (l..self.destination.len())
+            .map(|i| Step::left(self.destination.digits()[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::directed;
+    use crate::routing::algorithm1;
+    use crate::space::DeBruijn;
+
+    #[test]
+    fn matches_algorithm1_exhaustively() {
+        for (d, k) in [(2u8, 5usize), (3, 3)] {
+            let g = DeBruijn::new(d, k).unwrap();
+            for y in g.vertices() {
+                let router = DirectedDestinationRouter::new(y.clone());
+                for x in g.vertices() {
+                    assert_eq!(router.route_from(&x), algorithm1(&x, &y), "{x}->{y}");
+                    assert_eq!(
+                        router.distance_from(&x),
+                        directed::distance(&x, &y),
+                        "{x}->{y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let y = Word::parse(2, "0101").unwrap();
+        let router = DirectedDestinationRouter::new(y.clone());
+        assert!(router.route_from(&y).is_empty());
+        assert_eq!(router.distance_from(&y), 0);
+    }
+
+    #[test]
+    fn router_is_reusable_across_many_sources() {
+        let y = Word::parse(3, "0210").unwrap();
+        let router = DirectedDestinationRouter::new(y.clone());
+        let g = DeBruijn::new(3, 4).unwrap();
+        for x in g.vertices() {
+            let p = router.route_from(&x);
+            assert!(p.leads_to(&x, &y));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share radix and length")]
+    fn rejects_foreign_sources() {
+        let router = DirectedDestinationRouter::new(Word::parse(2, "0101").unwrap());
+        router.route_from(&Word::parse(2, "01").unwrap());
+    }
+}

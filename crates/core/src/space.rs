@@ -1,0 +1,319 @@
+//! The de Bruijn parameter space `DG(d,k)` and neighborhood structure.
+
+use crate::error::Error;
+use crate::word::Word;
+
+/// The de Bruijn graph parameters `(d, k)`: `d^k` vertices, diameter `k`.
+///
+/// `DeBruijn` is a lightweight descriptor; it owns no adjacency. Vertex
+/// enumeration and neighbor generation operate on [`Word`]s directly,
+/// which is what makes routing `O(k)` rather than `O(d^k)`. Materialized
+/// adjacency (for BFS baselines and structural censuses) lives in the
+/// `debruijn-graph` crate.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::DeBruijn;
+///
+/// let g = DeBruijn::new(2, 3)?;
+/// assert_eq!(g.order(), Some(8));
+/// assert_eq!(g.diameter(), 3);
+/// assert_eq!(g.vertices().count(), 8);
+/// # Ok::<(), debruijn_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeBruijn {
+    d: u8,
+    k: usize,
+}
+
+impl DeBruijn {
+    /// Creates the parameter space for `DG(d,k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `d < 2` or `k < 1`.
+    pub fn new(d: u8, k: usize) -> Result<Self, Error> {
+        if d < 2 {
+            return Err(Error::RadixTooSmall { d });
+        }
+        if k < 1 {
+            return Err(Error::LengthTooSmall);
+        }
+        Ok(Self { d, k })
+    }
+
+    /// The digit radix `d` (the graph degree is `2d`, counting
+    /// multiplicities).
+    pub fn d(&self) -> u8 {
+        self.d
+    }
+
+    /// The word length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices `d^k`, or `None` if it overflows `u128`.
+    pub fn order(&self) -> Option<u128> {
+        u128::from(self.d).checked_pow(u32::try_from(self.k).ok()?)
+    }
+
+    /// Number of vertices `d^k` as `usize`, or `None` if it does not fit.
+    ///
+    /// Use this before materializing anything per-vertex.
+    pub fn order_usize(&self) -> Option<usize> {
+        usize::try_from(self.order()?).ok()
+    }
+
+    /// The diameter of `DG(d,k)`, which is `k` (paper §2: the trivial
+    /// left-shift path has length `k`, and `0…0 → 1…1` requires `k`).
+    pub fn diameter(&self) -> usize {
+        self.k
+    }
+
+    /// Whether `w` is a vertex of this graph.
+    pub fn contains(&self, w: &Word) -> bool {
+        w.radix() == self.d && w.len() == self.k
+    }
+
+    /// The vertex with the given rank (radix-`d` value of its digits).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rank >= d^k`.
+    pub fn word_from_rank(&self, rank: u128) -> Result<Word, Error> {
+        Word::from_rank(self.d, self.k, rank)
+    }
+
+    /// Iterates over all `d^k` vertices in rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d^k` overflows `u128` (enumerate only graphs that fit).
+    pub fn vertices(&self) -> Vertices {
+        let order = self
+            .order()
+            .expect("vertex enumeration requires d^k to fit in u128");
+        Vertices {
+            space: *self,
+            next: 0,
+            order,
+        }
+    }
+
+    /// The `d` type-L (left-shift) neighbors `X⁻(a)`, `a = 0, …, d−1`,
+    /// including duplicates and self-loops.
+    pub fn left_neighbors<'a>(&self, w: &'a Word) -> impl Iterator<Item = Word> + 'a {
+        debug_assert!(self.contains(w));
+        let d = self.d;
+        (0..d).map(move |a| w.shift_left(a))
+    }
+
+    /// The `d` type-R (right-shift) neighbors `X⁺(a)`, `a = 0, …, d−1`,
+    /// including duplicates and self-loops.
+    pub fn right_neighbors<'a>(&self, w: &'a Word) -> impl Iterator<Item = Word> + 'a {
+        debug_assert!(self.contains(w));
+        let d = self.d;
+        (0..d).map(move |a| w.shift_right(a))
+    }
+
+    /// Out-neighbors in the **directed** graph (the type-L neighbors),
+    /// deduplicated and with self-loops removed.
+    ///
+    /// The directed `DG(d,k)` has arcs `X → X⁻(a)` only; the arcs
+    /// `X⁺(a) → X` are their reverses.
+    pub fn directed_out_neighbors(&self, w: &Word) -> Vec<Word> {
+        let mut out: Vec<Word> = self.left_neighbors(w).filter(|n| n != w).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// In-neighbors in the **directed** graph (the type-R neighbors),
+    /// deduplicated and with self-loops removed.
+    pub fn directed_in_neighbors(&self, w: &Word) -> Vec<Word> {
+        let mut out: Vec<Word> = self.right_neighbors(w).filter(|n| n != w).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Neighbors in the **undirected** graph: the union of type-L and
+    /// type-R neighbors, deduplicated, self-loops removed.
+    ///
+    /// The paper's §1 census: after removing redundant edges, vertices
+    /// have degree `2d`, `2d−1` or `2d−2` depending on how many shifts
+    /// coincide.
+    pub fn undirected_neighbors(&self, w: &Word) -> Vec<Word> {
+        let mut out: Vec<Word> = self
+            .left_neighbors(w)
+            .chain(self.right_neighbors(w))
+            .filter(|n| n != w)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Iterator over all vertices of a [`DeBruijn`] space in rank order.
+///
+/// Created by [`DeBruijn::vertices`].
+#[derive(Debug, Clone)]
+pub struct Vertices {
+    space: DeBruijn,
+    next: u128,
+    order: u128,
+}
+
+impl Iterator for Vertices {
+    type Item = Word;
+
+    fn next(&mut self) -> Option<Word> {
+        if self.next >= self.order {
+            return None;
+        }
+        let w = self
+            .space
+            .word_from_rank(self.next)
+            .expect("rank below order is valid");
+        self.next += 1;
+        Some(w)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.order - self.next;
+        match usize::try_from(rem) {
+            Ok(n) => (n, Some(n)),
+            Err(_) => (usize::MAX, None),
+        }
+    }
+}
+
+impl ExactSizeIterator for Vertices {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_and_diameter() {
+        let g = DeBruijn::new(3, 4).unwrap();
+        assert_eq!(g.order(), Some(81));
+        assert_eq!(g.order_usize(), Some(81));
+        assert_eq!(g.diameter(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(DeBruijn::new(1, 3), Err(Error::RadixTooSmall { d: 1 }));
+        assert_eq!(DeBruijn::new(2, 0), Err(Error::LengthTooSmall));
+    }
+
+    #[test]
+    fn vertex_iteration_is_exhaustive_and_ordered() {
+        let g = DeBruijn::new(2, 3).unwrap();
+        let all: Vec<String> = g.vertices().map(|w| w.to_string()).collect();
+        assert_eq!(
+            all,
+            ["000", "001", "010", "011", "100", "101", "110", "111"]
+        );
+        assert_eq!(g.vertices().len(), 8);
+    }
+
+    #[test]
+    fn directed_neighbors_follow_shift_structure() {
+        let g = DeBruijn::new(2, 3).unwrap();
+        let x = Word::parse(2, "011").unwrap();
+        let out: Vec<String> = g
+            .directed_out_neighbors(&x)
+            .iter()
+            .map(|w| w.to_string())
+            .collect();
+        assert_eq!(out, ["110", "111"]);
+        let inn: Vec<String> = g
+            .directed_in_neighbors(&x)
+            .iter()
+            .map(|w| w.to_string())
+            .collect();
+        assert_eq!(inn, ["001", "101"]);
+    }
+
+    #[test]
+    fn self_loops_are_removed() {
+        let g = DeBruijn::new(2, 3).unwrap();
+        let zero = Word::parse(2, "000").unwrap();
+        // 000⁻(0) = 000 is a self-loop and must be filtered.
+        assert!(!g.directed_out_neighbors(&zero).contains(&zero));
+        assert!(!g.undirected_neighbors(&zero).contains(&zero));
+    }
+
+    #[test]
+    fn undirected_neighbors_match_figure_1b() {
+        // In the undirected DG(2,3) of Figure 1(b), 010 and 101 are
+        // mutually adjacent both ways; check 010's neighborhood.
+        let g = DeBruijn::new(2, 3).unwrap();
+        let x = Word::parse(2, "010").unwrap();
+        let n: Vec<String> = g
+            .undirected_neighbors(&x)
+            .iter()
+            .map(|w| w.to_string())
+            .collect();
+        assert_eq!(n, ["001", "100", "101"]);
+    }
+
+    #[test]
+    fn degrees_match_paper_census_directed() {
+        // Directed DG(d,k): N − d vertices of degree 2d, d of degree 2d−2
+        // (the uniform words aaa…a lose their two self-loop incidences).
+        for (d, k) in [(2u8, 3usize), (3, 3), (2, 4)] {
+            let g = DeBruijn::new(d, k).unwrap();
+            let mut full = 0usize;
+            let mut reduced = 0usize;
+            for w in g.vertices() {
+                let deg = g.directed_out_neighbors(&w).len()
+                    + g.directed_in_neighbors(&w).len();
+                if deg == 2 * d as usize {
+                    full += 1;
+                } else if deg == 2 * d as usize - 2 {
+                    reduced += 1;
+                } else {
+                    panic!("unexpected directed degree {deg} for {w}");
+                }
+            }
+            let n = g.order_usize().unwrap();
+            assert_eq!(full, n - d as usize, "d={d} k={k}");
+            assert_eq!(reduced, d as usize, "d={d} k={k}");
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric_undirected() {
+        let g = DeBruijn::new(3, 2).unwrap();
+        for w in g.vertices() {
+            for n in g.undirected_neighbors(&w) {
+                assert!(
+                    g.undirected_neighbors(&n).contains(&w),
+                    "asymmetric neighbor pair {w} / {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contains_checks_space_membership() {
+        let g = DeBruijn::new(2, 3).unwrap();
+        assert!(g.contains(&Word::parse(2, "010").unwrap()));
+        assert!(!g.contains(&Word::parse(2, "01").unwrap()));
+        assert!(!g.contains(&Word::parse(3, "010").unwrap()));
+    }
+
+    #[test]
+    fn huge_spaces_report_order_overflow() {
+        let g = DeBruijn::new(255, 1000).unwrap();
+        assert_eq!(g.order(), None);
+        assert_eq!(g.order_usize(), None);
+    }
+}

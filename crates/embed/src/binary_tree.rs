@@ -1,0 +1,102 @@
+//! Complete-binary-tree embedding into the binary de Bruijn network.
+//!
+//! Heap-index node `i` (1-indexed, `1 ≤ i ≤ 2^k − 1`) has a binary
+//! representation "1 followed by the root-to-node path bits". Mapping `i`
+//! to the word `0^{k−|i|} · bits(i)` makes every tree edge a single left
+//! shift: the parent `0^m s` goes to the child `0^{m−1} s b` by shifting
+//! in `b`. The tree occupies all but one vertex of `DG(2,k)` (the word
+//! `0^k` stays free), with dilation 1 — Samatham–Pradhan's tree emulation.
+
+use debruijn_core::{DeBruijn, Word};
+
+use crate::metrics::Embedding;
+
+/// Embeds the complete binary tree with `2^k − 1` nodes into `DG(2,k)`
+/// with dilation 1.
+///
+/// Guest node `j` (0-indexed) is heap index `j + 1`; its children are
+/// guest nodes `2j + 1` and `2j + 2`.
+///
+/// # Panics
+///
+/// Panics if `k < 1` or `2^k` overflows `usize`.
+pub fn complete_binary_tree(k: usize) -> Embedding {
+    assert!(k >= 1, "k must be at least 1");
+    let space = DeBruijn::new(2, k).expect("binary space");
+    let n = 1usize
+        .checked_shl(k as u32)
+        .expect("2^k must fit in usize")
+        - 1;
+    let mapping: Vec<Word> = (1..=n)
+        .map(|heap| {
+            let bits = usize::BITS - heap.leading_zeros();
+            let mut digits = vec![0u8; k];
+            for b in 0..bits {
+                digits[k - 1 - b as usize] = ((heap >> b) & 1) as u8;
+            }
+            Word::new(2, digits).expect("binary digits")
+        })
+        .collect();
+    let mut edges = Vec::new();
+    for j in 0..n {
+        let heap = j + 1;
+        for child in [2 * heap, 2 * heap + 1] {
+            if child <= n {
+                edges.push((j, child - 1));
+            }
+        }
+    }
+    Embedding::new(space, format!("binary-tree[{n}]"), mapping, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_has_dilation_one() {
+        for k in 1..=7usize {
+            let e = complete_binary_tree(k);
+            assert_eq!(e.dilation(), if k == 1 { 0 } else { 1 }, "k={k}");
+            assert!(e.is_injective(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn tree_uses_all_but_one_vertex() {
+        let e = complete_binary_tree(5);
+        assert_eq!(e.guest_node_count(), 31);
+        assert_eq!(e.host().order_usize(), Some(32));
+        // The all-zero word hosts no tree node.
+        let zero = Word::uniform(2, 5, 0).unwrap();
+        assert!((0..31).all(|j| e.host_word(j) != &zero));
+    }
+
+    #[test]
+    fn tree_edges_form_a_complete_binary_tree() {
+        let e = complete_binary_tree(4);
+        assert_eq!(e.guest_edge_count(), 14); // n - 1 edges
+        // Root hosts 0^{k-1} 1.
+        assert_eq!(e.host_word(0).to_string(), "0001");
+        // Children of the root host its left shifts.
+        assert_eq!(e.host_word(1).to_string(), "0010");
+        assert_eq!(e.host_word(2).to_string(), "0011");
+    }
+
+    #[test]
+    fn leaf_level_occupies_words_starting_with_one() {
+        let e = complete_binary_tree(3);
+        // Heap indices 4..=7 are leaves: words 100, 101, 110, 111.
+        let leaves: Vec<String> =
+            (3..7).map(|j| e.host_word(j).to_string()).collect();
+        assert_eq!(leaves, ["100", "101", "110", "111"]);
+    }
+
+    #[test]
+    fn congestion_is_bounded_by_two() {
+        // Each tree edge is one host arc; both directions of a guest edge
+        // use the two orientations.
+        let e = complete_binary_tree(5);
+        assert!(e.congestion() <= 2, "got {}", e.congestion());
+    }
+}

@@ -1,0 +1,28 @@
+//! Embeddings of classical topologies into de Bruijn networks.
+//!
+//! The paper's §1 motivates de Bruijn networks partly through Samatham and
+//! Pradhan's result that the binary de Bruijn network can emulate the
+//! usual parallel architectures. This crate constructs those embeddings
+//! explicitly and measures their quality:
+//!
+//! * [`ring::ring`] / [`ring::linear_array`] — via a Hamiltonian cycle
+//!   (dilation 1);
+//! * [`binary_tree::complete_binary_tree`] — the `2^k − 1`-node complete
+//!   binary tree via left shifts (dilation 1);
+//! * [`shuffle_exchange::shuffle_exchange`] — shuffle edges are single
+//!   left shifts, exchange edges take at most 2 hops (dilation 2);
+//!
+//! plus [`sorting`] — Batcher's bitonic network executed on the de
+//! Bruijn host with per-stage communication accounting (the "sorting
+//! network" claim of §1's citation 9) —
+//! with [`metrics::Embedding`] computing dilation, congestion and
+//! expansion against the exact distance functions and routes of
+//! `debruijn-core`. Experiment E9 prints the resulting table.
+
+pub mod binary_tree;
+pub mod metrics;
+pub mod sorting;
+pub mod ring;
+pub mod shuffle_exchange;
+
+pub use metrics::Embedding;

@@ -1,0 +1,219 @@
+//! Embedding quality metrics: dilation, congestion, expansion.
+
+use std::collections::HashMap;
+
+use debruijn_core::{distance, routing, DeBruijn, Digit, ShiftKind, Word};
+
+/// A guest topology mapped into a host de Bruijn network.
+///
+/// Guest nodes are `0..guest_node_count`; `mapping[i]` is the host vertex
+/// hosting guest node `i`. Guest edges are undirected.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    host: DeBruijn,
+    guest_name: String,
+    mapping: Vec<Word>,
+    guest_edges: Vec<(usize, usize)>,
+}
+
+impl Embedding {
+    /// Creates an embedding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mapped word is not a vertex of `host`, or an edge
+    /// endpoint is out of range, or an edge is a self-loop.
+    pub fn new(
+        host: DeBruijn,
+        guest_name: impl Into<String>,
+        mapping: Vec<Word>,
+        guest_edges: Vec<(usize, usize)>,
+    ) -> Self {
+        for w in &mapping {
+            assert!(host.contains(w), "mapped word {w} outside host space");
+        }
+        for &(a, b) in &guest_edges {
+            assert!(a < mapping.len() && b < mapping.len(), "edge endpoint out of range");
+            assert_ne!(a, b, "guest self-loops are not allowed");
+        }
+        Self { host, guest_name: guest_name.into(), mapping, guest_edges }
+    }
+
+    /// The host parameter space.
+    pub fn host(&self) -> DeBruijn {
+        self.host
+    }
+
+    /// Name of the guest topology (for experiment tables).
+    pub fn guest_name(&self) -> &str {
+        &self.guest_name
+    }
+
+    /// Number of guest nodes.
+    pub fn guest_node_count(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// Number of guest edges.
+    pub fn guest_edge_count(&self) -> usize {
+        self.guest_edges.len()
+    }
+
+    /// The host vertex hosting guest node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn host_word(&self, i: usize) -> &Word {
+        &self.mapping[i]
+    }
+
+    /// The guest edges.
+    pub fn guest_edges(&self) -> &[(usize, usize)] {
+        &self.guest_edges
+    }
+
+    /// Whether distinct guest nodes occupy distinct host vertices
+    /// (load 1).
+    pub fn is_injective(&self) -> bool {
+        let mut seen: Vec<u128> = self.mapping.iter().map(Word::rank).collect();
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        seen.len() == before
+    }
+
+    /// Dilation: the maximum host distance (undirected) spanned by a guest
+    /// edge. 0 for edgeless guests.
+    pub fn dilation(&self) -> usize {
+        self.guest_edges
+            .iter()
+            .map(|&(a, b)| {
+                distance::undirected::distance(&self.mapping[a], &self.mapping[b])
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean host distance over guest edges.
+    pub fn average_dilation(&self) -> f64 {
+        if self.guest_edges.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self
+            .guest_edges
+            .iter()
+            .map(|&(a, b)| {
+                distance::undirected::distance(&self.mapping[a], &self.mapping[b])
+            })
+            .sum();
+        total as f64 / self.guest_edges.len() as f64
+    }
+
+    /// Congestion: routing every guest edge (both directions) along a
+    /// shortest host route (Algorithm 2, wildcards resolved to digit 0),
+    /// the maximum number of routes crossing any single directed host
+    /// link.
+    pub fn congestion(&self) -> usize {
+        let mut load: HashMap<(u128, u128), usize> = HashMap::new();
+        for &(a, b) in &self.guest_edges {
+            for (from, to) in [(a, b), (b, a)] {
+                let x = &self.mapping[from];
+                let y = &self.mapping[to];
+                let route = routing::algorithm2(x, y);
+                let mut cur = x.clone();
+                for step in route.steps() {
+                    let digit = match step.digit {
+                        Digit::Exact(d) => d,
+                        Digit::Any => 0,
+                    };
+                    let next = match step.shift {
+                        ShiftKind::Left => cur.shift_left(digit),
+                        ShiftKind::Right => cur.shift_right(digit),
+                    };
+                    *load.entry((cur.rank(), next.rank())).or_insert(0) += 1;
+                    cur = next;
+                }
+            }
+        }
+        load.values().copied().max().unwrap_or(0)
+    }
+
+    /// Expansion: host vertices per guest node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host order overflows or the guest is empty.
+    pub fn expansion(&self) -> f64 {
+        let host_n = self
+            .host
+            .order_usize()
+            .expect("metrics require an enumerable host");
+        assert!(!self.mapping.is_empty(), "guest must be non-empty");
+        host_n as f64 / self.mapping.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> DeBruijn {
+        DeBruijn::new(2, 3).unwrap()
+    }
+
+    fn w(s: &str) -> Word {
+        Word::parse(2, s).unwrap()
+    }
+
+    #[test]
+    fn identity_pair_embedding_metrics() {
+        let e = Embedding::new(
+            host(),
+            "pair",
+            vec![w("000"), w("001")],
+            vec![(0, 1)],
+        );
+        assert!(e.is_injective());
+        assert_eq!(e.dilation(), 1);
+        assert_eq!(e.average_dilation(), 1.0);
+        assert_eq!(e.congestion(), 1);
+        assert_eq!(e.expansion(), 4.0);
+    }
+
+    #[test]
+    fn dilation_reflects_host_distance() {
+        let e = Embedding::new(host(), "far", vec![w("000"), w("111")], vec![(0, 1)]);
+        assert_eq!(e.dilation(), 3);
+    }
+
+    #[test]
+    fn non_injective_embedding_is_detected() {
+        let e = Embedding::new(host(), "dup", vec![w("000"), w("000")], Vec::new());
+        assert!(!e.is_injective());
+    }
+
+    #[test]
+    fn congestion_counts_overlapping_routes() {
+        // Two guest edges whose shortest routes share the arc 011→111.
+        let e = Embedding::new(
+            host(),
+            "shared",
+            vec![w("011"), w("111"), w("001")],
+            vec![(0, 1), (2, 1)],
+        );
+        assert!(e.congestion() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_guest_self_loops() {
+        Embedding::new(host(), "loop", vec![w("000")], vec![(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside host space")]
+    fn rejects_foreign_words() {
+        Embedding::new(host(), "foreign", vec![Word::parse(2, "01").unwrap()], vec![]);
+    }
+}

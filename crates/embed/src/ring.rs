@@ -1,0 +1,66 @@
+//! Ring and linear-array embeddings via Hamiltonian cycles.
+//!
+//! A Hamiltonian cycle of `DG(d,k)` (from the de Bruijn sequence, see
+//! `debruijn-graph`) visits every vertex once along left-shift arcs, so
+//! laying the `d^k`-node ring (or array) along it gives dilation 1 and
+//! expansion 1 — the best possible.
+
+use debruijn_core::DeBruijn;
+use debruijn_graph::hamiltonian::hamiltonian_cycle;
+
+use crate::metrics::Embedding;
+
+/// Embeds the `d^k`-node ring into `DG(d,k)` with dilation 1.
+///
+/// # Panics
+///
+/// Panics if the space cannot be enumerated.
+pub fn ring(space: DeBruijn) -> Embedding {
+    let cycle = hamiltonian_cycle(space);
+    let n = cycle.len();
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    Embedding::new(space, format!("ring[{n}]"), cycle, edges)
+}
+
+/// Embeds the `d^k`-node linear array into `DG(d,k)` with dilation 1.
+///
+/// # Panics
+///
+/// Panics if the space cannot be enumerated.
+pub fn linear_array(space: DeBruijn) -> Embedding {
+    let cycle = hamiltonian_cycle(space);
+    let n = cycle.len();
+    let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    Embedding::new(space, format!("array[{n}]"), cycle, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_has_dilation_one() {
+        for (d, k) in [(2u8, 3usize), (2, 4), (3, 2), (3, 3)] {
+            let e = ring(DeBruijn::new(d, k).unwrap());
+            assert_eq!(e.dilation(), 1, "d={d} k={k}");
+            assert!(e.is_injective());
+            assert_eq!(e.expansion(), 1.0);
+            assert_eq!(e.guest_edge_count(), e.guest_node_count());
+        }
+    }
+
+    #[test]
+    fn array_has_dilation_one_and_one_less_edge() {
+        let e = linear_array(DeBruijn::new(2, 4).unwrap());
+        assert_eq!(e.dilation(), 1);
+        assert_eq!(e.guest_edge_count(), e.guest_node_count() - 1);
+    }
+
+    #[test]
+    fn ring_congestion_is_low() {
+        // Dilation-1 edges each use exactly one link; congestion is the
+        // max multiplicity of a cycle arc used in both directions.
+        let e = ring(DeBruijn::new(2, 4).unwrap());
+        assert!(e.congestion() <= 2, "got {}", e.congestion());
+    }
+}

@@ -1,0 +1,133 @@
+//! Shuffle-exchange emulation on the binary de Bruijn network.
+//!
+//! The shuffle-exchange network `SE(k)` has the `2^k` binary words as
+//! nodes, a *shuffle* edge `x₁x₂…x_k → x₂…x_k x₁` (cyclic left rotation)
+//! and an *exchange* edge flipping the last bit. Mapping nodes identically
+//! onto `DG(2,k)`:
+//!
+//! * a shuffle is the left shift `X⁻(x₁)` — one hop;
+//! * an exchange `x₁…x_{k−1}x_k ↔ x₁…x_{k−1}x̄_k` takes two hops
+//!   (`X⁺(a)` then shift the flipped bit back in), and no single hop
+//!   suffices when `k ≥ 2` unless the words happen to be shift-adjacent;
+//!
+//! so the de Bruijn network emulates `SE(k)` with dilation 2 — the
+//! constant-slowdown emulation underlying Samatham–Pradhan's claim.
+
+use debruijn_core::{DeBruijn, Word};
+
+use crate::metrics::Embedding;
+
+/// Embeds the shuffle-exchange network `SE(k)` identically onto
+/// `DG(2,k)`; dilation 2, expansion 1.
+///
+/// # Panics
+///
+/// Panics if `k < 1` or `2^k` overflows `usize`.
+pub fn shuffle_exchange(k: usize) -> Embedding {
+    assert!(k >= 1, "k must be at least 1");
+    let space = DeBruijn::new(2, k).expect("binary space");
+    let n = space.order_usize().expect("2^k fits usize");
+    let mapping: Vec<Word> = space.vertices().collect();
+    let mut edges = Vec::new();
+    for (i, w) in mapping.iter().enumerate() {
+        // Shuffle: cyclic left rotation (skip fixed points like 00…0).
+        let first = w.digits()[0];
+        let rotated = w.shift_left(first);
+        let j = rotated.rank() as usize;
+        if j != i {
+            edges.push((i.min(j), i.max(j)));
+        }
+        // Exchange: flip the last bit.
+        let mut digits = w.digits().to_vec();
+        let last = digits[k - 1];
+        digits[k - 1] = 1 - last;
+        let flipped = Word::new(2, digits).expect("binary digits");
+        let jf = flipped.rank() as usize;
+        edges.push((i.min(jf), i.max(jf)));
+    }
+    // Each undirected edge was produced from both endpoints (and shuffle
+    // cycles from one side only); normalize and deduplicate.
+    edges.sort_unstable();
+    edges.dedup();
+    Embedding::new(space, format!("shuffle-exchange[{n}]"), mapping, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debruijn_core::distance;
+
+    #[test]
+    fn dilation_is_two_for_k_at_least_three() {
+        for k in 3..=7usize {
+            let e = shuffle_exchange(k);
+            assert_eq!(e.dilation(), 2, "k={k}");
+            assert!(e.is_injective());
+            assert_eq!(e.expansion(), 1.0);
+        }
+    }
+
+    #[test]
+    fn small_networks_are_even_tighter() {
+        // For k = 2 every exchange happens to be shift-adjacent.
+        assert_eq!(shuffle_exchange(2).dilation(), 1);
+    }
+
+    #[test]
+    fn shuffle_edges_are_single_hops() {
+        let e = shuffle_exchange(4);
+        let space = e.host();
+        for &(a, b) in e.guest_edges() {
+            let x = e.host_word(a);
+            let y = e.host_word(b);
+            let d = distance::undirected::distance(x, y);
+            // Rotations are 1 hop; exchanges at most 2.
+            assert!((1..=2).contains(&d), "{x} -- {y}: {d}");
+            let rotated = x.shift_left(x.digits()[0]);
+            if &rotated == y {
+                assert_eq!(d, 1, "shuffle edge {x} -- {y}");
+            }
+        }
+        let _ = space;
+    }
+
+    #[test]
+    fn k1_shuffle_exchange_is_a_single_exchange_edge() {
+        let e = shuffle_exchange(1);
+        assert_eq!(e.guest_node_count(), 2);
+        assert_eq!(e.guest_edge_count(), 1);
+        assert_eq!(e.dilation(), 1); // 0 ↔ 1 are adjacent in DG(2,1)
+    }
+
+    #[test]
+    fn edge_count_matches_se_structure() {
+        // SE(k): 2^(k-1) exchange edges + (rotation pairs excluding fixed
+        // points and double counting).
+        let e = shuffle_exchange(3);
+        // Count the distinct undirected edges from first principles.
+        let mut expected = std::collections::HashSet::new();
+        for w in e.host().vertices() {
+            let i = w.rank() as usize;
+            let r = w.shift_left(w.digits()[0]).rank() as usize;
+            if i != r {
+                expected.insert((i.min(r), i.max(r)));
+            }
+            let mut d = w.digits().to_vec();
+            d[2] = 1 - d[2];
+            let f = Word::new(2, d).unwrap().rank() as usize;
+            expected.insert((i.min(f), i.max(f)));
+        }
+        assert_eq!(e.guest_edge_count(), expected.len());
+        // Exchange edges: 2^(k-1) = 4; rotation edges: the two 3-cycles
+        // {001,010,100} and {011,110,101} contribute 3 each.
+        assert_eq!(e.guest_edge_count(), 10);
+    }
+
+    #[test]
+    fn congestion_stays_constant() {
+        let e = shuffle_exchange(5);
+        // Dilation-2 routes can overlap; the constant-slowdown claim needs
+        // congestion bounded by a small constant.
+        assert!(e.congestion() <= 4, "got {}", e.congestion());
+    }
+}

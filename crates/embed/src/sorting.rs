@@ -1,0 +1,246 @@
+//! Parallel sorting on the de Bruijn network (Samatham–Pradhan, §1 citation 9).
+//!
+//! §1 cites the binary de Bruijn network as "a versatile parallel
+//! processing and **sorting** network". This module makes that concrete:
+//! `2^k` processors, one per vertex of `DG(2,k)`, sort one key each with
+//! Batcher's bitonic network. A compare-exchange between hypercube
+//! partners (addresses differing in bit `j`) is executed by shipping the
+//! keys along shortest routes of the host network, so the communication
+//! cost of every step is exactly twice the host distance between the
+//! partners — which is what the shuffle-exchange emulation bounds by a
+//! constant per dimension-adjusted step.
+//!
+//! The sorting logic is verified with the 0–1 principle (exhaustive
+//! Boolean inputs) and randomized tests; the communication accounting is
+//! what experiment E11 reports.
+
+use debruijn_core::{distance, DeBruijn, Word};
+
+/// One compare-exchange of a sorting network: indices `(lo, hi)` with
+/// `lo < hi`; ascending means `min` lands at `lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompareExchange {
+    /// Smaller index of the pair.
+    pub lo: usize,
+    /// Larger index of the pair.
+    pub hi: usize,
+    /// Whether the pair sorts ascending (`min` to `lo`).
+    pub ascending: bool,
+}
+
+/// Batcher's bitonic sorting network for `n = 2^log_n` inputs, as a list
+/// of stages; the pairs within a stage are disjoint (they can execute in
+/// parallel on the network).
+///
+/// The network has `log_n·(log_n+1)/2` stages of `n/2` compare-exchanges.
+///
+/// # Panics
+///
+/// Panics if `log_n == 0` or `2^log_n` overflows `usize`.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_embed::sorting::bitonic_network;
+///
+/// let stages = bitonic_network(3); // 8 inputs
+/// assert_eq!(stages.len(), 6);     // 3·4/2
+/// assert!(stages.iter().all(|s| s.len() == 4));
+/// ```
+pub fn bitonic_network(log_n: usize) -> Vec<Vec<CompareExchange>> {
+    assert!(log_n >= 1, "need at least two inputs");
+    let n = 1usize.checked_shl(log_n as u32).expect("2^log_n fits usize");
+    let mut stages = Vec::new();
+    for s in 1..=log_n {
+        for j in (0..s).rev() {
+            let mut stage = Vec::with_capacity(n / 2);
+            for i in 0..n {
+                let partner = i ^ (1 << j);
+                if partner > i {
+                    // Direction flips with bit `s` of the index, building
+                    // bitonic runs of length 2^s.
+                    let ascending = i & (1 << s) == 0;
+                    stage.push(CompareExchange { lo: i, hi: partner, ascending });
+                }
+            }
+            stages.push(stage);
+        }
+    }
+    stages
+}
+
+/// Applies a sorting network to `keys` in place.
+///
+/// # Panics
+///
+/// Panics if a pair index is out of bounds.
+pub fn apply_network<T: Ord>(stages: &[Vec<CompareExchange>], keys: &mut [T]) {
+    for stage in stages {
+        for ce in stage {
+            let out_of_order = keys[ce.lo] > keys[ce.hi];
+            if out_of_order == ce.ascending {
+                keys.swap(ce.lo, ce.hi);
+            }
+        }
+    }
+}
+
+/// Communication accounting for one parallel sort on `DN(2,k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortCost {
+    /// Number of parallel stages executed.
+    pub stages: usize,
+    /// Total compare-exchanges.
+    pub compare_exchanges: usize,
+    /// Total key-hops: each compare-exchange ships both keys along
+    /// shortest host routes (`2 × distance`).
+    pub total_hops: u64,
+    /// The largest host distance between any compared pair.
+    pub max_partner_distance: usize,
+    /// Sum over stages of the worst pair distance in the stage — a lower
+    /// bound on the makespan in synchronized rounds.
+    pub critical_path: u64,
+}
+
+/// Sorts `keys` (one per vertex of `DN(2,k)`, in rank order) with the
+/// bitonic network, accounting for the host-network communication.
+///
+/// Returns the sorted keys and the cost summary.
+///
+/// # Panics
+///
+/// Panics if `keys.len() != 2^k`.
+pub fn sort_on_network<T: Ord + Clone>(space: DeBruijn, keys: &[T]) -> (Vec<T>, SortCost) {
+    assert_eq!(space.d(), 2, "the sorting network runs on binary de Bruijn hosts");
+    let k = space.k();
+    let n = space.order_usize().expect("enumerable host");
+    assert_eq!(keys.len(), n, "one key per processor required");
+
+    let stages = bitonic_network(k);
+    let words: Vec<Word> = space.vertices().collect();
+    let mut sorted = keys.to_vec();
+    let mut cost = SortCost {
+        stages: stages.len(),
+        compare_exchanges: 0,
+        total_hops: 0,
+        max_partner_distance: 0,
+        critical_path: 0,
+    };
+    for stage in &stages {
+        let mut stage_worst = 0usize;
+        for ce in stage {
+            let d = distance::undirected::distance(&words[ce.lo], &words[ce.hi]);
+            cost.compare_exchanges += 1;
+            cost.total_hops += 2 * d as u64;
+            cost.max_partner_distance = cost.max_partner_distance.max(d);
+            stage_worst = stage_worst.max(d);
+        }
+        cost.critical_path += stage_worst as u64;
+        for ce in stage {
+            let out_of_order = sorted[ce.lo] > sorted[ce.hi];
+            if out_of_order == ce.ascending {
+                sorted.swap(ce.lo, ce.hi);
+            }
+        }
+    }
+    (sorted, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_one_principle_holds_up_to_16_inputs() {
+        // A comparator network sorts all inputs iff it sorts all 0-1
+        // inputs (Knuth 5.3.4).
+        for log_n in 1..=4usize {
+            let n = 1 << log_n;
+            let stages = bitonic_network(log_n);
+            for bits in 0..(1u32 << n) {
+                let mut keys: Vec<u32> = (0..n).map(|i| (bits >> i) & 1).collect();
+                apply_network(&stages, &mut keys);
+                assert!(keys.windows(2).all(|w| w[0] <= w[1]), "bits={bits:#b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_random_permutations() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for log_n in 1..=7usize {
+            let n = 1 << log_n;
+            let stages = bitonic_network(log_n);
+            let mut keys: Vec<u64> = (0..n).map(|_| next()).collect();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            apply_network(&stages, &mut keys);
+            assert_eq!(keys, expect, "log_n={log_n}");
+        }
+    }
+
+    #[test]
+    fn stages_contain_disjoint_pairs() {
+        for log_n in 1..=6usize {
+            for stage in bitonic_network(log_n) {
+                let mut seen = std::collections::HashSet::new();
+                for ce in &stage {
+                    assert!(ce.lo < ce.hi);
+                    assert!(seen.insert(ce.lo), "index {} reused", ce.lo);
+                    assert!(seen.insert(ce.hi), "index {} reused", ce.hi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_count_matches_batcher_formula() {
+        for log_n in 1..=8usize {
+            assert_eq!(bitonic_network(log_n).len(), log_n * (log_n + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn network_sort_matches_sequential_sort_with_bounded_cost() {
+        let space = DeBruijn::new(2, 5).unwrap();
+        let keys: Vec<u32> = (0..32).map(|i| (97 * i + 13) % 51).collect();
+        let (sorted, cost) = sort_on_network(space, &keys);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+        assert_eq!(cost.stages, 15);
+        assert_eq!(cost.compare_exchanges, 15 * 16);
+        // Hypercube partners sit within diameter distance on the host.
+        assert!(cost.max_partner_distance <= 5);
+        assert!(cost.critical_path >= cost.stages as u64);
+        assert!(cost.total_hops >= cost.compare_exchanges as u64 * 2);
+    }
+
+    #[test]
+    fn low_dimension_partners_are_close_on_the_host() {
+        // Bit-0 partners are exchange neighbors: distance <= 2 (the
+        // shuffle-exchange emulation bound).
+        let space = DeBruijn::new(2, 6).unwrap();
+        let words: Vec<Word> = space.vertices().collect();
+        for i in 0..words.len() {
+            let j = i ^ 1;
+            if j > i {
+                let d = distance::undirected::distance(&words[i], &words[j]);
+                assert!(d <= 2, "{} vs {}: {d}", words[i], words[j]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one key per processor")]
+    fn rejects_wrong_key_count() {
+        let space = DeBruijn::new(2, 3).unwrap();
+        sort_on_network(space, &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Broadcast trees: one-to-all dissemination on the network.
+//!
+//! A BFS spanning tree of `DG(d,k)` has depth at most `k = log_d N`,
+//! which is what makes de Bruijn networks good broadcast substrates
+//! (§1's applications argument). The model here is single-port
+//! store-and-forward: a node that holds the message relays it to its
+//! tree children one per tick.
+
+use std::collections::VecDeque;
+
+use crate::adjacency::DebruijnGraph;
+
+/// A BFS spanning tree rooted at one node, with broadcast scheduling.
+#[derive(Debug, Clone)]
+pub struct BroadcastTree {
+    root: u32,
+    parent: Vec<u32>,
+    children: Vec<Vec<u32>>,
+    /// BFS discovery order (root first).
+    order: Vec<u32>,
+}
+
+impl BroadcastTree {
+    /// Builds the BFS tree of `graph` rooted at `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range or the graph is not connected
+    /// from `root`.
+    pub fn build(graph: &DebruijnGraph, root: u32) -> Self {
+        let n = graph.node_count();
+        assert!((root as usize) < n, "root out of range");
+        let mut parent = vec![u32::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        let mut queue = VecDeque::new();
+        parent[root as usize] = root;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in graph.neighbors(v) {
+                if parent[w as usize] == u32::MAX {
+                    parent[w as usize] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "graph must be connected from the root");
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &v in &order {
+            if v != root {
+                children[parent[v as usize] as usize].push(v);
+            }
+        }
+        Self { root, parent, children, order }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// The parent of `node` (the root is its own parent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn parent(&self, node: u32) -> u32 {
+        self.parent[node as usize]
+    }
+
+    /// The children of `node`, in BFS discovery order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn children(&self, node: u32) -> &[u32] {
+        &self.children[node as usize]
+    }
+
+    /// Tree depth (the root's eccentricity in the tree = in the graph).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.parent.len()];
+        let mut max = 0;
+        for &v in &self.order {
+            if v != self.root {
+                depth[v as usize] = depth[self.parent[v as usize] as usize] + 1;
+                max = max.max(depth[v as usize]);
+            }
+        }
+        max
+    }
+
+    /// Per-node receive times under single-port scheduling: a node that
+    /// receives at `t` sends to its `i`-th child at `t + i + 1`.
+    pub fn receive_times(&self) -> Vec<u64> {
+        let n = self.parent.len();
+        let mut receive = vec![u64::MAX; n];
+        receive[self.root as usize] = 0;
+        for &v in &self.order {
+            let t = receive[v as usize];
+            for (i, &c) in self.children[v as usize].iter().enumerate() {
+                receive[c as usize] = t + i as u64 + 1;
+            }
+        }
+        receive
+    }
+
+    /// Broadcast completion time: the latest receive time.
+    pub fn completion_time(&self) -> u64 {
+        self.receive_times()
+            .into_iter()
+            .max()
+            .expect("non-empty graph")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debruijn_core::DeBruijn;
+
+    fn undirected(d: u8, k: usize) -> DebruijnGraph {
+        DebruijnGraph::undirected(DeBruijn::new(d, k).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn tree_spans_the_graph() {
+        let g = undirected(2, 5);
+        let t = BroadcastTree::build(&g, 3);
+        let times = t.receive_times();
+        assert!(times.iter().all(|&x| x != u64::MAX));
+        // Every non-root node's parent relation is a real edge.
+        for v in g.nodes() {
+            if v != t.root() {
+                assert!(g.has_edge(t.parent(v), v));
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_at_most_the_diameter() {
+        for (d, k) in [(2u8, 4usize), (3, 3)] {
+            let g = undirected(d, k);
+            for root in [0u32, 1, (g.node_count() / 2) as u32] {
+                let t = BroadcastTree::build(&g, root);
+                assert!(t.depth() <= k, "root {root}: depth {}", t.depth());
+            }
+        }
+    }
+
+    #[test]
+    fn completion_bounds_hold() {
+        let g = undirected(2, 6);
+        let t = BroadcastTree::build(&g, 1);
+        let completion = t.completion_time();
+        // At least the depth; at most depth × (max children + …): loose
+        // upper bound via depth × (2d).
+        assert!(completion as usize >= t.depth());
+        assert!(completion as usize <= t.depth() * 4 + 4);
+        // Logarithmic in N, unlike the Θ(N) sequential broadcast.
+        assert!(completion < g.node_count() as u64 / 2);
+    }
+
+    #[test]
+    fn receive_times_respect_single_port_scheduling() {
+        let g = undirected(3, 3);
+        let t = BroadcastTree::build(&g, 0);
+        let times = t.receive_times();
+        for v in g.nodes() {
+            for (i, &c) in t.children(v).iter().enumerate() {
+                assert_eq!(times[c as usize], times[v as usize] + i as u64 + 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "root out of range")]
+    fn rejects_bogus_root() {
+        BroadcastTree::build(&undirected(2, 3), 99);
+    }
+}

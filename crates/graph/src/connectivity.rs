@@ -1,0 +1,134 @@
+//! Connectivity checks: de Bruijn graphs are strongly connected.
+
+use crate::adjacency::{DebruijnGraph, EdgeMode};
+use crate::bfs;
+
+/// Whether every node reaches every other node (strong connectivity for
+/// directed graphs, plain connectivity for undirected ones).
+///
+/// For a directed graph this runs a forward BFS from node 0 plus a BFS on
+/// the transposed adjacency; both must cover all nodes.
+pub fn is_strongly_connected(graph: &DebruijnGraph) -> bool {
+    let n = graph.node_count();
+    if n == 0 {
+        return true;
+    }
+    let forward = bfs::distances(graph, 0);
+    if forward.contains(&bfs::UNREACHABLE) {
+        return false;
+    }
+    if graph.mode() == EdgeMode::Undirected {
+        return true;
+    }
+    // BFS over reversed arcs.
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in graph.nodes() {
+        for &w in graph.neighbors(v) {
+            rev[w as usize].push(v);
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0u32];
+    seen[0] = true;
+    let mut count = 1usize;
+    while let Some(v) = stack.pop() {
+        for &p in &rev[v as usize] {
+            if !seen[p as usize] {
+                seen[p as usize] = true;
+                count += 1;
+                stack.push(p);
+            }
+        }
+    }
+    count == n
+}
+
+/// Number of connected components after deleting `faults` (undirected
+/// graphs only).
+///
+/// Used by the fault-tolerance experiment to confirm that fewer than `d`
+/// deletions never disconnect `DN(d,k)`.
+///
+/// # Panics
+///
+/// Panics if called on a directed graph or if a fault index is out of
+/// range.
+pub fn components_after_faults(graph: &DebruijnGraph, faults: &[u32]) -> usize {
+    assert_eq!(
+        graph.mode(),
+        EdgeMode::Undirected,
+        "component counting requires the undirected graph"
+    );
+    let n = graph.node_count();
+    let mut blocked = vec![false; n];
+    for &f in faults {
+        assert!((f as usize) < n, "fault {f} out of range");
+        blocked[f as usize] = true;
+    }
+    let mut seen = blocked.clone();
+    let mut components = 0usize;
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        components += 1;
+        let mut stack = vec![start as u32];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            for &w in graph.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debruijn_core::DeBruijn;
+
+    #[test]
+    fn debruijn_graphs_are_strongly_connected() {
+        for (d, k) in [(2u8, 1usize), (2, 4), (3, 3), (4, 2)] {
+            let s = DeBruijn::new(d, k).unwrap();
+            assert!(is_strongly_connected(&DebruijnGraph::directed(s).unwrap()));
+            assert!(is_strongly_connected(&DebruijnGraph::undirected(s).unwrap()));
+        }
+    }
+
+    #[test]
+    fn fewer_than_d_faults_never_disconnect() {
+        // d = 3, k = 2: check all 1- and 2-subsets of faults.
+        let g = DebruijnGraph::undirected(DeBruijn::new(3, 2).unwrap()).unwrap();
+        let nodes: Vec<u32> = g.nodes().collect();
+        for &f1 in &nodes {
+            assert_eq!(components_after_faults(&g, &[f1]), 1, "fault {f1}");
+            for &f2 in &nodes {
+                if f1 < f2 {
+                    assert_eq!(
+                        components_after_faults(&g, &[f1, f2]),
+                        1,
+                        "faults {f1},{f2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_faults_means_one_component() {
+        let g = DebruijnGraph::undirected(DeBruijn::new(2, 5).unwrap()).unwrap();
+        assert_eq!(components_after_faults(&g, &[]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn component_count_rejects_directed_graphs() {
+        let g = DebruijnGraph::directed(DeBruijn::new(2, 3).unwrap()).unwrap();
+        components_after_faults(&g, &[]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Diameter and eccentricities — verifying "DG(d,k) has diameter k".
+
+use crate::adjacency::DebruijnGraph;
+use crate::bfs;
+
+/// Eccentricity of every node: the distance to its farthest node.
+///
+/// Runs one BFS per node (`O(N²·d)` total); intended for the explicit
+/// graphs used in verification and the E4 experiment.
+///
+/// # Panics
+///
+/// Panics if some node cannot reach all others (de Bruijn graphs are
+/// strongly connected, so this indicates a corrupted graph).
+pub fn eccentricities(graph: &DebruijnGraph) -> Vec<u32> {
+    graph
+        .nodes()
+        .map(|v| {
+            let dist = bfs::distances(graph, v);
+            dist.into_iter()
+                .inspect(|&d| {
+                    assert_ne!(d, bfs::UNREACHABLE, "graph is not connected");
+                })
+                .max()
+                .expect("graphs are non-empty")
+        })
+        .collect()
+}
+
+/// The diameter: the maximum eccentricity.
+pub fn diameter(graph: &DebruijnGraph) -> usize {
+    eccentricities(graph)
+        .into_iter()
+        .max()
+        .expect("graphs are non-empty") as usize
+}
+
+/// The radius: the minimum eccentricity.
+pub fn radius(graph: &DebruijnGraph) -> usize {
+    eccentricities(graph)
+        .into_iter()
+        .min()
+        .expect("graphs are non-empty") as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debruijn_core::DeBruijn;
+
+    #[test]
+    fn directed_diameter_is_k() {
+        for (d, k) in [(2u8, 1usize), (2, 3), (2, 5), (3, 2), (3, 3), (4, 2)] {
+            let g = DebruijnGraph::directed(DeBruijn::new(d, k).unwrap()).unwrap();
+            assert_eq!(diameter(&g), k, "d={d} k={k}");
+        }
+    }
+
+    #[test]
+    fn undirected_diameter_is_k() {
+        // The witness 0…0 ↔ 1…1 still needs k hops with both directions.
+        for (d, k) in [(2u8, 3usize), (2, 5), (3, 3), (4, 2)] {
+            let g = DebruijnGraph::undirected(DeBruijn::new(d, k).unwrap()).unwrap();
+            assert_eq!(diameter(&g), k, "d={d} k={k}");
+        }
+    }
+
+    #[test]
+    fn radius_is_at_most_diameter() {
+        let g = DebruijnGraph::undirected(DeBruijn::new(2, 4).unwrap()).unwrap();
+        assert!(radius(&g) <= diameter(&g));
+    }
+
+    #[test]
+    fn uniform_words_are_peripheral() {
+        // ecc(0…0) = k: the all-ones word is at distance exactly k.
+        let g = DebruijnGraph::undirected(DeBruijn::new(2, 4).unwrap()).unwrap();
+        let ecc = eccentricities(&g);
+        assert_eq!(ecc[0] as usize, 4);
+        assert_eq!(ecc[g.node_count() - 1] as usize, 4);
+    }
+}

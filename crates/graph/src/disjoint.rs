@@ -1,0 +1,214 @@
+//! Vertex-disjoint paths: the structural basis of fault tolerance.
+//!
+//! Pradhan and Reddy's result — `DN(d,k)` tolerates `d − 1` processor
+//! failures — follows from the existence of `d` internally vertex-disjoint
+//! paths between any two vertices (Menger's theorem). This module finds a
+//! maximum set of internally disjoint paths by unit-capacity max-flow on
+//! the vertex-split graph.
+
+use std::collections::VecDeque;
+
+use crate::adjacency::DebruijnGraph;
+
+/// A maximum-cardinality set of internally vertex-disjoint `src → dst`
+/// paths (each path given as a node sequence including the endpoints),
+/// capped at `limit` paths.
+///
+/// Uses repeated BFS augmentation on the split graph (`v_in → v_out`
+/// capacity 1), so the cost is `O(limit · N · d)`.
+///
+/// # Panics
+///
+/// Panics if `src == dst` or either endpoint is out of range.
+pub fn vertex_disjoint_paths(
+    graph: &DebruijnGraph,
+    src: u32,
+    dst: u32,
+    limit: usize,
+) -> Vec<Vec<u32>> {
+    let n = graph.node_count();
+    assert!((src as usize) < n && (dst as usize) < n, "endpoint out of range");
+    assert_ne!(src, dst, "endpoints must differ");
+
+    // Split each vertex v into v_in (2v) and v_out (2v+1).
+    // Arcs: v_in → v_out (cap 1, except src/dst: unbounded), and for each
+    // graph arc v→w: v_out → w_in (cap 1).
+    // We run augmenting BFS over residual capacities stored in hash-free
+    // adjacency built once.
+    let node = |v: u32, out: bool| -> usize { (v as usize) * 2 + usize::from(out) };
+
+    // Build arc lists with residual capacity.
+    #[derive(Clone, Copy)]
+    struct Arc {
+        to: usize,
+        cap: u32,
+        rev: usize, // index of the reverse arc in `adj[to]`
+        forward: bool,
+    }
+    let mut adj: Vec<Vec<Arc>> = vec![Vec::new(); n * 2];
+    let add_arc = |adj: &mut Vec<Vec<Arc>>, from: usize, to: usize, cap: u32| {
+        let rev_from = adj[to].len();
+        let rev_to = adj[from].len();
+        adj[from].push(Arc { to, cap, rev: rev_from, forward: true });
+        adj[to].push(Arc { to: from, cap: 0, rev: rev_to, forward: false });
+    };
+    for v in graph.nodes() {
+        let split_cap = if v == src || v == dst { u32::MAX } else { 1 };
+        add_arc(&mut adj, node(v, false), node(v, true), split_cap);
+        for &w in graph.neighbors(v) {
+            add_arc(&mut adj, node(v, true), node(w, false), 1);
+        }
+    }
+
+    let source = node(src, true);
+    let sink = node(dst, false);
+    let mut flows = 0usize;
+    while flows < limit {
+        // BFS for an augmenting path.
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; n * 2]; // (node, arc idx)
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        let mut reached = false;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for (i, arc) in adj[u].iter().enumerate() {
+                if arc.cap > 0 && prev[arc.to].is_none() && arc.to != source {
+                    prev[arc.to] = Some((u, i));
+                    if arc.to == sink {
+                        reached = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        if !reached {
+            break;
+        }
+        // Augment by 1 along the path.
+        let mut cur = sink;
+        while cur != source {
+            let (pu, pi) = prev[cur].expect("on augmenting path");
+            let rev = adj[pu][pi].rev;
+            adj[pu][pi].cap -= 1;
+            adj[cur][rev].cap += 1;
+            cur = pu;
+        }
+        flows += 1;
+    }
+
+    // Decompose the flow into paths: starting from the source, repeatedly
+    // follow unit forward arcs that carried flow (cap drained to 0),
+    // consuming each arc once. Every arc on a source→sink walk is a
+    // unit-capacity arc (the unbounded split arcs of src/dst are never
+    // traversed because the walk starts at src_out and ends at dst_in).
+    let mut used: Vec<Vec<bool>> = adj.iter().map(|arcs| vec![false; arcs.len()]).collect();
+    let mut paths = Vec::with_capacity(flows);
+    for _ in 0..flows {
+        let mut path_nodes = vec![src];
+        let mut cur = source;
+        while cur != sink {
+            let (i, to) = adj[cur]
+                .iter()
+                .enumerate()
+                .find(|&(i, arc)| arc.forward && arc.cap == 0 && !used[cur][i])
+                .map(|(i, arc)| (i, arc.to))
+                .expect("flow decomposition follows saturated arcs");
+            used[cur][i] = true;
+            cur = to;
+            if cur % 2 == 1 {
+                // Passed through a split arc into v_out: record the vertex.
+                path_nodes.push((cur / 2) as u32);
+            }
+        }
+        path_nodes.push(dst);
+        paths.push(path_nodes);
+    }
+    paths
+}
+
+/// The vertex connectivity lower bound witnessed between `src` and `dst`:
+/// the number of internally disjoint paths found (up to `limit`).
+pub fn disjoint_path_count(graph: &DebruijnGraph, src: u32, dst: u32, limit: usize) -> usize {
+    vertex_disjoint_paths(graph, src, dst, limit).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debruijn_core::DeBruijn;
+    use std::collections::HashSet;
+
+    fn undirected(d: u8, k: usize) -> DebruijnGraph {
+        DebruijnGraph::undirected(DeBruijn::new(d, k).unwrap()).unwrap()
+    }
+
+    fn check_disjoint(graph: &DebruijnGraph, paths: &[Vec<u32>], src: u32, dst: u32) {
+        let mut interior_seen: HashSet<u32> = HashSet::new();
+        for p in paths {
+            assert_eq!(p[0], src);
+            assert_eq!(*p.last().unwrap(), dst);
+            for w in p.windows(2) {
+                assert!(graph.has_edge(w[0], w[1]), "non-edge {w:?}");
+            }
+            for &v in &p[1..p.len() - 1] {
+                assert!(v != src && v != dst);
+                assert!(interior_seen.insert(v), "vertex {v} reused across paths");
+            }
+        }
+    }
+
+    #[test]
+    fn finds_d_disjoint_paths_between_distinct_vertices() {
+        // DN(d,k) is d-connected between most pairs; check a selection.
+        for (d, k) in [(2u8, 3usize), (3, 2), (3, 3)] {
+            let g = undirected(d, k);
+            let n = g.node_count() as u32;
+            for (s, t) in [(0u32, n - 1), (1, n - 2), (2, n / 2)] {
+                if s == t {
+                    continue;
+                }
+                let paths = vertex_disjoint_paths(&g, s, t, d as usize);
+                check_disjoint(&g, &paths, s, t);
+                assert!(
+                    paths.len() >= d as usize - 1,
+                    "d={d} k={k} {s}->{t}: only {} disjoint paths",
+                    paths.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn limit_caps_the_number_of_paths() {
+        let g = undirected(3, 2);
+        let paths = vertex_disjoint_paths(&g, 0, 5, 1);
+        assert_eq!(paths.len(), 1);
+        check_disjoint(&g, &paths, 0, 5);
+    }
+
+    #[test]
+    fn all_pairs_have_at_least_d_minus_1_disjoint_paths() {
+        // The Menger dual of "tolerates d−1 faults": every pair keeps a
+        // path after d−1 vertex deletions, hence has ≥ d−1... we verify
+        // the stronger measured count here for DG(3,2).
+        let g = undirected(3, 2);
+        let n = g.node_count() as u32;
+        for s in 0..n {
+            for t in 0..n {
+                if s == t {
+                    continue;
+                }
+                let paths = vertex_disjoint_paths(&g, s, t, 3);
+                check_disjoint(&g, &paths, s, t);
+                assert!(paths.len() >= 2, "{s}->{t}: {}", paths.len());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn rejects_equal_endpoints() {
+        let g = undirected(2, 2);
+        vertex_disjoint_paths(&g, 1, 1, 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Errors for explicit-graph materialization.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced when materializing or querying explicit graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// `d^k` does not fit the node-index type (`u32`) or host memory.
+    TooLarge {
+        /// The radix.
+        d: u8,
+        /// The word length.
+        k: usize,
+    },
+    /// A node index was outside `0..node_count`.
+    NodeOutOfRange {
+        /// The rejected node index.
+        node: u32,
+        /// The graph's node count.
+        count: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooLarge { d, k } => {
+                write!(f, "{d}^{k} vertices exceed the explicit-graph limits")
+            }
+            GraphError::NodeOutOfRange { node, count } => {
+                write!(f, "node {node} out of range (graph has {count} nodes)")
+            }
+        }
+    }
+}
+
+impl StdError for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(GraphError::TooLarge { d: 2, k: 64 }.to_string().contains("2^64"));
+    }
+}

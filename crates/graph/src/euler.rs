@@ -1,0 +1,296 @@
+//! Eulerian circuits and de Bruijn sequences.
+//!
+//! The paper's §1 cites the existence of multiple Hamiltonian paths
+//! (de Bruijn 1946, Etzion–Lempel 1984) as a useful property of the
+//! network. The classical bridge: a de Bruijn sequence `B(d,n)` — a cyclic
+//! word of length `d^n` containing every `n`-digit word exactly once — is
+//! an Eulerian circuit of `DG(d,n−1)` and simultaneously a Hamiltonian
+//! cycle of `DG(d,n)` (see [`crate::hamiltonian`]).
+//!
+//! The generator here is Hierholzer's algorithm on the *full* shift
+//! multigraph (all `d^n` arcs, self-loops included), which runs in
+//! `O(d^n)`.
+
+/// Generates a de Bruijn sequence `B(d, n)`: a cyclic digit string of
+/// length `d^n` in which every `d`-ary word of length `n` occurs exactly
+/// once as a (cyclic) window.
+///
+/// # Panics
+///
+/// Panics if `d < 2`, `n < 1`, or `d^n` does not fit in `usize`.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_graph::euler::de_bruijn_sequence;
+///
+/// let seq = de_bruijn_sequence(2, 3);
+/// assert_eq!(seq.len(), 8);
+/// // Every 3-bit word appears exactly once cyclically.
+/// let mut seen = std::collections::HashSet::new();
+/// for i in 0..8 {
+///     let window = [seq[i], seq[(i + 1) % 8], seq[(i + 2) % 8]];
+///     assert!(seen.insert(window));
+/// }
+/// ```
+pub fn de_bruijn_sequence(d: u8, n: usize) -> Vec<u8> {
+    assert!(d >= 2, "de Bruijn sequences require d >= 2");
+    assert!(n >= 1, "de Bruijn sequences require n >= 1");
+    if n == 1 {
+        return (0..d).collect();
+    }
+    // Nodes are (n-1)-digit words (by rank); arcs are n-digit words:
+    // taking arc `a` from node `v` moves to `(v·d + a) mod d^(n-1)`, the
+    // left shift. Every node has in-degree = out-degree = d, so an
+    // Eulerian circuit exists, and its arc labels are the sequence.
+    let node_count = (d as usize)
+        .checked_pow((n - 1) as u32)
+        .expect("d^(n-1) must fit in usize");
+    let total_arcs = node_count
+        .checked_mul(d as usize)
+        .expect("d^n must fit in usize");
+    hierholzer(d, node_count, total_arcs)
+}
+
+/// Standard Hierholzer on the shift multigraph: returns the arc labels of
+/// an Eulerian circuit starting at node 0.
+fn hierholzer(d: u8, node_count: usize, total_arcs: usize) -> Vec<u8> {
+    let mut next_digit = vec![0u8; node_count];
+    // Stack of (node, label-of-arc-used-to-enter). Circuit built on pop.
+    let mut stack: Vec<(usize, u8)> = Vec::with_capacity(total_arcs + 1);
+    let mut circuit: Vec<u8> = Vec::with_capacity(total_arcs);
+    stack.push((0, 0)); // entering label of the start node is unused
+    while let Some(&(v, enter)) = stack.last() {
+        let a = next_digit[v];
+        if a < d {
+            next_digit[v] = a + 1;
+            let w = (v * d as usize + a as usize) % node_count;
+            stack.push((w, a));
+        } else {
+            stack.pop();
+            if !stack.is_empty() {
+                circuit.push(enter);
+            }
+        }
+    }
+    circuit.reverse();
+    debug_assert_eq!(circuit.len(), total_arcs);
+    circuit
+}
+
+/// Generates a de Bruijn sequence with Martin's greedy "prefer-largest"
+/// rule (1934): starting from `0^n`, repeatedly append the largest digit
+/// that does not recreate an already-seen `n`-window.
+///
+/// Produces a *different* sequence than [`de_bruijn_sequence`] in general
+/// — a concrete witness of the paper's §1 remark (after de Bruijn 1946 and
+/// Etzion–Lempel (1984)) that these networks carry *multiple* Hamiltonian
+/// cycles; see [`count_de_bruijn_sequences`] for how many.
+///
+/// Runs in `O(d^n · n)` time and `O(d^n)` space.
+///
+/// # Panics
+///
+/// Panics if `d < 2`, `n < 1`, or `d^n` does not fit in `usize`.
+pub fn de_bruijn_sequence_prefer_largest(d: u8, n: usize) -> Vec<u8> {
+    assert!(d >= 2, "de Bruijn sequences require d >= 2");
+    assert!(n >= 1, "de Bruijn sequences require n >= 1");
+    let total = (d as usize)
+        .checked_pow(n as u32)
+        .expect("d^n must fit in usize");
+    let window_base = total / d as usize; // d^(n-1)
+    let mut seen = vec![false; total];
+    // The sequence starts with the all-zero window.
+    let mut seq: Vec<u8> = vec![0; n];
+    seen[0] = true;
+    let mut window_rank = 0usize; // rank of the last n digits
+    // The zero window is pre-seen, so exactly d^n − 1 appends remain
+    // before every window is used and the greedy stalls.
+    while seq.len() < total + n - 1 {
+        let mut appended = false;
+        for a in (0..d).rev() {
+            let candidate = (window_rank % window_base) * d as usize + a as usize;
+            if !seen[candidate] {
+                seen[candidate] = true;
+                seq.push(a);
+                window_rank = candidate;
+                appended = true;
+                break;
+            }
+        }
+        assert!(appended, "greedy construction never gets stuck (Martin 1934)");
+    }
+    // The first n zeros are re-covered by the wrap-around; drop the tail
+    // that re-enters the zero window.
+    seq.truncate(total);
+    seq
+}
+
+/// The number of distinct (cyclic) de Bruijn sequences `B(d,n)`:
+/// `(d!)^{d^{n−1}} / d^n` (via the BEST theorem), or `None` on overflow.
+///
+/// This quantifies §1's "existence of multiple Hamiltonian paths": for
+/// `d = 2` the count is `2^{2^{n−1}−n}` — already 16 at `n = 4` and over
+/// 67 million at `n = 6`.
+pub fn count_de_bruijn_sequences(d: u8, n: usize) -> Option<u128> {
+    if d < 2 || n < 1 {
+        return None;
+    }
+    let d_factorial: u128 = (1..=u128::from(d)).product();
+    let exponent = u32::try_from((d as u128).checked_pow(u32::try_from(n).ok()? - 1)?).ok()?;
+    let numerator = d_factorial.checked_pow(exponent)?;
+    let denominator = (d as u128).checked_pow(u32::try_from(n).ok()?)?;
+    // The division is exact (BEST theorem).
+    debug_assert_eq!(numerator % denominator, 0);
+    Some(numerator / denominator)
+}
+
+/// Verifies that `seq` is a valid de Bruijn sequence `B(d,n)`: correct
+/// length and every `n`-window (cyclic) distinct.
+pub fn is_de_bruijn_sequence(d: u8, n: usize, seq: &[u8]) -> bool {
+    let len = match (d as usize).checked_pow(n as u32) {
+        Some(l) => l,
+        None => return false,
+    };
+    if seq.len() != len || seq.iter().any(|&x| x >= d) {
+        return false;
+    }
+    let mut seen = vec![false; len];
+    for i in 0..len {
+        let mut rank = 0usize;
+        for j in 0..n {
+            rank = rank * d as usize + seq[(i + j) % len] as usize;
+        }
+        if seen[rank] {
+            return false;
+        }
+        seen[rank] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_sequences_across_parameters() {
+        for (d, n) in [
+            (2u8, 1usize),
+            (2, 2),
+            (2, 3),
+            (2, 4),
+            (2, 8),
+            (3, 1),
+            (3, 2),
+            (3, 3),
+            (3, 4),
+            (4, 2),
+            (4, 3),
+            (5, 2),
+            (7, 2),
+        ] {
+            let seq = de_bruijn_sequence(d, n);
+            assert!(is_de_bruijn_sequence(d, n, &seq), "d={d} n={n}: {seq:?}");
+        }
+    }
+
+    #[test]
+    fn sequence_length_is_d_to_the_n() {
+        assert_eq!(de_bruijn_sequence(2, 10).len(), 1024);
+        assert_eq!(de_bruijn_sequence(3, 5).len(), 243);
+    }
+
+    #[test]
+    fn n1_sequence_lists_the_alphabet() {
+        assert_eq!(de_bruijn_sequence(4, 1), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn validator_rejects_corrupted_sequences() {
+        let mut seq = de_bruijn_sequence(2, 4);
+        assert!(is_de_bruijn_sequence(2, 4, &seq));
+        seq.swap(0, 1);
+        // Swapping two unequal digits must break some window.
+        if seq[0] != seq[1] {
+            assert!(!is_de_bruijn_sequence(2, 4, &seq));
+        }
+        assert!(!is_de_bruijn_sequence(2, 3, &de_bruijn_sequence(2, 4)));
+        assert!(!is_de_bruijn_sequence(2, 4, &[0; 16]));
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 2")]
+    fn rejects_unary_alphabet() {
+        de_bruijn_sequence(1, 3);
+    }
+
+    #[test]
+    fn prefer_largest_generates_valid_sequences() {
+        for (d, n) in [(2u8, 1usize), (2, 3), (2, 6), (3, 2), (3, 4), (4, 3), (5, 2)] {
+            let seq = de_bruijn_sequence_prefer_largest(d, n);
+            assert!(is_de_bruijn_sequence(d, n, &seq), "d={d} n={n}: {seq:?}");
+        }
+    }
+
+    #[test]
+    fn prefer_largest_differs_from_hierholzer() {
+        // Multiple Hamiltonian cycles exist (§1): our two generators
+        // witness two of them.
+        let a = de_bruijn_sequence(2, 4);
+        let b = de_bruijn_sequence_prefer_largest(2, 4);
+        assert!(is_de_bruijn_sequence(2, 4, &a));
+        assert!(is_de_bruijn_sequence(2, 4, &b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prefer_largest_matches_known_binary_sequence() {
+        // Martin's rule for d=2, n=3 starting at 000 yields 00011101.
+        assert_eq!(de_bruijn_sequence_prefer_largest(2, 3), vec![0, 0, 0, 1, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn count_matches_best_theorem_small_cases() {
+        assert_eq!(count_de_bruijn_sequences(2, 1), Some(1));
+        assert_eq!(count_de_bruijn_sequences(2, 2), Some(1));
+        assert_eq!(count_de_bruijn_sequences(2, 3), Some(2));
+        assert_eq!(count_de_bruijn_sequences(2, 4), Some(16));
+        assert_eq!(count_de_bruijn_sequences(2, 5), Some(2048));
+        assert_eq!(count_de_bruijn_sequences(3, 2), Some(24));
+        assert_eq!(count_de_bruijn_sequences(1, 3), None);
+    }
+
+    /// Exhaustively counts de Bruijn sequences by canonical rotation
+    /// (every cyclic sequence contains the window 0^n exactly once, so
+    /// counting linear strings that start with 0^n counts cyclic ones).
+    fn enumerate_count(d: u8, n: usize) -> u128 {
+        let total = (d as usize).pow(n as u32);
+        let free = total - n;
+        let mut count = 0u128;
+        let mut digits = vec![0u8; total];
+        fn rec(digits: &mut Vec<u8>, pos: usize, d: u8, n: usize, count: &mut u128) {
+            if pos == digits.len() {
+                if is_de_bruijn_sequence(d, n, digits) {
+                    *count += 1;
+                }
+                return;
+            }
+            for a in 0..d {
+                digits[pos] = a;
+                rec(digits, pos + 1, d, n, count);
+            }
+        }
+        let _ = free;
+        rec(&mut digits, n, d, n, &mut count);
+        count
+    }
+
+    #[test]
+    fn count_verified_by_exhaustive_enumeration() {
+        assert_eq!(enumerate_count(2, 2), 1);
+        assert_eq!(enumerate_count(2, 3), 2);
+        assert_eq!(enumerate_count(2, 4), 16);
+        assert_eq!(enumerate_count(3, 2), 24);
+    }
+}

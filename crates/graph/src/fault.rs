@@ -1,0 +1,195 @@
+//! Fault-avoiding routing: the Pradhan–Reddy tolerance in practice.
+//!
+//! The paper's §1 cites that de Bruijn networks tolerate up to `d − 1`
+//! processor failures. This module provides the routing-layer consequence:
+//! given a set of faulty nodes, compute a shortest surviving route and
+//! express it in the paper's `(a, b)` wire format so the simulator can
+//! forward it hop by hop.
+
+use debruijn_core::{RoutePath, Word};
+
+use crate::adjacency::{DebruijnGraph, EdgeMode};
+use crate::bfs;
+
+/// A shortest route from `x` to `y` that avoids every word in `faults`,
+/// or `None` if all surviving paths are cut (or an endpoint is faulty).
+///
+/// The route is returned in the paper's step encoding, ready to be carried
+/// in a message's routing-path field. With `faults.len() < d` on the
+/// undirected graph this always succeeds for non-faulty endpoints.
+///
+/// # Panics
+///
+/// Panics if `x`, `y` or any fault is not a vertex of `graph`'s space.
+pub fn route_avoiding(
+    graph: &DebruijnGraph,
+    x: &Word,
+    y: &Word,
+    faults: &[Word],
+) -> Option<RoutePath> {
+    let src = graph.rank_of(x);
+    let dst = graph.rank_of(y);
+    let fault_ids: Vec<u32> = faults.iter().map(|f| graph.rank_of(f)).collect();
+    let nodes = bfs::shortest_path_avoiding(graph, src, dst, &fault_ids)?;
+    let words: Vec<Word> = nodes.iter().map(|&n| graph.word_of(n)).collect();
+    let path = RoutePath::from_word_walk(&words)
+        .expect("BFS paths follow graph edges, which are shifts");
+    debug_assert!(path.leads_to(x, y));
+    Some(path)
+}
+
+/// A shortest route avoiding both faulty nodes and faulty directed
+/// links, in the paper's step encoding; `None` if the survivors are cut.
+///
+/// # Panics
+///
+/// Panics if any word is not a vertex of `graph`'s space.
+pub fn route_avoiding_full(
+    graph: &DebruijnGraph,
+    x: &Word,
+    y: &Word,
+    node_faults: &[Word],
+    link_faults: &[(Word, Word)],
+) -> Option<RoutePath> {
+    let src = graph.rank_of(x);
+    let dst = graph.rank_of(y);
+    let nodes: Vec<u32> = node_faults.iter().map(|f| graph.rank_of(f)).collect();
+    let links: Vec<(u32, u32)> = link_faults
+        .iter()
+        .map(|(a, b)| (graph.rank_of(a), graph.rank_of(b)))
+        .collect();
+    let walk = bfs::shortest_path_avoiding_links(graph, src, dst, &nodes, &links)?;
+    let words: Vec<Word> = walk.iter().map(|&n| graph.word_of(n)).collect();
+    let path = RoutePath::from_word_walk(&words)
+        .expect("BFS paths follow graph edges, which are shifts");
+    debug_assert!(path.leads_to(x, y));
+    Some(path)
+}
+
+/// The stretch of fault-avoiding routing for one pair: the ratio between
+/// the surviving route length and the fault-free distance (1.0 when the
+/// faults don't matter). Returns `None` when no surviving route exists.
+///
+/// # Panics
+///
+/// Panics if `x == y`, or if a word is not a vertex of `graph`'s space,
+/// or if `graph` is directed (stretch is an undirected-network metric
+/// here, matching experiment E8).
+pub fn stretch(graph: &DebruijnGraph, x: &Word, y: &Word, faults: &[Word]) -> Option<f64> {
+    assert_eq!(graph.mode(), EdgeMode::Undirected, "stretch uses the undirected graph");
+    assert_ne!(x, y, "stretch is undefined for equal endpoints");
+    let detour = route_avoiding(graph, x, y, faults)?.len();
+    let direct = debruijn_core::distance::undirected::distance(x, y);
+    Some(detour as f64 / direct as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debruijn_core::DeBruijn;
+
+    fn undirected(d: u8, k: usize) -> DebruijnGraph {
+        DebruijnGraph::undirected(DeBruijn::new(d, k).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fault_free_routing_is_optimal() {
+        let g = undirected(2, 4);
+        for x in g.space().vertices() {
+            for y in g.space().vertices() {
+                let p = route_avoiding(&g, &x, &y, &[]).expect("connected");
+                assert_eq!(
+                    p.len(),
+                    debruijn_core::distance::undirected::distance(&x, &y)
+                );
+                assert!(p.leads_to(&x, &y));
+            }
+        }
+    }
+
+    #[test]
+    fn single_fault_never_cuts_binary_networks() {
+        // d = 2: one fault is always survivable.
+        let g = undirected(2, 3);
+        let all: Vec<Word> = g.space().vertices().collect();
+        for f in &all {
+            for x in &all {
+                for y in &all {
+                    if x == f || y == f {
+                        continue;
+                    }
+                    let p = route_avoiding(&g, x, y, std::slice::from_ref(f));
+                    let p = p.unwrap_or_else(|| panic!("{x}->{y} cut by {f}"));
+                    assert!(p.leads_to(x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_faults_never_cut_ternary_networks() {
+        let g = undirected(3, 2);
+        let all: Vec<Word> = g.space().vertices().collect();
+        for f1 in &all {
+            for f2 in &all {
+                if f1 == f2 {
+                    continue;
+                }
+                for x in &all {
+                    for y in &all {
+                        if [f1, f2, &x.clone()].contains(&y) || x == f1 || x == f2 {
+                            continue;
+                        }
+                        assert!(
+                            route_avoiding(&g, x, y, &[f1.clone(), f2.clone()]).is_some(),
+                            "{x}->{y} cut by {f1},{f2}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_endpoint_returns_none() {
+        let g = undirected(2, 3);
+        let x = Word::parse(2, "000").unwrap();
+        let y = Word::parse(2, "111").unwrap();
+        assert!(route_avoiding(&g, &x, &y, std::slice::from_ref(&x)).is_none());
+        assert!(route_avoiding(&g, &x, &y, std::slice::from_ref(&y)).is_none());
+    }
+
+    #[test]
+    fn stretch_is_at_least_one() {
+        let g = undirected(2, 4);
+        let x = Word::parse(2, "0001").unwrap();
+        let y = Word::parse(2, "1110").unwrap();
+        let f = Word::parse(2, "1100").unwrap();
+        if let Some(s) = stretch(&g, &x, &y, std::slice::from_ref(&f)) {
+            assert!(s >= 1.0);
+        }
+    }
+
+    #[test]
+    fn detours_avoid_the_faults() {
+        let g = undirected(2, 4);
+        let x = Word::parse(2, "0000").unwrap();
+        let y = Word::parse(2, "1111").unwrap();
+        let f = Word::parse(2, "0111").unwrap();
+        let p = route_avoiding(&g, &x, &y, std::slice::from_ref(&f)).expect("survivable");
+        // Walk the route and confirm the faulty word is never visited.
+        let mut cur = x.clone();
+        for step in p.steps() {
+            let b = match step.digit {
+                debruijn_core::Digit::Exact(b) => b,
+                debruijn_core::Digit::Any => 0,
+            };
+            cur = match step.shift {
+                debruijn_core::ShiftKind::Left => cur.shift_left(b),
+                debruijn_core::ShiftKind::Right => cur.shift_right(b),
+            };
+            assert_ne!(cur, f, "route passes through the fault");
+        }
+        assert_eq!(cur, y);
+    }
+}

@@ -1,0 +1,289 @@
+//! Generalized de Bruijn graphs (Imase–Itoh), §1's citation 4.
+//!
+//! The paper motivates `DG(d,k)` as "nearly optimal" for the
+//! degree/diameter trade-off, citing Imase and Itoh's generalized
+//! construction `GDB(d, N)`: vertices `0, …, N−1` for *any* `N` (not just
+//! powers of `d`), arcs `i → (i·d + a) mod N` for `a = 0, …, d−1`. When
+//! `N = d^k` this is exactly the rank form of `DG(d,k)`; for other `N` it
+//! keeps the diameter at `⌈log_d N⌉`, which is what makes the family
+//! attractive for network design.
+//!
+//! Label routing in `GDB` follows the same left-shift idea in rank
+//! arithmetic: after `m` steps with digits `a_1 … a_m`, node `i` reaches
+//! `(i·d^m + Σ a_j·d^{m−j}) mod N`, so `j` is reachable in `m` steps iff
+//! `j ≡ i·d^m + r (mod N)` for some `r ∈ [0, d^m)` — which yields the
+//! `O(k·log)` routing below without materializing anything.
+
+use std::collections::VecDeque;
+
+/// The generalized de Bruijn digraph `GDB(d, N)` of Imase and Itoh.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_graph::generalized::Gdb;
+///
+/// let g = Gdb::new(2, 12)?; // 12 nodes: not a power of 2
+/// assert_eq!(g.diameter_bound(), 4); // ⌈log2 12⌉
+/// assert!(g.measured_diameter() <= 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gdb {
+    d: u64,
+    n: u64,
+}
+
+impl Gdb {
+    /// Creates `GDB(d, N)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `d < 2` or `N < 2`.
+    pub fn new(d: u64, n: u64) -> Result<Self, String> {
+        if d < 2 {
+            return Err(format!("GDB requires d >= 2, got {d}"));
+        }
+        if n < 2 {
+            return Err(format!("GDB requires N >= 2, got {n}"));
+        }
+        Ok(Self { d, n })
+    }
+
+    /// The out-degree `d`.
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// The number of vertices `N`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The Imase–Itoh diameter bound `⌈log_d N⌉`.
+    pub fn diameter_bound(&self) -> usize {
+        let mut power = 1u128;
+        let mut k = 0usize;
+        while power < u128::from(self.n) {
+            power *= u128::from(self.d);
+            k += 1;
+        }
+        k
+    }
+
+    /// The `a`-th out-neighbor of `i`: `(i·d + a) mod N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N` or `a >= d`.
+    pub fn successor(&self, i: u64, a: u64) -> u64 {
+        assert!(i < self.n, "vertex {i} out of range");
+        assert!(a < self.d, "digit {a} out of range");
+        ((u128::from(i) * u128::from(self.d) + u128::from(a)) % u128::from(self.n)) as u64
+    }
+
+    /// All out-neighbors of `i`, in digit order (may repeat for `N < d`).
+    pub fn successors(&self, i: u64) -> Vec<u64> {
+        (0..self.d).map(|a| self.successor(i, a)).collect()
+    }
+
+    /// Label-based shortest-path length from `i` to `j`, without
+    /// materializing the graph: the smallest `m` with
+    /// `(j − i·d^m) mod N < d^m`.
+    ///
+    /// Runs in `O(diameter)` arithmetic operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N` or `j >= N`.
+    pub fn distance(&self, i: u64, j: u64) -> usize {
+        assert!(i < self.n && j < self.n, "vertex out of range");
+        let n = u128::from(self.n);
+        let d = u128::from(self.d);
+        let mut power = 1u128; // d^m, capped at N (enough: d^m >= N reaches all)
+        let mut shifted = u128::from(i); // i·d^m mod N
+        for m in 0..=self.diameter_bound() {
+            let offset = (u128::from(j) + n - shifted % n) % n;
+            if offset < power {
+                return m;
+            }
+            power = (power * d).min(n);
+            shifted = shifted * d % n;
+        }
+        unreachable!("d^diameter_bound >= N reaches every vertex")
+    }
+
+    /// The digit sequence of a shortest path from `i` to `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N` or `j >= N`.
+    pub fn route(&self, i: u64, j: u64) -> Vec<u64> {
+        let m = self.distance(i, j);
+        let n = u128::from(self.n);
+        let d = u128::from(self.d);
+        // offset r = (j - i·d^m) mod N, with r < d^m; digits are the
+        // base-d expansion of r (most significant first).
+        let mut shifted = u128::from(i);
+        for _ in 0..m {
+            shifted = shifted * d % n;
+        }
+        let mut r = (u128::from(j) + n - shifted) % n;
+        let mut digits = vec![0u64; m];
+        for slot in digits.iter_mut().rev() {
+            *slot = (r % d) as u64;
+            r /= d;
+        }
+        debug_assert_eq!(r, 0, "offset must fit in m digits");
+        digits
+    }
+
+    /// Applies a digit route starting at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N` or any digit `>= d`.
+    pub fn walk(&self, i: u64, route: &[u64]) -> u64 {
+        route.iter().fold(i, |v, &a| self.successor(v, a))
+    }
+
+    /// BFS distances from `src` over the materialized arcs (ground truth
+    /// for tests and the census; `O(N·d)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src >= N` or `N` does not fit in `usize`.
+    pub fn bfs_distances(&self, src: u64) -> Vec<u32> {
+        let n = usize::try_from(self.n).expect("N fits usize for BFS");
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v as usize];
+            for a in 0..self.d {
+                let w = self.successor(v, a);
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dv + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The measured diameter by all-source BFS (`O(N²·d)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `N` does not fit in `usize`.
+    pub fn measured_diameter(&self) -> usize {
+        (0..self.n)
+            .map(|src| {
+                self.bfs_distances(src)
+                    .into_iter()
+                    .max()
+                    .expect("non-empty graph")
+            })
+            .max()
+            .expect("non-empty graph") as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_debruijn_for_power_of_d() {
+        // GDB(2, 8) is DG(2,3) in rank form: distances must match
+        // Property 1.
+        use debruijn_core::{distance, Word};
+        let g = Gdb::new(2, 8).unwrap();
+        for i in 0..8u64 {
+            for j in 0..8u64 {
+                let x = Word::from_rank(2, 3, u128::from(i)).unwrap();
+                let y = Word::from_rank(2, 3, u128::from(j)).unwrap();
+                assert_eq!(
+                    g.distance(i, j),
+                    distance::directed::distance(&x, &y),
+                    "{i}->{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_distance_matches_bfs_for_many_n() {
+        for d in [2u64, 3, 5] {
+            for n in [2u64, 3, 5, 7, 12, 16, 20, 27, 30, 50] {
+                let g = Gdb::new(d, n).unwrap();
+                for i in 0..n {
+                    let bfs = g.bfs_distances(i);
+                    for j in 0..n {
+                        assert_eq!(
+                            g.distance(i, j),
+                            bfs[j as usize] as usize,
+                            "d={d} N={n} {i}->{j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_shortest_and_arrive() {
+        let g = Gdb::new(3, 25).unwrap();
+        for i in 0..25u64 {
+            for j in 0..25u64 {
+                let r = g.route(i, j);
+                assert_eq!(r.len(), g.distance(i, j), "{i}->{j}");
+                assert_eq!(g.walk(i, &r), j, "{i}->{j} via {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_meets_imase_itoh_bound() {
+        for (d, n) in [(2u64, 12u64), (2, 24), (2, 100), (3, 20), (3, 80), (4, 50)] {
+            let g = Gdb::new(d, n).unwrap();
+            let measured = g.measured_diameter();
+            assert!(
+                measured <= g.diameter_bound(),
+                "d={d} N={n}: {measured} > {}",
+                g.diameter_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn small_n_below_d_is_distance_one_everywhere() {
+        // N <= d: every vertex reaches every other in one step.
+        let g = Gdb::new(5, 4).unwrap();
+        for i in 0..4u64 {
+            for j in 0..4u64 {
+                assert!(g.distance(i, j) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn successor_arithmetic_is_mod_n() {
+        let g = Gdb::new(2, 12).unwrap();
+        assert_eq!(g.successor(7, 1), (7 * 2 + 1) % 12);
+        assert_eq!(g.successors(11), vec![10, 11]);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(Gdb::new(1, 10).is_err());
+        assert!(Gdb::new(2, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn successor_rejects_foreign_vertices() {
+        Gdb::new(2, 10).unwrap().successor(10, 0);
+    }
+}

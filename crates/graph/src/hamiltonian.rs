@@ -1,0 +1,131 @@
+//! Hamiltonian cycles of `DG(d,k)` from de Bruijn sequences.
+//!
+//! The length-`k` windows of a de Bruijn sequence `B(d,k)` visit every
+//! vertex of `DG(d,k)` exactly once, and consecutive windows differ by one
+//! left shift — a Hamiltonian cycle along directed arcs. The embeddings
+//! crate uses this to map rings and linear arrays onto the network with
+//! dilation 1.
+
+use debruijn_core::{DeBruijn, Word};
+
+use crate::euler::de_bruijn_sequence;
+
+/// A Hamiltonian cycle of `DG(d,k)`: all `d^k` vertices in cycle order;
+/// each consecutive pair (and the wrap-around pair) is a left-shift arc.
+///
+/// # Panics
+///
+/// Panics if `d^k` does not fit in `usize`.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::DeBruijn;
+/// use debruijn_graph::hamiltonian::hamiltonian_cycle;
+///
+/// let cycle = hamiltonian_cycle(DeBruijn::new(2, 3)?);
+/// assert_eq!(cycle.len(), 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn hamiltonian_cycle(space: DeBruijn) -> Vec<Word> {
+    let d = space.d();
+    let k = space.k();
+    let seq = de_bruijn_sequence(d, k);
+    let n = seq.len();
+    (0..n)
+        .map(|i| {
+            let digits: Vec<u8> = (0..k).map(|j| seq[(i + j) % n]).collect();
+            Word::new(d, digits).expect("sequence digits are below d")
+        })
+        .collect()
+}
+
+/// Verifies that `cycle` is a Hamiltonian cycle of `space` along directed
+/// (left-shift) arcs.
+pub fn is_hamiltonian_cycle(space: DeBruijn, cycle: &[Word]) -> bool {
+    let Some(n) = space.order_usize() else {
+        return false;
+    };
+    if cycle.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for w in cycle {
+        if !space.contains(w) {
+            return false;
+        }
+        let rank = w.rank() as usize;
+        if seen[rank] {
+            return false;
+        }
+        seen[rank] = true;
+    }
+    // Consecutive (and wrap-around) pairs must be left shifts.
+    for i in 0..cycle.len() {
+        let v = &cycle[i];
+        let w = &cycle[(i + 1) % cycle.len()];
+        let appended = *w.digits().last().expect("k >= 1");
+        if &v.shift_left(appended) != w {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_are_hamiltonian_across_parameters() {
+        for (d, k) in [(2u8, 1usize), (2, 2), (2, 3), (2, 6), (3, 2), (3, 3), (4, 2)] {
+            let space = DeBruijn::new(d, k).unwrap();
+            let cycle = hamiltonian_cycle(space);
+            assert!(is_hamiltonian_cycle(space, &cycle), "d={d} k={k}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_truncated_cycles() {
+        let space = DeBruijn::new(2, 3).unwrap();
+        let mut cycle = hamiltonian_cycle(space);
+        cycle.pop();
+        assert!(!is_hamiltonian_cycle(space, &cycle));
+    }
+
+    #[test]
+    fn validator_rejects_duplicated_vertices() {
+        let space = DeBruijn::new(2, 3).unwrap();
+        let mut cycle = hamiltonian_cycle(space);
+        let first = cycle[0].clone();
+        let len = cycle.len();
+        cycle[len - 1] = first;
+        assert!(!is_hamiltonian_cycle(space, &cycle));
+    }
+
+    #[test]
+    fn validator_rejects_non_shift_transitions() {
+        let space = DeBruijn::new(2, 2).unwrap();
+        // All four vertices but in a non-shift order.
+        let words: Vec<Word> = ["00", "11", "01", "10"]
+            .iter()
+            .map(|s| Word::parse(2, s).unwrap())
+            .collect();
+        assert!(!is_hamiltonian_cycle(space, &words));
+    }
+
+    #[test]
+    fn cycle_edges_exist_in_directed_graph() {
+        use crate::adjacency::DebruijnGraph;
+        let space = DeBruijn::new(3, 3).unwrap();
+        let g = DebruijnGraph::directed(space).unwrap();
+        let cycle = hamiltonian_cycle(space);
+        for i in 0..cycle.len() {
+            let a = g.rank_of(&cycle[i]);
+            let b = g.rank_of(&cycle[(i + 1) % cycle.len()]);
+            // Self-loops were reduced away; a Hamiltonian cycle cannot use
+            // them anyway since vertices repeat.
+            assert!(g.has_edge(a, b), "missing arc {} -> {}", cycle[i], cycle[(i + 1) % cycle.len()]);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Explicit-graph substrate for de Bruijn networks.
+//!
+//! The routing paper never materializes the graph — its algorithms run in
+//! `O(k)` on the vertex *labels*. This crate materializes `DG(d,k)` anyway,
+//! for three reasons:
+//!
+//! 1. **baselines** — breadth-first search is the classical way a router
+//!    would compute shortest paths, and the benchmarks compare the paper's
+//!    label algorithms against it ([`bfs`]);
+//! 2. **verification** — every distance-function claim is cross-checked
+//!    against BFS, and every §1 structural claim (diameter `k`, the degree
+//!    census, connectivity) against the real adjacency ([`census`],
+//!    [`diameter`], [`connectivity`]);
+//! 3. **fault tolerance & extensions** — fault-avoiding reroutes
+//!    ([`fault`]), vertex-disjoint paths ([`disjoint`]), Eulerian circuits
+//!    and de Bruijn sequences ([`euler`]), and Hamiltonian cycles
+//!    ([`hamiltonian`]), which the embeddings crate builds on.
+//!
+//! # Example
+//!
+//! ```
+//! use debruijn_core::DeBruijn;
+//! use debruijn_graph::DebruijnGraph;
+//!
+//! let g = DebruijnGraph::undirected(DeBruijn::new(2, 3)?)?;
+//! assert_eq!(g.node_count(), 8);
+//! assert_eq!(debruijn_graph::diameter::diameter(&g), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod adjacency;
+pub mod bfs;
+pub mod broadcast;
+pub mod census;
+pub mod connectivity;
+pub mod diameter;
+pub mod disjoint;
+pub mod error;
+pub mod euler;
+pub mod fault;
+pub mod generalized;
+pub mod hamiltonian;
+pub mod kautz;
+pub mod tables;
+pub mod line_graph;
+
+pub use adjacency::DebruijnGraph;
+pub use error::GraphError;

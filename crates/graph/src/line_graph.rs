@@ -1,0 +1,161 @@
+//! The iterated line-digraph characterization of de Bruijn graphs.
+//!
+//! De Bruijn's classical observation: `DG(d, k+1)` is the **line digraph**
+//! of `DG(d, k)` — every arc `U → V` of `DG(d,k)` (i.e. `V = U⁻(a)`)
+//! becomes the vertex `u_1 … u_k a` of `DG(d, k+1)`, and arcs of the line
+//! digraph (consecutive arc pairs) become exactly the left shifts one
+//! level up. This is why the whole family inherits fixed degree and
+//! +1-diameter per level, the property §1 leans on. This module computes
+//! line digraphs generically and verifies the isomorphism explicitly.
+
+use debruijn_core::{DeBruijn, Word};
+
+use crate::adjacency::DebruijnGraph;
+
+/// A generic directed graph given by adjacency lists, as produced by
+/// [`line_digraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Digraph {
+    /// `adjacency[v]` lists the out-neighbors of `v`, sorted.
+    pub adjacency: Vec<Vec<u32>>,
+}
+
+impl Digraph {
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+}
+
+/// Computes the line digraph `L(G)`: one vertex per arc of `G`, and an
+/// arc from `(u→v)` to `(v→w)` for every consecutive arc pair.
+///
+/// Returns the digraph together with the arc list indexing its vertices
+/// (`arcs[i]` is the `G`-arc that became line-vertex `i`).
+pub fn line_digraph(graph: &DebruijnGraph) -> (Digraph, Vec<(u32, u32)>) {
+    let mut arcs: Vec<(u32, u32)> = Vec::with_capacity(graph.adjacency_count());
+    // arc_ids_from[v] = indices of arcs leaving v.
+    let mut arc_ids_from: Vec<Vec<u32>> = vec![Vec::new(); graph.node_count()];
+    for u in graph.nodes() {
+        for &v in graph.neighbors(u) {
+            arc_ids_from[u as usize].push(arcs.len() as u32);
+            arcs.push((u, v));
+        }
+    }
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); arcs.len()];
+    for (id, &(_, v)) in arcs.iter().enumerate() {
+        let mut outs = arc_ids_from[v as usize].clone();
+        outs.sort_unstable();
+        adjacency[id] = outs;
+    }
+    (Digraph { adjacency }, arcs)
+}
+
+/// Checks that `L(DG(d,k))` is isomorphic to `DG(d,k+1)` under the
+/// canonical map `(U → U⁻(a))  ↦  u_1…u_k a`, modulo the self-loop
+/// reduction: the materialized graphs drop loops, so the `d` loop arcs of
+/// `DG(d,k)` and the `d` loop vertices' missing arcs in `DG(d,k+1)` are
+/// accounted for explicitly.
+///
+/// Returns an error message describing the first discrepancy.
+pub fn verify_line_digraph_property(d: u8, k: usize) -> Result<(), String> {
+    let small = DeBruijn::new(d, k).map_err(|e| e.to_string())?;
+    let big = DeBruijn::new(d, k + 1).map_err(|e| e.to_string())?;
+    let small_graph = DebruijnGraph::directed(small).map_err(|e| e.to_string())?;
+    let big_graph = DebruijnGraph::directed(big).map_err(|e| e.to_string())?;
+    let (line, arcs) = line_digraph(&small_graph);
+
+    // Map each line-vertex (arc u→v with v = u⁻(a)) to the (k+1)-word
+    // u_1…u_k a.
+    let to_big = |&(u, v): &(u32, u32)| -> Result<u32, String> {
+        let uw = small_graph.word_of(u);
+        let vw = small_graph.word_of(v);
+        let a = *vw.digits().last().expect("k >= 1");
+        if uw.shift_left(a) != vw {
+            return Err(format!("arc {uw}->{vw} is not a left shift"));
+        }
+        let mut digits = uw.digits().to_vec();
+        digits.push(a);
+        let word = Word::new(d, digits).map_err(|e| e.to_string())?;
+        Ok(big_graph.rank_of(&word))
+    };
+
+    let mut image: Vec<u32> = Vec::with_capacity(arcs.len());
+    for arc in &arcs {
+        image.push(to_big(arc)?);
+    }
+    // Injectivity (distinct arcs → distinct (k+1)-words).
+    let mut sorted = image.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != arcs.len() {
+        return Err("canonical map is not injective".into());
+    }
+    // The image misses exactly the d uniform words (their loops were
+    // reduced away in DG(d,k)).
+    let missing = big_graph.node_count() - arcs.len();
+    if missing != d as usize {
+        return Err(format!("expected {d} missing loop-words, found {missing}"));
+    }
+
+    // Arc correspondence: line arcs map exactly onto big-graph arcs
+    // between image vertices.
+    for (id, outs) in line.adjacency.iter().enumerate() {
+        let from_big = image[id];
+        let mut got: Vec<u32> = outs.iter().map(|&o| image[o as usize]).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = big_graph
+            .neighbors(from_big)
+            .iter()
+            .copied()
+            .filter(|w| sorted.binary_search(w).is_ok())
+            .collect();
+        want.sort_unstable();
+        if got != want {
+            return Err(format!(
+                "arc mismatch at line-vertex {id}: {got:?} vs {want:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_digraph_counts_are_consistent() {
+        let g = DebruijnGraph::directed(DeBruijn::new(2, 3).unwrap()).unwrap();
+        let (line, arcs) = line_digraph(&g);
+        assert_eq!(line.node_count(), g.adjacency_count());
+        assert_eq!(line.node_count(), arcs.len());
+        // Each line vertex (u→v) has out-degree = out-degree of v.
+        for (id, &(_, v)) in arcs.iter().enumerate() {
+            assert_eq!(line.adjacency[id].len(), g.neighbors(v).len());
+        }
+    }
+
+    #[test]
+    fn debruijn_is_its_own_line_digraph_family() {
+        for (d, k) in [(2u8, 2usize), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2)] {
+            verify_line_digraph_property(d, k)
+                .unwrap_or_else(|e| panic!("d={d} k={k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn arc_count_matches_next_level_vertex_count_minus_loops() {
+        // |arcs(DG(d,k))| (loops removed) = d^{k+1} − d.
+        for (d, k) in [(2u8, 3usize), (3, 2)] {
+            let g = DebruijnGraph::directed(DeBruijn::new(d, k).unwrap()).unwrap();
+            let expect = (d as usize).pow((k + 1) as u32) - d as usize;
+            assert_eq!(g.adjacency_count(), expect);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Precomputed routing tables: the memory-heavy alternative the paper's
+//! label algorithms make unnecessary.
+//!
+//! A classical router stores, for every (source, destination) pair, the
+//! next hop — `Θ(N²)` memory and `Θ(N²·d)` preprocessing, against the
+//! paper's `O(k)`-per-route label algorithms with zero state. This module
+//! implements the tables honestly (they are the right choice for tiny
+//! networks and irregular topologies) so the trade-off can be measured;
+//! the `ablation_representations` bench times both.
+
+use std::collections::VecDeque;
+
+use crate::adjacency::DebruijnGraph;
+
+/// All-pairs next-hop tables for one materialized graph.
+#[derive(Debug, Clone)]
+pub struct RoutingTables {
+    n: usize,
+    /// `next[src·n + dst]` = next node from `src` toward `dst`
+    /// (`u32::MAX` on the diagonal).
+    next: Vec<u32>,
+}
+
+impl RoutingTables {
+    /// Builds the tables with one reverse BFS per destination
+    /// (`O(N²·d)` time, `O(N²)` memory).
+    pub fn build(graph: &DebruijnGraph) -> Self {
+        let n = graph.node_count();
+        // Predecessor lists (for directed graphs BFS must run on the
+        // transpose to get distances *toward* the destination).
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for u in graph.nodes() {
+            for &v in graph.neighbors(u) {
+                preds[v as usize].push(u);
+            }
+        }
+        let mut next = vec![u32::MAX; n * n];
+        let mut dist = vec![u32::MAX; n];
+        for dst in graph.nodes() {
+            dist.fill(u32::MAX);
+            let mut queue = VecDeque::new();
+            dist[dst as usize] = 0;
+            queue.push_back(dst);
+            while let Some(v) = queue.pop_front() {
+                for &p in &preds[v as usize] {
+                    if dist[p as usize] == u32::MAX {
+                        dist[p as usize] = dist[v as usize] + 1;
+                        queue.push_back(p);
+                    }
+                }
+            }
+            for src in graph.nodes() {
+                if src == dst || dist[src as usize] == u32::MAX {
+                    continue;
+                }
+                // Deterministic choice: the smallest-id neighbor that
+                // makes progress.
+                let hop = graph
+                    .neighbors(src)
+                    .iter()
+                    .copied()
+                    .filter(|&w| dist[w as usize] != u32::MAX)
+                    .filter(|&w| dist[w as usize] + 1 == dist[src as usize])
+                    .min()
+                    .expect("some neighbor lies on a shortest path");
+                next[src as usize * n + dst as usize] = hop;
+            }
+        }
+        Self { n, next }
+    }
+
+    /// The next hop from `src` toward `dst`; `None` when `src == dst` or
+    /// `dst` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range.
+    pub fn next_hop(&self, src: u32, dst: u32) -> Option<u32> {
+        assert!((src as usize) < self.n && (dst as usize) < self.n, "node out of range");
+        match self.next[src as usize * self.n + dst as usize] {
+            u32::MAX => None,
+            hop => Some(hop),
+        }
+    }
+
+    /// The full table-driven route as a node sequence (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range or the table is corrupt
+    /// (no progress).
+    pub fn route(&self, src: u32, dst: u32) -> Option<Vec<u32>> {
+        assert!((src as usize) < self.n && (dst as usize) < self.n, "node out of range");
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let hop = self.next_hop(cur, dst)?;
+            cur = hop;
+            path.push(cur);
+            assert!(path.len() <= self.n, "routing table contains a loop");
+        }
+        Some(path)
+    }
+
+    /// Bytes of table state (the `Θ(N²)` the label algorithms avoid).
+    pub fn memory_bytes(&self) -> usize {
+        self.next.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use debruijn_core::DeBruijn;
+
+    fn graphs() -> Vec<DebruijnGraph> {
+        vec![
+            DebruijnGraph::undirected(DeBruijn::new(2, 4).unwrap()).unwrap(),
+            DebruijnGraph::directed(DeBruijn::new(2, 4).unwrap()).unwrap(),
+            DebruijnGraph::undirected(DeBruijn::new(3, 2).unwrap()).unwrap(),
+            DebruijnGraph::directed(DeBruijn::new(3, 2).unwrap()).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn table_routes_are_shortest_everywhere() {
+        for g in graphs() {
+            let tables = RoutingTables::build(&g);
+            for src in g.nodes() {
+                let dist = bfs::distances(&g, src);
+                for dst in g.nodes() {
+                    let route = tables.route(src, dst).expect("strongly connected");
+                    assert_eq!(
+                        route.len() - 1,
+                        dist[dst as usize] as usize,
+                        "{src}->{dst}"
+                    );
+                    for w in route.windows(2) {
+                        assert!(g.has_edge(w[0], w[1]), "table route uses a non-edge");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_has_no_next_hop() {
+        let g = DebruijnGraph::undirected(DeBruijn::new(2, 3).unwrap()).unwrap();
+        let tables = RoutingTables::build(&g);
+        for v in g.nodes() {
+            assert_eq!(tables.next_hop(v, v), None);
+            assert_eq!(tables.route(v, v), Some(vec![v]));
+        }
+    }
+
+    #[test]
+    fn memory_grows_quadratically() {
+        let small = RoutingTables::build(
+            &DebruijnGraph::undirected(DeBruijn::new(2, 3).unwrap()).unwrap(),
+        );
+        let large = RoutingTables::build(
+            &DebruijnGraph::undirected(DeBruijn::new(2, 5).unwrap()).unwrap(),
+        );
+        assert_eq!(small.memory_bytes(), 8 * 8 * 4);
+        assert_eq!(large.memory_bytes(), 32 * 32 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_nodes() {
+        let g = DebruijnGraph::undirected(DeBruijn::new(2, 2).unwrap()).unwrap();
+        RoutingTables::build(&g).next_hop(9, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The paper's five-field message format.
+//!
+//! §3: *"when a message is generated, it is composed of five fields:
+//! control code, source address, destination address, routing path, and
+//! the message content."* A forwarding site pops the first `(a, b)` pair
+//! from the routing-path field and transmits to the selected neighbor; a
+//! site receiving a message with an empty routing path accepts it.
+
+use debruijn_core::{Digit, RoutePath, ShiftKind, Word};
+
+/// The control-code field. The paper leaves its values open; the simulator
+/// uses [`ControlCode::Data`] for payload traffic and keeps the other
+/// variants for protocol extensions (they are exercised in tests and by
+/// the examples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ControlCode {
+    /// Ordinary payload-bearing message.
+    #[default]
+    Data,
+    /// Network-management ping used by fault detection examples.
+    Probe,
+    /// Acknowledgement traveling back to a source.
+    Ack,
+}
+
+/// A message in flight, carrying the paper's five fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Field 1: the control code.
+    pub control: ControlCode,
+    /// Field 2: the source address.
+    pub source: Word,
+    /// Field 3: the destination address.
+    pub destination: Word,
+    /// Field 4: the routing path — remaining `(a, b)` pairs.
+    pub route: RoutePath,
+    /// Field 5: the message content.
+    pub payload: Vec<u8>,
+}
+
+impl Message {
+    /// Creates a data message with the given route.
+    pub fn data(source: Word, destination: Word, route: RoutePath) -> Self {
+        Self {
+            control: ControlCode::Data,
+            source,
+            destination,
+            route,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Whether the routing-path field is exhausted (message is at its
+    /// destination per the paper's acceptance rule).
+    pub fn is_arrived(&self) -> bool {
+        self.route.is_empty()
+    }
+
+    /// Pops the first routing step, returning it and the shortened
+    /// message; `None` if the route is empty.
+    ///
+    /// This is the paper's forwarding rule: *"the site removes the first
+    /// element (pair) from the field and transmits the message to the
+    /// neighbor"*.
+    pub fn pop_step(mut self) -> Option<(PoppedStep, Message)> {
+        if self.route.is_empty() {
+            return None;
+        }
+        let mut steps = self.route.steps().to_vec();
+        let first = steps.remove(0);
+        self.route = RoutePath::new(steps);
+        Some((
+            PoppedStep { shift: first.shift, digit: first.digit },
+            self,
+        ))
+    }
+}
+
+/// The `(a, b)` pair removed from a message's routing-path field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoppedStep {
+    /// Neighbor type (`a`): left or right shift.
+    pub shift: ShiftKind,
+    /// Neighbor selector (`b`): exact digit or wildcard.
+    pub digit: Digit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debruijn_core::Step;
+
+    fn w(s: &str) -> Word {
+        Word::parse(2, s).unwrap()
+    }
+
+    #[test]
+    fn empty_route_means_arrived() {
+        let m = Message::data(w("00"), w("00"), RoutePath::empty());
+        assert!(m.is_arrived());
+        assert!(m.pop_step().is_none());
+    }
+
+    #[test]
+    fn pop_step_consumes_in_order() {
+        let route = RoutePath::new(vec![Step::left(1), Step::right(0)]);
+        let m = Message::data(w("00"), w("10"), route);
+        let (s1, m) = m.pop_step().unwrap();
+        assert_eq!(s1.shift, ShiftKind::Left);
+        let (s2, m) = m.pop_step().unwrap();
+        assert_eq!(s2.shift, ShiftKind::Right);
+        assert!(m.is_arrived());
+    }
+
+    #[test]
+    fn popping_preserves_other_fields() {
+        let route = RoutePath::new(vec![Step::left(1)]);
+        let mut m = Message::data(w("01"), w("11"), route);
+        m.payload = vec![1, 2, 3];
+        m.control = ControlCode::Probe;
+        let (_, m2) = m.clone().pop_step().unwrap();
+        assert_eq!(m2.payload, m.payload);
+        assert_eq!(m2.control, m.control);
+        assert_eq!(m2.source, m.source);
+        assert_eq!(m2.destination, m.destination);
+    }
+}

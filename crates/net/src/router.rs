@@ -1,0 +1,132 @@
+//! Source-routing strategies: which algorithm fills the routing-path
+//! field.
+
+use debruijn_core::{routing, RoutePath, Word};
+
+/// The algorithm a source node uses to compute the routing-path field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RouterKind {
+    /// The always-`k`-hops left-shift route (baseline; works in both the
+    /// uni- and bi-directional network).
+    Trivial,
+    /// The paper's Algorithm 1: optimal in the uni-directional network.
+    Algorithm1,
+    /// The paper's Algorithm 2: optimal in the bi-directional network,
+    /// `O(k²)` route computation.
+    #[default]
+    Algorithm2,
+    /// The paper's Algorithm 4: optimal in the bi-directional network,
+    /// `O(k)` route computation via suffix trees.
+    Algorithm4,
+    /// Multipath: the source picks uniformly at random among *all*
+    /// shortest routes (`routing::all_shortest_routes`) — path diversity
+    /// on top of the wildcard freedom. Outside the simulator (where the
+    /// seeded RNG lives), [`RouterKind::route`] deterministically returns
+    /// the Algorithm 2 representative.
+    Multipath,
+}
+
+impl RouterKind {
+    /// Computes the routing path from `x` to `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words are not in the same `DG(d,k)`.
+    pub fn route(&self, x: &Word, y: &Word) -> RoutePath {
+        match self {
+            RouterKind::Trivial => {
+                if x == y {
+                    RoutePath::empty()
+                } else {
+                    routing::trivial_route(y)
+                }
+            }
+            RouterKind::Algorithm1 => routing::algorithm1(x, y),
+            RouterKind::Algorithm2 | RouterKind::Multipath => routing::algorithm2(x, y),
+            RouterKind::Algorithm4 => routing::algorithm4(x, y),
+        }
+    }
+
+    /// Whether the routes may use right shifts (requires the
+    /// bi-directional network).
+    pub fn needs_bidirectional(&self) -> bool {
+        matches!(
+            self,
+            RouterKind::Algorithm2 | RouterKind::Algorithm4 | RouterKind::Multipath
+        )
+    }
+
+    /// Human-readable name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterKind::Trivial => "trivial",
+            RouterKind::Algorithm1 => "algorithm-1",
+            RouterKind::Algorithm2 => "algorithm-2",
+            RouterKind::Algorithm4 => "algorithm-4",
+            RouterKind::Multipath => "multipath",
+        }
+    }
+
+    /// The four single-path strategies, in a stable order (used by the E6
+    /// sweep); [`RouterKind::Multipath`] is compared separately in E7.
+    pub fn all() -> [RouterKind; 4] {
+        [
+            RouterKind::Trivial,
+            RouterKind::Algorithm1,
+            RouterKind::Algorithm2,
+            RouterKind::Algorithm4,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debruijn_core::{distance, DeBruijn};
+
+    #[test]
+    fn all_routers_produce_valid_routes() {
+        let g = DeBruijn::new(2, 4).unwrap();
+        for x in g.vertices() {
+            for y in g.vertices() {
+                for r in RouterKind::all() {
+                    let p = r.route(&x, &y);
+                    assert!(p.leads_to(&x, &y), "{} failed {x}->{y}", r.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_routers_match_their_distances() {
+        let g = DeBruijn::new(3, 3).unwrap();
+        for x in g.vertices() {
+            for y in g.vertices() {
+                assert_eq!(
+                    RouterKind::Algorithm1.route(&x, &y).len(),
+                    distance::directed::distance(&x, &y)
+                );
+                let und = distance::undirected::distance(&x, &y);
+                assert_eq!(RouterKind::Algorithm2.route(&x, &y).len(), und);
+                assert_eq!(RouterKind::Algorithm4.route(&x, &y).len(), und);
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_routes_are_k_hops_unless_self() {
+        let g = DeBruijn::new(2, 5).unwrap();
+        let x = g.word_from_rank(3).unwrap();
+        let y = g.word_from_rank(17).unwrap();
+        assert_eq!(RouterKind::Trivial.route(&x, &y).len(), 5);
+        assert!(RouterKind::Trivial.route(&x, &x).is_empty());
+    }
+
+    #[test]
+    fn bidirectional_flag_is_consistent() {
+        assert!(!RouterKind::Trivial.needs_bidirectional());
+        assert!(!RouterKind::Algorithm1.needs_bidirectional());
+        assert!(RouterKind::Algorithm2.needs_bidirectional());
+        assert!(RouterKind::Algorithm4.needs_bidirectional());
+    }
+}

@@ -1,0 +1,1015 @@
+//! The discrete-event simulation engine.
+//!
+//! Store-and-forward semantics: each directed link is a FIFO server with a
+//! `service` time (occupancy per message) and a `latency` (propagation).
+//! A forwarding node pops the first routing step, resolves any wildcard
+//! under the configured [`WildcardPolicy`], and hands the message to the
+//! selected link; the message arrives at the neighbor when the link has
+//! served it. Everything is deterministic given [`SimConfig::seed`].
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::error::Error as StdError;
+use std::fmt;
+
+use debruijn_core::{DeBruijn, Digit, RoutePath, ShiftKind, Word};
+use debruijn_graph::{fault, DebruijnGraph, GraphError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::message::Message;
+use crate::policy::WildcardPolicy;
+use crate::router::RouterKind;
+use crate::stats::SimReport;
+
+/// Timing parameters of every link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Propagation delay added after service, in ticks.
+    pub latency: u64,
+    /// Occupancy per message: the link serves one message per `service`
+    /// ticks.
+    pub service: u64,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        Self { latency: 1, service: 1 }
+    }
+}
+
+/// What happens when a route runs into a faulty node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultHandling {
+    /// The message is lost at the hop into the faulty node (no global
+    /// fault knowledge).
+    #[default]
+    Drop,
+    /// Sources know the fault set and compute fault-avoiding shortest
+    /// routes (BFS on the surviving graph); messages are only lost if the
+    /// destination itself is faulty or the fault set cuts the network.
+    SourceReroute,
+}
+
+/// Where routes are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ForwardingMode {
+    /// §3's protocol: the source computes the whole routing path; each
+    /// hop pops one `(a, b)` pair.
+    #[default]
+    SourceRouted,
+    /// Distributed self-routing: the message carries only its
+    /// destination; every node recomputes a shortest route *from itself*
+    /// and takes its first step. Hop counts are identical to source
+    /// routing (the first step of a shortest path reduces the distance by
+    /// one), but the route computation burden moves into the network —
+    /// an ablation of the paper's source-routed design. Combined with
+    /// [`FaultHandling::SourceReroute`] the recomputation happens per hop,
+    /// giving distributed fault avoidance.
+    HopByHop,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Which algorithm sources use to fill the routing-path field.
+    pub router: RouterKind,
+    /// How forwarding nodes resolve wildcard steps.
+    pub policy: WildcardPolicy,
+    /// Link timing.
+    pub link: LinkParams,
+    /// Fault-handling mode.
+    pub fault_handling: FaultHandling,
+    /// Where routes are computed.
+    pub forwarding: ForwardingMode,
+    /// Seed for the (deterministic) random wildcard policy.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            router: RouterKind::default(),
+            policy: WildcardPolicy::default(),
+            link: LinkParams::default(),
+            fault_handling: FaultHandling::default(),
+            forwarding: ForwardingMode::default(),
+            seed: 0xDEB1,
+        }
+    }
+}
+
+/// One traffic demand: inject a message at `time` from `source` to
+/// `destination`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    /// Injection tick.
+    pub time: u64,
+    /// Source address.
+    pub source: Word,
+    /// Destination address.
+    pub destination: Word,
+}
+
+/// Errors configuring a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A word does not belong to the simulated space.
+    ForeignWord {
+        /// Display form of the offending word.
+        word: String,
+    },
+    /// Source rerouting requires the explicit graph, which is too large.
+    Graph(GraphError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::ForeignWord { word } => {
+                write!(f, "word {word} is not a vertex of the simulated network")
+            }
+            NetError::Graph(e) => write!(f, "cannot materialize reroute graph: {e}"),
+        }
+    }
+}
+
+impl StdError for NetError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            NetError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for NetError {
+    fn from(e: GraphError) -> Self {
+        NetError::Graph(e)
+    }
+}
+
+/// One entry of a simulation trace (see [`Simulation::run_traced`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulator time of the event.
+    pub time: u64,
+    /// Index of the message in the injected traffic.
+    pub message: usize,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The kind of a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The message entered the network at its source.
+    Injected {
+        /// Source address.
+        at: Word,
+    },
+    /// The message was handed to the link `from → to`; it departs the
+    /// link at `departs` (after any queueing) and arrives `latency`
+    /// later.
+    Forwarded {
+        /// Transmitting node.
+        from: Word,
+        /// Receiving node.
+        to: Word,
+        /// Time the link starts serving the message.
+        departs: u64,
+    },
+    /// The message was accepted at its destination.
+    Delivered,
+    /// The message was lost (fault on the path or unreachable).
+    Dropped,
+}
+
+/// A configured de Bruijn network simulation.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Simulation {
+    space: DeBruijn,
+    config: SimConfig,
+    faults: HashSet<Word>,
+    /// Faulty directed links, by endpoint ranks.
+    link_faults: HashSet<(u128, u128)>,
+    /// The same faulty links as words (for reroute queries).
+    link_fault_words: Vec<(Word, Word)>,
+    /// Materialized graph for source rerouting (built only when needed).
+    reroute_graph: Option<DebruijnGraph>,
+}
+
+impl Simulation {
+    /// Creates a fault-free simulation of `DN(d,k)`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, but returns `Result` so configurations that
+    /// need materialized state (see [`Simulation::with_faults`]) share the
+    /// signature.
+    pub fn new(space: DeBruijn, config: SimConfig) -> Result<Self, NetError> {
+        Ok(Self {
+            space,
+            config,
+            faults: HashSet::new(),
+            link_faults: HashSet::new(),
+            link_fault_words: Vec::new(),
+            reroute_graph: None,
+        })
+    }
+
+    /// Declares the given nodes faulty.
+    ///
+    /// Under [`FaultHandling::SourceReroute`] this materializes the
+    /// explicit graph for BFS rerouting.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a fault word is not in the simulated space, or
+    /// if rerouting is requested and the graph cannot be materialized.
+    pub fn with_faults(mut self, faults: Vec<Word>) -> Result<Self, NetError> {
+        for f in &faults {
+            if !self.space.contains(f) {
+                return Err(NetError::ForeignWord { word: f.to_string() });
+            }
+        }
+        self.faults = faults.into_iter().collect();
+        self.materialize_if_rerouting()?;
+        Ok(self)
+    }
+
+    /// Declares the given **directed links** faulty: a message handed to
+    /// a dead link is lost (under [`FaultHandling::Drop`]) or routed
+    /// around at the source (under [`FaultHandling::SourceReroute`]).
+    /// For a fully dead bidirectional link, list both directions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is not in the simulated space, or
+    /// if rerouting is requested and the graph cannot be materialized.
+    pub fn with_link_faults(mut self, links: Vec<(Word, Word)>) -> Result<Self, NetError> {
+        for (a, b) in &links {
+            if !self.space.contains(a) {
+                return Err(NetError::ForeignWord { word: a.to_string() });
+            }
+            if !self.space.contains(b) {
+                return Err(NetError::ForeignWord { word: b.to_string() });
+            }
+        }
+        self.link_faults = links.iter().map(|(a, b)| (a.rank(), b.rank())).collect();
+        self.link_fault_words = links;
+        self.materialize_if_rerouting()?;
+        Ok(self)
+    }
+
+    fn materialize_if_rerouting(&mut self) -> Result<(), NetError> {
+        if self.config.fault_handling == FaultHandling::SourceReroute
+            && (!self.faults.is_empty() || !self.link_faults.is_empty())
+            && self.reroute_graph.is_none()
+        {
+            let graph = if self.config.router.needs_bidirectional() {
+                DebruijnGraph::undirected(self.space)?
+            } else {
+                DebruijnGraph::directed(self.space)?
+            };
+            self.reroute_graph = Some(graph);
+        }
+        Ok(())
+    }
+
+    /// The simulated parameter space.
+    pub fn space(&self) -> DeBruijn {
+        self.space
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the simulation over the given traffic, returning aggregate
+    /// statistics. Deterministic for a fixed config and traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an injection references a word outside the simulated
+    /// space.
+    pub fn run(&self, traffic: &[Injection]) -> SimReport {
+        self.run_impl(traffic, None)
+    }
+
+    /// Like [`Simulation::run`], but also records a full event trace
+    /// (injections, per-link forwards with departure times, deliveries,
+    /// drops). Used by debugging tools and the FIFO-invariant tests;
+    /// traces grow with total hop count, so prefer [`Simulation::run`]
+    /// for large workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an injection references a word outside the simulated
+    /// space.
+    pub fn run_traced(&self, traffic: &[Injection]) -> (SimReport, Vec<TraceEvent>) {
+        let mut trace = Vec::new();
+        let report = self.run_impl(traffic, Some(&mut trace));
+        (report, trace)
+    }
+
+    fn run_impl(
+        &self,
+        traffic: &[Injection],
+        mut trace: Option<&mut Vec<TraceEvent>>,
+    ) -> SimReport {
+        let mut report = SimReport { total_links: self.count_links(), ..SimReport::default() };
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Per-link FIFO state: next time the link is free.
+        let mut link_free: HashMap<(u128, u128), u64> = HashMap::new();
+        // Round-robin counters per node.
+        let mut rr: HashMap<u128, u8> = HashMap::new();
+
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut pending: HashMap<u64, Flight> = HashMap::new();
+        let mut seq: u64 = 0;
+
+        for (index, inj) in traffic.iter().enumerate() {
+            assert!(
+                self.space.contains(&inj.source) && self.space.contains(&inj.destination),
+                "injection endpoints must be vertices of the simulated space"
+            );
+            report.injected += 1;
+            if self.faults.contains(&inj.source) {
+                report.dropped += 1;
+                if let Some(trace) = trace.as_deref_mut() {
+                    trace.push(TraceEvent {
+                        time: inj.time,
+                        message: index,
+                        kind: TraceKind::Dropped,
+                    });
+                }
+                continue;
+            }
+            let route = match self.config.forwarding {
+                ForwardingMode::HopByHop => RoutePath::empty(),
+                ForwardingMode::SourceRouted => {
+                    match self.initial_route(&inj.source, &inj.destination, &mut rng) {
+                        Some(r) => r,
+                        None => {
+                            report.dropped += 1;
+                            if let Some(trace) = trace.as_deref_mut() {
+                                trace.push(TraceEvent {
+                                    time: inj.time,
+                                    message: index,
+                                    kind: TraceKind::Dropped,
+                                });
+                            }
+                            continue;
+                        }
+                    }
+                }
+            };
+            let msg = Message::data(inj.source.clone(), inj.destination.clone(), route);
+            let flight = Flight {
+                index,
+                at: inj.source.clone(),
+                msg,
+                injected_at: inj.time,
+                hops: 0,
+            };
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.push(TraceEvent {
+                    time: inj.time,
+                    message: index,
+                    kind: TraceKind::Injected { at: inj.source.clone() },
+                });
+            }
+            pending.insert(seq, flight);
+            heap.push(Reverse((inj.time, seq)));
+            seq += 1;
+        }
+
+        while let Some(Reverse((now, id))) = heap.pop() {
+            let flight = pending.remove(&id).expect("event for live flight");
+            let Flight { index, at, msg, injected_at, hops } = flight;
+
+            if self.faults.contains(&at) {
+                report.dropped += 1;
+                if let Some(trace) = trace.as_deref_mut() {
+                    trace.push(TraceEvent { time: now, message: index, kind: TraceKind::Dropped });
+                }
+                continue;
+            }
+            let arrived = match self.config.forwarding {
+                ForwardingMode::SourceRouted => msg.is_arrived(),
+                ForwardingMode::HopByHop => at == msg.destination,
+            };
+            if arrived {
+                debug_assert_eq!(at, msg.destination, "route must end at destination");
+                report.delivered += 1;
+                report.total_hops += hops as u64;
+                *report.hop_histogram.entry(hops).or_insert(0) += 1;
+                let latency = now - injected_at;
+                report.latency_total += latency;
+                report.latency_max = report.latency_max.max(latency);
+                report.makespan = report.makespan.max(now);
+                if let Some(trace) = trace.as_deref_mut() {
+                    trace.push(TraceEvent {
+                        time: now,
+                        message: index,
+                        kind: TraceKind::Delivered,
+                    });
+                }
+                continue;
+            }
+
+            let (step, msg) = match self.config.forwarding {
+                ForwardingMode::SourceRouted => {
+                    let (popped, rest) = msg.pop_step().expect("non-empty route");
+                    (popped, rest)
+                }
+                ForwardingMode::HopByHop => {
+                    // Recompute a shortest (possibly fault-avoiding) route
+                    // from here and take only its first step.
+                    match self.initial_route(&at, &msg.destination, &mut rng) {
+                        Some(route) if !route.is_empty() => {
+                            let first = route.steps()[0];
+                            (
+                                crate::message::PoppedStep {
+                                    shift: first.shift,
+                                    digit: first.digit,
+                                },
+                                msg,
+                            )
+                        }
+                        _ => {
+                            // Destination unreachable from here.
+                            report.dropped += 1;
+                            if let Some(trace) = trace.as_deref_mut() {
+                                trace.push(TraceEvent {
+                                    time: now,
+                                    message: index,
+                                    kind: TraceKind::Dropped,
+                                });
+                            }
+                            continue;
+                        }
+                    }
+                }
+            };
+            let digit = self.resolve_digit(
+                &at,
+                step.shift,
+                step.digit,
+                &link_free,
+                &mut rr,
+                &mut rng,
+            );
+            let next = match step.shift {
+                ShiftKind::Left => at.shift_left(digit),
+                ShiftKind::Right => at.shift_right(digit),
+            };
+
+            let key = (at.rank(), next.rank());
+            if self.link_faults.contains(&key) {
+                // The selected link is down: the message is lost in
+                // transit (no retransmission model).
+                report.dropped += 1;
+                if let Some(trace) = trace.as_deref_mut() {
+                    trace.push(TraceEvent {
+                        time: now,
+                        message: index,
+                        kind: TraceKind::Dropped,
+                    });
+                }
+                continue;
+            }
+            let free = link_free.entry(key).or_insert(0);
+            let depart = now.max(*free);
+            *free = depart + self.config.link.service;
+            let arrive = depart + self.config.link.service + self.config.link.latency;
+            *report.link_loads.entry(key).or_insert(0) += 1;
+            let wait = depart - now;
+            report.total_queue_wait += wait;
+            report.max_queue_wait = report.max_queue_wait.max(wait);
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.push(TraceEvent {
+                    time: now,
+                    message: index,
+                    kind: TraceKind::Forwarded {
+                        from: at.clone(),
+                        to: next.clone(),
+                        departs: depart,
+                    },
+                });
+            }
+
+            let flight = Flight { index, at: next, msg, injected_at, hops: hops + 1 };
+            pending.insert(seq, flight);
+            heap.push(Reverse((arrive, seq)));
+            seq += 1;
+        }
+
+        report
+    }
+
+    /// Computes the route placed in a fresh message's routing-path field.
+    fn initial_route(&self, x: &Word, y: &Word, rng: &mut StdRng) -> Option<RoutePath> {
+        let fault_free = self.faults.is_empty() && self.link_faults.is_empty();
+        if fault_free || self.config.fault_handling == FaultHandling::Drop {
+            if self.config.router == RouterKind::Multipath && x != y {
+                let routes = debruijn_core::routing::all_shortest_routes(x, y);
+                let pick = rng.gen_range(0..routes.len());
+                return Some(routes[pick].clone());
+            }
+            return Some(self.config.router.route(x, y));
+        }
+        let graph = self
+            .reroute_graph
+            .as_ref()
+            .expect("reroute graph materialized by with_faults/with_link_faults");
+        let faults: Vec<Word> = self.faults.iter().cloned().collect();
+        if self.link_fault_words.is_empty() {
+            fault::route_avoiding(graph, x, y, &faults)
+        } else {
+            fault::route_avoiding_full(graph, x, y, &faults, &self.link_fault_words)
+        }
+    }
+
+    /// Resolves the digit of one step under the wildcard policy.
+    fn resolve_digit(
+        &self,
+        at: &Word,
+        shift: ShiftKind,
+        digit: Digit,
+        link_free: &HashMap<(u128, u128), u64>,
+        rr: &mut HashMap<u128, u8>,
+        rng: &mut StdRng,
+    ) -> u8 {
+        let d = self.space.d();
+        match digit {
+            Digit::Exact(b) => b,
+            Digit::Any => match self.config.policy {
+                WildcardPolicy::Zero => 0,
+                WildcardPolicy::Random => rng.gen_range(0..d),
+                WildcardPolicy::RoundRobin => {
+                    let counter = rr.entry(at.rank()).or_insert(0);
+                    let b = *counter % d;
+                    *counter = (*counter + 1) % d;
+                    b
+                }
+                WildcardPolicy::LeastLoaded => {
+                    // Pick the digit whose outgoing link frees earliest;
+                    // ties break toward the smaller digit.
+                    (0..d)
+                        .min_by_key(|&b| {
+                            let next = match shift {
+                                ShiftKind::Left => at.shift_left(b),
+                                ShiftKind::Right => at.shift_right(b),
+                            };
+                            link_free
+                                .get(&(at.rank(), next.rank()))
+                                .copied()
+                                .unwrap_or(0)
+                        })
+                        .expect("d >= 2")
+                }
+            },
+        }
+    }
+
+    /// Total number of directed links the configured network offers, or 0
+    /// if the space is too large to enumerate cheaply.
+    fn count_links(&self) -> usize {
+        const ENUMERATION_LIMIT: usize = 1 << 16;
+        let Some(n) = self.space.order_usize() else {
+            return 0;
+        };
+        if n > ENUMERATION_LIMIT {
+            return 0;
+        }
+        let bidir = self.config.router.needs_bidirectional();
+        self.space
+            .vertices()
+            .map(|w| {
+                if bidir {
+                    // Full-duplex: each undirected edge counts once per
+                    // direction.
+                    self.space.undirected_neighbors(&w).len()
+                } else {
+                    self.space.directed_out_neighbors(&w).len()
+                }
+            })
+            .sum()
+    }
+}
+
+#[derive(Debug)]
+struct Flight {
+    /// Index of the message in the injected traffic (for tracing).
+    index: usize,
+    at: Word,
+    msg: Message,
+    injected_at: u64,
+    hops: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use debruijn_core::directed_average_distance;
+
+    fn space(d: u8, k: usize) -> DeBruijn {
+        DeBruijn::new(d, k).unwrap()
+    }
+
+    fn sim(d: u8, k: usize, config: SimConfig) -> Simulation {
+        Simulation::new(space(d, k), config).unwrap()
+    }
+
+    #[test]
+    fn every_message_is_delivered_without_faults() {
+        for router in RouterKind::all() {
+            let s = sim(2, 4, SimConfig { router, ..SimConfig::default() });
+            let traffic = workload::uniform_random(space(2, 4), 300, 42);
+            let r = s.run(&traffic);
+            assert_eq!(r.delivered, 300, "{}", router.name());
+            assert_eq!(r.dropped, 0);
+            assert_eq!(r.injected, 300);
+        }
+    }
+
+    #[test]
+    fn hop_counts_match_exact_distances() {
+        // Under all-pairs traffic, mean hops must equal the exact average
+        // distance over ordered pairs with x != y.
+        let sp = space(2, 4);
+        let traffic = workload::all_pairs(sp);
+        let s = sim(2, 4, SimConfig { router: RouterKind::Algorithm2, ..Default::default() });
+        let r = s.run(&traffic);
+        let mut want_total = 0usize;
+        let mut count = 0usize;
+        for x in sp.vertices() {
+            for y in sp.vertices() {
+                if x != y {
+                    want_total += debruijn_core::distance::undirected::distance(&x, &y);
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(r.delivered, count);
+        assert_eq!(r.total_hops, want_total as u64);
+    }
+
+    #[test]
+    fn directed_router_matches_exact_average_and_approximates_eq5() {
+        // All-pairs traffic with Algorithm 1: total hops equal the exact
+        // sum of directed distances. The paper's Eq. (5) closed form
+        // treats the overlap as geometric and is only an upper-bound
+        // approximation (see EXPERIMENTS.md E1); check it is close.
+        let sp = space(2, 5);
+        let n = sp.order_usize().unwrap() as f64;
+        let traffic = workload::all_pairs(sp);
+        let s = sim(2, 5, SimConfig { router: RouterKind::Algorithm1, ..Default::default() });
+        let r = s.run(&traffic);
+        let mut exact_total = 0usize;
+        for x in sp.vertices() {
+            for y in sp.vertices() {
+                exact_total += debruijn_core::distance::directed::distance(&x, &y);
+            }
+        }
+        assert_eq!(r.total_hops, exact_total as u64);
+        let exact_avg = exact_total as f64 / (n * n);
+        let eq5 = directed_average_distance(2, 5);
+        assert!(eq5 >= exact_avg, "Eq. 5 over-counts overlaps, never under");
+        // For d = 2 the gap converges to ≈ 0.53 hops (see E1).
+        assert!(eq5 - exact_avg < 0.6, "Eq. 5 gap too large: {eq5} vs {exact_avg}");
+    }
+
+    #[test]
+    fn trivial_router_always_takes_k_hops() {
+        let sp = space(3, 3);
+        let traffic = workload::uniform_random(sp, 100, 9);
+        let s = sim(3, 3, SimConfig { router: RouterKind::Trivial, ..Default::default() });
+        let r = s.run(&traffic);
+        assert_eq!(r.delivered, 100);
+        assert_eq!(r.hop_histogram.keys().copied().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn latency_reflects_link_parameters_in_light_traffic() {
+        // One message at a time: latency = hops * (service + latency).
+        let sp = space(2, 4);
+        let link = LinkParams { latency: 3, service: 2 };
+        let s = sim(2, 4, SimConfig { link, router: RouterKind::Algorithm4, ..Default::default() });
+        let mut traffic = workload::uniform_random(sp, 50, 5);
+        for (i, inj) in traffic.iter_mut().enumerate() {
+            inj.time = (i as u64) * 1000; // no queueing
+        }
+        let r = s.run(&traffic);
+        assert_eq!(r.delivered, 50);
+        assert_eq!(r.latency_total, r.total_hops * 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sp = space(2, 5);
+        let traffic = workload::uniform_random(sp, 200, 11);
+        let config = SimConfig {
+            policy: WildcardPolicy::Random,
+            router: RouterKind::Algorithm2,
+            ..Default::default()
+        };
+        let a = sim(2, 5, config).run(&traffic);
+        let b = sim(2, 5, config).run(&traffic);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_can_differ_under_random_policy() {
+        let sp = space(2, 5);
+        let traffic = workload::uniform_random(sp, 200, 11);
+        let mk = |seed| SimConfig {
+            policy: WildcardPolicy::Random,
+            router: RouterKind::Algorithm2,
+            seed,
+            ..Default::default()
+        };
+        let a = sim(2, 5, mk(1)).run(&traffic);
+        let b = sim(2, 5, mk(2)).run(&traffic);
+        // Hop counts are identical (routes are the same length); link
+        // loads will almost surely differ.
+        assert_eq!(a.total_hops, b.total_hops);
+        assert_ne!(a.link_loads, b.link_loads);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_is_complete() {
+        let sp = space(2, 4);
+        let traffic = workload::uniform_random(sp, 150, 4);
+        let s = sim(2, 4, SimConfig::default());
+        let plain = s.run(&traffic);
+        let (traced, trace) = s.run_traced(&traffic);
+        assert_eq!(plain, traced);
+        // Every message gets exactly one terminal event.
+        let mut terminal = vec![0usize; traffic.len()];
+        for ev in &trace {
+            if matches!(ev.kind, TraceKind::Delivered | TraceKind::Dropped) {
+                terminal[ev.message] += 1;
+            }
+        }
+        assert!(terminal.iter().all(|&c| c == 1), "terminal events: {terminal:?}");
+        // Forward counts match the reported hop total.
+        let forwards = trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Forwarded { .. }))
+            .count();
+        assert_eq!(forwards as u64, traced.total_hops);
+    }
+
+    #[test]
+    fn links_serve_fifo_with_service_spacing() {
+        // Saturate the network and check, per link, that departure times
+        // are spaced at least one service apart (no double-booking) and
+        // never precede the handover.
+        use std::collections::HashMap;
+        let sp = space(2, 4);
+        let traffic = workload::permutation(sp, 1)
+            .into_iter()
+            .chain(workload::permutation(sp, 2))
+            .collect::<Vec<_>>();
+        let s = sim(2, 4, SimConfig::default());
+        let (_, trace) = s.run_traced(&traffic);
+        let mut last_depart: HashMap<(u128, u128), u64> = HashMap::new();
+        let mut events: Vec<(&Word, &Word, u64, u64)> = Vec::new();
+        for ev in &trace {
+            if let TraceKind::Forwarded { from, to, departs } = &ev.kind {
+                events.push((from, to, ev.time, *departs));
+            }
+        }
+        // The trace is produced in event order, which is handover order.
+        for (from, to, time, departs) in events {
+            assert!(departs >= time, "link serves before handover");
+            let key = (from.rank(), to.rank());
+            if let Some(&prev) = last_depart.get(&key) {
+                assert!(
+                    departs > prev,
+                    "link {from}->{to} double-booked: {prev} then {departs}"
+                );
+            }
+            last_depart.insert(key, departs);
+        }
+    }
+
+    #[test]
+    fn queue_wait_is_zero_in_unloaded_network() {
+        let sp = space(2, 4);
+        let mut traffic = workload::uniform_random(sp, 40, 8);
+        for (i, inj) in traffic.iter_mut().enumerate() {
+            inj.time = (i as u64) * 100;
+        }
+        let r = sim(2, 4, SimConfig::default()).run(&traffic);
+        assert_eq!(r.total_queue_wait, 0);
+        assert_eq!(r.max_queue_wait, 0);
+    }
+
+    #[test]
+    fn queue_wait_appears_under_contention() {
+        let sp = space(2, 4);
+        let x = sp.word_from_rank(2).unwrap();
+        let y = sp.word_from_rank(11).unwrap();
+        let traffic: Vec<Injection> = (0..8)
+            .map(|_| Injection { time: 0, source: x.clone(), destination: y.clone() })
+            .collect();
+        let r = sim(2, 4, SimConfig::default()).run(&traffic);
+        assert!(r.max_queue_wait >= 7, "8 simultaneous messages share the first link");
+    }
+
+    #[test]
+    fn multipath_router_keeps_routes_shortest() {
+        let sp = space(2, 5);
+        let traffic = workload::all_pairs(sp);
+        let single = sim(2, 5, SimConfig { router: RouterKind::Algorithm2, ..Default::default() })
+            .run(&traffic);
+        let multi = sim(2, 5, SimConfig { router: RouterKind::Multipath, ..Default::default() })
+            .run(&traffic);
+        // Same hop distribution (all routes are shortest) …
+        assert_eq!(single.hop_histogram, multi.hop_histogram);
+        // … but spread over strictly more links than the deterministic
+        // single-path choice under this all-pairs load.
+        assert!(
+            multi.link_load_summary().links_used >= single.link_load_summary().links_used,
+            "multipath should never use fewer links"
+        );
+    }
+
+    #[test]
+    fn hop_by_hop_matches_source_routing_hop_counts() {
+        let sp = space(2, 5);
+        let traffic = workload::all_pairs(sp);
+        for router in [RouterKind::Algorithm1, RouterKind::Algorithm2] {
+            let src_routed = sim(2, 5, SimConfig { router, ..Default::default() }).run(&traffic);
+            let hop_by_hop = sim(
+                2,
+                5,
+                SimConfig { router, forwarding: ForwardingMode::HopByHop, ..Default::default() },
+            )
+            .run(&traffic);
+            assert_eq!(src_routed.hop_histogram, hop_by_hop.hop_histogram, "{}", router.name());
+            assert_eq!(hop_by_hop.delivered, traffic.len());
+        }
+    }
+
+    #[test]
+    fn hop_by_hop_with_per_hop_reroute_avoids_faults() {
+        let sp = space(3, 3);
+        let fault = sp.word_from_rank(11).unwrap();
+        let traffic = workload::all_pairs(sp);
+        let config = SimConfig {
+            forwarding: ForwardingMode::HopByHop,
+            fault_handling: FaultHandling::SourceReroute,
+            ..Default::default()
+        };
+        let s = Simulation::new(sp, config)
+            .unwrap()
+            .with_faults(vec![fault])
+            .unwrap();
+        let r = s.run(&traffic);
+        // d = 3 tolerates 2 faults; only the 2(N−1) endpoint-faulty
+        // messages are lost.
+        let n = sp.order_usize().unwrap();
+        assert_eq!(r.dropped, 2 * (n - 1));
+        assert_eq!(r.delivered + r.dropped, r.injected);
+    }
+
+    #[test]
+    fn conservation_messages_are_delivered_or_dropped_once() {
+        let sp = space(2, 4);
+        let faults = vec![sp.word_from_rank(5).unwrap()];
+        let s = sim(2, 4, SimConfig::default()).with_faults(faults).unwrap();
+        let traffic = workload::uniform_random(sp, 400, 3);
+        let r = s.run(&traffic);
+        assert_eq!(r.delivered + r.dropped, r.injected);
+    }
+
+    #[test]
+    fn drop_mode_loses_messages_crossing_the_fault() {
+        let sp = space(2, 4);
+        let fault = sp.word_from_rank(9).unwrap();
+        let s = sim(2, 4, SimConfig::default())
+            .with_faults(vec![fault.clone()])
+            .unwrap();
+        let traffic = workload::all_pairs(sp);
+        let r = s.run(&traffic);
+        assert!(r.dropped > 0, "some route must cross rank 9");
+        assert_eq!(r.delivered + r.dropped, r.injected);
+    }
+
+    #[test]
+    fn source_reroute_only_loses_faulty_endpoints() {
+        let sp = space(2, 4);
+        let fault = sp.word_from_rank(9).unwrap();
+        let config = SimConfig {
+            fault_handling: FaultHandling::SourceReroute,
+            ..Default::default()
+        };
+        let s = Simulation::new(sp, config)
+            .unwrap()
+            .with_faults(vec![fault.clone()])
+            .unwrap();
+        let traffic = workload::all_pairs(sp);
+        let r = s.run(&traffic);
+        // Exactly the pairs touching the fault are lost: 2·(N−1) of them
+        // (fault as source, fault as destination).
+        let n = sp.order_usize().unwrap();
+        assert_eq!(r.dropped, 2 * (n - 1));
+        assert_eq!(r.delivered, r.injected - 2 * (n - 1));
+    }
+
+    #[test]
+    fn dead_links_drop_messages_in_drop_mode() {
+        let sp = space(2, 4);
+        let a = sp.word_from_rank(3).unwrap();
+        let b = a.shift_left(1);
+        let s = sim(2, 4, SimConfig::default())
+            .with_link_faults(vec![(a.clone(), b.clone())])
+            .unwrap();
+        let traffic = workload::all_pairs(sp);
+        let r = s.run(&traffic);
+        assert!(r.dropped > 0, "some route must use the dead link");
+        assert_eq!(r.delivered + r.dropped, r.injected);
+        // The dead link never appears in the load map.
+        assert!(!r.link_loads.contains_key(&(a.rank(), b.rank())));
+    }
+
+    #[test]
+    fn dead_links_are_routed_around_with_source_reroute() {
+        let sp = space(2, 4);
+        let a = sp.word_from_rank(3).unwrap();
+        let b = a.shift_left(1);
+        let config = SimConfig {
+            fault_handling: FaultHandling::SourceReroute,
+            ..Default::default()
+        };
+        let s = Simulation::new(sp, config)
+            .unwrap()
+            .with_link_faults(vec![(a.clone(), b.clone()), (b.clone(), a.clone())])
+            .unwrap();
+        let traffic = workload::all_pairs(sp);
+        let r = s.run(&traffic);
+        // One dead link never cuts a graph of minimum degree >= 2.
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.delivered, traffic.len());
+        assert!(!r.link_loads.contains_key(&(a.rank(), b.rank())));
+        assert!(!r.link_loads.contains_key(&(b.rank(), a.rank())));
+    }
+
+    #[test]
+    fn with_link_faults_rejects_foreign_words() {
+        let s = sim(2, 4, SimConfig::default());
+        let a = Word::parse(2, "0000").unwrap();
+        let foreign = Word::parse(3, "0000").unwrap();
+        assert!(matches!(
+            s.with_link_faults(vec![(a, foreign)]),
+            Err(NetError::ForeignWord { .. })
+        ));
+    }
+
+    #[test]
+    fn with_faults_rejects_foreign_words() {
+        let s = sim(2, 4, SimConfig::default());
+        let foreign = Word::parse(3, "0120").unwrap();
+        let err = s.with_faults(vec![foreign]).unwrap_err();
+        assert!(matches!(err, NetError::ForeignWord { .. }));
+    }
+
+    #[test]
+    fn total_links_matches_census() {
+        // Bidirectional: sum of undirected degrees = 2 · |E|.
+        let s = sim(2, 3, SimConfig { router: RouterKind::Algorithm2, ..Default::default() });
+        let r = s.run(&[]);
+        let g = DebruijnGraph::undirected(space(2, 3)).unwrap();
+        assert_eq!(r.total_links, g.adjacency_count());
+    }
+
+    #[test]
+    fn congestion_delays_messages_on_shared_links() {
+        // Many messages between the same pair at time 0 must serialize on
+        // the first link.
+        let sp = space(2, 4);
+        let x = sp.word_from_rank(1).unwrap();
+        let y = sp.word_from_rank(14).unwrap();
+        let traffic: Vec<Injection> = (0..10)
+            .map(|_| Injection { time: 0, source: x.clone(), destination: y.clone() })
+            .collect();
+        let s = sim(2, 4, SimConfig { router: RouterKind::Algorithm2, ..Default::default() });
+        let r = s.run(&traffic);
+        assert_eq!(r.delivered, 10);
+        // With service 1, the 10th message leaves the first link 9 ticks
+        // late: max latency strictly exceeds the uncongested latency.
+        let uncongested = (r.total_hops / 10) * 2;
+        assert!(r.latency_max > uncongested);
+    }
+}

@@ -1,0 +1,150 @@
+//! Simulation statistics: hop counts, latency, link loads.
+
+use std::collections::BTreeMap;
+
+/// Aggregate result of one simulation run.
+///
+/// Produced by [`crate::Simulation::run`]. All times are in simulator
+/// ticks; link keys are `(from_rank, to_rank)` word ranks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimReport {
+    /// Messages injected (including ones dropped at the source).
+    pub injected: usize,
+    /// Messages accepted at their destination.
+    pub delivered: usize,
+    /// Messages lost to faults (at the source, in transit, or at a faulty
+    /// destination).
+    pub dropped: usize,
+    /// `hops → number of delivered messages with that hop count`.
+    pub hop_histogram: BTreeMap<usize, usize>,
+    /// Total hops over all delivered messages.
+    pub total_hops: u64,
+    /// Sum of delivery latencies (delivery time − injection time).
+    pub latency_total: u64,
+    /// Maximum delivery latency.
+    pub latency_max: u64,
+    /// Time of the last delivery.
+    pub makespan: u64,
+    /// Messages carried per directed link.
+    pub link_loads: BTreeMap<(u128, u128), u64>,
+    /// Number of directed links the network offers (0 if unknown, e.g.
+    /// when the space is too large to enumerate).
+    pub total_links: usize,
+    /// Longest time any message waited for a busy link.
+    pub max_queue_wait: u64,
+    /// Sum of all per-hop waiting times (queueing delay in the latency).
+    pub total_queue_wait: u64,
+}
+
+/// Summary statistics of the per-link load distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkLoadSummary {
+    /// Links that carried at least one message.
+    pub links_used: usize,
+    /// Heaviest per-link load.
+    pub max: u64,
+    /// Mean load over all network links (unused links count as 0); over
+    /// used links when the network size is unknown.
+    pub mean: f64,
+    /// Standard deviation on the same population as `mean`.
+    pub std_dev: f64,
+}
+
+impl SimReport {
+    /// Mean hops per delivered message.
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.total_hops as f64 / self.delivered as f64
+    }
+
+    /// Mean delivery latency in ticks.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.latency_total as f64 / self.delivered as f64
+    }
+
+    /// Delivered fraction of injected messages.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.injected == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.injected as f64
+    }
+
+    /// Largest hop count among delivered messages.
+    pub fn max_hops(&self) -> usize {
+        self.hop_histogram.keys().copied().max().unwrap_or(0)
+    }
+
+    /// Summarizes the link-load distribution (the E7 balance metric).
+    pub fn link_load_summary(&self) -> LinkLoadSummary {
+        let links_used = self.link_loads.len();
+        let max = self.link_loads.values().copied().max().unwrap_or(0);
+        let population = if self.total_links > 0 {
+            self.total_links
+        } else {
+            links_used.max(1)
+        };
+        let sum: u64 = self.link_loads.values().sum();
+        let mean = sum as f64 / population as f64;
+        let mut var_acc: f64 = self
+            .link_loads
+            .values()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum();
+        // Unused links contribute (0 − mean)² each.
+        let zeros = population.saturating_sub(links_used);
+        var_acc += zeros as f64 * mean * mean;
+        let std_dev = (var_acc / population as f64).sqrt();
+        LinkLoadSummary { links_used, max, mean, std_dev }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_has_sane_defaults() {
+        let r = SimReport::default();
+        assert_eq!(r.mean_hops(), 0.0);
+        assert_eq!(r.mean_latency(), 0.0);
+        assert_eq!(r.delivery_rate(), 1.0);
+        assert_eq!(r.max_hops(), 0);
+        let s = r.link_load_summary();
+        assert_eq!(s.max, 0);
+        assert_eq!(s.links_used, 0);
+    }
+
+    #[test]
+    fn means_divide_by_delivered() {
+        let r = SimReport {
+            injected: 4,
+            delivered: 2,
+            dropped: 2,
+            total_hops: 6,
+            latency_total: 10,
+            ..SimReport::default()
+        };
+        assert_eq!(r.mean_hops(), 3.0);
+        assert_eq!(r.mean_latency(), 5.0);
+        assert_eq!(r.delivery_rate(), 0.5);
+    }
+
+    #[test]
+    fn link_summary_accounts_for_unused_links() {
+        let mut r = SimReport { total_links: 4, ..SimReport::default() };
+        r.link_loads.insert((0, 1), 4);
+        r.link_loads.insert((1, 2), 4);
+        let s = r.link_load_summary();
+        assert_eq!(s.links_used, 2);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        // loads are [4, 4, 0, 0] → variance 4, std 2.
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Reproducible traffic patterns for the simulator.
+
+use debruijn_core::{DeBruijn, Word};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sim::Injection;
+
+fn word_at(space: DeBruijn, rank: usize) -> Word {
+    space
+        .word_from_rank(rank as u128)
+        .expect("rank drawn below order")
+}
+
+fn order(space: DeBruijn) -> usize {
+    space
+        .order_usize()
+        .expect("workload generation requires an enumerable space")
+}
+
+/// `n` messages with uniformly random distinct endpoints, injected one per
+/// tick. Deterministic for a fixed seed.
+///
+/// # Panics
+///
+/// Panics if the space has fewer than two vertices or is too large to
+/// enumerate.
+pub fn uniform_random(space: DeBruijn, n: usize, seed: u64) -> Vec<Injection> {
+    let order = order(space);
+    assert!(order >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let s = rng.gen_range(0..order);
+            let mut t = rng.gen_range(0..order - 1);
+            if t >= s {
+                t += 1;
+            }
+            Injection {
+                time: i as u64,
+                source: word_at(space, s),
+                destination: word_at(space, t),
+            }
+        })
+        .collect()
+}
+
+/// A random derangement workload: every node sends exactly one message to
+/// its image under a fixed-point-free random permutation, all injected at
+/// tick 0. The classical stress pattern for interconnection networks.
+///
+/// # Panics
+///
+/// Panics if the space has fewer than two vertices or is too large to
+/// enumerate.
+pub fn permutation(space: DeBruijn, seed: u64) -> Vec<Injection> {
+    let order = order(space);
+    assert!(order >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut image: Vec<usize> = (0..order).collect();
+    // Fisher–Yates, then remove fixed points by cycling them among
+    // themselves (or with a neighbor when only one remains).
+    for i in (1..order).rev() {
+        let j = rng.gen_range(0..=i);
+        image.swap(i, j);
+    }
+    let fixed: Vec<usize> = (0..order).filter(|&i| image[i] == i).collect();
+    match fixed.len() {
+        0 => {}
+        1 => {
+            let i = fixed[0];
+            let j = (i + 1) % order;
+            image.swap(i, j);
+        }
+        _ => {
+            for m in 0..fixed.len() {
+                image[fixed[m]] = fixed[(m + 1) % fixed.len()];
+            }
+        }
+    }
+    (0..order)
+        .map(|i| Injection {
+            time: 0,
+            source: word_at(space, i),
+            destination: word_at(space, image[i]),
+        })
+        .collect()
+}
+
+/// Hotspot traffic: each of `n` messages goes to `hot` with probability
+/// `hot_fraction`, otherwise to a uniform destination. Sources are
+/// uniform. Injected one per tick.
+///
+/// # Panics
+///
+/// Panics if `hot` is not a vertex of `space`, `hot_fraction` is outside
+/// `[0, 1]`, or the space is too small/large.
+pub fn hotspot(
+    space: DeBruijn,
+    n: usize,
+    hot: &Word,
+    hot_fraction: f64,
+    seed: u64,
+) -> Vec<Injection> {
+    assert!(space.contains(hot), "hotspot must be a vertex of the space");
+    assert!(
+        (0.0..=1.0).contains(&hot_fraction),
+        "hot_fraction must lie in [0, 1]"
+    );
+    let order = order(space);
+    assert!(order >= 2, "need at least two vertices");
+    let hot_rank = hot.rank() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let dst_rank = if rng.gen_bool(hot_fraction) {
+                hot_rank
+            } else {
+                rng.gen_range(0..order)
+            };
+            let mut src = rng.gen_range(0..order - 1);
+            if src >= dst_rank {
+                src += 1;
+            }
+            Injection {
+                time: i as u64,
+                source: word_at(space, src),
+                destination: word_at(space, dst_rank),
+            }
+        })
+        .collect()
+}
+
+/// Every ordered pair `(x, y)` with `x != y`, all injected at tick 0.
+/// Used to measure exact hop-count averages (experiment E6).
+///
+/// # Panics
+///
+/// Panics if the space is too large to enumerate.
+pub fn all_pairs(space: DeBruijn) -> Vec<Injection> {
+    let mut out = Vec::new();
+    for x in space.vertices() {
+        for y in space.vertices() {
+            if x != y {
+                out.push(Injection { time: 0, source: x.clone(), destination: y });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(d: u8, k: usize) -> DeBruijn {
+        DeBruijn::new(d, k).unwrap()
+    }
+
+    #[test]
+    fn uniform_random_has_distinct_endpoints() {
+        let t = uniform_random(space(2, 3), 500, 1);
+        assert_eq!(t.len(), 500);
+        for inj in &t {
+            assert_ne!(inj.source, inj.destination);
+        }
+    }
+
+    #[test]
+    fn uniform_random_is_deterministic_per_seed() {
+        assert_eq!(uniform_random(space(2, 4), 50, 7), uniform_random(space(2, 4), 50, 7));
+        assert_ne!(uniform_random(space(2, 4), 50, 7), uniform_random(space(2, 4), 50, 8));
+    }
+
+    #[test]
+    fn permutation_is_a_derangement() {
+        for seed in 0..20u64 {
+            let t = permutation(space(2, 4), seed);
+            assert_eq!(t.len(), 16, "every node sends exactly once");
+            let mut sources: Vec<u128> = t.iter().map(|i| i.source.rank()).collect();
+            sources.sort_unstable();
+            sources.dedup();
+            assert_eq!(sources.len(), 16, "duplicate sources (seed {seed})");
+            let mut dests: Vec<u128> = t.iter().map(|i| i.destination.rank()).collect();
+            dests.sort_unstable();
+            dests.dedup();
+            assert_eq!(dests.len(), 16, "not a permutation (seed {seed})");
+            for inj in &t {
+                assert_ne!(inj.source, inj.destination, "fixed point (seed {seed})");
+                assert_eq!(inj.time, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let sp = space(2, 4);
+        let hot = sp.word_from_rank(6).unwrap();
+        let t = hotspot(sp, 1000, &hot, 0.8, 5);
+        let to_hot = t.iter().filter(|i| i.destination == hot).count();
+        assert!(to_hot > 700, "only {to_hot} of 1000 went to the hotspot");
+        for inj in &t {
+            assert_ne!(inj.source, inj.destination);
+        }
+    }
+
+    #[test]
+    fn hotspot_validates_arguments() {
+        let sp = space(2, 3);
+        let hot = sp.word_from_rank(0).unwrap();
+        let result = std::panic::catch_unwind(|| hotspot(sp, 10, &hot, 1.5, 0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn all_pairs_counts_n_times_n_minus_one() {
+        let t = all_pairs(space(3, 2));
+        assert_eq!(t.len(), 9 * 8);
+    }
+}

@@ -1,0 +1,233 @@
+//! The paper's Algorithm 3, translated faithfully from the pseudocode.
+//!
+//! Algorithm 3 generalizes Morris and Pratt's failure-function computation:
+//! for a fixed row index `i` it computes both the failure function
+//! `c_{i,i}, …, c_{i,k}` of the pattern `x_i x_{i+1} … x_k` *and* the
+//! matching-function row `l_{i,1}, …, l_{i,k}` against the destination
+//! address `Y`, in `O(k)` time and space.
+//!
+//! # Erratum
+//!
+//! Line 11 of the printed pseudocode reads `h = l_{i,i+h−1}`; the fallback
+//! must use the failure function `c`, not the matching function `l`
+//! (`l_{i,·}` is indexed by text positions, `c_{i,·}` by pattern positions —
+//! as printed, the line mixes the two and breaks the automaton). This module
+//! implements the corrected `h = c_{i,i+h−1}`, and the unit tests verify the
+//! result against both an independent Morris–Pratt matcher and the brute
+//! force definition.
+
+/// Runs the paper's Algorithm 3 on `pattern` (= `x_i … x_k`) and `text`
+/// (= `y_1 … y_k`), returning `(c_row, l_row)`.
+///
+/// * `c_row[q]` (for `q` in `0..pattern.len()`) is the paper's
+///   `c_{i,i+q}`: the longest proper border of `pattern[0..=q]`.
+/// * `l_row[j]` (for `j` in `0..text.len()`) is the paper's `l_{i,j+1}`:
+///   the longest prefix of `pattern` that is a suffix of `text[0..=j]`.
+///
+/// The implementation follows the paper's control structure line by line
+/// (with the line-11 erratum corrected, see the module docs), rather than
+/// delegating to [`crate::MpMatcher`]; the two are verified equal in tests.
+///
+/// Runs in `O(pattern.len() + text.len())`.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_strings::algorithm3_row;
+///
+/// let (c, l) = algorithm3_row(b"aba", b"baaba");
+/// assert_eq!(c, vec![0, 0, 1]);
+/// assert_eq!(l, vec![0, 1, 1, 2, 3]);
+/// ```
+pub fn algorithm3_row<T: Eq>(pattern: &[T], text: &[T]) -> (Vec<usize>, Vec<usize>) {
+    let m = pattern.len();
+    let n = text.len();
+    let mut c = vec![0usize; m];
+    let mut l = vec![0usize; n];
+    if m == 0 {
+        return (c, l);
+    }
+
+    // Lines 1–7: failure function of the pattern.
+    // (Line 1: c_{i,i} = 0 is the initialization of c[0].)
+    for j in 1..m {
+        // Line 3.
+        let mut h = c[j - 1];
+        // Line 4: while h > 0 and x_{i+h} != x_j do h = c_{i,i+h-1}.
+        while h > 0 && pattern[h] != pattern[j] {
+            h = c[h - 1];
+        }
+        // Lines 5–7.
+        if h == 0 && pattern[h] != pattern[j] {
+            c[j] = 0;
+        } else {
+            c[j] = h + 1;
+        }
+    }
+
+    if n == 0 {
+        return (c, l);
+    }
+
+    // Line 8: l_{i,1}.
+    l[0] = if pattern[0] == text[0] { 1 } else { 0 };
+
+    // Lines 9–14: the matching-function row.
+    for j in 1..n {
+        // Line 10: if the previous state is a full match, fall back first.
+        let mut h = if l[j - 1] == m { c[m - 1] } else { l[j - 1] };
+        // Line 11 (corrected erratum): fallback through c, not l.
+        while h > 0 && pattern[h] != text[j] {
+            h = c[h - 1];
+        }
+        // Lines 12–14.
+        if h == 0 && pattern[h] != text[j] {
+            l[j] = 0;
+        } else {
+            l[j] = h + 1;
+        }
+    }
+
+    (c, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::{failure_function, failure_function_naive};
+    use crate::matcher::MpMatcher;
+
+    fn all_strings(alphabet: u8, len: usize) -> Vec<Vec<u8>> {
+        let mut out = vec![Vec::new()];
+        for _ in 0..len {
+            out = out
+                .into_iter()
+                .flat_map(|s| {
+                    (0..alphabet).map(move |d| {
+                        let mut t = s.clone();
+                        t.push(d);
+                        t
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+
+    #[test]
+    fn c_row_is_the_failure_function() {
+        for pat in all_strings(2, 6) {
+            let (c, _) = algorithm3_row(&pat, b"");
+            assert_eq!(c, failure_function(&pat), "pattern {pat:?}");
+            assert_eq!(c, failure_function_naive(&pat), "pattern {pat:?}");
+        }
+    }
+
+    #[test]
+    fn l_row_matches_mp_matcher_exhaustively_binary() {
+        for pat in all_strings(2, 4) {
+            if pat.is_empty() {
+                continue;
+            }
+            let mp = MpMatcher::new(pat.clone());
+            for text in all_strings(2, 5) {
+                let (_, l) = algorithm3_row(&pat, &text);
+                assert_eq!(
+                    l,
+                    mp.prefix_match_lengths(&text),
+                    "pattern {pat:?} text {text:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn l_row_matches_mp_matcher_ternary() {
+        for pat in all_strings(3, 3) {
+            if pat.is_empty() {
+                continue;
+            }
+            let mp = MpMatcher::new(pat.clone());
+            for text in all_strings(3, 4) {
+                let (_, l) = algorithm3_row(&pat, &text);
+                assert_eq!(l, mp.prefix_match_lengths(&text));
+            }
+        }
+    }
+
+    #[test]
+    fn l_row_satisfies_definition_by_brute_force() {
+        let pat = b"0110";
+        let text = b"1101100";
+        let (_, l) = algorithm3_row(pat, text);
+        for j in 0..text.len() {
+            let mut want = 0;
+            for s in 1..=(j + 1).min(pat.len()) {
+                if text[j + 1 - s..=j] == pat[..s] {
+                    want = s;
+                }
+            }
+            assert_eq!(l[j], want, "j = {j}");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_yields_zero_rows() {
+        let (c, l) = algorithm3_row::<u8>(&[], b"0101");
+        assert!(c.is_empty());
+        assert_eq!(l, vec![0; 4]);
+    }
+
+    #[test]
+    fn empty_text_yields_empty_l_row() {
+        let (c, l) = algorithm3_row(b"01", &[]);
+        assert_eq!(c.len(), 2);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn full_match_state_falls_back_correctly() {
+        // Pattern "aa" over text "aaaa": states must stay saturated at 2.
+        let (_, l) = algorithm3_row(b"aa", b"aaaa");
+        assert_eq!(l, vec![1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn uncorrected_erratum_would_differ() {
+        // Demonstrates why line 11 must use `c` and not `l`: with the
+        // literal printed rule the fallback indexes `l` by a pattern
+        // position, which is a different row entirely. We check a case
+        // where the corrected algorithm and the MP matcher agree, and the
+        // printed rule (simulated here) does not.
+        let pat = b"aab";
+        let text = b"aaab";
+        let (c, l) = algorithm3_row(pat, text);
+        assert_eq!(l, vec![1, 2, 2, 3]);
+
+        // Literal (buggy) variant: h = l[i + h - 1] — reading the matching
+        // row at a pattern offset. On this input the fallback cycles
+        // (lbad[1] = 2 keeps mapping h = 2 back to itself), so we bound the
+        // loop with fuel and treat exhaustion as observed divergence.
+        let m = pat.len();
+        let mut lbad = vec![0usize; text.len()];
+        let mut diverged = false;
+        lbad[0] = if pat[0] == text[0] { 1 } else { 0 };
+        'outer: for j in 1..text.len() {
+            let mut h = if lbad[j - 1] == m { c[m - 1] } else { lbad[j - 1] };
+            let mut fuel = 4 * m;
+            while h > 0 && pat[h] != text[j] {
+                h = lbad[h - 1]; // the printed erratum
+                fuel -= 1;
+                if fuel == 0 {
+                    diverged = true;
+                    break 'outer;
+                }
+            }
+            lbad[j] = if h == 0 && pat[h] != text[j] { 0 } else { h + 1 };
+        }
+        assert!(
+            diverged || l != lbad,
+            "erratum should be observable on this input"
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! The Morris–Pratt failure function.
+//!
+//! For a pattern `p[0..m]`, the failure function maps each prefix length to
+//! the length of its longest proper border (a *border* is a string that is
+//! both a proper prefix and a proper suffix). It is the core table behind
+//! the Morris–Pratt/Knuth–Morris–Pratt matchers and behind the paper's
+//! Algorithm 3, which uses the 1-indexed variant `c_{i,j}` for the pattern
+//! `x_i x_{i+1} … x_k`.
+
+/// Computes the Morris–Pratt failure function of `pattern`.
+///
+/// `fail[q]` is the length of the longest proper prefix of
+/// `pattern[0..=q]` that is also a suffix of it (its longest border).
+/// `fail[0]` is always `0`, and `fail[q] <= q` for every `q`.
+///
+/// Runs in `O(m)` time and space for a pattern of length `m`, amortized by
+/// the classical potential argument on the automaton state.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_strings::failure::failure_function;
+///
+/// assert_eq!(failure_function(b"aabaaab"), vec![0, 1, 0, 1, 2, 2, 3]);
+/// assert_eq!(failure_function::<u8>(&[]), Vec::<usize>::new());
+/// ```
+pub fn failure_function<T: Eq>(pattern: &[T]) -> Vec<usize> {
+    let m = pattern.len();
+    let mut fail = vec![0usize; m];
+    let mut border = 0usize;
+    for q in 1..m {
+        while border > 0 && pattern[border] != pattern[q] {
+            border = fail[border - 1];
+        }
+        if pattern[border] == pattern[q] {
+            border += 1;
+        }
+        fail[q] = border;
+    }
+    fail
+}
+
+/// Computes the failure function by brute force, for differential testing.
+///
+/// Checks every candidate border length explicitly; `O(m³)` worst case.
+pub fn failure_function_naive<T: Eq>(pattern: &[T]) -> Vec<usize> {
+    let m = pattern.len();
+    let mut fail = vec![0usize; m];
+    for q in 0..m {
+        for s in (1..=q).rev() {
+            if pattern[..s] == pattern[q + 1 - s..=q] {
+                fail[q] = s;
+                break;
+            }
+        }
+    }
+    fail
+}
+
+/// Computes Knuth's **strong** failure function (the KMP `fail′` table).
+///
+/// `strong[q]` is the longest proper border `b` of `pattern[0..=q]` such
+/// that `pattern[b] != pattern[q+1]` (for `q = m−1` it equals the plain
+/// failure value: there is no next symbol to mismatch on). Shifting by
+/// the strong table never re-tests a symbol known to mismatch, which is
+/// exactly the "mechanical transformation" the paper's §4 cites (Knuth
+/// citation 5, Knuth–Morris–Pratt citation 6) for lowering the constant factors of the
+/// routing algorithms.
+///
+/// Runs in `O(m)`; the `ablation_representations` bench measures the
+/// constant-factor win on adversarial inputs.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_strings::failure::{failure_function, strong_failure_function};
+///
+/// // On "aaaa", the weak table walks borders 2,1,0 on a mismatch; the
+/// // strong table jumps straight to 0.
+/// assert_eq!(failure_function(b"aaaa"), vec![0, 1, 2, 3]);
+/// assert_eq!(strong_failure_function(b"aaaa"), vec![0, 0, 0, 3]);
+/// ```
+pub fn strong_failure_function<T: Eq>(pattern: &[T]) -> Vec<usize> {
+    let m = pattern.len();
+    let fail = failure_function(pattern);
+    let mut strong = fail.clone();
+    for q in 0..m.saturating_sub(1) {
+        let mut b = fail[q];
+        // Skip borders whose next symbol repeats the mismatch.
+        while b > 0 && pattern[b] == pattern[q + 1] {
+            b = strong[b - 1];
+        }
+        if b == 0 && !pattern.is_empty() && pattern[0] == pattern[q + 1] {
+            strong[q] = 0;
+        } else {
+            strong[q] = b;
+        }
+    }
+    strong
+}
+
+/// Enumerates all borders of `pattern` (longest first), using the failure
+/// function chain `fail[m-1], fail[fail[m-1]-1], …`.
+///
+/// A border of the whole pattern is exactly an *overlap* of the string with
+/// itself; the chain enumerates all of them in strictly decreasing length.
+/// The empty border is not reported.
+///
+/// ```
+/// use debruijn_strings::failure::borders;
+///
+/// assert_eq!(borders(b"ababa"), vec![3, 1]);
+/// assert_eq!(borders(b"abc"), Vec::<usize>::new());
+/// ```
+pub fn borders<T: Eq>(pattern: &[T]) -> Vec<usize> {
+    let fail = failure_function(pattern);
+    let mut out = Vec::new();
+    let mut b = match fail.last() {
+        Some(&b) => b,
+        None => return out,
+    };
+    while b > 0 {
+        out.push(b);
+        b = fail[b - 1];
+    }
+    out
+}
+
+/// Length of the longest suffix of `text` that is a prefix of `pattern`
+/// (the *overlap* of `text` onto `pattern`), capped at `pattern.len()`.
+///
+/// This is the quantity `l` of the paper's Eq. (2) when `text = X` and
+/// `pattern = Y`: the directed de Bruijn distance is `k - overlap(X, Y)`.
+/// Runs in `O(|text| + |pattern|)`.
+///
+/// ```
+/// use debruijn_strings::failure::overlap;
+///
+/// assert_eq!(overlap(b"0110", b"1001"), 2); // "10" = suffix of x, prefix of y
+/// assert_eq!(overlap(b"111", b"111"), 3);
+/// assert_eq!(overlap(b"000", b"111"), 0);
+/// ```
+pub fn overlap<T: Eq>(text: &[T], pattern: &[T]) -> usize {
+    let m = pattern.len();
+    if m == 0 {
+        return 0;
+    }
+    let fail = failure_function(pattern);
+    let mut state = 0usize;
+    for ch in text {
+        if state == m {
+            state = fail[state - 1];
+        }
+        while state > 0 && pattern[state] != *ch {
+            state = fail[state - 1];
+        }
+        if pattern[state] == *ch {
+            state += 1;
+        }
+    }
+    state
+}
+
+/// Overlap computed by brute force (`O(n²)`), for differential testing.
+pub fn overlap_naive<T: Eq>(text: &[T], pattern: &[T]) -> usize {
+    let max = text.len().min(pattern.len());
+    for s in (1..=max).rev() {
+        if text[text.len() - s..] == pattern[..s] {
+            return s;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_pattern_has_empty_table() {
+        assert_eq!(failure_function::<u8>(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn single_symbol_has_zero_border() {
+        assert_eq!(failure_function(b"a"), vec![0]);
+    }
+
+    #[test]
+    fn classic_kmp_example() {
+        // The canonical example from Knuth–Morris–Pratt.
+        assert_eq!(failure_function(b"ababaca"), vec![0, 0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn periodic_pattern_borders_grow_linearly() {
+        assert_eq!(failure_function(b"aaaa"), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn no_self_overlap_means_all_zero() {
+        assert_eq!(failure_function(b"abcd"), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fail_is_a_proper_border_everywhere() {
+        let p = b"aabaabaaabaabaaab";
+        let fail = failure_function(p);
+        for q in 0..p.len() {
+            let b = fail[q];
+            assert!(b <= q);
+            assert_eq!(p[..b], p[q + 1 - b..=q]);
+        }
+    }
+
+    #[test]
+    fn strong_failure_entries_are_borders_with_differing_next_symbol() {
+        for len in 1..=10usize {
+            for bits in 0..(1u32 << len) {
+                let s: Vec<u8> = (0..len).map(|i| ((bits >> i) & 1) as u8).collect();
+                let strong = strong_failure_function(&s);
+                let weak = failure_function(&s);
+                for q in 0..len {
+                    let b = strong[q];
+                    assert!(b <= weak[q], "strong never exceeds weak");
+                    assert_eq!(s[..b], s[q + 1 - b..=q], "must still be a border");
+                    if q + 1 < len && b > 0 {
+                        assert_ne!(
+                            s[b],
+                            s[q + 1],
+                            "strong border must not repeat the mismatch ({s:?}, q={q})"
+                        );
+                    }
+                    if q + 1 == len {
+                        assert_eq!(b, weak[q], "last entry keeps the weak value");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strong_failure_classic_kmp_example() {
+        // Knuth's "ababaa" example (adapted to our indexing).
+        assert_eq!(strong_failure_function(b"ababaa"), vec![0, 0, 0, 0, 3, 1]);
+    }
+
+    #[test]
+    fn matches_naive_on_small_binary_strings() {
+        // Exhaustive over all binary strings up to length 10.
+        for len in 0..=10usize {
+            for bits in 0..(1u32 << len) {
+                let s: Vec<u8> = (0..len).map(|i| ((bits >> i) & 1) as u8).collect();
+                assert_eq!(
+                    failure_function(&s),
+                    failure_function_naive(&s),
+                    "mismatch on {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn borders_lists_all_self_overlaps() {
+        assert_eq!(borders(b"aabaabaa"), vec![5, 2, 1]);
+        assert_eq!(borders(b""), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn overlap_agrees_with_naive_exhaustively() {
+        for len_x in 0..=7usize {
+            for len_y in 0..=7usize {
+                for bx in 0..(1u32 << len_x) {
+                    // Sample y rather than double-enumerating everything.
+                    for by in [0u32, 1, (1 << len_y) - 1, bx & ((1 << len_y) - 1)] {
+                        let x: Vec<u8> = (0..len_x).map(|i| ((bx >> i) & 1) as u8).collect();
+                        let y: Vec<u8> =
+                            (0..len_y).map(|i| ((by >> i) & 1) as u8).collect();
+                        assert_eq!(
+                            overlap(&x, &y),
+                            overlap_naive(&x, &y),
+                            "x={x:?} y={y:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_is_full_length_for_equal_strings() {
+        let s = b"210210";
+        assert_eq!(overlap(s, s), s.len());
+    }
+
+    #[test]
+    fn overlap_handles_text_shorter_than_pattern() {
+        assert_eq!(overlap(b"ab", b"abab"), 2);
+        assert_eq!(overlap(b"", b"abab"), 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Generalized suffix tree over two strings — the engine of Algorithm 4.
+//!
+//! The paper's Algorithm 4 finds, in time linear in the word length `k`,
+//! the minimum of `i − j − l_{i,j}(X,Y)` over all positions `i` of `X` and
+//! `j` of `Y` (and, applied to the reversed strings, the corresponding
+//! `r`-family minimum). This module builds the compact suffix tree of
+//! `X ⊥ Y ⊤` (distinct end-markers, exactly as in the paper's §3.3) and
+//! extracts the minimum with a single bottom-up pass computing, per node,
+//! the paper's aggregates:
+//!
+//! * `D(v)` — the string depth,
+//! * `p(v)` — the smallest `X`-position below `v`,
+//! * `q(v)`-equivalent — the largest `Y`-*start* below `v` (the paper
+//!   stores `min` over positions in the *reversed* `Y`; largest forward
+//!   start is the same quantity, see DESIGN.md on the printed construction
+//!   of `S`).
+//!
+//! For an internal node `v` of depth `h ≥ 1` whose subtree contains an
+//! `X`-leaf at (1-indexed) position `i` and a `Y`-leaf starting at `j′`,
+//! the strings share a length-`h` block `x_i…x_{i+h−1} = y_{j′}…y_{j′+h−1}`,
+//! i.e. a match *ending* at `j = j′ + h − 1`; the candidate objective is
+//! `i − j − h`. Minimizing `i` and maximizing `j′` per node and taking the
+//! best node (plus the zero-match baseline `1 − k_y`) yields exactly
+//! `min_{i,j}(i − j − l_{i,j})`:
+//!
+//! * every candidate is attainable (`h ≤ l_{i,j}` since the block is a
+//!   common substring), so the node minimum is an upper bound;
+//! * conversely the true minimizer `(i*, j*)` with `l* = l_{i*,j*} ≥ 1`
+//!   contributes its pair of leaves to their lowest common ancestor, whose
+//!   depth is at least `l*`… and the deepest node on that root path with
+//!   depth exactly `l*` exists because ancestors carry every depth prefix;
+//!   at the LCA `u` of the two leaves, `D(u) = lcp ≥ l*`, and since
+//!   `l_{i*,j*}` is the *longest* match ending at `j*`, `lcp` from `(i*,
+//!   j*−l*+1)` is exactly `l*` when measured against that start — the LCA
+//!   candidate value is therefore `≤ i* − j* − l*`. Both bounds together
+//!   give equality. (The unit tests verify this against the quadratic
+//!   table for every pair of short binary/ternary strings.)
+
+use crate::suffix_tree::SuffixTree;
+
+/// First end-marker (`⊥` in the paper). Above any digit alphabet.
+pub const SEPARATOR_LOW: u32 = u32::MAX - 1;
+/// Second end-marker (`⊤` in the paper).
+pub const SEPARATOR_HIGH: u32 = u32::MAX;
+
+/// The linear-time minimizer of `i − j − l_{i,j}(X,Y)`.
+///
+/// All coordinates are the paper's 1-indexed positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchMinimum {
+    /// `min_{i,j} (i − j − l_{i,j})`.
+    pub value: i64,
+    /// Position in `X` attaining the minimum (paper's `s₁`).
+    pub s: usize,
+    /// Position in `Y` attaining the minimum (paper's `t₁`).
+    pub t: usize,
+    /// Match length used by the minimizer (paper's `θ₁ = l_{s₁,t₁}` — here
+    /// a length `θ ≤ l_{s,t}` attaining the same objective value, which is
+    /// all Algorithm 2's route construction requires).
+    pub theta: usize,
+}
+
+/// A generalized suffix tree over the concatenation `X ⊥ Y ⊤`.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_strings::TwoStringTree;
+///
+/// let t = TwoStringTree::new(&[0, 1, 1], &[1, 1, 0]);
+/// let m = t.match_minimum();
+/// // "0" starts at x_1 and ends at y_3: value = 1 - 3 - 1 = -3.
+/// assert_eq!(m.value, -3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoStringTree {
+    tree: SuffixTree,
+    x_len: usize,
+    y_len: usize,
+}
+
+impl TwoStringTree {
+    /// Builds the tree for `x` and `y`.
+    ///
+    /// Runs in `O(|x| + |y|)` (fixed alphabet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either string is empty or contains one of the reserved
+    /// separator symbols [`SEPARATOR_LOW`], [`SEPARATOR_HIGH`].
+    pub fn new(x: &[u32], y: &[u32]) -> Self {
+        assert!(!x.is_empty() && !y.is_empty(), "both strings must be non-empty");
+        assert!(
+            !x.contains(&SEPARATOR_LOW)
+                && !x.contains(&SEPARATOR_HIGH)
+                && !y.contains(&SEPARATOR_LOW)
+                && !y.contains(&SEPARATOR_HIGH),
+            "inputs must not contain the reserved separators"
+        );
+        let mut text = Vec::with_capacity(x.len() + y.len() + 2);
+        text.extend_from_slice(x);
+        text.push(SEPARATOR_LOW);
+        text.extend_from_slice(y);
+        text.push(SEPARATOR_HIGH);
+        Self {
+            tree: SuffixTree::new(text),
+            x_len: x.len(),
+            y_len: y.len(),
+        }
+    }
+
+    /// The underlying suffix tree of `X ⊥ Y ⊤`.
+    pub fn suffix_tree(&self) -> &SuffixTree {
+        &self.tree
+    }
+
+    /// Length of `X`.
+    pub fn x_len(&self) -> usize {
+        self.x_len
+    }
+
+    /// Length of `Y`.
+    pub fn y_len(&self) -> usize {
+        self.y_len
+    }
+
+    /// The longest common substring of `X` and `Y` as
+    /// `(length, x_start, y_start)` with 0-indexed starts, or `None` if the
+    /// strings share no symbol.
+    pub fn longest_common_substring(&self) -> Option<(usize, usize, usize)> {
+        let mut best: Option<(usize, usize, usize)> = None;
+        for (v, agg) in self.aggregates() {
+            let depth = self.tree.string_depth(v);
+            if depth == 0 || self.tree.is_leaf(v) {
+                continue;
+            }
+            if let (Some(i), Some(j)) = (agg.min_x_pos, agg.max_y_start) {
+                if best.is_none_or(|(d, _, _)| depth > d) {
+                    best = Some((depth, i - 1, j - 1));
+                }
+            }
+        }
+        best
+    }
+
+    /// Computes [`MatchMinimum`]: the minimum of `i − j − l_{i,j}` and a
+    /// minimizer, in one bottom-up pass (`O(|x| + |y|)`).
+    ///
+    /// The zero-match baseline `(i, j, l) = (1, k_y, 0)` is always a
+    /// candidate, so `value <= 1 − k_y`… i.e. `<= 1 - y_len` — matching
+    /// Theorem 2, whose minimum never exceeds the trivial-route bound.
+    pub fn match_minimum(&self) -> MatchMinimum {
+        // Baseline: no match, i = 1, j = k_y.
+        let mut best = MatchMinimum {
+            value: 1 - self.y_len as i64,
+            s: 1,
+            t: self.y_len,
+            theta: 0,
+        };
+        for (v, agg) in self.aggregates() {
+            let h = self.tree.string_depth(v);
+            if h == 0 || self.tree.is_leaf(v) {
+                continue;
+            }
+            if let (Some(i), Some(j_start)) = (agg.min_x_pos, agg.max_y_start) {
+                let j = j_start + h - 1; // match ends at y_j
+                debug_assert!(j <= self.y_len);
+                let value = i as i64 - j as i64 - h as i64;
+                if value < best.value {
+                    best = MatchMinimum {
+                        value,
+                        s: i,
+                        t: j,
+                        theta: h,
+                    };
+                }
+            }
+        }
+        best
+    }
+
+    /// Per-node aggregates in postorder: `(node, {min X pos, max Y start})`,
+    /// both 1-indexed.
+    fn aggregates(&self) -> Vec<(usize, NodeAggregate)> {
+        let n = self.tree.node_count();
+        let mut agg = vec![NodeAggregate::default(); n];
+        let order = self.tree.postorder();
+        for &v in &order {
+            if self.tree.is_leaf(v) {
+                let p = self.tree.suffix_start(v).expect("leaf");
+                if p < self.x_len {
+                    agg[v].min_x_pos = Some(p + 1);
+                } else if p > self.x_len && p < self.x_len + 1 + self.y_len {
+                    agg[v].max_y_start = Some(p - self.x_len);
+                }
+                // Positions x_len (⊥) and x_len+y_len+1 (⊤) carry no digits.
+            } else {
+                let children: Vec<usize> =
+                    self.tree.children(v).map(|(_, c)| c).collect();
+                for c in children {
+                    let child = agg[c];
+                    agg[v].min_x_pos = match (agg[v].min_x_pos, child.min_x_pos) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    agg[v].max_y_start = match (agg[v].max_y_start, child.max_y_start) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        (a, b) => a.or(b),
+                    };
+                }
+            }
+        }
+        order.into_iter().map(|v| (v, agg[v])).collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeAggregate {
+    min_x_pos: Option<usize>,
+    max_y_start: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{l_table_naive, min_l_term};
+
+    fn u32s(s: &[u8]) -> Vec<u32> {
+        s.iter().map(|&b| b as u32).collect()
+    }
+
+    fn all_strings(alphabet: u32, len: usize) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new()];
+        for _ in 0..len {
+            out = out
+                .into_iter()
+                .flat_map(|s| {
+                    (0..alphabet).map(move |d| {
+                        let mut t = s.clone();
+                        t.push(d);
+                        t
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+
+    fn check_pair(x: &[u32], y: &[u32]) {
+        let tree = TwoStringTree::new(x, y);
+        let got = tree.match_minimum();
+
+        // Value agrees with the quadratic engine.
+        let xb: Vec<u8> = x.iter().map(|&v| v as u8).collect();
+        let yb: Vec<u8> = y.iter().map(|&v| v as u8).collect();
+        let want = min_l_term(&xb, &yb);
+        assert_eq!(got.value, want.value, "x={x:?} y={y:?}");
+
+        // Minimizer is internally consistent and attainable.
+        assert_eq!(got.value, got.s as i64 - got.t as i64 - got.theta as i64);
+        let table = l_table_naive(&xb, &yb);
+        assert!(
+            got.theta <= table[got.s - 1][got.t - 1],
+            "θ not a valid match length: x={x:?} y={y:?} got={got:?}"
+        );
+    }
+
+    #[test]
+    fn matches_quadratic_engine_exhaustively_binary() {
+        for kx in 1..=5usize {
+            for ky in 1..=5usize {
+                for x in all_strings(2, kx) {
+                    for y in all_strings(2, ky) {
+                        check_pair(&x, &y);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_quadratic_engine_on_ternary() {
+        for x in all_strings(3, 4) {
+            for y in all_strings(3, 4) {
+                check_pair(&x, &y);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_strings_reach_value_one_minus_twice_k() {
+        let x = u32s(b"0121");
+        let m = TwoStringTree::new(&x, &x).match_minimum();
+        assert_eq!(m.value, 1 - 4 - 4);
+        assert_eq!((m.s, m.t, m.theta), (1, 4, 4));
+    }
+
+    #[test]
+    fn disjoint_alphabets_fall_back_to_baseline() {
+        let m = TwoStringTree::new(&u32s(b"000"), &u32s(b"111")).match_minimum();
+        assert_eq!(m.value, 1 - 3);
+        assert_eq!(m.theta, 0);
+    }
+
+    #[test]
+    fn longest_common_substring_is_correct() {
+        let t = TwoStringTree::new(&u32s(b"ababc"), &u32s(b"xxabcx"));
+        let (len, xs, ys) = t.longest_common_substring().expect("shares abc");
+        assert_eq!(len, 3);
+        assert_eq!(&b"ababc"[xs..xs + len], &b"xxabcx"[ys..ys + len]);
+    }
+
+    #[test]
+    fn longest_common_substring_none_when_disjoint() {
+        let t = TwoStringTree::new(&u32s(b"aaa"), &u32s(b"bbb"));
+        assert_eq!(t.longest_common_substring(), None);
+    }
+
+    #[test]
+    fn k1_words_work() {
+        let eq = TwoStringTree::new(&[1], &[1]).match_minimum();
+        assert_eq!(eq.value, -1); // 1 - 1 - 1
+        let ne = TwoStringTree::new(&[0], &[1]).match_minimum();
+        assert_eq!(ne.value, 0); // baseline 1 - k_y = 0
+    }
+
+    #[test]
+    fn separators_never_participate_in_matches() {
+        // x ends where y begins; without proper separators "01|10" could
+        // fake a "011" match across the boundary.
+        let t = TwoStringTree::new(&u32s(b"01"), &u32s(b"10"));
+        let m = t.match_minimum();
+        // Best is the single-symbol match "0" at (1,2) or "1" at (2,1):
+        // values 1-2-1 = -2 and 2-1-1 = 0 → -2.
+        assert_eq!(m.value, -2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_strings() {
+        TwoStringTree::new(&[], &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved separators")]
+    fn rejects_reserved_symbols() {
+        TwoStringTree::new(&[SEPARATOR_LOW], &[0]);
+    }
+}

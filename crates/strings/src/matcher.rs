@@ -1,0 +1,303 @@
+//! A reusable Morris–Pratt matcher with an explicit automaton state.
+//!
+//! The matcher precomputes the failure function of a pattern once and then
+//! exposes the MP automaton: feeding text symbols one at a time yields, after
+//! each symbol, the length of the longest prefix of the pattern that is a
+//! suffix of the text read so far. That quantity is exactly the paper's
+//! matching function `l_{i,j}` when the pattern is the suffix
+//! `x_i x_{i+1} … x_k` of the source address and the text is the destination
+//! address `Y` (see [`crate::matching`]).
+
+use crate::failure::{failure_function, strong_failure_function};
+
+/// A Morris–Pratt pattern matcher over symbols of type `T`.
+///
+/// Construction costs `O(m)`; every subsequent scan of a text of length `n`
+/// costs `O(n)` amortized, independent of the alphabet size.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_strings::MpMatcher;
+///
+/// let m = MpMatcher::new(b"aba".to_vec());
+/// assert_eq!(m.find_all(b"ababa"), vec![0, 2]);
+/// assert_eq!(m.prefix_match_lengths(b"ababa"), vec![1, 2, 3, 2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpMatcher<T> {
+    pattern: Vec<T>,
+    fail: Vec<usize>,
+}
+
+impl<T: Eq> MpMatcher<T> {
+    /// Builds a matcher for `pattern`.
+    pub fn new(pattern: Vec<T>) -> Self {
+        let fail = failure_function(&pattern);
+        Self { pattern, fail }
+    }
+
+    /// Builds a matcher using Knuth's **strong** failure function.
+    ///
+    /// Observable behaviour is identical to [`MpMatcher::new`] — every
+    /// skipped border provably could not extend — but mismatch cascades
+    /// are shorter, lowering the constant factor (the paper's §4
+    /// "mechanical transformations" remark). Prefer this for adversarial
+    /// or highly periodic inputs.
+    pub fn new_strong(pattern: Vec<T>) -> Self {
+        let fail = strong_failure_function(&pattern);
+        Self { pattern, fail }
+    }
+
+    /// The pattern being matched.
+    pub fn pattern(&self) -> &[T] {
+        &self.pattern
+    }
+
+    /// The precomputed failure function (see [`failure_function`]).
+    pub fn failure(&self) -> &[usize] {
+        &self.fail
+    }
+
+    /// Advances the automaton from `state` on input symbol `symbol`.
+    ///
+    /// `state` is the number of pattern symbols currently matched
+    /// (`0..=pattern.len()`); the return value is the new match length. A
+    /// return value of `pattern.len()` signals a complete occurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state > pattern.len()`.
+    pub fn step(&self, mut state: usize, symbol: &T) -> usize {
+        let m = self.pattern.len();
+        assert!(state <= m, "automaton state {state} out of range 0..={m}");
+        if m == 0 {
+            return 0;
+        }
+        if state == m {
+            state = self.fail[state - 1];
+        }
+        while state > 0 && self.pattern[state] != *symbol {
+            state = self.fail[state - 1];
+        }
+        if self.pattern[state] == *symbol {
+            state += 1;
+        }
+        state
+    }
+
+    /// Runs the automaton over `text`, returning the state after *each*
+    /// symbol.
+    ///
+    /// `out[j]` is the length of the longest prefix of the pattern that is a
+    /// suffix of `text[0..=j]` — the paper's matching-function row. The
+    /// output has the same length as `text`.
+    pub fn prefix_match_lengths(&self, text: &[T]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(text.len());
+        let mut state = 0usize;
+        for ch in text {
+            state = self.step(state, ch);
+            out.push(state);
+        }
+        out
+    }
+
+    /// Returns the start positions of all occurrences of the pattern in
+    /// `text`, in increasing order. Overlapping occurrences are reported.
+    ///
+    /// An empty pattern occurs at every position `0..=text.len()` in the
+    /// conventional sense; this method returns an empty list for it instead,
+    /// since start positions of empty matches are rarely meaningful.
+    pub fn find_all(&self, text: &[T]) -> Vec<usize> {
+        let m = self.pattern.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut state = 0usize;
+        for (j, ch) in text.iter().enumerate() {
+            state = self.step(state, ch);
+            if state == m {
+                out.push(j + 1 - m);
+            }
+        }
+        out
+    }
+
+    /// Whether the pattern occurs in `text` at least once.
+    pub fn is_match(&self, text: &[T]) -> bool {
+        let m = self.pattern.len();
+        if m == 0 {
+            return true;
+        }
+        let mut state = 0usize;
+        for ch in text {
+            state = self.step(state, ch);
+            if state == m {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        if pattern.is_empty() || pattern.len() > text.len() {
+            return Vec::new();
+        }
+        (0..=text.len() - pattern.len())
+            .filter(|&i| &text[i..i + pattern.len()] == pattern)
+            .collect()
+    }
+
+    #[test]
+    fn finds_overlapping_occurrences() {
+        let m = MpMatcher::new(b"aa".to_vec());
+        assert_eq!(m.find_all(b"aaaa"), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reports_no_match_on_disjoint_alphabets() {
+        let m = MpMatcher::new(b"xyz".to_vec());
+        assert!(!m.is_match(b"abcabc"));
+        assert_eq!(m.find_all(b"abcabc"), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn empty_pattern_matches_trivially() {
+        let m = MpMatcher::new(Vec::<u8>::new());
+        assert!(m.is_match(b"abc"));
+        assert_eq!(m.find_all(b"abc"), Vec::<usize>::new());
+        assert_eq!(m.prefix_match_lengths(b"abc"), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn step_saturates_and_recovers_after_full_match() {
+        let m = MpMatcher::new(b"ab".to_vec());
+        let mut s = 0;
+        s = m.step(s, &b'a');
+        s = m.step(s, &b'b');
+        assert_eq!(s, 2);
+        // After a full match, feeding 'a' must restart a partial match.
+        s = m.step(s, &b'a');
+        assert_eq!(s, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn step_rejects_out_of_range_state() {
+        let m = MpMatcher::new(b"ab".to_vec());
+        m.step(3, &b'a');
+    }
+
+    #[test]
+    fn agrees_with_naive_search_exhaustively() {
+        // All binary patterns up to length 4 against all binary texts up to
+        // length 8.
+        for pl in 1..=4usize {
+            for pb in 0..(1u32 << pl) {
+                let pattern: Vec<u8> = (0..pl).map(|i| ((pb >> i) & 1) as u8).collect();
+                let m = MpMatcher::new(pattern.clone());
+                for tl in 0..=8usize {
+                    for tb in 0..(1u32 << tl) {
+                        let text: Vec<u8> =
+                            (0..tl).map(|i| ((tb >> i) & 1) as u8).collect();
+                        assert_eq!(
+                            m.find_all(&text),
+                            naive_find_all(&pattern, &text),
+                            "pattern={pattern:?} text={text:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_match_lengths_are_longest_suffix_prefix_lengths() {
+        let m = MpMatcher::new(b"abab".to_vec());
+        let text = b"aabababa";
+        let lens = m.prefix_match_lengths(text);
+        for (j, &got) in lens.iter().enumerate() {
+            // Brute-force the definition.
+            let mut want = 0;
+            for s in 1..=(j + 1).min(4) {
+                if text[j + 1 - s..=j] == m.pattern()[..s] {
+                    want = s;
+                }
+            }
+            assert_eq!(got, want, "at position {j}");
+        }
+    }
+
+    #[test]
+    fn strong_matcher_behaves_identically() {
+        // The strong failure function must not change any observable
+        // output — exhaust binary patterns/texts.
+        for pl in 1..=5usize {
+            for pb in 0..(1u32 << pl) {
+                let pattern: Vec<u8> = (0..pl).map(|i| ((pb >> i) & 1) as u8).collect();
+                let weak = MpMatcher::new(pattern.clone());
+                let strong = MpMatcher::new_strong(pattern.clone());
+                for tl in 0..=9usize {
+                    for tb in (0..(1u32 << tl)).step_by(3) {
+                        let text: Vec<u8> =
+                            (0..tl).map(|i| ((tb >> i) & 1) as u8).collect();
+                        assert_eq!(
+                            weak.find_all(&text),
+                            strong.find_all(&text),
+                            "pattern={pattern:?} text={text:?}"
+                        );
+                        assert_eq!(
+                            weak.prefix_match_lengths(&text),
+                            strong.prefix_match_lengths(&text),
+                            "pattern={pattern:?} text={text:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strong_matcher_needs_fewer_fallbacks_on_periodic_input() {
+        // Count fallback steps by instrumenting the descent manually.
+        use crate::failure::{failure_function, strong_failure_function};
+        let pattern = vec![0u8; 32];
+        let mut text = vec![0u8; 64];
+        text[31] = 1; // force a deep mismatch cascade
+        let count_steps = |fail: &[usize]| {
+            let mut state = 0usize;
+            let mut fallbacks = 0usize;
+            for ch in &text {
+                if state == pattern.len() {
+                    state = fail[state - 1];
+                }
+                while state > 0 && pattern[state] != *ch {
+                    state = fail[state - 1];
+                    fallbacks += 1;
+                }
+                if pattern[state] == *ch {
+                    state += 1;
+                }
+            }
+            fallbacks
+        };
+        let weak = count_steps(&failure_function(&pattern));
+        let strong = count_steps(&strong_failure_function(&pattern));
+        assert!(strong < weak, "strong {strong} should beat weak {weak}");
+    }
+
+    #[test]
+    fn works_with_non_copy_symbol_types() {
+        let pattern: Vec<String> = vec!["de".into(), "bruijn".into()];
+        let m = MpMatcher::new(pattern);
+        let text: Vec<String> =
+            vec!["de".into(), "de".into(), "bruijn".into(), "graph".into()];
+        assert_eq!(m.find_all(&text), vec![1]);
+    }
+}

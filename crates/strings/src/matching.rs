@@ -1,0 +1,310 @@
+//! The paper's matching functions `l_{i,j}` and `r_{i,j}` (Eqs. 8–9).
+//!
+//! For two strings `X = x_1…x_{k_x}` and `Y = y_1…y_{k_y}` (1-indexed in the
+//! paper, 0-indexed here):
+//!
+//! * `l_{i,j}` is the length of the longest substring of `X` **starting**
+//!   at position `i` that equals a substring of `Y` **ending** at `j`;
+//! * `r_{i,j}` is the length of the longest substring of `X` **ending** at
+//!   position `i` that equals a substring of `Y` **starting** at `j`.
+//!
+//! Theorem 2 expresses the undirected de Bruijn distance as
+//! `2k − 1 + min{ min(i − j − l_{i,j}), min(−i + j − r_{i,j}) }`; the
+//! minimizers also parameterize the shortest route (paper's Algorithm 2).
+//!
+//! The two families are mirror images of each other:
+//! `r_{i,j}(X,Y) = l_{k_x+1−i, k_y+1−j}(X̄, Ȳ)` where `X̄`, `Ȳ` are the
+//! reversals — this identity is how [`r_table`] is computed and is verified
+//! against the brute-force definition in the tests.
+
+use crate::matcher::MpMatcher;
+
+/// Computes the full `l` table in `O(k_x · k_y)` time.
+///
+/// `out[i][j]` (0-indexed) is the paper's `l_{i+1,j+1}(X,Y)`: the largest
+/// `s` with `s <= j+1`, `s <= k_x - i`, and
+/// `x[i..i+s] == y[j+1-s..j+1]`.
+///
+/// Each row is one Morris–Pratt scan of `y` with the pattern `x[i..]`
+/// (the paper's Algorithm 3); see [`crate::algorithm3_row`] for the
+/// paper-literal formulation of a single row.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_strings::l_table;
+///
+/// let l = l_table(b"011", b"110");
+/// // "11" starts at x[1] and ends at y[1]:
+/// assert_eq!(l[1][1], 2);
+/// // nothing starting at x[2] = '1' ends at y[2] = '0':
+/// assert_eq!(l[2][2], 0);
+/// ```
+pub fn l_table<T: Eq + Clone>(x: &[T], y: &[T]) -> Vec<Vec<usize>> {
+    (0..x.len())
+        .map(|i| MpMatcher::new(x[i..].to_vec()).prefix_match_lengths(y))
+        .collect()
+}
+
+/// Computes the `l` table directly from the definition, in `O(k⁴)`.
+///
+/// Reference implementation for differential testing only.
+pub fn l_table_naive<T: Eq>(x: &[T], y: &[T]) -> Vec<Vec<usize>> {
+    let kx = x.len();
+    let ky = y.len();
+    let mut out = vec![vec![0usize; ky]; kx];
+    for i in 0..kx {
+        for j in 0..ky {
+            for s in (1..=(j + 1).min(kx - i)).rev() {
+                if x[i..i + s] == y[j + 1 - s..=j] {
+                    out[i][j] = s;
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Computes the full `r` table in `O(k_x · k_y)` via the reversal identity.
+///
+/// `out[i][j]` (0-indexed) is the paper's `r_{i+1,j+1}(X,Y)`: the largest
+/// `s` with `s <= i+1`, `s <= k_y - j`, and
+/// `x[i+1-s..=i] == y[j..j+s]`.
+pub fn r_table<T: Eq + Clone>(x: &[T], y: &[T]) -> Vec<Vec<usize>> {
+    let xr: Vec<T> = x.iter().rev().cloned().collect();
+    let yr: Vec<T> = y.iter().rev().cloned().collect();
+    let lr = l_table(&xr, &yr);
+    let kx = x.len();
+    let ky = y.len();
+    let mut out = vec![vec![0usize; ky]; kx];
+    for i in 0..kx {
+        for j in 0..ky {
+            out[i][j] = lr[kx - 1 - i][ky - 1 - j];
+        }
+    }
+    out
+}
+
+/// Computes the `r` table directly from the definition, in `O(k⁴)`.
+///
+/// Reference implementation for differential testing only.
+pub fn r_table_naive<T: Eq>(x: &[T], y: &[T]) -> Vec<Vec<usize>> {
+    let kx = x.len();
+    let ky = y.len();
+    let mut out = vec![vec![0usize; ky]; kx];
+    for i in 0..kx {
+        for j in 0..ky {
+            for s in (1..=(i + 1).min(ky - j)).rev() {
+                if x[i + 1 - s..=i] == y[j..j + s] {
+                    out[i][j] = s;
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The minimizer of one matching-function family, in the paper's 1-indexed
+/// coordinates.
+///
+/// For the `l` family this is the triple `(s₁, t₁, θ₁)` of Algorithm 2 line
+/// 3 with `value = s₁ − t₁ − θ₁`; for the `r` family (after the caller's
+/// coordinate flip) it is `(s₂, t₂, θ₂)` with `value = −s₂ + t₂ − θ₂`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchTerm {
+    /// The minimized objective (`i − j − l_{i,j}` over all `i, j`).
+    pub value: i64,
+    /// 1-indexed position in `X` attaining the minimum.
+    pub s: usize,
+    /// 1-indexed position in `Y` attaining the minimum.
+    pub t: usize,
+    /// The match length `l_{s,t}` used by the minimum.
+    pub theta: usize,
+}
+
+/// Minimizes `i − j − l_{i,j}(X,Y)` over all `1 <= i <= k_x`,
+/// `1 <= j <= k_y`, returning the value and a minimizer.
+///
+/// This is the quadratic-time engine of the paper's Algorithm 2 (lines
+/// 3–4); the suffix-tree engine in [`crate::gst`] computes the same value
+/// in linear time. Ties are broken toward the smallest `(i, j)` in
+/// lexicographic order, which keeps route generation deterministic.
+///
+/// # Panics
+///
+/// Panics if `x` or `y` is empty (the de Bruijn word length `k` is ≥ 1).
+pub fn min_l_term<T: Eq + Clone>(x: &[T], y: &[T]) -> MatchTerm {
+    assert!(!x.is_empty() && !y.is_empty(), "k must be at least 1");
+    let table = l_table(x, y);
+    min_l_term_from_table(&table)
+}
+
+/// Minimizes `i − j − l[i][j]` over a precomputed `l` table.
+///
+/// See [`min_l_term`]. The table is indexed 0-based; the result is reported
+/// in the paper's 1-based coordinates.
+///
+/// # Panics
+///
+/// Panics if the table is empty or has empty rows.
+pub fn min_l_term_from_table(table: &[Vec<usize>]) -> MatchTerm {
+    assert!(
+        !table.is_empty() && !table[0].is_empty(),
+        "matching-function table must be non-empty"
+    );
+    let mut best = MatchTerm {
+        value: i64::MAX,
+        s: 0,
+        t: 0,
+        theta: 0,
+    };
+    for (i0, row) in table.iter().enumerate() {
+        for (j0, &l) in row.iter().enumerate() {
+            let value = (i0 as i64 + 1) - (j0 as i64 + 1) - l as i64;
+            if value < best.value {
+                best = MatchTerm {
+                    value,
+                    s: i0 + 1,
+                    t: j0 + 1,
+                    theta: l,
+                };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_strings(alphabet: u8, len: usize) -> Vec<Vec<u8>> {
+        let mut out = vec![Vec::new()];
+        for _ in 0..len {
+            out = out
+                .into_iter()
+                .flat_map(|s| {
+                    (0..alphabet).map(move |d| {
+                        let mut t = s.clone();
+                        t.push(d);
+                        t
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+
+    #[test]
+    fn l_table_matches_naive_exhaustively_binary_k4() {
+        for x in all_strings(2, 4) {
+            for y in all_strings(2, 4) {
+                assert_eq!(l_table(&x, &y), l_table_naive(&x, &y), "x={x:?} y={y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn r_table_matches_naive_exhaustively_binary_k4() {
+        for x in all_strings(2, 4) {
+            for y in all_strings(2, 4) {
+                assert_eq!(r_table(&x, &y), r_table_naive(&x, &y), "x={x:?} y={y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tables_agree_on_ternary_samples() {
+        for x in all_strings(3, 3) {
+            for y in all_strings(3, 3) {
+                assert_eq!(l_table(&x, &y), l_table_naive(&x, &y));
+                assert_eq!(r_table(&x, &y), r_table_naive(&x, &y));
+            }
+        }
+    }
+
+    #[test]
+    fn l_table_respects_bounds() {
+        let x = b"0120120";
+        let y = b"2012";
+        let l = l_table(x, y);
+        for (i, row) in l.iter().enumerate() {
+            for (j, &s) in row.iter().enumerate() {
+                assert!(s <= j + 1, "s <= j constraint violated at ({i},{j})");
+                assert!(s <= x.len() - i, "s <= k-i+1 constraint violated");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_strings_have_full_diagonal_match() {
+        let x = b"0110";
+        let l = l_table(x, x);
+        // l_{1,k} (0-indexed [0][k-1]) must equal k for X == Y.
+        assert_eq!(l[0][x.len() - 1], x.len());
+    }
+
+    #[test]
+    fn rectangular_tables_are_supported() {
+        let x = b"011";
+        let y = b"11010";
+        assert_eq!(l_table(x, y), l_table_naive(x, y));
+        assert_eq!(r_table(x, y), r_table_naive(x, y));
+    }
+
+    #[test]
+    fn min_l_term_finds_known_minimum() {
+        // X = Y: minimum is 1 - k - k at (s,t) = (1,k), θ = k.
+        let x = b"012";
+        let m = min_l_term(x, x);
+        assert_eq!(m.value, 1 - 3 - 3);
+        assert_eq!((m.s, m.t, m.theta), (1, 3, 3));
+    }
+
+    #[test]
+    fn min_l_term_disjoint_alphabets_gives_baseline() {
+        // No nonzero matches: min of i - j is 1 - k.
+        let m = min_l_term(b"000", b"111");
+        assert_eq!(m.value, 1 - 3);
+        assert_eq!(m.theta, 0);
+        assert_eq!((m.s, m.t), (1, 3));
+    }
+
+    #[test]
+    fn min_l_term_agrees_with_exhaustive_scan() {
+        for x in all_strings(2, 5) {
+            if x.is_empty() {
+                continue;
+            }
+            for y in all_strings(2, 5) {
+                if y.is_empty() {
+                    continue;
+                }
+                let got = min_l_term(&x, &y);
+                let table = l_table_naive(&x, &y);
+                let mut want = i64::MAX;
+                for (i, row) in table.iter().enumerate() {
+                    for (j, &l) in row.iter().enumerate() {
+                        want = want.min((i as i64 + 1) - (j as i64 + 1) - l as i64);
+                    }
+                }
+                assert_eq!(got.value, want, "x={x:?} y={y:?}");
+                // The reported minimizer must attain the value with a valid
+                // match length.
+                assert_eq!(
+                    got.value,
+                    got.s as i64 - got.t as i64 - got.theta as i64
+                );
+                assert!(got.theta <= table[got.s - 1][got.t - 1]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn min_l_term_rejects_empty_input() {
+        min_l_term::<u8>(&[], b"0");
+    }
+}

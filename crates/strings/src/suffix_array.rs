@@ -1,0 +1,178 @@
+//! Suffix arrays and LCP arrays, derived from the suffix tree.
+//!
+//! The suffix array is the flat cousin of Weiner's prefix tree: the
+//! lexicographic order of the suffixes, read off the tree by visiting
+//! children in symbol order. It is provided here both as a second,
+//! independently-testable view of the tree (the array must equal a naive
+//! sort of the suffixes) and as a practical export for downstream users
+//! who want the classical SA/LCP toolbox next to the routing library.
+
+use crate::suffix_tree::{SuffixTree, ROOT};
+
+/// The suffix array of `text`: starting positions of all suffixes in
+/// lexicographic order, with the usual convention that the (virtual)
+/// terminator sorts **before** every real symbol, so a suffix that is a
+/// proper prefix of another sorts first.
+///
+/// Built by a lexicographic DFS of the suffix tree in `O(n)` (fixed
+/// alphabet).
+///
+/// # Panics
+///
+/// Panics if `text` contains `u32::MAX` (reserved).
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_strings::suffix_array::suffix_array;
+///
+/// // banana → suffixes sorted: a, ana, anana, banana, na, nana
+/// let text: Vec<u32> = b"banana".iter().map(|&b| b as u32).collect();
+/// assert_eq!(suffix_array(&text), vec![5, 3, 1, 0, 4, 2]);
+/// ```
+pub fn suffix_array(text: &[u32]) -> Vec<usize> {
+    assert!(
+        !text.contains(&u32::MAX),
+        "text must not contain the reserved sentinel"
+    );
+    if text.is_empty() {
+        return Vec::new();
+    }
+    // Shift symbols up by one and terminate with 0, so the sentinel is
+    // the smallest symbol (the "$ < everything" convention).
+    let mut shifted: Vec<u32> = Vec::with_capacity(text.len() + 1);
+    for &s in text {
+        shifted.push(s.checked_add(1).expect("symbol below u32::MAX"));
+    }
+    shifted.push(0);
+    let tree = SuffixTree::new(shifted);
+    let mut sa = Vec::with_capacity(text.len());
+    // Iterative lexicographic DFS.
+    let mut stack = vec![ROOT];
+    while let Some(v) = stack.pop() {
+        if tree.is_leaf(v) {
+            let start = tree.suffix_start(v).expect("leaf");
+            // Skip the sentinel-only suffix.
+            if start < text.len() {
+                sa.push(start);
+            }
+            continue;
+        }
+        // Push children in reverse symbol order so the smallest pops
+        // first.
+        let children: Vec<usize> = tree.children(v).map(|(_, c)| c).collect();
+        for c in children.into_iter().rev() {
+            stack.push(c);
+        }
+    }
+    debug_assert_eq!(sa.len(), text.len());
+    sa
+}
+
+/// The LCP array for `text` and its suffix array: `lcp[i]` is the length
+/// of the longest common prefix of the suffixes at `sa[i−1]` and `sa[i]`
+/// (`lcp[0] = 0`). Kasai's algorithm, `O(n)`.
+///
+/// # Panics
+///
+/// Panics if `sa` is not a permutation of `0..text.len()`.
+pub fn lcp_array(text: &[u32], sa: &[usize]) -> Vec<usize> {
+    let n = text.len();
+    assert_eq!(sa.len(), n, "suffix array length must match text length");
+    let mut rank = vec![usize::MAX; n];
+    for (i, &s) in sa.iter().enumerate() {
+        assert!(s < n && rank[s] == usize::MAX, "sa must be a permutation");
+        rank[s] = i;
+    }
+    let mut lcp = vec![0usize; n];
+    let mut h = 0usize;
+    for s in 0..n {
+        if rank[s] > 0 {
+            let prev = sa[rank[s] - 1];
+            while s + h < n && prev + h < n && text[s + h] == text[prev + h] {
+                h += 1;
+            }
+            lcp[rank[s]] = h;
+            h = h.saturating_sub(1);
+        } else {
+            h = 0;
+        }
+    }
+    lcp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sa(text: &[u32]) -> Vec<usize> {
+        let mut sa: Vec<usize> = (0..text.len()).collect();
+        sa.sort_by(|&a, &b| text[a..].cmp(&text[b..]));
+        sa
+    }
+
+    fn u32s(s: &[u8]) -> Vec<u32> {
+        s.iter().map(|&b| b as u32).collect()
+    }
+
+    #[test]
+    fn matches_naive_sort_on_classics() {
+        for s in [
+            &b"banana"[..],
+            b"mississippi",
+            b"aaaa",
+            b"abab",
+            b"a",
+            b"zyxw",
+            b"0101101001",
+        ] {
+            let text = u32s(s);
+            assert_eq!(suffix_array(&text), naive_sa(&text), "text {s:?}");
+        }
+    }
+
+    #[test]
+    fn empty_text_gives_empty_arrays() {
+        assert_eq!(suffix_array(&[]), Vec::<usize>::new());
+        assert_eq!(lcp_array(&[], &[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn matches_naive_exhaustively_on_binary() {
+        for len in 1..=10usize {
+            for bits in 0..(1u32 << len) {
+                let text: Vec<u32> = (0..len).map(|i| (bits >> i) & 1).collect();
+                assert_eq!(suffix_array(&text), naive_sa(&text), "text {text:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lcp_matches_direct_computation() {
+        for s in [&b"banana"[..], b"aabaabaa", b"mississippi"] {
+            let text = u32s(s);
+            let sa = suffix_array(&text);
+            let lcp = lcp_array(&text, &sa);
+            assert_eq!(lcp[0], 0);
+            for i in 1..sa.len() {
+                let a = &text[sa[i - 1]..];
+                let b = &text[sa[i]..];
+                let want = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+                assert_eq!(lcp[i], want, "text {s:?} position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_suffixes_sort_first() {
+        // "aa": suffix "a" (pos 1) is a prefix of "aa" (pos 0) and must
+        // sort first under the $-smallest convention.
+        assert_eq!(suffix_array(&u32s(b"aa")), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn lcp_rejects_bogus_suffix_array() {
+        lcp_array(&u32s(b"ab"), &[0, 0]);
+    }
+}

@@ -1,0 +1,622 @@
+//! A compact suffix tree built with Ukkonen's algorithm.
+//!
+//! The paper's Algorithm 4 uses Weiner's 1973 "prefix tree" — the compact
+//! trie of the prefix identifiers of a string, which is the same data
+//! structure as the compact suffix tree (of the reversed string, up to
+//! orientation). We build it with Ukkonen's on-line algorithm, the modern
+//! linear-time equivalent on a fixed alphabet; Algorithm 4 only consumes
+//! the finished tree (shape, string depths, leaf positions), so the choice
+//! of construction algorithm does not affect the reproduction.
+//!
+//! Symbols are `u32`s, which leaves room for the distinct end-markers
+//! (`⊥`, `⊤` in the paper) above any digit alphabet.
+
+use std::collections::BTreeMap;
+
+/// Index of the root node (always `0`).
+pub const ROOT: usize = 0;
+
+/// Sentinel appended by [`SuffixTree::build_with_sentinel`].
+pub const SENTINEL: u32 = u32::MAX;
+
+const LEAF_END: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Edge label into this node: `text[start..end]` (root: empty).
+    start: usize,
+    end: usize,
+    /// Suffix link (build-time); root links to itself.
+    link: usize,
+    /// Children keyed by the first symbol of the outgoing edge label.
+    /// `BTreeMap` keeps traversal deterministic.
+    children: BTreeMap<u32, usize>,
+    /// Length of the string spelled from the root to this node.
+    depth: usize,
+    /// Parent node (root is its own parent).
+    parent: usize,
+    /// For leaves: the start position of the suffix this leaf represents.
+    suffix_start: usize,
+}
+
+/// A compact suffix tree over a `u32` text whose last symbol is unique.
+///
+/// Construction is `O(n)` amortized for a fixed alphabet (children are kept
+/// in ordered maps, adding a `log σ` factor that is constant for de Bruijn
+/// digit alphabets). All suffixes end at leaves, so the tree has exactly
+/// `n` leaves and at most `n − 1` internal nodes.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_strings::SuffixTree;
+///
+/// let st = SuffixTree::build_with_sentinel(&[0, 1, 0, 0, 1]);
+/// assert!(st.contains(&[1, 0, 0]));
+/// assert_eq!(st.occurrences(&[0, 1]), vec![0, 3]);
+/// assert_eq!(st.longest_repeated_substring(), Some(&[0, 1][..]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuffixTree {
+    text: Vec<u32>,
+    nodes: Vec<Node>,
+}
+
+impl SuffixTree {
+    /// Builds the suffix tree of `text`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` is empty or its last symbol occurs elsewhere in the
+    /// text (a unique terminator is required so that every suffix ends at a
+    /// leaf). Use [`SuffixTree::build_with_sentinel`] to have one appended.
+    pub fn new(text: Vec<u32>) -> Self {
+        assert!(!text.is_empty(), "suffix tree text must be non-empty");
+        let last = *text.last().expect("non-empty");
+        assert!(
+            !text[..text.len() - 1].contains(&last),
+            "last symbol must be a unique terminator"
+        );
+        let mut builder = Builder::new(text);
+        builder.run();
+        builder.finish()
+    }
+
+    /// Builds the suffix tree of `text` with [`SENTINEL`] appended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` already contains [`SENTINEL`].
+    pub fn build_with_sentinel(text: &[u32]) -> Self {
+        assert!(
+            !text.contains(&SENTINEL),
+            "text must not contain the reserved sentinel"
+        );
+        let mut owned = Vec::with_capacity(text.len() + 1);
+        owned.extend_from_slice(text);
+        owned.push(SENTINEL);
+        Self::new(owned)
+    }
+
+    /// The indexed text, including any appended sentinel.
+    pub fn text(&self) -> &[u32] {
+        &self.text
+    }
+
+    /// Total number of nodes, including root and leaves.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves (always `text.len()`).
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.children.is_empty()).count()
+    }
+
+    /// Whether `node` is a leaf.
+    pub fn is_leaf(&self, node: usize) -> bool {
+        self.nodes[node].children.is_empty()
+    }
+
+    /// String depth of `node`: the length of the root-to-node label. This
+    /// is the paper's `D(v)` ("the depth of the deepest vertex on the
+    /// condensed chain").
+    pub fn string_depth(&self, node: usize) -> usize {
+        self.nodes[node].depth
+    }
+
+    /// Parent of `node` (the root is its own parent).
+    pub fn parent(&self, node: usize) -> usize {
+        self.nodes[node].parent
+    }
+
+    /// The suffix start position represented by a leaf, or `None` for
+    /// internal nodes.
+    pub fn suffix_start(&self, node: usize) -> Option<usize> {
+        if self.is_leaf(node) {
+            Some(self.nodes[node].suffix_start)
+        } else {
+            None
+        }
+    }
+
+    /// The label of the edge entering `node` (empty for the root).
+    pub fn edge_label(&self, node: usize) -> &[u32] {
+        let n = &self.nodes[node];
+        &self.text[n.start..n.end]
+    }
+
+    /// Children of `node` as `(first symbol, child index)`, in symbol order.
+    pub fn children(&self, node: usize) -> impl Iterator<Item = (u32, usize)> + '_ {
+        self.nodes[node].children.iter().map(|(&c, &v)| (c, v))
+    }
+
+    /// All node indices in preorder (root first, children in symbol order).
+    pub fn preorder(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![ROOT];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            // Push in reverse symbol order so the smallest symbol pops first.
+            for (_, child) in self.nodes[v].children.iter().rev() {
+                stack.push(*child);
+            }
+        }
+        order
+    }
+
+    /// All node indices in postorder (children before parents).
+    pub fn postorder(&self) -> Vec<usize> {
+        let mut order = self.preorder();
+        order.reverse();
+        order
+    }
+
+    /// Locates `pattern` in the tree: returns the node at or below which
+    /// every occurrence lies, or `None` if the pattern does not occur.
+    fn locate(&self, pattern: &[u32]) -> Option<usize> {
+        let mut node = ROOT;
+        let mut matched = 0usize;
+        while matched < pattern.len() {
+            let &child = self.nodes[node].children.get(&pattern[matched])?;
+            let label = self.edge_label(child);
+            let take = label.len().min(pattern.len() - matched);
+            if label[..take] != pattern[matched..matched + take] {
+                return None;
+            }
+            matched += take;
+            node = child;
+        }
+        Some(node)
+    }
+
+    /// Whether `pattern` occurs in the text. `O(|pattern| log σ)`.
+    pub fn contains(&self, pattern: &[u32]) -> bool {
+        self.locate(pattern).is_some()
+    }
+
+    /// Start positions of all occurrences of `pattern`, sorted ascending.
+    ///
+    /// The empty pattern occurs at every position `0..text.len()`.
+    pub fn occurrences(&self, pattern: &[u32]) -> Vec<usize> {
+        let Some(top) = self.locate(pattern) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut stack = vec![top];
+        while let Some(v) = stack.pop() {
+            if self.is_leaf(v) {
+                out.push(self.nodes[v].suffix_start);
+            } else {
+                stack.extend(self.nodes[v].children.values());
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of occurrences of `pattern` in the text.
+    pub fn count_occurrences(&self, pattern: &[u32]) -> usize {
+        self.occurrences(pattern).len()
+    }
+
+    /// The longest substring occurring at least twice, or `None` if there
+    /// is none. This is the paper's §3.3 example application of the prefix
+    /// tree: locate the interior vertex of maximal depth.
+    ///
+    /// Ties are broken deterministically (first maximal-depth node in
+    /// preorder).
+    pub fn longest_repeated_substring(&self) -> Option<&[u32]> {
+        let mut best: Option<(usize, usize)> = None; // (depth, node)
+        for v in self.preorder() {
+            if !self.is_leaf(v) && self.nodes[v].depth > 0 {
+                let d = self.nodes[v].depth;
+                if best.is_none_or(|(bd, _)| d > bd) {
+                    best = Some((d, v));
+                }
+            }
+        }
+        best.map(|(d, v)| {
+            // Any leaf below `v` starts with the node's label.
+            let mut node = v;
+            while !self.is_leaf(node) {
+                let (_, child) = self.children(node).next().expect("internal node");
+                node = child;
+            }
+            let start = self.nodes[node].suffix_start;
+            &self.text[start..start + d]
+        })
+    }
+
+    /// Verifies the structural invariants of the tree; used by tests and
+    /// debug assertions. Returns a description of the first violation.
+    ///
+    /// Checked invariants:
+    /// 1. every suffix of the text is traceable from the root and ends
+    ///    exactly at a leaf with the matching `suffix_start`;
+    /// 2. the tree has exactly `n` leaves;
+    /// 3. every internal non-root node has at least two children;
+    /// 4. depths are consistent with edge labels.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.text.len();
+        if self.leaf_count() != n {
+            return Err(format!(
+                "expected {n} leaves, found {}",
+                self.leaf_count()
+            ));
+        }
+        for v in self.preorder() {
+            let node = &self.nodes[v];
+            if v != ROOT {
+                let expect = self.nodes[node.parent].depth + (node.end - node.start);
+                if node.depth != expect {
+                    return Err(format!("node {v}: depth {} != {expect}", node.depth));
+                }
+                if !self.is_leaf(v) && node.children.len() < 2 {
+                    return Err(format!("internal node {v} has < 2 children"));
+                }
+            }
+        }
+        for p in 0..n {
+            let suffix = &self.text[p..];
+            match self.locate(suffix) {
+                Some(leaf) if self.is_leaf(leaf) => {
+                    if self.nodes[leaf].suffix_start != p {
+                        return Err(format!(
+                            "suffix {p} leads to leaf with start {}",
+                            self.nodes[leaf].suffix_start
+                        ));
+                    }
+                }
+                _ => return Err(format!("suffix {p} not traceable to a leaf")),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Ukkonen's on-line construction.
+struct Builder {
+    text: Vec<u32>,
+    nodes: Vec<Node>,
+    active_node: usize,
+    active_edge: usize,
+    active_len: usize,
+    remainder: usize,
+    need_link: usize,
+}
+
+impl Builder {
+    fn new(text: Vec<u32>) -> Self {
+        let root = Node {
+            start: 0,
+            end: 0,
+            link: ROOT,
+            children: BTreeMap::new(),
+            depth: 0,
+            parent: ROOT,
+            suffix_start: 0,
+        };
+        Self {
+            text,
+            nodes: vec![root],
+            active_node: ROOT,
+            active_edge: 0,
+            active_len: 0,
+            remainder: 0,
+            need_link: ROOT,
+        }
+    }
+
+    fn new_node(&mut self, start: usize, end: usize) -> usize {
+        self.nodes.push(Node {
+            start,
+            end,
+            link: ROOT,
+            children: BTreeMap::new(),
+            depth: 0,
+            parent: ROOT,
+            suffix_start: 0,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn edge_length(&self, v: usize, pos: usize) -> usize {
+        let n = &self.nodes[v];
+        n.end.min(pos + 1) - n.start
+    }
+
+    fn add_link(&mut self, node: usize) {
+        if self.need_link != ROOT {
+            self.nodes[self.need_link].link = node;
+        }
+        self.need_link = node;
+    }
+
+    fn extend(&mut self, pos: usize) {
+        self.need_link = ROOT;
+        self.remainder += 1;
+        while self.remainder > 0 {
+            if self.active_len == 0 {
+                self.active_edge = pos;
+            }
+            let edge_symbol = self.text[self.active_edge];
+            match self.nodes[self.active_node].children.get(&edge_symbol).copied() {
+                None => {
+                    let leaf = self.new_node(pos, LEAF_END);
+                    self.nodes[self.active_node].children.insert(edge_symbol, leaf);
+                    self.add_link(self.active_node);
+                }
+                Some(next) => {
+                    let len = self.edge_length(next, pos);
+                    if self.active_len >= len {
+                        // Walk down one node and retry from there.
+                        self.active_edge += len;
+                        self.active_len -= len;
+                        self.active_node = next;
+                        continue;
+                    }
+                    if self.text[self.nodes[next].start + self.active_len]
+                        == self.text[pos]
+                    {
+                        // The symbol is already on the edge: rule 3, stop.
+                        self.active_len += 1;
+                        self.add_link(self.active_node);
+                        break;
+                    }
+                    // Split the edge and sprout a new leaf.
+                    let split_start = self.nodes[next].start;
+                    let split = self.new_node(split_start, split_start + self.active_len);
+                    self.nodes[self.active_node].children.insert(edge_symbol, split);
+                    let leaf = self.new_node(pos, LEAF_END);
+                    self.nodes[split].children.insert(self.text[pos], leaf);
+                    self.nodes[next].start += self.active_len;
+                    let next_symbol = self.text[self.nodes[next].start];
+                    self.nodes[split].children.insert(next_symbol, next);
+                    self.add_link(split);
+                }
+            }
+            self.remainder -= 1;
+            if self.active_node == ROOT && self.active_len > 0 {
+                self.active_len -= 1;
+                self.active_edge = pos - self.remainder + 1;
+            } else if self.active_node != ROOT {
+                self.active_node = self.nodes[self.active_node].link;
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        for pos in 0..self.text.len() {
+            self.extend(pos);
+        }
+    }
+
+    fn finish(mut self) -> SuffixTree {
+        let n = self.text.len();
+        // Materialize leaf ends, then fill depth/parent/suffix_start.
+        for node in &mut self.nodes {
+            if node.end == LEAF_END {
+                node.end = n;
+            }
+        }
+        let mut stack = vec![ROOT];
+        while let Some(v) = stack.pop() {
+            let (depth, children): (usize, Vec<usize>) = {
+                let node = &self.nodes[v];
+                (node.depth, node.children.values().copied().collect())
+            };
+            for child in children {
+                let child_node = &mut self.nodes[child];
+                child_node.parent = v;
+                child_node.depth = depth + (child_node.end - child_node.start);
+                if child_node.children.is_empty() {
+                    child_node.suffix_start = n - child_node.depth;
+                }
+                stack.push(child);
+            }
+        }
+        SuffixTree {
+            text: self.text,
+            nodes: self.nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(s: &[u8]) -> SuffixTree {
+        SuffixTree::build_with_sentinel(&s.iter().map(|&b| b as u32).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn banana_occurrences() {
+        let st = tree(b"banana");
+        let pat = |s: &[u8]| s.iter().map(|&b| b as u32).collect::<Vec<_>>();
+        assert_eq!(st.occurrences(&pat(b"ana")), vec![1, 3]);
+        assert_eq!(st.occurrences(&pat(b"na")), vec![2, 4]);
+        assert_eq!(st.occurrences(&pat(b"banana")), vec![0]);
+        assert!(st.occurrences(&pat(b"nab")).is_empty());
+        assert_eq!(st.count_occurrences(&pat(b"a")), 3);
+    }
+
+    #[test]
+    fn empty_pattern_occurs_everywhere() {
+        let st = tree(b"ab");
+        assert_eq!(st.occurrences(&[]), vec![0, 1, 2]); // includes sentinel pos
+        assert!(st.contains(&[]));
+    }
+
+    #[test]
+    fn longest_repeated_substring_of_banana() {
+        let st = tree(b"banana");
+        let lrs = st.longest_repeated_substring().expect("has repeats");
+        assert_eq!(lrs, &[b'a' as u32, b'n' as u32, b'a' as u32]);
+    }
+
+    #[test]
+    fn no_repeat_means_no_lrs() {
+        let st = tree(b"abcd");
+        assert_eq!(st.longest_repeated_substring(), None);
+    }
+
+    #[test]
+    fn leaf_count_equals_text_length() {
+        for s in [&b"a"[..], b"aa", b"ab", b"mississippi", b"0101010101"] {
+            let st = tree(s);
+            assert_eq!(st.leaf_count(), s.len() + 1, "text {s:?}"); // +1 sentinel
+        }
+    }
+
+    #[test]
+    fn validates_on_classic_corner_cases() {
+        for s in [
+            &b""[..],
+            b"a",
+            b"aaaa",
+            b"abab",
+            b"aabaabaa",
+            b"mississippi",
+            b"abcabxabcd",
+            b"cdddcdc",
+        ] {
+            let st = tree(s);
+            st.validate().unwrap_or_else(|e| panic!("text {s:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validates_exhaustively_on_binary_strings() {
+        for len in 0..=9usize {
+            for bits in 0..(1u32 << len) {
+                let s: Vec<u32> = (0..len).map(|i| (bits >> i) & 1).collect();
+                let st = SuffixTree::build_with_sentinel(&s);
+                st.validate().unwrap_or_else(|e| panic!("text {s:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn validates_on_ternary_strings() {
+        fn rec(s: &mut Vec<u32>, len: usize) {
+            if s.len() == len {
+                let st = SuffixTree::build_with_sentinel(s);
+                st.validate().unwrap_or_else(|e| panic!("text {s:?}: {e}"));
+                return;
+            }
+            for d in 0..3 {
+                s.push(d);
+                rec(s, len);
+                s.pop();
+            }
+        }
+        for len in 0..=6 {
+            rec(&mut Vec::new(), len);
+        }
+    }
+
+    #[test]
+    fn occurrences_agree_with_naive_scan() {
+        let text = b"abaababaabaab";
+        let st = tree(text);
+        for pl in 1..=5usize {
+            for start in 0..=text.len() - pl {
+                let pat: Vec<u32> =
+                    text[start..start + pl].iter().map(|&b| b as u32).collect();
+                let want: Vec<usize> = (0..=text.len() - pl)
+                    .filter(|&i| text[i..i + pl] == text[start..start + pl])
+                    .collect();
+                assert_eq!(st.occurrences(&pat), want, "pattern at {start} len {pl}");
+            }
+        }
+    }
+
+    #[test]
+    fn string_depths_and_parents_are_consistent() {
+        let st = tree(b"abcabxabcd");
+        for v in st.preorder() {
+            if v != ROOT {
+                let p = st.parent(v);
+                assert_eq!(
+                    st.string_depth(v),
+                    st.string_depth(p) + st.edge_label(v).len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preorder_and_postorder_cover_all_nodes() {
+        let st = tree(b"mississippi");
+        let pre = st.preorder();
+        let post = st.postorder();
+        assert_eq!(pre.len(), st.node_count());
+        assert_eq!(post.len(), st.node_count());
+        let mut sorted = pre.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..st.node_count()).collect::<Vec<_>>());
+        // Postorder must visit children before parents.
+        let pos: Vec<usize> = {
+            let mut p = vec![0; st.node_count()];
+            for (idx, &v) in post.iter().enumerate() {
+                p[v] = idx;
+            }
+            p
+        };
+        for v in 0..st.node_count() {
+            if v != ROOT {
+                assert!(pos[v] < pos[st.parent(v)], "child {v} after parent");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unique terminator")]
+    fn rejects_non_unique_terminator() {
+        SuffixTree::new(vec![0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_text() {
+        SuffixTree::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved sentinel")]
+    fn rejects_text_containing_sentinel() {
+        SuffixTree::build_with_sentinel(&[0, SENTINEL, 1]);
+    }
+
+    #[test]
+    fn node_count_is_linear() {
+        // A suffix tree on n+1 symbols has ≤ 2(n+1) nodes.
+        for len in 1..=64usize {
+            let s: Vec<u32> = (0..len as u32).map(|i| i % 4).collect();
+            let st = SuffixTree::build_with_sentinel(&s);
+            assert!(st.node_count() <= 2 * (len + 1), "len {len}");
+        }
+    }
+}

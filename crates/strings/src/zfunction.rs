@@ -1,0 +1,163 @@
+//! The Z-function: a third, independent engine for overlap queries.
+//!
+//! `z[i]` is the length of the longest common prefix of `s` and `s[i..]`.
+//! It answers the same questions as the failure function from the other
+//! end and — run over the concatenation `Y ⊥ X` — yields the directed de
+//! Bruijn overlap of Eq. (2) without any automaton: the overlap is the
+//! largest `z`-value at a position of `X` that reaches exactly to the end
+//! of the string. Kept as a differential-testing cross-check for the
+//! Morris–Pratt and suffix-tree engines (three independent algorithms,
+//! one answer).
+
+/// Computes the Z-array of `s` in `O(n)` (the classical two-pointer
+/// algorithm). `z[0]` is defined as `s.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_strings::zfunction::z_array;
+///
+/// assert_eq!(z_array(b"aabxaab"), vec![7, 1, 0, 0, 3, 1, 0]);
+/// ```
+pub fn z_array<T: Eq>(s: &[T]) -> Vec<usize> {
+    let n = s.len();
+    let mut z = vec![0usize; n];
+    if n == 0 {
+        return z;
+    }
+    z[0] = n;
+    let (mut l, mut r) = (0usize, 0usize); // rightmost Z-box [l, r)
+    for i in 1..n {
+        let mut zi = if i < r { z[i - l].min(r - i) } else { 0 };
+        while i + zi < n && s[zi] == s[i + zi] {
+            zi += 1;
+        }
+        z[i] = zi;
+        if i + zi > r {
+            l = i;
+            r = i + zi;
+        }
+    }
+    z
+}
+
+/// Z-array by brute force, for differential testing (`O(n²)`).
+pub fn z_array_naive<T: Eq>(s: &[T]) -> Vec<usize> {
+    let n = s.len();
+    (0..n)
+        .map(|i| {
+            let mut zi = 0;
+            while i + zi < n && s[zi] == s[i + zi] {
+                zi += 1;
+            }
+            zi
+        })
+        .collect()
+}
+
+/// The directed de Bruijn overlap via the Z-function: the longest suffix
+/// of `x` that is a prefix of `y`, computed as the largest Z-box in the
+/// `x`-part of `y ⊥ x` that runs to the end of the string.
+///
+/// Same contract as [`crate::failure::overlap`]; `O(|x| + |y|)`.
+///
+/// # Panics
+///
+/// Panics if a symbol equals `u32::MAX` (reserved separator).
+pub fn overlap_via_z(x: &[u32], y: &[u32]) -> usize {
+    assert!(
+        !x.contains(&u32::MAX) && !y.contains(&u32::MAX),
+        "inputs must not contain the reserved separator"
+    );
+    if x.is_empty() || y.is_empty() {
+        return 0;
+    }
+    let mut s = Vec::with_capacity(x.len() + y.len() + 1);
+    s.extend_from_slice(y);
+    s.push(u32::MAX);
+    s.extend_from_slice(x);
+    let z = z_array(&s);
+    let total = s.len();
+    let x_start = y.len() + 1;
+    let mut best = 0usize;
+    for (i, &zi) in z.iter().enumerate().skip(x_start) {
+        // A suffix-of-x = prefix-of-y match must extend exactly to the
+        // string's end and fit within y.
+        if i + zi == total && zi <= y.len() {
+            best = best.max(zi);
+        }
+    }
+    best.min(x.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::overlap;
+
+    #[test]
+    fn z_matches_naive_exhaustively_binary() {
+        for len in 0..=12usize {
+            for bits in 0..(1u32 << len.min(12)) {
+                let s: Vec<u32> = (0..len).map(|i| (bits >> i) & 1).collect();
+                assert_eq!(z_array(&s), z_array_naive(&s), "s={s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn z_matches_naive_on_ternary_samples() {
+        fn rec(s: &mut Vec<u32>, len: usize) {
+            if s.len() == len {
+                assert_eq!(z_array(s), z_array_naive(s), "s={s:?}");
+                return;
+            }
+            for d in 0..3 {
+                s.push(d);
+                rec(s, len);
+                s.pop();
+            }
+        }
+        for len in 0..=7 {
+            rec(&mut Vec::new(), len);
+        }
+    }
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(z_array(b"aaaaa"), vec![5, 4, 3, 2, 1]);
+        assert_eq!(z_array(b"abacaba"), vec![7, 0, 1, 0, 3, 0, 1]);
+        assert_eq!(z_array::<u8>(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn overlap_via_z_matches_failure_overlap() {
+        for lx in 0..=8usize {
+            for ly in 0..=8usize {
+                for bx in (0..(1u32 << lx)).step_by(3) {
+                    for by in (0..(1u32 << ly)).step_by(5) {
+                        let x: Vec<u32> = (0..lx).map(|i| (bx >> i) & 1).collect();
+                        let y: Vec<u32> = (0..ly).map(|i| (by >> i) & 1).collect();
+                        assert_eq!(
+                            overlap_via_z(&x, &y),
+                            overlap(&x, &y),
+                            "x={x:?} y={y:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_via_z_on_equal_words_is_full_length() {
+        let w: Vec<u32> = vec![2, 1, 0, 2, 1];
+        assert_eq!(overlap_via_z(&w, &w), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved separator")]
+    fn rejects_reserved_symbol() {
+        overlap_via_z(&[u32::MAX], &[0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the pattern-matching substrate.
+
+use debruijn_strings::failure::{
+    borders, failure_function, failure_function_naive, overlap, overlap_naive,
+};
+use debruijn_strings::matching::{l_table, l_table_naive, r_table, r_table_naive};
+use debruijn_strings::suffix_tree::SuffixTree;
+use debruijn_strings::{algorithm3_row, MpMatcher, TwoStringTree};
+use proptest::prelude::*;
+
+fn digits(max_sym: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..max_sym, 1..=max_len)
+}
+
+proptest! {
+    #[test]
+    fn failure_function_matches_naive(s in digits(4, 40)) {
+        prop_assert_eq!(failure_function(&s), failure_function_naive(&s));
+    }
+
+    #[test]
+    fn failure_entries_are_borders(s in digits(3, 60)) {
+        let fail = failure_function(&s);
+        for q in 0..s.len() {
+            let b = fail[q];
+            prop_assert!(b <= q);
+            prop_assert_eq!(&s[..b], &s[q + 1 - b..=q]);
+            // Maximality: no longer border exists.
+            for longer in (b + 1)..=q {
+                prop_assert_ne!(&s[..longer], &s[q + 1 - longer..=q]);
+            }
+        }
+    }
+
+    #[test]
+    fn borders_chain_is_strictly_decreasing(s in digits(2, 50)) {
+        let bs = borders(&s);
+        for w in bs.windows(2) {
+            prop_assert!(w[0] > w[1]);
+        }
+        for &b in &bs {
+            prop_assert_eq!(&s[..b], &s[s.len() - b..]);
+        }
+    }
+
+    #[test]
+    fn overlap_matches_naive(x in digits(3, 30), y in digits(3, 30)) {
+        prop_assert_eq!(overlap(&x, &y), overlap_naive(&x, &y));
+    }
+
+    #[test]
+    fn mp_matcher_agrees_with_naive_search(
+        pattern in digits(2, 8),
+        text in digits(2, 60),
+    ) {
+        let m = MpMatcher::new(pattern.clone());
+        let naive: Vec<usize> = if pattern.len() <= text.len() {
+            (0..=text.len() - pattern.len())
+                .filter(|&i| text[i..i + pattern.len()] == pattern[..])
+                .collect()
+        } else {
+            Vec::new()
+        };
+        prop_assert_eq!(m.find_all(&text), naive);
+    }
+
+    #[test]
+    fn algorithm3_row_equals_mp_states(
+        pattern in digits(3, 20),
+        text in digits(3, 30),
+    ) {
+        let (c, l) = algorithm3_row(&pattern, &text);
+        prop_assert_eq!(&c, &failure_function(&pattern));
+        let m = MpMatcher::new(pattern.clone());
+        prop_assert_eq!(l, m.prefix_match_lengths(&text));
+    }
+
+    #[test]
+    fn matching_tables_match_naive(x in digits(3, 14), y in digits(3, 14)) {
+        prop_assert_eq!(l_table(&x, &y), l_table_naive(&x, &y));
+        prop_assert_eq!(r_table(&x, &y), r_table_naive(&x, &y));
+    }
+
+    #[test]
+    fn suffix_tree_invariants_hold(s in digits(4, 80)) {
+        let st = SuffixTree::build_with_sentinel(&s);
+        prop_assert!(st.validate().is_ok());
+        prop_assert_eq!(st.leaf_count(), s.len() + 1);
+        prop_assert!(st.node_count() <= 2 * (s.len() + 1));
+    }
+
+    #[test]
+    fn suffix_tree_finds_every_substring(s in digits(2, 40)) {
+        let st = SuffixTree::build_with_sentinel(&s);
+        // Every substring must be found with all its occurrences.
+        for start in 0..s.len() {
+            let end = (start + 5).min(s.len());
+            let pat = &s[start..end];
+            let occ = st.occurrences(pat);
+            prop_assert!(occ.contains(&start));
+            for &o in &occ {
+                prop_assert_eq!(&s[o..o + pat.len()], pat);
+            }
+        }
+    }
+
+    #[test]
+    fn gst_minimum_matches_quadratic_engine(
+        x in digits(3, 25),
+        y in digits(3, 25),
+    ) {
+        let tree = TwoStringTree::new(&x, &y);
+        let got = tree.match_minimum();
+        let table = l_table(&x, &y);
+        let mut want = i64::MAX;
+        for (i0, row) in table.iter().enumerate() {
+            for (j0, &l) in row.iter().enumerate() {
+                want = want.min((i0 as i64 + 1) - (j0 as i64 + 1) - l as i64);
+            }
+        }
+        prop_assert_eq!(got.value, want);
+        // The reported minimizer attains the value with a real match.
+        prop_assert_eq!(got.value, got.s as i64 - got.t as i64 - got.theta as i64);
+        prop_assert!(got.theta <= table[got.s - 1][got.t - 1]);
+    }
+
+    #[test]
+    fn lcs_is_a_real_common_substring(x in digits(2, 30), y in digits(2, 30)) {
+        let tree = TwoStringTree::new(&x, &y);
+        if let Some((len, xs, ys)) = tree.longest_common_substring() {
+            prop_assert!(len >= 1);
+            prop_assert_eq!(&x[xs..xs + len], &y[ys..ys + len]);
+            // Maximality: no common substring of length len + 1 exists.
+            let longer = len + 1;
+            for i in 0..x.len().saturating_sub(longer - 1) {
+                for j in 0..y.len().saturating_sub(longer - 1) {
+                    prop_assert_ne!(&x[i..i + longer], &y[j..j + longer]);
+                }
+            }
+        } else {
+            // No common symbol at all.
+            for &a in &x {
+                prop_assert!(!y.contains(&a));
+            }
+        }
+    }
+}

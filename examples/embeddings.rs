@@ -1,0 +1,45 @@
+//! Emulating classical topologies on the binary de Bruijn network.
+//!
+//! Builds the ring, linear array, complete binary tree and
+//! shuffle-exchange embeddings into DN(2,k) and reports their quality
+//! (the Samatham–Pradhan versatility argument from the paper's §1).
+//!
+//! Run with `cargo run --example embeddings`.
+
+use debruijn_suite::analysis::Table;
+use debruijn_suite::core::DeBruijn;
+use debruijn_suite::embed::{binary_tree, ring, shuffle_exchange, Embedding};
+
+fn describe(table: &mut Table, e: &Embedding) {
+    table.row(vec![
+        e.guest_name().to_string(),
+        e.guest_node_count().to_string(),
+        e.guest_edge_count().to_string(),
+        e.dilation().to_string(),
+        format!("{:.3}", e.average_dilation()),
+        e.congestion().to_string(),
+        format!("{:.2}", e.expansion()),
+    ]);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let k = 6;
+    let space = DeBruijn::new(2, k)?;
+    println!("Host: DN(2,{k}) with {} nodes\n", space.order().expect("fits"));
+
+    let mut table = Table::new(
+        ["guest", "nodes", "edges", "dilation", "avg dil.", "congestion", "expansion"]
+            .map(String::from)
+            .to_vec(),
+    );
+    describe(&mut table, &ring::ring(space));
+    describe(&mut table, &ring::linear_array(space));
+    describe(&mut table, &binary_tree::complete_binary_tree(k));
+    describe(&mut table, &shuffle_exchange::shuffle_exchange(k));
+    println!("{table}");
+
+    println!("Rings and arrays follow a Hamiltonian cycle (dilation 1, expansion 1);");
+    println!("the binary tree spends one extra vertex (the all-zero word);");
+    println!("shuffle-exchange needs two hops only for its exchange edges.");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Parallel sorting on the de Bruijn multiprocessor.
+//!
+//! The paper's §1 cites Samatham–Pradhan's use of the binary de Bruijn
+//! network as a sorting network. This example sorts one key per
+//! processor with Batcher's bitonic network and reports the communication
+//! bill when every compare-exchange ships its keys along optimal routes.
+//!
+//! Run with `cargo run --example parallel_sort`.
+
+use debruijn_suite::analysis::Table;
+use debruijn_suite::core::DeBruijn;
+use debruijn_suite::embed::sorting::{bitonic_network, sort_on_network};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = Table::new(
+        ["k", "keys", "stages", "compare-exch.", "total key-hops", "critical path"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for k in 3..=9usize {
+        let space = DeBruijn::new(2, k)?;
+        let n = space.order_usize().expect("enumerable");
+        // A worst-ish case input: reverse sorted with duplicates.
+        let keys: Vec<u64> = (0..n).map(|i| ((n - i) / 3) as u64).collect();
+        let (sorted, cost) = sort_on_network(space, &keys);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        table.row(vec![
+            k.to_string(),
+            n.to_string(),
+            cost.stages.to_string(),
+            cost.compare_exchanges.to_string(),
+            cost.total_hops.to_string(),
+            cost.critical_path.to_string(),
+        ]);
+    }
+    println!("bitonic sort on DN(2,k), keys shipped along optimal routes\n");
+    println!("{table}");
+    let stages = bitonic_network(8).len();
+    println!("The network needs k(k+1)/2 stages (k=8 -> {stages}); every stage's");
+    println!("compare-exchanges are disjoint, so the critical path is the sum of");
+    println!("each stage's worst partner distance — O(k) per stage, O(k^3) total,");
+    println!("versus Θ(N log N) key movements for any sequential sort shipping");
+    println!("everything through one node.");
+    Ok(())
+}

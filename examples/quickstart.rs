@@ -1,0 +1,67 @@
+//! Quickstart: distances and optimal routes in a de Bruijn network.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use debruijn_suite::core::{
+    directed_average_distance, distance, routing, DeBruijn, Word,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The binary de Bruijn network DN(2,6): 64 processors, diameter 6,
+    // every node has at most 4 links.
+    let network = DeBruijn::new(2, 6)?;
+    println!(
+        "DN(2,6): {} nodes, diameter {}, degree <= {}",
+        network.order().expect("fits"),
+        network.diameter(),
+        2 * network.d()
+    );
+
+    let x = Word::parse(2, "010011")?;
+    let y = Word::parse(2, "110100")?;
+    println!("\nsource      X = {x}");
+    println!("destination Y = {y}");
+
+    // Uni-directional network: only left shifts are available.
+    let directed = distance::directed::distance(&x, &y);
+    let route1 = routing::algorithm1(&x, &y);
+    println!("\nuni-directional distance  : {directed}");
+    println!("Algorithm 1 route         : {route1}");
+    assert!(route1.leads_to(&x, &y));
+
+    // Bi-directional network: mixing both shift types can be shorter.
+    let undirected = distance::undirected::distance(&x, &y);
+    let route2 = routing::algorithm2(&x, &y);
+    let route4 = routing::algorithm4(&x, &y);
+    println!("\nbi-directional distance   : {undirected}");
+    println!("Algorithm 2 route (O(k^2)): {route2}");
+    println!("Algorithm 4 route (O(k))  : {route4}");
+    assert_eq!(route2.len(), undirected);
+    assert_eq!(route4.len(), undirected);
+    assert!(route2.leads_to(&x, &y));
+    assert!(route4.leads_to(&x, &y));
+
+    // Follow Algorithm 2's route hop by hop.
+    println!("\nwalking Algorithm 2's route:");
+    let mut cursor = x.clone();
+    for (hop, step) in route2.iter().enumerate() {
+        let digit = match step.digit {
+            debruijn_suite::core::Digit::Exact(b) => b,
+            debruijn_suite::core::Digit::Any => 0, // free choice
+        };
+        cursor = match step.shift {
+            debruijn_suite::core::ShiftKind::Left => cursor.shift_left(digit),
+            debruijn_suite::core::ShiftKind::Right => cursor.shift_right(digit),
+        };
+        println!("  hop {}: {step} -> {cursor}", hop + 1);
+    }
+    assert_eq!(cursor, y);
+
+    // The closed form of Eq. (5) vs the trivial k-hop routing.
+    println!(
+        "\naverage directed distance (Eq. 5 approx): {:.4} (trivial routing always pays {})",
+        directed_average_distance(2, 6),
+        network.diameter()
+    );
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! `dbr` — de Bruijn network routing toolbox.
+//!
+//! See `dbr help` for usage; the command logic lives in
+//! [`debruijn_suite::cli`] so it can be unit-tested.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match debruijn_suite::cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", debruijn_suite::cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match debruijn_suite::cli::run(&cmd) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,668 @@
+//! Implementation of the `dbr` command-line tool.
+//!
+//! Kept in the library (rather than the binary) so the argument parsing
+//! and command logic are unit-testable. The binary `src/bin/dbr.rs` is a
+//! thin wrapper. No external argument-parsing dependency: the grammar is
+//! small and fixed.
+
+use std::fmt::Write as _;
+
+use debruijn_analysis::{average, Table};
+use debruijn_core::distance::undirected::Engine;
+use debruijn_core::{directed_average_distance, distance, routing, DeBruijn, Word};
+use debruijn_graph::{census, diameter, euler, DebruijnGraph};
+use debruijn_net::{workload, RouterKind, SimConfig, Simulation, WildcardPolicy};
+
+/// A parsed `dbr` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `dbr route <d> <X> <Y> [--directed] [--engine naive|mp|suffix-tree]`
+    Route {
+        /// Digit radix.
+        d: u8,
+        /// Source address text.
+        x: String,
+        /// Destination address text.
+        y: String,
+        /// Uni-directional network (Algorithm 1) instead of Algorithm 2/4.
+        directed: bool,
+        /// Engine override for the bidirectional case.
+        engine: Engine,
+    },
+    /// `dbr distance <d> <X> <Y> [--directed]`
+    Distance {
+        /// Digit radix.
+        d: u8,
+        /// Source address text.
+        x: String,
+        /// Destination address text.
+        y: String,
+        /// Uni-directional distance (Property 1) instead of Theorem 2.
+        directed: bool,
+    },
+    /// `dbr sequence <d> <n> [--prefer-largest]`
+    Sequence {
+        /// Digit radix.
+        d: u8,
+        /// Window length.
+        n: usize,
+        /// Use Martin's greedy generator instead of Hierholzer.
+        prefer_largest: bool,
+    },
+    /// `dbr census <d> <k>`
+    Census {
+        /// Digit radix.
+        d: u8,
+        /// Word length.
+        k: usize,
+    },
+    /// `dbr average <d> <k> [--directed] [--samples N]`
+    Average {
+        /// Digit radix.
+        d: u8,
+        /// Word length.
+        k: usize,
+        /// Directed instead of undirected average.
+        directed: bool,
+        /// Monte-Carlo sample count (0 = exact enumeration).
+        samples: usize,
+    },
+    /// `dbr simulate <d> <k> [--messages N] [--router R] [--policy P] [--seed S]`
+    Simulate {
+        /// Digit radix.
+        d: u8,
+        /// Word length.
+        k: usize,
+        /// Number of uniform random messages.
+        messages: usize,
+        /// Routing strategy.
+        router: RouterKind,
+        /// Wildcard policy.
+        policy: WildcardPolicy,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `dbr multipath <d> <X> <Y>`
+    Multipath {
+        /// Digit radix.
+        d: u8,
+        /// Source address text.
+        x: String,
+        /// Destination address text.
+        y: String,
+    },
+    /// `dbr gdb <d> <N> <i> <j>`
+    Gdb {
+        /// Out-degree.
+        d: u64,
+        /// Vertex count (any `N >= 2`).
+        n: u64,
+        /// Source vertex.
+        i: u64,
+        /// Destination vertex.
+        j: u64,
+    },
+    /// `dbr disjoint <d> <X> <Y>`
+    Disjoint {
+        /// Digit radix.
+        d: u8,
+        /// Source address text.
+        x: String,
+        /// Destination address text.
+        y: String,
+    },
+    /// `dbr help`
+    Help,
+}
+
+/// Usage text printed by `dbr help` and on parse errors.
+pub const USAGE: &str = "\
+dbr — de Bruijn network routing toolbox
+
+USAGE:
+  dbr route <d> <X> <Y> [--directed] [--engine naive|mp|suffix-tree]
+  dbr distance <d> <X> <Y> [--directed]
+  dbr sequence <d> <n> [--prefer-largest]
+  dbr census <d> <k>
+  dbr average <d> <k> [--directed] [--samples N]
+  dbr simulate <d> <k> [--messages N] [--router trivial|alg1|alg2|alg4]
+                       [--policy zero|random|round-robin|least-loaded] [--seed S]
+  dbr multipath <d> <X> <Y>
+  dbr gdb <d> <N> <i> <j>
+  dbr disjoint <d> <X> <Y>
+  dbr help
+
+Addresses are digit strings (\"0110\") or dot-separated for d > 10
+(\"11.3.0\"). Examples:
+  dbr route 2 010011 110100
+  dbr average 2 8 --directed
+  dbr simulate 2 8 --messages 5000 --router alg4 --policy least-loaded
+";
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message describing the first problem.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str);
+    let sub = it.next().ok_or_else(|| "missing subcommand".to_string())?;
+    let rest: Vec<&str> = it.collect();
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "route" => {
+            let (pos, flags) = split_flags(&rest);
+            let [d, x, y] = positional::<3>(&pos, "route <d> <X> <Y>")?;
+            Ok(Command::Route {
+                d: parse_radix(d)?,
+                x: x.to_string(),
+                y: y.to_string(),
+                directed: flags.has("--directed")?,
+                engine: match flags.value("--engine")? {
+                    None => Engine::Auto,
+                    Some("naive") => Engine::Naive,
+                    Some("mp") => Engine::MorrisPratt,
+                    Some("suffix-tree") => Engine::SuffixTree,
+                    Some(other) => return Err(format!("unknown engine '{other}'")),
+                },
+            })
+        }
+        "distance" => {
+            let (pos, flags) = split_flags(&rest);
+            let [d, x, y] = positional::<3>(&pos, "distance <d> <X> <Y>")?;
+            Ok(Command::Distance {
+                d: parse_radix(d)?,
+                x: x.to_string(),
+                y: y.to_string(),
+                directed: flags.has("--directed")?,
+            })
+        }
+        "sequence" => {
+            let (pos, flags) = split_flags(&rest);
+            let [d, n] = positional::<2>(&pos, "sequence <d> <n>")?;
+            Ok(Command::Sequence {
+                d: parse_radix(d)?,
+                n: parse_num(n, "n")?,
+                prefer_largest: flags.has("--prefer-largest")?,
+            })
+        }
+        "census" => {
+            let (pos, flags) = split_flags(&rest);
+            flags.expect_empty()?;
+            let [d, k] = positional::<2>(&pos, "census <d> <k>")?;
+            Ok(Command::Census { d: parse_radix(d)?, k: parse_num(k, "k")? })
+        }
+        "average" => {
+            let (pos, flags) = split_flags(&rest);
+            let [d, k] = positional::<2>(&pos, "average <d> <k>")?;
+            Ok(Command::Average {
+                d: parse_radix(d)?,
+                k: parse_num(k, "k")?,
+                directed: flags.has("--directed")?,
+                samples: flags
+                    .value("--samples")?
+                    .map(|v| parse_num(v, "samples"))
+                    .transpose()?
+                    .unwrap_or(0),
+            })
+        }
+        "simulate" => {
+            let (pos, flags) = split_flags(&rest);
+            let [d, k] = positional::<2>(&pos, "simulate <d> <k>")?;
+            Ok(Command::Simulate {
+                d: parse_radix(d)?,
+                k: parse_num(k, "k")?,
+                messages: flags
+                    .value("--messages")?
+                    .map(|v| parse_num(v, "messages"))
+                    .transpose()?
+                    .unwrap_or(1000),
+                router: match flags.value("--router")? {
+                    None | Some("alg2") => RouterKind::Algorithm2,
+                    Some("trivial") => RouterKind::Trivial,
+                    Some("alg1") => RouterKind::Algorithm1,
+                    Some("alg4") => RouterKind::Algorithm4,
+                    Some(other) => return Err(format!("unknown router '{other}'")),
+                },
+                policy: match flags.value("--policy")? {
+                    None | Some("zero") => WildcardPolicy::Zero,
+                    Some("random") => WildcardPolicy::Random,
+                    Some("round-robin") => WildcardPolicy::RoundRobin,
+                    Some("least-loaded") => WildcardPolicy::LeastLoaded,
+                    Some(other) => return Err(format!("unknown policy '{other}'")),
+                },
+                seed: flags
+                    .value("--seed")?
+                    .map(|v| v.parse::<u64>().map_err(|_| format!("bad seed '{v}'")))
+                    .transpose()?
+                    .unwrap_or(0xDB),
+            })
+        }
+        "multipath" => {
+            let (pos, flags) = split_flags(&rest);
+            flags.expect_empty()?;
+            let [d, x, y] = positional::<3>(&pos, "multipath <d> <X> <Y>")?;
+            Ok(Command::Multipath {
+                d: parse_radix(d)?,
+                x: x.to_string(),
+                y: y.to_string(),
+            })
+        }
+        "gdb" => {
+            let (pos, flags) = split_flags(&rest);
+            flags.expect_empty()?;
+            let [d, n, i, j] = positional::<4>(&pos, "gdb <d> <N> <i> <j>")?;
+            let num =
+                |s: &str, what: &str| s.parse::<u64>().map_err(|_| format!("bad {what} '{s}'"));
+            Ok(Command::Gdb {
+                d: num(d, "d")?,
+                n: num(n, "N")?,
+                i: num(i, "i")?,
+                j: num(j, "j")?,
+            })
+        }
+        "disjoint" => {
+            let (pos, flags) = split_flags(&rest);
+            flags.expect_empty()?;
+            let [d, x, y] = positional::<3>(&pos, "disjoint <d> <X> <Y>")?;
+            Ok(Command::Disjoint {
+                d: parse_radix(d)?,
+                x: x.to_string(),
+                y: y.to_string(),
+            })
+        }
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    }
+}
+
+/// Executes a command, returning its stdout text.
+///
+/// # Errors
+///
+/// Returns a human-readable message on invalid inputs (bad digits,
+/// mismatched lengths, spaces too large to enumerate, …).
+pub fn run(cmd: &Command) -> Result<String, String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Route { d, x, y, directed, engine } => {
+            let (x, y) = parse_pair(*d, x, y)?;
+            if *directed {
+                let route = routing::algorithm1(&x, &y);
+                writeln!(out, "distance: {}", route.len()).expect("write to string");
+                writeln!(out, "route:    {route}").expect("write to string");
+            } else {
+                let route = routing::route_with_engine(&x, &y, *engine);
+                writeln!(out, "distance: {}", route.len()).expect("write to string");
+                writeln!(out, "route:    {route}").expect("write to string");
+            }
+        }
+        Command::Distance { d, x, y, directed } => {
+            let (x, y) = parse_pair(*d, x, y)?;
+            let dist = if *directed {
+                distance::directed::distance(&x, &y)
+            } else {
+                distance::undirected::distance(&x, &y)
+            };
+            writeln!(out, "{dist}").expect("write to string");
+        }
+        Command::Sequence { d, n, prefer_largest } => {
+            if *d < 2 || *n < 1 {
+                return Err("sequence requires d >= 2 and n >= 1".into());
+            }
+            if (*d as u128).checked_pow(*n as u32).is_none_or(|v| v > 1 << 24) {
+                return Err("sequence too long to print (d^n > 2^24)".into());
+            }
+            let seq = if *prefer_largest {
+                euler::de_bruijn_sequence_prefer_largest(*d, *n)
+            } else {
+                euler::de_bruijn_sequence(*d, *n)
+            };
+            let rendered: Vec<String> = seq.iter().map(u8::to_string).collect();
+            let sep = if *d > 10 { "." } else { "" };
+            writeln!(out, "{}", rendered.join(sep)).expect("write to string");
+        }
+        Command::Census { d, k } => {
+            let space = space_of(*d, *k)?;
+            let dg = DebruijnGraph::directed(space)
+                .map_err(|e| format!("cannot materialize: {e}"))?;
+            let ug = DebruijnGraph::undirected(space)
+                .map_err(|e| format!("cannot materialize: {e}"))?;
+            let dc = census::census(&dg);
+            let uc = census::census(&ug);
+            writeln!(out, "DG({d},{k}): {} vertices", dc.nodes).expect("write");
+            writeln!(out, "directed:   {} arcs, diameter {}", dc.edges, diameter::diameter(&dg))
+                .expect("write");
+            writeln!(out, "undirected: {} edges, diameter {}", uc.edges, diameter::diameter(&ug))
+                .expect("write");
+            let mut t = Table::new(vec!["degree".into(), "directed".into(), "undirected".into()]);
+            let degrees: std::collections::BTreeSet<usize> = dc
+                .degree_histogram
+                .keys()
+                .chain(uc.degree_histogram.keys())
+                .copied()
+                .collect();
+            for deg in degrees {
+                t.row(vec![
+                    deg.to_string(),
+                    dc.degree_histogram.get(&deg).copied().unwrap_or(0).to_string(),
+                    uc.degree_histogram.get(&deg).copied().unwrap_or(0).to_string(),
+                ]);
+            }
+            write!(out, "{t}").expect("write to string");
+        }
+        Command::Average { d, k, directed, samples } => {
+            let space = space_of(*d, *k)?;
+            let value = if *samples > 0 {
+                average::sampled(space, *directed, *samples, 0xC11)
+            } else if *directed {
+                average::exact_directed(space)
+            } else {
+                average::exact_undirected(space)
+            };
+            writeln!(out, "{value:.6}").expect("write to string");
+            if *directed {
+                writeln!(out, "Eq.(5) approximation: {:.6}", directed_average_distance(*d, *k))
+                    .expect("write to string");
+            }
+        }
+        Command::Simulate { d, k, messages, router, policy, seed } => {
+            let space = space_of(*d, *k)?;
+            let config = SimConfig {
+                router: *router,
+                policy: *policy,
+                seed: *seed,
+                ..SimConfig::default()
+            };
+            let sim = Simulation::new(space, config).map_err(|e| e.to_string())?;
+            let traffic = workload::uniform_random(space, *messages, *seed);
+            let report = sim.run(&traffic);
+            let loads = report.link_load_summary();
+            writeln!(out, "delivered:    {}/{}", report.delivered, report.injected)
+                .expect("write");
+            writeln!(out, "mean hops:    {:.4}", report.mean_hops()).expect("write");
+            writeln!(out, "mean latency: {:.4}", report.mean_latency()).expect("write");
+            writeln!(out, "max latency:  {}", report.latency_max).expect("write");
+            writeln!(out, "makespan:     {}", report.makespan).expect("write");
+            writeln!(out, "max link load: {} (std {:.3})", loads.max, loads.std_dev)
+                .expect("write");
+        }
+        Command::Multipath { d, x, y } => {
+            let (x, y) = parse_pair(*d, x, y)?;
+            let routes = routing::all_shortest_routes(&x, &y);
+            writeln!(out, "{} shortest route(s) of length {}:", routes.len(), routes[0].len())
+                .expect("write");
+            for r in &routes {
+                writeln!(out, "  {r}").expect("write");
+            }
+        }
+        Command::Gdb { d, n, i, j } => {
+            let g = debruijn_graph::generalized::Gdb::new(*d, *n)?;
+            if *i >= *n || *j >= *n {
+                return Err(format!("vertices must be below N = {n}"));
+            }
+            let route = g.route(*i, *j);
+            writeln!(out, "GDB({d},{n}): diameter bound {}", g.diameter_bound())
+                .expect("write");
+            writeln!(out, "distance {i} -> {j}: {}", route.len()).expect("write");
+            let rendered: Vec<String> = route.iter().map(u64::to_string).collect();
+            writeln!(out, "digits: [{}]", rendered.join(", ")).expect("write");
+        }
+        Command::Disjoint { d, x, y } => {
+            let (x, y) = parse_pair(*d, x, y)?;
+            if x == y {
+                return Err("endpoints must differ".into());
+            }
+            let space = space_of(*d, x.len())?;
+            let graph = DebruijnGraph::undirected(space)
+                .map_err(|e| format!("cannot materialize: {e}"))?;
+            let paths = debruijn_graph::disjoint::vertex_disjoint_paths(
+                &graph,
+                graph.rank_of(&x),
+                graph.rank_of(&y),
+                *d as usize + 1,
+            );
+            writeln!(out, "{} internally vertex-disjoint path(s):", paths.len())
+                .expect("write");
+            for p in &paths {
+                let words: Vec<String> =
+                    p.iter().map(|&v| graph.word_of(v).to_string()).collect();
+                writeln!(out, "  {}", words.join(" -> ")).expect("write");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn space_of(d: u8, k: usize) -> Result<DeBruijn, String> {
+    let space = DeBruijn::new(d, k).map_err(|e| e.to_string())?;
+    if space.order_usize().is_none() {
+        return Err(format!("DG({d},{k}) is too large to enumerate"));
+    }
+    Ok(space)
+}
+
+fn parse_pair(d: u8, x: &str, y: &str) -> Result<(Word, Word), String> {
+    let x = Word::parse(d, x).map_err(|e| format!("bad X: {e}"))?;
+    let y = Word::parse(d, y).map_err(|e| format!("bad Y: {e}"))?;
+    if !x.same_space(&y) {
+        return Err("X and Y must have the same length".into());
+    }
+    Ok((x, y))
+}
+
+fn parse_radix(s: &str) -> Result<u8, String> {
+    s.parse::<u8>().map_err(|_| format!("bad radix '{s}'"))
+}
+
+fn parse_num(s: &str, what: &str) -> Result<usize, String> {
+    s.parse::<usize>().map_err(|_| format!("bad {what} '{s}'"))
+}
+
+fn positional<'a, const N: usize>(
+    pos: &[&'a str],
+    usage: &str,
+) -> Result<[&'a str; N], String> {
+    if pos.len() != N {
+        return Err(format!("expected {usage}, got {} positional arguments", pos.len()));
+    }
+    let mut out = [""; N];
+    out.copy_from_slice(pos);
+    Ok(out)
+}
+
+/// Flags split out of an argument list: `--name value` and bare `--name`.
+struct Flags<'a> {
+    items: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> Flags<'a> {
+    fn has(&self, name: &str) -> Result<bool, String> {
+        for (n, v) in &self.items {
+            if *n == name {
+                if v.is_some() {
+                    return Err(format!("flag {name} takes no value"));
+                }
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn value(&self, name: &str) -> Result<Option<&'a str>, String> {
+        for (n, v) in &self.items {
+            if *n == name {
+                return v
+                    .map(Some)
+                    .ok_or_else(|| format!("flag {name} needs a value"));
+            }
+        }
+        Ok(None)
+    }
+
+    fn expect_empty(&self) -> Result<(), String> {
+        match self.items.first() {
+            Some((n, _)) => Err(format!("unexpected flag {n}")),
+            None => Ok(()),
+        }
+    }
+}
+
+fn split_flags<'a>(args: &[&'a str]) -> (Vec<&'a str>, Flags<'a>) {
+    let mut pos = Vec::new();
+    let mut items = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i];
+        if let Some(stripped) = a.strip_prefix("--") {
+            // Bare boolean flags are the ones our grammar declares;
+            // everything else consumes the following token as its value.
+            let bare = matches!(stripped, "directed" | "prefer-largest");
+            if bare {
+                items.push((a, None));
+            } else if i + 1 < args.len() {
+                items.push((a, Some(args[i + 1])));
+                i += 1;
+            } else {
+                items.push((a, None));
+            }
+        } else {
+            pos.push(a);
+        }
+        i += 1;
+    }
+    (pos, Flags { items })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_line(line: &str) -> Result<Command, String> {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        parse(&args)
+    }
+
+    #[test]
+    fn parses_route_with_flags() {
+        let cmd = parse_line("route 2 0110 1011 --engine suffix-tree").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Route {
+                d: 2,
+                x: "0110".into(),
+                y: "1011".into(),
+                directed: false,
+                engine: Engine::SuffixTree,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_directed_distance() {
+        let cmd = parse_line("distance 3 012 210 --directed").unwrap();
+        assert!(matches!(cmd, Command::Distance { directed: true, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_subcommand_and_engine() {
+        assert!(parse_line("frobnicate 1 2").is_err());
+        assert!(parse_line("route 2 01 10 --engine quantum").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(parse_line("route 2 0110").is_err());
+        assert!(parse_line("census 2").is_err());
+    }
+
+    #[test]
+    fn route_command_emits_optimal_route() {
+        let cmd = parse_line("route 2 010011 110100").unwrap();
+        let out = run(&cmd).unwrap();
+        // Two right shifts: 010011 -> 101001 -> 110100.
+        assert!(out.contains("distance: 2"), "{out}");
+        assert!(out.contains("route:"), "{out}");
+        let directed = run(&parse_line("route 2 010011 110100 --directed").unwrap()).unwrap();
+        assert!(directed.contains("distance: 4"), "{directed}");
+    }
+
+    #[test]
+    fn distance_commands_agree_with_library() {
+        let out = run(&parse_line("distance 2 0110 1011").unwrap()).unwrap();
+        assert_eq!(out.trim(), "1");
+        let out = run(&parse_line("distance 2 0110 1011 --directed").unwrap()).unwrap();
+        assert_eq!(out.trim(), "2");
+    }
+
+    #[test]
+    fn sequence_command_prints_valid_sequence() {
+        let out = run(&parse_line("sequence 2 3").unwrap()).unwrap();
+        let digits: Vec<u8> = out.trim().bytes().map(|b| b - b'0').collect();
+        assert!(euler::is_de_bruijn_sequence(2, 3, &digits), "{out}");
+        let out2 = run(&parse_line("sequence 2 3 --prefer-largest").unwrap()).unwrap();
+        assert_eq!(out2.trim(), "00011101");
+    }
+
+    #[test]
+    fn census_command_reports_structure() {
+        let out = run(&parse_line("census 2 3").unwrap()).unwrap();
+        assert!(out.contains("8 vertices"), "{out}");
+        assert!(out.contains("diameter 3"), "{out}");
+    }
+
+    #[test]
+    fn average_command_exact_matches_analysis() {
+        let out = run(&parse_line("average 2 2 --directed").unwrap()).unwrap();
+        assert!(out.starts_with("1.125000"), "{out}");
+        assert!(out.contains("1.250000"), "Eq.5 line: {out}");
+    }
+
+    #[test]
+    fn simulate_command_delivers_everything() {
+        let out =
+            run(&parse_line("simulate 2 5 --messages 200 --router alg4 --seed 9").unwrap())
+                .unwrap();
+        assert!(out.contains("delivered:    200/200"), "{out}");
+    }
+
+    #[test]
+    fn run_reports_bad_words() {
+        let err = run(&parse_line("distance 2 01 0110").unwrap()).unwrap_err();
+        assert!(err.contains("same length"), "{err}");
+        let err = run(&parse_line("distance 2 0120 0000").unwrap()).unwrap_err();
+        assert!(err.contains("bad X"), "{err}");
+    }
+
+    #[test]
+    fn help_contains_usage() {
+        let out = run(&Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn multipath_command_lists_distinct_shortest_routes() {
+        let out = run(&parse_line("multipath 2 0000 1111").unwrap()).unwrap();
+        assert!(out.contains("shortest route(s) of length 4"), "{out}");
+        // Trivial route plus at least one right-shift variant.
+        assert!(out.lines().count() >= 3, "{out}");
+    }
+
+    #[test]
+    fn gdb_command_routes_in_non_power_graphs() {
+        let out = run(&parse_line("gdb 2 12 3 7").unwrap()).unwrap();
+        assert!(out.contains("GDB(2,12)"), "{out}");
+        assert!(out.contains("distance 3 -> 7"), "{out}");
+        let err = run(&parse_line("gdb 2 12 12 0").unwrap()).unwrap_err();
+        assert!(err.contains("below N"), "{err}");
+    }
+
+    #[test]
+    fn disjoint_command_reports_menger_witnesses() {
+        let out = run(&parse_line("disjoint 2 000 111").unwrap()).unwrap();
+        assert!(out.contains("vertex-disjoint"), "{out}");
+        assert!(out.contains("000 -> "), "{out}");
+        let err = run(&parse_line("disjoint 2 000 000").unwrap()).unwrap_err();
+        assert!(err.contains("differ"), "{err}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Umbrella crate for the de Bruijn optimal-routing reproduction.
+//!
+//! Re-exports the workspace crates under one roof so the examples and
+//! integration tests read naturally. See the individual crates for the
+//! real API documentation:
+//!
+//! * `debruijn_core` — words, distance functions, Algorithms
+//!   1/2/4 (the paper's contribution);
+//! * `debruijn_strings` — failure functions and suffix trees
+//!   (the pattern-matching substrate);
+//! * `debruijn_graph` — explicit graphs, BFS baselines,
+//!   censuses, Euler/Hamilton tours, fault-avoiding routing;
+//! * `debruijn_net` — the discrete-event network simulator;
+//! * `debruijn_embed` — ring/tree/shuffle-exchange embeddings;
+//! * `debruijn_analysis` — experiment computations and table
+//!   rendering.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use debruijn_suite::core::{routing, Word};
+//!
+//! let x = Word::parse(2, "010011")?;
+//! let y = Word::parse(2, "110100")?;
+//! let route = routing::algorithm4(&x, &y);
+//! assert!(route.leads_to(&x, &y));
+//! # Ok::<(), debruijn_suite::core::Error>(())
+//! ```
+
+pub mod cli;
+
+pub use debruijn_analysis as analysis;
+pub use debruijn_core as core;
+pub use debruijn_embed as embed;
+pub use debruijn_graph as graph;
+pub use debruijn_net as net;
+pub use debruijn_strings as strings;

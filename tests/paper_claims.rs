@@ -1,0 +1,152 @@
+//! The paper's headline claims, verified end-to-end.
+//!
+//! One test per claim, following the numbering of DESIGN.md's experiment
+//! table (E1–E9 have full benches; these are the fast CI-sized versions).
+
+use debruijn_suite::analysis::{average, distribution};
+use debruijn_suite::core::{directed_average_distance, distance, routing, DeBruijn};
+use debruijn_suite::embed::{binary_tree, ring, shuffle_exchange};
+use debruijn_suite::graph::{census, connectivity, diameter, disjoint, DebruijnGraph};
+
+#[test]
+fn e1_eq5_is_an_upper_approximation_of_the_directed_average() {
+    for (d, k) in [(2u8, 4usize), (3, 3), (4, 3), (5, 2)] {
+        let space = DeBruijn::new(d, k).unwrap();
+        let exact = average::exact_directed(space);
+        let formula = directed_average_distance(d, k);
+        assert!(formula >= exact - 1e-12, "d={d} k={k}");
+        // The gap is the overlap-correlation term; it decays with d.
+        let gap = formula - exact;
+        let bound = 2.0 / (f64::from(d) * f64::from(d) - 1.0) + 0.05;
+        assert!(gap <= bound, "d={d} k={k}: gap {gap} > {bound}");
+    }
+}
+
+#[test]
+fn e2_figure2_shape_average_undirected_distance() {
+    // Regenerate the Figure 2 series in miniature and check its shape:
+    // increasing in k with slope < 1... and always below the directed
+    // average and the diameter.
+    for d in [2u8, 3] {
+        let mut prev = 0.0f64;
+        for k in 1..=6usize {
+            let space = DeBruijn::new(d, k).unwrap();
+            let und = average::exact_undirected(space);
+            let dir = average::exact_directed(space);
+            assert!(und <= dir + 1e-12, "d={d} k={k}");
+            assert!(und < k as f64, "below diameter");
+            assert!(und > prev, "monotone in k (d={d} k={k})");
+            let slope = und - prev;
+            if k >= 3 {
+                assert!(slope > 0.5 && slope < 1.2, "d={d} k={k}: slope {slope}");
+            }
+            prev = und;
+        }
+    }
+}
+
+#[test]
+fn e3_distance_functions_equal_bfs_everywhere() {
+    for (d, k) in [(2u8, 5usize), (3, 3), (4, 2), (5, 2)] {
+        let space = DeBruijn::new(d, k).unwrap();
+        let by_formula = average::exact_undirected(space);
+        let by_bfs = average::exact_undirected_bfs(space);
+        assert!((by_formula - by_bfs).abs() < 1e-12, "d={d} k={k}");
+    }
+}
+
+#[test]
+fn e4_structure_census_matches_section_1() {
+    for (d, k) in [(2u8, 4usize), (3, 3), (4, 3)] {
+        let space = DeBruijn::new(d, k).unwrap();
+        let dg = DebruijnGraph::directed(space).unwrap();
+        let ug = DebruijnGraph::undirected(space).unwrap();
+        assert!(census::census(&dg).matches_directed_claim(d), "d={d} k={k}");
+        assert!(census::census(&ug).matches_undirected_claim(d), "d={d} k={k}");
+        assert_eq!(diameter::diameter(&dg), k);
+        assert_eq!(diameter::diameter(&ug), k);
+        assert!(connectivity::is_strongly_connected(&dg));
+    }
+}
+
+#[test]
+fn e5_complexity_smoke_route_generation_scales_mildly() {
+    use std::time::Instant;
+    // Not a benchmark — just a sanity check that k = 4096 routes are
+    // computed instantly by the linear algorithm (an O(k³) or worse
+    // implementation would be visible even here).
+    let d = 2u8;
+    let k = 4096usize;
+    let mut digits_x = vec![0u8; k];
+    let mut digits_y = vec![0u8; k];
+    let mut state = 12345u64;
+    for i in 0..k {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        digits_x[i] = ((state >> 33) & 1) as u8;
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        digits_y[i] = ((state >> 33) & 1) as u8;
+    }
+    let x = debruijn_suite::core::Word::new(d, digits_x).unwrap();
+    let y = debruijn_suite::core::Word::new(d, digits_y).unwrap();
+    let t0 = Instant::now();
+    let route = routing::algorithm4(&x, &y);
+    let elapsed = t0.elapsed();
+    assert!(route.leads_to(&x, &y));
+    assert_eq!(route.len(), distance::undirected::distance(&x, &y));
+    assert!(elapsed.as_millis() < 2_000, "Algorithm 4 took {elapsed:?} at k={k}");
+}
+
+#[test]
+fn e6_distance_distributions_have_the_papers_shape() {
+    let space = DeBruijn::new(2, 6).unwrap();
+
+    // Directed: the overlap is short with high probability, so most pairs
+    // sit within 2 hops of the diameter (measured: 78% for DG(2,6)).
+    let dir = distribution::distance_histogram(space, distribution::Orientation::Directed);
+    let total: u64 = dir.values().sum();
+    let near: u64 = dir.iter().filter(|&(&d, _)| d + 2 >= 6).map(|(_, &c)| c).sum();
+    assert!(near * 4 >= total * 3, "directed: ≥75% of pairs within 2 of k");
+
+    // Undirected: bidirectionality spreads the mass toward the middle —
+    // the mean drops well below the diameter (the Figure 2 effect), and
+    // almost no pair still needs the full k hops.
+    let und = distribution::distance_histogram(space, distribution::Orientation::Undirected);
+    let mean = distribution::histogram_mean(&und);
+    let dir_mean = distribution::histogram_mean(&dir);
+    assert!(mean < dir_mean, "undirected mean below directed mean");
+    assert!(mean < 4.0 && mean > 3.0, "DG(2,6): measured mean {mean}");
+    let at_diameter = und.get(&6).copied().unwrap_or(0);
+    assert!(at_diameter * 50 < total, "under 2% of pairs at the full diameter");
+}
+
+#[test]
+fn e8_up_to_d_minus_1_faults_leave_the_network_connected() {
+    // d = 4, k = 2: every 3-subset of faults keeps the graph connected,
+    // witnessed through disjoint paths as well.
+    let space = DeBruijn::new(4, 2).unwrap();
+    let g = DebruijnGraph::undirected(space).unwrap();
+    let n = g.node_count() as u32;
+    // Random-ish but deterministic fault triples.
+    let triples = [(1u32, 5, 9), (2, 7, 13), (0, 8, 15), (3, 6, 12)];
+    for &(a, b, c) in &triples {
+        assert_eq!(connectivity::components_after_faults(&g, &[a, b, c]), 1);
+    }
+    // Menger witness: at least d−1 = 3 disjoint paths between sample pairs.
+    for (s, t) in [(0u32, n - 1), (1, 10), (4, 11)] {
+        let count = disjoint::disjoint_path_count(&g, s, t, 4);
+        assert!(count >= 3, "{s}->{t}: {count}");
+    }
+}
+
+#[test]
+fn e9_embedding_quality_table() {
+    let k = 5usize;
+    let space = DeBruijn::new(2, k).unwrap();
+    let r = ring::ring(space);
+    assert_eq!((r.dilation(), r.expansion()), (1, 1.0));
+    let t = binary_tree::complete_binary_tree(k);
+    assert_eq!(t.dilation(), 1);
+    assert!(t.expansion() > 1.0 && t.expansion() < 1.1);
+    let se = shuffle_exchange::shuffle_exchange(k);
+    assert_eq!(se.dilation(), 2);
+}

@@ -1,0 +1,110 @@
+//! Extreme-scale behaviour: the label algorithms at sizes where nothing
+//! else survives.
+//!
+//! The point of the paper is that routing cost depends on the diameter
+//! `k`, not on the `d^k` network size. These tests run the algorithms at
+//! `k` in the tens of thousands (networks with more nodes than atoms in
+//! the universe) and check exactness against each other.
+
+use debruijn_suite::core::distance::undirected::{distance_with, Engine};
+use debruijn_suite::core::{distance, routing, Word};
+use debruijn_suite::graph::generalized::Gdb;
+
+fn pseudo_random_word(d: u8, k: usize, mut seed: u64) -> Word {
+    let digits: Vec<u8> = (0..k)
+        .map(|_| {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) % u64::from(d)) as u8
+        })
+        .collect();
+    Word::new(d, digits).expect("digits below d")
+}
+
+#[test]
+fn routing_at_k_20000_stays_fast_and_exact() {
+    let k = 20_000usize;
+    let x = pseudo_random_word(2, k, 1);
+    let y = pseudo_random_word(2, k, 2);
+
+    let start = std::time::Instant::now();
+    let dir_route = routing::algorithm1(&x, &y);
+    let und_route = routing::algorithm4(&x, &y);
+    let elapsed = start.elapsed();
+
+    assert_eq!(dir_route.len(), distance::directed::distance(&x, &y));
+    assert!(dir_route.leads_to(&x, &y));
+    assert_eq!(und_route.len(), distance_with(Engine::SuffixTree, &x, &y));
+    assert!(und_route.leads_to(&x, &y));
+    // Generous bound: both linear algorithms together in well under 10 s
+    // even on slow CI (measured: tens of milliseconds).
+    assert!(elapsed.as_secs() < 10, "took {elapsed:?}");
+}
+
+#[test]
+fn engines_agree_at_k_1200_across_radices() {
+    for d in [2u8, 3, 7, 16] {
+        let k = 1_200usize;
+        let x = pseudo_random_word(d, k, u64::from(d));
+        let y = pseudo_random_word(d, k, u64::from(d) + 100);
+        let mp = distance_with(Engine::MorrisPratt, &x, &y);
+        let st = distance_with(Engine::SuffixTree, &x, &y);
+        assert_eq!(mp, st, "d={d}");
+        // Random long words almost surely need nearly k hops; sanity-bound.
+        assert!(mp > k / 2 && mp <= k, "d={d}: {mp}");
+    }
+}
+
+#[test]
+fn nearly_identical_giant_words_route_in_few_hops() {
+    // Distance is determined by structure, not size: two words differing
+    // only in their last digits are a couple of hops apart.
+    let k = 50_000usize;
+    let x = pseudo_random_word(2, k, 9);
+    let mut digits = x.digits().to_vec();
+    let last = digits[k - 1];
+    digits.remove(0);
+    digits.push(1 - last);
+    let y = Word::new(2, digits).expect("binary digits");
+    // y = x shifted left once with a fresh digit: distance 1.
+    assert_eq!(distance::directed::distance(&x, &y), 1);
+    assert_eq!(distance_with(Engine::SuffixTree, &x, &y), 1);
+    let route = routing::algorithm4(&x, &y);
+    assert_eq!(route.len(), 1);
+    assert!(route.leads_to(&x, &y));
+}
+
+#[test]
+fn generalized_debruijn_routes_at_astronomic_n() {
+    // N near u64::MAX: only label arithmetic works at this size.
+    let n = u64::MAX - 58;
+    let g = Gdb::new(2, n).expect("valid parameters");
+    assert_eq!(g.diameter_bound(), 64);
+    let pairs = [
+        (0u64, n - 1),
+        (123_456_789_012_345, 987_654_321_098_765),
+        (n / 2, n / 2 + 1),
+        (42, 42),
+    ];
+    for (i, j) in pairs {
+        let route = g.route(i, j);
+        assert!(route.len() <= 64, "{i}->{j}: {}", route.len());
+        assert_eq!(g.walk(i, &route), j, "{i}->{j}");
+        assert_eq!(route.len(), g.distance(i, j));
+    }
+    assert_eq!(g.distance(42, 42), 0);
+}
+
+#[test]
+fn wire_format_round_trips_at_scale() {
+    let k = 10_000usize;
+    let x = pseudo_random_word(3, k, 5);
+    let y = pseudo_random_word(3, k, 6);
+    let route = routing::algorithm4(&x, &y);
+    let wire = route.encode(3);
+    assert_eq!(wire.len(), 2 * route.len());
+    let back = debruijn_suite::core::RoutePath::decode(3, &wire).expect("valid wire");
+    assert_eq!(back, route);
+    assert!(back.leads_to(&x, &y));
+}
