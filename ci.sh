@@ -1,0 +1,18 @@
+#!/bin/sh
+# Offline CI gate: formatting, lints, build, full test suite.
+# Run from the repository root; no network access required.
+set -eu
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build (release, all targets) =="
+cargo build --release --workspace --all-targets
+
+echo "== cargo test =="
+cargo test --workspace --release -q
+
+echo "CI OK"

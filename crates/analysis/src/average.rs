@@ -4,9 +4,8 @@
 //! convention for Eq. (5); the self-pairs contribute distance 0, so the
 //! two conventions differ by the factor `N/(N−1)`).
 
+use debruijn_core::rng::SplitMix64;
 use debruijn_core::{distance, DeBruijn, Word};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn order(space: DeBruijn) -> usize {
     space
@@ -81,12 +80,14 @@ pub fn exact_undirected_bfs(space: DeBruijn) -> f64 {
 /// Panics if `samples == 0` or `d^k` overflows `u128`.
 pub fn sampled(space: DeBruijn, directed: bool, samples: usize, seed: u64) -> f64 {
     assert!(samples > 0, "need at least one sample");
-    let n = space.order().expect("rank sampling requires d^k to fit u128");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let n = space
+        .order()
+        .expect("rank sampling requires d^k to fit u128");
+    let mut rng = SplitMix64::new(seed);
     let mut total: u64 = 0;
     for _ in 0..samples {
-        let xr = sample_rank(&mut rng, n);
-        let yr = sample_rank(&mut rng, n);
+        let xr = rng.below_u128(n);
+        let yr = rng.below_u128(n);
         let x = space.word_from_rank(xr).expect("sampled below order");
         let y = space.word_from_rank(yr).expect("sampled below order");
         total += if directed {
@@ -96,24 +97,6 @@ pub fn sampled(space: DeBruijn, directed: bool, samples: usize, seed: u64) -> f6
         };
     }
     total as f64 / samples as f64
-}
-
-fn sample_rank(rng: &mut StdRng, n: u128) -> u128 {
-    if let Ok(small) = u64::try_from(n) {
-        u128::from(rng.gen_range(0..small))
-    } else {
-        // Rejection sampling over the full u128 range.
-        loop {
-            let hi = u128::from(rng.gen::<u64>());
-            let lo = u128::from(rng.gen::<u64>());
-            let candidate = (hi << 64) | lo;
-            // Accept candidates below the largest multiple of n.
-            let limit = u128::MAX - (u128::MAX % n);
-            if candidate < limit {
-                return candidate % n;
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -140,7 +123,10 @@ mod tests {
                 "d={d} k={k}: formula {formula} < exact {exact}"
             );
             // The gap shrinks fast with d.
-            assert!(formula - exact < 1.0 / (f64::from(d) - 1.0) + 0.1, "d={d} k={k}");
+            assert!(
+                formula - exact < 1.0 / (f64::from(d) - 1.0) + 0.1,
+                "d={d} k={k}"
+            );
         }
     }
 
@@ -170,13 +156,19 @@ mod tests {
         let s = space(2, 5);
         let exact = exact_undirected(s);
         let est = sampled(s, false, 20_000, 99);
-        assert!((est - exact).abs() < 0.05, "estimate {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() < 0.05,
+            "estimate {est} vs exact {exact}"
+        );
     }
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let s = space(3, 3);
-        assert_eq!(sampled(s, true, 500, 7).to_bits(), sampled(s, true, 500, 7).to_bits());
+        assert_eq!(
+            sampled(s, true, 500, 7).to_bits(),
+            sampled(s, true, 500, 7).to_bits()
+        );
     }
 
     #[test]

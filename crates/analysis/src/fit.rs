@@ -52,8 +52,9 @@ mod tests {
     #[test]
     fn recovers_power_law_exponents() {
         for p in [1.0f64, 2.0, 3.0] {
-            let pts: Vec<(f64, f64)> =
-                (1..=20).map(|i| (i as f64, 5.0 * (i as f64).powf(p))).collect();
+            let pts: Vec<(f64, f64)> = (1..=20)
+                .map(|i| (i as f64, 5.0 * (i as f64).powf(p)))
+                .collect();
             assert!((log_log_slope(&pts) - p).abs() < 1e-9, "p={p}");
         }
     }

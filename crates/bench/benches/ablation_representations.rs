@@ -9,91 +9,119 @@
 //!   [`debruijn_core::routing::DirectedDestinationRouter`] in
 //!   convergecast patterns.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use debruijn_bench::random_pairs;
+use debruijn_bench::{median_nanos_per_call, random_pairs};
 use debruijn_core::packed::PackedWord;
 use debruijn_core::routing::{self, DirectedDestinationRouter};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_packed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("word_representation");
-    group.sample_size(20).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(100));
+fn bench_packed() {
+    println!("word representation: ns per batch of 8 pairs\n");
+    println!(
+        "{:>6} {:>14} {:>16} {:>13} {:>15}",
+        "k", "vec_overlap", "packed_overlap", "vec_shifts", "packed_shifts"
+    );
     for k in [16usize, 64, 128] {
         let pairs = random_pairs(2, k, 8, 0xAB);
         let packed: Vec<(PackedWord, PackedWord)> = pairs
             .iter()
             .map(|(x, y)| {
-                (PackedWord::from_word(x).expect("fits"), PackedWord::from_word(y).expect("fits"))
+                (
+                    PackedWord::from_word(x).expect("fits"),
+                    PackedWord::from_word(y).expect("fits"),
+                )
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("vec_u8_overlap", k), &k, |b, _| {
-            b.iter(|| {
+        let batch = (2048 / k).max(1);
+        let vec_overlap = median_nanos_per_call(
+            || {
                 for (x, y) in &pairs {
                     black_box(debruijn_core::distance::directed::distance(x, y));
                 }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("packed_u128_overlap", k), &k, |b, _| {
-            b.iter(|| {
+            },
+            batch,
+            5,
+        );
+        let packed_overlap = median_nanos_per_call(
+            || {
                 for (x, y) in &packed {
                     black_box(x.distance_directed(y));
                 }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("vec_u8_shifts", k), &k, |b, _| {
-            b.iter(|| {
+            },
+            batch,
+            5,
+        );
+        let vec_shifts = median_nanos_per_call(
+            || {
                 let mut w = pairs[0].0.clone();
                 for _ in 0..64 {
                     w = black_box(w.shift_left(1));
                 }
-                w
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("packed_u128_shifts", k), &k, |b, _| {
-            b.iter(|| {
+                black_box(w);
+            },
+            batch,
+            5,
+        );
+        let packed_shifts = median_nanos_per_call(
+            || {
                 let mut w = packed[0].0;
                 for _ in 0..64 {
                     w = black_box(w.shift_left(1));
                 }
-                w
-            })
-        });
+                black_box(w);
+            },
+            batch,
+            5,
+        );
+        println!(
+            "{k:>6} {vec_overlap:>14.0} {packed_overlap:>16.0} {vec_shifts:>13.0} {packed_shifts:>15.0}"
+        );
     }
-    group.finish();
+    println!();
 }
 
-fn bench_cached_router(c: &mut Criterion) {
-    let mut group = c.benchmark_group("convergecast");
-    group.sample_size(20).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(100));
+fn bench_cached_router() {
+    println!("convergecast: ns per batch of 32 routes\n");
+    println!(
+        "{:>6} {:>20} {:>20}",
+        "k", "algorithm1_per_pair", "cached_destination"
+    );
     for k in [16usize, 128, 1024] {
         let pairs = random_pairs(2, k, 32, 0xCA);
         let sink = pairs[0].1.clone();
-        group.bench_with_input(BenchmarkId::new("algorithm1_per_pair", k), &k, |b, _| {
-            b.iter(|| {
+        let batch = (1024 / k).max(1);
+        let per_pair = median_nanos_per_call(
+            || {
                 for (x, _) in &pairs {
                     black_box(routing::algorithm1(x, &sink));
                 }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("cached_destination", k), &k, |b, _| {
-            let router = DirectedDestinationRouter::new(sink.clone());
-            b.iter(|| {
+            },
+            batch,
+            5,
+        );
+        let router = DirectedDestinationRouter::new(sink.clone());
+        let cached = median_nanos_per_call(
+            || {
                 for (x, _) in &pairs {
                     black_box(router.route_from(x));
                 }
-            })
-        });
+            },
+            batch,
+            5,
+        );
+        println!("{k:>6} {per_pair:>20.0} {cached:>20.0}");
     }
-    group.finish();
+    println!();
 }
 
-fn bench_routing_tables(c: &mut Criterion) {
+fn bench_routing_tables() {
     use debruijn_core::DeBruijn;
     use debruijn_graph::{tables::RoutingTables, DebruijnGraph};
 
-    let mut group = c.benchmark_group("route_state");
-    group.sample_size(15).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(100));
+    println!("route state: all-pairs tables vs zero-state label routing\n");
+    println!(
+        "{:>4} {:>10} {:>14} {:>14} {:>16}",
+        "k", "table_MB", "table_lookup", "algorithm4", "table_build_us"
+    );
     for k in [6usize, 8, 10] {
         let space = DeBruijn::new(2, k).expect("valid");
         let graph = DebruijnGraph::undirected(space).expect("materializable");
@@ -101,26 +129,44 @@ fn bench_routing_tables(c: &mut Criterion) {
         let n = graph.node_count() as u32;
         let (src, dst) = (1u32, n - 2);
         let (x, y) = (graph.word_of(src), graph.word_of(dst));
-        group.bench_with_input(
-            BenchmarkId::new(format!("table_lookup_{}MB", tables.memory_bytes() >> 20), k),
-            &k,
-            |b, _| b.iter(|| black_box(tables.route(src, dst))),
+        let lookup = median_nanos_per_call(
+            || {
+                black_box(tables.route(src, dst));
+            },
+            4096,
+            5,
         );
-        group.bench_with_input(BenchmarkId::new("label_algorithm4_0_state", k), &k, |b, _| {
-            b.iter(|| black_box(routing::algorithm4(black_box(&x), black_box(&y))))
-        });
-        group.bench_with_input(BenchmarkId::new("table_build", k), &k, |b, _| {
-            b.iter(|| black_box(RoutingTables::build(black_box(&graph))))
-        });
+        let label = median_nanos_per_call(
+            || {
+                black_box(routing::algorithm4(black_box(&x), black_box(&y)));
+            },
+            4096,
+            5,
+        );
+        let build = median_nanos_per_call(
+            || {
+                black_box(RoutingTables::build(black_box(&graph)));
+            },
+            1,
+            3,
+        );
+        println!(
+            "{k:>4} {:>10} {lookup:>14.0} {label:>14.0} {:>16.0}",
+            tables.memory_bytes() >> 20,
+            build / 1e3
+        );
     }
-    group.finish();
+    println!();
 }
 
-fn bench_failure_tables(c: &mut Criterion) {
+fn bench_failure_tables() {
     use debruijn_strings::MpMatcher;
 
-    let mut group = c.benchmark_group("failure_function_variant");
-    group.sample_size(15).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(100));
+    println!("failure-function variant on adversarial periodic input: ns/scan\n");
+    println!(
+        "{:>6} {:>18} {:>12}",
+        "m", "weak_morris_pratt", "strong_kmp"
+    );
     // Adversarial periodic input: weak failure cascades, strong jumps.
     for m in [64usize, 512] {
         let pattern = vec![0u8; m];
@@ -132,21 +178,28 @@ fn bench_failure_tables(c: &mut Criterion) {
         }
         let weak = MpMatcher::new(pattern.clone());
         let strong = MpMatcher::new_strong(pattern.clone());
-        group.bench_with_input(BenchmarkId::new("weak_morris_pratt", m), &m, |b, _| {
-            b.iter(|| black_box(weak.prefix_match_lengths(black_box(&text))))
-        });
-        group.bench_with_input(BenchmarkId::new("strong_kmp", m), &m, |b, _| {
-            b.iter(|| black_box(strong.prefix_match_lengths(black_box(&text))))
-        });
+        let batch = (2048 / m).max(1);
+        let weak_ns = median_nanos_per_call(
+            || {
+                black_box(weak.prefix_match_lengths(black_box(&text)));
+            },
+            batch,
+            5,
+        );
+        let strong_ns = median_nanos_per_call(
+            || {
+                black_box(strong.prefix_match_lengths(black_box(&text)));
+            },
+            batch,
+            5,
+        );
+        println!("{m:>6} {weak_ns:>18.0} {strong_ns:>12.0}");
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_packed,
-    bench_cached_router,
-    bench_routing_tables,
-    bench_failure_tables
-);
-criterion_main!(benches);
+fn main() {
+    bench_packed();
+    bench_cached_router();
+    bench_routing_tables();
+    bench_failure_tables();
+}

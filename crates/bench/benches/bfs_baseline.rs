@@ -1,19 +1,21 @@
-//! Criterion comparison: label-based routing vs the classical BFS
-//! baseline on the materialized graph.
+//! Label-based routing vs the classical BFS baseline on the
+//! materialized graph.
 //!
 //! The point of the paper: route computation should cost `O(k)` on the
 //! address labels, not `O(N·d)` per source on the graph. This bench makes
 //! the gap concrete (it grows exponentially with `k`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use debruijn_bench::median_nanos_per_call;
 use debruijn_core::{routing, DeBruijn};
 use debruijn_graph::{bfs, DebruijnGraph};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_bfs_vs_labels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("route_one_pair");
-    group.sample_size(15).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+fn main() {
+    println!("route one pair: ns/route (median of 5 batches)\n");
+    println!(
+        "{:>4} {:>10} {:>14} {:>12} {:>12}",
+        "k", "N", "bfs_on_graph", "algorithm4", "algorithm2"
+    );
     for k in [6usize, 10, 14] {
         let space = DeBruijn::new(2, k).unwrap();
         let graph = DebruijnGraph::undirected(space).unwrap();
@@ -21,19 +23,29 @@ fn bench_bfs_vs_labels(c: &mut Criterion) {
         let (src, dst) = (1u32, n - 2);
         let x = graph.word_of(src);
         let y = graph.word_of(dst);
-
-        group.bench_with_input(BenchmarkId::new("bfs_on_graph", k), &k, |b, _| {
-            b.iter(|| black_box(bfs::shortest_path(black_box(&graph), src, dst)))
-        });
-        group.bench_with_input(BenchmarkId::new("algorithm4_on_labels", k), &k, |b, _| {
-            b.iter(|| black_box(routing::algorithm4(black_box(&x), black_box(&y))))
-        });
-        group.bench_with_input(BenchmarkId::new("algorithm2_on_labels", k), &k, |b, _| {
-            b.iter(|| black_box(routing::algorithm2(black_box(&x), black_box(&y))))
-        });
+        let batch = (1 << 20 >> k).max(1);
+        let bfs_ns = median_nanos_per_call(
+            || {
+                black_box(bfs::shortest_path(black_box(&graph), src, dst));
+            },
+            batch.min(256),
+            5,
+        );
+        let a4 = median_nanos_per_call(
+            || {
+                black_box(routing::algorithm4(black_box(&x), black_box(&y)));
+            },
+            batch,
+            5,
+        );
+        let a2 = median_nanos_per_call(
+            || {
+                black_box(routing::algorithm2(black_box(&x), black_box(&y)));
+            },
+            batch,
+            5,
+        );
+        println!("{k:>4} {n:>10} {bfs_ns:>14.0} {a4:>12.0} {a2:>12.0}");
     }
-    group.finish();
+    println!("\nBFS cost doubles with every +1 in k; label routing stays O(k).");
 }
-
-criterion_group!(benches, bench_bfs_vs_labels);
-criterion_main!(benches);

@@ -1,50 +1,48 @@
-//! Criterion timings of the three Theorem-2 distance engines.
+//! Timings of the three Theorem-2 distance engines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use debruijn_bench::random_pairs;
-use debruijn_core::distance::undirected::{distance_with, Engine};
+use debruijn_bench::{median_nanos_per_call, random_pairs};
 use debruijn_core::distance::directed;
+use debruijn_core::distance::undirected::{distance_with, Engine};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_engines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("distance");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+fn main() {
+    println!("distance engines: ns per pair (median of 5 batches)\n");
+    println!(
+        "{:>6} {:>12} {:>14} {:>13} {:>12}",
+        "k", "directed", "morris_pratt", "suffix_tree", "naive"
+    );
     for k in [8usize, 32, 128, 512] {
         let pairs = random_pairs(2, k, 8, 0xD15);
-        group.bench_with_input(BenchmarkId::new("directed_property1", k), &k, |b, _| {
-            b.iter(|| {
+        let batch = (4096 / k).max(1);
+        let time_engine = |engine: Engine| {
+            median_nanos_per_call(
+                || {
+                    for (x, y) in &pairs {
+                        black_box(distance_with(engine, x, y));
+                    }
+                },
+                batch,
+                5,
+            ) / pairs.len() as f64
+        };
+        let dir = median_nanos_per_call(
+            || {
                 for (x, y) in &pairs {
                     black_box(directed::distance(black_box(x), black_box(y)));
                 }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("undirected_morris_pratt", k), &k, |b, _| {
-            b.iter(|| {
-                for (x, y) in &pairs {
-                    black_box(distance_with(Engine::MorrisPratt, x, y));
-                }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("undirected_suffix_tree", k), &k, |b, _| {
-            b.iter(|| {
-                for (x, y) in &pairs {
-                    black_box(distance_with(Engine::SuffixTree, x, y));
-                }
-            })
-        });
-        if k <= 32 {
-            group.bench_with_input(BenchmarkId::new("undirected_naive", k), &k, |b, _| {
-                b.iter(|| {
-                    for (x, y) in &pairs {
-                        black_box(distance_with(Engine::Naive, x, y));
-                    }
-                })
-            });
-        }
+            },
+            batch,
+            5,
+        ) / pairs.len() as f64;
+        let mp = time_engine(Engine::MorrisPratt);
+        let st = time_engine(Engine::SuffixTree);
+        let naive = if k <= 32 {
+            format!("{:.0}", time_engine(Engine::Naive))
+        } else {
+            "-".into()
+        };
+        println!("{k:>6} {dir:>12.0} {mp:>14.0} {st:>13.0} {naive:>12}");
     }
-    group.finish();
+    println!("\nThe O(k^2) Morris-Pratt engine and O(k) suffix-tree engine cross");
+    println!("near k ~ 100; the O(k^3) naive scan is for validation only.");
 }
-
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);

@@ -16,9 +16,16 @@ fn main() {
 
     println!("bitonic sort (one key per processor, optimal-route shipping):");
     let mut sort_table = Table::new(
-        ["k", "keys", "stages", "total key-hops", "critical path", "sorted"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "k",
+            "keys",
+            "stages",
+            "total key-hops",
+            "critical path",
+            "sorted",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for k in 3..=9usize {
         let space = DeBruijn::new(2, k).expect("valid");
@@ -44,9 +51,15 @@ fn main() {
 
     println!("one-to-all broadcast (single-port store-and-forward):");
     let mut bc_table = Table::new(
-        ["k", "nodes", "tree depth", "tree completion", "sequential unicast"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "k",
+            "nodes",
+            "tree depth",
+            "tree completion",
+            "sequential unicast",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for k in 3..=10usize {
         let space = DeBruijn::new(2, k).expect("valid");

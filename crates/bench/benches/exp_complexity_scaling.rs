@@ -26,12 +26,20 @@ fn time_at(k: usize, f: impl Fn(&debruijn_core::Word, &debruijn_core::Word)) -> 
 
 fn main() {
     println!("E5: measured complexity of the routing algorithms\n");
-    let ks = [16usize, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+    let ks = [
+        16usize, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+    ];
     const ALG2_MAX_K: usize = 2048; // quadratic: ~170 ms/route there already
     let mut table = Table::new(
-        ["k", "Alg 1 (ns)", "Alg 2 (ns)", "Alg 4 (ns)", "naive dist (ns)"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "k",
+            "Alg 1 (ns)",
+            "Alg 2 (ns)",
+            "Alg 4 (ns)",
+            "naive dist (ns)",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut t1 = Vec::new();
     let mut t2 = Vec::new();
@@ -80,7 +88,11 @@ fn main() {
         ]);
     }
     println!("{table}");
-    match table.write_csv(concat!("target/experiments/", "e5_complexity_scaling", ".csv")) {
+    match table.write_csv(concat!(
+        "target/experiments/",
+        "e5_complexity_scaling",
+        ".csv"
+    )) {
         Ok(()) => println!("(CSV written to target/experiments/e5_complexity_scaling.csv)\n"),
         Err(e) => eprintln!("note: could not write CSV: {e}"),
     }
@@ -97,9 +109,18 @@ fn main() {
     };
     println!("fitted exponents (t ~ k^p, upper half of sweep; in brackets the");
     println!("slope of the final octave, where cache/allocator transients fade):");
-    println!("  Algorithm 1: p = {e1:.2} [{:.2}]   (paper: O(k), expect ~1)", top_octave(&t1));
-    println!("  Algorithm 2: p = {e2:.2} [{:.2}]   (paper: O(k^2), expect ~2)", top_octave(&t2));
-    println!("  Algorithm 4: p = {e4:.2} [{:.2}]   (paper: O(k), expect ~1)", top_octave(&t4));
+    println!(
+        "  Algorithm 1: p = {e1:.2} [{:.2}]   (paper: O(k), expect ~1)",
+        top_octave(&t1)
+    );
+    println!(
+        "  Algorithm 2: p = {e2:.2} [{:.2}]   (paper: O(k^2), expect ~2)",
+        top_octave(&t2)
+    );
+    println!(
+        "  Algorithm 4: p = {e4:.2} [{:.2}]   (paper: O(k), expect ~1)",
+        top_octave(&t4)
+    );
     match crossover {
         Some(k) => println!(
             "\ncrossover: Algorithm 4 overtakes Algorithm 2 at k ≈ {k} \

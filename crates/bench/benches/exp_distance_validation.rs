@@ -13,9 +13,17 @@ use debruijn_graph::{bfs, DebruijnGraph};
 fn main() {
     println!("E3: distance functions vs BFS (exhaustive)\n");
     let mut table = Table::new(
-        ["d", "k", "pairs", "dir mism.", "naive mism.", "MP mism.", "suffix-tree mism."]
-            .map(String::from)
-            .to_vec(),
+        [
+            "d",
+            "k",
+            "pairs",
+            "dir mism.",
+            "naive mism.",
+            "MP mism.",
+            "suffix-tree mism.",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut grand_total = 0u64;
     for &(d, k) in &[
@@ -36,7 +44,7 @@ fn main() {
         let undirected_graph = DebruijnGraph::undirected(space).expect("materializable");
         let n = directed_graph.node_count();
         let mut mismatches = [0u64; 4]; // directed, naive, mp, suffix tree
-        // The naive engine is O(k^4) per pair; skip it on the big grids.
+                                        // The naive engine is O(k^4) per pair; skip it on the big grids.
         let check_naive = n * n <= 70_000;
         for src in directed_graph.nodes() {
             let x = directed_graph.word_of(src);
@@ -65,14 +73,25 @@ fn main() {
             k.to_string(),
             (n * n).to_string(),
             mismatches[0].to_string(),
-            if check_naive { mismatches[1].to_string() } else { "(skipped)".into() },
+            if check_naive {
+                mismatches[1].to_string()
+            } else {
+                "(skipped)".into()
+            },
             mismatches[2].to_string(),
             mismatches[3].to_string(),
         ]);
-        assert_eq!(mismatches, [0; 4], "d={d} k={k}: formula disagrees with BFS");
+        assert_eq!(
+            mismatches, [0; 4],
+            "d={d} k={k}: formula disagrees with BFS"
+        );
     }
     println!("{table}");
-    match table.write_csv(concat!("target/experiments/", "e3_distance_validation", ".csv")) {
+    match table.write_csv(concat!(
+        "target/experiments/",
+        "e3_distance_validation",
+        ".csv"
+    )) {
         Ok(()) => println!("(CSV written to target/experiments/e3_distance_validation.csv)\n"),
         Err(e) => eprintln!("note: could not write CSV: {e}"),
     }

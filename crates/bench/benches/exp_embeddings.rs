@@ -25,9 +25,19 @@ fn add(table: &mut Table, k: usize, e: &Embedding) {
 fn main() {
     println!("E9: embeddings into DN(2,k)\n");
     let mut table = Table::new(
-        ["k", "guest", "nodes", "edges", "dil", "avg dil", "congestion", "expansion", "1-to-1"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "k",
+            "guest",
+            "nodes",
+            "edges",
+            "dil",
+            "avg dil",
+            "congestion",
+            "expansion",
+            "1-to-1",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for k in [4usize, 5, 6, 7, 8] {
         let space = DeBruijn::new(2, k).expect("valid parameters");

@@ -37,7 +37,11 @@ fn main() {
         }
     }
     println!("{table}");
-    match table.write_csv(concat!("target/experiments/", "e1_eq5_directed_average", ".csv")) {
+    match table.write_csv(concat!(
+        "target/experiments/",
+        "e1_eq5_directed_average",
+        ".csv"
+    )) {
         Ok(()) => println!("(CSV written to target/experiments/e1_eq5_directed_average.csv)\n"),
         Err(e) => eprintln!("note: could not write CSV: {e}"),
     }

@@ -7,11 +7,10 @@
 //! and rerouting only loses messages whose endpoints died.
 
 use debruijn_analysis::Table;
+use debruijn_core::rng::SplitMix64;
 use debruijn_core::{DeBruijn, Word};
 use debruijn_graph::{connectivity, fault, DebruijnGraph};
 use debruijn_net::{workload, FaultHandling, SimConfig, Simulation};
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
 
 fn main() {
     println!("E8: fault tolerance of DN(d,k)\n");
@@ -21,13 +20,19 @@ fn main() {
         let n = space.order_usize().expect("enumerable");
         println!("DN({d},{k}): {n} nodes, d-1 = {} tolerated faults", d - 1);
         let mut table = Table::new(
-            ["faults", "components", "drop: delivery", "reroute: delivery", "mean stretch"]
-                .map(String::from)
-                .to_vec(),
+            [
+                "faults",
+                "components",
+                "drop: delivery",
+                "reroute: delivery",
+                "mean stretch",
+            ]
+            .map(String::from)
+            .to_vec(),
         );
-        let mut rng = StdRng::seed_from_u64(0xE8);
+        let mut rng = SplitMix64::new(0xE8);
         let mut all: Vec<u128> = (1..n as u128).collect();
-        all.shuffle(&mut rng);
+        rng.shuffle(&mut all);
         let traffic = workload::uniform_random(space, 3_000, 0xE8);
         for f in 0..=(d as usize + 1) {
             let faults: Vec<Word> = all[..f]
@@ -45,7 +50,10 @@ fn main() {
 
             let reroute_sim = Simulation::new(
                 space,
-                SimConfig { fault_handling: FaultHandling::SourceReroute, ..SimConfig::default() },
+                SimConfig {
+                    fault_handling: FaultHandling::SourceReroute,
+                    ..SimConfig::default()
+                },
             )
             .expect("valid config")
             .with_faults(faults.clone())
@@ -59,13 +67,16 @@ fn main() {
                 if faults.contains(&inj.source) || faults.contains(&inj.destination) {
                     continue;
                 }
-                if let Some(s) = fault::stretch(&graph, &inj.source, &inj.destination, &faults)
-                {
+                if let Some(s) = fault::stretch(&graph, &inj.source, &inj.destination, &faults) {
                     stretch_sum += s;
                     stretch_n += 1;
                 }
             }
-            let mean_stretch = if stretch_n > 0 { stretch_sum / stretch_n as f64 } else { f64::NAN };
+            let mean_stretch = if stretch_n > 0 {
+                stretch_sum / stretch_n as f64
+            } else {
+                f64::NAN
+            };
 
             if f < d as usize {
                 assert_eq!(components, 1, "fewer than d faults must not disconnect");

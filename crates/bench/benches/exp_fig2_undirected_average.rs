@@ -13,9 +13,16 @@ use debruijn_core::{directed_average_distance, DeBruijn};
 fn main() {
     println!("E2: Figure 2 — average distance of undirected DG(d,k)\n");
     let mut table = Table::new(
-        ["d", "k", "avg undirected", "method", "k - avg", "directed (exact)"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "d",
+            "k",
+            "avg undirected",
+            "method",
+            "k - avg",
+            "directed (exact)",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     // (d, max exact k, max sampled k)
     for &(d, exact_up_to, sampled_up_to) in &[(2u8, 10usize, 14usize), (3, 6, 9), (4, 5, 7)] {
@@ -42,7 +49,11 @@ fn main() {
         }
     }
     println!("{table}");
-    match table.write_csv(concat!("target/experiments/", "e2_fig2_undirected_average", ".csv")) {
+    match table.write_csv(concat!(
+        "target/experiments/",
+        "e2_fig2_undirected_average",
+        ".csv"
+    )) {
         Ok(()) => println!("(CSV written to target/experiments/e2_fig2_undirected_average.csv)\n"),
         Err(e) => eprintln!("note: could not write CSV: {e}"),
     }

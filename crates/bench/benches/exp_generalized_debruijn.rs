@@ -12,9 +12,15 @@ use debruijn_graph::generalized::Gdb;
 fn main() {
     println!("E10: generalized de Bruijn graphs GDB(d,N) (Imase-Itoh)\n");
     let mut table = Table::new(
-        ["d", "N", "bound ⌈log_d N⌉", "measured diameter", "route mismatches"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "d",
+            "N",
+            "bound ⌈log_d N⌉",
+            "measured diameter",
+            "route mismatches",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for &(d, ns) in &[
         (2u64, &[12u64, 24, 48, 100, 200, 500, 1000][..]),
@@ -38,7 +44,10 @@ fn main() {
                     }
                 }
             }
-            assert!(measured <= bound, "GDB({d},{n}) diameter {measured} > {bound}");
+            assert!(
+                measured <= bound,
+                "GDB({d},{n}) diameter {measured} > {bound}"
+            );
             assert_eq!(mismatches, 0, "GDB({d},{n}) routing mismatch");
             table.row(vec![
                 d.to_string(),
@@ -50,7 +59,11 @@ fn main() {
         }
     }
     println!("{table}");
-    match table.write_csv(concat!("target/experiments/", "e10_generalized_debruijn", ".csv")) {
+    match table.write_csv(concat!(
+        "target/experiments/",
+        "e10_generalized_debruijn",
+        ".csv"
+    )) {
         Ok(()) => println!("(CSV written to target/experiments/e10_generalized_debruijn.csv)\n"),
         Err(e) => eprintln!("note: could not write CSV: {e}"),
     }

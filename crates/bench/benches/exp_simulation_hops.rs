@@ -30,8 +30,14 @@ fn main() {
                 .to_vec(),
         );
         for router in RouterKind::all() {
-            let sim = Simulation::new(space, SimConfig { router, ..SimConfig::default() })
-                .expect("config is valid");
+            let sim = Simulation::new(
+                space,
+                SimConfig {
+                    router,
+                    ..SimConfig::default()
+                },
+            )
+            .expect("config is valid");
             let report = sim.run(&traffic);
             let analytic = match router {
                 RouterKind::Trivial => k as f64,

@@ -20,11 +20,28 @@ fn histogram_string(c: &census::Census) -> String {
 fn main() {
     println!("E4: structural census of DG(d,k)\n");
     let mut table = Table::new(
-        ["graph", "N", "edges", "degree histogram", "diam", "claim", "connected"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "graph",
+            "N",
+            "edges",
+            "degree histogram",
+            "diam",
+            "claim",
+            "connected",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
-    for &(d, k) in &[(2u8, 3usize), (2, 5), (2, 8), (3, 3), (3, 5), (4, 3), (5, 3), (8, 2)] {
+    for &(d, k) in &[
+        (2u8, 3usize),
+        (2, 5),
+        (2, 8),
+        (3, 3),
+        (3, 5),
+        (4, 3),
+        (5, 3),
+        (8, 2),
+    ] {
         let space = DeBruijn::new(d, k).expect("valid parameters");
 
         let dg = DebruijnGraph::directed(space).expect("materializable");
@@ -35,14 +52,28 @@ fn main() {
             dc.edges.to_string(),
             histogram_string(&dc),
             diameter::diameter(&dg).to_string(),
-            if dc.matches_directed_claim(d) { "ok" } else { "FAIL" }.to_string(),
-            if connectivity::is_strongly_connected(&dg) { "yes" } else { "NO" }.to_string(),
+            if dc.matches_directed_claim(d) {
+                "ok"
+            } else {
+                "FAIL"
+            }
+            .to_string(),
+            if connectivity::is_strongly_connected(&dg) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
 
         let ug = DebruijnGraph::undirected(space).expect("materializable");
         let uc = census::census(&ug);
         let claim = if k >= 3 {
-            if uc.matches_undirected_claim(d) { "ok" } else { "FAIL" }
+            if uc.matches_undirected_claim(d) {
+                "ok"
+            } else {
+                "FAIL"
+            }
         } else {
             "(k<3)"
         };
@@ -53,11 +84,20 @@ fn main() {
             histogram_string(&uc),
             diameter::diameter(&ug).to_string(),
             claim.to_string(),
-            if connectivity::is_strongly_connected(&ug) { "yes" } else { "NO" }.to_string(),
+            if connectivity::is_strongly_connected(&ug) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     println!("{table}");
-    match table.write_csv(concat!("target/experiments/", "e4_structure_census", ".csv")) {
+    match table.write_csv(concat!(
+        "target/experiments/",
+        "e4_structure_census",
+        ".csv"
+    )) {
         Ok(()) => println!("(CSV written to target/experiments/e4_structure_census.csv)\n"),
         Err(e) => eprintln!("note: could not write CSV: {e}"),
     }

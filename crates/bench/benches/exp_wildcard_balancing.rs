@@ -13,15 +13,26 @@ use debruijn_net::{workload, Injection, RouterKind, SimConfig, Simulation, Wildc
 fn run_workload(name: &str, space: DeBruijn, traffic: &[Injection]) {
     println!("workload: {name} ({} messages)", traffic.len());
     let mut table = Table::new(
-        ["policy", "max load", "load std", "mean latency", "max latency", "makespan"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "policy",
+            "max load",
+            "load std",
+            "mean latency",
+            "max latency",
+            "makespan",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut first_hops: Option<u64> = None;
     for policy in WildcardPolicy::all() {
         let sim = Simulation::new(
             space,
-            SimConfig { router: RouterKind::Algorithm2, policy, ..SimConfig::default() },
+            SimConfig {
+                router: RouterKind::Algorithm2,
+                policy,
+                ..SimConfig::default()
+            },
         )
         .expect("config is valid");
         let report = sim.run(traffic);
@@ -74,10 +85,12 @@ fn main() {
     // Bursty permutation traffic (everything at t = 0) stresses queues.
     let perm: Vec<Injection> = (0..40)
         .flat_map(|round| {
-            workload::permutation(space, round).into_iter().map(move |mut inj| {
-                inj.time = round * 4;
-                inj
-            })
+            workload::permutation(space, round)
+                .into_iter()
+                .map(move |mut inj| {
+                    inj.time = round * 4;
+                    inj
+                })
         })
         .collect();
     run_workload("40 bursty permutation rounds", space, &perm);

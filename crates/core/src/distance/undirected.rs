@@ -107,13 +107,21 @@ pub fn solve(x: &Word, y: &Word, engine: Engine) -> Solution {
     let engine = match engine {
         Engine::Auto => {
             if k <= 64 {
+                crate::profile::count_auto_to_morris_pratt();
                 Engine::MorrisPratt
             } else {
+                crate::profile::count_auto_to_suffix_tree();
                 Engine::SuffixTree
             }
         }
         other => other,
     };
+    match engine {
+        Engine::Naive => crate::profile::count_engine_naive(),
+        Engine::MorrisPratt => crate::profile::count_engine_morris_pratt(),
+        Engine::SuffixTree => crate::profile::count_engine_suffix_tree(),
+        Engine::Auto => unreachable!("resolved above"),
+    }
     let (l_min, r_min_reversed) = match engine {
         Engine::Naive => (naive_min(x, y), naive_min(&x.reversed(), &y.reversed())),
         Engine::MorrisPratt => (

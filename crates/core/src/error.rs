@@ -61,7 +61,10 @@ impl fmt::Display for Error {
             }
             Error::LengthTooSmall => write!(f, "de Bruijn word length must be at least 1"),
             Error::DigitOutOfRange { digit, d, index } => {
-                write!(f, "digit {digit} at index {index} is not below the radix {d}")
+                write!(
+                    f,
+                    "digit {digit} at index {index} is not below the radix {d}"
+                )
             }
             Error::RankOutOfRange { rank, d, k } => {
                 write!(f, "rank {rank} exceeds the vertex count {d}^{k}")
@@ -88,7 +91,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = Error::DigitOutOfRange { digit: 7, d: 3, index: 2 };
+        let e = Error::DigitOutOfRange {
+            digit: 7,
+            d: 3,
+            index: 2,
+        };
         let s = e.to_string();
         assert!(s.contains('7') && s.contains('3') && s.contains('2'), "{s}");
     }

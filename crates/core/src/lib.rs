@@ -40,6 +40,8 @@
 pub mod distance;
 pub mod error;
 pub mod packed;
+pub mod profile;
+pub mod rng;
 pub mod routing;
 pub mod space;
 pub mod word;
@@ -96,7 +98,10 @@ mod tests {
     fn eq5_matches_paper_special_case_d2() {
         for k in 1..=20 {
             let want = k as f64 - 1.0 + 0.5f64.powi(k as i32);
-            assert!((directed_average_distance(2, k) - want).abs() < 1e-12, "k={k}");
+            assert!(
+                (directed_average_distance(2, k) - want).abs() < 1e-12,
+                "k={k}"
+            );
         }
     }
 

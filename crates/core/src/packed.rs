@@ -57,7 +57,10 @@ impl PackedWord {
         let width = Self::digit_width(w.radix());
         let needed = w.len() * usize::from(width);
         if needed > 128 {
-            return Err(Error::PackedTooWide { k: w.len(), d: w.radix() });
+            return Err(Error::PackedTooWide {
+                k: w.len(),
+                d: w.radix(),
+            });
         }
         let mut bits: u128 = 0;
         for &digit in w.digits() {
@@ -127,8 +130,7 @@ impl PackedWord {
     /// Panics if `a >= d`.
     pub fn shift_left(&self, a: u8) -> PackedWord {
         assert!(a < self.d, "shift digit {a} not below radix {}", self.d);
-        let bits =
-            ((self.bits << self.bits_per_digit) | u128::from(a)) & self.value_mask();
+        let bits = ((self.bits << self.bits_per_digit) | u128::from(a)) & self.value_mask();
         PackedWord { bits, ..*self }
     }
 
@@ -150,7 +152,10 @@ impl PackedWord {
     ///
     /// Panics if `i` is `0` or greater than `k`.
     pub fn digit_1idx(&self, i: usize) -> u8 {
-        assert!(i >= 1 && i <= self.len(), "1-indexed digit {i} out of range");
+        assert!(
+            i >= 1 && i <= self.len(),
+            "1-indexed digit {i} out of range"
+        );
         let shift = (self.len() - i) as u32 * u32::from(self.bits_per_digit);
         ((self.bits >> shift) & self.digit_mask()) as u8
     }
@@ -172,7 +177,11 @@ impl PackedWord {
         // Prefix of length s of other: bits shifted down by (k−s)·width.
         for s in (1..=usize::from(self.k)).rev() {
             let low_bits = s as u32 * width;
-            let mask = if low_bits == 128 { u128::MAX } else { (1u128 << low_bits) - 1 };
+            let mask = if low_bits == 128 {
+                u128::MAX
+            } else {
+                (1u128 << low_bits) - 1
+            };
             let suffix = self.bits & mask;
             let prefix = other.bits >> ((u32::from(self.k) - s as u32) * width);
             if suffix == prefix {

@@ -1,0 +1,220 @@
+//! Small deterministic PRNG, so the workspace builds with no external
+//! dependencies.
+//!
+//! The simulator, the workload generators and the Monte-Carlo estimators
+//! all need reproducible pseudo-randomness, but nothing cryptographic:
+//! the paper's experiments only require that a seed fully determines a
+//! run. This module provides Steele, Lea and Flood's **SplitMix64**
+//! generator (the seeding generator of `java.util.SplittableRandom`):
+//! a 64-bit state, one add and two xor-shift-multiply mixes per output,
+//! passes BigCrush, and is trivially portable.
+//!
+//! Everything downstream (`debruijn-net`'s workloads and wildcard
+//! policies, `debruijn-analysis`'s sampled averages, the benches) draws
+//! from this one implementation, which keeps results bit-identical
+//! across the workspace and lets the whole tree build offline.
+
+/// A deterministic SplitMix64 pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Every seed gives an independent,
+    /// full-period-64 stream.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, n)`, by rejection sampling (no modulo
+    /// bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below_u64 requires n > 0");
+        // Accept only draws below the largest multiple of n.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below_usize(&mut self, n: usize) -> usize {
+        self.below_u64(n as u64) as usize
+    }
+
+    /// A uniform `u128` in `[0, n)`, for rank sampling in spaces too
+    /// large for `u64` (e.g. `DG(2,100)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below_u128(&mut self, n: u128) -> u128 {
+        assert!(n > 0, "below_u128 requires n > 0");
+        if let Ok(small) = u64::try_from(n) {
+            return u128::from(self.below_u64(small));
+        }
+        let zone = u128::MAX - (u128::MAX % n);
+        loop {
+            let hi = u128::from(self.next_u64());
+            let lo = u128::from(self.next_u64());
+            let v = (hi << 64) | lo;
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// A uniform digit in `[0, d)` — the alphabet of `DG(d,k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn digit(&mut self, d: u8) -> u8 {
+        self.below_u64(u64::from(d)) as u8
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below_usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_splitmix64_reference_vectors() {
+        // Reference outputs for seed 1234567 (Vigna's splitmix64.c).
+        let mut rng = SplitMix64::new(1234567);
+        let expected: [u64; 5] = [
+            6457827717110365317,
+            3203168211198807973,
+            9817491932198370423,
+            4593380528125082431,
+            16408922859458223821,
+        ];
+        for want in expected {
+            assert_eq!(rng.next_u64(), want);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(100);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range_and_hits_everything() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below_u64(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn below_u128_handles_large_bounds() {
+        let mut rng = SplitMix64::new(3);
+        let n = u128::from(u64::MAX) + 12345;
+        for _ in 0..50 {
+            assert!(rng.below_u128(n) < n);
+        }
+        assert_eq!(rng.below_u128(1), 0);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = SplitMix64::new(11);
+        let mut sum = 0.0;
+        for _ in 0..2000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Mean of Uniform(0,1) is 0.5; 2000 samples stay well inside ±0.05.
+        assert!((sum / 2000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn bernoulli_tracks_probability() {
+        let mut rng = SplitMix64::new(13);
+        let hits = (0..2000).filter(|_| rng.next_bool(0.8)).count();
+        assert!((1500..=1900).contains(&hits), "{hits} of 2000 at p = 0.8");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(17);
+        let mut items: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(items, sorted, "100 items almost surely move");
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn rejects_empty_range() {
+        SplitMix64::new(0).below_u64(0);
+    }
+}

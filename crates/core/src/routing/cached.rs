@@ -37,8 +37,12 @@ pub struct DirectedDestinationRouter {
 impl DirectedDestinationRouter {
     /// Builds the router, preprocessing the destination in `O(k)`.
     pub fn new(destination: Word) -> Self {
+        crate::profile::count_convergecast_build();
         let matcher = MpMatcher::new(destination.digits().to_vec());
-        Self { destination, matcher }
+        Self {
+            destination,
+            matcher,
+        }
     }
 
     /// The fixed destination.
@@ -77,6 +81,7 @@ impl DirectedDestinationRouter {
     ///
     /// Panics if `x` is not in the destination's `DG(d,k)`.
     pub fn route_from(&self, x: &Word) -> RoutePath {
+        crate::profile::count_convergecast_route();
         let l = self.overlap_from(x);
         (l..self.destination.len())
             .map(|i| Step::left(self.destination.digits()[i]))

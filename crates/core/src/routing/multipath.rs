@@ -54,8 +54,10 @@ pub fn all_shortest_routes(x: &Word, y: &Word) -> Vec<RoutePath> {
     let r = r_table(x.digits(), y.digits());
 
     // Route lengths of each family at each (s, t), 1-indexed coordinates.
-    let d1_at = |s: usize, t: usize| 2 * k as i64 - 1 + s as i64 - t as i64 - l[s - 1][t - 1] as i64;
-    let d2_at = |s: usize, t: usize| 2 * k as i64 - 1 - (s as i64) + t as i64 - r[s - 1][t - 1] as i64;
+    let d1_at =
+        |s: usize, t: usize| 2 * k as i64 - 1 + s as i64 - t as i64 - l[s - 1][t - 1] as i64;
+    let d2_at =
+        |s: usize, t: usize| 2 * k as i64 - 1 - (s as i64) + t as i64 - r[s - 1][t - 1] as i64;
 
     let mut best = k as i64; // the trivial route is always available
     for s in 1..=k {
@@ -85,14 +87,24 @@ pub fn all_shortest_routes(x: &Word, y: &Word) -> Vec<RoutePath> {
                         theta: l[s - 1][t - 1],
                     },
                     // Force the L branch by making the R side worse.
-                    right_family: FamilyMinimum { steps: k + 1, s: 1, t: 1, theta: 0 },
+                    right_family: FamilyMinimum {
+                        steps: k + 1,
+                        s: 1,
+                        t: 1,
+                        theta: 0,
+                    },
                 };
                 push(build_capped(y, &sol), &mut routes);
             }
             if d2_at(s, t) == best {
                 let sol = Solution {
                     k,
-                    left_family: FamilyMinimum { steps: k + 1, s: 1, t: 1, theta: 0 },
+                    left_family: FamilyMinimum {
+                        steps: k + 1,
+                        s: 1,
+                        t: 1,
+                        theta: 0,
+                    },
                     right_family: FamilyMinimum {
                         steps: best as usize,
                         s,
@@ -153,10 +165,7 @@ mod tests {
         for x in g.vertices() {
             for y in g.vertices() {
                 let routes = all_shortest_routes(&x, &y);
-                assert!(
-                    routes.contains(&algorithm2(&x, &y)),
-                    "{x}->{y}: {routes:?}"
-                );
+                assert!(routes.contains(&algorithm2(&x, &y)), "{x}->{y}: {routes:?}");
             }
         }
     }

@@ -43,22 +43,34 @@ pub struct Step {
 impl Step {
     /// A left shift inserting `b` — the pair `(0, b)`.
     pub fn left(b: u8) -> Self {
-        Step { shift: ShiftKind::Left, digit: Digit::Exact(b) }
+        Step {
+            shift: ShiftKind::Left,
+            digit: Digit::Exact(b),
+        }
     }
 
     /// A right shift inserting `b` — the pair `(1, b)`.
     pub fn right(b: u8) -> Self {
-        Step { shift: ShiftKind::Right, digit: Digit::Exact(b) }
+        Step {
+            shift: ShiftKind::Right,
+            digit: Digit::Exact(b),
+        }
     }
 
     /// A left shift with a free digit — the pair `(0, *)`.
     pub fn left_any() -> Self {
-        Step { shift: ShiftKind::Left, digit: Digit::Any }
+        Step {
+            shift: ShiftKind::Left,
+            digit: Digit::Any,
+        }
     }
 
     /// A right shift with a free digit — the pair `(1, *)`.
     pub fn right_any() -> Self {
-        Step { shift: ShiftKind::Right, digit: Digit::Any }
+        Step {
+            shift: ShiftKind::Right,
+            digit: Digit::Any,
+        }
     }
 }
 
@@ -270,7 +282,9 @@ impl RoutePath {
     /// digit above `d` (the value `d` itself decodes to the wildcard).
     pub fn decode(d: u8, bytes: &[u8]) -> Result<Self, Error> {
         if !bytes.len().is_multiple_of(2) {
-            return Err(Error::MalformedRoute { reason: "odd digit count" });
+            return Err(Error::MalformedRoute {
+                reason: "odd digit count",
+            });
         }
         let mut steps = Vec::with_capacity(bytes.len() / 2);
         for pair in bytes.chunks_exact(2) {
@@ -278,14 +292,18 @@ impl RoutePath {
                 0 => ShiftKind::Left,
                 1 => ShiftKind::Right,
                 _ => {
-                    return Err(Error::MalformedRoute { reason: "shift type not 0/1" })
+                    return Err(Error::MalformedRoute {
+                        reason: "shift type not 0/1",
+                    })
                 }
             };
             let digit = match pair[1] {
                 b if b < d => Digit::Exact(b),
                 b if b == d => Digit::Any,
                 _ => {
-                    return Err(Error::MalformedRoute { reason: "digit above radix" })
+                    return Err(Error::MalformedRoute {
+                        reason: "digit above radix",
+                    })
                 }
             };
             steps.push(Step { shift, digit });
@@ -296,7 +314,9 @@ impl RoutePath {
 
 impl FromIterator<Step> for RoutePath {
     fn from_iter<I: IntoIterator<Item = Step>>(iter: I) -> Self {
-        Self { steps: iter.into_iter().collect() }
+        Self {
+            steps: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -273,8 +273,7 @@ mod tests {
             let mut full = 0usize;
             let mut reduced = 0usize;
             for w in g.vertices() {
-                let deg = g.directed_out_neighbors(&w).len()
-                    + g.directed_in_neighbors(&w).len();
+                let deg = g.directed_out_neighbors(&w).len() + g.directed_in_neighbors(&w).len();
                 if deg == 2 * d as usize {
                     full += 1;
                 } else if deg == 2 * d as usize - 2 {

@@ -48,9 +48,7 @@ impl Word {
         if digits.is_empty() {
             return Err(Error::LengthTooSmall);
         }
-        if let Some((index, &digit)) =
-            digits.iter().enumerate().find(|&(_, &digit)| digit >= d)
-        {
+        if let Some((index, &digit)) = digits.iter().enumerate().find(|&(_, &digit)| digit >= d) {
             return Err(Error::DigitOutOfRange { digit, d, index });
         }
         Ok(Self { d, digits })
@@ -109,9 +107,7 @@ impl Word {
         let digits: Result<Vec<u8>, Error> = if text.contains('.') {
             text.split('.')
                 .enumerate()
-                .map(|(index, part)| {
-                    part.parse::<u8>().map_err(|_| Error::ParseDigit { index })
-                })
+                .map(|(index, part)| part.parse::<u8>().map_err(|_| Error::ParseDigit { index }))
                 .collect()
         } else {
             text.bytes()
@@ -159,7 +155,10 @@ impl Word {
     ///
     /// Panics if `i` is `0` or greater than `k`.
     pub fn digit_1idx(&self, i: usize) -> u8 {
-        assert!(i >= 1 && i <= self.len(), "1-indexed digit {i} out of range");
+        assert!(
+            i >= 1 && i <= self.len(),
+            "1-indexed digit {i} out of range"
+        );
         self.digits[i - 1]
     }
 
@@ -259,7 +258,11 @@ mod tests {
         assert!(Word::new(2, vec![0, 1, 0]).is_ok());
         assert_eq!(
             Word::new(2, vec![0, 2, 0]),
-            Err(Error::DigitOutOfRange { digit: 2, d: 2, index: 1 })
+            Err(Error::DigitOutOfRange {
+                digit: 2,
+                d: 2,
+                index: 1
+            })
         );
         assert_eq!(Word::new(1, vec![0]), Err(Error::RadixTooSmall { d: 1 }));
         assert_eq!(Word::new(2, vec![]), Err(Error::LengthTooSmall));
@@ -313,7 +316,11 @@ mod tests {
     fn from_rank_rejects_out_of_range() {
         assert_eq!(
             Word::from_rank(2, 3, 8),
-            Err(Error::RankOutOfRange { rank: 8, d: 2, k: 3 })
+            Err(Error::RankOutOfRange {
+                rank: 8,
+                d: 2,
+                k: 3
+            })
         );
         assert!(Word::from_rank(2, 3, 7).is_ok());
     }
@@ -340,9 +347,16 @@ mod tests {
         assert_eq!(Word::parse(2, "01a"), Err(Error::ParseDigit { index: 2 }));
         assert_eq!(
             Word::parse(2, "012"),
-            Err(Error::DigitOutOfRange { digit: 2, d: 2, index: 2 })
+            Err(Error::DigitOutOfRange {
+                digit: 2,
+                d: 2,
+                index: 2
+            })
         );
-        assert_eq!(Word::parse(16, "1.x.2"), Err(Error::ParseDigit { index: 1 }));
+        assert_eq!(
+            Word::parse(16, "1.x.2"),
+            Err(Error::ParseDigit { index: 1 })
+        );
     }
 
     #[test]

@@ -1,84 +1,106 @@
-//! Property-based tests for distances and routing.
+//! Randomized property tests for distances and routing.
+//!
+//! Each test draws a few hundred random word pairs from a seeded
+//! [`SplitMix64`] stream (deterministic, offline — no external
+//! property-testing framework) and checks an invariant on every draw.
 
 use debruijn_core::distance::undirected::Engine;
+use debruijn_core::rng::SplitMix64;
 use debruijn_core::{distance, routing, RoutePath, Word};
-use proptest::prelude::*;
 
-/// Strategy: a pair of words in the same random space.
-fn word_pair() -> impl Strategy<Value = (Word, Word)> {
-    (2u8..=5, 1usize..=24).prop_flat_map(|(d, k)| {
-        let digit = 0..d;
-        (
-            prop::collection::vec(digit.clone(), k),
-            prop::collection::vec(digit, k),
-        )
-            .prop_map(move |(dx, dy)| {
-                (Word::new(d, dx).unwrap(), Word::new(d, dy).unwrap())
-            })
-    })
+const CASES: usize = 300;
+
+/// A random pair of words in the same random space, `d ∈ [2,5]`,
+/// `k ∈ [1,24]`.
+fn word_pair(rng: &mut SplitMix64) -> (Word, Word) {
+    let d = 2 + rng.below_u64(4) as u8;
+    let k = 1 + rng.below_usize(24);
+    random_pair(rng, d, k)
 }
 
-/// Strategy: longer words to exercise the suffix-tree engine.
-fn long_word_pair() -> impl Strategy<Value = (Word, Word)> {
-    (2u8..=4, 65usize..=150).prop_flat_map(|(d, k)| {
-        let digit = 0..d;
-        (
-            prop::collection::vec(digit.clone(), k),
-            prop::collection::vec(digit, k),
-        )
-            .prop_map(move |(dx, dy)| {
-                (Word::new(d, dx).unwrap(), Word::new(d, dy).unwrap())
-            })
-    })
+/// Longer words to exercise the suffix-tree engine, `d ∈ [2,4]`,
+/// `k ∈ [65,150]`.
+fn long_word_pair(rng: &mut SplitMix64) -> (Word, Word) {
+    let d = 2 + rng.below_u64(3) as u8;
+    let k = 65 + rng.below_usize(86);
+    random_pair(rng, d, k)
 }
 
-proptest! {
-    #[test]
-    fn engines_agree_on_undirected_distance((x, y) in word_pair()) {
+fn random_pair(rng: &mut SplitMix64, d: u8, k: usize) -> (Word, Word) {
+    let dx: Vec<u8> = (0..k).map(|_| rng.digit(d)).collect();
+    let dy: Vec<u8> = (0..k).map(|_| rng.digit(d)).collect();
+    (Word::new(d, dx).unwrap(), Word::new(d, dy).unwrap())
+}
+
+#[test]
+fn engines_agree_on_undirected_distance() {
+    let mut rng = SplitMix64::new(0xC0DE_0001);
+    for _ in 0..CASES {
+        let (x, y) = word_pair(&mut rng);
         let naive = distance::undirected::distance_with(Engine::Naive, &x, &y);
         let mp = distance::undirected::distance_with(Engine::MorrisPratt, &x, &y);
         let st = distance::undirected::distance_with(Engine::SuffixTree, &x, &y);
-        prop_assert_eq!(naive, mp);
-        prop_assert_eq!(naive, st);
+        assert_eq!(naive, mp, "x={x} y={y}");
+        assert_eq!(naive, st, "x={x} y={y}");
     }
+}
 
-    #[test]
-    fn engines_agree_on_long_words((x, y) in long_word_pair()) {
+#[test]
+fn engines_agree_on_long_words() {
+    let mut rng = SplitMix64::new(0xC0DE_0002);
+    for _ in 0..60 {
+        let (x, y) = long_word_pair(&mut rng);
         let mp = distance::undirected::distance_with(Engine::MorrisPratt, &x, &y);
         let st = distance::undirected::distance_with(Engine::SuffixTree, &x, &y);
-        prop_assert_eq!(mp, st);
+        assert_eq!(mp, st, "x={x} y={y}");
     }
+}
 
-    #[test]
-    fn undirected_distance_is_a_metric((x, y) in word_pair()) {
+#[test]
+fn undirected_distance_is_a_metric() {
+    let mut rng = SplitMix64::new(0xC0DE_0003);
+    for _ in 0..CASES {
+        let (x, y) = word_pair(&mut rng);
         let dxy = distance::undirected::distance(&x, &y);
-        prop_assert_eq!(dxy, distance::undirected::distance(&y, &x));
-        prop_assert_eq!(dxy == 0, x == y);
-        prop_assert!(dxy <= x.len());
+        assert_eq!(dxy, distance::undirected::distance(&y, &x));
+        assert_eq!(dxy == 0, x == y);
+        assert!(dxy <= x.len());
     }
+}
 
-    #[test]
-    fn directed_distance_bounds((x, y) in word_pair()) {
+#[test]
+fn directed_distance_bounds() {
+    let mut rng = SplitMix64::new(0xC0DE_0004);
+    for _ in 0..CASES {
+        let (x, y) = word_pair(&mut rng);
         let d = distance::directed::distance(&x, &y);
-        prop_assert!(d <= x.len());
-        prop_assert_eq!(d == 0, x == y);
-        prop_assert!(distance::undirected::distance(&x, &y) <= d);
+        assert!(d <= x.len());
+        assert_eq!(d == 0, x == y);
+        assert!(distance::undirected::distance(&x, &y) <= d);
     }
+}
 
-    #[test]
-    fn routes_are_optimal_and_valid((x, y) in word_pair()) {
+#[test]
+fn routes_are_optimal_and_valid() {
+    let mut rng = SplitMix64::new(0xC0DE_0005);
+    for _ in 0..CASES {
+        let (x, y) = word_pair(&mut rng);
         let und = distance::undirected::distance(&x, &y);
         for route in [routing::algorithm2(&x, &y), routing::algorithm4(&x, &y)] {
-            prop_assert_eq!(route.len(), und);
-            prop_assert!(route.leads_to(&x, &y));
+            assert_eq!(route.len(), und, "x={x} y={y}");
+            assert!(route.leads_to(&x, &y), "x={x} y={y}");
         }
         let dir_route = routing::algorithm1(&x, &y);
-        prop_assert_eq!(dir_route.len(), distance::directed::distance(&x, &y));
-        prop_assert!(dir_route.leads_to(&x, &y));
+        assert_eq!(dir_route.len(), distance::directed::distance(&x, &y));
+        assert!(dir_route.leads_to(&x, &y));
     }
+}
 
-    #[test]
-    fn routes_survive_adversarial_wildcard_resolution((x, y) in word_pair()) {
+#[test]
+fn routes_survive_adversarial_wildcard_resolution() {
+    let mut rng = SplitMix64::new(0xC0DE_0006);
+    for _ in 0..CASES {
+        let (x, y) = word_pair(&mut rng);
         let route = routing::algorithm2(&x, &y);
         let d = x.radix();
         // Deterministic "adversary": resolve with a rolling counter.
@@ -87,83 +109,111 @@ proptest! {
             c = (c + 1) % d;
             c
         });
-        prop_assert_eq!(end, y);
+        assert_eq!(end, y);
     }
+}
 
-    #[test]
-    fn route_encoding_round_trips((x, y) in word_pair()) {
+#[test]
+fn route_encoding_round_trips() {
+    let mut rng = SplitMix64::new(0xC0DE_0007);
+    for _ in 0..CASES {
+        let (x, y) = word_pair(&mut rng);
         let route = routing::algorithm2(&x, &y);
         let bytes = route.encode(x.radix());
         let back = RoutePath::decode(x.radix(), &bytes).unwrap();
-        prop_assert_eq!(back, route);
+        assert_eq!(back, route);
     }
+}
 
-    #[test]
-    fn shift_register_algebra(
-        (x, _) in word_pair(),
-        a in 0u8..2,
-    ) {
+#[test]
+fn shift_register_algebra() {
+    let mut rng = SplitMix64::new(0xC0DE_0008);
+    for _ in 0..CASES {
+        let (x, _) = word_pair(&mut rng);
         // Shifting left then right with the discarded digit restores x,
         // and vice versa.
-        let a = a % x.radix();
+        let a = rng.digit(x.radix());
         let first = x.digits()[0];
         let last = *x.digits().last().unwrap();
-        prop_assert_eq!(x.shift_left(a).shift_right(first), x.clone());
-        prop_assert_eq!(x.shift_right(a).shift_left(last), x.clone());
+        assert_eq!(x.shift_left(a).shift_right(first), x.clone());
+        assert_eq!(x.shift_right(a).shift_left(last), x.clone());
         // Rank round-trip.
         let r = x.rank();
-        prop_assert_eq!(Word::from_rank(x.radix(), x.len(), r).unwrap(), x);
+        assert_eq!(Word::from_rank(x.radix(), x.len(), r).unwrap(), x);
     }
+}
 
-    #[test]
-    fn trivial_route_works_from_anywhere((x, y) in word_pair()) {
+#[test]
+fn trivial_route_works_from_anywhere() {
+    let mut rng = SplitMix64::new(0xC0DE_0009);
+    for _ in 0..CASES {
+        let (x, y) = word_pair(&mut rng);
         let t = routing::trivial_route(&y);
-        prop_assert_eq!(t.len(), y.len());
-        prop_assert!(t.leads_to(&x, &y));
+        assert_eq!(t.len(), y.len());
+        assert!(t.leads_to(&x, &y));
     }
+}
 
-    #[test]
-    fn word_parse_display_round_trip((x, _) in word_pair()) {
+#[test]
+fn word_parse_display_round_trip() {
+    let mut rng = SplitMix64::new(0xC0DE_000A);
+    for _ in 0..CASES {
+        let (x, _) = word_pair(&mut rng);
         let text = x.to_string();
-        prop_assert_eq!(Word::parse(x.radix(), &text).unwrap(), x);
+        assert_eq!(Word::parse(x.radix(), &text).unwrap(), x);
     }
+}
 
-    #[test]
-    fn packed_words_mirror_unpacked_semantics((x, y) in word_pair()) {
-        use debruijn_core::packed::PackedWord;
+#[test]
+fn packed_words_mirror_unpacked_semantics() {
+    use debruijn_core::packed::PackedWord;
+    let mut rng = SplitMix64::new(0xC0DE_000B);
+    for _ in 0..CASES {
+        let (x, y) = word_pair(&mut rng);
         let px = PackedWord::from_word(&x).unwrap();
         let py = PackedWord::from_word(&y).unwrap();
-        prop_assert_eq!(px.to_word(), x.clone());
-        prop_assert_eq!(px.rank(), x.rank());
-        prop_assert_eq!(
+        assert_eq!(px.to_word(), x.clone());
+        assert_eq!(px.rank(), x.rank());
+        assert_eq!(
             px.distance_directed(&py),
             distance::directed::distance(&x, &y)
         );
         for a in 0..x.radix() {
-            prop_assert_eq!(px.shift_left(a).to_word(), x.shift_left(a));
-            prop_assert_eq!(px.shift_right(a).to_word(), x.shift_right(a));
+            assert_eq!(px.shift_left(a).to_word(), x.shift_left(a));
+            assert_eq!(px.shift_right(a).to_word(), x.shift_right(a));
         }
     }
+}
 
-    #[test]
-    fn all_shortest_routes_are_shortest_valid_and_distinct((x, y) in word_pair()) {
+#[test]
+fn all_shortest_routes_are_shortest_valid_and_distinct() {
+    let mut rng = SplitMix64::new(0xC0DE_000C);
+    for _ in 0..100 {
+        let (x, y) = word_pair(&mut rng);
         let dist = distance::undirected::distance(&x, &y);
         let routes = routing::all_shortest_routes(&x, &y);
-        prop_assert!(!routes.is_empty());
+        assert!(!routes.is_empty());
         let mut seen = std::collections::HashSet::new();
         for r in &routes {
-            prop_assert_eq!(r.len(), dist);
-            prop_assert!(r.leads_to(&x, &y));
-            prop_assert!(seen.insert(r.clone()), "duplicate route emitted");
+            assert_eq!(r.len(), dist);
+            assert!(r.leads_to(&x, &y));
+            assert!(seen.insert(r.clone()), "duplicate route emitted");
         }
-        prop_assert!(routes.contains(&routing::algorithm2(&x, &y)));
+        assert!(routes.contains(&routing::algorithm2(&x, &y)));
     }
+}
 
-    #[test]
-    fn cached_destination_router_matches_algorithm1((x, y) in word_pair()) {
-        use debruijn_core::routing::DirectedDestinationRouter;
+#[test]
+fn cached_destination_router_matches_algorithm1() {
+    use debruijn_core::routing::DirectedDestinationRouter;
+    let mut rng = SplitMix64::new(0xC0DE_000D);
+    for _ in 0..CASES {
+        let (x, y) = word_pair(&mut rng);
         let router = DirectedDestinationRouter::new(y.clone());
-        prop_assert_eq!(router.route_from(&x), routing::algorithm1(&x, &y));
-        prop_assert_eq!(router.distance_from(&x), distance::directed::distance(&x, &y));
+        assert_eq!(router.route_from(&x), routing::algorithm1(&x, &y));
+        assert_eq!(
+            router.distance_from(&x),
+            distance::directed::distance(&x, &y)
+        );
     }
 }

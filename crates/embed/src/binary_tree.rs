@@ -23,10 +23,7 @@ use crate::metrics::Embedding;
 pub fn complete_binary_tree(k: usize) -> Embedding {
     assert!(k >= 1, "k must be at least 1");
     let space = DeBruijn::new(2, k).expect("binary space");
-    let n = 1usize
-        .checked_shl(k as u32)
-        .expect("2^k must fit in usize")
-        - 1;
+    let n = 1usize.checked_shl(k as u32).expect("2^k must fit in usize") - 1;
     let mapping: Vec<Word> = (1..=n)
         .map(|heap| {
             let bits = usize::BITS - heap.leading_zeros();
@@ -76,7 +73,7 @@ mod tests {
     fn tree_edges_form_a_complete_binary_tree() {
         let e = complete_binary_tree(4);
         assert_eq!(e.guest_edge_count(), 14); // n - 1 edges
-        // Root hosts 0^{k-1} 1.
+                                              // Root hosts 0^{k-1} 1.
         assert_eq!(e.host_word(0).to_string(), "0001");
         // Children of the root host its left shifts.
         assert_eq!(e.host_word(1).to_string(), "0010");
@@ -87,8 +84,7 @@ mod tests {
     fn leaf_level_occupies_words_starting_with_one() {
         let e = complete_binary_tree(3);
         // Heap indices 4..=7 are leaves: words 100, 101, 110, 111.
-        let leaves: Vec<String> =
-            (3..7).map(|j| e.host_word(j).to_string()).collect();
+        let leaves: Vec<String> = (3..7).map(|j| e.host_word(j).to_string()).collect();
         assert_eq!(leaves, ["100", "101", "110", "111"]);
     }
 

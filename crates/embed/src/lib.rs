@@ -21,8 +21,8 @@
 
 pub mod binary_tree;
 pub mod metrics;
-pub mod sorting;
 pub mod ring;
 pub mod shuffle_exchange;
+pub mod sorting;
 
 pub use metrics::Embedding;

@@ -33,10 +33,18 @@ impl Embedding {
             assert!(host.contains(w), "mapped word {w} outside host space");
         }
         for &(a, b) in &guest_edges {
-            assert!(a < mapping.len() && b < mapping.len(), "edge endpoint out of range");
+            assert!(
+                a < mapping.len() && b < mapping.len(),
+                "edge endpoint out of range"
+            );
             assert_ne!(a, b, "guest self-loops are not allowed");
         }
-        Self { host, guest_name: guest_name.into(), mapping, guest_edges }
+        Self {
+            host,
+            guest_name: guest_name.into(),
+            mapping,
+            guest_edges,
+        }
     }
 
     /// The host parameter space.
@@ -88,9 +96,7 @@ impl Embedding {
     pub fn dilation(&self) -> usize {
         self.guest_edges
             .iter()
-            .map(|&(a, b)| {
-                distance::undirected::distance(&self.mapping[a], &self.mapping[b])
-            })
+            .map(|&(a, b)| distance::undirected::distance(&self.mapping[a], &self.mapping[b]))
             .max()
             .unwrap_or(0)
     }
@@ -103,9 +109,7 @@ impl Embedding {
         let total: usize = self
             .guest_edges
             .iter()
-            .map(|&(a, b)| {
-                distance::undirected::distance(&self.mapping[a], &self.mapping[b])
-            })
+            .map(|&(a, b)| distance::undirected::distance(&self.mapping[a], &self.mapping[b]))
             .sum();
         total as f64 / self.guest_edges.len() as f64
     }
@@ -168,12 +172,7 @@ mod tests {
 
     #[test]
     fn identity_pair_embedding_metrics() {
-        let e = Embedding::new(
-            host(),
-            "pair",
-            vec![w("000"), w("001")],
-            vec![(0, 1)],
-        );
+        let e = Embedding::new(host(), "pair", vec![w("000"), w("001")], vec![(0, 1)]);
         assert!(e.is_injective());
         assert_eq!(e.dilation(), 1);
         assert_eq!(e.average_dilation(), 1.0);
@@ -214,6 +213,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside host space")]
     fn rejects_foreign_words() {
-        Embedding::new(host(), "foreign", vec![Word::parse(2, "01").unwrap()], vec![]);
+        Embedding::new(
+            host(),
+            "foreign",
+            vec![Word::parse(2, "01").unwrap()],
+            vec![],
+        );
     }
 }

@@ -49,7 +49,9 @@ pub struct CompareExchange {
 /// ```
 pub fn bitonic_network(log_n: usize) -> Vec<Vec<CompareExchange>> {
     assert!(log_n >= 1, "need at least two inputs");
-    let n = 1usize.checked_shl(log_n as u32).expect("2^log_n fits usize");
+    let n = 1usize
+        .checked_shl(log_n as u32)
+        .expect("2^log_n fits usize");
     let mut stages = Vec::new();
     for s in 1..=log_n {
         for j in (0..s).rev() {
@@ -60,7 +62,11 @@ pub fn bitonic_network(log_n: usize) -> Vec<Vec<CompareExchange>> {
                     // Direction flips with bit `s` of the index, building
                     // bitonic runs of length 2^s.
                     let ascending = i & (1 << s) == 0;
-                    stage.push(CompareExchange { lo: i, hi: partner, ascending });
+                    stage.push(CompareExchange {
+                        lo: i,
+                        hi: partner,
+                        ascending,
+                    });
                 }
             }
             stages.push(stage);
@@ -111,7 +117,11 @@ pub struct SortCost {
 ///
 /// Panics if `keys.len() != 2^k`.
 pub fn sort_on_network<T: Ord + Clone>(space: DeBruijn, keys: &[T]) -> (Vec<T>, SortCost) {
-    assert_eq!(space.d(), 2, "the sorting network runs on binary de Bruijn hosts");
+    assert_eq!(
+        space.d(),
+        2,
+        "the sorting network runs on binary de Bruijn hosts"
+    );
     let k = space.k();
     let n = space.order_usize().expect("enumerable host");
     assert_eq!(keys.len(), n, "one key per processor required");

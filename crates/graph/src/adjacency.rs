@@ -66,7 +66,10 @@ impl DebruijnGraph {
         let n = space
             .order_usize()
             .filter(|&n| u32::try_from(n).is_ok())
-            .ok_or(GraphError::TooLarge { d: space.d(), k: space.k() })?;
+            .ok_or(GraphError::TooLarge {
+                d: space.d(),
+                k: space.k(),
+            })?;
         let mut offsets = Vec::with_capacity(n + 1);
         let mut targets = Vec::new();
         offsets.push(0);
@@ -83,7 +86,12 @@ impl DebruijnGraph {
             }
             offsets.push(targets.len());
         }
-        Ok(Self { space, mode, offsets, targets })
+        Ok(Self {
+            space,
+            mode,
+            offsets,
+            targets,
+        })
     }
 
     /// The parameter space this graph materializes.
@@ -129,7 +137,11 @@ impl DebruijnGraph {
     ///
     /// Panics if `w` is not a vertex of this graph's space.
     pub fn rank_of(&self, w: &Word) -> u32 {
-        assert!(self.space.contains(w), "{w} is not a vertex of {:?}", self.space);
+        assert!(
+            self.space.contains(w),
+            "{w} is not a vertex of {:?}",
+            self.space
+        );
         w.rank() as u32
     }
 
@@ -139,7 +151,10 @@ impl DebruijnGraph {
     ///
     /// Panics if `node` is out of range.
     pub fn word_of(&self, node: u32) -> Word {
-        assert!((node as usize) < self.node_count(), "node {node} out of range");
+        assert!(
+            (node as usize) < self.node_count(),
+            "node {node} out of range"
+        );
         self.space
             .word_from_rank(u128::from(node))
             .expect("node index below order")

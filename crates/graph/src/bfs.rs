@@ -64,7 +64,10 @@ pub fn shortest_path_avoiding(
     faults: &[u32],
 ) -> Option<Vec<u32>> {
     let n = graph.node_count();
-    assert!((src as usize) < n && (dst as usize) < n, "endpoint out of range");
+    assert!(
+        (src as usize) < n && (dst as usize) < n,
+        "endpoint out of range"
+    );
     let mut blocked = vec![false; n];
     for &f in faults {
         assert!((f as usize) < n, "fault {f} out of range");
@@ -115,20 +118,25 @@ pub fn shortest_path_avoiding_links(
     link_faults: &[(u32, u32)],
 ) -> Option<Vec<u32>> {
     let n = graph.node_count();
-    assert!((src as usize) < n && (dst as usize) < n, "endpoint out of range");
+    assert!(
+        (src as usize) < n && (dst as usize) < n,
+        "endpoint out of range"
+    );
     let mut blocked = vec![false; n];
     for &f in node_faults {
         assert!((f as usize) < n, "fault {f} out of range");
         blocked[f as usize] = true;
     }
     for &(a, b) in link_faults {
-        assert!((a as usize) < n && (b as usize) < n, "link fault out of range");
+        assert!(
+            (a as usize) < n && (b as usize) < n,
+            "link fault out of range"
+        );
     }
     if blocked[src as usize] || blocked[dst as usize] {
         return None;
     }
-    let is_dead_link =
-        |a: u32, b: u32| link_faults.iter().any(|&(x, y)| x == a && y == b);
+    let is_dead_link = |a: u32, b: u32| link_faults.iter().any(|&(x, y)| x == a && y == b);
     let mut parent = vec![UNREACHABLE; n];
     let mut seen = vec![false; n];
     let mut queue = VecDeque::new();
@@ -238,9 +246,7 @@ mod tests {
                             continue;
                         }
                         let p = shortest_path_avoiding(&g, s, t, &[f1, f2]);
-                        let p = p.unwrap_or_else(|| {
-                            panic!("no path {s}->{t} avoiding {f1},{f2}")
-                        });
+                        let p = p.unwrap_or_else(|| panic!("no path {s}->{t} avoiding {f1},{f2}"));
                         assert!(!p.contains(&f1) && !p.contains(&f2));
                     }
                 }

@@ -51,7 +51,12 @@ impl BroadcastTree {
                 children[parent[v as usize] as usize].push(v);
             }
         }
-        Self { root, parent, children, order }
+        Self {
+            root,
+            parent,
+            children,
+            order,
+        }
     }
 
     /// The root node.

@@ -44,7 +44,11 @@ pub fn census(graph: &DebruijnGraph) -> Census {
         EdgeMode::Directed => graph.adjacency_count(),
         EdgeMode::Undirected => graph.adjacency_count() / 2,
     };
-    Census { nodes: n, edges, degree_histogram: histogram }
+    Census {
+        nodes: n,
+        edges,
+        degree_histogram: histogram,
+    }
 }
 
 impl Census {
@@ -61,9 +65,7 @@ impl Census {
             .get(&(2 * d - 2))
             .copied()
             .unwrap_or(0);
-        full == self.nodes - d
-            && reduced == d
-            && self.degree_histogram.len() <= 2
+        full == self.nodes - d && reduced == d && self.degree_histogram.len() <= 2
     }
 
     /// Checks the undirected-degree census for `k ≥ 3`: `N − d²` vertices

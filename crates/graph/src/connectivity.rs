@@ -96,7 +96,9 @@ mod tests {
         for (d, k) in [(2u8, 1usize), (2, 4), (3, 3), (4, 2)] {
             let s = DeBruijn::new(d, k).unwrap();
             assert!(is_strongly_connected(&DebruijnGraph::directed(s).unwrap()));
-            assert!(is_strongly_connected(&DebruijnGraph::undirected(s).unwrap()));
+            assert!(is_strongly_connected(
+                &DebruijnGraph::undirected(s).unwrap()
+            ));
         }
     }
 

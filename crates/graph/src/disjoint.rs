@@ -27,7 +27,10 @@ pub fn vertex_disjoint_paths(
     limit: usize,
 ) -> Vec<Vec<u32>> {
     let n = graph.node_count();
-    assert!((src as usize) < n && (dst as usize) < n, "endpoint out of range");
+    assert!(
+        (src as usize) < n && (dst as usize) < n,
+        "endpoint out of range"
+    );
     assert_ne!(src, dst, "endpoints must differ");
 
     // Split each vertex v into v_in (2v) and v_out (2v+1).
@@ -49,8 +52,18 @@ pub fn vertex_disjoint_paths(
     let add_arc = |adj: &mut Vec<Vec<Arc>>, from: usize, to: usize, cap: u32| {
         let rev_from = adj[to].len();
         let rev_to = adj[from].len();
-        adj[from].push(Arc { to, cap, rev: rev_from, forward: true });
-        adj[to].push(Arc { to: from, cap: 0, rev: rev_to, forward: false });
+        adj[from].push(Arc {
+            to,
+            cap,
+            rev: rev_from,
+            forward: true,
+        });
+        adj[to].push(Arc {
+            to: from,
+            cap: 0,
+            rev: rev_to,
+            forward: false,
+        });
     };
     for v in graph.nodes() {
         let split_cap = if v == src || v == dst { u32::MAX } else { 1 };

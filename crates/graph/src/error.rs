@@ -44,6 +44,8 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(GraphError::TooLarge { d: 2, k: 64 }.to_string().contains("2^64"));
+        assert!(GraphError::TooLarge { d: 2, k: 64 }
+            .to_string()
+            .contains("2^64"));
     }
 }

@@ -104,8 +104,8 @@ pub fn de_bruijn_sequence_prefer_largest(d: u8, n: usize) -> Vec<u8> {
     let mut seq: Vec<u8> = vec![0; n];
     seen[0] = true;
     let mut window_rank = 0usize; // rank of the last n digits
-    // The zero window is pre-seen, so exactly d^n − 1 appends remain
-    // before every window is used and the greedy stalls.
+                                  // The zero window is pre-seen, so exactly d^n − 1 appends remain
+                                  // before every window is used and the greedy stalls.
     while seq.len() < total + n - 1 {
         let mut appended = false;
         for a in (0..d).rev() {
@@ -118,7 +118,10 @@ pub fn de_bruijn_sequence_prefer_largest(d: u8, n: usize) -> Vec<u8> {
                 break;
             }
         }
-        assert!(appended, "greedy construction never gets stuck (Martin 1934)");
+        assert!(
+            appended,
+            "greedy construction never gets stuck (Martin 1934)"
+        );
     }
     // The first n zeros are re-covered by the wrap-around; drop the tail
     // that re-enters the zero window.
@@ -227,7 +230,15 @@ mod tests {
 
     #[test]
     fn prefer_largest_generates_valid_sequences() {
-        for (d, n) in [(2u8, 1usize), (2, 3), (2, 6), (3, 2), (3, 4), (4, 3), (5, 2)] {
+        for (d, n) in [
+            (2u8, 1usize),
+            (2, 3),
+            (2, 6),
+            (3, 2),
+            (3, 4),
+            (4, 3),
+            (5, 2),
+        ] {
             let seq = de_bruijn_sequence_prefer_largest(d, n);
             assert!(is_de_bruijn_sequence(d, n, &seq), "d={d} n={n}: {seq:?}");
         }
@@ -247,7 +258,10 @@ mod tests {
     #[test]
     fn prefer_largest_matches_known_binary_sequence() {
         // Martin's rule for d=2, n=3 starting at 000 yields 00011101.
-        assert_eq!(de_bruijn_sequence_prefer_largest(2, 3), vec![0, 0, 0, 1, 1, 1, 0, 1]);
+        assert_eq!(
+            de_bruijn_sequence_prefer_largest(2, 3),
+            vec![0, 0, 0, 1, 1, 1, 0, 1]
+        );
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub fn route_avoiding(
     let fault_ids: Vec<u32> = faults.iter().map(|f| graph.rank_of(f)).collect();
     let nodes = bfs::shortest_path_avoiding(graph, src, dst, &fault_ids)?;
     let words: Vec<Word> = nodes.iter().map(|&n| graph.word_of(n)).collect();
-    let path = RoutePath::from_word_walk(&words)
-        .expect("BFS paths follow graph edges, which are shifts");
+    let path =
+        RoutePath::from_word_walk(&words).expect("BFS paths follow graph edges, which are shifts");
     debug_assert!(path.leads_to(x, y));
     Some(path)
 }
@@ -60,8 +60,8 @@ pub fn route_avoiding_full(
         .collect();
     let walk = bfs::shortest_path_avoiding_links(graph, src, dst, &nodes, &links)?;
     let words: Vec<Word> = walk.iter().map(|&n| graph.word_of(n)).collect();
-    let path = RoutePath::from_word_walk(&words)
-        .expect("BFS paths follow graph edges, which are shifts");
+    let path =
+        RoutePath::from_word_walk(&words).expect("BFS paths follow graph edges, which are shifts");
     debug_assert!(path.leads_to(x, y));
     Some(path)
 }
@@ -76,7 +76,11 @@ pub fn route_avoiding_full(
 /// or if `graph` is directed (stretch is an undirected-network metric
 /// here, matching experiment E8).
 pub fn stretch(graph: &DebruijnGraph, x: &Word, y: &Word, faults: &[Word]) -> Option<f64> {
-    assert_eq!(graph.mode(), EdgeMode::Undirected, "stretch uses the undirected graph");
+    assert_eq!(
+        graph.mode(),
+        EdgeMode::Undirected,
+        "stretch uses the undirected graph"
+    );
     assert_ne!(x, y, "stretch is undefined for equal endpoints");
     let detour = route_avoiding(graph, x, y, faults)?.len();
     let direct = debruijn_core::distance::undirected::distance(x, y);

@@ -78,7 +78,15 @@ mod tests {
 
     #[test]
     fn cycles_are_hamiltonian_across_parameters() {
-        for (d, k) in [(2u8, 1usize), (2, 2), (2, 3), (2, 6), (3, 2), (3, 3), (4, 2)] {
+        for (d, k) in [
+            (2u8, 1usize),
+            (2, 2),
+            (2, 3),
+            (2, 6),
+            (3, 2),
+            (3, 3),
+            (4, 2),
+        ] {
             let space = DeBruijn::new(d, k).unwrap();
             let cycle = hamiltonian_cycle(space);
             assert!(is_hamiltonian_cycle(space, &cycle), "d={d} k={k}");
@@ -125,7 +133,12 @@ mod tests {
             let b = g.rank_of(&cycle[(i + 1) % cycle.len()]);
             // Self-loops were reduced away; a Hamiltonian cycle cannot use
             // them anyway since vertices repeat.
-            assert!(g.has_edge(a, b), "missing arc {} -> {}", cycle[i], cycle[(i + 1) % cycle.len()]);
+            assert!(
+                g.has_edge(a, b),
+                "missing arc {} -> {}",
+                cycle[i],
+                cycle[(i + 1) % cycle.len()]
+            );
         }
     }
 }

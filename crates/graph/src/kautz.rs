@@ -144,7 +144,11 @@ impl Kautz {
     /// Panics on overflow of `usize`.
     pub fn order(&self) -> usize {
         (self.d as usize + 1)
-            .checked_mul((self.d as usize).checked_pow((self.k - 1) as u32).expect("fits"))
+            .checked_mul(
+                (self.d as usize)
+                    .checked_pow((self.k - 1) as u32)
+                    .expect("fits"),
+            )
             .expect("order fits usize")
     }
 
@@ -163,7 +167,10 @@ impl Kautz {
 
     fn enumerate(&self, digits: &mut Vec<u8>, out: &mut Vec<KautzWord>) {
         if digits.len() == self.k {
-            out.push(KautzWord { d: self.d, digits: digits.clone() });
+            out.push(KautzWord {
+                d: self.d,
+                digits: digits.clone(),
+            });
             return;
         }
         for a in 0..=self.d {
@@ -183,9 +190,17 @@ impl Kautz {
     ///
     /// Panics if `w` is not a vertex of this graph.
     pub fn successors(&self, w: &KautzWord) -> Vec<KautzWord> {
-        assert!(self.contains(w), "{w} is not a vertex of K({},{})", self.d, self.k);
+        assert!(
+            self.contains(w),
+            "{w} is not a vertex of K({},{})",
+            self.d,
+            self.k
+        );
         let last = *w.digits().last().expect("k >= 1");
-        (0..=self.d).filter(|&a| a != last).map(|a| w.shift_left(a)).collect()
+        (0..=self.d)
+            .filter(|&a| a != last)
+            .map(|a| w.shift_left(a))
+            .collect()
     }
 
     /// Distance by the Kautz analogue of Property 1: the smallest `m`
@@ -313,11 +328,7 @@ mod tests {
             for x in &vs {
                 let bfs = g.bfs_distances(x);
                 for y in &vs {
-                    assert_eq!(
-                        g.distance(x, y),
-                        bfs[y],
-                        "d={d} k={k} {x}->{y}"
-                    );
+                    assert_eq!(g.distance(x, y), bfs[y], "d={d} k={k} {x}->{y}");
                 }
             }
         }

@@ -41,8 +41,8 @@ pub mod fault;
 pub mod generalized;
 pub mod hamiltonian;
 pub mod kautz;
-pub mod tables;
 pub mod line_graph;
+pub mod tables;
 
 pub use adjacency::DebruijnGraph;
 pub use error::GraphError;

@@ -144,8 +144,7 @@ mod tests {
     #[test]
     fn debruijn_is_its_own_line_digraph_family() {
         for (d, k) in [(2u8, 2usize), (2, 3), (2, 4), (3, 2), (3, 3), (4, 2)] {
-            verify_line_digraph_property(d, k)
-                .unwrap_or_else(|e| panic!("d={d} k={k}: {e}"));
+            verify_line_digraph_property(d, k).unwrap_or_else(|e| panic!("d={d} k={k}: {e}"));
         }
     }
 

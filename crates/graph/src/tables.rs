@@ -76,7 +76,10 @@ impl RoutingTables {
     ///
     /// Panics if a node index is out of range.
     pub fn next_hop(&self, src: u32, dst: u32) -> Option<u32> {
-        assert!((src as usize) < self.n && (dst as usize) < self.n, "node out of range");
+        assert!(
+            (src as usize) < self.n && (dst as usize) < self.n,
+            "node out of range"
+        );
         match self.next[src as usize * self.n + dst as usize] {
             u32::MAX => None,
             hop => Some(hop),
@@ -90,7 +93,10 @@ impl RoutingTables {
     /// Panics if a node index is out of range or the table is corrupt
     /// (no progress).
     pub fn route(&self, src: u32, dst: u32) -> Option<Vec<u32>> {
-        assert!((src as usize) < self.n && (dst as usize) < self.n, "node out of range");
+        assert!(
+            (src as usize) < self.n && (dst as usize) < self.n,
+            "node out of range"
+        );
         let mut path = vec![src];
         let mut cur = src;
         while cur != dst {
@@ -131,11 +137,7 @@ mod tests {
                 let dist = bfs::distances(&g, src);
                 for dst in g.nodes() {
                     let route = tables.route(src, dst).expect("strongly connected");
-                    assert_eq!(
-                        route.len() - 1,
-                        dist[dst as usize] as usize,
-                        "{src}->{dst}"
-                    );
+                    assert_eq!(route.len() - 1, dist[dst as usize] as usize, "{src}->{dst}");
                     for w in route.windows(2) {
                         assert!(g.has_edge(w[0], w[1]), "table route uses a non-edge");
                     }
@@ -156,12 +158,10 @@ mod tests {
 
     #[test]
     fn memory_grows_quadratically() {
-        let small = RoutingTables::build(
-            &DebruijnGraph::undirected(DeBruijn::new(2, 3).unwrap()).unwrap(),
-        );
-        let large = RoutingTables::build(
-            &DebruijnGraph::undirected(DeBruijn::new(2, 5).unwrap()).unwrap(),
-        );
+        let small =
+            RoutingTables::build(&DebruijnGraph::undirected(DeBruijn::new(2, 3).unwrap()).unwrap());
+        let large =
+            RoutingTables::build(&DebruijnGraph::undirected(DeBruijn::new(2, 5).unwrap()).unwrap());
         assert_eq!(small.memory_bytes(), 8 * 8 * 4);
         assert_eq!(large.memory_bytes(), 32 * 32 * 4);
     }

@@ -18,7 +18,11 @@
 //!   configurable latency/service times, node fault injection and
 //!   source-level rerouting;
 //! * [`workload`] — reproducible traffic patterns (uniform random,
-//!   permutation, hotspot, all-pairs).
+//!   permutation, hotspot, all-pairs);
+//! * [`record`] — pluggable observability: a [`Recorder`] sink trait fed
+//!   span-style [`NetEvent`]s by [`Simulation::run_recorded`], with
+//!   in-memory histogram/counter aggregation ([`InMemoryRecorder`]) and
+//!   line-delimited JSON export ([`record::JsonlRecorder`]).
 //!
 //! Everything is deterministic given the seed in [`SimConfig`].
 //!
@@ -41,6 +45,7 @@
 
 pub mod message;
 pub mod policy;
+pub mod record;
 pub mod router;
 pub mod sim;
 pub mod stats;
@@ -48,9 +53,10 @@ pub mod workload;
 
 pub use message::{ControlCode, Message};
 pub use policy::WildcardPolicy;
+pub use record::{DropReason, InMemoryRecorder, NetEvent, NullRecorder, Recorder};
 pub use router::RouterKind;
 pub use sim::{
     FaultHandling, ForwardingMode, Injection, LinkParams, NetError, SimConfig, Simulation,
     TraceEvent, TraceKind,
 };
-pub use stats::SimReport;
+pub use stats::{Histogram, SimReport};

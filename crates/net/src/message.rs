@@ -71,7 +71,10 @@ impl Message {
         let first = steps.remove(0);
         self.route = RoutePath::new(steps);
         Some((
-            PoppedStep { shift: first.shift, digit: first.digit },
+            PoppedStep {
+                shift: first.shift,
+                digit: first.digit,
+            },
             self,
         ))
     }

@@ -6,19 +6,24 @@
 //! under the configured [`WildcardPolicy`], and hands the message to the
 //! selected link; the message arrives at the neighbor when the link has
 //! served it. Everything is deterministic given [`SimConfig::seed`].
+//!
+//! Every run drives a [`Recorder`] (see [`crate::record`]): [`Simulation::run`]
+//! uses the free [`NullRecorder`], [`Simulation::run_recorded`] accepts any
+//! sink, and [`Simulation::run_traced`] adapts the event stream back onto
+//! the legacy [`TraceEvent`] vector.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::error::Error as StdError;
 use std::fmt;
 
+use debruijn_core::rng::SplitMix64;
 use debruijn_core::{DeBruijn, Digit, RoutePath, ShiftKind, Word};
 use debruijn_graph::{fault, DebruijnGraph, GraphError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::message::Message;
 use crate::policy::WildcardPolicy;
+use crate::record::{DropReason, NetEvent, NullRecorder, Recorder, TraceAdapter};
 use crate::router::RouterKind;
 use crate::stats::SimReport;
 
@@ -34,7 +39,10 @@ pub struct LinkParams {
 
 impl Default for LinkParams {
     fn default() -> Self {
-        Self { latency: 1, service: 1 }
+        Self {
+            latency: 1,
+            service: 1,
+        }
     }
 }
 
@@ -233,7 +241,9 @@ impl Simulation {
     pub fn with_faults(mut self, faults: Vec<Word>) -> Result<Self, NetError> {
         for f in &faults {
             if !self.space.contains(f) {
-                return Err(NetError::ForeignWord { word: f.to_string() });
+                return Err(NetError::ForeignWord {
+                    word: f.to_string(),
+                });
             }
         }
         self.faults = faults.into_iter().collect();
@@ -253,10 +263,14 @@ impl Simulation {
     pub fn with_link_faults(mut self, links: Vec<(Word, Word)>) -> Result<Self, NetError> {
         for (a, b) in &links {
             if !self.space.contains(a) {
-                return Err(NetError::ForeignWord { word: a.to_string() });
+                return Err(NetError::ForeignWord {
+                    word: a.to_string(),
+                });
             }
             if !self.space.contains(b) {
-                return Err(NetError::ForeignWord { word: b.to_string() });
+                return Err(NetError::ForeignWord {
+                    word: b.to_string(),
+                });
             }
         }
         self.link_faults = links.iter().map(|(a, b)| (a.rank(), b.rank())).collect();
@@ -298,7 +312,22 @@ impl Simulation {
     /// Panics if an injection references a word outside the simulated
     /// space.
     pub fn run(&self, traffic: &[Injection]) -> SimReport {
-        self.run_impl(traffic, None)
+        self.run_recorded(traffic, &mut NullRecorder)
+    }
+
+    /// Like [`Simulation::run`], but streams every [`NetEvent`] into the
+    /// given [`Recorder`] as it happens. With the default
+    /// [`NullRecorder`] this is exactly [`Simulation::run`]; pass an
+    /// [`InMemoryRecorder`](crate::record::InMemoryRecorder) for
+    /// histograms and counters or a
+    /// [`JsonlRecorder`](crate::record::JsonlRecorder) for an event log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an injection references a word outside the simulated
+    /// space.
+    pub fn run_recorded(&self, traffic: &[Injection], recorder: &mut dyn Recorder) -> SimReport {
+        self.run_impl(traffic, recorder)
     }
 
     /// Like [`Simulation::run`], but also records a full event trace
@@ -313,17 +342,17 @@ impl Simulation {
     /// space.
     pub fn run_traced(&self, traffic: &[Injection]) -> (SimReport, Vec<TraceEvent>) {
         let mut trace = Vec::new();
-        let report = self.run_impl(traffic, Some(&mut trace));
+        let report = self.run_impl(traffic, &mut TraceAdapter { trace: &mut trace });
         (report, trace)
     }
 
-    fn run_impl(
-        &self,
-        traffic: &[Injection],
-        mut trace: Option<&mut Vec<TraceEvent>>,
-    ) -> SimReport {
-        let mut report = SimReport { total_links: self.count_links(), ..SimReport::default() };
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+    fn run_impl(&self, traffic: &[Injection], recorder: &mut dyn Recorder) -> SimReport {
+        let mut report = SimReport {
+            total_links: self.count_links(),
+            ..SimReport::default()
+        };
+        let mut rng = SplitMix64::new(self.config.seed);
+        let observed = recorder.enabled();
 
         // Per-link FIFO state: next time the link is free.
         let mut link_free: HashMap<(u128, u128), u64> = HashMap::new();
@@ -342,27 +371,29 @@ impl Simulation {
             report.injected += 1;
             if self.faults.contains(&inj.source) {
                 report.dropped += 1;
-                if let Some(trace) = trace.as_deref_mut() {
-                    trace.push(TraceEvent {
+                if observed {
+                    recorder.record(&NetEvent::Drop {
                         time: inj.time,
                         message: index,
-                        kind: TraceKind::Dropped,
+                        reason: DropReason::FaultySource,
                     });
                 }
                 continue;
             }
+            let mut rerouted = false;
             let route = match self.config.forwarding {
                 ForwardingMode::HopByHop => RoutePath::empty(),
                 ForwardingMode::SourceRouted => {
-                    match self.initial_route(&inj.source, &inj.destination, &mut rng) {
+                    match self.initial_route(&inj.source, &inj.destination, &mut rng, &mut rerouted)
+                    {
                         Some(r) => r,
                         None => {
                             report.dropped += 1;
-                            if let Some(trace) = trace.as_deref_mut() {
-                                trace.push(TraceEvent {
+                            if observed {
+                                recorder.record(&NetEvent::Drop {
                                     time: inj.time,
                                     message: index,
-                                    kind: TraceKind::Dropped,
+                                    reason: DropReason::NoRoute,
                                 });
                             }
                             continue;
@@ -370,6 +401,35 @@ impl Simulation {
                     }
                 }
             };
+            // The fault-free shortest distance is only needed for
+            // observability (the stretch histogram); skip the distance
+            // computation entirely when nobody listens.
+            let shortest = if observed {
+                if self.config.router.needs_bidirectional() {
+                    debruijn_core::distance::undirected::distance(&inj.source, &inj.destination)
+                } else {
+                    debruijn_core::distance::directed::distance(&inj.source, &inj.destination)
+                }
+            } else {
+                0
+            };
+            if observed {
+                recorder.record(&NetEvent::Inject {
+                    time: inj.time,
+                    message: index,
+                    source: inj.source.clone(),
+                    destination: inj.destination.clone(),
+                    route_len: route.steps().len(),
+                    shortest,
+                });
+                if rerouted {
+                    recorder.record(&NetEvent::Reroute {
+                        time: inj.time,
+                        message: index,
+                        at: inj.source.clone(),
+                    });
+                }
+            }
             let msg = Message::data(inj.source.clone(), inj.destination.clone(), route);
             let flight = Flight {
                 index,
@@ -377,14 +437,8 @@ impl Simulation {
                 msg,
                 injected_at: inj.time,
                 hops: 0,
+                shortest,
             };
-            if let Some(trace) = trace.as_deref_mut() {
-                trace.push(TraceEvent {
-                    time: inj.time,
-                    message: index,
-                    kind: TraceKind::Injected { at: inj.source.clone() },
-                });
-            }
             pending.insert(seq, flight);
             heap.push(Reverse((inj.time, seq)));
             seq += 1;
@@ -392,12 +446,23 @@ impl Simulation {
 
         while let Some(Reverse((now, id))) = heap.pop() {
             let flight = pending.remove(&id).expect("event for live flight");
-            let Flight { index, at, msg, injected_at, hops } = flight;
+            let Flight {
+                index,
+                at,
+                msg,
+                injected_at,
+                hops,
+                shortest,
+            } = flight;
 
             if self.faults.contains(&at) {
                 report.dropped += 1;
-                if let Some(trace) = trace.as_deref_mut() {
-                    trace.push(TraceEvent { time: now, message: index, kind: TraceKind::Dropped });
+                if observed {
+                    recorder.record(&NetEvent::Drop {
+                        time: now,
+                        message: index,
+                        reason: DropReason::FaultyNode,
+                    });
                 }
                 continue;
             }
@@ -414,11 +479,13 @@ impl Simulation {
                 report.latency_total += latency;
                 report.latency_max = report.latency_max.max(latency);
                 report.makespan = report.makespan.max(now);
-                if let Some(trace) = trace.as_deref_mut() {
-                    trace.push(TraceEvent {
+                if observed {
+                    recorder.record(&NetEvent::Deliver {
                         time: now,
                         message: index,
-                        kind: TraceKind::Delivered,
+                        hops,
+                        latency,
+                        shortest,
                     });
                 }
                 continue;
@@ -432,8 +499,16 @@ impl Simulation {
                 ForwardingMode::HopByHop => {
                     // Recompute a shortest (possibly fault-avoiding) route
                     // from here and take only its first step.
-                    match self.initial_route(&at, &msg.destination, &mut rng) {
+                    let mut rerouted = false;
+                    match self.initial_route(&at, &msg.destination, &mut rng, &mut rerouted) {
                         Some(route) if !route.is_empty() => {
+                            if rerouted && observed {
+                                recorder.record(&NetEvent::Reroute {
+                                    time: now,
+                                    message: index,
+                                    at: at.clone(),
+                                });
+                            }
                             let first = route.steps()[0];
                             (
                                 crate::message::PoppedStep {
@@ -446,11 +521,11 @@ impl Simulation {
                         _ => {
                             // Destination unreachable from here.
                             report.dropped += 1;
-                            if let Some(trace) = trace.as_deref_mut() {
-                                trace.push(TraceEvent {
+                            if observed {
+                                recorder.record(&NetEvent::Drop {
                                     time: now,
                                     message: index,
-                                    kind: TraceKind::Dropped,
+                                    reason: DropReason::NoRoute,
                                 });
                             }
                             continue;
@@ -458,14 +533,19 @@ impl Simulation {
                     }
                 }
             };
-            let digit = self.resolve_digit(
-                &at,
-                step.shift,
-                step.digit,
-                &link_free,
-                &mut rr,
-                &mut rng,
-            );
+            let was_wildcard = matches!(step.digit, Digit::Any);
+            let digit =
+                self.resolve_digit(&at, step.shift, step.digit, &link_free, &mut rr, &mut rng);
+            if was_wildcard && observed {
+                recorder.record(&NetEvent::WildcardResolved {
+                    time: now,
+                    message: index,
+                    at: at.clone(),
+                    shift: step.shift,
+                    digit,
+                    policy: self.config.policy,
+                });
+            }
             let next = match step.shift {
                 ShiftKind::Left => at.shift_left(digit),
                 ShiftKind::Right => at.shift_right(digit),
@@ -476,11 +556,11 @@ impl Simulation {
                 // The selected link is down: the message is lost in
                 // transit (no retransmission model).
                 report.dropped += 1;
-                if let Some(trace) = trace.as_deref_mut() {
-                    trace.push(TraceEvent {
+                if observed {
+                    recorder.record(&NetEvent::Drop {
                         time: now,
                         message: index,
-                        kind: TraceKind::Dropped,
+                        reason: DropReason::DeadLink,
                     });
                 }
                 continue;
@@ -493,19 +573,31 @@ impl Simulation {
             let wait = depart - now;
             report.total_queue_wait += wait;
             report.max_queue_wait = report.max_queue_wait.max(wait);
-            if let Some(trace) = trace.as_deref_mut() {
-                trace.push(TraceEvent {
+            if observed {
+                recorder.record(&NetEvent::Forward {
                     time: now,
                     message: index,
-                    kind: TraceKind::Forwarded {
-                        from: at.clone(),
-                        to: next.clone(),
-                        departs: depart,
-                    },
+                    hop: hops,
+                    from: at.clone(),
+                    to: next.clone(),
+                    departs: depart,
+                    arrives: arrive,
+                    queue_wait: wait,
+                    // Each queued message occupies the link for one
+                    // service interval, so the wait divided by the
+                    // service time counts the messages ahead.
+                    queue_depth: wait.div_ceil(self.config.link.service.max(1)) as usize,
                 });
             }
 
-            let flight = Flight { index, at: next, msg, injected_at, hops: hops + 1 };
+            let flight = Flight {
+                index,
+                at: next,
+                msg,
+                injected_at,
+                hops: hops + 1,
+                shortest,
+            };
             pending.insert(seq, flight);
             heap.push(Reverse((arrive, seq)));
             seq += 1;
@@ -515,16 +607,25 @@ impl Simulation {
     }
 
     /// Computes the route placed in a fresh message's routing-path field.
-    fn initial_route(&self, x: &Word, y: &Word, rng: &mut StdRng) -> Option<RoutePath> {
+    /// Sets `rerouted` when the route came from fault-avoiding BFS rather
+    /// than a label algorithm.
+    fn initial_route(
+        &self,
+        x: &Word,
+        y: &Word,
+        rng: &mut SplitMix64,
+        rerouted: &mut bool,
+    ) -> Option<RoutePath> {
         let fault_free = self.faults.is_empty() && self.link_faults.is_empty();
         if fault_free || self.config.fault_handling == FaultHandling::Drop {
             if self.config.router == RouterKind::Multipath && x != y {
                 let routes = debruijn_core::routing::all_shortest_routes(x, y);
-                let pick = rng.gen_range(0..routes.len());
+                let pick = rng.below_usize(routes.len());
                 return Some(routes[pick].clone());
             }
             return Some(self.config.router.route(x, y));
         }
+        *rerouted = true;
         let graph = self
             .reroute_graph
             .as_ref()
@@ -545,14 +646,14 @@ impl Simulation {
         digit: Digit,
         link_free: &HashMap<(u128, u128), u64>,
         rr: &mut HashMap<u128, u8>,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
     ) -> u8 {
         let d = self.space.d();
         match digit {
             Digit::Exact(b) => b,
             Digit::Any => match self.config.policy {
                 WildcardPolicy::Zero => 0,
-                WildcardPolicy::Random => rng.gen_range(0..d),
+                WildcardPolicy::Random => rng.digit(d),
                 WildcardPolicy::RoundRobin => {
                     let counter = rr.entry(at.rank()).or_insert(0);
                     let b = *counter % d;
@@ -613,11 +714,15 @@ struct Flight {
     msg: Message,
     injected_at: u64,
     hops: usize,
+    /// Fault-free shortest distance recorded at injection (0 when the
+    /// run is unobserved).
+    shortest: usize,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::InMemoryRecorder;
     use crate::workload;
     use debruijn_core::directed_average_distance;
 
@@ -632,7 +737,14 @@ mod tests {
     #[test]
     fn every_message_is_delivered_without_faults() {
         for router in RouterKind::all() {
-            let s = sim(2, 4, SimConfig { router, ..SimConfig::default() });
+            let s = sim(
+                2,
+                4,
+                SimConfig {
+                    router,
+                    ..SimConfig::default()
+                },
+            );
             let traffic = workload::uniform_random(space(2, 4), 300, 42);
             let r = s.run(&traffic);
             assert_eq!(r.delivered, 300, "{}", router.name());
@@ -647,7 +759,14 @@ mod tests {
         // distance over ordered pairs with x != y.
         let sp = space(2, 4);
         let traffic = workload::all_pairs(sp);
-        let s = sim(2, 4, SimConfig { router: RouterKind::Algorithm2, ..Default::default() });
+        let s = sim(
+            2,
+            4,
+            SimConfig {
+                router: RouterKind::Algorithm2,
+                ..Default::default()
+            },
+        );
         let r = s.run(&traffic);
         let mut want_total = 0usize;
         let mut count = 0usize;
@@ -672,7 +791,14 @@ mod tests {
         let sp = space(2, 5);
         let n = sp.order_usize().unwrap() as f64;
         let traffic = workload::all_pairs(sp);
-        let s = sim(2, 5, SimConfig { router: RouterKind::Algorithm1, ..Default::default() });
+        let s = sim(
+            2,
+            5,
+            SimConfig {
+                router: RouterKind::Algorithm1,
+                ..Default::default()
+            },
+        );
         let r = s.run(&traffic);
         let mut exact_total = 0usize;
         for x in sp.vertices() {
@@ -685,14 +811,24 @@ mod tests {
         let eq5 = directed_average_distance(2, 5);
         assert!(eq5 >= exact_avg, "Eq. 5 over-counts overlaps, never under");
         // For d = 2 the gap converges to ≈ 0.53 hops (see E1).
-        assert!(eq5 - exact_avg < 0.6, "Eq. 5 gap too large: {eq5} vs {exact_avg}");
+        assert!(
+            eq5 - exact_avg < 0.6,
+            "Eq. 5 gap too large: {eq5} vs {exact_avg}"
+        );
     }
 
     #[test]
     fn trivial_router_always_takes_k_hops() {
         let sp = space(3, 3);
         let traffic = workload::uniform_random(sp, 100, 9);
-        let s = sim(3, 3, SimConfig { router: RouterKind::Trivial, ..Default::default() });
+        let s = sim(
+            3,
+            3,
+            SimConfig {
+                router: RouterKind::Trivial,
+                ..Default::default()
+            },
+        );
         let r = s.run(&traffic);
         assert_eq!(r.delivered, 100);
         assert_eq!(r.hop_histogram.keys().copied().collect::<Vec<_>>(), vec![3]);
@@ -702,8 +838,19 @@ mod tests {
     fn latency_reflects_link_parameters_in_light_traffic() {
         // One message at a time: latency = hops * (service + latency).
         let sp = space(2, 4);
-        let link = LinkParams { latency: 3, service: 2 };
-        let s = sim(2, 4, SimConfig { link, router: RouterKind::Algorithm4, ..Default::default() });
+        let link = LinkParams {
+            latency: 3,
+            service: 2,
+        };
+        let s = sim(
+            2,
+            4,
+            SimConfig {
+                link,
+                router: RouterKind::Algorithm4,
+                ..Default::default()
+            },
+        );
         let mut traffic = workload::uniform_random(sp, 50, 5);
         for (i, inj) in traffic.iter_mut().enumerate() {
             inj.time = (i as u64) * 1000; // no queueing
@@ -760,13 +907,168 @@ mod tests {
                 terminal[ev.message] += 1;
             }
         }
-        assert!(terminal.iter().all(|&c| c == 1), "terminal events: {terminal:?}");
+        assert!(
+            terminal.iter().all(|&c| c == 1),
+            "terminal events: {terminal:?}"
+        );
         // Forward counts match the reported hop total.
         let forwards = trace
             .iter()
             .filter(|e| matches!(e.kind, TraceKind::Forwarded { .. }))
             .count();
         assert_eq!(forwards as u64, traced.total_hops);
+    }
+
+    #[test]
+    fn recorded_run_matches_unrecorded_report() {
+        // The recorder must observe, never perturb: identical reports
+        // with and without a sink, including under the random policy.
+        let sp = space(2, 5);
+        let traffic = workload::uniform_random(sp, 200, 21);
+        let config = SimConfig {
+            policy: WildcardPolicy::Random,
+            router: RouterKind::Algorithm4,
+            ..Default::default()
+        };
+        let s = sim(2, 5, config);
+        let plain = s.run(&traffic);
+        let mut metrics = InMemoryRecorder::new();
+        let recorded = s.run_recorded(&traffic, &mut metrics);
+        assert_eq!(plain, recorded);
+        assert_eq!(metrics.delivered, recorded.delivered as u64);
+        assert_eq!(metrics.hops.sum(), u128::from(recorded.total_hops));
+        assert_eq!(metrics.latency.sum(), u128::from(recorded.latency_total));
+        assert_eq!(
+            metrics.queue_wait.sum(),
+            u128::from(recorded.total_queue_wait)
+        );
+        assert_eq!(
+            metrics.queue_wait.max().unwrap_or(0),
+            recorded.max_queue_wait
+        );
+        assert_eq!(metrics.per_hop_latency.count(), recorded.total_hops);
+    }
+
+    #[test]
+    fn recorded_hops_equal_distance_per_message() {
+        // End to end: with an optimal router and no contention effects on
+        // hop counts, every recorded delivery takes exactly
+        // `distance::undirected::distance(source, destination)` hops —
+        // the stretch histogram is identically zero.
+        let sp = space(2, 5);
+        let traffic = workload::uniform_random(sp, 300, 17);
+        let s = sim(
+            2,
+            5,
+            SimConfig {
+                router: RouterKind::Algorithm4,
+                ..Default::default()
+            },
+        );
+        let mut metrics = InMemoryRecorder::new();
+        let report = s.run_recorded(&traffic, &mut metrics);
+        assert_eq!(report.delivered, 300);
+        assert_eq!(metrics.stretch.count(), 300);
+        assert_eq!(
+            metrics.stretch.max(),
+            Some(0),
+            "optimal routes have zero stretch"
+        );
+        // And the trivial router pays the difference: stretch = k − D.
+        let s = sim(
+            2,
+            5,
+            SimConfig {
+                router: RouterKind::Trivial,
+                ..Default::default()
+            },
+        );
+        let mut trivial = InMemoryRecorder::new();
+        s.run_recorded(&traffic, &mut trivial);
+        assert_eq!(trivial.hops.min(), Some(5), "trivial always walks k hops");
+        assert!(trivial.stretch.max().unwrap() > 0);
+    }
+
+    #[test]
+    fn wildcard_resolutions_are_recorded_per_policy_and_digit() {
+        // Algorithm 4 emits wildcard steps whenever |route| < k; the
+        // recorder must attribute each resolution to the configured
+        // policy, and least-loaded must use every digit under symmetric
+        // load.
+        let sp = space(2, 4);
+        let traffic = workload::all_pairs(sp);
+        for policy in WildcardPolicy::all() {
+            let s = sim(
+                2,
+                4,
+                SimConfig {
+                    router: RouterKind::Algorithm4,
+                    policy,
+                    ..Default::default()
+                },
+            );
+            let mut metrics = InMemoryRecorder::new();
+            s.run_recorded(&traffic, &mut metrics);
+            assert!(metrics.wildcards_resolved() > 0, "{}", policy.name());
+            assert_eq!(
+                metrics.wildcard_by_policy.get(policy.name()),
+                Some(&metrics.wildcards_resolved()),
+                "{}",
+                policy.name()
+            );
+            let digits_used = metrics.wildcard_by_digit.len();
+            match policy {
+                WildcardPolicy::Zero => assert_eq!(digits_used, 1),
+                _ => assert_eq!(
+                    digits_used,
+                    2,
+                    "{} must spread over both digits",
+                    policy.name()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn drops_are_recorded_with_reasons() {
+        let sp = space(2, 4);
+        let fault = sp.word_from_rank(9).unwrap();
+        let s = sim(2, 4, SimConfig::default())
+            .with_faults(vec![fault])
+            .unwrap();
+        let traffic = workload::all_pairs(sp);
+        let mut metrics = InMemoryRecorder::new();
+        let report = s.run_recorded(&traffic, &mut metrics);
+        assert_eq!(metrics.dropped(), report.dropped as u64);
+        // All-pairs traffic hits the fault as source, as destination
+        // midpoint (in transit), and the recorder distinguishes them.
+        assert!(metrics.drops_by_reason.contains_key("faulty-source"));
+        assert!(metrics.drops_by_reason.contains_key("faulty-node"));
+    }
+
+    #[test]
+    fn reroutes_are_recorded_under_source_reroute() {
+        let sp = space(2, 4);
+        let fault = sp.word_from_rank(9).unwrap();
+        let config = SimConfig {
+            fault_handling: FaultHandling::SourceReroute,
+            ..Default::default()
+        };
+        let s = Simulation::new(sp, config)
+            .unwrap()
+            .with_faults(vec![fault])
+            .unwrap();
+        let traffic = workload::all_pairs(sp);
+        let mut metrics = InMemoryRecorder::new();
+        let report = s.run_recorded(&traffic, &mut metrics);
+        // Every message whose source survives goes through the BFS
+        // rerouter (sources know the fault set), but a Reroute event is
+        // only recorded when BFS actually finds a detour: pairs aimed at
+        // the dead node drop with NoRoute instead.
+        let n = sp.order_usize().unwrap();
+        assert_eq!(metrics.reroutes, (report.injected - 2 * (n - 1)) as u64);
+        assert_eq!(metrics.drops_by_reason["no-route"], (n - 1) as u64);
+        assert_eq!(metrics.drops_by_reason["faulty-source"], (n - 1) as u64);
     }
 
     #[test]
@@ -821,20 +1123,61 @@ mod tests {
         let x = sp.word_from_rank(2).unwrap();
         let y = sp.word_from_rank(11).unwrap();
         let traffic: Vec<Injection> = (0..8)
-            .map(|_| Injection { time: 0, source: x.clone(), destination: y.clone() })
+            .map(|_| Injection {
+                time: 0,
+                source: x.clone(),
+                destination: y.clone(),
+            })
             .collect();
         let r = sim(2, 4, SimConfig::default()).run(&traffic);
-        assert!(r.max_queue_wait >= 7, "8 simultaneous messages share the first link");
+        assert!(
+            r.max_queue_wait >= 7,
+            "8 simultaneous messages share the first link"
+        );
+    }
+
+    #[test]
+    fn queue_depth_counts_messages_ahead() {
+        // 8 identical messages at t = 0 share the first link: the i-th
+        // handover sees exactly i messages ahead of it.
+        let sp = space(2, 4);
+        let x = sp.word_from_rank(2).unwrap();
+        let y = sp.word_from_rank(11).unwrap();
+        let traffic: Vec<Injection> = (0..8)
+            .map(|_| Injection {
+                time: 0,
+                source: x.clone(),
+                destination: y.clone(),
+            })
+            .collect();
+        let mut metrics = InMemoryRecorder::new();
+        sim(2, 4, SimConfig::default()).run_recorded(&traffic, &mut metrics);
+        assert_eq!(metrics.queue_depth.max(), Some(7));
+        assert_eq!(metrics.queue_depth.min(), Some(0));
     }
 
     #[test]
     fn multipath_router_keeps_routes_shortest() {
         let sp = space(2, 5);
         let traffic = workload::all_pairs(sp);
-        let single = sim(2, 5, SimConfig { router: RouterKind::Algorithm2, ..Default::default() })
-            .run(&traffic);
-        let multi = sim(2, 5, SimConfig { router: RouterKind::Multipath, ..Default::default() })
-            .run(&traffic);
+        let single = sim(
+            2,
+            5,
+            SimConfig {
+                router: RouterKind::Algorithm2,
+                ..Default::default()
+            },
+        )
+        .run(&traffic);
+        let multi = sim(
+            2,
+            5,
+            SimConfig {
+                router: RouterKind::Multipath,
+                ..Default::default()
+            },
+        )
+        .run(&traffic);
         // Same hop distribution (all routes are shortest) …
         assert_eq!(single.hop_histogram, multi.hop_histogram);
         // … but spread over strictly more links than the deterministic
@@ -850,14 +1193,31 @@ mod tests {
         let sp = space(2, 5);
         let traffic = workload::all_pairs(sp);
         for router in [RouterKind::Algorithm1, RouterKind::Algorithm2] {
-            let src_routed = sim(2, 5, SimConfig { router, ..Default::default() }).run(&traffic);
+            let src_routed = sim(
+                2,
+                5,
+                SimConfig {
+                    router,
+                    ..Default::default()
+                },
+            )
+            .run(&traffic);
             let hop_by_hop = sim(
                 2,
                 5,
-                SimConfig { router, forwarding: ForwardingMode::HopByHop, ..Default::default() },
+                SimConfig {
+                    router,
+                    forwarding: ForwardingMode::HopByHop,
+                    ..Default::default()
+                },
             )
             .run(&traffic);
-            assert_eq!(src_routed.hop_histogram, hop_by_hop.hop_histogram, "{}", router.name());
+            assert_eq!(
+                src_routed.hop_histogram,
+                hop_by_hop.hop_histogram,
+                "{}",
+                router.name()
+            );
             assert_eq!(hop_by_hop.delivered, traffic.len());
         }
     }
@@ -988,7 +1348,14 @@ mod tests {
     #[test]
     fn total_links_matches_census() {
         // Bidirectional: sum of undirected degrees = 2 · |E|.
-        let s = sim(2, 3, SimConfig { router: RouterKind::Algorithm2, ..Default::default() });
+        let s = sim(
+            2,
+            3,
+            SimConfig {
+                router: RouterKind::Algorithm2,
+                ..Default::default()
+            },
+        );
         let r = s.run(&[]);
         let g = DebruijnGraph::undirected(space(2, 3)).unwrap();
         assert_eq!(r.total_links, g.adjacency_count());
@@ -1002,9 +1369,20 @@ mod tests {
         let x = sp.word_from_rank(1).unwrap();
         let y = sp.word_from_rank(14).unwrap();
         let traffic: Vec<Injection> = (0..10)
-            .map(|_| Injection { time: 0, source: x.clone(), destination: y.clone() })
+            .map(|_| Injection {
+                time: 0,
+                source: x.clone(),
+                destination: y.clone(),
+            })
             .collect();
-        let s = sim(2, 4, SimConfig { router: RouterKind::Algorithm2, ..Default::default() });
+        let s = sim(
+            2,
+            4,
+            SimConfig {
+                router: RouterKind::Algorithm2,
+                ..Default::default()
+            },
+        );
         let r = s.run(&traffic);
         assert_eq!(r.delivered, 10);
         // With service 1, the 10th message leaves the first link 9 ticks

@@ -1,6 +1,149 @@
-//! Simulation statistics: hop counts, latency, link loads.
+//! Simulation statistics: hop counts, latency, link loads, and the
+//! exact-value [`Histogram`] backing the observability layer.
 
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// An exact-value histogram over unsigned tick/count quantities.
+///
+/// The observed quantities (per-hop latencies, queue waits, queue
+/// depths, hop counts) are small integers, so the histogram keeps one
+/// bucket per distinct value in a `BTreeMap` — no binning, no loss.
+/// Recording is `O(log distinct)`; all summary statistics are exact.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_net::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 2, 3] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.mean(), 2.0);
+/// assert_eq!(h.percentile(50.0), Some(2));
+/// assert_eq!(h.max(), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    buckets: BTreeMap<u64, u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, value: u64) {
+        *self.buckets.entry(value).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Smallest observation, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.buckets.keys().next().copied()
+    }
+
+    /// Largest observation, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.buckets.keys().next_back().copied()
+    }
+
+    /// Nearest-rank percentile: the smallest recorded value `v` such
+    /// that at least `p`% of observations are `≤ v`. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile must lie in [0, 100]"
+        );
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&value, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Population variance (exact, over the recorded multiset).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let acc: f64 = self
+            .buckets
+            .iter()
+            .map(|(&v, &n)| n as f64 * (v as f64 - mean).powi(2))
+            .sum();
+        acc / self.count as f64
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Iterates `(value, count)` in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&v, &n)| (v, n))
+    }
+}
+
+impl fmt::Display for Histogram {
+    /// Renders one `value  count  bar` row per bucket, bar scaled to
+    /// the fullest bucket; empty histograms render as `(empty)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return writeln!(f, "  (empty)");
+        }
+        const BAR: usize = 40;
+        let fullest = self.buckets.values().copied().max().expect("non-empty");
+        for (&value, &n) in &self.buckets {
+            let len = ((n as f64 / fullest as f64) * BAR as f64).ceil() as usize;
+            writeln!(f, "  {value:>6}  {n:>8}  {}", "#".repeat(len))?;
+        }
+        Ok(())
+    }
+}
 
 /// Aggregate result of one simulation run.
 ///
@@ -100,7 +243,12 @@ impl SimReport {
         let zeros = population.saturating_sub(links_used);
         var_acc += zeros as f64 * mean * mean;
         let std_dev = (var_acc / population as f64).sqrt();
-        LinkLoadSummary { links_used, max, mean, std_dev }
+        LinkLoadSummary {
+            links_used,
+            max,
+            mean,
+            std_dev,
+        }
     }
 }
 
@@ -137,7 +285,10 @@ mod tests {
 
     #[test]
     fn link_summary_accounts_for_unused_links() {
-        let mut r = SimReport { total_links: 4, ..SimReport::default() };
+        let mut r = SimReport {
+            total_links: 4,
+            ..SimReport::default()
+        };
         r.link_loads.insert((0, 1), 4);
         r.link_loads.insert((1, 2), 4);
         let s = r.link_load_summary();

@@ -1,8 +1,7 @@
 //! Reproducible traffic patterns for the simulator.
 
+use debruijn_core::rng::SplitMix64;
 use debruijn_core::{DeBruijn, Word};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::sim::Injection;
 
@@ -28,11 +27,11 @@ fn order(space: DeBruijn) -> usize {
 pub fn uniform_random(space: DeBruijn, n: usize, seed: u64) -> Vec<Injection> {
     let order = order(space);
     assert!(order >= 2, "need at least two vertices");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..n)
         .map(|i| {
-            let s = rng.gen_range(0..order);
-            let mut t = rng.gen_range(0..order - 1);
+            let s = rng.below_usize(order);
+            let mut t = rng.below_usize(order - 1);
             if t >= s {
                 t += 1;
             }
@@ -56,14 +55,11 @@ pub fn uniform_random(space: DeBruijn, n: usize, seed: u64) -> Vec<Injection> {
 pub fn permutation(space: DeBruijn, seed: u64) -> Vec<Injection> {
     let order = order(space);
     assert!(order >= 2, "need at least two vertices");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut image: Vec<usize> = (0..order).collect();
     // Fisher–Yates, then remove fixed points by cycling them among
     // themselves (or with a neighbor when only one remains).
-    for i in (1..order).rev() {
-        let j = rng.gen_range(0..=i);
-        image.swap(i, j);
-    }
+    rng.shuffle(&mut image);
     let fixed: Vec<usize> = (0..order).filter(|&i| image[i] == i).collect();
     match fixed.len() {
         0 => {}
@@ -110,15 +106,15 @@ pub fn hotspot(
     let order = order(space);
     assert!(order >= 2, "need at least two vertices");
     let hot_rank = hot.rank() as usize;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..n)
         .map(|i| {
-            let dst_rank = if rng.gen_bool(hot_fraction) {
+            let dst_rank = if rng.next_bool(hot_fraction) {
                 hot_rank
             } else {
-                rng.gen_range(0..order)
+                rng.below_usize(order)
             };
-            let mut src = rng.gen_range(0..order - 1);
+            let mut src = rng.below_usize(order - 1);
             if src >= dst_rank {
                 src += 1;
             }
@@ -142,7 +138,11 @@ pub fn all_pairs(space: DeBruijn) -> Vec<Injection> {
     for x in space.vertices() {
         for y in space.vertices() {
             if x != y {
-                out.push(Injection { time: 0, source: x.clone(), destination: y });
+                out.push(Injection {
+                    time: 0,
+                    source: x.clone(),
+                    destination: y,
+                });
             }
         }
     }
@@ -168,8 +168,14 @@ mod tests {
 
     #[test]
     fn uniform_random_is_deterministic_per_seed() {
-        assert_eq!(uniform_random(space(2, 4), 50, 7), uniform_random(space(2, 4), 50, 7));
-        assert_ne!(uniform_random(space(2, 4), 50, 7), uniform_random(space(2, 4), 50, 8));
+        assert_eq!(
+            uniform_random(space(2, 4), 50, 7),
+            uniform_random(space(2, 4), 50, 7)
+        );
+        assert_ne!(
+            uniform_random(space(2, 4), 50, 7),
+            uniform_random(space(2, 4), 50, 8)
+        );
     }
 
     #[test]

@@ -213,7 +213,11 @@ mod tests {
         let mut diverged = false;
         lbad[0] = if pat[0] == text[0] { 1 } else { 0 };
         'outer: for j in 1..text.len() {
-            let mut h = if lbad[j - 1] == m { c[m - 1] } else { lbad[j - 1] };
+            let mut h = if lbad[j - 1] == m {
+                c[m - 1]
+            } else {
+                lbad[j - 1]
+            };
             let mut fuel = 4 * m;
             while h > 0 && pat[h] != text[j] {
                 h = lbad[h - 1]; // the printed erratum
@@ -223,7 +227,11 @@ mod tests {
                     break 'outer;
                 }
             }
-            lbad[j] = if h == 0 && pat[h] != text[j] { 0 } else { h + 1 };
+            lbad[j] = if h == 0 && pat[h] != text[j] {
+                0
+            } else {
+                h + 1
+            };
         }
         assert!(
             diverged || l != lbad,

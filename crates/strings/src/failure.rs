@@ -274,13 +274,8 @@ mod tests {
                     // Sample y rather than double-enumerating everything.
                     for by in [0u32, 1, (1 << len_y) - 1, bx & ((1 << len_y) - 1)] {
                         let x: Vec<u8> = (0..len_x).map(|i| ((bx >> i) & 1) as u8).collect();
-                        let y: Vec<u8> =
-                            (0..len_y).map(|i| ((by >> i) & 1) as u8).collect();
-                        assert_eq!(
-                            overlap(&x, &y),
-                            overlap_naive(&x, &y),
-                            "x={x:?} y={y:?}"
-                        );
+                        let y: Vec<u8> = (0..len_y).map(|i| ((by >> i) & 1) as u8).collect();
+                        assert_eq!(overlap(&x, &y), overlap_naive(&x, &y), "x={x:?} y={y:?}");
                     }
                 }
             }

@@ -89,7 +89,10 @@ impl TwoStringTree {
     /// Panics if either string is empty or contains one of the reserved
     /// separator symbols [`SEPARATOR_LOW`], [`SEPARATOR_HIGH`].
     pub fn new(x: &[u32], y: &[u32]) -> Self {
-        assert!(!x.is_empty() && !y.is_empty(), "both strings must be non-empty");
+        assert!(
+            !x.is_empty() && !y.is_empty(),
+            "both strings must be non-empty"
+        );
         assert!(
             !x.contains(&SEPARATOR_LOW)
                 && !x.contains(&SEPARATOR_HIGH)
@@ -195,8 +198,7 @@ impl TwoStringTree {
                 }
                 // Positions x_len (⊥) and x_len+y_len+1 (⊤) carry no digits.
             } else {
-                let children: Vec<usize> =
-                    self.tree.children(v).map(|(_, c)| c).collect();
+                let children: Vec<usize> = self.tree.children(v).map(|(_, c)| c).collect();
                 for c in children {
                     let child = agg[c];
                     agg[v].min_x_pos = match (agg[v].min_x_pos, child.min_x_pos) {

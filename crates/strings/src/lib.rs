@@ -45,4 +45,4 @@ pub use matcher::MpMatcher;
 pub use matching::{l_table, l_table_naive, min_l_term, r_table, r_table_naive, MatchTerm};
 pub use suffix_array::{lcp_array, suffix_array};
 pub use suffix_tree::SuffixTree;
-pub use zfunction::{z_array, overlap_via_z};
+pub use zfunction::{overlap_via_z, z_array};

@@ -204,8 +204,7 @@ mod tests {
                 let m = MpMatcher::new(pattern.clone());
                 for tl in 0..=8usize {
                     for tb in 0..(1u32 << tl) {
-                        let text: Vec<u8> =
-                            (0..tl).map(|i| ((tb >> i) & 1) as u8).collect();
+                        let text: Vec<u8> = (0..tl).map(|i| ((tb >> i) & 1) as u8).collect();
                         assert_eq!(
                             m.find_all(&text),
                             naive_find_all(&pattern, &text),
@@ -245,8 +244,7 @@ mod tests {
                 let strong = MpMatcher::new_strong(pattern.clone());
                 for tl in 0..=9usize {
                     for tb in (0..(1u32 << tl)).step_by(3) {
-                        let text: Vec<u8> =
-                            (0..tl).map(|i| ((tb >> i) & 1) as u8).collect();
+                        let text: Vec<u8> = (0..tl).map(|i| ((tb >> i) & 1) as u8).collect();
                         assert_eq!(
                             weak.find_all(&text),
                             strong.find_all(&text),
@@ -296,8 +294,7 @@ mod tests {
     fn works_with_non_copy_symbol_types() {
         let pattern: Vec<String> = vec!["de".into(), "bruijn".into()];
         let m = MpMatcher::new(pattern);
-        let text: Vec<String> =
-            vec!["de".into(), "de".into(), "bruijn".into(), "graph".into()];
+        let text: Vec<String> = vec!["de".into(), "de".into(), "bruijn".into(), "graph".into()];
         assert_eq!(m.find_all(&text), vec![1]);
     }
 }

@@ -293,10 +293,7 @@ mod tests {
                 assert_eq!(got.value, want, "x={x:?} y={y:?}");
                 // The reported minimizer must attain the value with a valid
                 // match length.
-                assert_eq!(
-                    got.value,
-                    got.s as i64 - got.t as i64 - got.theta as i64
-                );
+                assert_eq!(got.value, got.s as i64 - got.t as i64 - got.theta as i64);
                 assert!(got.theta <= table[got.s - 1][got.t - 1]);
             }
         }

@@ -260,10 +260,7 @@ impl SuffixTree {
     pub fn validate(&self) -> Result<(), String> {
         let n = self.text.len();
         if self.leaf_count() != n {
-            return Err(format!(
-                "expected {n} leaves, found {}",
-                self.leaf_count()
-            ));
+            return Err(format!("expected {n} leaves, found {}", self.leaf_count()));
         }
         for v in self.preorder() {
             let node = &self.nodes[v];
@@ -361,10 +358,16 @@ impl Builder {
                 self.active_edge = pos;
             }
             let edge_symbol = self.text[self.active_edge];
-            match self.nodes[self.active_node].children.get(&edge_symbol).copied() {
+            match self.nodes[self.active_node]
+                .children
+                .get(&edge_symbol)
+                .copied()
+            {
                 None => {
                     let leaf = self.new_node(pos, LEAF_END);
-                    self.nodes[self.active_node].children.insert(edge_symbol, leaf);
+                    self.nodes[self.active_node]
+                        .children
+                        .insert(edge_symbol, leaf);
                     self.add_link(self.active_node);
                 }
                 Some(next) => {
@@ -376,9 +379,7 @@ impl Builder {
                         self.active_node = next;
                         continue;
                     }
-                    if self.text[self.nodes[next].start + self.active_len]
-                        == self.text[pos]
-                    {
+                    if self.text[self.nodes[next].start + self.active_len] == self.text[pos] {
                         // The symbol is already on the edge: rule 3, stop.
                         self.active_len += 1;
                         self.add_link(self.active_node);
@@ -387,7 +388,9 @@ impl Builder {
                     // Split the edge and sprout a new leaf.
                     let split_start = self.nodes[next].start;
                     let split = self.new_node(split_start, split_start + self.active_len);
-                    self.nodes[self.active_node].children.insert(edge_symbol, split);
+                    self.nodes[self.active_node]
+                        .children
+                        .insert(edge_symbol, split);
                     let leaf = self.new_node(pos, LEAF_END);
                     self.nodes[split].children.insert(self.text[pos], leaf);
                     self.nodes[next].start += self.active_len;
@@ -543,8 +546,7 @@ mod tests {
         let st = tree(text);
         for pl in 1..=5usize {
             for start in 0..=text.len() - pl {
-                let pat: Vec<u32> =
-                    text[start..start + pl].iter().map(|&b| b as u32).collect();
+                let pat: Vec<u32> = text[start..start + pl].iter().map(|&b| b as u32).collect();
                 let want: Vec<usize> = (0..=text.len() - pl)
                     .filter(|&i| text[i..i + pl] == text[start..start + pl])
                     .collect();

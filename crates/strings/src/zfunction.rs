@@ -138,11 +138,7 @@ mod tests {
                     for by in (0..(1u32 << ly)).step_by(5) {
                         let x: Vec<u32> = (0..lx).map(|i| (bx >> i) & 1).collect();
                         let y: Vec<u32> = (0..ly).map(|i| (by >> i) & 1).collect();
-                        assert_eq!(
-                            overlap_via_z(&x, &y),
-                            overlap(&x, &y),
-                            "x={x:?} y={y:?}"
-                        );
+                        assert_eq!(overlap_via_z(&x, &y), overlap(&x, &y), "x={x:?} y={y:?}");
                     }
                 }
             }

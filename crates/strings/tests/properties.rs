@@ -1,4 +1,10 @@
-//! Property-based tests for the pattern-matching substrate.
+//! Randomized property tests for the pattern-matching substrate.
+//!
+//! Each test draws a few hundred random digit strings from a seeded
+//! SplitMix64 stream (deterministic, offline — no external
+//! property-testing framework) and checks an invariant on every draw.
+//! The generator is a local copy: this crate sits below `debruijn-core`
+//! (which hosts the shared `rng` module) in the dependency order.
 
 use debruijn_strings::failure::{
     borders, failure_function, failure_function_naive, overlap, overlap_naive,
@@ -6,53 +12,102 @@ use debruijn_strings::failure::{
 use debruijn_strings::matching::{l_table, l_table_naive, r_table, r_table_naive};
 use debruijn_strings::suffix_tree::SuffixTree;
 use debruijn_strings::{algorithm3_row, MpMatcher, TwoStringTree};
-use proptest::prelude::*;
 
-fn digits(max_sym: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(0..max_sym, 1..=max_len)
-}
+const CASES: usize = 250;
 
-proptest! {
-    #[test]
-    fn failure_function_matches_naive(s in digits(4, 40)) {
-        prop_assert_eq!(failure_function(&s), failure_function_naive(&s));
+/// SplitMix64 (Steele, Lea & Flood 2014) — same stream as
+/// `debruijn_core::rng::SplitMix64`.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn failure_entries_are_borders(s in digits(3, 60)) {
-        let fail = failure_function(&s);
-        for q in 0..s.len() {
-            let b = fail[q];
-            prop_assert!(b <= q);
-            prop_assert_eq!(&s[..b], &s[q + 1 - b..=q]);
-            // Maximality: no longer border exists.
-            for longer in (b + 1)..=q {
-                prop_assert_ne!(&s[..longer], &s[q + 1 - longer..=q]);
+    /// Uniform draw below `n` by rejection sampling.
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
             }
         }
     }
+}
 
-    #[test]
-    fn borders_chain_is_strictly_decreasing(s in digits(2, 50)) {
+/// A non-empty string of up to `max_len` symbols drawn from
+/// `0..max_sym`.
+fn digits(rng: &mut SplitMix64, max_sym: u32, max_len: usize) -> Vec<u32> {
+    let len = 1 + rng.below(max_len as u64) as usize;
+    (0..len)
+        .map(|_| rng.below(u64::from(max_sym)) as u32)
+        .collect()
+}
+
+#[test]
+fn failure_function_matches_naive() {
+    let mut rng = SplitMix64(0x57A1_0001);
+    for _ in 0..CASES {
+        let s = digits(&mut rng, 4, 40);
+        assert_eq!(failure_function(&s), failure_function_naive(&s), "s={s:?}");
+    }
+}
+
+#[test]
+fn failure_entries_are_borders() {
+    let mut rng = SplitMix64(0x57A1_0002);
+    for _ in 0..CASES {
+        let s = digits(&mut rng, 3, 60);
+        let fail = failure_function(&s);
+        for q in 0..s.len() {
+            let b = fail[q];
+            assert!(b <= q);
+            assert_eq!(&s[..b], &s[q + 1 - b..=q]);
+            // Maximality: no longer border exists.
+            for longer in (b + 1)..=q {
+                assert_ne!(&s[..longer], &s[q + 1 - longer..=q]);
+            }
+        }
+    }
+}
+
+#[test]
+fn borders_chain_is_strictly_decreasing() {
+    let mut rng = SplitMix64(0x57A1_0003);
+    for _ in 0..CASES {
+        let s = digits(&mut rng, 2, 50);
         let bs = borders(&s);
         for w in bs.windows(2) {
-            prop_assert!(w[0] > w[1]);
+            assert!(w[0] > w[1]);
         }
         for &b in &bs {
-            prop_assert_eq!(&s[..b], &s[s.len() - b..]);
+            assert_eq!(&s[..b], &s[s.len() - b..]);
         }
     }
+}
 
-    #[test]
-    fn overlap_matches_naive(x in digits(3, 30), y in digits(3, 30)) {
-        prop_assert_eq!(overlap(&x, &y), overlap_naive(&x, &y));
+#[test]
+fn overlap_matches_naive() {
+    let mut rng = SplitMix64(0x57A1_0004);
+    for _ in 0..CASES {
+        let x = digits(&mut rng, 3, 30);
+        let y = digits(&mut rng, 3, 30);
+        assert_eq!(overlap(&x, &y), overlap_naive(&x, &y), "x={x:?} y={y:?}");
     }
+}
 
-    #[test]
-    fn mp_matcher_agrees_with_naive_search(
-        pattern in digits(2, 8),
-        text in digits(2, 60),
-    ) {
+#[test]
+fn mp_matcher_agrees_with_naive_search() {
+    let mut rng = SplitMix64(0x57A1_0005);
+    for _ in 0..CASES {
+        let pattern = digits(&mut rng, 2, 8);
+        let text = digits(&mut rng, 2, 60);
         let m = MpMatcher::new(pattern.clone());
         let naive: Vec<usize> = if pattern.len() <= text.len() {
             (0..=text.len() - pattern.len())
@@ -61,54 +116,75 @@ proptest! {
         } else {
             Vec::new()
         };
-        prop_assert_eq!(m.find_all(&text), naive);
+        assert_eq!(
+            m.find_all(&text),
+            naive,
+            "pattern={pattern:?} text={text:?}"
+        );
     }
+}
 
-    #[test]
-    fn algorithm3_row_equals_mp_states(
-        pattern in digits(3, 20),
-        text in digits(3, 30),
-    ) {
+#[test]
+fn algorithm3_row_equals_mp_states() {
+    let mut rng = SplitMix64(0x57A1_0006);
+    for _ in 0..CASES {
+        let pattern = digits(&mut rng, 3, 20);
+        let text = digits(&mut rng, 3, 30);
         let (c, l) = algorithm3_row(&pattern, &text);
-        prop_assert_eq!(&c, &failure_function(&pattern));
+        assert_eq!(&c, &failure_function(&pattern));
         let m = MpMatcher::new(pattern.clone());
-        prop_assert_eq!(l, m.prefix_match_lengths(&text));
+        assert_eq!(l, m.prefix_match_lengths(&text));
     }
+}
 
-    #[test]
-    fn matching_tables_match_naive(x in digits(3, 14), y in digits(3, 14)) {
-        prop_assert_eq!(l_table(&x, &y), l_table_naive(&x, &y));
-        prop_assert_eq!(r_table(&x, &y), r_table_naive(&x, &y));
+#[test]
+fn matching_tables_match_naive() {
+    let mut rng = SplitMix64(0x57A1_0007);
+    for _ in 0..CASES {
+        let x = digits(&mut rng, 3, 14);
+        let y = digits(&mut rng, 3, 14);
+        assert_eq!(l_table(&x, &y), l_table_naive(&x, &y), "x={x:?} y={y:?}");
+        assert_eq!(r_table(&x, &y), r_table_naive(&x, &y), "x={x:?} y={y:?}");
     }
+}
 
-    #[test]
-    fn suffix_tree_invariants_hold(s in digits(4, 80)) {
+#[test]
+fn suffix_tree_invariants_hold() {
+    let mut rng = SplitMix64(0x57A1_0008);
+    for _ in 0..CASES {
+        let s = digits(&mut rng, 4, 80);
         let st = SuffixTree::build_with_sentinel(&s);
-        prop_assert!(st.validate().is_ok());
-        prop_assert_eq!(st.leaf_count(), s.len() + 1);
-        prop_assert!(st.node_count() <= 2 * (s.len() + 1));
+        assert!(st.validate().is_ok(), "s={s:?}");
+        assert_eq!(st.leaf_count(), s.len() + 1);
+        assert!(st.node_count() <= 2 * (s.len() + 1));
     }
+}
 
-    #[test]
-    fn suffix_tree_finds_every_substring(s in digits(2, 40)) {
+#[test]
+fn suffix_tree_finds_every_substring() {
+    let mut rng = SplitMix64(0x57A1_0009);
+    for _ in 0..CASES {
+        let s = digits(&mut rng, 2, 40);
         let st = SuffixTree::build_with_sentinel(&s);
         // Every substring must be found with all its occurrences.
         for start in 0..s.len() {
             let end = (start + 5).min(s.len());
             let pat = &s[start..end];
             let occ = st.occurrences(pat);
-            prop_assert!(occ.contains(&start));
+            assert!(occ.contains(&start), "s={s:?} pat={pat:?}");
             for &o in &occ {
-                prop_assert_eq!(&s[o..o + pat.len()], pat);
+                assert_eq!(&s[o..o + pat.len()], pat);
             }
         }
     }
+}
 
-    #[test]
-    fn gst_minimum_matches_quadratic_engine(
-        x in digits(3, 25),
-        y in digits(3, 25),
-    ) {
+#[test]
+fn gst_minimum_matches_quadratic_engine() {
+    let mut rng = SplitMix64(0x57A1_000A);
+    for _ in 0..CASES {
+        let x = digits(&mut rng, 3, 25);
+        let y = digits(&mut rng, 3, 25);
         let tree = TwoStringTree::new(&x, &y);
         let got = tree.match_minimum();
         let table = l_table(&x, &y);
@@ -118,29 +194,34 @@ proptest! {
                 want = want.min((i0 as i64 + 1) - (j0 as i64 + 1) - l as i64);
             }
         }
-        prop_assert_eq!(got.value, want);
+        assert_eq!(got.value, want, "x={x:?} y={y:?}");
         // The reported minimizer attains the value with a real match.
-        prop_assert_eq!(got.value, got.s as i64 - got.t as i64 - got.theta as i64);
-        prop_assert!(got.theta <= table[got.s - 1][got.t - 1]);
+        assert_eq!(got.value, got.s as i64 - got.t as i64 - got.theta as i64);
+        assert!(got.theta <= table[got.s - 1][got.t - 1]);
     }
+}
 
-    #[test]
-    fn lcs_is_a_real_common_substring(x in digits(2, 30), y in digits(2, 30)) {
+#[test]
+fn lcs_is_a_real_common_substring() {
+    let mut rng = SplitMix64(0x57A1_000B);
+    for _ in 0..CASES {
+        let x = digits(&mut rng, 2, 30);
+        let y = digits(&mut rng, 2, 30);
         let tree = TwoStringTree::new(&x, &y);
         if let Some((len, xs, ys)) = tree.longest_common_substring() {
-            prop_assert!(len >= 1);
-            prop_assert_eq!(&x[xs..xs + len], &y[ys..ys + len]);
+            assert!(len >= 1);
+            assert_eq!(&x[xs..xs + len], &y[ys..ys + len], "x={x:?} y={y:?}");
             // Maximality: no common substring of length len + 1 exists.
             let longer = len + 1;
             for i in 0..x.len().saturating_sub(longer - 1) {
                 for j in 0..y.len().saturating_sub(longer - 1) {
-                    prop_assert_ne!(&x[i..i + longer], &y[j..j + longer]);
+                    assert_ne!(&x[i..i + longer], &y[j..j + longer]);
                 }
             }
         } else {
             // No common symbol at all.
             for &a in &x {
-                prop_assert!(!y.contains(&a));
+                assert!(!y.contains(&a), "x={x:?} y={y:?}");
             }
         }
     }

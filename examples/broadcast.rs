@@ -35,9 +35,16 @@ fn sequential_unicast_completion(graph: &DebruijnGraph, root: u32) -> u64 {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("one-to-all broadcast on DN(2,k)\n");
     let mut table = Table::new(
-        ["k", "nodes", "tree depth", "tree broadcast", "sequential unicast", "speedup"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "k",
+            "nodes",
+            "tree depth",
+            "tree broadcast",
+            "sequential unicast",
+            "speedup",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for k in 3..=9usize {
         let space = DeBruijn::new(2, k)?;

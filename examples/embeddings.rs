@@ -25,12 +25,23 @@ fn describe(table: &mut Table, e: &Embedding) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = 6;
     let space = DeBruijn::new(2, k)?;
-    println!("Host: DN(2,{k}) with {} nodes\n", space.order().expect("fits"));
+    println!(
+        "Host: DN(2,{k}) with {} nodes\n",
+        space.order().expect("fits")
+    );
 
     let mut table = Table::new(
-        ["guest", "nodes", "edges", "dilation", "avg dil.", "congestion", "expansion"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "guest",
+            "nodes",
+            "edges",
+            "dilation",
+            "avg dil.",
+            "congestion",
+            "expansion",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     describe(&mut table, &ring::ring(space));
     describe(&mut table, &ring::linear_array(space));

@@ -14,12 +14,22 @@ use debruijn_suite::net::{workload, FaultHandling, SimConfig, Simulation};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = DeBruijn::new(3, 4)?;
     let traffic = workload::uniform_random(space, 4_000, 7);
-    println!("DN(3,4): 81 nodes, d = 3 -> tolerates up to {} faults\n", space.d() - 1);
+    println!(
+        "DN(3,4): 81 nodes, d = 3 -> tolerates up to {} faults\n",
+        space.d() - 1
+    );
 
     let mut table = Table::new(
-        ["faults", "handling", "delivered", "dropped", "delivery rate", "mean hops"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "faults",
+            "handling",
+            "delivered",
+            "dropped",
+            "delivery rate",
+            "mean hops",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
 
     // A fixed, reproducible fault set (avoid rank 0 so sources survive).
@@ -34,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fault_ids: Vec<u32> = faults.iter().map(|f| graph.rank_of(f)).collect();
         let components = connectivity::components_after_faults(&graph, &fault_ids);
         for handling in [FaultHandling::Drop, FaultHandling::SourceReroute] {
-            let config = SimConfig { fault_handling: handling, ..SimConfig::default() };
+            let config = SimConfig {
+                fault_handling: handling,
+                ..SimConfig::default()
+            };
             let sim = Simulation::new(space, config)?.with_faults(faults.clone())?;
             let report = sim.run(&traffic);
             table.row(vec![

@@ -15,15 +15,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = DeBruijn::new(2, 7)?; // 128 nodes
     let hot = space.word_from_rank(85)?; // 1010101: a busy central node
     let traffic = workload::hotspot(space, 6_000, &hot, 0.35, 11);
-    println!(
-        "DN(2,7), hotspot {} receives ~35% of 6000 messages\n",
-        hot
-    );
+    println!("DN(2,7), hotspot {} receives ~35% of 6000 messages\n", hot);
 
     let mut table = Table::new(
-        ["policy", "max link load", "load std dev", "mean latency", "makespan"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "policy",
+            "max link load",
+            "load std dev",
+            "mean latency",
+            "makespan",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for policy in WildcardPolicy::all() {
         let config = SimConfig {

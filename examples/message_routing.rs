@@ -17,12 +17,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut table = Table::new(
-        ["router", "mean hops", "max hops", "mean latency", "makespan"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "router",
+            "mean hops",
+            "max hops",
+            "mean latency",
+            "makespan",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for router in RouterKind::all() {
-        let sim = Simulation::new(space, SimConfig { router, ..SimConfig::default() })?;
+        let sim = Simulation::new(
+            space,
+            SimConfig {
+                router,
+                ..SimConfig::default()
+            },
+        )?;
         let report = sim.run(&traffic);
         assert_eq!(report.delivered, traffic.len());
         table.row(vec![

@@ -13,9 +13,16 @@ use debruijn_suite::embed::sorting::{bitonic_network, sort_on_network};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(
-        ["k", "keys", "stages", "compare-exch.", "total key-hops", "critical path"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "k",
+            "keys",
+            "stages",
+            "compare-exch.",
+            "total key-hops",
+            "critical path",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for k in 3..=9usize {
         let space = DeBruijn::new(2, k)?;

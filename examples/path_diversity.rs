@@ -9,7 +9,7 @@
 //! Run with `cargo run --example path_diversity`.
 
 use debruijn_suite::core::{routing, DeBruijn, Word};
-use debruijn_suite::net::{RouterKind, SimConfig, Simulation, Injection};
+use debruijn_suite::net::{Injection, RouterKind, SimConfig, Simulation};
 
 fn show_routes(x: &Word, y: &Word) {
     let routes = routing::all_shortest_routes(x, y);
@@ -39,10 +39,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x = Word::parse(2, "000000")?;
     let y = Word::parse(2, "111111")?;
     let flow: Vec<Injection> = (0..512)
-        .map(|_| Injection { time: 0, source: x.clone(), destination: y.clone() })
+        .map(|_| Injection {
+            time: 0,
+            source: x.clone(),
+            destination: y.clone(),
+        })
         .collect();
     for router in [RouterKind::Algorithm2, RouterKind::Multipath] {
-        let sim = Simulation::new(space, SimConfig { router, ..SimConfig::default() })?;
+        let sim = Simulation::new(
+            space,
+            SimConfig {
+                router,
+                ..SimConfig::default()
+            },
+        )?;
         let report = sim.run(&flow);
         let loads = report.link_load_summary();
         println!(

@@ -2,9 +2,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use debruijn_suite::core::{
-    directed_average_distance, distance, routing, DeBruijn, Word,
-};
+use debruijn_suite::core::{directed_average_distance, distance, routing, DeBruijn, Word};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The binary de Bruijn network DN(2,6): 64 processors, diameter 6,

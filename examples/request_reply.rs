@@ -10,9 +10,7 @@
 
 use debruijn_suite::analysis::Table;
 use debruijn_suite::core::{DeBruijn, Word};
-use debruijn_suite::net::{
-    ControlCode, Injection, Message, RouterKind, SimConfig, Simulation,
-};
+use debruijn_suite::net::{ControlCode, Injection, Message, RouterKind, SimConfig, Simulation};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = DeBruijn::new(2, 6)?;
@@ -24,11 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let probes: Vec<Injection> = space
         .vertices()
         .filter(|v| v != &monitor)
-        .map(|v| Injection { time: 0, source: monitor.clone(), destination: v })
+        .map(|v| Injection {
+            time: 0,
+            source: monitor.clone(),
+            destination: v,
+        })
         .collect();
     let sim = Simulation::new(
         space,
-        SimConfig { router: RouterKind::Algorithm4, ..SimConfig::default() },
+        SimConfig {
+            router: RouterKind::Algorithm4,
+            ..SimConfig::default()
+        },
     )?;
     let out_report = sim.run(&probes);
     assert_eq!(out_report.delivered, probes.len());

@@ -9,8 +9,9 @@ use std::fmt::Write as _;
 
 use debruijn_analysis::{average, Table};
 use debruijn_core::distance::undirected::Engine;
-use debruijn_core::{directed_average_distance, distance, routing, DeBruijn, Word};
+use debruijn_core::{directed_average_distance, distance, profile, routing, DeBruijn, Word};
 use debruijn_graph::{census, diameter, euler, DebruijnGraph};
+use debruijn_net::record::{FanoutRecorder, InMemoryRecorder, JsonlRecorder};
 use debruijn_net::{workload, RouterKind, SimConfig, Simulation, WildcardPolicy};
 
 /// A parsed `dbr` invocation.
@@ -67,7 +68,8 @@ pub enum Command {
         /// Monte-Carlo sample count (0 = exact enumeration).
         samples: usize,
     },
-    /// `dbr simulate <d> <k> [--messages N] [--router R] [--policy P] [--seed S]`
+    /// `dbr simulate <d> <k> [--messages N] [--router R] [--policy P] [--seed S]
+    /// [--metrics] [--trace FILE]`
     Simulate {
         /// Digit radix.
         d: u8,
@@ -81,6 +83,10 @@ pub enum Command {
         policy: WildcardPolicy,
         /// RNG seed.
         seed: u64,
+        /// Print per-hop/queue histograms and wildcard/profile counters.
+        metrics: bool,
+        /// Write every simulation event to this file as JSON lines.
+        trace: Option<String>,
     },
     /// `dbr multipath <d> <X> <Y>`
     Multipath {
@@ -127,6 +133,7 @@ USAGE:
   dbr average <d> <k> [--directed] [--samples N]
   dbr simulate <d> <k> [--messages N] [--router trivial|alg1|alg2|alg4]
                        [--policy zero|random|round-robin|least-loaded] [--seed S]
+                       [--metrics] [--trace FILE]
   dbr multipath <d> <X> <Y>
   dbr gdb <d> <N> <i> <j>
   dbr disjoint <d> <X> <Y>
@@ -136,7 +143,13 @@ Addresses are digit strings (\"0110\") or dot-separated for d > 10
 (\"11.3.0\"). Examples:
   dbr route 2 010011 110100
   dbr average 2 8 --directed
-  dbr simulate 2 8 --messages 5000 --router alg4 --policy least-loaded
+  dbr simulate 2 8 --messages 5000 --router alg4 --policy least-loaded --metrics
+
+--metrics prints exact histograms (hops, stretch over D(X,Y), per-hop
+latency, queue wait/depth, end-to-end latency) and counters (wildcard
+resolutions per policy and digit, drops by reason, distance-engine and
+convergecast profile); --trace FILE streams every event as JSON lines.
+See docs/OBSERVABILITY.md.
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -152,6 +165,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "route" => {
             let (pos, flags) = split_flags(&rest);
+            flags.expect_only(&["--directed", "--engine"])?;
             let [d, x, y] = positional::<3>(&pos, "route <d> <X> <Y>")?;
             Ok(Command::Route {
                 d: parse_radix(d)?,
@@ -169,6 +183,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "distance" => {
             let (pos, flags) = split_flags(&rest);
+            flags.expect_only(&["--directed"])?;
             let [d, x, y] = positional::<3>(&pos, "distance <d> <X> <Y>")?;
             Ok(Command::Distance {
                 d: parse_radix(d)?,
@@ -179,6 +194,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "sequence" => {
             let (pos, flags) = split_flags(&rest);
+            flags.expect_only(&["--prefer-largest"])?;
             let [d, n] = positional::<2>(&pos, "sequence <d> <n>")?;
             Ok(Command::Sequence {
                 d: parse_radix(d)?,
@@ -190,10 +206,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let (pos, flags) = split_flags(&rest);
             flags.expect_empty()?;
             let [d, k] = positional::<2>(&pos, "census <d> <k>")?;
-            Ok(Command::Census { d: parse_radix(d)?, k: parse_num(k, "k")? })
+            Ok(Command::Census {
+                d: parse_radix(d)?,
+                k: parse_num(k, "k")?,
+            })
         }
         "average" => {
             let (pos, flags) = split_flags(&rest);
+            flags.expect_only(&["--directed", "--samples"])?;
             let [d, k] = positional::<2>(&pos, "average <d> <k>")?;
             Ok(Command::Average {
                 d: parse_radix(d)?,
@@ -208,6 +228,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "simulate" => {
             let (pos, flags) = split_flags(&rest);
+            flags.expect_only(&[
+                "--messages",
+                "--router",
+                "--policy",
+                "--seed",
+                "--metrics",
+                "--trace",
+            ])?;
             let [d, k] = positional::<2>(&pos, "simulate <d> <k>")?;
             Ok(Command::Simulate {
                 d: parse_radix(d)?,
@@ -236,6 +264,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map(|v| v.parse::<u64>().map_err(|_| format!("bad seed '{v}'")))
                     .transpose()?
                     .unwrap_or(0xDB),
+                metrics: flags.has("--metrics")?,
+                trace: flags.value("--trace")?.map(String::from),
             })
         }
         "multipath" => {
@@ -285,7 +315,13 @@ pub fn run(cmd: &Command) -> Result<String, String> {
     let mut out = String::new();
     match cmd {
         Command::Help => out.push_str(USAGE),
-        Command::Route { d, x, y, directed, engine } => {
+        Command::Route {
+            d,
+            x,
+            y,
+            directed,
+            engine,
+        } => {
             let (x, y) = parse_pair(*d, x, y)?;
             if *directed {
                 let route = routing::algorithm1(&x, &y);
@@ -306,11 +342,18 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             };
             writeln!(out, "{dist}").expect("write to string");
         }
-        Command::Sequence { d, n, prefer_largest } => {
+        Command::Sequence {
+            d,
+            n,
+            prefer_largest,
+        } => {
             if *d < 2 || *n < 1 {
                 return Err("sequence requires d >= 2 and n >= 1".into());
             }
-            if (*d as u128).checked_pow(*n as u32).is_none_or(|v| v > 1 << 24) {
+            if (*d as u128)
+                .checked_pow(*n as u32)
+                .is_none_or(|v| v > 1 << 24)
+            {
                 return Err("sequence too long to print (d^n > 2^24)".into());
             }
             let seq = if *prefer_largest {
@@ -324,18 +367,32 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         }
         Command::Census { d, k } => {
             let space = space_of(*d, *k)?;
-            let dg = DebruijnGraph::directed(space)
-                .map_err(|e| format!("cannot materialize: {e}"))?;
-            let ug = DebruijnGraph::undirected(space)
-                .map_err(|e| format!("cannot materialize: {e}"))?;
+            let dg =
+                DebruijnGraph::directed(space).map_err(|e| format!("cannot materialize: {e}"))?;
+            let ug =
+                DebruijnGraph::undirected(space).map_err(|e| format!("cannot materialize: {e}"))?;
             let dc = census::census(&dg);
             let uc = census::census(&ug);
             writeln!(out, "DG({d},{k}): {} vertices", dc.nodes).expect("write");
-            writeln!(out, "directed:   {} arcs, diameter {}", dc.edges, diameter::diameter(&dg))
-                .expect("write");
-            writeln!(out, "undirected: {} edges, diameter {}", uc.edges, diameter::diameter(&ug))
-                .expect("write");
-            let mut t = Table::new(vec!["degree".into(), "directed".into(), "undirected".into()]);
+            writeln!(
+                out,
+                "directed:   {} arcs, diameter {}",
+                dc.edges,
+                diameter::diameter(&dg)
+            )
+            .expect("write");
+            writeln!(
+                out,
+                "undirected: {} edges, diameter {}",
+                uc.edges,
+                diameter::diameter(&ug)
+            )
+            .expect("write");
+            let mut t = Table::new(vec![
+                "degree".into(),
+                "directed".into(),
+                "undirected".into(),
+            ]);
             let degrees: std::collections::BTreeSet<usize> = dc
                 .degree_histogram
                 .keys()
@@ -345,13 +402,26 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             for deg in degrees {
                 t.row(vec![
                     deg.to_string(),
-                    dc.degree_histogram.get(&deg).copied().unwrap_or(0).to_string(),
-                    uc.degree_histogram.get(&deg).copied().unwrap_or(0).to_string(),
+                    dc.degree_histogram
+                        .get(&deg)
+                        .copied()
+                        .unwrap_or(0)
+                        .to_string(),
+                    uc.degree_histogram
+                        .get(&deg)
+                        .copied()
+                        .unwrap_or(0)
+                        .to_string(),
                 ]);
             }
             write!(out, "{t}").expect("write to string");
         }
-        Command::Average { d, k, directed, samples } => {
+        Command::Average {
+            d,
+            k,
+            directed,
+            samples,
+        } => {
             let space = space_of(*d, *k)?;
             let value = if *samples > 0 {
                 average::sampled(space, *directed, *samples, 0xC11)
@@ -362,11 +432,24 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             };
             writeln!(out, "{value:.6}").expect("write to string");
             if *directed {
-                writeln!(out, "Eq.(5) approximation: {:.6}", directed_average_distance(*d, *k))
-                    .expect("write to string");
+                writeln!(
+                    out,
+                    "Eq.(5) approximation: {:.6}",
+                    directed_average_distance(*d, *k)
+                )
+                .expect("write to string");
             }
         }
-        Command::Simulate { d, k, messages, router, policy, seed } => {
+        Command::Simulate {
+            d,
+            k,
+            messages,
+            router,
+            policy,
+            seed,
+            metrics,
+            trace,
+        } => {
             let space = space_of(*d, *k)?;
             let config = SimConfig {
                 router: *router,
@@ -376,22 +459,98 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             };
             let sim = Simulation::new(space, config).map_err(|e| e.to_string())?;
             let traffic = workload::uniform_random(space, *messages, *seed);
-            let report = sim.run(&traffic);
+
+            let profile_before = profile::snapshot();
+            let mut memory = InMemoryRecorder::new();
+            let mut jsonl = trace
+                .as_ref()
+                .map(|path| {
+                    std::fs::File::create(path)
+                        .map(|f| JsonlRecorder::new(std::io::BufWriter::new(f)))
+                        .map_err(|e| format!("cannot create trace file '{path}': {e}"))
+                })
+                .transpose()?;
+            let report = {
+                let mut fan = FanoutRecorder::new();
+                if *metrics {
+                    fan.push(&mut memory);
+                }
+                if let Some(j) = jsonl.as_mut() {
+                    fan.push(j);
+                }
+                sim.run_recorded(&traffic, &mut fan)
+            };
+            let profile_used = profile::snapshot().since(&profile_before);
+
             let loads = report.link_load_summary();
-            writeln!(out, "delivered:    {}/{}", report.delivered, report.injected)
-                .expect("write");
+            writeln!(
+                out,
+                "delivered:    {}/{}",
+                report.delivered, report.injected
+            )
+            .expect("write");
             writeln!(out, "mean hops:    {:.4}", report.mean_hops()).expect("write");
             writeln!(out, "mean latency: {:.4}", report.mean_latency()).expect("write");
             writeln!(out, "max latency:  {}", report.latency_max).expect("write");
             writeln!(out, "makespan:     {}", report.makespan).expect("write");
-            writeln!(out, "max link load: {} (std {:.3})", loads.max, loads.std_dev)
+            writeln!(
+                out,
+                "max link load: {} (std {:.3})",
+                loads.max, loads.std_dev
+            )
+            .expect("write");
+            if *metrics {
+                writeln!(out, "\n== metrics ==").expect("write");
+                write!(out, "{memory}").expect("write");
+                writeln!(out, "\n== core profile (this run) ==").expect("write");
+                writeln!(
+                    out,
+                    "distance engine solves: {} naive, {} morris-pratt, {} suffix-tree",
+                    profile_used.engine_naive,
+                    profile_used.engine_morris_pratt,
+                    profile_used.engine_suffix_tree
+                )
                 .expect("write");
+                writeln!(
+                    out,
+                    "auto engine selection:  {} -> morris-pratt, {} -> suffix-tree",
+                    profile_used.auto_to_morris_pratt, profile_used.auto_to_suffix_tree
+                )
+                .expect("write");
+                match profile_used.convergecast_hit_rate() {
+                    Some(rate) => writeln!(
+                        out,
+                        "convergecast cache:     {} builds, {} routes ({:.1}% hit rate)",
+                        profile_used.convergecast_builds,
+                        profile_used.convergecast_routes,
+                        rate * 100.0
+                    )
+                    .expect("write"),
+                    None => writeln!(out, "convergecast cache:     unused").expect("write"),
+                }
+            }
+            if let Some(j) = jsonl {
+                j.finish()
+                    .and_then(|mut w| std::io::Write::flush(&mut w))
+                    .map_err(|e| format!("writing trace: {e}"))?;
+                writeln!(
+                    out,
+                    "trace written to {}",
+                    trace.as_deref().unwrap_or_default()
+                )
+                .expect("write");
+            }
         }
         Command::Multipath { d, x, y } => {
             let (x, y) = parse_pair(*d, x, y)?;
             let routes = routing::all_shortest_routes(&x, &y);
-            writeln!(out, "{} shortest route(s) of length {}:", routes.len(), routes[0].len())
-                .expect("write");
+            writeln!(
+                out,
+                "{} shortest route(s) of length {}:",
+                routes.len(),
+                routes[0].len()
+            )
+            .expect("write");
             for r in &routes {
                 writeln!(out, "  {r}").expect("write");
             }
@@ -402,8 +561,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 return Err(format!("vertices must be below N = {n}"));
             }
             let route = g.route(*i, *j);
-            writeln!(out, "GDB({d},{n}): diameter bound {}", g.diameter_bound())
-                .expect("write");
+            writeln!(out, "GDB({d},{n}): diameter bound {}", g.diameter_bound()).expect("write");
             writeln!(out, "distance {i} -> {j}: {}", route.len()).expect("write");
             let rendered: Vec<String> = route.iter().map(u64::to_string).collect();
             writeln!(out, "digits: [{}]", rendered.join(", ")).expect("write");
@@ -414,19 +572,17 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 return Err("endpoints must differ".into());
             }
             let space = space_of(*d, x.len())?;
-            let graph = DebruijnGraph::undirected(space)
-                .map_err(|e| format!("cannot materialize: {e}"))?;
+            let graph =
+                DebruijnGraph::undirected(space).map_err(|e| format!("cannot materialize: {e}"))?;
             let paths = debruijn_graph::disjoint::vertex_disjoint_paths(
                 &graph,
                 graph.rank_of(&x),
                 graph.rank_of(&y),
                 *d as usize + 1,
             );
-            writeln!(out, "{} internally vertex-disjoint path(s):", paths.len())
-                .expect("write");
+            writeln!(out, "{} internally vertex-disjoint path(s):", paths.len()).expect("write");
             for p in &paths {
-                let words: Vec<String> =
-                    p.iter().map(|&v| graph.word_of(v).to_string()).collect();
+                let words: Vec<String> = p.iter().map(|&v| graph.word_of(v).to_string()).collect();
                 writeln!(out, "  {}", words.join(" -> ")).expect("write");
             }
         }
@@ -459,12 +615,12 @@ fn parse_num(s: &str, what: &str) -> Result<usize, String> {
     s.parse::<usize>().map_err(|_| format!("bad {what} '{s}'"))
 }
 
-fn positional<'a, const N: usize>(
-    pos: &[&'a str],
-    usage: &str,
-) -> Result<[&'a str; N], String> {
+fn positional<'a, const N: usize>(pos: &[&'a str], usage: &str) -> Result<[&'a str; N], String> {
     if pos.len() != N {
-        return Err(format!("expected {usage}, got {} positional arguments", pos.len()));
+        return Err(format!(
+            "expected {usage}, got {} positional arguments",
+            pos.len()
+        ));
     }
     let mut out = [""; N];
     out.copy_from_slice(pos);
@@ -501,7 +657,13 @@ impl<'a> Flags<'a> {
     }
 
     fn expect_empty(&self) -> Result<(), String> {
-        match self.items.first() {
+        self.expect_only(&[])
+    }
+
+    /// Rejects any flag the command's grammar does not declare, so a
+    /// typo like `--metricss` fails loudly instead of being ignored.
+    fn expect_only(&self, allowed: &[&str]) -> Result<(), String> {
+        match self.items.iter().find(|(n, _)| !allowed.contains(n)) {
             Some((n, _)) => Err(format!("unexpected flag {n}")),
             None => Ok(()),
         }
@@ -517,7 +679,7 @@ fn split_flags<'a>(args: &[&'a str]) -> (Vec<&'a str>, Flags<'a>) {
         if let Some(stripped) = a.strip_prefix("--") {
             // Bare boolean flags are the ones our grammar declares;
             // everything else consumes the following token as its value.
-            let bare = matches!(stripped, "directed" | "prefer-largest");
+            let bare = matches!(stripped, "directed" | "prefer-largest" | "metrics");
             if bare {
                 items.push((a, None));
             } else if i + 1 < args.len() {
@@ -577,6 +739,16 @@ mod tests {
     }
 
     #[test]
+    fn rejects_undeclared_flags() {
+        let err = parse_line("simulate 2 6 --metricss").unwrap_err();
+        assert!(err.contains("unexpected flag --metricss"), "{err}");
+        assert!(parse_line("route 2 01 10 --directd").is_err());
+        assert!(parse_line("average 2 6 --sample 10").is_err());
+        // Declared flags still pass.
+        assert!(parse_line("simulate 2 6 --metrics --trace t.jsonl").is_ok());
+    }
+
+    #[test]
     fn route_command_emits_optimal_route() {
         let cmd = parse_line("route 2 010011 110100").unwrap();
         let out = run(&cmd).unwrap();
@@ -620,10 +792,61 @@ mod tests {
 
     #[test]
     fn simulate_command_delivers_everything() {
-        let out =
-            run(&parse_line("simulate 2 5 --messages 200 --router alg4 --seed 9").unwrap())
-                .unwrap();
+        let out = run(&parse_line("simulate 2 5 --messages 200 --router alg4 --seed 9").unwrap())
+            .unwrap();
         assert!(out.contains("delivered:    200/200"), "{out}");
+        // Without --metrics, no observability sections appear.
+        assert!(!out.contains("== metrics =="), "{out}");
+    }
+
+    #[test]
+    fn simulate_metrics_flag_prints_histograms_and_counters() {
+        let cmd =
+            parse_line("simulate 2 5 --messages 300 --router alg4 --policy least-loaded --metrics")
+                .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Simulate {
+                metrics: true,
+                trace: None,
+                ..
+            }
+        ));
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("== metrics =="), "{out}");
+        assert!(out.contains("hops per delivered message"), "{out}");
+        assert!(out.contains("queue depth"), "{out}");
+        assert!(out.contains("wildcard resolutions:"), "{out}");
+        assert!(out.contains("by policy least-loaded:"), "{out}");
+        assert!(out.contains("== core profile (this run) =="), "{out}");
+        assert!(out.contains("distance engine solves:"), "{out}");
+        // Optimal routing on a fault-free network: zero stretch.
+        assert!(
+            out.contains("stretch over shortest D(X,Y) (mean 0.0000)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn simulate_trace_flag_writes_parseable_jsonl() {
+        let path = std::env::temp_dir().join(format!("dbr-trace-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let line = format!("simulate 2 4 --messages 50 --router alg4 --trace {path_str}");
+        let out = run(&parse_line(&line).unwrap()).unwrap();
+        assert!(out.contains("trace written to"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut injects = 0;
+        let mut delivers = 0;
+        for l in text.lines() {
+            match debruijn_net::record::parse_event(2, l).unwrap() {
+                debruijn_net::NetEvent::Inject { .. } => injects += 1,
+                debruijn_net::NetEvent::Deliver { .. } => delivers += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(injects, 50, "{text}");
+        assert_eq!(delivers, 50);
     }
 
     #[test]

@@ -35,3 +35,9 @@ pub use debruijn_embed as embed;
 pub use debruijn_graph as graph;
 pub use debruijn_net as net;
 pub use debruijn_strings as strings;
+
+/// Compiles the README's code blocks as doctests, so the front-page
+/// library snippet can never drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;

@@ -59,7 +59,11 @@ fn erratum_algorithm3_line11_uses_failure_not_matching_function() {
     lbad[0] = usize::from(pattern[0] == text[0]);
     let mut diverged = false;
     'outer: for j in 1..text.len() {
-        let mut h = if lbad[j - 1] == pattern.len() { c[pattern.len() - 1] } else { lbad[j - 1] };
+        let mut h = if lbad[j - 1] == pattern.len() {
+            c[pattern.len() - 1]
+        } else {
+            lbad[j - 1]
+        };
         let mut fuel = 16;
         while h > 0 && pattern[h] != text[j] {
             h = lbad[h - 1]; // the printed (wrong) fallback
@@ -69,9 +73,16 @@ fn erratum_algorithm3_line11_uses_failure_not_matching_function() {
                 break 'outer;
             }
         }
-        lbad[j] = if h == 0 && pattern[h] != text[j] { 0 } else { h + 1 };
+        lbad[j] = if h == 0 && pattern[h] != text[j] {
+            0
+        } else {
+            h + 1
+        };
     }
-    assert!(diverged || l != lbad, "the printed rule must misbehave here");
+    assert!(
+        diverged || l != lbad,
+        "the printed rule must misbehave here"
+    );
 }
 
 /// Erratum 3 — the printed prefix-tree string `S = X⊥Ȳ⊤` matches `X`

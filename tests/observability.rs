@@ -1,0 +1,94 @@
+//! End-to-end checks on the observability layer: recorded metrics
+//! against the analytic quantities from `crates/analysis`, and the
+//! JSONL stream against the aggregate report.
+
+use debruijn_suite::analysis::average;
+use debruijn_suite::core::DeBruijn;
+use debruijn_suite::net::record::{parse_event, FanoutRecorder, JsonlRecorder};
+use debruijn_suite::net::{
+    workload, InMemoryRecorder, NetEvent, RouterKind, SimConfig, Simulation, WildcardPolicy,
+};
+
+#[test]
+fn recorded_mean_hops_matches_analytic_average_on_dg_2_8() {
+    // Uniform traffic on DG(2,8) with an optimal router: the sample
+    // mean of the hop histogram estimates the exact average undirected
+    // distance over distinct ordered pairs (the workload never sends a
+    // node to itself, so the N self-pairs at distance 0 are excluded
+    // from the expectation).
+    let space = DeBruijn::new(2, 8).unwrap();
+    let config = SimConfig {
+        router: RouterKind::Algorithm4,
+        policy: WildcardPolicy::LeastLoaded,
+        ..SimConfig::default()
+    };
+    let sim = Simulation::new(space, config).unwrap();
+    let messages = 5_000;
+    let traffic = workload::uniform_random(space, messages, 0xE2E);
+
+    let mut metrics = InMemoryRecorder::new();
+    let report = sim.run_recorded(&traffic, &mut metrics);
+    assert_eq!(report.delivered, messages);
+    assert_eq!(metrics.delivered, messages as u64);
+
+    let n = space.order_usize().unwrap() as f64;
+    let analytic = average::exact_undirected(space) * n / (n - 1.0);
+    let sample_mean = metrics.hops.mean();
+
+    // Sampling error: the per-pair distance has std-dev < 1.5 hops on
+    // DG(2,8), so the mean of 5000 draws sits within ~3·1.5/√5000 ≈
+    // 0.064 of the expectation. 0.1 gives slack without admitting an
+    // off-by-one in the distance function (which would shift the mean
+    // by ≥ 0.5).
+    assert!(
+        (sample_mean - analytic).abs() < 0.1,
+        "sample mean {sample_mean:.4} vs analytic {analytic:.4}"
+    );
+
+    // Optimal router: every delivery took exactly D(X,Y) hops.
+    assert_eq!(metrics.stretch.max(), Some(0));
+}
+
+#[test]
+fn jsonl_stream_is_consistent_with_the_aggregate_report() {
+    let space = DeBruijn::new(3, 4).unwrap();
+    let config = SimConfig {
+        router: RouterKind::Algorithm2,
+        ..SimConfig::default()
+    };
+    let sim = Simulation::new(space, config).unwrap();
+    let traffic = workload::uniform_random(space, 400, 9);
+
+    let mut metrics = InMemoryRecorder::new();
+    let mut jsonl = JsonlRecorder::new(Vec::new());
+    let report = {
+        let mut fan = FanoutRecorder::new();
+        fan.push(&mut metrics);
+        fan.push(&mut jsonl);
+        sim.run_recorded(&traffic, &mut fan)
+    };
+
+    let text = String::from_utf8(jsonl.finish().unwrap()).unwrap();
+    let (mut injects, mut forwards, mut delivers) = (0usize, 0u64, 0usize);
+    for line in text.lines() {
+        match parse_event(space.d(), line).expect("every line parses") {
+            NetEvent::Inject {
+                route_len,
+                shortest,
+                ..
+            } => {
+                injects += 1;
+                assert_eq!(route_len, shortest, "Algorithm 2 routes are optimal");
+            }
+            NetEvent::Forward { .. } => forwards += 1,
+            NetEvent::Deliver { hops, shortest, .. } => {
+                delivers += 1;
+                assert_eq!(hops, shortest);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(injects, report.injected);
+    assert_eq!(delivers, report.delivered);
+    assert_eq!(forwards, report.total_hops);
+}

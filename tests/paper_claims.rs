@@ -62,7 +62,10 @@ fn e4_structure_census_matches_section_1() {
         let dg = DebruijnGraph::directed(space).unwrap();
         let ug = DebruijnGraph::undirected(space).unwrap();
         assert!(census::census(&dg).matches_directed_claim(d), "d={d} k={k}");
-        assert!(census::census(&ug).matches_undirected_claim(d), "d={d} k={k}");
+        assert!(
+            census::census(&ug).matches_undirected_claim(d),
+            "d={d} k={k}"
+        );
         assert_eq!(diameter::diameter(&dg), k);
         assert_eq!(diameter::diameter(&ug), k);
         assert!(connectivity::is_strongly_connected(&dg));
@@ -81,9 +84,13 @@ fn e5_complexity_smoke_route_generation_scales_mildly() {
     let mut digits_y = vec![0u8; k];
     let mut state = 12345u64;
     for i in 0..k {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         digits_x[i] = ((state >> 33) & 1) as u8;
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         digits_y[i] = ((state >> 33) & 1) as u8;
     }
     let x = debruijn_suite::core::Word::new(d, digits_x).unwrap();
@@ -93,7 +100,10 @@ fn e5_complexity_smoke_route_generation_scales_mildly() {
     let elapsed = t0.elapsed();
     assert!(route.leads_to(&x, &y));
     assert_eq!(route.len(), distance::undirected::distance(&x, &y));
-    assert!(elapsed.as_millis() < 2_000, "Algorithm 4 took {elapsed:?} at k={k}");
+    assert!(
+        elapsed.as_millis() < 2_000,
+        "Algorithm 4 took {elapsed:?} at k={k}"
+    );
 }
 
 #[test]
@@ -104,8 +114,15 @@ fn e6_distance_distributions_have_the_papers_shape() {
     // sit within 2 hops of the diameter (measured: 78% for DG(2,6)).
     let dir = distribution::distance_histogram(space, distribution::Orientation::Directed);
     let total: u64 = dir.values().sum();
-    let near: u64 = dir.iter().filter(|&(&d, _)| d + 2 >= 6).map(|(_, &c)| c).sum();
-    assert!(near * 4 >= total * 3, "directed: ≥75% of pairs within 2 of k");
+    let near: u64 = dir
+        .iter()
+        .filter(|&(&d, _)| d + 2 >= 6)
+        .map(|(_, &c)| c)
+        .sum();
+    assert!(
+        near * 4 >= total * 3,
+        "directed: ≥75% of pairs within 2 of k"
+    );
 
     // Undirected: bidirectionality spreads the mass toward the middle —
     // the mean drops well below the diameter (the Figure 2 effect), and
@@ -116,7 +133,10 @@ fn e6_distance_distributions_have_the_papers_shape() {
     assert!(mean < dir_mean, "undirected mean below directed mean");
     assert!(mean < 4.0 && mean > 3.0, "DG(2,6): measured mean {mean}");
     let at_diameter = und.get(&6).copied().unwrap_or(0);
-    assert!(at_diameter * 50 < total, "under 2% of pairs at the full diameter");
+    assert!(
+        at_diameter * 50 < total,
+        "under 2% of pairs at the full diameter"
+    );
 }
 
 #[test]

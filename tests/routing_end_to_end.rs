@@ -13,7 +13,10 @@ fn simulated_hop_counts_equal_bfs_distances() {
     let graph = DebruijnGraph::undirected(space).unwrap();
     let sim = Simulation::new(
         space,
-        SimConfig { router: RouterKind::Algorithm4, ..SimConfig::default() },
+        SimConfig {
+            router: RouterKind::Algorithm4,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
 
@@ -40,7 +43,10 @@ fn directed_simulation_matches_directed_bfs() {
     let graph = DebruijnGraph::directed(space).unwrap();
     let sim = Simulation::new(
         space,
-        SimConfig { router: RouterKind::Algorithm1, ..SimConfig::default() },
+        SimConfig {
+            router: RouterKind::Algorithm1,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     let traffic = workload::all_pairs(space);
@@ -68,7 +74,10 @@ fn rerouted_messages_use_real_detours() {
 
     let sim = Simulation::new(
         space,
-        SimConfig { fault_handling: FaultHandling::SourceReroute, ..SimConfig::default() },
+        SimConfig {
+            fault_handling: FaultHandling::SourceReroute,
+            ..SimConfig::default()
+        },
     )
     .unwrap()
     .with_faults(faults.clone())
@@ -107,7 +116,11 @@ fn wildcard_policies_preserve_hop_counts() {
     for policy in WildcardPolicy::all() {
         let sim = Simulation::new(
             space,
-            SimConfig { policy, router: RouterKind::Algorithm2, ..SimConfig::default() },
+            SimConfig {
+                policy,
+                router: RouterKind::Algorithm2,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         let report = sim.run(&traffic);
