@@ -1,0 +1,26 @@
+#!/bin/sh
+# Regenerates BENCH_results.json from the micro-benchmark binaries'
+# --json mode (median ns/call per engine and algorithm). Run from the
+# repository root; no network access required. The file is checked in
+# so reviewers can compare machines and spot regressions.
+set -eu
+
+out=BENCH_results.json
+
+cargo build --release -q -p debruijn-bench \
+    --bench distance_engines \
+    --bench routing_algorithms \
+    --bench simulation_throughput
+
+{
+    printf '[\n'
+    first=1
+    for bench in distance_engines routing_algorithms simulation_throughput; do
+        line=$(cargo bench -q -p debruijn-bench --bench "$bench" -- --json)
+        if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
+        printf '%s' "$line"
+    done
+    printf '\n]\n'
+} > "$out"
+
+echo "wrote $out"

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Offline CI gate: formatting, lints, build, full test suite.
+# Offline CI gate: formatting, lints, docs, build, full test suite,
+# and an end-to-end trace round-trip smoke.
 # Run from the repository root; no network access required.
 set -eu
 
@@ -9,10 +10,34 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (no deps, warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo build (release, all targets) =="
 cargo build --release --workspace --all-targets
 
 echo "== cargo test =="
 cargo test --workspace --release -q
+
+echo "== trace round-trip smoke =="
+# A live run's report and its offline reconstruction from the JSONL
+# trace must agree line for line on the headline metrics and the
+# counter block (see docs/OBSERVABILITY.md).
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/dbr simulate 2 8 --messages 5000 --metrics \
+    --trace "$smoke_dir/run.jsonl" > "$smoke_dir/live.txt"
+./target/release/dbr trace summary "$smoke_dir/run.jsonl" > "$smoke_dir/offline.txt"
+for key in "delivered:" "mean hops:" "mean latency:" "max latency:" "messages:"; do
+    live_line=$(grep -F "$key" "$smoke_dir/live.txt" | head -n 1)
+    offline_line=$(grep -F "$key" "$smoke_dir/offline.txt" | head -n 1)
+    if [ -z "$live_line" ] || [ "$live_line" != "$offline_line" ]; then
+        echo "trace smoke mismatch for '$key':"
+        echo "  live:    $live_line"
+        echo "  offline: $offline_line"
+        exit 1
+    fi
+done
+echo "live report and offline reconstruction agree"
 
 echo "CI OK"

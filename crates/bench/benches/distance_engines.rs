@@ -1,16 +1,24 @@
 //! Timings of the three Theorem-2 distance engines.
+//!
+//! With `--json`, prints one machine-readable line (see
+//! [`debruijn_bench::JsonReport`]) instead of the table; `bench.sh`
+//! collects those lines into `BENCH_results.json`.
 
-use debruijn_bench::{median_nanos_per_call, random_pairs};
+use debruijn_bench::{json_mode, median_nanos_per_call, random_pairs, JsonReport};
 use debruijn_core::distance::directed;
 use debruijn_core::distance::undirected::{distance_with, Engine};
 use std::hint::black_box;
 
 fn main() {
-    println!("distance engines: ns per pair (median of 5 batches)\n");
-    println!(
-        "{:>6} {:>12} {:>14} {:>13} {:>12}",
-        "k", "directed", "morris_pratt", "suffix_tree", "naive"
-    );
+    let json = json_mode();
+    let mut report = JsonReport::new("distance_engines", "ns_per_pair");
+    if !json {
+        println!("distance engines: ns per pair (median of 5 batches)\n");
+        println!(
+            "{:>6} {:>12} {:>14} {:>13} {:>12}",
+            "k", "directed", "morris_pratt", "suffix_tree", "naive"
+        );
+    }
     for k in [8usize, 32, 128, 512] {
         let pairs = random_pairs(2, k, 8, 0xD15);
         let batch = (4096 / k).max(1);
@@ -36,13 +44,22 @@ fn main() {
         ) / pairs.len() as f64;
         let mp = time_engine(Engine::MorrisPratt);
         let st = time_engine(Engine::SuffixTree);
-        let naive = if k <= 32 {
-            format!("{:.0}", time_engine(Engine::Naive))
-        } else {
-            "-".into()
-        };
-        println!("{k:>6} {dir:>12.0} {mp:>14.0} {st:>13.0} {naive:>12}");
+        let naive = (k <= 32).then(|| time_engine(Engine::Naive));
+        report.push("directed", k, dir);
+        report.push("morris_pratt", k, mp);
+        report.push("suffix_tree", k, st);
+        if let Some(n) = naive {
+            report.push("naive", k, n);
+        }
+        if !json {
+            let naive = naive.map_or("-".into(), |n| format!("{n:.0}"));
+            println!("{k:>6} {dir:>12.0} {mp:>14.0} {st:>13.0} {naive:>12}");
+        }
     }
-    println!("\nThe O(k^2) Morris-Pratt engine and O(k) suffix-tree engine cross");
-    println!("near k ~ 100; the O(k^3) naive scan is for validation only.");
+    if json {
+        println!("{}", report.render());
+    } else {
+        println!("\nThe O(k^2) Morris-Pratt engine and O(k) suffix-tree engine cross");
+        println!("near k ~ 100; the O(k^3) naive scan is for validation only.");
+    }
 }

@@ -3,17 +3,25 @@
 //! Verifies the §3 complexity claims in wall-clock form: Algorithm 1 and
 //! Algorithm 4 scale linearly in the diameter `k`; Algorithm 2 scales
 //! quadratically but wins on small `k` (the §4 remark).
+//!
+//! With `--json`, prints one machine-readable line (see
+//! [`debruijn_bench::JsonReport`]) instead of the table; `bench.sh`
+//! collects those lines into `BENCH_results.json`.
 
-use debruijn_bench::{median_nanos_per_call, random_pairs};
+use debruijn_bench::{json_mode, median_nanos_per_call, random_pairs, JsonReport};
 use debruijn_core::routing;
 use std::hint::black_box;
 
 fn main() {
-    println!("routing algorithms: ns per route (median of 5 batches)\n");
-    println!(
-        "{:>6} {:>12} {:>12} {:>12} {:>10}",
-        "k", "algorithm1", "algorithm4", "algorithm2", "trivial"
-    );
+    let json = json_mode();
+    let mut report = JsonReport::new("routing_algorithms", "ns_per_route");
+    if !json {
+        println!("routing algorithms: ns per route (median of 5 batches)\n");
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>10}",
+            "k", "algorithm1", "algorithm4", "algorithm2", "trivial"
+        );
+    }
     for k in [8usize, 32, 128, 512, 2048] {
         let pairs = random_pairs(2, k, 8, 0xA11CE);
         let batch = (4096 / k).max(1);
@@ -29,24 +37,32 @@ fn main() {
                 black_box(routing::algorithm4(black_box(x), black_box(y)));
             }
         });
-        let a2 = if k <= 512 {
-            format!(
-                "{:.0}",
-                per_pair(&mut || {
-                    for (x, y) in &pairs {
-                        black_box(routing::algorithm2(black_box(x), black_box(y)));
-                    }
-                })
-            )
-        } else {
-            "-".into()
-        };
+        let a2 = (k <= 512).then(|| {
+            per_pair(&mut || {
+                for (x, y) in &pairs {
+                    black_box(routing::algorithm2(black_box(x), black_box(y)));
+                }
+            })
+        });
         let trivial = per_pair(&mut || {
             for (_, y) in &pairs {
                 black_box(routing::trivial_route(black_box(y)));
             }
         });
-        println!("{k:>6} {a1:>12.0} {a4:>12.0} {a2:>12} {trivial:>10.0}");
+        report.push("algorithm1", k, a1);
+        report.push("algorithm4", k, a4);
+        if let Some(v) = a2 {
+            report.push("algorithm2", k, v);
+        }
+        report.push("trivial", k, trivial);
+        if !json {
+            let a2 = a2.map_or("-".into(), |v| format!("{v:.0}"));
+            println!("{k:>6} {a1:>12.0} {a4:>12.0} {a2:>12} {trivial:>10.0}");
+        }
     }
-    println!("\nAlgorithms 1 and 4 grow linearly with k; Algorithm 2 quadratically.");
+    if json {
+        println!("{}", report.render());
+    } else {
+        println!("\nAlgorithms 1 and 4 grow linearly with k; Algorithm 2 quadratically.");
+    }
 }

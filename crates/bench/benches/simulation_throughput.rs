@@ -1,16 +1,24 @@
 //! Timing of the discrete-event simulator itself.
+//!
+//! With `--json`, prints one machine-readable line (see
+//! [`debruijn_bench::JsonReport`]) instead of the table; `bench.sh`
+//! collects those lines into `BENCH_results.json`.
 
-use debruijn_bench::median_nanos_per_call;
+use debruijn_bench::{json_mode, median_nanos_per_call, JsonReport};
 use debruijn_core::DeBruijn;
 use debruijn_net::{workload, RouterKind, SimConfig, Simulation, WildcardPolicy};
 use std::hint::black_box;
 
 fn main() {
-    println!("simulator throughput: ns per injected message (median of 5 runs)\n");
-    println!(
-        "{:>8} {:>20} {:>20}",
-        "msgs", "algorithm2_router", "least_loaded_policy"
-    );
+    let json = json_mode();
+    let mut report = JsonReport::new("simulation_throughput", "ns_per_message");
+    if !json {
+        println!("simulator throughput: ns per injected message (median of 5 runs)\n");
+        println!(
+            "{:>8} {:>20} {:>20}",
+            "msgs", "algorithm2_router", "least_loaded_policy"
+        );
+    }
     let space = DeBruijn::new(2, 8).unwrap();
     for msgs in [1_000usize, 10_000] {
         let traffic = workload::uniform_random(space, msgs, 42);
@@ -45,8 +53,16 @@ fn main() {
             1,
             5,
         ) / msgs as f64;
-        println!("{msgs:>8} {a2:>20.0} {ll:>20.0}");
+        report.push("algorithm2_router", msgs, a2);
+        report.push("least_loaded_policy", msgs, ll);
+        if !json {
+            println!("{msgs:>8} {a2:>20.0} {ll:>20.0}");
+        }
     }
-    println!("\nCost per message is flat in workload size: the event loop is");
-    println!("O(hops x log queue) with no per-run global scans.");
+    if json {
+        println!("{}", report.render());
+    } else {
+        println!("\nCost per message is flat in workload size: the event loop is");
+        println!("O(hops x log queue) with no per-run global scans.");
+    }
 }

@@ -46,9 +46,76 @@ pub fn median_nanos_per_call<F: FnMut()>(mut f: F, batch: usize, reps: usize) ->
     samples[samples.len() / 2]
 }
 
+/// Whether the binary was invoked with `--json` (machine-readable
+/// one-line output instead of the human table). `ci.sh`/`bench.sh`
+/// use this to assemble `BENCH_results.json`.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Accumulates `(series, size, value)` measurements and renders them
+/// as one JSON line:
+///
+/// ```json
+/// {"bench":"routing_algorithms","unit":"ns_per_route","results":
+///  [{"series":"algorithm1","size":8,"value":154.2}, …]}
+/// ```
+///
+/// No escaping is performed, so series/bench/unit names must stay
+/// `[a-z0-9_]` — which they do, being Rust identifiers.
+#[derive(Debug, Clone)]
+pub struct JsonReport {
+    bench: &'static str,
+    unit: &'static str,
+    entries: Vec<String>,
+}
+
+impl JsonReport {
+    /// An empty report for one bench binary.
+    pub fn new(bench: &'static str, unit: &'static str) -> Self {
+        Self {
+            bench,
+            unit,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records the median for one `(series, size)` cell.
+    pub fn push(&mut self, series: &str, size: usize, value: f64) {
+        self.entries.push(format!(
+            "{{\"series\":\"{series}\",\"size\":{size},\"value\":{value:.1}}}"
+        ));
+    }
+
+    /// The report as a single JSON line.
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"unit\":\"{}\",\"results\":[{}]}}",
+            self.bench,
+            self.unit,
+            self.entries.join(",")
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_report_renders_a_flat_object() {
+        let mut r = JsonReport::new("demo", "ns_per_call");
+        r.push("fast", 8, 12.34);
+        r.push("slow", 32, 5678.9);
+        let line = r.render();
+        assert_eq!(
+            line,
+            "{\"bench\":\"demo\",\"unit\":\"ns_per_call\",\"results\":[\
+             {\"series\":\"fast\",\"size\":8,\"value\":12.3},\
+             {\"series\":\"slow\",\"size\":32,\"value\":5678.9}]}"
+        );
+        assert!(!line.contains('\n'));
+    }
 
     #[test]
     fn random_word_is_deterministic() {

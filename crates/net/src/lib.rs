@@ -22,7 +22,12 @@
 //! * [`record`] — pluggable observability: a [`Recorder`] sink trait fed
 //!   span-style [`NetEvent`]s by [`Simulation::run_recorded`], with
 //!   in-memory histogram/counter aggregation ([`InMemoryRecorder`]) and
-//!   line-delimited JSON export ([`record::JsonlRecorder`]).
+//!   line-delimited JSON export ([`record::JsonlRecorder`]);
+//! * [`telemetry`] — bounded-memory aggregation for production-scale
+//!   runs: `O(1)`-record log-bucketed histograms ([`LogHistogram`]),
+//!   per-link/per-node accumulators ([`Telemetry`]), periodic progress
+//!   snapshots ([`SnapshotRecorder`]), and Chrome trace-event export
+//!   ([`ChromeTraceRecorder`]).
 //!
 //! Everything is deterministic given the seed in [`SimConfig`].
 //!
@@ -49,6 +54,7 @@ pub mod record;
 pub mod router;
 pub mod sim;
 pub mod stats;
+pub mod telemetry;
 pub mod workload;
 
 pub use message::{ControlCode, Message};
@@ -60,3 +66,4 @@ pub use sim::{
     TraceEvent, TraceKind,
 };
 pub use stats::{Histogram, SimReport};
+pub use telemetry::{ChromeTraceRecorder, LogHistogram, SnapshotRecorder, Telemetry};

@@ -163,6 +163,32 @@ pub enum NetEvent {
     },
 }
 
+impl NetEvent {
+    /// The simulator tick the event carries.
+    pub fn time(&self) -> u64 {
+        match self {
+            NetEvent::Inject { time, .. }
+            | NetEvent::WildcardResolved { time, .. }
+            | NetEvent::Forward { time, .. }
+            | NetEvent::Reroute { time, .. }
+            | NetEvent::Deliver { time, .. }
+            | NetEvent::Drop { time, .. } => *time,
+        }
+    }
+
+    /// The traffic index of the message the event belongs to.
+    pub fn message(&self) -> usize {
+        match self {
+            NetEvent::Inject { message, .. }
+            | NetEvent::WildcardResolved { message, .. }
+            | NetEvent::Forward { message, .. }
+            | NetEvent::Reroute { message, .. }
+            | NetEvent::Deliver { message, .. }
+            | NetEvent::Drop { message, .. } => *message,
+        }
+    }
+}
+
 /// A sink for simulation events.
 ///
 /// Implementations are driven synchronously from the event loop, in
@@ -757,6 +783,92 @@ mod tests {
             let line = render_json(&event);
             let back = parse_event(2, &line).unwrap();
             assert_eq!(back, event, "{line}");
+        }
+    }
+
+    #[test]
+    fn time_and_message_accessors_cover_every_variant() {
+        let times: Vec<u64> = sample_events().iter().map(NetEvent::time).collect();
+        assert_eq!(times, [0, 2, 2, 4, 5, 6]);
+        let messages: Vec<usize> = sample_events().iter().map(NetEvent::message).collect();
+        assert_eq!(messages, [0, 0, 0, 1, 0, 1]);
+    }
+
+    /// Exhaustive serializer/parser round-trip: every [`NetEvent`]
+    /// variant, every [`DropReason`], every [`WildcardPolicy`], both
+    /// shift kinds, digit-boundary addresses (digit `d−1`, including
+    /// the dot-separated form for `d > 10`), and `u64::MAX` /
+    /// `usize::MAX` numeric fields.
+    #[test]
+    fn jsonl_round_trips_exhaustively() {
+        let radixes: [(u8, &str, &str); 3] = [
+            (2, "0111", "1110"),
+            (10, "0919", "9090"),
+            (12, "11.0.3.11", "0.11.11.5"),
+        ];
+        for (d, a, b) in radixes {
+            let x = Word::parse(d, a).unwrap();
+            let y = Word::parse(d, b).unwrap();
+            let mut events = vec![NetEvent::Inject {
+                time: u64::MAX,
+                message: usize::MAX,
+                source: x.clone(),
+                destination: y.clone(),
+                route_len: usize::MAX,
+                shortest: 0,
+            }];
+            for shift in [ShiftKind::Left, ShiftKind::Right] {
+                for policy in WildcardPolicy::all() {
+                    events.push(NetEvent::WildcardResolved {
+                        time: 0,
+                        message: 7,
+                        at: x.clone(),
+                        shift,
+                        digit: d - 1,
+                        policy,
+                    });
+                }
+            }
+            events.push(NetEvent::Forward {
+                time: u64::MAX - 1,
+                message: 0,
+                hop: usize::MAX,
+                from: x.clone(),
+                to: y.clone(),
+                departs: u64::MAX,
+                arrives: u64::MAX,
+                queue_wait: u64::MAX,
+                queue_depth: usize::MAX,
+            });
+            events.push(NetEvent::Reroute {
+                time: 1,
+                message: 0,
+                at: y.clone(),
+            });
+            events.push(NetEvent::Deliver {
+                time: u64::MAX,
+                message: usize::MAX,
+                hops: usize::MAX,
+                latency: u64::MAX,
+                shortest: usize::MAX,
+            });
+            for reason in [
+                DropReason::FaultySource,
+                DropReason::NoRoute,
+                DropReason::FaultyNode,
+                DropReason::DeadLink,
+            ] {
+                events.push(NetEvent::Drop {
+                    time: u64::MAX,
+                    message: 3,
+                    reason,
+                });
+            }
+            for event in events {
+                let line = render_json(&event);
+                let back = parse_event(d, &line).unwrap_or_else(|e| panic!("d={d}: {e} in {line}"));
+                assert_eq!(back, event, "d={d}: {line}");
+            }
         }
     }
 

@@ -1,0 +1,397 @@
+//! Bounded-memory log-bucketed histogram.
+//!
+//! The exact [`Histogram`](crate::stats::Histogram) keeps one
+//! `BTreeMap` bucket per distinct value — perfect for the small
+//! integers the simulator produces today, but its memory grows with
+//! the number of distinct observations and every `record` pays a tree
+//! walk. [`LogHistogram`] is the production-scale counterpart: a fixed
+//! bucket layout (exact below 64, then 64 linear sub-buckets per
+//! power of two), `O(1)` record via bit tricks, at most a few
+//! thousand `u64` counters regardless of traffic, and quantiles
+//! correct to well under 2% relative error. See
+//! `docs/adr/0002-exact-vs-log-bucketed-histograms.md` for why both
+//! exist.
+
+use std::fmt;
+
+/// Number of linear sub-buckets per power-of-two range, as a shift.
+const SUB_BITS: u32 = 6;
+/// Values below `SUB` (64) get one exact bucket each.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets needed to cover all of `u64`.
+const MAX_BUCKETS: usize = SUB as usize + (64 - SUB_BITS as usize) * SUB as usize;
+
+/// A log-bucketed histogram over `u64` observations with `O(1)` record
+/// and bounded memory.
+///
+/// Layout: values `0..64` are exact; every range `[2^e, 2^(e+1))` for
+/// `e ≥ 6` is split into 64 equal sub-buckets. A bucket of width `w`
+/// starting at `lo ≥ 64·w` reports its midpoint, so any reported
+/// value (and any quantile) is within `w/2 / lo ≤ 1/128 ≈ 0.8%` of the
+/// truth — comfortably inside the documented
+/// [`LogHistogram::MAX_RELATIVE_ERROR`]. `count`, `sum` (hence
+/// `mean`), `min` and `max` are tracked exactly.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_net::telemetry::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in 0..1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.mean(), 499.5);
+/// let p50 = h.percentile(50.0).unwrap() as f64;
+/// assert!((p50 - 500.0).abs() / 500.0 <= LogHistogram::MAX_RELATIVE_ERROR);
+/// assert_eq!(h.max(), Some(999));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LogHistogram {
+    /// Bucket counters, grown lazily up to [`MAX_BUCKETS`].
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Index of the bucket holding `v`.
+#[inline]
+fn index_of(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        // e = floor(log2 v) >= SUB_BITS; the top SUB_BITS+1 bits of v
+        // are in [SUB, 2*SUB) and select the sub-bucket.
+        let e = 63 - v.leading_zeros();
+        let sub = ((v >> (e - SUB_BITS)) - SUB) as usize;
+        (e - SUB_BITS) as usize * SUB as usize + SUB as usize + sub
+    }
+}
+
+/// Smallest value that lands in bucket `idx`.
+#[inline]
+fn lower_bound(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        idx as u64
+    } else {
+        let m = idx - SUB as usize;
+        let shift = (m / SUB as usize) as u32;
+        let sub = (m % SUB as usize) as u64;
+        (SUB + sub) << shift
+    }
+}
+
+/// Width of bucket `idx` (1 in the exact region).
+#[inline]
+fn width(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        1
+    } else {
+        1u64 << ((idx - SUB as usize) / SUB as usize)
+    }
+}
+
+/// The midpoint reported for bucket `idx`.
+#[inline]
+fn representative(idx: usize) -> u64 {
+    let w = width(idx);
+    lower_bound(idx) + (w - 1) / 2
+}
+
+impl LogHistogram {
+    /// Worst-case relative error of any reported quantile or bucket
+    /// midpoint: `1/128`.
+    pub const MAX_RELATIVE_ERROR: f64 = 1.0 / 128.0;
+
+    /// An empty histogram. Allocates nothing until the first record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation. `O(1)`: a few bit operations and one
+    /// array increment (plus at most one amortized `Vec` growth, capped
+    /// at 3 776 slots ≈ 30 KiB).
+    pub fn record(&mut self, value: u64) {
+        let idx = index_of(value);
+        debug_assert!(idx < MAX_BUCKETS);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Number of observations (exact).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observations (exact).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean (exact: `sum` and `count` are not bucketed), or
+    /// 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Smallest observation (exact), `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (exact), `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Nearest-rank percentile, reported as the midpoint of the bucket
+    /// holding the true rank-`⌈p/100·n⌉` value, clamped into
+    /// `[min, max]`. Within [`LogHistogram::MAX_RELATIVE_ERROR`] of
+    /// the exact answer; exact for values below 64, and exact at the
+    /// rank edges (p0 is `min`, p100 is `max`). `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile must lie in [0, 100]"
+        );
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        // The extreme ranks are tracked exactly; report them as such
+        // rather than as bucket midpoints.
+        if rank <= 1 {
+            return Some(self.min);
+        }
+        if rank >= self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen >= rank {
+                return Some(representative(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Population variance over bucket midpoints (within the bucket
+    /// error of the exact value; exact when all values are below 64).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let acc: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| n as f64 * (representative(idx) as f64 - mean).powi(2))
+            .sum();
+        acc / self.count as f64
+    }
+
+    /// Population standard deviation (same approximation as
+    /// [`LogHistogram::variance`]).
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Iterates non-empty buckets as `(lowest value, highest value,
+    /// count)` in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| (lower_bound(idx), lower_bound(idx) + (width(idx) - 1), n))
+    }
+
+    /// Folds another histogram into this one (used when aggregating
+    /// per-shard telemetry). Exact fields stay exact.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (slot, &n) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += n;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// One-line summary: `mean m, p50 a, p90 b, p99 c, max d`.
+    pub fn summary(&self) -> String {
+        format!(
+            "mean {:.4}, p50 {}, p90 {}, p99 {}, max {}",
+            self.mean(),
+            self.percentile(50.0).unwrap_or(0),
+            self.percentile(90.0).unwrap_or(0),
+            self.percentile(99.0).unwrap_or(0),
+            self.max().unwrap_or(0)
+        )
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    /// Renders one `lo..hi  count  bar` row per non-empty bucket, bar
+    /// scaled to the fullest bucket; empty histograms render as
+    /// `(empty)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return writeln!(f, "  (empty)");
+        }
+        const BAR: usize = 40;
+        let fullest = self.counts.iter().copied().max().expect("non-empty");
+        for (lo, hi, n) in self.iter() {
+            let len = ((n as f64 / fullest as f64) * BAR as f64).ceil() as usize;
+            let label = if lo == hi {
+                lo.to_string()
+            } else {
+                format!("{lo}..{hi}")
+            };
+            writeln!(f, "  {label:>14}  {n:>8}  {}", "#".repeat(len))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every bucket's lower bound is the previous bucket's upper
+        // bound + 1, and index_of inverts lower_bound.
+        for idx in 0..MAX_BUCKETS {
+            let lo = lower_bound(idx);
+            assert_eq!(index_of(lo), idx, "lo {lo}");
+            let hi = lo + (width(idx) - 1);
+            assert_eq!(index_of(hi), idx, "hi {hi}");
+            if idx + 1 < MAX_BUCKETS {
+                assert_eq!(lower_bound(idx + 1), hi.wrapping_add(1));
+            }
+        }
+        assert_eq!(index_of(u64::MAX), MAX_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        for p in [0.0, 25.0, 50.0, 75.0, 100.0] {
+            let rank = ((p / 100.0) * SUB as f64).ceil().max(1.0) as u64 - 1;
+            assert_eq!(h.percentile(p), Some(rank), "p{p}");
+        }
+        assert_eq!(h.mean(), (SUB - 1) as f64 / 2.0);
+    }
+
+    #[test]
+    fn extremes_are_tracked_exactly() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.count(), 2);
+        // The reported p100 is clamped to the exact max.
+        assert_eq!(h.percentile(100.0), Some(u64::MAX));
+        assert_eq!(h.percentile(0.0), Some(0));
+    }
+
+    #[test]
+    fn quantiles_stay_within_the_error_bound() {
+        // Geometric sweep over 20 octaves: every reported percentile
+        // is within MAX_RELATIVE_ERROR of a value actually recorded in
+        // that bucket.
+        let mut h = LogHistogram::new();
+        let mut v = 1u64;
+        let mut values = Vec::new();
+        while v < (1 << 20) {
+            h.record(v);
+            values.push(v);
+            v = v * 21 / 16 + 1;
+        }
+        values.sort_unstable();
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0] {
+            let rank = ((p / 100.0) * values.len() as f64).ceil().max(1.0) as usize - 1;
+            let exact = values[rank] as f64;
+            let approx = h.percentile(p).unwrap() as f64;
+            assert!(
+                (approx - exact).abs() <= exact * LogHistogram::MAX_RELATIVE_ERROR,
+                "p{p}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in [3u64, 70, 1_000_000] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [0u64, 500, 1 << 40] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        a.merge(&LogHistogram::new());
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn display_renders_ranges() {
+        let mut h = LogHistogram::new();
+        assert!(h.to_string().contains("(empty)"));
+        h.record(5);
+        h.record(10_000);
+        let text = h.to_string();
+        assert!(text.contains("  5"), "{text}");
+        assert!(text.contains(".."), "{text}");
+    }
+}

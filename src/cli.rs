@@ -12,7 +12,10 @@ use debruijn_core::distance::undirected::Engine;
 use debruijn_core::{directed_average_distance, distance, profile, routing, DeBruijn, Word};
 use debruijn_graph::{census, diameter, euler, DebruijnGraph};
 use debruijn_net::record::{FanoutRecorder, InMemoryRecorder, JsonlRecorder};
+use debruijn_net::telemetry::{ChromeTraceRecorder, SnapshotRecorder};
 use debruijn_net::{workload, RouterKind, SimConfig, Simulation, WildcardPolicy};
+
+use crate::trace::{self, TraceMetric};
 
 /// A parsed `dbr` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,7 +72,7 @@ pub enum Command {
         samples: usize,
     },
     /// `dbr simulate <d> <k> [--messages N] [--router R] [--policy P] [--seed S]
-    /// [--metrics] [--trace FILE]`
+    /// [--metrics] [--trace FILE] [--progress N] [--chrome-trace FILE]`
     Simulate {
         /// Digit radix.
         d: u8,
@@ -87,6 +90,16 @@ pub enum Command {
         metrics: bool,
         /// Write every simulation event to this file as JSON lines.
         trace: Option<String>,
+        /// Print an in-flight snapshot to stderr every N simulated ticks.
+        progress: Option<u64>,
+        /// Write a Chrome trace-event (Perfetto) file of the run.
+        chrome_trace: Option<String>,
+    },
+    /// `dbr trace <summary|links|hist|diff|export> …` — offline
+    /// analysis of `--trace` JSONL files.
+    Trace {
+        /// Which analysis to run.
+        action: TraceAction,
     },
     /// `dbr multipath <d> <X> <Y>`
     Multipath {
@@ -121,6 +134,58 @@ pub enum Command {
     Help,
 }
 
+/// One `dbr trace` analysis over JSONL trace files.
+///
+/// Every action takes `[--radix D]` to override the radix inferred
+/// from the file's addresses (see [`trace::infer_radix`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceAction {
+    /// `dbr trace summary <file>` — reconstruct the `--metrics` report.
+    Summary {
+        /// Trace file path.
+        file: String,
+        /// Radix override.
+        radix: Option<u8>,
+    },
+    /// `dbr trace links <file> [--top N]` — hottest-links table.
+    Links {
+        /// Trace file path.
+        file: String,
+        /// Radix override.
+        radix: Option<u8>,
+        /// How many links to show.
+        top: usize,
+    },
+    /// `dbr trace hist <metric> <file>` — ASCII histogram of one metric.
+    Hist {
+        /// Which metric to render.
+        metric: TraceMetric,
+        /// Trace file path.
+        file: String,
+        /// Radix override.
+        radix: Option<u8>,
+    },
+    /// `dbr trace diff <A> <B>` — per-metric deltas between two runs.
+    Diff {
+        /// Baseline trace file.
+        a: String,
+        /// Comparison trace file.
+        b: String,
+        /// Radix override (applied to both files).
+        radix: Option<u8>,
+    },
+    /// `dbr trace export <in> <out>` — convert to Chrome trace-event
+    /// JSON.
+    Export {
+        /// Input JSONL trace.
+        input: String,
+        /// Output Chrome-trace path.
+        output: String,
+        /// Radix override.
+        radix: Option<u8>,
+    },
+}
+
 /// Usage text printed by `dbr help` and on parse errors.
 pub const USAGE: &str = "\
 dbr — de Bruijn network routing toolbox
@@ -133,7 +198,14 @@ USAGE:
   dbr average <d> <k> [--directed] [--samples N]
   dbr simulate <d> <k> [--messages N] [--router trivial|alg1|alg2|alg4]
                        [--policy zero|random|round-robin|least-loaded] [--seed S]
-                       [--metrics] [--trace FILE]
+                       [--metrics] [--trace FILE] [--progress N]
+                       [--chrome-trace FILE]
+  dbr trace summary <file>          reconstruct the --metrics report
+  dbr trace links <file> [--top N]  hottest links, utilization table
+  dbr trace hist <metric> <file>    ASCII histogram (hops|latency|stretch|
+                                    queue-wait|queue-depth|per-hop-latency)
+  dbr trace diff <A> <B>            per-metric deltas between two runs
+  dbr trace export <in> <out>       convert to Chrome trace-event JSON
   dbr multipath <d> <X> <Y>
   dbr gdb <d> <N> <i> <j>
   dbr disjoint <d> <X> <Y>
@@ -144,12 +216,29 @@ Addresses are digit strings (\"0110\") or dot-separated for d > 10
   dbr route 2 010011 110100
   dbr average 2 8 --directed
   dbr simulate 2 8 --messages 5000 --router alg4 --policy least-loaded --metrics
+  dbr simulate 2 8 --messages 5000 --trace run.jsonl --progress 50
+  dbr trace summary run.jsonl
 
 --metrics prints exact histograms (hops, stretch over D(X,Y), per-hop
 latency, queue wait/depth, end-to-end latency) and counters (wildcard
 resolutions per policy and digit, drops by reason, distance-engine and
-convergecast profile); --trace FILE streams every event as JSON lines.
-See docs/OBSERVABILITY.md.
+convergecast profile); --trace FILE streams every event as JSON lines
+that every `dbr trace` command can analyse offline (they infer the
+radix from the file; pass --radix D to override); --progress N prints
+an in-flight snapshot to stderr every N ticks; --chrome-trace FILE
+writes a timeline for https://ui.perfetto.dev. See
+docs/OBSERVABILITY.md.
+";
+
+/// Usage text for the `dbr trace` family, shown on trace parse errors.
+pub const TRACE_USAGE: &str = "\
+USAGE:
+  dbr trace summary <file> [--radix D]
+  dbr trace links <file> [--top N] [--radix D]
+  dbr trace hist <metric> <file> [--radix D]
+      metrics: hops|latency|stretch|queue-wait|queue-depth|per-hop-latency
+  dbr trace diff <A> <B> [--radix D]
+  dbr trace export <in> <out> [--radix D]
 ";
 
 /// Parses command-line arguments (without the program name).
@@ -235,6 +324,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 "--seed",
                 "--metrics",
                 "--trace",
+                "--progress",
+                "--chrome-trace",
             ])?;
             let [d, k] = positional::<2>(&pos, "simulate <d> <k>")?;
             Ok(Command::Simulate {
@@ -266,7 +357,76 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .unwrap_or(0xDB),
                 metrics: flags.has("--metrics")?,
                 trace: flags.value("--trace")?.map(String::from),
+                progress: flags
+                    .value("--progress")?
+                    .map(|v| match v.parse::<u64>() {
+                        Ok(n) if n > 0 => Ok(n),
+                        _ => Err(format!("bad progress interval '{v}' (need ticks >= 1)")),
+                    })
+                    .transpose()?,
+                chrome_trace: flags.value("--chrome-trace")?.map(String::from),
             })
+        }
+        "trace" => {
+            let (pos, flags) = split_flags(&rest);
+            let (&action, pos) = pos
+                .split_first()
+                .ok_or_else(|| format!("missing trace action\n\n{TRACE_USAGE}"))?;
+            let radix = flags.value("--radix")?.map(parse_radix).transpose()?;
+            let action = match action {
+                "summary" => {
+                    flags.expect_only(&["--radix"])?;
+                    let [file] = positional::<1>(pos, "trace summary <file>")?;
+                    TraceAction::Summary {
+                        file: file.to_string(),
+                        radix,
+                    }
+                }
+                "links" => {
+                    flags.expect_only(&["--radix", "--top"])?;
+                    let [file] = positional::<1>(pos, "trace links <file>")?;
+                    TraceAction::Links {
+                        file: file.to_string(),
+                        radix,
+                        top: flags
+                            .value("--top")?
+                            .map(|v| parse_num(v, "top"))
+                            .transpose()?
+                            .unwrap_or(10),
+                    }
+                }
+                "hist" => {
+                    flags.expect_only(&["--radix"])?;
+                    let [metric, file] = positional::<2>(pos, "trace hist <metric> <file>")?;
+                    TraceAction::Hist {
+                        metric: TraceMetric::parse(metric)?,
+                        file: file.to_string(),
+                        radix,
+                    }
+                }
+                "diff" => {
+                    flags.expect_only(&["--radix"])?;
+                    let [a, b] = positional::<2>(pos, "trace diff <A> <B>")?;
+                    TraceAction::Diff {
+                        a: a.to_string(),
+                        b: b.to_string(),
+                        radix,
+                    }
+                }
+                "export" => {
+                    flags.expect_only(&["--radix"])?;
+                    let [input, output] = positional::<2>(pos, "trace export <in> <out>")?;
+                    TraceAction::Export {
+                        input: input.to_string(),
+                        output: output.to_string(),
+                        radix,
+                    }
+                }
+                other => {
+                    return Err(format!("unknown trace action '{other}'\n\n{TRACE_USAGE}"));
+                }
+            };
+            Ok(Command::Trace { action })
         }
         "multipath" => {
             let (pos, flags) = split_flags(&rest);
@@ -449,6 +609,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             seed,
             metrics,
             trace,
+            progress,
+            chrome_trace,
         } => {
             let space = space_of(*d, *k)?;
             let config = SimConfig {
@@ -470,6 +632,16 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                         .map_err(|e| format!("cannot create trace file '{path}': {e}"))
                 })
                 .transpose()?;
+            let mut chrome = chrome_trace
+                .as_ref()
+                .map(|path| {
+                    std::fs::File::create(path)
+                        .map(|f| ChromeTraceRecorder::new(std::io::BufWriter::new(f)))
+                        .map_err(|e| format!("cannot create chrome trace '{path}': {e}"))
+                })
+                .transpose()?;
+            let mut snapshots =
+                progress.map(|every| SnapshotRecorder::new(every, std::io::stderr()));
             let report = {
                 let mut fan = FanoutRecorder::new();
                 if *metrics {
@@ -478,8 +650,17 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 if let Some(j) = jsonl.as_mut() {
                     fan.push(j);
                 }
+                if let Some(c) = chrome.as_mut() {
+                    fan.push(c);
+                }
+                if let Some(s) = snapshots.as_mut() {
+                    fan.push(s);
+                }
                 sim.run_recorded(&traffic, &mut fan)
             };
+            if let Some(s) = snapshots {
+                s.finish().map_err(|e| format!("writing snapshots: {e}"))?;
+            }
             let profile_used = profile::snapshot().since(&profile_before);
 
             let loads = report.link_load_summary();
@@ -540,7 +721,55 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 )
                 .expect("write");
             }
+            if let Some(c) = chrome {
+                c.finish()
+                    .and_then(|mut w| std::io::Write::flush(&mut w))
+                    .map_err(|e| format!("writing chrome trace: {e}"))?;
+                writeln!(
+                    out,
+                    "chrome trace written to {}",
+                    chrome_trace.as_deref().unwrap_or_default()
+                )
+                .expect("write");
+            }
         }
+        Command::Trace { action } => match action {
+            TraceAction::Summary { file, radix } => {
+                let t = trace::load(file, *radix)?;
+                out.push_str(&trace::summary(&t));
+            }
+            TraceAction::Links { file, radix, top } => {
+                let t = trace::load(file, *radix)?;
+                out.push_str(&trace::links(&t, *top));
+            }
+            TraceAction::Hist {
+                metric,
+                file,
+                radix,
+            } => {
+                let t = trace::load(file, *radix)?;
+                out.push_str(&trace::hist(&t, *metric));
+            }
+            TraceAction::Diff { a, b, radix } => {
+                let ta = trace::load(a, *radix)?;
+                let tb = trace::load(b, *radix)?;
+                out.push_str(&trace::diff(&ta, &tb));
+            }
+            TraceAction::Export {
+                input,
+                output,
+                radix,
+            } => {
+                let t = trace::load(input, *radix)?;
+                let file = std::fs::File::create(output)
+                    .map_err(|e| format!("cannot create '{output}': {e}"))?;
+                let events = t.events.len();
+                trace::export(&t, std::io::BufWriter::new(file))
+                    .and_then(|mut w| std::io::Write::flush(&mut w))
+                    .map_err(|e| format!("writing '{output}': {e}"))?;
+                writeln!(out, "exported {events} event(s) to {output}").expect("write");
+            }
+        },
         Command::Multipath { d, x, y } => {
             let (x, y) = parse_pair(*d, x, y)?;
             let routes = routing::all_shortest_routes(&x, &y);
@@ -847,6 +1076,164 @@ mod tests {
         }
         assert_eq!(injects, 50, "{text}");
         assert_eq!(delivers, 50);
+    }
+
+    #[test]
+    fn parses_trace_subcommands() {
+        assert_eq!(
+            parse_line("trace summary run.jsonl").unwrap(),
+            Command::Trace {
+                action: TraceAction::Summary {
+                    file: "run.jsonl".into(),
+                    radix: None,
+                }
+            }
+        );
+        assert_eq!(
+            parse_line("trace links run.jsonl --top 3 --radix 12").unwrap(),
+            Command::Trace {
+                action: TraceAction::Links {
+                    file: "run.jsonl".into(),
+                    radix: Some(12),
+                    top: 3,
+                }
+            }
+        );
+        assert!(matches!(
+            parse_line("trace hist latency run.jsonl").unwrap(),
+            Command::Trace {
+                action: TraceAction::Hist {
+                    metric: TraceMetric::Latency,
+                    ..
+                }
+            }
+        ));
+        assert!(matches!(
+            parse_line("trace diff a.jsonl b.jsonl").unwrap(),
+            Command::Trace {
+                action: TraceAction::Diff { .. }
+            }
+        ));
+        assert!(matches!(
+            parse_line("trace export run.jsonl run.json").unwrap(),
+            Command::Trace {
+                action: TraceAction::Export { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn trace_errors_fail_loudly_with_usage() {
+        let err = parse_line("trace frobnicate run.jsonl").unwrap_err();
+        assert!(err.contains("unknown trace action 'frobnicate'"), "{err}");
+        assert!(err.contains("dbr trace summary"), "{err}");
+        let err = parse_line("trace").unwrap_err();
+        assert!(err.contains("missing trace action"), "{err}");
+        // Misspelled and misplaced flags are rejected, not ignored.
+        let err = parse_line("trace links run.jsonl --topp 3").unwrap_err();
+        assert!(err.contains("unexpected flag --topp"), "{err}");
+        assert!(parse_line("trace summary run.jsonl --top 3").is_err());
+        let err = parse_line("trace hist hopss run.jsonl").unwrap_err();
+        assert!(err.contains("unknown metric 'hopss'"), "{err}");
+        // Wrong arity names the expected grammar.
+        let err = parse_line("trace diff only-one.jsonl").unwrap_err();
+        assert!(err.contains("trace diff <A> <B>"), "{err}");
+        assert!(parse_line("trace summary run.jsonl --radix x").is_err());
+    }
+
+    #[test]
+    fn simulate_parses_progress_and_chrome_trace() {
+        let cmd = parse_line("simulate 2 6 --progress 25 --chrome-trace t.json").unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Simulate {
+                progress: Some(25),
+                ..
+            }
+        ));
+        assert!(parse_line("simulate 2 6 --progress 0").is_err());
+        assert!(parse_line("simulate 2 6 --progress x").is_err());
+        assert!(parse_line("simulate 2 6 --chrome-tracee t.json").is_err());
+    }
+
+    #[test]
+    fn help_documents_trace_family() {
+        let out = run(&Command::Help).unwrap();
+        for needle in [
+            "dbr trace summary",
+            "dbr trace diff",
+            "--chrome-trace",
+            "--progress",
+        ] {
+            assert!(out.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn trace_summary_reproduces_live_metrics() {
+        // End-to-end: simulate with --trace + --metrics, then check the
+        // offline reconstruction repeats the live histogram block.
+        let path = std::env::temp_dir().join(format!("dbr-cli-trace-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        let line =
+            format!("simulate 2 5 --messages 150 --router alg4 --metrics --trace {path_str}");
+        let live = run(&parse_line(&line).unwrap()).unwrap();
+        let offline = run(&parse_line(&format!("trace summary {path_str}")).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        // The whole metrics block matches byte for byte.
+        let live_metrics = live.split("== metrics ==").nth(1).unwrap();
+        let offline_metrics = offline.split("== metrics ==").nth(1).unwrap();
+        let live_block = live_metrics.split("== core profile").next().unwrap();
+        assert_eq!(live_block.trim_end(), offline_metrics.trim_end());
+        // And so do the headline report lines.
+        for needle in ["delivered:    150/150", "mean hops:", "mean latency:"] {
+            let line = live.lines().find(|l| l.starts_with(needle)).unwrap();
+            assert!(offline.contains(line), "{offline}\nmissing {line}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_flag_writes_perfetto_json() {
+        let dir = std::env::temp_dir();
+        let chrome = dir.join(format!("dbr-cli-chrome-{}.json", std::process::id()));
+        let chrome_str = chrome.to_str().unwrap().to_string();
+        let line = format!("simulate 2 4 --messages 40 --chrome-trace {chrome_str}");
+        let out = run(&parse_line(&line).unwrap()).unwrap();
+        assert!(out.contains("chrome trace written to"), "{out}");
+        let text = std::fs::read_to_string(&chrome).unwrap();
+        std::fs::remove_file(&chrome).ok();
+        assert!(text.starts_with("[\n{"), "{text}");
+        assert!(text.trim_end().ends_with(']'), "{text}");
+        assert!(text.contains("\"thread_name\""), "{text}");
+        assert!(text.contains("\"cat\":\"message\""), "{text}");
+    }
+
+    #[test]
+    fn trace_export_matches_live_chrome_trace() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let jsonl = dir.join(format!("dbr-cli-exp-{pid}.jsonl"));
+        let live = dir.join(format!("dbr-cli-exp-live-{pid}.json"));
+        let offline = dir.join(format!("dbr-cli-exp-off-{pid}.json"));
+        let (jsonl_s, live_s, offline_s) = (
+            jsonl.to_str().unwrap(),
+            live.to_str().unwrap(),
+            offline.to_str().unwrap(),
+        );
+        let line = format!(
+            "simulate 2 4 --messages 30 --seed 5 --trace {jsonl_s} --chrome-trace {live_s}"
+        );
+        run(&parse_line(&line).unwrap()).unwrap();
+        let out =
+            run(&parse_line(&format!("trace export {jsonl_s} {offline_s}")).unwrap()).unwrap();
+        assert!(out.contains("exported"), "{out}");
+        let live_text = std::fs::read_to_string(&live).unwrap();
+        let offline_text = std::fs::read_to_string(&offline).unwrap();
+        for p in [&jsonl, &live, &offline] {
+            std::fs::remove_file(p).ok();
+        }
+        // Live and offline exports of the same run are identical.
+        assert_eq!(live_text, offline_text);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod cli;
+pub mod trace;
 
 pub use debruijn_analysis as analysis;
 pub use debruijn_core as core;

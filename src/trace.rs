@@ -1,0 +1,521 @@
+//! Offline analysis of JSONL simulation traces.
+//!
+//! `dbr simulate --trace FILE` streams every [`NetEvent`] as one JSON
+//! line; this module turns such files back into reports without
+//! re-running the simulation — the `dbr trace` subcommand family:
+//!
+//! * [`summary`] reconstructs the full `--metrics` report (histograms
+//!   and counters) from a trace, reproducing the live numbers exactly;
+//! * [`links`] ranks the hottest links with utilization, queue wait and
+//!   depth high-water marks;
+//! * [`hist`] renders one chosen metric as an ASCII histogram;
+//! * [`diff`] compares two runs metric by metric;
+//! * [`export`] converts a trace to the Chrome trace-event format for
+//!   <https://ui.perfetto.dev>.
+//!
+//! Traces do not record the digit radix, so [`load`] infers it from
+//! the addresses in the file (the smallest radix that can express
+//! every digit seen); pass `--radix` to override when a run never
+//! exercised its highest digits.
+
+use std::fmt::Write as _;
+use std::io;
+
+use debruijn_analysis::Table;
+use debruijn_net::record::parse_event;
+use debruijn_net::telemetry::ChromeTraceRecorder;
+use debruijn_net::{InMemoryRecorder, NetEvent, Recorder, Telemetry};
+
+/// A parsed trace file: the radix used to decode addresses plus the
+/// event stream in file order.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Digit radix the addresses were decoded with.
+    pub d: u8,
+    /// Events in file order (injections first, then time-ordered
+    /// processing, as the simulator wrote them).
+    pub events: Vec<NetEvent>,
+}
+
+/// Reads and parses a JSONL trace file.
+///
+/// With `radix: None` the radix is inferred via [`infer_radix`].
+///
+/// # Errors
+///
+/// Returns a message naming the file and line on I/O or parse errors.
+pub fn load(path: &str, radix: Option<u8>) -> Result<Trace, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace '{path}': {e}"))?;
+    let d = match radix {
+        Some(d) => d,
+        None => infer_radix(&text),
+    };
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = parse_event(d, line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        events.push(event);
+    }
+    Ok(Trace { d, events })
+}
+
+/// Smallest radix that can express every address digit in the trace.
+///
+/// Addresses are the only quoted JSON strings made of digits
+/// (dot-separated digit values for radices above 10); field names and
+/// enum names (`"forward"`, `"least-loaded"`, …) always contain
+/// letters. Scanning those tokens and taking `max digit + 1` (clamped
+/// to at least 2) recovers a radix every word in the file parses
+/// under. It may undershoot the radix the run was configured with if
+/// no address used the highest digits — harmless for analysis, which
+/// never enumerates the space — and `--radix` overrides it.
+pub fn infer_radix(text: &str) -> u8 {
+    let mut max_digit = 1u8;
+    for line in text.lines() {
+        // Quoted tokens are the odd-indexed pieces between '"' splits;
+        // addresses never contain escapes.
+        for (i, token) in line.split('"').enumerate() {
+            if i % 2 == 0 || token.is_empty() {
+                continue;
+            }
+            if token.bytes().all(|b| b.is_ascii_digit()) {
+                let top = token.bytes().map(|b| b - b'0').max().unwrap_or(0);
+                max_digit = max_digit.max(top);
+            } else if token.contains('.')
+                && token
+                    .split('.')
+                    .all(|part| !part.is_empty() && part.bytes().all(|b| b.is_ascii_digit()))
+            {
+                for part in token.split('.') {
+                    if let Ok(v) = part.parse::<u8>() {
+                        max_digit = max_digit.max(v);
+                    }
+                }
+            }
+        }
+    }
+    max_digit.saturating_add(1).max(2)
+}
+
+/// Replays a trace through both aggregators.
+fn aggregate(trace: &Trace) -> (InMemoryRecorder, Telemetry) {
+    let mut memory = InMemoryRecorder::new();
+    let mut telemetry = Telemetry::new();
+    for event in &trace.events {
+        memory.record(event);
+        telemetry.record(event);
+    }
+    (memory, telemetry)
+}
+
+/// Reconstructs the live report from a trace: the same headline lines
+/// `dbr simulate` prints (delivered, mean hops/latency, makespan)
+/// followed by the full `--metrics` block, byte-identical to the live
+/// run the trace came from.
+pub fn summary(trace: &Trace) -> String {
+    let (memory, telemetry) = aggregate(trace);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "events:       {} (radix {})",
+        trace.events.len(),
+        trace.d
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "delivered:    {}/{}",
+        memory.delivered, memory.injected
+    )
+    .expect("write to string");
+    writeln!(out, "mean hops:    {:.4}", memory.hops.mean()).expect("write to string");
+    writeln!(out, "mean latency: {:.4}", memory.latency.mean()).expect("write to string");
+    writeln!(out, "max latency:  {}", memory.latency.max().unwrap_or(0)).expect("write to string");
+    writeln!(out, "makespan:     {}", telemetry.last_time).expect("write to string");
+    writeln!(out, "\n== metrics ==").expect("write to string");
+    write!(out, "{memory}").expect("write to string");
+    out
+}
+
+/// Ranks the `top` hottest links (by forwards) with utilization over
+/// the run's makespan, mean queue wait and queue-depth high-water.
+pub fn links(trace: &Trace, top: usize) -> String {
+    let (_, telemetry) = aggregate(trace);
+    let horizon = telemetry.last_time;
+    let ranked = telemetry.hottest_links();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} link(s) used over {} ticks{}",
+        ranked.len(),
+        horizon,
+        match telemetry.link_imbalance() {
+            Some(r) => format!(" (max/mean load imbalance {r:.2})"),
+            None => String::new(),
+        }
+    )
+    .expect("write to string");
+    let mut table = Table::new(vec![
+        "link".into(),
+        "forwarded".into(),
+        "utilization".into(),
+        "mean wait".into(),
+        "depth hwm".into(),
+    ]);
+    for ((from, to), stat) in ranked.into_iter().take(top) {
+        table.row(vec![
+            format!("{} -> {}", telemetry.name_of(from), telemetry.name_of(to)),
+            stat.forwarded.to_string(),
+            format!("{:.1}%", stat.utilization(horizon) * 100.0),
+            format!("{:.3}", stat.mean_queue_wait()),
+            stat.queue_depth_high_water.to_string(),
+        ]);
+    }
+    write!(out, "{table}").expect("write to string");
+    out
+}
+
+/// A per-message or per-hop metric that `dbr trace hist` can render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMetric {
+    /// Hops per delivered message.
+    Hops,
+    /// End-to-end latency per delivered message, in ticks.
+    Latency,
+    /// `hops − D(X,Y)` per delivered message.
+    Stretch,
+    /// Ticks spent waiting for a busy link, per forward.
+    QueueWait,
+    /// Messages already queued on the chosen link, per forward.
+    QueueDepth,
+    /// Handover-to-arrival ticks, per forward.
+    PerHopLatency,
+}
+
+/// The metric names `dbr trace hist` accepts.
+pub const METRIC_NAMES: &str = "hops|latency|stretch|queue-wait|queue-depth|per-hop-latency";
+
+impl TraceMetric {
+    /// Parses a CLI metric name.
+    ///
+    /// # Errors
+    ///
+    /// Lists the accepted names when `s` is not one of them.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "hops" => Self::Hops,
+            "latency" => Self::Latency,
+            "stretch" => Self::Stretch,
+            "queue-wait" => Self::QueueWait,
+            "queue-depth" => Self::QueueDepth,
+            "per-hop-latency" => Self::PerHopLatency,
+            other => {
+                return Err(format!(
+                    "unknown metric '{other}' (expected {METRIC_NAMES})"
+                ))
+            }
+        })
+    }
+
+    /// The CLI name of the metric.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Hops => "hops",
+            Self::Latency => "latency",
+            Self::Stretch => "stretch",
+            Self::QueueWait => "queue-wait",
+            Self::QueueDepth => "queue-depth",
+            Self::PerHopLatency => "per-hop-latency",
+        }
+    }
+
+    fn select(self, memory: &InMemoryRecorder) -> &debruijn_net::Histogram {
+        match self {
+            Self::Hops => &memory.hops,
+            Self::Latency => &memory.latency,
+            Self::Stretch => &memory.stretch,
+            Self::QueueWait => &memory.queue_wait,
+            Self::QueueDepth => &memory.queue_depth,
+            Self::PerHopLatency => &memory.per_hop_latency,
+        }
+    }
+}
+
+/// Renders one metric of a trace as an ASCII histogram with a
+/// quantile headline.
+pub fn hist(trace: &Trace, metric: TraceMetric) -> String {
+    let (memory, _) = aggregate(trace);
+    let h = metric.select(&memory);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} over {} observation(s) (mean {:.4}, p50 {}, p90 {}, p99 {}, max {}):",
+        metric.name(),
+        h.count(),
+        h.mean(),
+        h.percentile(50.0).unwrap_or(0),
+        h.percentile(90.0).unwrap_or(0),
+        h.percentile(99.0).unwrap_or(0),
+        h.max().unwrap_or(0)
+    )
+    .expect("write to string");
+    write!(out, "{h}").expect("write to string");
+    out
+}
+
+/// Formats a float cell for the diff table.
+fn float_cell(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Signed delta between two integer cells.
+fn int_delta(a: u64, b: u64) -> String {
+    if b >= a {
+        format!("+{}", b - a)
+    } else {
+        format!("-{}", a - b)
+    }
+}
+
+/// Compares two traces metric by metric (`A` is the baseline; deltas
+/// are `B − A`).
+pub fn diff(a: &Trace, b: &Trace) -> String {
+    let (ma, ta) = aggregate(a);
+    let (mb, tb) = aggregate(b);
+    let mut table = Table::new(vec![
+        "metric".into(),
+        "A".into(),
+        "B".into(),
+        "delta".into(),
+    ]);
+    let mut int_row = |name: &str, va: u64, vb: u64| {
+        table.row(vec![
+            name.into(),
+            va.to_string(),
+            vb.to_string(),
+            int_delta(va, vb),
+        ]);
+    };
+    int_row("injected", ma.injected, mb.injected);
+    int_row("delivered", ma.delivered, mb.delivered);
+    int_row("dropped", ma.dropped(), mb.dropped());
+    int_row("reroutes", ma.reroutes, mb.reroutes);
+    int_row(
+        "wildcards",
+        ma.wildcards_resolved(),
+        mb.wildcards_resolved(),
+    );
+    int_row("makespan", ta.last_time, tb.last_time);
+    int_row("links used", ta.links.len() as u64, tb.links.len() as u64);
+    int_row(
+        "p99 latency",
+        ma.latency.percentile(99.0).unwrap_or(0),
+        mb.latency.percentile(99.0).unwrap_or(0),
+    );
+    int_row(
+        "max latency",
+        ma.latency.max().unwrap_or(0),
+        mb.latency.max().unwrap_or(0),
+    );
+    int_row(
+        "max queue depth",
+        ma.queue_depth.max().unwrap_or(0),
+        mb.queue_depth.max().unwrap_or(0),
+    );
+    let mut float_row = |name: &str, va: f64, vb: f64| {
+        table.row(vec![
+            name.into(),
+            float_cell(va),
+            float_cell(vb),
+            format!("{:+.4}", vb - va),
+        ]);
+    };
+    float_row("mean hops", ma.hops.mean(), mb.hops.mean());
+    float_row("mean stretch", ma.stretch.mean(), mb.stretch.mean());
+    float_row("mean latency", ma.latency.mean(), mb.latency.mean());
+    float_row(
+        "mean queue wait",
+        ma.queue_wait.mean(),
+        mb.queue_wait.mean(),
+    );
+    table.to_string()
+}
+
+/// Converts a trace to a Chrome trace-event JSON array (the format
+/// `chrome://tracing` and Perfetto read), returning the writer.
+///
+/// Produces the same file as running `dbr simulate --chrome-trace`
+/// live, since both feed the identical event stream to
+/// [`ChromeTraceRecorder`].
+///
+/// # Errors
+///
+/// Returns the first write error.
+pub fn export<W: io::Write>(trace: &Trace, out: W) -> io::Result<W> {
+    let mut chrome = ChromeTraceRecorder::new(out);
+    for event in &trace.events {
+        chrome.record(event);
+    }
+    chrome.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debruijn_core::Word;
+    use debruijn_net::record::render_json;
+    use debruijn_net::DropReason;
+
+    fn w(d: u8, s: &str) -> Word {
+        Word::parse(d, s).unwrap()
+    }
+
+    /// A tiny two-message stream: one delivered over one hop, one
+    /// dropped.
+    fn sample(d: u8, src: &str, dst: &str) -> Trace {
+        let events = vec![
+            NetEvent::Inject {
+                time: 0,
+                message: 0,
+                source: w(d, src),
+                destination: w(d, dst),
+                route_len: 1,
+                shortest: 1,
+            },
+            NetEvent::Inject {
+                time: 0,
+                message: 1,
+                source: w(d, dst),
+                destination: w(d, src),
+                route_len: 1,
+                shortest: 1,
+            },
+            NetEvent::Forward {
+                time: 0,
+                message: 0,
+                hop: 0,
+                from: w(d, src),
+                to: w(d, dst),
+                departs: 1,
+                arrives: 3,
+                queue_wait: 1,
+                queue_depth: 0,
+            },
+            NetEvent::Deliver {
+                time: 3,
+                message: 0,
+                hops: 1,
+                latency: 3,
+                shortest: 1,
+            },
+            NetEvent::Drop {
+                time: 4,
+                message: 1,
+                reason: DropReason::NoRoute,
+            },
+        ];
+        Trace { d, events }
+    }
+
+    fn write_jsonl(trace: &Trace, name: &str) -> String {
+        let path = std::env::temp_dir().join(format!("dbr-{name}-{}.jsonl", std::process::id()));
+        let text: String = trace.events.iter().map(|e| render_json(e) + "\n").collect();
+        std::fs::write(&path, text).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn radix_inference_reads_addresses_not_field_names() {
+        let t = sample(2, "0110", "1011");
+        let text: String = t.events.iter().map(|e| render_json(e) + "\n").collect();
+        assert_eq!(infer_radix(&text), 2);
+        let t = sample(10, "0919", "9090");
+        let text: String = t.events.iter().map(|e| render_json(e) + "\n").collect();
+        assert_eq!(infer_radix(&text), 10);
+        let t = sample(12, "11.0.3", "3.11.0");
+        let text: String = t.events.iter().map(|e| render_json(e) + "\n").collect();
+        assert_eq!(infer_radix(&text), 12);
+        // Empty traces default to binary.
+        assert_eq!(infer_radix(""), 2);
+    }
+
+    #[test]
+    fn load_round_trips_and_reports_bad_lines() {
+        let t = sample(2, "0110", "1011");
+        let path = write_jsonl(&t, "load");
+        let loaded = load(&path, None).unwrap();
+        assert_eq!(loaded.d, 2);
+        assert_eq!(loaded.events, t.events);
+        std::fs::write(&path, "{\"type\":\"nonsense\"}\n").unwrap();
+        let err = load(&path, None).unwrap_err();
+        assert!(err.contains(":1:"), "{err}");
+        std::fs::remove_file(&path).ok();
+        assert!(load("/no/such/file.jsonl", None).is_err());
+    }
+
+    #[test]
+    fn summary_reconstructs_counters_and_histograms() {
+        let out = summary(&sample(2, "0110", "1011"));
+        assert!(out.contains("events:       5 (radix 2)"), "{out}");
+        assert!(out.contains("delivered:    1/2"), "{out}");
+        assert!(out.contains("mean hops:    1.0000"), "{out}");
+        assert!(out.contains("max latency:  3"), "{out}");
+        assert!(out.contains("makespan:     4"), "{out}");
+        assert!(out.contains("dropped (no-route): 1"), "{out}");
+        assert!(out.contains("hops per delivered message"), "{out}");
+    }
+
+    #[test]
+    fn links_ranks_by_forwards() {
+        let out = links(&sample(2, "0110", "1011"), 10);
+        assert!(out.contains("1 link(s) used over 4 ticks"), "{out}");
+        assert!(out.contains("0110 -> 1011"), "{out}");
+        // 2 busy ticks ([1, 3)) over a 4-tick makespan.
+        assert!(out.contains("50.0%"), "{out}");
+        // top = 0 keeps the header but no rows.
+        let none = links(&sample(2, "0110", "1011"), 0);
+        assert!(!none.contains("0110 -> 1011"), "{none}");
+    }
+
+    #[test]
+    fn hist_selects_each_metric() {
+        let t = sample(2, "0110", "1011");
+        for name in METRIC_NAMES.split('|') {
+            let metric = TraceMetric::parse(name).unwrap();
+            assert_eq!(metric.name(), name);
+            let out = hist(&t, metric);
+            assert!(out.contains(name), "{out}");
+            assert!(out.contains("mean"), "{out}");
+        }
+        assert!(TraceMetric::parse("hopss").is_err());
+    }
+
+    #[test]
+    fn diff_reports_deltas_in_both_directions() {
+        let a = sample(2, "0110", "1011");
+        let mut b = sample(2, "0110", "1011");
+        // Drop the drop: run B delivers everything it forwards.
+        b.events.pop();
+        let out = diff(&a, &b);
+        assert!(out.contains("dropped"), "{out}");
+        assert!(out.contains("-1"), "{out}");
+        let reverse = diff(&b, &a);
+        assert!(reverse.contains("+1"), "{reverse}");
+        assert!(out.contains("mean hops"), "{out}");
+        assert!(out.contains("+0.0000"), "{out}");
+    }
+
+    #[test]
+    fn export_writes_a_chrome_trace_array() {
+        let t = sample(2, "0110", "1011");
+        let bytes = export(&t, Vec::new()).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("[\n{"), "{text}");
+        assert!(text.trim_end().ends_with(']'), "{text}");
+        assert!(text.contains("\"thread_name\""), "{text}");
+        assert!(text.contains("\"ph\":\"b\""), "{text}");
+    }
+}
