@@ -3,9 +3,28 @@
 # --json mode (median ns/call per engine and algorithm). Run from the
 # repository root; no network access required. The file is checked in
 # so reviewers can compare machines and spot regressions.
+#
+# `bench.sh --check` reruns only the distance-engine bench and compares
+# it against the checked-in BENCH_results.json with the bench_check
+# binary, failing if any series regressed more than 30%. ci.sh runs
+# this as its performance smoke.
 set -eu
 
 out=BENCH_results.json
+
+if [ "${1:-}" = "--check" ]; then
+    cargo build --release -q -p debruijn-bench \
+        --bench distance_engines --bin bench_check
+    tmp=$(mktemp)
+    trap 'rm -f "$tmp"' EXIT
+    {
+        printf '[\n'
+        printf '%s' "$(cargo bench -q -p debruijn-bench --bench distance_engines -- --json)"
+        printf '\n]\n'
+    } > "$tmp"
+    cargo run --release -q -p debruijn-bench --bin bench_check -- "$out" "$tmp"
+    exit 0
+fi
 
 cargo build --release -q -p debruijn-bench \
     --bench distance_engines \

@@ -40,4 +40,9 @@ for key in "delivered:" "mean hops:" "mean latency:" "max latency:" "messages:";
 done
 echo "live report and offline reconstruction agree"
 
+echo "== bench regression smoke =="
+# Reruns the distance-engine bench and fails if any series regressed
+# more than 30% against the checked-in BENCH_results.json.
+sh bench.sh --check
+
 echo "CI OK"

@@ -20,15 +20,27 @@ fn order(space: DeBruijn) -> usize {
 ///
 /// Panics if `d^k` does not fit in `usize`.
 pub fn exact_directed(space: DeBruijn) -> f64 {
+    exact_directed_threads(space, 1)
+}
+
+/// [`exact_directed`] with the per-source rows of the `N²` pair sweep
+/// fanned out over `threads` scoped workers (1 = inline, 0 = available
+/// parallelism). Row totals are integers merged in source order, so the
+/// result is bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if `d^k` does not fit in `usize`.
+pub fn exact_directed_threads(space: DeBruijn, threads: usize) -> f64 {
     let n = order(space);
     let words: Vec<Word> = space.vertices().collect();
-    let mut total: u64 = 0;
-    for x in &words {
-        for y in &words {
-            total += distance::directed::distance(x, y) as u64;
-        }
-    }
-    total as f64 / (n as f64 * n as f64)
+    let totals = debruijn_parallel::map_slice(threads, &words, |x| {
+        words
+            .iter()
+            .map(|y| distance::directed::distance(x, y) as u64)
+            .sum::<u64>()
+    });
+    totals.into_iter().sum::<u64>() as f64 / (n as f64 * n as f64)
 }
 
 /// Exact average distance of the **undirected** `DG(d,k)` (the quantity
@@ -39,15 +51,27 @@ pub fn exact_directed(space: DeBruijn) -> f64 {
 ///
 /// Panics if `d^k` does not fit in `usize`.
 pub fn exact_undirected(space: DeBruijn) -> f64 {
+    exact_undirected_threads(space, 1)
+}
+
+/// [`exact_undirected`] with the all-pairs Theorem-2 sweep fanned out
+/// over `threads` scoped workers (1 = inline, 0 = available parallelism).
+/// Integer row totals merged in source order make the result
+/// bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if `d^k` does not fit in `usize`.
+pub fn exact_undirected_threads(space: DeBruijn, threads: usize) -> f64 {
     let n = order(space);
     let words: Vec<Word> = space.vertices().collect();
-    let mut total: u64 = 0;
-    for x in &words {
-        for y in &words {
-            total += distance::undirected::distance(x, y) as u64;
-        }
-    }
-    total as f64 / (n as f64 * n as f64)
+    let totals = debruijn_parallel::map_slice(threads, &words, |x| {
+        words
+            .iter()
+            .map(|y| distance::undirected::distance(x, y) as u64)
+            .sum::<u64>()
+    });
+    totals.into_iter().sum::<u64>() as f64 / (n as f64 * n as f64)
 }
 
 /// Exact average undirected distance computed with BFS from every vertex
@@ -147,6 +171,23 @@ mod tests {
             assert!(
                 (by_formula - by_bfs).abs() < 1e-12,
                 "d={d} k={k}: {by_formula} vs {by_bfs}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_all_pairs_is_bit_identical_to_serial() {
+        for (d, k) in [(2u8, 5usize), (3, 3)] {
+            let s = space(d, k);
+            assert_eq!(
+                exact_undirected_threads(s, 1).to_bits(),
+                exact_undirected_threads(s, 8).to_bits(),
+                "undirected d={d} k={k}"
+            );
+            assert_eq!(
+                exact_directed_threads(s, 1).to_bits(),
+                exact_directed_threads(s, 8).to_bits(),
+                "directed d={d} k={k}"
             );
         }
     }

@@ -9,17 +9,21 @@
 //!
 //! where `l`/`r` are the matching functions of Eqs. (8–9). The two inner
 //! minima (the paper's `D₁` and `D₂` of Algorithm 2) are computed here by
-//! one of three interchangeable engines:
+//! one of four interchangeable engines:
 //!
-//! | engine | time | paper reference |
+//! | engine | time | reference |
 //! |---|---|---|
 //! | [`Engine::Naive`] | `O(k⁴)` | the definition (§4 remark: fine for small `k`) |
 //! | [`Engine::MorrisPratt`] | `O(k²)` | Algorithms 2 + 3 |
 //! | [`Engine::SuffixTree`] | `O(k)` | Algorithm 4 |
+//! | [`Engine::BitParallel`] | `O(k²/w)` words | diagonal-run sweep, [`debruijn_strings::bitmatch`] |
 //!
-//! All three return not just the distance but the minimizers
+//! All four return not just the distance but the minimizers
 //! `(s₁,t₁,θ₁)` / `(s₂,t₂,θ₂)` needed to *construct* a shortest route.
 
+use std::cell::RefCell;
+
+use debruijn_strings::bitmatch;
 use debruijn_strings::matching::{self, MatchTerm};
 use debruijn_strings::TwoStringTree;
 
@@ -37,13 +41,22 @@ pub enum Engine {
     /// The paper's Algorithm 4 engine (compact prefix/suffix trees);
     /// `O(k)` time and space.
     SuffixTree,
-    /// Picks [`Engine::MorrisPratt`] for `k ≤ 64` and
-    /// [`Engine::SuffixTree`] beyond — the §4 remark made concrete: the
-    /// quadratic algorithm's constants win on short words (the crossover
-    /// is measured in `benches/exp_complexity_scaling.rs`).
+    /// Word-parallel diagonal-run sweep over packed digit lanes
+    /// ([`debruijn_strings::bitmatch`]): `O(k²·lane_bits / 64)` word
+    /// operations, allocation-free after warm-up. Fastest engine up to
+    /// `k ≈ 512` (roughly 9× over Morris–Pratt at `k = 128`).
+    BitParallel,
+    /// Picks [`Engine::BitParallel`] for `k ≤ 512` and
+    /// [`Engine::SuffixTree`] beyond — the measured crossover where the
+    /// suffix tree's `O(k)` asymptotics overtake the bit-parallel
+    /// engine's word-level constants (see `docs/PERFORMANCE.md`).
     #[default]
     Auto,
 }
+
+/// `Engine::Auto` uses [`Engine::BitParallel`] up to this `k` and
+/// [`Engine::SuffixTree`] beyond (measured crossover, `docs/PERFORMANCE.md`).
+pub const AUTO_BITPARALLEL_MAX_K: usize = 512;
 
 /// The minimum of one matching-function family, with its minimizer.
 ///
@@ -106,9 +119,9 @@ pub fn solve(x: &Word, y: &Word, engine: Engine) -> Solution {
     let k = x.len();
     let engine = match engine {
         Engine::Auto => {
-            if k <= 64 {
-                crate::profile::count_auto_to_morris_pratt();
-                Engine::MorrisPratt
+            if k <= AUTO_BITPARALLEL_MAX_K {
+                crate::profile::count_auto_to_bit_parallel();
+                Engine::BitParallel
             } else {
                 crate::profile::count_auto_to_suffix_tree();
                 Engine::SuffixTree
@@ -120,18 +133,28 @@ pub fn solve(x: &Word, y: &Word, engine: Engine) -> Solution {
         Engine::Naive => crate::profile::count_engine_naive(),
         Engine::MorrisPratt => crate::profile::count_engine_morris_pratt(),
         Engine::SuffixTree => crate::profile::count_engine_suffix_tree(),
+        Engine::BitParallel => crate::profile::count_engine_bit_parallel(),
         Engine::Auto => unreachable!("resolved above"),
     }
     let (l_min, r_min_reversed) = match engine {
         Engine::Naive => (naive_min(x, y), naive_min(&x.reversed(), &y.reversed())),
-        Engine::MorrisPratt => (
-            matching::min_l_term(x.digits(), y.digits()),
-            matching::min_l_term(x.reversed().digits(), y.reversed().digits()),
-        ),
+        Engine::MorrisPratt => MP_SCRATCH.with(|s| {
+            let (scratch, xr, yr) = &mut *s.borrow_mut();
+            let l = matching::min_l_term_with_scratch(x.digits(), y.digits(), scratch);
+            xr.clear();
+            xr.extend(x.digits().iter().rev());
+            yr.clear();
+            yr.extend(y.digits().iter().rev());
+            let r = matching::min_l_term_with_scratch(xr, yr, scratch);
+            (l, r)
+        }),
         Engine::SuffixTree => (suffix_tree_min(x, y), {
             let xr = x.reversed();
             let yr = y.reversed();
             suffix_tree_min(&xr, &yr)
+        }),
+        Engine::BitParallel => BIT_SCRATCH.with(|s| {
+            bitmatch::both_family_minima(x.radix(), x.digits(), y.digits(), &mut s.borrow_mut())
         }),
         Engine::Auto => unreachable!("resolved above"),
     };
@@ -183,6 +206,20 @@ pub fn distance_with(engine: Engine, x: &Word, y: &Word) -> usize {
     solve(x, y, engine).distance()
 }
 
+thread_local! {
+    // One packed-lane scratch per thread keeps the bit-parallel engine
+    // allocation-free across solves without threading a buffer through
+    // every caller.
+    static BIT_SCRATCH: RefCell<bitmatch::BitScratch> = RefCell::new(bitmatch::BitScratch::new());
+
+    // Row buffers plus reversed-digit buffers for the Morris–Pratt engine:
+    // the r-family pass reverses both words, and reusing these vectors
+    // keeps Algorithm 2's hot path free of per-solve allocations too.
+    #[allow(clippy::type_complexity)]
+    static MP_SCRATCH: RefCell<(matching::MatchScratch, Vec<u8>, Vec<u8>)> =
+        RefCell::new((matching::MatchScratch::new(), Vec::new(), Vec::new()));
+}
+
 fn naive_min(x: &Word, y: &Word) -> MatchTerm {
     let table = matching::l_table_naive(x.digits(), y.digits());
     matching::min_l_term_from_table(&table)
@@ -227,8 +264,13 @@ mod tests {
         unreachable!("de Bruijn graphs are connected");
     }
 
-    fn engines() -> [Engine; 3] {
-        [Engine::Naive, Engine::MorrisPratt, Engine::SuffixTree]
+    fn engines() -> [Engine; 4] {
+        [
+            Engine::Naive,
+            Engine::MorrisPratt,
+            Engine::SuffixTree,
+            Engine::BitParallel,
+        ]
     }
 
     #[test]
@@ -346,8 +388,10 @@ mod tests {
                 let y = Word::new(d, digits_y).unwrap();
                 let mp = distance_with(Engine::MorrisPratt, &x, &y);
                 let st = distance_with(Engine::SuffixTree, &x, &y);
+                let bp = distance_with(Engine::BitParallel, &x, &y);
                 let auto = distance(&x, &y);
                 assert_eq!(mp, st, "d={d} k={k}");
+                assert_eq!(mp, bp, "d={d} k={k}");
                 assert_eq!(mp, auto, "d={d} k={k}");
             }
         }

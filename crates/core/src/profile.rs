@@ -7,8 +7,8 @@
 //!
 //! * which Theorem-2 engine actually solved each undirected distance
 //!   query — including how [`Engine::Auto`](crate::distance::undirected::Engine)
-//!   split its traffic between the Morris–Pratt and suffix-tree engines
-//!   around the `k = 64` crossover (§4's remark made measurable);
+//!   split its traffic between the bit-parallel and suffix-tree engines
+//!   around the measured crossover (§4's remark made measurable);
 //! * how well the convergecast router amortizes: preprocessing builds
 //!   ([`DirectedDestinationRouter::new`](crate::routing::DirectedDestinationRouter))
 //!   versus routes served from the cached failure function — a
@@ -27,10 +27,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static ENGINE_NAIVE: AtomicU64 = AtomicU64::new(0);
 static ENGINE_MORRIS_PRATT: AtomicU64 = AtomicU64::new(0);
 static ENGINE_SUFFIX_TREE: AtomicU64 = AtomicU64::new(0);
-static AUTO_TO_MORRIS_PRATT: AtomicU64 = AtomicU64::new(0);
+static ENGINE_BIT_PARALLEL: AtomicU64 = AtomicU64::new(0);
 static AUTO_TO_SUFFIX_TREE: AtomicU64 = AtomicU64::new(0);
+static AUTO_TO_BIT_PARALLEL: AtomicU64 = AtomicU64::new(0);
 static CONVERGECAST_BUILDS: AtomicU64 = AtomicU64::new(0);
 static CONVERGECAST_ROUTES: AtomicU64 = AtomicU64::new(0);
+static ROUTE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static ROUTE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static ROUTE_CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 pub(crate) fn count_engine_naive() {
     ENGINE_NAIVE.fetch_add(1, Ordering::Relaxed);
@@ -44,12 +48,28 @@ pub(crate) fn count_engine_suffix_tree() {
     ENGINE_SUFFIX_TREE.fetch_add(1, Ordering::Relaxed);
 }
 
-pub(crate) fn count_auto_to_morris_pratt() {
-    AUTO_TO_MORRIS_PRATT.fetch_add(1, Ordering::Relaxed);
-}
-
 pub(crate) fn count_auto_to_suffix_tree() {
     AUTO_TO_SUFFIX_TREE.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_engine_bit_parallel() {
+    ENGINE_BIT_PARALLEL.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_auto_to_bit_parallel() {
+    AUTO_TO_BIT_PARALLEL.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_route_cache_hit() {
+    ROUTE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_route_cache_miss() {
+    ROUTE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_route_cache_eviction() {
+    ROUTE_CACHE_EVICTIONS.fetch_add(1, Ordering::Relaxed);
 }
 
 pub(crate) fn count_convergecast_build() {
@@ -84,16 +104,25 @@ pub struct ProfileSnapshot {
     pub engine_morris_pratt: u64,
     /// Theorem-2 solves answered by the suffix-tree `O(k)` engine.
     pub engine_suffix_tree: u64,
-    /// `Engine::Auto` resolutions that picked Morris–Pratt (`k ≤ 64`).
-    pub auto_to_morris_pratt: u64,
-    /// `Engine::Auto` resolutions that picked the suffix tree (`k > 64`).
+    /// Theorem-2 solves answered by the bit-parallel engine.
+    pub engine_bit_parallel: u64,
+    /// `Engine::Auto` resolutions that picked the suffix tree (beyond the
+    /// bit-parallel crossover).
     pub auto_to_suffix_tree: u64,
+    /// `Engine::Auto` resolutions that picked the bit-parallel engine.
+    pub auto_to_bit_parallel: u64,
     /// Convergecast router constructions (failure-function builds —
     /// the "misses" of the amortization).
     pub convergecast_builds: u64,
     /// Routes served from an already-built convergecast router (the
     /// "hits").
     pub convergecast_routes: u64,
+    /// Route-cache lookups answered from a cached entry.
+    pub route_cache_hits: u64,
+    /// Route-cache lookups that had to compute (and insert) the route.
+    pub route_cache_misses: u64,
+    /// Route-cache entries displaced by clock eviction at capacity.
+    pub route_cache_evictions: u64,
 }
 
 impl ProfileSnapshot {
@@ -109,24 +138,49 @@ impl ProfileSnapshot {
             engine_suffix_tree: self
                 .engine_suffix_tree
                 .saturating_sub(earlier.engine_suffix_tree),
-            auto_to_morris_pratt: self
-                .auto_to_morris_pratt
-                .saturating_sub(earlier.auto_to_morris_pratt),
+            engine_bit_parallel: self
+                .engine_bit_parallel
+                .saturating_sub(earlier.engine_bit_parallel),
             auto_to_suffix_tree: self
                 .auto_to_suffix_tree
                 .saturating_sub(earlier.auto_to_suffix_tree),
+            auto_to_bit_parallel: self
+                .auto_to_bit_parallel
+                .saturating_sub(earlier.auto_to_bit_parallel),
             convergecast_builds: self
                 .convergecast_builds
                 .saturating_sub(earlier.convergecast_builds),
             convergecast_routes: self
                 .convergecast_routes
                 .saturating_sub(earlier.convergecast_routes),
+            route_cache_hits: self
+                .route_cache_hits
+                .saturating_sub(earlier.route_cache_hits),
+            route_cache_misses: self
+                .route_cache_misses
+                .saturating_sub(earlier.route_cache_misses),
+            route_cache_evictions: self
+                .route_cache_evictions
+                .saturating_sub(earlier.route_cache_evictions),
         }
     }
 
     /// Total Theorem-2 solves across all engines.
     pub fn engine_total(&self) -> u64 {
-        self.engine_naive + self.engine_morris_pratt + self.engine_suffix_tree
+        self.engine_naive
+            + self.engine_morris_pratt
+            + self.engine_suffix_tree
+            + self.engine_bit_parallel
+    }
+
+    /// Fraction of route-cache lookups served from the cache, or `None`
+    /// when the cache saw no traffic.
+    pub fn route_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.route_cache_hits + self.route_cache_misses;
+        if total == 0 {
+            return None;
+        }
+        Some(self.route_cache_hits as f64 / total as f64)
     }
 
     /// Fraction of convergecast lookups served from a cached build, or
@@ -140,17 +194,21 @@ impl ProfileSnapshot {
     }
 }
 
-/// Reads all counters. Cheap (seven relaxed loads) and safe to call
+/// Reads all counters. Cheap (a dozen relaxed loads) and safe to call
 /// from any thread.
 pub fn snapshot() -> ProfileSnapshot {
     ProfileSnapshot {
         engine_naive: ENGINE_NAIVE.load(Ordering::Relaxed),
         engine_morris_pratt: ENGINE_MORRIS_PRATT.load(Ordering::Relaxed),
         engine_suffix_tree: ENGINE_SUFFIX_TREE.load(Ordering::Relaxed),
-        auto_to_morris_pratt: AUTO_TO_MORRIS_PRATT.load(Ordering::Relaxed),
+        engine_bit_parallel: ENGINE_BIT_PARALLEL.load(Ordering::Relaxed),
         auto_to_suffix_tree: AUTO_TO_SUFFIX_TREE.load(Ordering::Relaxed),
+        auto_to_bit_parallel: AUTO_TO_BIT_PARALLEL.load(Ordering::Relaxed),
         convergecast_builds: CONVERGECAST_BUILDS.load(Ordering::Relaxed),
         convergecast_routes: CONVERGECAST_ROUTES.load(Ordering::Relaxed),
+        route_cache_hits: ROUTE_CACHE_HITS.load(Ordering::Relaxed),
+        route_cache_misses: ROUTE_CACHE_MISSES.load(Ordering::Relaxed),
+        route_cache_evictions: ROUTE_CACHE_EVICTIONS.load(Ordering::Relaxed),
     }
 }
 
@@ -160,10 +218,14 @@ pub fn reset() {
     ENGINE_NAIVE.store(0, Ordering::Relaxed);
     ENGINE_MORRIS_PRATT.store(0, Ordering::Relaxed);
     ENGINE_SUFFIX_TREE.store(0, Ordering::Relaxed);
-    AUTO_TO_MORRIS_PRATT.store(0, Ordering::Relaxed);
+    ENGINE_BIT_PARALLEL.store(0, Ordering::Relaxed);
     AUTO_TO_SUFFIX_TREE.store(0, Ordering::Relaxed);
+    AUTO_TO_BIT_PARALLEL.store(0, Ordering::Relaxed);
     CONVERGECAST_BUILDS.store(0, Ordering::Relaxed);
     CONVERGECAST_ROUTES.store(0, Ordering::Relaxed);
+    ROUTE_CACHE_HITS.store(0, Ordering::Relaxed);
+    ROUTE_CACHE_MISSES.store(0, Ordering::Relaxed);
+    ROUTE_CACHE_EVICTIONS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -196,14 +258,22 @@ mod tests {
 
     #[test]
     fn auto_resolution_is_counted_per_side_of_the_crossover() {
+        use crate::distance::undirected::AUTO_BITPARALLEL_MAX_K;
         let before = snapshot();
         let short = Word::uniform(2, 8, 0).unwrap();
         distance_with(Engine::Auto, &short, &Word::uniform(2, 8, 1).unwrap());
-        let long = Word::uniform(2, 80, 0).unwrap();
-        distance_with(Engine::Auto, &long, &Word::uniform(2, 80, 1).unwrap());
+        let k = AUTO_BITPARALLEL_MAX_K + 1;
+        let long = Word::uniform(2, k, 0).unwrap();
+        distance_with(Engine::Auto, &long, &Word::uniform(2, k, 1).unwrap());
         let used = snapshot().since(&before);
-        assert!(used.auto_to_morris_pratt >= 1, "k = 8 resolves to MP");
-        assert!(used.auto_to_suffix_tree >= 1, "k = 80 resolves to the tree");
+        assert!(
+            used.auto_to_bit_parallel >= 1,
+            "k = 8 resolves to bit-parallel"
+        );
+        assert!(
+            used.auto_to_suffix_tree >= 1,
+            "k past the crossover resolves to the tree"
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Amortized routing toward a fixed destination.
+//! Amortized routing: per-destination preprocessing and a bounded
+//! route cache.
 //!
 //! Algorithm 1's only preprocessing is the Morris–Pratt failure function
 //! of the destination address `Y`. In convergecast patterns (many sources
@@ -6,6 +7,16 @@
 //! multiprocessor) that table can be built once and reused: routing each
 //! additional source then costs a single `O(k)` automaton scan with no
 //! allocation beyond the emitted path.
+//!
+//! [`RouteCache`] generalizes the amortization to arbitrary `(X, Y)`
+//! pairs: a capacity-bounded map from pair to computed route with clock
+//! (second-chance) eviction, so repeated traffic between the same
+//! endpoints — ubiquitous in uniform-random workloads on small networks —
+//! skips Theorem 2 entirely. Hit/miss/eviction counts are reported both
+//! per instance ([`RouteCache::stats`]) and through the process-global
+//! [`crate::profile`] counters the telemetry layer reads.
+
+use std::collections::HashMap;
 
 use debruijn_strings::MpMatcher;
 
@@ -89,6 +100,181 @@ impl DirectedDestinationRouter {
     }
 }
 
+/// Hit/miss/eviction counts for one [`RouteCache`] instance.
+///
+/// The same counts also feed the process-global
+/// [`crate::profile`] counters (`route_cache_*`), which the simulator's
+/// telemetry layer surfaces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Lookups answered from a cached entry.
+    pub hits: u64,
+    /// Lookups that computed (and inserted) the route.
+    pub misses: u64,
+    /// Entries displaced by clock eviction at capacity.
+    pub evictions: u64,
+}
+
+impl RouteCacheStats {
+    /// Fraction of lookups served from the cache, or `None` without
+    /// traffic.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return None;
+        }
+        Some(self.hits as f64 / total as f64)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheSlot {
+    key: (Word, Word),
+    route: RoutePath,
+    referenced: bool,
+}
+
+/// A capacity-bounded `(source, destination) → route` cache with clock
+/// (second-chance) eviction.
+///
+/// Unbounded memoization is a footgun on large networks (`dⁿ` pairs);
+/// this cache holds at most `capacity` routes. Each hit sets the entry's
+/// reference bit; at capacity the clock hand sweeps the slots, clearing
+/// reference bits until it finds an unreferenced victim — recently used
+/// routes survive, cold ones are displaced in `O(1)` amortized time.
+///
+/// A `capacity` of `0` disables caching: every lookup computes and
+/// nothing is stored (counted as misses, so the telemetry still shows
+/// the traffic).
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::routing::{self, RouteCache};
+/// use debruijn_core::Word;
+///
+/// let mut cache = RouteCache::new(64);
+/// let x = Word::parse(2, "0110")?;
+/// let y = Word::parse(2, "1011")?;
+/// let first = cache.get_or_compute(&x, &y, routing::route_bidirectional);
+/// let second = cache.get_or_compute(&x, &y, routing::route_bidirectional);
+/// assert_eq!(first, second);
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// # Ok::<(), debruijn_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RouteCache {
+    capacity: usize,
+    // Pair-hash → slot index. Lookups hash the borrowed words (no clone);
+    // the full key stored in the slot disambiguates hash collisions.
+    map: HashMap<u64, usize>,
+    slots: Vec<CacheSlot>,
+    hand: usize,
+    stats: RouteCacheStats,
+}
+
+fn pair_hash(x: &Word, y: &Word) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    x.hash(&mut h);
+    y.hash(&mut h);
+    h.finish()
+}
+
+impl RouteCache {
+    /// Creates a cache holding at most `capacity` routes (0 disables).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            hand: 0,
+            stats: RouteCacheStats::default(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of routes currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache holds no routes.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// This instance's hit/miss/eviction counters.
+    pub fn stats(&self) -> RouteCacheStats {
+        self.stats
+    }
+
+    /// Returns the cached route for `(x, y)`, computing and inserting it
+    /// via `compute` on a miss.
+    ///
+    /// The route is returned by clone; for shortest-path routes the clone
+    /// is one `Vec` copy, far cheaper than a Theorem-2 solve.
+    pub fn get_or_compute(
+        &mut self,
+        x: &Word,
+        y: &Word,
+        compute: impl FnOnce(&Word, &Word) -> RoutePath,
+    ) -> RoutePath {
+        if self.capacity == 0 {
+            self.stats.misses += 1;
+            crate::profile::count_route_cache_miss();
+            return compute(x, y);
+        }
+        let h = pair_hash(x, y);
+        if let Some(&slot) = self.map.get(&h) {
+            let s = &mut self.slots[slot];
+            if &s.key.0 == x && &s.key.1 == y {
+                self.stats.hits += 1;
+                crate::profile::count_route_cache_hit();
+                s.referenced = true;
+                return s.route.clone();
+            }
+        }
+        self.stats.misses += 1;
+        crate::profile::count_route_cache_miss();
+        let route = compute(x, y);
+        let fresh = CacheSlot {
+            key: (x.clone(), y.clone()),
+            route: route.clone(),
+            referenced: false,
+        };
+        if self.slots.len() < self.capacity {
+            let slot = self.slots.len();
+            self.slots.push(fresh);
+            self.map.insert(h, slot);
+        } else {
+            // Clock sweep: give referenced entries a second chance.
+            while self.slots[self.hand].referenced {
+                self.slots[self.hand].referenced = false;
+                self.hand = (self.hand + 1) % self.slots.len();
+            }
+            let victim = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            self.stats.evictions += 1;
+            crate::profile::count_route_cache_eviction();
+            let old = std::mem::replace(&mut self.slots[victim], fresh);
+            let old_hash = pair_hash(&old.key.0, &old.key.1);
+            // Only unlink the old mapping if it still points at the
+            // victim (a hash collision may have overwritten it already).
+            if self.map.get(&old_hash) == Some(&victim) {
+                self.map.remove(&old_hash);
+            }
+            self.map.insert(h, victim);
+        }
+        route
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +324,90 @@ mod tests {
     fn rejects_foreign_sources() {
         let router = DirectedDestinationRouter::new(Word::parse(2, "0101").unwrap());
         router.route_from(&Word::parse(2, "01").unwrap());
+    }
+
+    #[test]
+    fn route_cache_returns_correct_routes_under_eviction_pressure() {
+        use crate::routing::route_bidirectional;
+        let g = DeBruijn::new(2, 4).unwrap();
+        let verts: Vec<Word> = g.vertices().collect();
+        // Capacity far below the 256 pairs forces constant eviction.
+        let mut cache = RouteCache::new(8);
+        for _ in 0..3 {
+            for x in &verts {
+                for y in &verts {
+                    let got = cache.get_or_compute(x, y, route_bidirectional);
+                    assert_eq!(got, route_bidirectional(x, y), "{x}->{y}");
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 3 * 16 * 16);
+        assert!(stats.evictions > 0, "capacity 8 must evict");
+        assert!(cache.len() <= 8);
+    }
+
+    #[test]
+    fn route_cache_capacity_bounds_are_respected() {
+        use crate::routing::trivial_route;
+        let mut cache = RouteCache::new(4);
+        for rank in 0..32u128 {
+            let x = Word::from_rank(2, 5, rank).unwrap();
+            let y = Word::from_rank(2, 5, 31 - rank).unwrap();
+            cache.get_or_compute(&x, &y, |_, y| trivial_route(y));
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.capacity(), 4);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 32);
+        assert_eq!(stats.evictions, 28);
+    }
+
+    #[test]
+    fn route_cache_hits_repeat_traffic() {
+        use crate::routing::route_bidirectional;
+        let mut cache = RouteCache::new(16);
+        let x = Word::parse(2, "0110").unwrap();
+        let y = Word::parse(2, "1011").unwrap();
+        for _ in 0..10 {
+            cache.get_or_compute(&x, &y, route_bidirectional);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 9);
+        assert_eq!(stats.misses, 1);
+        assert!(stats.hit_rate().unwrap() > 0.85);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching_but_counts_traffic() {
+        use crate::routing::route_bidirectional;
+        let mut cache = RouteCache::new(0);
+        let x = Word::parse(2, "0110").unwrap();
+        let y = Word::parse(2, "1011").unwrap();
+        for _ in 0..3 {
+            let got = cache.get_or_compute(&x, &y, route_bidirectional);
+            assert_eq!(got, route_bidirectional(&x, &y));
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn clock_eviction_keeps_hot_entries() {
+        use crate::routing::trivial_route;
+        let mut cache = RouteCache::new(2);
+        let hot_x = Word::from_rank(2, 5, 0).unwrap();
+        let hot_y = Word::from_rank(2, 5, 1).unwrap();
+        cache.get_or_compute(&hot_x, &hot_y, |_, y| trivial_route(y));
+        for rank in 2..10u128 {
+            // Re-touch the hot pair so its reference bit survives the
+            // clock sweeps driven by the cold singleton inserts.
+            cache.get_or_compute(&hot_x, &hot_y, |_, y| trivial_route(y));
+            let x = Word::from_rank(2, 5, rank).unwrap();
+            cache.get_or_compute(&x, &hot_y, |_, y| trivial_route(y));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 8, "hot pair stays resident");
     }
 }

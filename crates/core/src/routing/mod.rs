@@ -15,20 +15,41 @@ mod cached;
 mod multipath;
 mod path;
 
-pub use cached::DirectedDestinationRouter;
+pub use cached::{DirectedDestinationRouter, RouteCache, RouteCacheStats};
 pub use multipath::all_shortest_routes;
 pub use path::{Digit, RoutePath, ShiftKind, Step};
 
+use crate::distance::assert_same_space;
 use crate::distance::undirected::{self, Engine, Solution};
-use crate::distance::{assert_same_space, directed};
 use crate::word::Word;
+
+/// Reusable buffers for the allocation-free `*_into` routing variants.
+///
+/// One scratch per thread (or per batch worker) keeps the routers free of
+/// per-call `Vec` churn: [`algorithm1_into`] reuses the failure-function
+/// table, and every `*_into` variant rebuilds the caller's [`RoutePath`]
+/// in place instead of allocating a fresh step vector. (The bit-parallel
+/// distance engine keeps its own thread-local packed-lane scratch, so
+/// [`route_with_engine_into`] is allocation-free end to end after
+/// warm-up.)
+#[derive(Debug, Default, Clone)]
+pub struct RoutingScratch {
+    fail: Vec<usize>,
+}
+
+impl RoutingScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The paper's Algorithm 1: a shortest route in the **uni-directional**
 /// network `DN(d,k)`.
 ///
 /// Computes the overlap `l` of Eq. (2) with the failure function and emits
 /// the left-shift steps `y_{l+1}, …, y_k`. `O(k)` time and space; the
-/// result length equals [`directed::distance`].
+/// result length equals [`directed::distance`](crate::distance::directed::distance).
 ///
 /// # Panics
 ///
@@ -47,12 +68,27 @@ use crate::word::Word;
 /// # Ok::<(), debruijn_core::Error>(())
 /// ```
 pub fn algorithm1(x: &Word, y: &Word) -> RoutePath {
+    let mut out = RoutePath::empty();
+    algorithm1_into(x, y, &mut RoutingScratch::new(), &mut out);
+    out
+}
+
+/// Allocation-free variant of [`algorithm1`]: rebuilds `out` in place,
+/// reusing the scratch's failure-function buffer.
+///
+/// # Panics
+///
+/// Panics if the words are not in the same `DG(d,k)`.
+pub fn algorithm1_into(x: &Word, y: &Word, scratch: &mut RoutingScratch, out: &mut RoutePath) {
     assert_same_space(x, y);
+    out.clear();
     if x == y {
-        return RoutePath::empty();
+        return;
     }
-    let l = directed::overlap(x, y);
-    (l..y.len()).map(|i| Step::left(y.digits()[i])).collect()
+    let l =
+        debruijn_strings::failure::overlap_with_scratch(x.digits(), y.digits(), &mut scratch.fail);
+    out.steps_vec_mut()
+        .extend((l..y.len()).map(|i| Step::left(y.digits()[i])));
 }
 
 /// The always-valid `k`-hop route: left-shift in all `k` digits of the
@@ -62,7 +98,16 @@ pub fn algorithm1(x: &Word, y: &Word) -> RoutePath {
 /// Works from **any** source in `DG(d,k)`; it is the baseline the optimal
 /// algorithms are compared against in the benchmarks.
 pub fn trivial_route(y: &Word) -> RoutePath {
-    y.digits().iter().map(|&b| Step::left(b)).collect()
+    let mut out = RoutePath::empty();
+    trivial_route_into(y, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`trivial_route`]: rebuilds `out` in place.
+pub fn trivial_route_into(y: &Word, out: &mut RoutePath) {
+    out.clear();
+    out.steps_vec_mut()
+        .extend(y.digits().iter().map(|&b| Step::left(b)));
 }
 
 /// The paper's Algorithm 2: a shortest route in the **bi-directional**
@@ -102,12 +147,26 @@ pub fn route_bidirectional(x: &Word, y: &Word) -> RoutePath {
 ///
 /// Panics if the words are not in the same `DG(d,k)`.
 pub fn route_with_engine(x: &Word, y: &Word, engine: Engine) -> RoutePath {
+    let mut out = RoutePath::empty();
+    route_with_engine_into(x, y, engine, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`route_with_engine`]: rebuilds `out` in
+/// place. With [`Engine::BitParallel`] (or [`Engine::Auto`] below the
+/// crossover) no allocation happens after warm-up.
+///
+/// # Panics
+///
+/// Panics if the words are not in the same `DG(d,k)`.
+pub fn route_with_engine_into(x: &Word, y: &Word, engine: Engine, out: &mut RoutePath) {
     assert_same_space(x, y);
+    out.clear();
     if x == y {
-        return RoutePath::empty();
+        return;
     }
     let sol = undirected::solve(x, y, engine);
-    route_from_solution(y, &sol)
+    route_from_solution_into(y, &sol, out);
 }
 
 /// Builds the route of Algorithm 2 lines 5–9 from a Theorem 2 solution.
@@ -125,6 +184,14 @@ pub fn route_with_engine(x: &Word, y: &Word, engine: Engine) -> RoutePath {
 ///   shifts.
 /// * **`D₁ = D₂ = k`:** the trivial left-shift route.
 pub fn route_from_solution(y: &Word, sol: &Solution) -> RoutePath {
+    let mut out = RoutePath::empty();
+    route_from_solution_into(y, sol, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`route_from_solution`]: rebuilds `out` in
+/// place (see [`route_from_solution`] for the construction).
+pub fn route_from_solution_into(y: &Word, sol: &Solution, out: &mut RoutePath) {
     let k = sol.k;
     debug_assert_eq!(y.len(), k);
     let d1 = sol.left_family;
@@ -136,10 +203,12 @@ pub fn route_from_solution(y: &Word, sol: &Solution) -> RoutePath {
 
     // Line 5–6: both families degenerate to the trivial route.
     if d1.steps == k && d2.steps == k {
-        return trivial_route(y);
+        trivial_route_into(y, out);
+        return;
     }
 
-    let mut steps = Vec::new();
+    out.clear();
+    let steps = out.steps_vec_mut();
     if d1.steps <= d2.steps {
         // Line 8 — L case with (s, t, θ) = (s₁, t₁, θ₁).
         let (s, t, theta) = (d1.s, d1.t, d1.theta);
@@ -157,12 +226,12 @@ pub fn route_from_solution(y: &Word, sol: &Solution) -> RoutePath {
         steps.extend((1..=t - 1).rev().map(|i| Step::right(yd[i - 1])));
         debug_assert_eq!(steps.len(), d2.steps);
     }
-    RoutePath::new(steps)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::distance::directed;
     use crate::distance::undirected::Engine;
     use crate::space::DeBruijn;
 

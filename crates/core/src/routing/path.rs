@@ -122,6 +122,17 @@ impl RoutePath {
         Self::default()
     }
 
+    /// Clears the path in place, keeping its allocation — the reuse hook
+    /// for the `*_into` routing variants.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+    }
+
+    /// Mutable access to the backing step vector, for in-place rebuilds.
+    pub(crate) fn steps_vec_mut(&mut self) -> &mut Vec<Step> {
+        &mut self.steps
+    }
+
     /// Number of hops.
     pub fn len(&self) -> usize {
         self.steps.len()

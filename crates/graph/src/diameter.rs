@@ -13,23 +13,41 @@ use crate::bfs;
 /// Panics if some node cannot reach all others (de Bruijn graphs are
 /// strongly connected, so this indicates a corrupted graph).
 pub fn eccentricities(graph: &DebruijnGraph) -> Vec<u32> {
-    graph
-        .nodes()
-        .map(|v| {
-            let dist = bfs::distances(graph, v);
-            dist.into_iter()
-                .inspect(|&d| {
-                    assert_ne!(d, bfs::UNREACHABLE, "graph is not connected");
-                })
-                .max()
-                .expect("graphs are non-empty")
-        })
-        .collect()
+    eccentricities_threads(graph, 1)
+}
+
+/// [`eccentricities`] with the per-node BFS sweeps fanned out over
+/// `threads` scoped workers (1 = inline, 0 = available parallelism).
+///
+/// The result is byte-identical to the single-threaded run for every
+/// thread count: workers claim chunks of the node range and the chunks
+/// are merged back in node order (see `debruijn_parallel`).
+///
+/// # Panics
+///
+/// Panics if some node cannot reach all others (de Bruijn graphs are
+/// strongly connected, so this indicates a corrupted graph).
+pub fn eccentricities_threads(graph: &DebruijnGraph, threads: usize) -> Vec<u32> {
+    debruijn_parallel::map_range(threads, graph.node_count(), |v| {
+        let dist = bfs::distances(graph, v as u32);
+        dist.into_iter()
+            .inspect(|&d| {
+                assert_ne!(d, bfs::UNREACHABLE, "graph is not connected");
+            })
+            .max()
+            .expect("graphs are non-empty")
+    })
 }
 
 /// The diameter: the maximum eccentricity.
 pub fn diameter(graph: &DebruijnGraph) -> usize {
-    eccentricities(graph)
+    diameter_threads(graph, 1)
+}
+
+/// [`diameter`] computed with multi-threaded eccentricities; identical
+/// result for every thread count.
+pub fn diameter_threads(graph: &DebruijnGraph, threads: usize) -> usize {
+    eccentricities_threads(graph, threads)
         .into_iter()
         .max()
         .expect("graphs are non-empty") as usize
@@ -63,6 +81,16 @@ mod tests {
             let g = DebruijnGraph::undirected(DeBruijn::new(d, k).unwrap()).unwrap();
             assert_eq!(diameter(&g), k, "d={d} k={k}");
         }
+    }
+
+    #[test]
+    fn eccentricities_are_identical_for_any_thread_count() {
+        let g = DebruijnGraph::undirected(DeBruijn::new(2, 7).unwrap()).unwrap();
+        let serial = eccentricities_threads(&g, 1);
+        for threads in [2, 8] {
+            assert_eq!(serial, eccentricities_threads(&g, threads), "{threads}");
+        }
+        assert_eq!(diameter_threads(&g, 8), diameter(&g));
     }
 
     #[test]

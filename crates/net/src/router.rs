@@ -1,6 +1,8 @@
 //! Source-routing strategies: which algorithm fills the routing-path
 //! field.
 
+use debruijn_core::distance::undirected::Engine;
+use debruijn_core::routing::RoutingScratch;
 use debruijn_core::{routing, RoutePath, Word};
 
 /// The algorithm a source node uses to compute the routing-path field.
@@ -33,17 +35,40 @@ impl RouterKind {
     ///
     /// Panics if the words are not in the same `DG(d,k)`.
     pub fn route(&self, x: &Word, y: &Word) -> RoutePath {
+        let mut out = RoutePath::empty();
+        self.route_into(x, y, &mut RoutingScratch::new(), &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`RouterKind::route`]: rebuilds `out`
+    /// in place, reusing the scratch's buffers. The simulator's hot loop
+    /// and the batch drivers call this with one scratch per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words are not in the same `DG(d,k)`.
+    pub fn route_into(
+        &self,
+        x: &Word,
+        y: &Word,
+        scratch: &mut RoutingScratch,
+        out: &mut RoutePath,
+    ) {
         match self {
             RouterKind::Trivial => {
                 if x == y {
-                    RoutePath::empty()
+                    out.clear();
                 } else {
-                    routing::trivial_route(y)
+                    routing::trivial_route_into(y, out);
                 }
             }
-            RouterKind::Algorithm1 => routing::algorithm1(x, y),
-            RouterKind::Algorithm2 | RouterKind::Multipath => routing::algorithm2(x, y),
-            RouterKind::Algorithm4 => routing::algorithm4(x, y),
+            RouterKind::Algorithm1 => routing::algorithm1_into(x, y, scratch, out),
+            RouterKind::Algorithm2 | RouterKind::Multipath => {
+                routing::route_with_engine_into(x, y, Engine::MorrisPratt, out)
+            }
+            RouterKind::Algorithm4 => {
+                routing::route_with_engine_into(x, y, Engine::SuffixTree, out)
+            }
         }
     }
 

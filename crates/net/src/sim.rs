@@ -18,6 +18,7 @@ use std::error::Error as StdError;
 use std::fmt;
 
 use debruijn_core::rng::SplitMix64;
+use debruijn_core::routing::{RouteCache, RoutingScratch};
 use debruijn_core::{DeBruijn, Digit, RoutePath, ShiftKind, Word};
 use debruijn_graph::{fault, DebruijnGraph, GraphError};
 
@@ -92,6 +93,17 @@ pub struct SimConfig {
     pub forwarding: ForwardingMode,
     /// Seed for the (deterministic) random wildcard policy.
     pub seed: u64,
+    /// Capacity of the per-run `(source, destination) → route` cache
+    /// (clock eviction; 0 disables). Repeated traffic between the same
+    /// endpoints skips the route computation; cached routes are identical
+    /// to computed ones, so results never depend on this knob.
+    pub route_cache: usize,
+    /// Worker threads for the source-route precomputation pass (1 =
+    /// inline, 0 = available parallelism). Only deterministic routers are
+    /// fanned out ([`RouterKind::Multipath`] draws from the seeded RNG and
+    /// always computes inline); reports are byte-identical for every
+    /// thread count.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -103,6 +115,8 @@ impl Default for SimConfig {
             fault_handling: FaultHandling::default(),
             forwarding: ForwardingMode::default(),
             seed: 0xDEB1,
+            route_cache: 1024,
+            threads: 1,
         }
     }
 }
@@ -363,6 +377,34 @@ impl Simulation {
         let mut pending: HashMap<u64, Flight> = HashMap::new();
         let mut seq: u64 = 0;
 
+        // Route-computation state for the serial path: a bounded cache for
+        // repeated (source, destination) pairs and reusable kernel buffers.
+        let mut cache = RouteCache::new(self.config.route_cache);
+        let mut scratch = RoutingScratch::new();
+        let fault_free = self.faults.is_empty() && self.link_faults.is_empty();
+        let reroute_mode =
+            !fault_free && self.config.fault_handling == FaultHandling::SourceReroute;
+
+        // With several worker threads and a deterministic router, compute
+        // all source routes up front in parallel. Routes are pure functions
+        // of the endpoints (the RNG is untouched here), so the merge-in-
+        // injection-order output is byte-identical to the serial path.
+        let mut precomputed: Option<Vec<Option<RoutePath>>> = if self.config.threads != 1
+            && self.config.forwarding == ForwardingMode::SourceRouted
+            && self.config.router != RouterKind::Multipath
+        {
+            Some(debruijn_parallel::map_range_with(
+                self.config.threads,
+                traffic.len(),
+                RoutingScratch::new,
+                |scratch, i| {
+                    self.deterministic_route(&traffic[i].source, &traffic[i].destination, scratch)
+                },
+            ))
+        } else {
+            None
+        };
+
         for (index, inj) in traffic.iter().enumerate() {
             assert!(
                 self.space.contains(&inj.source) && self.space.contains(&inj.destination),
@@ -384,8 +426,21 @@ impl Simulation {
             let route = match self.config.forwarding {
                 ForwardingMode::HopByHop => RoutePath::empty(),
                 ForwardingMode::SourceRouted => {
-                    match self.initial_route(&inj.source, &inj.destination, &mut rng, &mut rerouted)
-                    {
+                    let r = match precomputed.as_mut() {
+                        Some(routes) => {
+                            rerouted = reroute_mode;
+                            routes[index].take()
+                        }
+                        None => self.initial_route(
+                            &inj.source,
+                            &inj.destination,
+                            &mut rng,
+                            &mut rerouted,
+                            &mut cache,
+                            &mut scratch,
+                        ),
+                    };
+                    match r {
                         Some(r) => r,
                         None => {
                             report.dropped += 1;
@@ -500,7 +555,14 @@ impl Simulation {
                     // Recompute a shortest (possibly fault-avoiding) route
                     // from here and take only its first step.
                     let mut rerouted = false;
-                    match self.initial_route(&at, &msg.destination, &mut rng, &mut rerouted) {
+                    match self.initial_route(
+                        &at,
+                        &msg.destination,
+                        &mut rng,
+                        &mut rerouted,
+                        &mut cache,
+                        &mut scratch,
+                    ) {
                         Some(route) if !route.is_empty() => {
                             if rerouted && observed {
                                 recorder.record(&NetEvent::Reroute {
@@ -608,13 +670,17 @@ impl Simulation {
 
     /// Computes the route placed in a fresh message's routing-path field.
     /// Sets `rerouted` when the route came from fault-avoiding BFS rather
-    /// than a label algorithm.
+    /// than a label algorithm. Label-algorithm routes go through the
+    /// bounded cache; the multipath RNG draw and the fault-avoiding BFS
+    /// bypass it.
     fn initial_route(
         &self,
         x: &Word,
         y: &Word,
         rng: &mut SplitMix64,
         rerouted: &mut bool,
+        cache: &mut RouteCache,
+        scratch: &mut RoutingScratch,
     ) -> Option<RoutePath> {
         let fault_free = self.faults.is_empty() && self.link_faults.is_empty();
         if fault_free || self.config.fault_handling == FaultHandling::Drop {
@@ -623,9 +689,37 @@ impl Simulation {
                 let pick = rng.below_usize(routes.len());
                 return Some(routes[pick].clone());
             }
-            return Some(self.config.router.route(x, y));
+            return Some(cache.get_or_compute(x, y, |x, y| {
+                let mut out = RoutePath::empty();
+                self.config.router.route_into(x, y, scratch, &mut out);
+                out
+            }));
         }
         *rerouted = true;
+        self.reroute(x, y)
+    }
+
+    /// The route an RNG-free router computes for `(x, y)` — the per-pair
+    /// work of the parallel precomputation pass. Matches
+    /// [`Simulation::initial_route`] exactly for every non-multipath
+    /// configuration.
+    fn deterministic_route(
+        &self,
+        x: &Word,
+        y: &Word,
+        scratch: &mut RoutingScratch,
+    ) -> Option<RoutePath> {
+        let fault_free = self.faults.is_empty() && self.link_faults.is_empty();
+        if fault_free || self.config.fault_handling == FaultHandling::Drop {
+            let mut out = RoutePath::empty();
+            self.config.router.route_into(x, y, scratch, &mut out);
+            return Some(out);
+        }
+        self.reroute(x, y)
+    }
+
+    /// Fault-avoiding BFS route on the surviving graph.
+    fn reroute(&self, x: &Word, y: &Word) -> Option<RoutePath> {
         let graph = self
             .reroute_graph
             .as_ref()
@@ -858,6 +952,62 @@ mod tests {
         let r = s.run(&traffic);
         assert_eq!(r.delivered, 50);
         assert_eq!(r.latency_total, r.total_hops * 5);
+    }
+
+    #[test]
+    fn reports_are_identical_for_any_thread_count() {
+        // The parallel route-precompute pass must be invisible in the
+        // results, for every router and even under faults (the BFS
+        // reroutes are deterministic too).
+        let sp = space(2, 5);
+        let traffic = workload::uniform_random(sp, 400, 13);
+        for router in RouterKind::all() {
+            let mk = |threads| SimConfig {
+                router,
+                threads,
+                ..Default::default()
+            };
+            let serial = sim(2, 5, mk(1)).run(&traffic);
+            for threads in [0, 2, 8] {
+                assert_eq!(serial, sim(2, 5, mk(threads)).run(&traffic), "{router:?}");
+            }
+        }
+        let fault = sp.word_from_rank(9).unwrap();
+        let mk = |threads| SimConfig {
+            fault_handling: FaultHandling::SourceReroute,
+            threads,
+            ..Default::default()
+        };
+        let serial = sim(2, 5, mk(1))
+            .with_faults(vec![fault.clone()])
+            .unwrap()
+            .run(&traffic);
+        let parallel = sim(2, 5, mk(8))
+            .with_faults(vec![fault])
+            .unwrap()
+            .run(&traffic);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn route_cache_capacity_does_not_change_results() {
+        let sp = space(2, 5);
+        let traffic = workload::uniform_random(sp, 400, 29);
+        for forwarding in [ForwardingMode::SourceRouted, ForwardingMode::HopByHop] {
+            let mk = |route_cache| SimConfig {
+                forwarding,
+                route_cache,
+                ..Default::default()
+            };
+            let uncached = sim(2, 5, mk(0)).run(&traffic);
+            for capacity in [1, 7, 4096] {
+                assert_eq!(
+                    uncached,
+                    sim(2, 5, mk(capacity)).run(&traffic),
+                    "{forwarding:?} capacity {capacity}"
+                );
+            }
+        }
     }
 
     #[test]

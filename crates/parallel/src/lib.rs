@@ -1,0 +1,201 @@
+//! Std-only data parallelism with deterministic merge order.
+//!
+//! The batch drivers in this workspace — all-pairs distance, graph
+//! eccentricities, bulk route computation, simulator route precomputation —
+//! are embarrassingly parallel, but the workspace builds fully offline with
+//! no external dependencies, so rayon is out. This crate provides the small
+//! slice of it the drivers need, on `std::thread::scope` alone:
+//!
+//! * a **chunked dynamic work queue**: workers claim fixed-size index
+//!   chunks from an atomic counter, so uneven per-item cost (BFS from a
+//!   high-eccentricity vertex, a long route) load-balances instead of
+//!   stalling a static partition;
+//! * **deterministic merge order**: each chunk remembers its start index
+//!   and results are reassembled in index order, so the output is
+//!   *byte-identical* regardless of thread count or scheduling — `--threads
+//!   8` must equal `--threads 1` exactly (and tests assert it);
+//! * **per-worker scratch**: [`map_range_with`] gives every worker one
+//!   lazily-created scratch value, the hook the zero-allocation routing and
+//!   matching kernels need.
+//!
+//! Worker panics propagate to the caller (via `std::thread::scope`), so a
+//! panicking item behaves the same single- or multi-threaded.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested thread count: `0` means "use the machine's
+/// available parallelism", anything else is taken literally.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `0..n` on up to `threads` scoped workers, returning the
+/// results in index order.
+///
+/// With `threads <= 1` (or `n <= 1`) the map runs inline on the calling
+/// thread — no spawn, no queue. `threads == 0` resolves to the machine's
+/// available parallelism.
+///
+/// # Examples
+///
+/// ```
+/// let squares = debruijn_parallel::map_range(4, 10, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+/// ```
+pub fn map_range<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    map_range_with(threads, n, || (), |(), i| f(i))
+}
+
+/// Maps `f` over the items of a slice on up to `threads` scoped workers,
+/// returning the results in slice order.
+pub fn map_slice<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_range(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Like [`map_range`], with one `init()`-created scratch value per worker
+/// threaded through its calls (workers see disjoint index subsets; the
+/// inline path uses a single scratch for all of `0..n`).
+///
+/// This is the entry point for kernels with reusable buffers: the scratch
+/// must not influence results, only amortize allocations.
+pub fn map_range_with<S, R, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let threads = effective_threads(threads);
+    if threads <= 1 || n <= 1 {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    // Small chunks load-balance uneven items; the clamp keeps queue
+    // traffic negligible. Chunking affects only scheduling, never results.
+    let chunk = (n / (threads * 8)).clamp(1, 1024);
+    let nchunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(nchunks));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(nchunks) {
+            scope.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= nchunks {
+                        break;
+                    }
+                    let start = c * chunk;
+                    let end = (start + chunk).min(n);
+                    let out: Vec<R> = (start..end).map(|i| f(&mut scratch, i)).collect();
+                    done.lock().unwrap().push((start, out));
+                }
+            });
+        }
+    });
+    let mut chunks = done.into_inner().unwrap();
+    // Reassembly by chunk start index makes the merge order — and thus
+    // the caller-visible output — independent of thread scheduling.
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut v) in chunks {
+        out.append(&mut v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order_for_any_thread_count() {
+        for threads in [1, 2, 3, 8, 17] {
+            let got = map_range(threads, 1000, |i| i * 3);
+            assert_eq!(got, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn multithreaded_output_is_identical_to_single_threaded() {
+        // Uneven per-item cost provokes out-of-order chunk completion.
+        let work = |i: usize| -> u64 {
+            let spins = if i.is_multiple_of(97) { 10_000 } else { 10 };
+            (0..spins).fold(i as u64, |acc, s| {
+                acc.wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(s as u64)
+            })
+        };
+        let serial = map_range(1, 5000, work);
+        let parallel = map_range(8, 5000, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn map_slice_preserves_order() {
+        let items: Vec<String> = (0..257).map(|i| format!("item-{i}")).collect();
+        let got = map_slice(4, &items, |s| s.len());
+        let want: Vec<usize> = items.iter().map(|s| s.len()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn per_worker_scratch_is_reused_not_shared() {
+        // Each worker's scratch counts its own items; totals must add up
+        // to n even though workers race for chunks.
+        let counted = map_range_with(
+            4,
+            1000,
+            || 0usize,
+            |seen, i| {
+                *seen += 1;
+                (i, *seen)
+            },
+        );
+        assert_eq!(counted.len(), 1000);
+        // Index order is preserved regardless of which worker ran what.
+        assert!(counted.iter().enumerate().all(|(idx, &(i, _))| idx == i));
+        // No worker saw more items than exist.
+        assert!(counted.iter().all(|&(_, seen)| seen <= 1000));
+    }
+
+    #[test]
+    fn empty_and_singleton_ranges_run_inline() {
+        assert_eq!(map_range(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_range(8, 1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(5), 5);
+        // And the mapping still works with the resolved count.
+        assert_eq!(map_range(0, 10, |i| i).len(), 10);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            map_range(4, 100, |i| {
+                assert!(i != 57, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -40,12 +40,31 @@
 /// assert_eq!(l, vec![0, 1, 1, 2, 3]);
 /// ```
 pub fn algorithm3_row<T: Eq>(pattern: &[T], text: &[T]) -> (Vec<usize>, Vec<usize>) {
+    let mut c = Vec::new();
+    let mut l = Vec::new();
+    algorithm3_row_into(pattern, text, &mut c, &mut l);
+    (c, l)
+}
+
+/// Allocation-free variant of [`algorithm3_row`]: writes `c_row` and `l_row`
+/// into caller-provided buffers, which are cleared and resized as needed.
+///
+/// Reusing the buffers across calls (e.g. from a routing scratch) avoids the
+/// per-row `Vec` churn the simulator hot loop would otherwise pay.
+pub fn algorithm3_row_into<T: Eq>(
+    pattern: &[T],
+    text: &[T],
+    c: &mut Vec<usize>,
+    l: &mut Vec<usize>,
+) {
     let m = pattern.len();
     let n = text.len();
-    let mut c = vec![0usize; m];
-    let mut l = vec![0usize; n];
+    c.clear();
+    c.resize(m, 0);
+    l.clear();
+    l.resize(n, 0);
     if m == 0 {
-        return (c, l);
+        return;
     }
 
     // Lines 1–7: failure function of the pattern.
@@ -66,7 +85,7 @@ pub fn algorithm3_row<T: Eq>(pattern: &[T], text: &[T]) -> (Vec<usize>, Vec<usiz
     }
 
     if n == 0 {
-        return (c, l);
+        return;
     }
 
     // Line 8: l_{i,1}.
@@ -87,8 +106,6 @@ pub fn algorithm3_row<T: Eq>(pattern: &[T], text: &[T]) -> (Vec<usize>, Vec<usiz
             l[j] = h + 1;
         }
     }
-
-    (c, l)
 }
 
 #[cfg(test)]

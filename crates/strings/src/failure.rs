@@ -25,8 +25,18 @@
 /// assert_eq!(failure_function::<u8>(&[]), Vec::<usize>::new());
 /// ```
 pub fn failure_function<T: Eq>(pattern: &[T]) -> Vec<usize> {
+    let mut fail = Vec::new();
+    failure_function_into(pattern, &mut fail);
+    fail
+}
+
+/// Allocation-free variant of [`failure_function`]: writes the table into a
+/// caller-provided buffer (cleared and resized as needed), so hot loops can
+/// reuse one buffer across many patterns.
+pub fn failure_function_into<T: Eq>(pattern: &[T], fail: &mut Vec<usize>) {
     let m = pattern.len();
-    let mut fail = vec![0usize; m];
+    fail.clear();
+    fail.resize(m, 0);
     let mut border = 0usize;
     for q in 1..m {
         while border > 0 && pattern[border] != pattern[q] {
@@ -37,7 +47,6 @@ pub fn failure_function<T: Eq>(pattern: &[T]) -> Vec<usize> {
         }
         fail[q] = border;
     }
-    fail
 }
 
 /// Computes the failure function by brute force, for differential testing.
@@ -141,11 +150,17 @@ pub fn borders<T: Eq>(pattern: &[T]) -> Vec<usize> {
 /// assert_eq!(overlap(b"000", b"111"), 0);
 /// ```
 pub fn overlap<T: Eq>(text: &[T], pattern: &[T]) -> usize {
+    overlap_with_scratch(text, pattern, &mut Vec::new())
+}
+
+/// Allocation-free variant of [`overlap`]: the failure-function table is
+/// built in the caller-provided buffer instead of a fresh `Vec`.
+pub fn overlap_with_scratch<T: Eq>(text: &[T], pattern: &[T], fail: &mut Vec<usize>) -> usize {
     let m = pattern.len();
     if m == 0 {
         return 0;
     }
-    let fail = failure_function(pattern);
+    failure_function_into(pattern, fail);
     let mut state = 0usize;
     for ch in text {
         if state == m {

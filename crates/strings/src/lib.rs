@@ -30,6 +30,7 @@
 //! ```
 
 pub mod algorithm3;
+pub mod bitmatch;
 pub mod failure;
 pub mod gst;
 pub mod matcher;
@@ -38,11 +39,15 @@ pub mod suffix_array;
 pub mod suffix_tree;
 pub mod zfunction;
 
-pub use algorithm3::algorithm3_row;
+pub use algorithm3::{algorithm3_row, algorithm3_row_into};
+pub use bitmatch::{both_family_minima, BitScratch};
 pub use failure::failure_function;
 pub use gst::{MatchMinimum, TwoStringTree};
 pub use matcher::MpMatcher;
-pub use matching::{l_table, l_table_naive, min_l_term, r_table, r_table_naive, MatchTerm};
+pub use matching::{
+    l_table, l_table_naive, min_l_term, min_l_term_with_scratch, r_table, r_table_naive,
+    MatchScratch, MatchTerm,
+};
 pub use suffix_array::{lcp_array, suffix_array};
 pub use suffix_tree::SuffixTree;
 pub use zfunction::{overlap_via_z, z_array};

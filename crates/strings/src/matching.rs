@@ -135,10 +135,58 @@ pub struct MatchTerm {
 /// # Panics
 ///
 /// Panics if `x` or `y` is empty (the de Bruijn word length `k` is ≥ 1).
-pub fn min_l_term<T: Eq + Clone>(x: &[T], y: &[T]) -> MatchTerm {
+pub fn min_l_term<T: Eq>(x: &[T], y: &[T]) -> MatchTerm {
+    min_l_term_with_scratch(x, y, &mut MatchScratch::default())
+}
+
+/// Reusable row buffers for [`min_l_term_with_scratch`].
+#[derive(Debug, Default, Clone)]
+pub struct MatchScratch {
+    c: Vec<usize>,
+    l: Vec<usize>,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`min_l_term`] with caller-provided row buffers: the minimum is folded
+/// row by row over Algorithm 3 ([`crate::algorithm3_row_into`]) without
+/// materializing the table, so after warm-up the scan allocates nothing.
+///
+/// Identical output to [`min_l_term`] — same values, same row-major
+/// tie-breaking (Algorithm 3's rows equal the Morris–Pratt rows, see the
+/// exhaustive tests in [`crate::algorithm3`]).
+///
+/// # Panics
+///
+/// Panics if `x` or `y` is empty (the de Bruijn word length `k` is ≥ 1).
+pub fn min_l_term_with_scratch<T: Eq>(x: &[T], y: &[T], scratch: &mut MatchScratch) -> MatchTerm {
     assert!(!x.is_empty() && !y.is_empty(), "k must be at least 1");
-    let table = l_table(x, y);
-    min_l_term_from_table(&table)
+    let mut best = MatchTerm {
+        value: i64::MAX,
+        s: 0,
+        t: 0,
+        theta: 0,
+    };
+    for i0 in 0..x.len() {
+        crate::algorithm3::algorithm3_row_into(&x[i0..], y, &mut scratch.c, &mut scratch.l);
+        for (j0, &l) in scratch.l.iter().enumerate() {
+            let value = (i0 as i64 + 1) - (j0 as i64 + 1) - l as i64;
+            if value < best.value {
+                best = MatchTerm {
+                    value,
+                    s: i0 + 1,
+                    t: j0 + 1,
+                    theta: l,
+                };
+            }
+        }
+    }
+    best
 }
 
 /// Minimizes `i − j − l[i][j]` over a precomputed `l` table.

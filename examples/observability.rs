@@ -119,13 +119,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("first event: {first}\n");
 
     // 5. The algorithmic layer underneath: each injection computed one
-    //    undirected distance (k = 8 resolves Auto to Morris-Pratt), and
-    //    Algorithm 4 built suffix trees for the routes themselves.
+    //    undirected distance (k = 8 resolves Auto to the bit-parallel
+    //    engine), and Algorithm 4 built suffix trees for the routes.
     println!(
-        "distance engine solves: {} morris-pratt, {} suffix-tree ({} via Auto)",
+        "distance engine solves: {} morris-pratt, {} suffix-tree, {} bit-parallel ({} via Auto)",
         profile_used.engine_morris_pratt,
         profile_used.engine_suffix_tree,
-        profile_used.auto_to_morris_pratt + profile_used.auto_to_suffix_tree
+        profile_used.engine_bit_parallel,
+        profile_used.auto_to_bit_parallel + profile_used.auto_to_suffix_tree
     );
 
     // Sanity: the recorded per-message shortest distances really are the

@@ -20,29 +20,39 @@ use crate::trace::{self, TraceMetric};
 /// A parsed `dbr` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `dbr route <d> <X> <Y> [--directed] [--engine naive|mp|suffix-tree]`
+    /// `dbr route <d> <X> <Y> [--directed] [--engine E]` or
+    /// `dbr route <d> --batch FILE [--threads N] …`
     Route {
         /// Digit radix.
         d: u8,
-        /// Source address text.
-        x: String,
-        /// Destination address text.
-        y: String,
+        /// The single source/destination pair (`None` in batch mode).
+        pair: Option<(String, String)>,
         /// Uni-directional network (Algorithm 1) instead of Algorithm 2/4.
         directed: bool,
         /// Engine override for the bidirectional case.
         engine: Engine,
+        /// Worker threads for batch mode (1 = inline, 0 = all cores).
+        threads: usize,
+        /// Read whitespace-separated "X Y" pairs from this file (`-` =
+        /// stdin), one route per line.
+        batch: Option<String>,
     },
-    /// `dbr distance <d> <X> <Y> [--directed]`
+    /// `dbr distance <d> <X> <Y> [--directed] [--engine E]` or
+    /// `dbr distance <d> --batch FILE [--threads N] …`
     Distance {
         /// Digit radix.
         d: u8,
-        /// Source address text.
-        x: String,
-        /// Destination address text.
-        y: String,
+        /// The single source/destination pair (`None` in batch mode).
+        pair: Option<(String, String)>,
         /// Uni-directional distance (Property 1) instead of Theorem 2.
         directed: bool,
+        /// Engine for the undirected distance (default: auto crossover).
+        engine: Engine,
+        /// Worker threads for batch mode (1 = inline, 0 = all cores).
+        threads: usize,
+        /// Read whitespace-separated "X Y" pairs from this file (`-` =
+        /// stdin), one distance per line.
+        batch: Option<String>,
     },
     /// `dbr sequence <d> <n> [--prefer-largest]`
     Sequence {
@@ -86,6 +96,10 @@ pub enum Command {
         policy: WildcardPolicy,
         /// RNG seed.
         seed: u64,
+        /// Worker threads for the route-precompute pass.
+        threads: usize,
+        /// Route-cache capacity (0 disables).
+        route_cache: usize,
         /// Print per-hop/queue histograms and wildcard/profile counters.
         metrics: bool,
         /// Write every simulation event to this file as JSON lines.
@@ -191,13 +205,16 @@ pub const USAGE: &str = "\
 dbr — de Bruijn network routing toolbox
 
 USAGE:
-  dbr route <d> <X> <Y> [--directed] [--engine naive|mp|suffix-tree]
-  dbr distance <d> <X> <Y> [--directed]
+  dbr route <d> <X> <Y> [--directed] [--engine E]
+  dbr route <d> --batch FILE [--threads N] [--directed] [--engine E]
+  dbr distance <d> <X> <Y> [--directed] [--engine E]
+  dbr distance <d> --batch FILE [--threads N] [--directed] [--engine E]
   dbr sequence <d> <n> [--prefer-largest]
   dbr census <d> <k>
   dbr average <d> <k> [--directed] [--samples N]
   dbr simulate <d> <k> [--messages N] [--router trivial|alg1|alg2|alg4]
                        [--policy zero|random|round-robin|least-loaded] [--seed S]
+                       [--threads N] [--route-cache N]
                        [--metrics] [--trace FILE] [--progress N]
                        [--chrome-trace FILE]
   dbr trace summary <file>          reconstruct the --metrics report
@@ -219,10 +236,21 @@ Addresses are digit strings (\"0110\") or dot-separated for d > 10
   dbr simulate 2 8 --messages 5000 --trace run.jsonl --progress 50
   dbr trace summary run.jsonl
 
+Engines E for the bidirectional distance: auto (default) | bit-parallel |
+suffix-tree | mp | naive. auto picks the word-parallel bit-parallel
+engine up to k = 512 and the O(k) suffix tree beyond — the measured
+crossover where tree construction overtakes the packed diagonal sweep
+(see docs/PERFORMANCE.md). --batch FILE reads one \"X Y\" pair per line
+(`-` = stdin, `#` comments ok) and prints one result per line;
+--threads N fans the batch (or the simulator's route precomputation)
+out over N workers (0 = all cores) with results merged in input order,
+byte-identical to --threads 1. --route-cache N bounds the simulator's
+(source, destination) route cache (clock eviction, 0 disables).
+
 --metrics prints exact histograms (hops, stretch over D(X,Y), per-hop
 latency, queue wait/depth, end-to-end latency) and counters (wildcard
-resolutions per policy and digit, drops by reason, distance-engine and
-convergecast profile); --trace FILE streams every event as JSON lines
+resolutions per policy and digit, drops by reason, distance-engine,
+route-cache and convergecast profile); --trace FILE streams every event as JSON lines
 that every `dbr trace` command can analyse offline (they infer the
 radix from the file; pass --radix D to override); --progress N prints
 an in-flight snapshot to stderr every N ticks; --chrome-trace FILE
@@ -254,31 +282,30 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "route" => {
             let (pos, flags) = split_flags(&rest);
-            flags.expect_only(&["--directed", "--engine"])?;
-            let [d, x, y] = positional::<3>(&pos, "route <d> <X> <Y>")?;
+            flags.expect_only(&["--directed", "--engine", "--threads", "--batch"])?;
+            let batch = flags.value("--batch")?.map(String::from);
+            let (d, pair) = pair_or_batch(&pos, batch.is_some(), "route")?;
             Ok(Command::Route {
-                d: parse_radix(d)?,
-                x: x.to_string(),
-                y: y.to_string(),
+                d,
+                pair,
                 directed: flags.has("--directed")?,
-                engine: match flags.value("--engine")? {
-                    None => Engine::Auto,
-                    Some("naive") => Engine::Naive,
-                    Some("mp") => Engine::MorrisPratt,
-                    Some("suffix-tree") => Engine::SuffixTree,
-                    Some(other) => return Err(format!("unknown engine '{other}'")),
-                },
+                engine: parse_engine(flags.value("--engine")?)?,
+                threads: parse_threads(&flags)?,
+                batch,
             })
         }
         "distance" => {
             let (pos, flags) = split_flags(&rest);
-            flags.expect_only(&["--directed"])?;
-            let [d, x, y] = positional::<3>(&pos, "distance <d> <X> <Y>")?;
+            flags.expect_only(&["--directed", "--engine", "--threads", "--batch"])?;
+            let batch = flags.value("--batch")?.map(String::from);
+            let (d, pair) = pair_or_batch(&pos, batch.is_some(), "distance")?;
             Ok(Command::Distance {
-                d: parse_radix(d)?,
-                x: x.to_string(),
-                y: y.to_string(),
+                d,
+                pair,
                 directed: flags.has("--directed")?,
+                engine: parse_engine(flags.value("--engine")?)?,
+                threads: parse_threads(&flags)?,
+                batch,
             })
         }
         "sequence" => {
@@ -322,6 +349,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 "--router",
                 "--policy",
                 "--seed",
+                "--threads",
+                "--route-cache",
                 "--metrics",
                 "--trace",
                 "--progress",
@@ -355,6 +384,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map(|v| v.parse::<u64>().map_err(|_| format!("bad seed '{v}'")))
                     .transpose()?
                     .unwrap_or(0xDB),
+                threads: parse_threads(&flags)?,
+                route_cache: flags
+                    .value("--route-cache")?
+                    .map(|v| parse_num(v, "route-cache"))
+                    .transpose()?
+                    .unwrap_or(SimConfig::default().route_cache),
                 metrics: flags.has("--metrics")?,
                 trace: flags.value("--trace")?.map(String::from),
                 progress: flags
@@ -477,30 +512,67 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         Command::Help => out.push_str(USAGE),
         Command::Route {
             d,
-            x,
-            y,
+            pair,
             directed,
             engine,
+            threads,
+            batch,
         } => {
-            let (x, y) = parse_pair(*d, x, y)?;
-            if *directed {
-                let route = routing::algorithm1(&x, &y);
-                writeln!(out, "distance: {}", route.len()).expect("write to string");
-                writeln!(out, "route:    {route}").expect("write to string");
-            } else {
-                let route = routing::route_with_engine(&x, &y, *engine);
-                writeln!(out, "distance: {}", route.len()).expect("write to string");
-                writeln!(out, "route:    {route}").expect("write to string");
+            let route_one = |x: &Word, y: &Word| {
+                if *directed {
+                    routing::algorithm1(x, y)
+                } else {
+                    routing::route_with_engine(x, y, *engine)
+                }
+            };
+            match (pair, batch) {
+                (Some((x, y)), _) => {
+                    let (x, y) = parse_pair(*d, x, y)?;
+                    let route = route_one(&x, &y);
+                    writeln!(out, "distance: {}", route.len()).expect("write to string");
+                    writeln!(out, "route:    {route}").expect("write to string");
+                }
+                (None, Some(file)) => {
+                    let pairs = read_batch_pairs(*d, file)?;
+                    let routes =
+                        debruijn_parallel::map_slice(*threads, &pairs, |(x, y)| route_one(x, y));
+                    for r in routes {
+                        writeln!(out, "{} {r}", r.len()).expect("write to string");
+                    }
+                }
+                (None, None) => unreachable!("parser guarantees pair or batch"),
             }
         }
-        Command::Distance { d, x, y, directed } => {
-            let (x, y) = parse_pair(*d, x, y)?;
-            let dist = if *directed {
-                distance::directed::distance(&x, &y)
-            } else {
-                distance::undirected::distance(&x, &y)
+        Command::Distance {
+            d,
+            pair,
+            directed,
+            engine,
+            threads,
+            batch,
+        } => {
+            let dist_one = |x: &Word, y: &Word| {
+                if *directed {
+                    distance::directed::distance(x, y)
+                } else {
+                    distance::undirected::distance_with(*engine, x, y)
+                }
             };
-            writeln!(out, "{dist}").expect("write to string");
+            match (pair, batch) {
+                (Some((x, y)), _) => {
+                    let (x, y) = parse_pair(*d, x, y)?;
+                    writeln!(out, "{}", dist_one(&x, &y)).expect("write to string");
+                }
+                (None, Some(file)) => {
+                    let pairs = read_batch_pairs(*d, file)?;
+                    let dists =
+                        debruijn_parallel::map_slice(*threads, &pairs, |(x, y)| dist_one(x, y));
+                    for dist in dists {
+                        writeln!(out, "{dist}").expect("write to string");
+                    }
+                }
+                (None, None) => unreachable!("parser guarantees pair or batch"),
+            }
         }
         Command::Sequence {
             d,
@@ -607,6 +679,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             router,
             policy,
             seed,
+            threads,
+            route_cache,
             metrics,
             trace,
             progress,
@@ -617,6 +691,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 router: *router,
                 policy: *policy,
                 seed: *seed,
+                threads: *threads,
+                route_cache: *route_cache,
                 ..SimConfig::default()
             };
             let sim = Simulation::new(space, config).map_err(|e| e.to_string())?;
@@ -686,18 +762,31 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 writeln!(out, "\n== core profile (this run) ==").expect("write");
                 writeln!(
                     out,
-                    "distance engine solves: {} naive, {} morris-pratt, {} suffix-tree",
+                    "distance engine solves: {} naive, {} morris-pratt, {} suffix-tree, {} bit-parallel",
                     profile_used.engine_naive,
                     profile_used.engine_morris_pratt,
-                    profile_used.engine_suffix_tree
+                    profile_used.engine_suffix_tree,
+                    profile_used.engine_bit_parallel
                 )
                 .expect("write");
                 writeln!(
                     out,
-                    "auto engine selection:  {} -> morris-pratt, {} -> suffix-tree",
-                    profile_used.auto_to_morris_pratt, profile_used.auto_to_suffix_tree
+                    "auto engine selection:  {} -> suffix-tree, {} -> bit-parallel",
+                    profile_used.auto_to_suffix_tree, profile_used.auto_to_bit_parallel
                 )
                 .expect("write");
+                match profile_used.route_cache_hit_rate() {
+                    Some(rate) => writeln!(
+                        out,
+                        "route cache:            {} hits, {} misses, {} evictions ({:.1}% hit rate)",
+                        profile_used.route_cache_hits,
+                        profile_used.route_cache_misses,
+                        profile_used.route_cache_evictions,
+                        rate * 100.0
+                    )
+                    .expect("write"),
+                    None => writeln!(out, "route cache:            unused").expect("write"),
+                }
                 match profile_used.convergecast_hit_rate() {
                     Some(rate) => writeln!(
                         out,
@@ -840,6 +929,69 @@ fn parse_radix(s: &str) -> Result<u8, String> {
     s.parse::<u8>().map_err(|_| format!("bad radix '{s}'"))
 }
 
+fn parse_engine(value: Option<&str>) -> Result<Engine, String> {
+    match value {
+        None | Some("auto") => Ok(Engine::Auto),
+        Some("naive") => Ok(Engine::Naive),
+        Some("mp") => Ok(Engine::MorrisPratt),
+        Some("suffix-tree") => Ok(Engine::SuffixTree),
+        Some("bit-parallel") => Ok(Engine::BitParallel),
+        Some(other) => Err(format!("unknown engine '{other}'")),
+    }
+}
+
+fn parse_threads(flags: &Flags<'_>) -> Result<usize, String> {
+    flags
+        .value("--threads")?
+        .map(|v| parse_num(v, "threads"))
+        .transpose()
+        .map(|t| t.unwrap_or(1))
+}
+
+/// Positional grammar shared by `route`/`distance`: `<d> <X> <Y>` for a
+/// single pair, just `<d>` when `--batch` supplies the pairs.
+fn pair_or_batch(
+    pos: &[&str],
+    batch: bool,
+    cmd: &str,
+) -> Result<(u8, Option<(String, String)>), String> {
+    if batch {
+        let [d] = positional::<1>(pos, &format!("{cmd} <d> --batch FILE"))?;
+        Ok((parse_radix(d)?, None))
+    } else {
+        let [d, x, y] = positional::<3>(pos, &format!("{cmd} <d> <X> <Y>"))?;
+        Ok((parse_radix(d)?, Some((x.to_string(), y.to_string()))))
+    }
+}
+
+/// Reads "X Y" pairs (whitespace-separated, one per line; blank lines and
+/// `#` comments skipped) from a batch file, or stdin for `-`.
+fn read_batch_pairs(d: u8, path: &str) -> Result<Vec<(Word, Word)>, String> {
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read batch '{path}': {e}"))?
+    };
+    let mut pairs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(x), Some(y), None) = (it.next(), it.next(), it.next()) else {
+            return Err(format!("batch line {}: expected 'X Y'", lineno + 1));
+        };
+        pairs.push(parse_pair(d, x, y).map_err(|e| format!("batch line {}: {e}", lineno + 1))?);
+    }
+    Ok(pairs)
+}
+
 fn parse_num(s: &str, what: &str) -> Result<usize, String> {
     s.parse::<usize>().map_err(|_| format!("bad {what} '{s}'"))
 }
@@ -941,10 +1093,11 @@ mod tests {
             cmd,
             Command::Route {
                 d: 2,
-                x: "0110".into(),
-                y: "1011".into(),
+                pair: Some(("0110".into(), "1011".into())),
                 directed: false,
                 engine: Engine::SuffixTree,
+                threads: 1,
+                batch: None,
             }
         );
     }
@@ -953,6 +1106,82 @@ mod tests {
     fn parses_directed_distance() {
         let cmd = parse_line("distance 3 012 210 --directed").unwrap();
         assert!(matches!(cmd, Command::Distance { directed: true, .. }));
+    }
+
+    #[test]
+    fn parses_engine_threads_and_batch_flags() {
+        let cmd = parse_line("distance 2 --batch pairs.txt --threads 8 --engine bit-parallel");
+        assert_eq!(
+            cmd.unwrap(),
+            Command::Distance {
+                d: 2,
+                pair: None,
+                directed: false,
+                engine: Engine::BitParallel,
+                threads: 8,
+                batch: Some("pairs.txt".into()),
+            }
+        );
+        // A pair and --batch together is an arity error, as is neither.
+        assert!(parse_line("distance 2 01 10 --batch pairs.txt").is_err());
+        assert!(parse_line("distance 2").is_err());
+        assert!(parse_line("distance 2 01 10 --engine quantum").is_err());
+        let cmd = parse_line("simulate 2 6 --threads 4 --route-cache 0").unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Simulate {
+                threads: 4,
+                route_cache: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn batch_distance_is_identical_for_any_thread_count() {
+        // All ordered pairs of DG(2,4) through the batch driver: the
+        // fan-out must be invisible in the output, and every engine must
+        // agree with the default.
+        let sp = DeBruijn::new(2, 4).unwrap();
+        let mut lines = String::new();
+        for x in sp.vertices() {
+            for y in sp.vertices() {
+                lines.push_str(&format!("{x} {y}\n"));
+            }
+        }
+        let path = std::env::temp_dir().join(format!("dbr-batch-{}.txt", std::process::id()));
+        std::fs::write(&path, &lines).unwrap();
+        let path_str = path.to_str().unwrap();
+        let run_with = |extra: &str| {
+            run(&parse_line(&format!("distance 2 --batch {path_str} {extra}")).unwrap()).unwrap()
+        };
+        let serial = run_with("--threads 1");
+        assert_eq!(serial, run_with("--threads 8"), "threaded batch differs");
+        for engine in ["naive", "mp", "suffix-tree", "bit-parallel", "auto"] {
+            assert_eq!(serial, run_with(&format!("--engine {engine}")), "{engine}");
+        }
+        let route_serial =
+            run(&parse_line(&format!("route 2 --batch {path_str} --threads 1")).unwrap()).unwrap();
+        let route_par =
+            run(&parse_line(&format!("route 2 --batch {path_str} --threads 8")).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(route_serial, route_par);
+        // Each batch route line is "<len> <route>", one per pair.
+        assert_eq!(route_serial.lines().count(), 16 * 16);
+    }
+
+    #[test]
+    fn simulate_reports_match_for_any_thread_count_and_cache_size() {
+        let base = "simulate 2 6 --messages 400 --router alg2 --seed 3";
+        let want = run(&parse_line(base).unwrap()).unwrap();
+        for extra in [
+            "--threads 8",
+            "--route-cache 0",
+            "--threads 8 --route-cache 0",
+        ] {
+            let got = run(&parse_line(&format!("{base} {extra}")).unwrap()).unwrap();
+            assert_eq!(want, got, "{extra}");
+        }
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Differential test of the four Theorem-2 engines across the (d,k) grid.
+//!
+//! Sweeps every `d ∈ {2,3,4}`, `k ≤ 7`: small spaces exhaustively (all
+//! ordered pairs), larger ones with a seeded sample. The bit-parallel,
+//! Morris–Pratt, suffix-tree, and naive engines must return the same
+//! distance on every pair — any packing, shift, or tie-breaking bug in
+//! one engine shows up as a disagreement with the other three.
+
+use debruijn_core::distance::undirected::{distance_with, Engine};
+use debruijn_core::rng::SplitMix64;
+use debruijn_core::{DeBruijn, Word};
+
+const ENGINES: [Engine; 4] = [
+    Engine::Naive,
+    Engine::MorrisPratt,
+    Engine::SuffixTree,
+    Engine::BitParallel,
+];
+
+fn assert_engines_agree(d: u8, k: usize, x: &Word, y: &Word) {
+    let want = distance_with(Engine::Naive, x, y);
+    for engine in ENGINES {
+        assert_eq!(
+            distance_with(engine, x, y),
+            want,
+            "d={d} k={k} {x} {y} {engine:?}"
+        );
+    }
+}
+
+#[test]
+fn all_engines_agree_on_every_small_space_and_sampled_large_ones() {
+    // Beyond this many vertices, all-pairs is too slow for a tier-1 test;
+    // fall back to a seeded uniform sample of ordered pairs.
+    const EXHAUSTIVE_LIMIT: usize = 64;
+    const SAMPLES: usize = 400;
+    let mut rng = SplitMix64::new(0xD1FF);
+    for d in [2u8, 3, 4] {
+        for k in 1..=7usize {
+            let space = DeBruijn::new(d, k).unwrap();
+            let n = space.order_usize().unwrap();
+            if n <= EXHAUSTIVE_LIMIT {
+                for x in space.vertices() {
+                    for y in space.vertices() {
+                        assert_engines_agree(d, k, &x, &y);
+                    }
+                }
+            } else {
+                for _ in 0..SAMPLES {
+                    let x = space.word_from_rank(rng.below_u128(n as u128)).unwrap();
+                    let y = space.word_from_rank(rng.below_u128(n as u128)).unwrap();
+                    assert_engines_agree(d, k, &x, &y);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_engine_matches_explicit_engines_on_seeded_pairs() {
+    let mut rng = SplitMix64::new(0xA070);
+    for d in [2u8, 3, 4] {
+        for k in [5usize, 6, 7] {
+            let space = DeBruijn::new(d, k).unwrap();
+            let n = space.order_usize().unwrap() as u128;
+            for _ in 0..100 {
+                let x = space.word_from_rank(rng.below_u128(n)).unwrap();
+                let y = space.word_from_rank(rng.below_u128(n)).unwrap();
+                assert_eq!(
+                    debruijn_core::distance::undirected::distance(&x, &y),
+                    distance_with(Engine::SuffixTree, &x, &y),
+                    "d={d} k={k} {x} {y}"
+                );
+            }
+        }
+    }
+}
