@@ -4,9 +4,12 @@
 # repository root; no network access required. The file is checked in
 # so reviewers can compare machines and spot regressions.
 #
-# `bench.sh --check` reruns only the distance-engine bench and compares
-# it against the checked-in BENCH_results.json with the bench_check
-# binary, failing if any series regressed more than 30%. ci.sh runs
+# `bench.sh --check` reruns the distance-engine and simulator benches
+# and compares them against the checked-in BENCH_results.json with the
+# bench_check binary, failing if any series regressed more than 30%.
+# The simulator bench additionally self-gates: serving /metrics
+# scrapes at 4 Hz must not steal more than 2% of the simulator's CPU
+# (--max-scrape-overhead-pct, see docs/OBSERVABILITY.md). ci.sh runs
 # this as its performance smoke.
 set -eu
 
@@ -14,12 +17,16 @@ out=BENCH_results.json
 
 if [ "${1:-}" = "--check" ]; then
     cargo build --release -q -p debruijn-bench \
-        --bench distance_engines --bin bench_check
+        --bench distance_engines --bench simulation_throughput --bin bench_check
     tmp=$(mktemp)
     trap 'rm -f "$tmp"' EXIT
+    dist_line=$(cargo bench -q -p debruijn-bench --bench distance_engines -- --json)
+    sim_line=$(cargo bench -q -p debruijn-bench --bench simulation_throughput -- \
+        --json --max-scrape-overhead-pct 2)
     {
         printf '[\n'
-        printf '%s' "$(cargo bench -q -p debruijn-bench --bench distance_engines -- --json)"
+        printf '%s,\n' "$dist_line"
+        printf '%s' "$sim_line"
         printf '\n]\n'
     } > "$tmp"
     cargo run --release -q -p debruijn-bench --bin bench_check -- "$out" "$tmp"

@@ -24,11 +24,12 @@ echo "== trace round-trip smoke =="
 # trace must agree line for line on the headline metrics and the
 # counter block (see docs/OBSERVABILITY.md).
 smoke_dir=$(mktemp -d)
-trap 'rm -rf "$smoke_dir"' EXIT
+listen_pid=""
+trap 'if [ -n "${listen_pid:-}" ]; then kill "$listen_pid" 2>/dev/null || true; fi; rm -rf "$smoke_dir"' EXIT
 ./target/release/dbr simulate 2 8 --messages 5000 --metrics \
     --trace "$smoke_dir/run.jsonl" > "$smoke_dir/live.txt"
 ./target/release/dbr trace summary "$smoke_dir/run.jsonl" > "$smoke_dir/offline.txt"
-for key in "delivered:" "mean hops:" "mean latency:" "max latency:" "messages:"; do
+for key in "delivered:" "dropped:" "mean hops:" "mean latency:" "max latency:" "messages:"; do
     live_line=$(grep -F "$key" "$smoke_dir/live.txt" | head -n 1)
     offline_line=$(grep -F "$key" "$smoke_dir/offline.txt" | head -n 1)
     if [ -z "$live_line" ] || [ "$live_line" != "$offline_line" ]; then
@@ -39,6 +40,70 @@ for key in "delivered:" "mean hops:" "mean latency:" "max latency:" "messages:";
     fi
 done
 echo "live report and offline reconstruction agree"
+
+echo "== metrics scrape smoke =="
+# A live run with --listen serves Prometheus text over loopback; the
+# bound address (port 0: OS-assigned) is announced on stderr.
+./target/release/dbr simulate 2 8 --messages 2000 --router alg2 \
+    --listen 127.0.0.1:0 \
+    > "$smoke_dir/listen.txt" 2> "$smoke_dir/listen.err" &
+listen_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|^listening on http://\([^/]*\)/metrics$|\1|p' \
+        "$smoke_dir/listen.err")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "scrape smoke: server never announced its address"
+    cat "$smoke_dir/listen.err"
+    exit 1
+fi
+# Poll until the run has finished (the endpoint serves during the run
+# too, so early scrapes may see partial counts).
+scrape_ok=""
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/metrics" > "$smoke_dir/scrape.txt" || true
+    if grep -q '^dbr_sim_delivered_total 2000$' "$smoke_dir/scrape.txt"; then
+        scrape_ok=1
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$scrape_ok" ]; then
+    echo "scrape smoke: dbr_sim_delivered_total never reached 2000"
+    cat "$smoke_dir/scrape.txt"
+    exit 1
+fi
+for family in "dbr_sim_injected_total 2000" "dbr_link_forward_total{" \
+    "dbr_core_route_cache_total{" "dbr_core_engine_solves_total{"; do
+    if ! grep -qF "$family" "$smoke_dir/scrape.txt"; then
+        echo "scrape smoke: /metrics lacks '$family'"
+        cat "$smoke_dir/scrape.txt"
+        exit 1
+    fi
+done
+curl -fsS "http://$addr/healthz" | grep -q ok
+kill "$listen_pid" 2>/dev/null || true
+wait "$listen_pid" 2>/dev/null || true
+listen_pid=""
+echo "loopback /metrics scrape serves the unified registry"
+
+echo "== flight recorder round-trip smoke =="
+# A faulty node provokes a drop burst; the dumped pre-anomaly window
+# must parse through the offline trace toolkit with a per-reason drop
+# breakdown.
+./target/release/dbr simulate 2 6 --messages 400 --router alg2 \
+    --faults 000000 --flight-recorder "$smoke_dir/flight.jsonl" \
+    > "$smoke_dir/flight.txt"
+grep -qF "flight recorder: " "$smoke_dir/flight.txt"
+grep -qF "window dumped to" "$smoke_dir/flight.txt"
+./target/release/dbr trace summary "$smoke_dir/flight.jsonl" \
+    > "$smoke_dir/flight_summary.txt"
+grep -qF "dropped (" "$smoke_dir/flight_summary.txt"
+grep -qF "dropped:      " "$smoke_dir/flight_summary.txt"
+echo "flight-recorder dump round-trips through dbr trace summary"
 
 echo "== bench regression smoke =="
 # Reruns the distance-engine bench and fails if any series regressed

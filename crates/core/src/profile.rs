@@ -129,6 +129,15 @@ impl ProfileSnapshot {
     /// Counter increments since an earlier snapshot (saturating, so a
     /// [`reset`] between the two snapshots yields zeros instead of
     /// wrapping).
+    ///
+    /// The underlying counters are **process-wide**: a delta attributes
+    /// every increment made by *any* thread during the interval to the
+    /// caller, not just the caller's own work. Single-threaded tooling
+    /// can treat deltas as exact; anything running next to other
+    /// threads (the parallel batch driver, concurrent test binaries, a
+    /// live scrape server) must treat its own contribution as a lower
+    /// bound of the delta. See the "process-wide counters" caveat in
+    /// `docs/OBSERVABILITY.md`.
     pub fn since(&self, earlier: &ProfileSnapshot) -> ProfileSnapshot {
         ProfileSnapshot {
             engine_naive: self.engine_naive.saturating_sub(earlier.engine_naive),
@@ -290,6 +299,35 @@ mod tests {
         assert!(used.convergecast_routes >= 16);
         let rate = used.convergecast_hit_rate().expect("activity recorded");
         assert!(rate > 0.5, "16 routes amortize one build: {rate}");
+    }
+
+    #[test]
+    fn since_deltas_are_process_wide_across_threads() {
+        // Four threads each perform a known number of solves while the
+        // main thread holds one interval open: the single process-wide
+        // delta sees the *sum* of everyone's work. This is the caveat
+        // documented on `ProfileSnapshot::since` — a per-thread view
+        // would report 25 for each worker, not >= 100 overall.
+        const THREADS: usize = 4;
+        const SOLVES: usize = 25;
+        let x = Word::parse(2, "0100111").unwrap();
+        let y = Word::parse(2, "1110010").unwrap();
+        let before = snapshot();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..SOLVES {
+                        distance_with(Engine::MorrisPratt, &x, &y);
+                    }
+                });
+            }
+        });
+        let used = snapshot().since(&before);
+        assert!(
+            used.engine_morris_pratt >= (THREADS * SOLVES) as u64,
+            "one interval attributes all threads' work: {}",
+            used.engine_morris_pratt
+        );
     }
 
     #[test]

@@ -27,7 +27,12 @@
 //!   runs: `O(1)`-record log-bucketed histograms ([`LogHistogram`]),
 //!   per-link/per-node accumulators ([`Telemetry`]), periodic progress
 //!   snapshots ([`SnapshotRecorder`]), and Chrome trace-event export
-//!   ([`ChromeTraceRecorder`]).
+//!   ([`ChromeTraceRecorder`]);
+//! * [`metrics`] — a unified [`MetricsRegistry`](metrics::MetricsRegistry)
+//!   of named counters/gauges/histograms with Prometheus text export, a
+//!   std-only HTTP scrape server ([`metrics::ScrapeServer`]), and an
+//!   anomaly-triggered [`metrics::FlightRecorder`] for post-mortem event
+//!   capture.
 //!
 //! Everything is deterministic given the seed in [`SimConfig`].
 //!
@@ -49,6 +54,7 @@
 //! ```
 
 pub mod message;
+pub mod metrics;
 pub mod policy;
 pub mod record;
 pub mod router;

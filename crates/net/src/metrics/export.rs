@@ -1,0 +1,523 @@
+//! Point-in-time metric snapshots and Prometheus text rendering.
+//!
+//! A [`MetricsSnapshot`] is the frozen, order-stable view of a
+//! [`MetricsRegistry`](super::MetricsRegistry): families sorted by
+//! name, series sorted by label set, every value copied out of its
+//! atomic or mutex. Snapshots are plain data — they [`merge`] shard-
+//! wise (counters add, gauges combine per their declared
+//! [`GaugeMerge`] mode, histograms fold via
+//! [`LogHistogram::merge`]) and [`render`] into the Prometheus text
+//! exposition format, version 0.0.4.
+//!
+//! [`merge`]: MetricsSnapshot::merge
+//! [`render`]: MetricsSnapshot::render
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::telemetry::LogHistogram;
+
+/// A sorted label set: `name → value`. The `BTreeMap` ordering makes
+/// series iteration (and therefore rendering and merging) stable.
+pub type LabelSet = BTreeMap<String, String>;
+
+/// The exposition type of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone `u64` counter.
+    Counter,
+    /// Instantaneous `i64` level.
+    Gauge,
+    /// Log-bucketed distribution ([`LogHistogram`]).
+    Histogram,
+}
+
+impl MetricKind {
+    /// The `# TYPE` keyword for this kind.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// How a gauge family combines across shards in
+/// [`MetricsSnapshot::merge`].
+///
+/// Counters and histograms merge one way (addition); gauges do not: a
+/// per-shard "messages in flight" level sums, while a per-shard
+/// "latest tick seen" watermark takes the maximum. The mode is
+/// declared once, at registration, so sharded replay stays
+/// deterministic without per-call-site decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GaugeMerge {
+    /// Shard values add (levels, balances).
+    #[default]
+    Sum,
+    /// The largest shard value wins (watermarks, clocks).
+    Max,
+}
+
+/// One series' frozen value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram contents.
+    Histogram(LogHistogram),
+}
+
+/// One family's frozen series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// Exposition type.
+    pub kind: MetricKind,
+    /// `# HELP` text.
+    pub help: String,
+    /// Shard-merge mode (meaningful only for gauges).
+    pub gauge_merge: GaugeMerge,
+    /// Series by label set.
+    pub series: BTreeMap<LabelSet, MetricValue>,
+}
+
+/// A frozen, mergeable, renderable view of a registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Families by metric name.
+    pub families: BTreeMap<String, FamilySnapshot>,
+}
+
+/// Whether `name` is a legal Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+pub(crate) fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Whether `name` is a legal Prometheus label name
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`).
+pub(crate) fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+pub(crate) fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set = LabelSet::new();
+    for (name, value) in labels {
+        assert!(
+            valid_label_name(name),
+            "invalid Prometheus label name '{name}'"
+        );
+        set.insert((*name).to_string(), (*value).to_string());
+    }
+    set
+}
+
+/// Escapes a `# HELP` string: backslashes and newlines.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslashes, double quotes and newlines.
+fn escape_label_value(text: &str) -> String {
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// The `k="v",...` body of a label set, without braces (empty sets
+/// render as the empty string). Rendering computes this once per
+/// series and splices in the histogram `le` label per bucket, rather
+/// than re-escaping every label on every line.
+fn label_body(labels: &LabelSet) -> String {
+    let mut body = String::new();
+    for (k, v) in labels {
+        if !body.is_empty() {
+            body.push(',');
+        }
+        let _ = write!(body, "{k}=\"{}\"", escape_label_value(v));
+    }
+    body
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the snapshot holds no families.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    fn family_mut(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        gauge_merge: GaugeMerge,
+    ) -> &mut FamilySnapshot {
+        assert!(
+            valid_metric_name(name),
+            "invalid Prometheus metric name '{name}'"
+        );
+        let family = self
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| FamilySnapshot {
+                kind,
+                help: help.to_string(),
+                gauge_merge,
+                series: BTreeMap::new(),
+            });
+        assert!(
+            family.kind == kind,
+            "metric '{name}' already registered as a {}",
+            family.kind.type_name()
+        );
+        family
+    }
+
+    /// Sets a counter series (collector hook: overwrites any previous
+    /// value for the same name and labels).
+    pub fn set_counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        let set = label_set(labels);
+        self.family_mut(name, help, MetricKind::Counter, GaugeMerge::Sum)
+            .series
+            .insert(set, MetricValue::Counter(value));
+    }
+
+    /// Sets a gauge series (collector hook), with its shard-merge mode.
+    pub fn set_gauge(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        merge: GaugeMerge,
+        value: i64,
+    ) {
+        let set = label_set(labels);
+        self.family_mut(name, help, MetricKind::Gauge, merge)
+            .series
+            .insert(set, MetricValue::Gauge(value));
+    }
+
+    /// Sets a histogram series (collector hook).
+    pub fn set_histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        value: LogHistogram,
+    ) {
+        let set = label_set(labels);
+        self.family_mut(name, help, MetricKind::Histogram, GaugeMerge::Sum)
+            .series
+            .insert(set, MetricValue::Histogram(value));
+    }
+
+    fn lookup(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.families.get(name)?.series.get(&label_set(labels))
+    }
+
+    /// Reads a counter series, `None` if absent.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.lookup(name, labels)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Reads a gauge series, `None` if absent.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.lookup(name, labels)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Reads a histogram series, `None` if absent.
+    pub fn histogram_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<&LogHistogram> {
+        match self.lookup(name, labels)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Folds another snapshot into this one, shard-wise: counters add,
+    /// gauges combine per their [`GaugeMerge`] mode, histograms fold
+    /// via [`LogHistogram::merge`]. Merging is commutative and
+    /// associative, so any merge order over a set of shards yields the
+    /// same result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same metric name appears with different kinds.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, family) in &other.families {
+            let mine = self
+                .families
+                .entry(name.clone())
+                .or_insert_with(|| FamilySnapshot {
+                    kind: family.kind,
+                    help: family.help.clone(),
+                    gauge_merge: family.gauge_merge,
+                    series: BTreeMap::new(),
+                });
+            assert!(
+                mine.kind == family.kind,
+                "metric '{name}' merged with conflicting kinds"
+            );
+            for (labels, value) in &family.series {
+                match mine.series.entry(labels.clone()) {
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert(value.clone());
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut slot) => {
+                        match (slot.get_mut(), value) {
+                            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => {
+                                *a = match mine.gauge_merge {
+                                    GaugeMerge::Sum => *a + b,
+                                    GaugeMerge::Max => (*a).max(*b),
+                                };
+                            }
+                            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+                            _ => panic!("metric '{name}' merged with conflicting value types"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` and `# TYPE` headers per family, one
+    /// line per series, histograms as cumulative `_bucket` series plus
+    /// `_sum` and `_count`.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1 << 14);
+        for (name, family) in &self.families {
+            if !family.help.is_empty() {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+            }
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.type_name());
+            for (labels, value) in &family.series {
+                let body = label_body(labels);
+                let plain = if body.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{body}}}")
+                };
+                match value {
+                    MetricValue::Counter(v) => {
+                        let _ = writeln!(out, "{name}{plain} {v}");
+                    }
+                    MetricValue::Gauge(v) => {
+                        let _ = writeln!(out, "{name}{plain} {v}");
+                    }
+                    MetricValue::Histogram(h) => {
+                        let le = |le: &str| {
+                            if body.is_empty() {
+                                format!("{{le=\"{le}\"}}")
+                            } else {
+                                format!("{{{body},le=\"{le}\"}}")
+                            }
+                        };
+                        let mut cumulative = 0u64;
+                        for (_, hi, n) in h.iter() {
+                            cumulative += n;
+                            let _ =
+                                writeln!(out, "{name}_bucket{} {cumulative}", le(&hi.to_string()));
+                        }
+                        let _ = writeln!(out, "{name}_bucket{} {}", le("+Inf"), h.count());
+                        let _ = writeln!(out, "{name}_sum{plain} {}", h.sum());
+                        let _ = writeln!(out, "{name}_count{plain} {}", h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation_follows_prometheus_rules() {
+        for good in ["dbr_sim_injected_total", "a", "_x", "ns:name"] {
+            assert!(valid_metric_name(good), "{good}");
+        }
+        for bad in ["", "9lives", "has space", "dash-ed"] {
+            assert!(!valid_metric_name(bad), "{bad}");
+        }
+        assert!(valid_label_name("reason"));
+        assert!(!valid_label_name("le:gal"));
+    }
+
+    #[test]
+    fn render_emits_help_type_and_series_lines() {
+        let mut snap = MetricsSnapshot::new();
+        snap.set_counter("dbr_test_total", "A test counter.", &[], 3);
+        snap.set_counter(
+            "dbr_drop_total",
+            "Drops by reason.",
+            &[("reason", "no-route")],
+            2,
+        );
+        snap.set_gauge("dbr_level", "A level.", &[], GaugeMerge::Sum, -4);
+        let text = snap.render();
+        assert!(
+            text.contains("# HELP dbr_test_total A test counter.\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE dbr_test_total counter\n"), "{text}");
+        assert!(text.contains("dbr_test_total 3\n"), "{text}");
+        assert!(
+            text.contains("dbr_drop_total{reason=\"no-route\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE dbr_level gauge\n"), "{text}");
+        assert!(text.contains("dbr_level -4\n"), "{text}");
+        // Families render in name order.
+        assert!(text.find("dbr_drop_total").unwrap() < text.find("dbr_level").unwrap());
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 1, 2, 100] {
+            h.record(v);
+        }
+        let mut snap = MetricsSnapshot::new();
+        snap.set_histogram("dbr_lat_ticks", "Latency.", &[("link", "a")], h);
+        let text = snap.render();
+        assert!(text.contains("# TYPE dbr_lat_ticks histogram\n"), "{text}");
+        assert!(
+            text.contains("dbr_lat_ticks_bucket{link=\"a\",le=\"1\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dbr_lat_ticks_bucket{link=\"a\",le=\"2\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dbr_lat_ticks_bucket{link=\"a\",le=\"+Inf\"} 4\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dbr_lat_ticks_sum{link=\"a\"} 104\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dbr_lat_ticks_count{link=\"a\"} 4\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut snap = MetricsSnapshot::new();
+        snap.set_counter(
+            "dbr_esc_total",
+            "Help with \\ and\nnewline.",
+            &[("v", "a\"b\\c")],
+            1,
+        );
+        let text = snap.render();
+        assert!(
+            text.contains("# HELP dbr_esc_total Help with \\\\ and\\nnewline.\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dbr_esc_total{v=\"a\\\"b\\\\c\"} 1\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn merge_adds_counters_and_respects_gauge_modes() {
+        let mut a = MetricsSnapshot::new();
+        a.set_counter("dbr_c_total", "", &[], 3);
+        a.set_gauge("dbr_level", "", &[], GaugeMerge::Sum, 5);
+        a.set_gauge("dbr_clock", "", &[], GaugeMerge::Max, 40);
+        let mut b = MetricsSnapshot::new();
+        b.set_counter("dbr_c_total", "", &[], 4);
+        b.set_counter("dbr_other_total", "", &[], 1);
+        b.set_gauge("dbr_level", "", &[], GaugeMerge::Sum, -2);
+        b.set_gauge("dbr_clock", "", &[], GaugeMerge::Max, 17);
+        a.merge(&b);
+        assert_eq!(a.counter_value("dbr_c_total", &[]), Some(7));
+        assert_eq!(a.counter_value("dbr_other_total", &[]), Some(1));
+        assert_eq!(a.gauge_value("dbr_level", &[]), Some(3));
+        assert_eq!(a.gauge_value("dbr_clock", &[]), Some(40));
+    }
+
+    #[test]
+    fn merge_folds_histograms_exactly() {
+        let mut one = LogHistogram::new();
+        let mut two = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in [1u64, 5, 900] {
+            one.record(v);
+            whole.record(v);
+        }
+        for v in [0u64, 70] {
+            two.record(v);
+            whole.record(v);
+        }
+        let mut a = MetricsSnapshot::new();
+        a.set_histogram("dbr_h", "", &[], one);
+        let mut b = MetricsSnapshot::new();
+        b.set_histogram("dbr_h", "", &[], two);
+        a.merge(&b);
+        assert_eq!(a.histogram_value("dbr_h", &[]), Some(&whole));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let shard = |seed: u64| {
+            let mut s = MetricsSnapshot::new();
+            s.set_counter("dbr_c_total", "", &[("shard", "x")], seed);
+            s.set_gauge("dbr_clock", "", &[], GaugeMerge::Max, seed as i64);
+            let mut h = LogHistogram::new();
+            h.record(seed * 11);
+            s.set_histogram("dbr_h", "", &[], h);
+            s
+        };
+        let shards = [shard(1), shard(2), shard(3)];
+        let mut forward = MetricsSnapshot::new();
+        for s in &shards {
+            forward.merge(s);
+        }
+        let mut backward = MetricsSnapshot::new();
+        for s in shards.iter().rev() {
+            backward.merge(s);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.render(), backward.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn conflicting_kinds_panic() {
+        let mut snap = MetricsSnapshot::new();
+        snap.set_counter("dbr_x", "", &[], 1);
+        snap.set_gauge("dbr_x", "", &[], GaugeMerge::Sum, 1);
+    }
+}

@@ -1,0 +1,539 @@
+//! Anomaly-triggered post-mortem capture.
+//!
+//! Aggregate metrics tell you *that* a drop-rate spike or a queue
+//! blow-up happened; diagnosing *why* needs the events leading up to
+//! it. A [`FlightRecorder`] keeps the last `capacity` [`NetEvent`]s in
+//! a ring buffer and watches a set of [`AnomalyTriggers`]; when one
+//! fires, the buffered window (ending with the triggering event) is
+//! frozen and — if a dump path is configured — written as JSONL via
+//! [`render_json`], so the existing `dbr trace summary/links/hist`
+//! toolkit works unchanged on the post-mortem dump.
+//!
+//! The recorder disarms after the first anomaly: the interesting
+//! window is the one *around the onset*, and continuing to record
+//! would overwrite it.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+
+use crate::record::{render_json, DropReason, NetEvent, Recorder};
+
+/// A sliding-window rate trigger: fires when `count` qualifying
+/// events land within `window` ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// Qualifying events needed inside the window.
+    pub count: usize,
+    /// Window length in simulator ticks.
+    pub window: u64,
+}
+
+/// What the flight recorder watches for.
+///
+/// Every trigger is optional; [`AnomalyTriggers::default`] enables all
+/// four with thresholds loose enough that healthy light traffic never
+/// trips them. `AnomalyTriggers { drop_burst: None,
+/// ..Default::default() }` style selective disabling is supported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnomalyTriggers {
+    /// Drop-rate spike: any-reason drops within a sliding window.
+    pub drop_burst: Option<Burst>,
+    /// Routing-failure burst: `no-route`/`ttl` drops within a sliding
+    /// window (the "destination unreachable" signature).
+    pub no_route_burst: Option<Burst>,
+    /// Queue high-water breach: a forward observing at least this many
+    /// messages ahead of it.
+    pub queue_depth_limit: Option<usize>,
+    /// Stalled link: a forward waiting at least this many ticks.
+    pub queue_wait_limit: Option<u64>,
+}
+
+impl Default for AnomalyTriggers {
+    fn default() -> Self {
+        Self {
+            drop_burst: Some(Burst {
+                count: 8,
+                window: 128,
+            }),
+            no_route_burst: Some(Burst {
+                count: 4,
+                window: 128,
+            }),
+            queue_depth_limit: Some(1024),
+            queue_wait_limit: Some(4096),
+        }
+    }
+}
+
+/// The anomaly that tripped a [`FlightRecorder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Anomaly {
+    /// [`AnomalyTriggers::drop_burst`] fired at tick `at`.
+    DropBurst {
+        /// Drops observed inside the window.
+        count: usize,
+        /// Window length in ticks.
+        window: u64,
+        /// Tick of the triggering drop.
+        at: u64,
+    },
+    /// [`AnomalyTriggers::no_route_burst`] fired at tick `at`.
+    NoRouteBurst {
+        /// `no-route`/`ttl` drops observed inside the window.
+        count: usize,
+        /// Window length in ticks.
+        window: u64,
+        /// Tick of the triggering drop.
+        at: u64,
+    },
+    /// [`AnomalyTriggers::queue_depth_limit`] breached.
+    QueueDepthBreach {
+        /// Observed queue depth.
+        depth: usize,
+        /// Configured limit.
+        limit: usize,
+        /// Tick of the triggering forward.
+        at: u64,
+    },
+    /// [`AnomalyTriggers::queue_wait_limit`] breached.
+    StalledLink {
+        /// Observed queue wait in ticks.
+        queue_wait: u64,
+        /// Configured limit.
+        limit: u64,
+        /// Tick of the triggering forward.
+        at: u64,
+    },
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Anomaly::DropBurst { count, window, at } => {
+                write!(
+                    f,
+                    "drop burst: {count} drops within {window} ticks (at tick {at})"
+                )
+            }
+            Anomaly::NoRouteBurst { count, window, at } => write!(
+                f,
+                "no-route/ttl burst: {count} routing failures within {window} ticks (at tick {at})"
+            ),
+            Anomaly::QueueDepthBreach { depth, limit, at } => write!(
+                f,
+                "queue high-water breach: depth {depth} >= limit {limit} (at tick {at})"
+            ),
+            Anomaly::StalledLink {
+                queue_wait,
+                limit,
+                at,
+            } => write!(
+                f,
+                "stalled link: queue wait {queue_wait} >= limit {limit} ticks (at tick {at})"
+            ),
+        }
+    }
+}
+
+/// Fixed-capacity ring buffer of recent events with anomaly triggers.
+///
+/// Use as a [`Recorder`] sink (typically inside a fanout next to the
+/// metrics recorder). After a trigger fires, [`FlightRecorder::anomaly`]
+/// reports what happened, [`FlightRecorder::window`] holds the captured
+/// pre-anomaly window, and the recorder disarms. [`FlightRecorder::finish`]
+/// surfaces any dump-file write error.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_net::metrics::{AnomalyTriggers, Burst, FlightRecorder};
+/// use debruijn_net::{DropReason, NetEvent, Recorder};
+///
+/// let triggers = AnomalyTriggers {
+///     drop_burst: Some(Burst { count: 2, window: 10 }),
+///     ..AnomalyTriggers::default()
+/// };
+/// let mut flight = FlightRecorder::new(64, triggers);
+/// for time in [3, 5] {
+///     flight.record(&NetEvent::Drop { time, message: 0, reason: DropReason::NoRoute });
+/// }
+/// assert!(flight.anomaly().is_some());
+/// assert_eq!(flight.window().unwrap().len(), 2);
+/// ```
+pub struct FlightRecorder {
+    capacity: usize,
+    triggers: AnomalyTriggers,
+    ring: VecDeque<NetEvent>,
+    /// Recent drop ticks (any reason), oldest first.
+    drop_times: VecDeque<u64>,
+    /// Recent `no-route`/`ttl` drop ticks, oldest first.
+    no_route_times: VecDeque<u64>,
+    /// The frozen window, once a trigger fired.
+    capture: Option<(Anomaly, Vec<NetEvent>)>,
+    dump_path: Option<PathBuf>,
+    error: Option<io::Error>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (at least 1).
+    pub fn new(capacity: usize, triggers: AnomalyTriggers) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            triggers,
+            ring: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+            drop_times: VecDeque::new(),
+            no_route_times: VecDeque::new(),
+            capture: None,
+            dump_path: None,
+            error: None,
+        }
+    }
+
+    /// Writes the captured window to `path` as JSONL the moment a
+    /// trigger fires (the file is only created on an anomaly).
+    pub fn with_dump_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.dump_path = Some(path.into());
+        self
+    }
+
+    /// The anomaly that fired, if any.
+    pub fn anomaly(&self) -> Option<&Anomaly> {
+        self.capture.as_ref().map(|(a, _)| a)
+    }
+
+    /// The captured pre-anomaly window (oldest first, ending with the
+    /// triggering event), if a trigger fired.
+    pub fn window(&self) -> Option<&[NetEvent]> {
+        self.capture.as_ref().map(|(_, w)| w.as_slice())
+    }
+
+    /// Consumes the recorder: `Ok(Some(anomaly))` if a trigger fired
+    /// and any dump was written cleanly, `Ok(None)` if nothing
+    /// happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first dump-file write error.
+    pub fn finish(self) -> io::Result<Option<Anomaly>> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(self.capture.map(|(a, _)| a))
+    }
+
+    /// Slides `times` to `[now − window, now]`, pushes `now`, and
+    /// reports whether the window now holds `count` entries.
+    fn burst_fired(times: &mut VecDeque<u64>, burst: Burst, now: u64) -> bool {
+        times.push_back(now);
+        let cutoff = now.saturating_sub(burst.window);
+        while times.front().is_some_and(|&t| t < cutoff) {
+            times.pop_front();
+        }
+        times.len() >= burst.count
+    }
+
+    fn check_triggers(&mut self, event: &NetEvent) -> Option<Anomaly> {
+        match event {
+            NetEvent::Drop { time, reason, .. } => {
+                if matches!(reason, DropReason::NoRoute | DropReason::Ttl) {
+                    if let Some(burst) = self.triggers.no_route_burst {
+                        if Self::burst_fired(&mut self.no_route_times, burst, *time) {
+                            return Some(Anomaly::NoRouteBurst {
+                                count: self.no_route_times.len(),
+                                window: burst.window,
+                                at: *time,
+                            });
+                        }
+                    }
+                }
+                if let Some(burst) = self.triggers.drop_burst {
+                    if Self::burst_fired(&mut self.drop_times, burst, *time) {
+                        return Some(Anomaly::DropBurst {
+                            count: self.drop_times.len(),
+                            window: burst.window,
+                            at: *time,
+                        });
+                    }
+                }
+                None
+            }
+            NetEvent::Forward {
+                time,
+                queue_wait,
+                queue_depth,
+                ..
+            } => {
+                if let Some(limit) = self.triggers.queue_depth_limit {
+                    if *queue_depth >= limit {
+                        return Some(Anomaly::QueueDepthBreach {
+                            depth: *queue_depth,
+                            limit,
+                            at: *time,
+                        });
+                    }
+                }
+                if let Some(limit) = self.triggers.queue_wait_limit {
+                    if *queue_wait >= limit {
+                        return Some(Anomaly::StalledLink {
+                            queue_wait: *queue_wait,
+                            limit,
+                            at: *time,
+                        });
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn dump(&mut self, window: &[NetEvent]) {
+        let Some(path) = &self.dump_path else { return };
+        let result = (|| -> io::Result<()> {
+            let mut out = BufWriter::new(File::create(path)?);
+            for event in window {
+                writeln!(out, "{}", render_json(event))?;
+            }
+            out.flush()
+        })();
+        if let Err(e) = result {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl Recorder for FlightRecorder {
+    /// Armed until the first anomaly; afterwards the recorder stops
+    /// consuming events (the captured window is the deliverable).
+    fn enabled(&self) -> bool {
+        self.capture.is_none()
+    }
+
+    fn record(&mut self, event: &NetEvent) {
+        if self.capture.is_some() {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(event.clone());
+        if let Some(anomaly) = self.check_triggers(event) {
+            let window: Vec<NetEvent> = self.ring.iter().cloned().collect();
+            self.dump(&window);
+            self.capture = Some((anomaly, window));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debruijn_core::Word;
+
+    fn drop_at(time: u64, reason: DropReason) -> NetEvent {
+        NetEvent::Drop {
+            time,
+            message: 0,
+            reason,
+        }
+    }
+
+    fn forward_at(time: u64, queue_wait: u64, queue_depth: usize) -> NetEvent {
+        let w = Word::parse(2, "0110").unwrap();
+        NetEvent::Forward {
+            time,
+            message: 0,
+            hop: 0,
+            from: w.clone(),
+            to: w.shift_left(1),
+            departs: time + queue_wait,
+            arrives: time + queue_wait + 1,
+            queue_wait,
+            queue_depth,
+        }
+    }
+
+    fn only_drop_burst(count: usize, window: u64) -> AnomalyTriggers {
+        AnomalyTriggers {
+            drop_burst: Some(Burst { count, window }),
+            no_route_burst: None,
+            queue_depth_limit: None,
+            queue_wait_limit: None,
+        }
+    }
+
+    #[test]
+    fn drop_burst_fires_only_within_the_window() {
+        // Three drops spread wider than the window: no anomaly.
+        let mut calm = FlightRecorder::new(16, only_drop_burst(3, 10));
+        for t in [0, 20, 40, 60] {
+            calm.record(&drop_at(t, DropReason::DeadLink));
+        }
+        assert!(calm.anomaly().is_none());
+        assert!(calm.finish().unwrap().is_none());
+        // Three drops inside one window: anomaly, window captured.
+        let mut hot = FlightRecorder::new(16, only_drop_burst(3, 10));
+        hot.record(&forward_at(0, 0, 0));
+        for t in [5, 8, 11] {
+            hot.record(&drop_at(t, DropReason::DeadLink));
+        }
+        assert_eq!(
+            hot.anomaly(),
+            Some(&Anomaly::DropBurst {
+                count: 3,
+                window: 10,
+                at: 11
+            })
+        );
+        // The window ends with the triggering event and includes the
+        // preceding context.
+        let window = hot.window().unwrap();
+        assert_eq!(window.len(), 4);
+        assert_eq!(window.last().unwrap().time(), 11);
+    }
+
+    #[test]
+    fn recorder_disarms_after_the_first_anomaly() {
+        let mut flight = FlightRecorder::new(16, only_drop_burst(2, 100));
+        assert!(flight.enabled());
+        for t in [1, 2, 3, 4] {
+            if flight.enabled() {
+                flight.record(&drop_at(t, DropReason::NoRoute));
+            }
+        }
+        assert!(!flight.enabled());
+        assert_eq!(flight.window().unwrap().len(), 2, "capture is frozen");
+    }
+
+    #[test]
+    fn no_route_burst_counts_ttl_and_no_route_only() {
+        let triggers = AnomalyTriggers {
+            drop_burst: None,
+            no_route_burst: Some(Burst {
+                count: 2,
+                window: 50,
+            }),
+            queue_depth_limit: None,
+            queue_wait_limit: None,
+        };
+        let mut flight = FlightRecorder::new(16, triggers);
+        // Dead-link drops never qualify.
+        for t in [0, 1, 2, 3] {
+            flight.record(&drop_at(t, DropReason::DeadLink));
+        }
+        assert!(flight.anomaly().is_none());
+        flight.record(&drop_at(4, DropReason::Ttl));
+        flight.record(&drop_at(5, DropReason::NoRoute));
+        assert!(matches!(
+            flight.anomaly(),
+            Some(Anomaly::NoRouteBurst {
+                count: 2,
+                at: 5,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn queue_triggers_fire_on_breach() {
+        let triggers = AnomalyTriggers {
+            drop_burst: None,
+            no_route_burst: None,
+            queue_depth_limit: Some(4),
+            queue_wait_limit: None,
+        };
+        let mut flight = FlightRecorder::new(16, triggers);
+        flight.record(&forward_at(0, 3, 3));
+        assert!(flight.anomaly().is_none());
+        flight.record(&forward_at(1, 4, 4));
+        assert!(matches!(
+            flight.anomaly(),
+            Some(Anomaly::QueueDepthBreach {
+                depth: 4,
+                limit: 4,
+                ..
+            })
+        ));
+        let triggers = AnomalyTriggers {
+            drop_burst: None,
+            no_route_burst: None,
+            queue_depth_limit: None,
+            queue_wait_limit: Some(10),
+        };
+        let mut flight = FlightRecorder::new(16, triggers);
+        flight.record(&forward_at(0, 10, 2));
+        assert!(matches!(
+            flight.anomaly(),
+            Some(Anomaly::StalledLink {
+                queue_wait: 10,
+                limit: 10,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn ring_capacity_bounds_the_window() {
+        let mut flight = FlightRecorder::new(3, only_drop_burst(2, 5));
+        for t in 0..10 {
+            flight.record(&forward_at(t, 0, 0));
+        }
+        flight.record(&drop_at(100, DropReason::NoRoute));
+        flight.record(&drop_at(101, DropReason::NoRoute));
+        let window = flight.window().unwrap();
+        assert_eq!(window.len(), 3, "ring keeps only the last `capacity`");
+        assert_eq!(window.last().unwrap().time(), 101);
+    }
+
+    #[test]
+    fn dump_round_trips_through_the_trace_parser() {
+        let dir = std::env::temp_dir().join("dbr-flight-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("dump-{}.jsonl", std::process::id()));
+        let mut flight = FlightRecorder::new(16, only_drop_burst(2, 50)).with_dump_path(&path);
+        flight.record(&forward_at(0, 1, 1));
+        flight.record(&drop_at(2, DropReason::DeadLink));
+        flight.record(&drop_at(3, DropReason::DeadLink));
+        let anomaly = flight.finish().unwrap().expect("anomaly fired");
+        assert!(matches!(anomaly, Anomaly::DropBurst { .. }));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<NetEvent> = text
+            .lines()
+            .map(|l| crate::record::parse_event(2, l).unwrap())
+            .collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events.last().unwrap().time(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dump_write_errors_surface_in_finish() {
+        let mut flight = FlightRecorder::new(4, only_drop_burst(1, 1))
+            .with_dump_path("/nonexistent-dir/flight.jsonl");
+        flight.record(&drop_at(0, DropReason::NoRoute));
+        assert!(flight.anomaly().is_some(), "capture succeeds regardless");
+        assert!(flight.finish().is_err());
+    }
+
+    #[test]
+    fn anomalies_render_human_readably() {
+        let text = Anomaly::DropBurst {
+            count: 9,
+            window: 128,
+            at: 77,
+        }
+        .to_string();
+        assert!(text.contains("9 drops within 128 ticks"), "{text}");
+        let text = Anomaly::StalledLink {
+            queue_wait: 5000,
+            limit: 4096,
+            at: 1,
+        }
+        .to_string();
+        assert!(text.contains("stalled link"), "{text}");
+    }
+}

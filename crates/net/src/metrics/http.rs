@@ -1,0 +1,416 @@
+//! Minimal std-only HTTP scrape endpoint.
+//!
+//! A [`ScrapeServer`] owns a `std::net::TcpListener` and one accept
+//! thread; each connection gets a single GET request parsed, routed,
+//! and answered with `Connection: close`. That is the entire protocol
+//! surface Prometheus scraping needs, which is why the workspace's
+//! no-external-dependencies rule costs nothing here — see
+//! `docs/adr/0004-metrics-registry-and-flight-recorder.md` for the
+//! trade-off against hyper/tokio.
+//!
+//! Built-in routes: `/metrics` (the registry, Prometheus text format)
+//! and `/healthz`. Extra routes plug in via [`HttpHandler`] (the
+//! `dbr serve` distance/route query endpoints).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use super::registry::MetricsRegistry;
+
+/// The Prometheus text exposition content type served on `/metrics`.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// One HTTP response produced by a route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 400, 404, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` plain-text response.
+    pub fn ok(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A `400 Bad Request` plain-text response.
+    pub fn bad_request(body: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into(),
+        }
+    }
+}
+
+/// A pluggable route: receives the request target (path plus query
+/// string, e.g. `/distance?x=0110&y=1011`) and returns `Some` response
+/// to claim it, `None` to fall through to `404`.
+pub type HttpHandler = Arc<dyn Fn(&str) -> Option<HttpResponse> + Send + Sync>;
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// A background HTTP/1.1 server exposing a [`MetricsRegistry`].
+///
+/// Binding spawns one accept thread; [`ScrapeServer::shutdown`] (or
+/// dropping the server) stops it. [`ScrapeServer::block`] parks the
+/// caller on the accept thread for serve-forever CLI modes.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use debruijn_net::metrics::{MetricsRegistry, ScrapeServer};
+///
+/// let registry = Arc::new(MetricsRegistry::new());
+/// registry.counter("dbr_up", "Liveness.").inc();
+/// let server = ScrapeServer::bind("127.0.0.1:0", Arc::clone(&registry))?;
+/// let body = ScrapeServer::get(server.local_addr(), "/metrics")?;
+/// assert!(body.contains("dbr_up 1"));
+/// server.shutdown();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `/metrics` and `/healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind or thread-spawn error.
+    pub fn bind(addr: impl ToSocketAddrs, registry: Arc<MetricsRegistry>) -> io::Result<Self> {
+        Self::bind_with_handler(addr, registry, None)
+    }
+
+    /// Like [`ScrapeServer::bind`], with an extra route handler
+    /// consulted for any target the built-in routes don't claim.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind or thread-spawn error.
+    pub fn bind_with_handler(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+        handler: Option<HttpHandler>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dbr-scrape".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    // Serve inline: scrape traffic is one request per
+                    // connection and tiny; per-connection errors only
+                    // affect that client.
+                    let _ = serve_connection(&mut stream, &registry, handler.as_ref());
+                }
+            })?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    /// Parks the calling thread on the accept loop (serve-forever
+    /// CLI modes); returns only if the accept thread exits.
+    pub fn block(mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_accepting(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept call with one throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+
+    /// Convenience test/CLI client: one `GET target` against `addr`,
+    /// returning the response body.
+    ///
+    /// # Errors
+    ///
+    /// Returns connect/read errors, or [`io::ErrorKind::Other`] on a
+    /// non-200 status.
+    pub fn get(addr: SocketAddr, target: &str) -> io::Result<String> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: dbr\r\nConnection: close\r\n\r\n"
+        )?;
+        let mut response = String::new();
+        BufReader::new(stream).read_to_string(&mut response)?;
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| io::Error::other("malformed HTTP response"))?;
+        let status = head.split_whitespace().nth(1).unwrap_or("");
+        if status != "200" {
+            return Err(io::Error::other(format!("HTTP status {status}")));
+        }
+        Ok(body.to_string())
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// Reads one request, routes it, writes one response.
+fn serve_connection(
+    stream: &mut TcpStream,
+    registry: &Arc<MetricsRegistry>,
+    handler: Option<&HttpHandler>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers (bounded) so well-behaved clients see a clean close.
+    let mut drained = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        drained += n;
+        if n == 0 || line == "\r\n" || line == "\n" || drained > 8192 {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let response = route(method, target, registry, handler);
+    let endpoint = match target.split('?').next().unwrap_or("") {
+        path @ ("/metrics" | "/healthz") => path.to_string(),
+        path if response.status != 404 => path.to_string(),
+        // Unknown paths share one label to keep cardinality bounded.
+        _ => "other".to_string(),
+    };
+    registry
+        .counter_with(
+            "dbr_http_requests_total",
+            "HTTP requests served, by endpoint and status.",
+            &[
+                ("endpoint", &endpoint),
+                ("status", &response.status.to_string()),
+            ],
+        )
+        .inc();
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len(),
+        response.body
+    )?;
+    stream.flush()
+}
+
+fn route(
+    method: &str,
+    target: &str,
+    registry: &Arc<MetricsRegistry>,
+    handler: Option<&HttpHandler>,
+) -> HttpResponse {
+    if method != "GET" {
+        return HttpResponse {
+            status: 405,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: "only GET is supported\n".to_string(),
+        };
+    }
+    match target.split('?').next().unwrap_or("") {
+        "/metrics" => HttpResponse {
+            status: 200,
+            content_type: PROMETHEUS_CONTENT_TYPE.to_string(),
+            body: registry.snapshot().render(),
+        },
+        "/healthz" => HttpResponse::ok("ok\n"),
+        _ => {
+            if let Some(response) = handler.and_then(|h| h(target)) {
+                return response;
+            }
+            HttpResponse {
+                status: 404,
+                content_type: "text/plain; charset=utf-8".to_string(),
+                body: "not found\n".to_string(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw_request(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn test_server() -> (ScrapeServer, Arc<MetricsRegistry>) {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry
+            .counter_with("dbr_demo_total", "Demo.", &[("kind", "x")])
+            .add(5);
+        let server = ScrapeServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        (server, registry)
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (server, _registry) = test_server();
+        let response = raw_request(
+            server.local_addr(),
+            "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains(PROMETHEUS_CONTENT_TYPE), "{response}");
+        assert!(
+            response.contains("dbr_demo_total{kind=\"x\"} 5\n"),
+            "{response}"
+        );
+        // Content-Length matches the body exactly.
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_unknown_and_non_get_are_routed() {
+        let (server, registry) = test_server();
+        let addr = server.local_addr();
+        assert_eq!(ScrapeServer::get(addr, "/healthz").unwrap(), "ok\n");
+        assert!(ScrapeServer::get(addr, "/nope").is_err());
+        let response = raw_request(addr, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 405 "), "{response}");
+        server.shutdown();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value(
+                "dbr_http_requests_total",
+                &[("endpoint", "/healthz"), ("status", "200")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "dbr_http_requests_total",
+                &[("endpoint", "other"), ("status", "404")]
+            ),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn custom_handler_claims_unrouted_targets() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let handler: HttpHandler = Arc::new(|target: &str| {
+            target
+                .strip_prefix("/echo?")
+                .map(|q| HttpResponse::ok(format!("{q}\n")))
+        });
+        let server =
+            ScrapeServer::bind_with_handler("127.0.0.1:0", Arc::clone(&registry), Some(handler))
+                .unwrap();
+        let addr = server.local_addr();
+        assert_eq!(ScrapeServer::get(addr, "/echo?x=1").unwrap(), "x=1\n");
+        assert!(ScrapeServer::get(addr, "/other").is_err());
+        // Handler-claimed endpoints are counted under their path.
+        assert_eq!(
+            registry.snapshot().counter_value(
+                "dbr_http_requests_total",
+                &[("endpoint", "/echo"), ("status", "200")]
+            ),
+            Some(1)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn scrapes_observe_live_updates() {
+        let (server, registry) = test_server();
+        let addr = server.local_addr();
+        let before = ScrapeServer::get(addr, "/metrics").unwrap();
+        assert!(
+            before.contains("dbr_demo_total{kind=\"x\"} 5\n"),
+            "{before}"
+        );
+        registry
+            .counter_with("dbr_demo_total", "Demo.", &[("kind", "x")])
+            .add(2);
+        let after = ScrapeServer::get(addr, "/metrics").unwrap();
+        assert!(after.contains("dbr_demo_total{kind=\"x\"} 7\n"), "{after}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_the_accept_thread() {
+        let (server, _registry) = test_server();
+        // Dropping must stop the accept loop and join its thread
+        // (a hang here fails the test via the harness timeout).
+        drop(server);
+    }
+}

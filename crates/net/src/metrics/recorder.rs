@@ -1,0 +1,430 @@
+//! Feeding the registry: the simulator-event recorder, the
+//! `debruijn-core` profile-counter collector, and deterministic
+//! sharded trace replay.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::record::{NetEvent, Recorder};
+
+use super::export::MetricsSnapshot;
+use super::registry::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// A [`Recorder`] that aggregates every [`NetEvent`] into a
+/// [`MetricsRegistry`], under stable `dbr_`-prefixed names (see
+/// `docs/OBSERVABILITY.md` for the catalog):
+///
+/// * counters: injections, deliveries, drops by reason, reroutes,
+///   wildcard resolutions by policy and digit, and **per-link**
+///   forwards (`dbr_link_forward_total{from,to}`);
+/// * gauges: messages in flight (sum-merged across shards) and the
+///   latest simulator tick seen (max-merged);
+/// * histograms: hops, stretch, end-to-end latency, per-hop latency,
+///   queue wait, and queue depth.
+///
+/// Handles are resolved once and cached (per-link and per-digit
+/// handles in maps keyed off the hot registry path), so recording
+/// costs atomic adds plus one mutex lock per histogram observation.
+pub struct RegistryRecorder {
+    registry: Arc<MetricsRegistry>,
+    injected: Counter,
+    delivered: Counter,
+    reroutes: Counter,
+    dropped: HashMap<&'static str, Counter>,
+    wildcard: HashMap<(&'static str, u8), Counter>,
+    forwards: HashMap<(u128, u128), Counter>,
+    in_flight: Gauge,
+    in_flight_level: i64,
+    clock: Gauge,
+    clock_level: u64,
+    hops: Histogram,
+    stretch: Histogram,
+    latency: Histogram,
+    per_hop_latency: Histogram,
+    queue_wait: Histogram,
+    queue_depth: Histogram,
+}
+
+impl RegistryRecorder {
+    /// Wires a recorder onto `registry`, creating every fixed family
+    /// up front (so `/metrics` shows them, zero-valued, before the
+    /// first event).
+    pub fn new(registry: &Arc<MetricsRegistry>) -> Self {
+        let r = registry.as_ref();
+        Self {
+            injected: r.counter(
+                "dbr_sim_injected_total",
+                "Messages injected into the network.",
+            ),
+            delivered: r.counter(
+                "dbr_sim_delivered_total",
+                "Messages accepted at their destination.",
+            ),
+            reroutes: r.counter(
+                "dbr_sim_reroutes_total",
+                "Fault-avoiding route computations.",
+            ),
+            dropped: HashMap::new(),
+            wildcard: HashMap::new(),
+            forwards: HashMap::new(),
+            in_flight: r.gauge("dbr_sim_in_flight", "Messages currently in flight."),
+            in_flight_level: 0,
+            clock: r.max_gauge("dbr_sim_clock_ticks", "Latest simulator tick observed."),
+            clock_level: 0,
+            hops: r.histogram("dbr_sim_hops", "Hops per delivered message."),
+            stretch: r.histogram(
+                "dbr_sim_stretch_hops",
+                "Hops beyond the fault-free shortest distance, per delivered message.",
+            ),
+            latency: r.histogram(
+                "dbr_sim_latency_ticks",
+                "End-to-end delivery latency in ticks.",
+            ),
+            per_hop_latency: r.histogram(
+                "dbr_sim_per_hop_latency_ticks",
+                "Handover-to-arrival latency per forward, in ticks.",
+            ),
+            queue_wait: r.histogram(
+                "dbr_sim_queue_wait_ticks",
+                "Ticks each forward waited for a busy link.",
+            ),
+            queue_depth: r.histogram(
+                "dbr_sim_queue_depth",
+                "Messages queued ahead on the chosen link at handover.",
+            ),
+            registry: Arc::clone(registry),
+        }
+    }
+
+    /// The registry this recorder feeds.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    fn observe_clock(&mut self, time: u64) {
+        if time > self.clock_level || self.clock_level == 0 {
+            self.clock_level = time;
+            self.clock.set(time as i64);
+        }
+    }
+
+    fn set_in_flight(&mut self, delta: i64) {
+        self.in_flight_level += delta;
+        self.in_flight.set(self.in_flight_level);
+    }
+}
+
+impl Recorder for RegistryRecorder {
+    fn record(&mut self, event: &NetEvent) {
+        self.observe_clock(event.time());
+        match event {
+            NetEvent::Inject { .. } => {
+                self.injected.inc();
+                self.set_in_flight(1);
+            }
+            NetEvent::WildcardResolved { digit, policy, .. } => {
+                let registry = &self.registry;
+                self.wildcard
+                    .entry((policy.name(), *digit))
+                    .or_insert_with(|| {
+                        registry.counter_with(
+                            "dbr_sim_wildcard_resolutions_total",
+                            "Wildcard steps resolved, by policy and digit.",
+                            &[("policy", policy.name()), ("digit", &digit.to_string())],
+                        )
+                    })
+                    .inc();
+            }
+            NetEvent::Forward {
+                time,
+                from,
+                to,
+                arrives,
+                queue_wait,
+                queue_depth,
+                ..
+            } => {
+                let registry = &self.registry;
+                self.forwards
+                    .entry((from.rank(), to.rank()))
+                    .or_insert_with(|| {
+                        registry.counter_with(
+                            "dbr_link_forward_total",
+                            "Messages handed to each directed link.",
+                            &[("from", &from.to_string()), ("to", &to.to_string())],
+                        )
+                    })
+                    .inc();
+                self.per_hop_latency.observe(arrives - time);
+                self.queue_wait.observe(*queue_wait);
+                self.queue_depth.observe(*queue_depth as u64);
+            }
+            NetEvent::Reroute { .. } => self.reroutes.inc(),
+            NetEvent::Deliver {
+                hops,
+                latency,
+                shortest,
+                ..
+            } => {
+                self.delivered.inc();
+                self.hops.observe(*hops as u64);
+                self.stretch.observe(hops.saturating_sub(*shortest) as u64);
+                self.latency.observe(*latency);
+                self.set_in_flight(-1);
+            }
+            NetEvent::Drop { reason, .. } => {
+                let registry = &self.registry;
+                self.dropped
+                    .entry(reason.name())
+                    .or_insert_with(|| {
+                        registry.counter_with(
+                            "dbr_sim_dropped_total",
+                            "Messages lost, by drop reason.",
+                            &[("reason", reason.name())],
+                        )
+                    })
+                    .inc();
+                self.set_in_flight(-1);
+            }
+        }
+    }
+}
+
+/// Registers a collector exposing the process-global `debruijn-core`
+/// profile counters (engine dispatch, auto-crossover resolution,
+/// convergecast builds/routes, route-cache hit/miss/eviction) on the
+/// given registry, so one scrape covers the algorithmic layer and the
+/// network layer.
+///
+/// The exported values come from [`debruijn_core::profile::snapshot`]
+/// at scrape time: they are **process-wide and monotone**, covering
+/// every thread and every simulation in the process since startup (or
+/// the last [`debruijn_core::profile::reset`]) — not just the run
+/// driving this registry. See the caveat in `docs/OBSERVABILITY.md`.
+pub fn register_core_profile(registry: &MetricsRegistry) {
+    registry.register_collector(|snap| {
+        let p = debruijn_core::profile::snapshot();
+        const ENGINE_HELP: &str = "Undirected distance queries solved, by engine.";
+        for (engine, solves) in [
+            ("naive", p.engine_naive),
+            ("morris-pratt", p.engine_morris_pratt),
+            ("suffix-tree", p.engine_suffix_tree),
+            ("bit-parallel", p.engine_bit_parallel),
+        ] {
+            snap.set_counter(
+                "dbr_core_engine_solves_total",
+                ENGINE_HELP,
+                &[("engine", engine)],
+                solves,
+            );
+        }
+        const AUTO_HELP: &str = "Engine::Auto dispatch decisions, by chosen engine.";
+        for (engine, picks) in [
+            ("suffix-tree", p.auto_to_suffix_tree),
+            ("bit-parallel", p.auto_to_bit_parallel),
+        ] {
+            snap.set_counter(
+                "dbr_core_auto_select_total",
+                AUTO_HELP,
+                &[("engine", engine)],
+                picks,
+            );
+        }
+        const CONVERGECAST_HELP: &str = "Convergecast router activity, by event.";
+        for (event, n) in [
+            ("build", p.convergecast_builds),
+            ("route", p.convergecast_routes),
+        ] {
+            snap.set_counter(
+                "dbr_core_convergecast_total",
+                CONVERGECAST_HELP,
+                &[("event", event)],
+                n,
+            );
+        }
+        const CACHE_HELP: &str = "Route-cache lookups and evictions, by outcome.";
+        for (outcome, n) in [
+            ("hit", p.route_cache_hits),
+            ("miss", p.route_cache_misses),
+            ("eviction", p.route_cache_evictions),
+        ] {
+            snap.set_counter(
+                "dbr_core_route_cache_total",
+                CACHE_HELP,
+                &[("outcome", outcome)],
+                n,
+            );
+        }
+    });
+}
+
+/// Replays a recorded event stream into per-shard registries on up to
+/// `threads` workers and merges the shards deterministically.
+///
+/// The stream is cut into fixed, thread-count-independent contiguous
+/// chunks ([`debruijn_parallel::map_chunks`]); each chunk feeds a
+/// fresh [`RegistryRecorder`], and the shard snapshots merge in chunk
+/// order. Because counter/histogram merging is exact and gauge
+/// families declare their merge mode, the result is **identical for
+/// every thread count** — the sharded path is how `dbr trace prom`
+/// turns a JSONL trace into a Prometheus snapshot offline. (The live
+/// event loop is sequential, so live runs feed one recorder directly;
+/// sharding serves replay and post-processing.)
+pub fn replay_sharded(threads: usize, events: &[NetEvent]) -> MetricsSnapshot {
+    // ~64k events per shard amortizes registry setup without starving
+    // parallelism on real traces; the constant only affects speed,
+    // never results (the partition is thread-count-independent).
+    const CHUNK: usize = 1 << 16;
+    let shards = debruijn_parallel::map_chunks(threads, events.len(), CHUNK, |range| {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut recorder = RegistryRecorder::new(&registry);
+        for event in &events[range] {
+            recorder.record(event);
+        }
+        registry.snapshot()
+    });
+    let mut merged = MetricsSnapshot::new();
+    for shard in &shards {
+        merged.merge(shard);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::InMemoryRecorder;
+    use crate::sim::{SimConfig, Simulation};
+    use crate::workload;
+    use debruijn_core::DeBruijn;
+
+    fn recorded_events(messages: usize, seed: u64) -> Vec<NetEvent> {
+        struct Capture(Vec<NetEvent>);
+        impl Recorder for Capture {
+            fn record(&mut self, event: &NetEvent) {
+                self.0.push(event.clone());
+            }
+        }
+        let space = DeBruijn::new(2, 5).unwrap();
+        let sim = Simulation::new(space, SimConfig::default()).unwrap();
+        let traffic = workload::uniform_random(space, messages, seed);
+        let mut capture = Capture(Vec::new());
+        sim.run_recorded(&traffic, &mut capture);
+        capture.0
+    }
+
+    #[test]
+    fn recorder_agrees_with_in_memory_aggregation() {
+        let events = recorded_events(300, 7);
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut recorder = RegistryRecorder::new(&registry);
+        let mut memory = InMemoryRecorder::new();
+        for event in &events {
+            recorder.record(event);
+            memory.record(event);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("dbr_sim_injected_total", &[]),
+            Some(memory.injected)
+        );
+        assert_eq!(
+            snap.counter_value("dbr_sim_delivered_total", &[]),
+            Some(memory.delivered)
+        );
+        let hops = snap.histogram_value("dbr_sim_hops", &[]).unwrap();
+        assert_eq!(hops.count(), memory.hops.count());
+        assert_eq!(hops.sum(), memory.hops.sum());
+        let wait = snap
+            .histogram_value("dbr_sim_queue_wait_ticks", &[])
+            .unwrap();
+        assert_eq!(wait.count(), memory.queue_wait.count());
+        assert_eq!(wait.max(), memory.queue_wait.max());
+        // Every message terminated, so the in-flight level returned to 0.
+        assert_eq!(snap.gauge_value("dbr_sim_in_flight", &[]), Some(0));
+        // The clock watermark is the last event's time.
+        let last = events.iter().map(NetEvent::time).max().unwrap();
+        assert_eq!(
+            snap.gauge_value("dbr_sim_clock_ticks", &[]),
+            Some(last as i64)
+        );
+    }
+
+    #[test]
+    fn per_link_forward_counters_sum_to_total_hops() {
+        let events = recorded_events(200, 13);
+        let forwards = events
+            .iter()
+            .filter(|e| matches!(e, NetEvent::Forward { .. }))
+            .count() as u64;
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut recorder = RegistryRecorder::new(&registry);
+        for event in &events {
+            recorder.record(event);
+        }
+        let snap = registry.snapshot();
+        let family = &snap.families["dbr_link_forward_total"];
+        let total: u64 = family
+            .series
+            .values()
+            .map(|v| match v {
+                super::super::export::MetricValue::Counter(n) => *n,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, forwards);
+        assert!(family.series.len() > 1, "traffic spans several links");
+    }
+
+    #[test]
+    fn sharded_replay_is_thread_count_invariant() {
+        let events = recorded_events(400, 99);
+        let serial = replay_sharded(1, &events);
+        for threads in [2, 4, 8] {
+            let parallel = replay_sharded(threads, &events);
+            assert_eq!(serial, parallel, "threads={threads}");
+            assert_eq!(serial.render(), parallel.render());
+        }
+        // And the sharded result equals the single-recorder result.
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut recorder = RegistryRecorder::new(&registry);
+        for event in &events {
+            recorder.record(event);
+        }
+        assert_eq!(serial, registry.snapshot());
+    }
+
+    #[test]
+    fn core_profile_collector_exports_cache_and_engine_counters() {
+        let registry = MetricsRegistry::new();
+        register_core_profile(&registry);
+        // Drive the profiled layers: an undirected distance query and a
+        // cached route computation.
+        let x = debruijn_core::Word::parse(2, "010011").unwrap();
+        let y = debruijn_core::Word::parse(2, "110100").unwrap();
+        debruijn_core::distance::undirected::distance(&x, &y);
+        let before = registry.snapshot();
+        debruijn_core::distance::undirected::distance(&x, &y);
+        let after = registry.snapshot();
+        let total = |snap: &MetricsSnapshot| -> u64 {
+            [
+                ("engine", "naive"),
+                ("engine", "morris-pratt"),
+                ("engine", "suffix-tree"),
+                ("engine", "bit-parallel"),
+            ]
+            .iter()
+            .filter_map(|l| snap.counter_value("dbr_core_engine_solves_total", &[*l]))
+            .sum()
+        };
+        // Counters are process-wide and monotone: concurrent tests may
+        // add more, but at least our query is in the delta.
+        assert!(total(&after) > total(&before));
+        for outcome in ["hit", "miss", "eviction"] {
+            assert!(after
+                .counter_value("dbr_core_route_cache_total", &[("outcome", outcome)])
+                .is_some());
+        }
+        assert!(after.render().contains("dbr_core_engine_solves_total"));
+    }
+}

@@ -44,6 +44,9 @@ pub enum DropReason {
     FaultyNode,
     /// The message was handed to a dead link.
     DeadLink,
+    /// The message exhausted its hop budget
+    /// ([`SimConfig::ttl`](crate::SimConfig::ttl)) before arriving.
+    Ttl,
 }
 
 impl DropReason {
@@ -54,6 +57,7 @@ impl DropReason {
             DropReason::NoRoute => "no-route",
             DropReason::FaultyNode => "faulty-node",
             DropReason::DeadLink => "dead-link",
+            DropReason::Ttl => "ttl",
         }
     }
 
@@ -63,6 +67,7 @@ impl DropReason {
             "no-route" => DropReason::NoRoute,
             "faulty-node" => DropReason::FaultyNode,
             "dead-link" => DropReason::DeadLink,
+            "ttl" => DropReason::Ttl,
             _ => return None,
         })
     }
@@ -857,6 +862,7 @@ mod tests {
                 DropReason::NoRoute,
                 DropReason::FaultyNode,
                 DropReason::DeadLink,
+                DropReason::Ttl,
             ] {
                 events.push(NetEvent::Drop {
                     time: u64::MAX,

@@ -104,6 +104,11 @@ pub struct SimConfig {
     /// always computes inline); reports are byte-identical for every
     /// thread count.
     pub threads: usize,
+    /// Hop budget per message: a message still in flight after `ttl`
+    /// hops is dropped with [`DropReason::Ttl`]. `0` (the default)
+    /// disables the budget. Optimal routes need at most `k` hops, so a
+    /// `ttl >= k` never fires on healthy source-routed traffic.
+    pub ttl: usize,
 }
 
 impl Default for SimConfig {
@@ -117,6 +122,7 @@ impl Default for SimConfig {
             seed: 0xDEB1,
             route_cache: 1024,
             threads: 1,
+            ttl: 0,
         }
     }
 }
@@ -412,14 +418,14 @@ impl Simulation {
             );
             report.injected += 1;
             if self.faults.contains(&inj.source) {
-                report.dropped += 1;
-                if observed {
-                    recorder.record(&NetEvent::Drop {
-                        time: inj.time,
-                        message: index,
-                        reason: DropReason::FaultySource,
-                    });
-                }
+                drop_message(
+                    &mut report,
+                    recorder,
+                    observed,
+                    inj.time,
+                    index,
+                    DropReason::FaultySource,
+                );
                 continue;
             }
             let mut rerouted = false;
@@ -443,14 +449,14 @@ impl Simulation {
                     match r {
                         Some(r) => r,
                         None => {
-                            report.dropped += 1;
-                            if observed {
-                                recorder.record(&NetEvent::Drop {
-                                    time: inj.time,
-                                    message: index,
-                                    reason: DropReason::NoRoute,
-                                });
-                            }
+                            drop_message(
+                                &mut report,
+                                recorder,
+                                observed,
+                                inj.time,
+                                index,
+                                DropReason::NoRoute,
+                            );
                             continue;
                         }
                     }
@@ -511,14 +517,14 @@ impl Simulation {
             } = flight;
 
             if self.faults.contains(&at) {
-                report.dropped += 1;
-                if observed {
-                    recorder.record(&NetEvent::Drop {
-                        time: now,
-                        message: index,
-                        reason: DropReason::FaultyNode,
-                    });
-                }
+                drop_message(
+                    &mut report,
+                    recorder,
+                    observed,
+                    now,
+                    index,
+                    DropReason::FaultyNode,
+                );
                 continue;
             }
             let arrived = match self.config.forwarding {
@@ -543,6 +549,10 @@ impl Simulation {
                         shortest,
                     });
                 }
+                continue;
+            }
+            if self.config.ttl > 0 && hops >= self.config.ttl {
+                drop_message(&mut report, recorder, observed, now, index, DropReason::Ttl);
                 continue;
             }
 
@@ -582,14 +592,14 @@ impl Simulation {
                         }
                         _ => {
                             // Destination unreachable from here.
-                            report.dropped += 1;
-                            if observed {
-                                recorder.record(&NetEvent::Drop {
-                                    time: now,
-                                    message: index,
-                                    reason: DropReason::NoRoute,
-                                });
-                            }
+                            drop_message(
+                                &mut report,
+                                recorder,
+                                observed,
+                                now,
+                                index,
+                                DropReason::NoRoute,
+                            );
                             continue;
                         }
                     }
@@ -617,14 +627,14 @@ impl Simulation {
             if self.link_faults.contains(&key) {
                 // The selected link is down: the message is lost in
                 // transit (no retransmission model).
-                report.dropped += 1;
-                if observed {
-                    recorder.record(&NetEvent::Drop {
-                        time: now,
-                        message: index,
-                        reason: DropReason::DeadLink,
-                    });
-                }
+                drop_message(
+                    &mut report,
+                    recorder,
+                    observed,
+                    now,
+                    index,
+                    DropReason::DeadLink,
+                );
                 continue;
             }
             let free = link_free.entry(key).or_insert(0);
@@ -797,6 +807,27 @@ impl Simulation {
                 }
             })
             .sum()
+    }
+}
+
+/// Books one message loss: the aggregate counters, the per-reason
+/// breakdown, and (when observed) the [`NetEvent::Drop`] record.
+fn drop_message(
+    report: &mut SimReport,
+    recorder: &mut dyn Recorder,
+    observed: bool,
+    time: u64,
+    message: usize,
+    reason: DropReason,
+) {
+    report.dropped += 1;
+    *report.dropped_by_reason.entry(reason.name()).or_insert(0) += 1;
+    if observed {
+        recorder.record(&NetEvent::Drop {
+            time,
+            message,
+            reason,
+        });
     }
 }
 
@@ -1392,6 +1423,43 @@ mod tests {
         let n = sp.order_usize().unwrap();
         assert_eq!(r.dropped, 2 * (n - 1));
         assert_eq!(r.delivered + r.dropped, r.injected);
+    }
+
+    #[test]
+    fn ttl_exhaustion_drops_and_is_attributed() {
+        // The trivial router always walks k hops, so ttl < k kills every
+        // message with reason "ttl"; ttl >= k changes nothing.
+        let sp = space(2, 4);
+        let traffic = workload::uniform_random(sp, 120, 6);
+        let mk = |ttl| SimConfig {
+            router: RouterKind::Trivial,
+            ttl,
+            ..Default::default()
+        };
+        let starved = sim(2, 4, mk(3)).run(&traffic);
+        assert_eq!(starved.delivered, 0);
+        assert_eq!(starved.dropped, 120);
+        assert_eq!(starved.dropped_by_reason.get("ttl"), Some(&120));
+        let generous = sim(2, 4, mk(4)).run(&traffic);
+        assert_eq!(generous.delivered, 120);
+        assert!(generous.dropped_by_reason.is_empty());
+        assert_eq!(sim(2, 4, mk(0)).run(&traffic).delivered, 120);
+    }
+
+    #[test]
+    fn dropped_by_reason_sums_to_dropped() {
+        let sp = space(2, 4);
+        let fault = sp.word_from_rank(9).unwrap();
+        let s = sim(2, 4, SimConfig::default())
+            .with_faults(vec![fault])
+            .unwrap();
+        let traffic = workload::all_pairs(sp);
+        let mut metrics = InMemoryRecorder::new();
+        let r = s.run_recorded(&traffic, &mut metrics);
+        assert!(r.dropped > 0);
+        assert_eq!(r.dropped_by_reason.values().sum::<u64>(), r.dropped as u64);
+        // The report's breakdown is exactly the recorder's view.
+        assert_eq!(r.dropped_by_reason, metrics.drops_by_reason);
     }
 
     #[test]

@@ -158,6 +158,9 @@ pub struct SimReport {
     /// Messages lost to faults (at the source, in transit, or at a faulty
     /// destination).
     pub dropped: usize,
+    /// Losses broken out by [`DropReason::name`](crate::DropReason::name)
+    /// (kebab-case); the values sum to `dropped`.
+    pub dropped_by_reason: BTreeMap<&'static str, u64>,
     /// `hops → number of delivered messages with that hop count`.
     pub hop_histogram: BTreeMap<usize, usize>,
     /// Total hops over all delivered messages.

@@ -198,3 +198,107 @@ fn log_histogram_percentile_edges_are_exact() {
     assert_eq!(log.percentile(0.0), naive.percentile(0.0));
     assert_eq!(log.percentile(100.0), naive.percentile(100.0));
 }
+
+/// 10^5 mixed-magnitude samples: a blend of every distribution above,
+/// switching shape per sample so shard boundaries never align with
+/// distribution boundaries.
+fn mixed_magnitude_samples(seed: u64, n: usize) -> Vec<u64> {
+    let shapes = distributions();
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let shape = rng.below_u64(shapes.len() as u64) as usize;
+            (shapes[shape].1)(&mut rng)
+        })
+        .collect()
+}
+
+#[test]
+fn log_histogram_merge_is_exact_across_shard_counts() {
+    // `merge` adds bucket counts and folds min/max/sum exactly, so a
+    // histogram assembled from *any* sharding of a sample stream must
+    // be byte-identical to the single-stream histogram — same
+    // quantiles, same summary line, equal by `PartialEq`. This is the
+    // property the sharded trace replay (`metrics::replay_sharded`)
+    // leans on for thread-count-independent output.
+    const N: usize = 100_000;
+    for seed in [0xA11CE, 0x5EED] {
+        let values = mixed_magnitude_samples(seed, N);
+        let mut single = LogHistogram::new();
+        for &v in &values {
+            single.record(v);
+        }
+        for shards in [1usize, 2, 3, 7, 16, 64] {
+            let chunk = N.div_ceil(shards);
+            let mut merged = LogHistogram::new();
+            for part in values.chunks(chunk) {
+                let mut shard = LogHistogram::new();
+                for &v in part {
+                    shard.record(v);
+                }
+                merged.merge(&shard);
+            }
+            assert_eq!(merged, single, "seed {seed:#x}, {shards} shards");
+            for p in PERCENTILES {
+                assert_eq!(
+                    merged.percentile(p),
+                    single.percentile(p),
+                    "seed {seed:#x}, {shards} shards, p{p}"
+                );
+            }
+            assert_eq!(merged.summary(), single.summary());
+        }
+    }
+}
+
+#[test]
+fn log_histogram_merge_matches_naive_reference_within_bound() {
+    // Sharded-then-merged quantiles inherit the single-stream accuracy
+    // guarantee against the ground-truth sorted vector.
+    let values = mixed_magnitude_samples(0xFACADE, 100_000);
+    let mut merged = LogHistogram::new();
+    for part in values.chunks(9_973) {
+        let mut shard = LogHistogram::new();
+        for &v in part {
+            shard.record(v);
+        }
+        merged.merge(&shard);
+    }
+    let naive = Naive::new(values);
+    assert_eq!(merged.count(), 100_000);
+    assert_eq!(merged.min(), naive.sorted.first().copied());
+    assert_eq!(merged.max(), naive.sorted.last().copied());
+    assert_eq!(merged.mean(), naive.mean());
+    for p in [25.0, 50.0, 90.0, 99.0] {
+        let exact = naive.percentile(p).unwrap() as f64;
+        let approx = merged.percentile(p).unwrap() as f64;
+        let err = (approx - exact).abs() / exact.max(1.0);
+        assert!(
+            err <= LogHistogram::MAX_RELATIVE_ERROR,
+            "p{p}: merged {approx} vs naive {exact} (err {err:.5})"
+        );
+    }
+}
+
+#[test]
+fn log_histogram_merge_identities() {
+    let values = mixed_magnitude_samples(7, 1_000);
+    let mut h = LogHistogram::new();
+    for &v in &values {
+        h.record(v);
+    }
+    // Merging an empty histogram in either direction is the identity.
+    let mut left = h.clone();
+    left.merge(&LogHistogram::new());
+    assert_eq!(left, h);
+    let mut right = LogHistogram::new();
+    right.merge(&h);
+    assert_eq!(right, h);
+    // Self-merge doubles every bucket, keeping quantiles fixed.
+    let mut doubled = h.clone();
+    doubled.merge(&h.clone());
+    assert_eq!(doubled.count(), 2 * h.count());
+    assert_eq!(doubled.percentile(50.0), h.percentile(50.0));
+    assert_eq!(doubled.min(), h.min());
+    assert_eq!(doubled.max(), h.max());
+}

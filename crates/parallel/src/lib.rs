@@ -119,6 +119,60 @@ where
     out
 }
 
+/// Maps `f` over `0..n` split into contiguous chunks of (at most)
+/// `chunk` indices, returning one result per chunk in chunk order.
+///
+/// Unlike [`map_range`], the *caller* fixes the chunk geometry, so the
+/// partition itself is part of the contract: callers that fold each
+/// chunk into a partial aggregate (a metrics shard, a partial sum) get
+/// the same partition — and therefore the same per-chunk results —
+/// for every thread count. Workers still claim chunks dynamically, and
+/// results are reassembled in chunk order.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0` and `n > 0`.
+///
+/// # Examples
+///
+/// ```
+/// let sums = debruijn_parallel::map_chunks(4, 10, 4, |r| r.sum::<usize>());
+/// assert_eq!(sums, vec![0 + 1 + 2 + 3, 4 + 5 + 6 + 7, 8 + 9]);
+/// ```
+pub fn map_chunks<R, F>(threads: usize, n: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(chunk > 0, "chunk size must be positive");
+    let nchunks = n.div_ceil(chunk);
+    let range_of = |c: usize| c * chunk..((c + 1) * chunk).min(n);
+    let threads = effective_threads(threads);
+    if threads <= 1 || nchunks <= 1 {
+        return (0..nchunks).map(|c| f(range_of(c))).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(nchunks));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(nchunks) {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= nchunks {
+                    break;
+                }
+                let out = f(range_of(c));
+                done.lock().unwrap().push((c, out));
+            });
+        }
+    });
+    let mut chunks = done.into_inner().unwrap();
+    chunks.sort_unstable_by_key(|&(c, _)| c);
+    chunks.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +240,30 @@ mod tests {
         assert_eq!(effective_threads(5), 5);
         // And the mapping still works with the resolved count.
         assert_eq!(map_range(0, 10, |i| i).len(), 10);
+    }
+
+    #[test]
+    fn map_chunks_partition_is_independent_of_thread_count() {
+        let serial = map_chunks(1, 1003, 17, |r| (r.start, r.end, r.sum::<usize>()));
+        for threads in [2, 4, 16] {
+            let parallel = map_chunks(threads, 1003, 17, |r| (r.start, r.end, r.sum::<usize>()));
+            assert_eq!(serial, parallel);
+        }
+        // The chunks tile 0..n exactly.
+        let mut expect = 0;
+        for &(start, end, _) in &serial {
+            assert_eq!(start, expect);
+            assert!(end - start <= 17);
+            expect = end;
+        }
+        assert_eq!(expect, 1003);
+    }
+
+    #[test]
+    fn map_chunks_handles_empty_and_oversized_chunks() {
+        assert_eq!(map_chunks(4, 0, 8, |r| r.len()), Vec::<usize>::new());
+        // One chunk covers everything when chunk >= n.
+        assert_eq!(map_chunks(4, 5, 100, |r| (r.start, r.end)), vec![(0, 5)]);
     }
 
     #[test]

@@ -6,14 +6,21 @@
 //! small and fixed.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use debruijn_analysis::{average, Table};
 use debruijn_core::distance::undirected::Engine;
 use debruijn_core::{directed_average_distance, distance, profile, routing, DeBruijn, Word};
 use debruijn_graph::{census, diameter, euler, DebruijnGraph};
+use debruijn_net::metrics::{
+    register_core_profile, AnomalyTriggers, FlightRecorder, HttpHandler, HttpResponse,
+    MetricsRegistry, RegistryRecorder, ScrapeServer,
+};
 use debruijn_net::record::{FanoutRecorder, InMemoryRecorder, JsonlRecorder};
 use debruijn_net::telemetry::{ChromeTraceRecorder, SnapshotRecorder};
-use debruijn_net::{workload, RouterKind, SimConfig, Simulation, WildcardPolicy};
+use debruijn_net::{
+    workload, NetEvent, Recorder, RouterKind, SimConfig, Simulation, WildcardPolicy,
+};
 
 use crate::trace::{self, TraceMetric};
 
@@ -82,7 +89,9 @@ pub enum Command {
         samples: usize,
     },
     /// `dbr simulate <d> <k> [--messages N] [--router R] [--policy P] [--seed S]
-    /// [--metrics] [--trace FILE] [--progress N] [--chrome-trace FILE]`
+    /// [--metrics] [--trace FILE] [--progress N] [--chrome-trace FILE]
+    /// [--listen ADDR] [--metrics-out FILE] [--flight-recorder FILE]
+    /// [--flight-capacity N] [--faults W1,W2] [--ttl N]`
     Simulate {
         /// Digit radix.
         d: u8,
@@ -108,6 +117,30 @@ pub enum Command {
         progress: Option<u64>,
         /// Write a Chrome trace-event (Perfetto) file of the run.
         chrome_trace: Option<String>,
+        /// Serve `/metrics` and `/healthz` over HTTP at this address
+        /// during the run and until killed.
+        listen: Option<String>,
+        /// Write Prometheus text snapshots to this file periodically and
+        /// after the run.
+        metrics_out: Option<String>,
+        /// Arm a flight recorder that dumps the pre-anomaly event window
+        /// to this JSONL file.
+        flight_recorder: Option<String>,
+        /// Flight-recorder ring capacity (events kept before an anomaly).
+        flight_capacity: usize,
+        /// Comma-separated faulty node addresses.
+        faults: Option<String>,
+        /// Per-message hop budget (0 disables; exceeding it drops with
+        /// reason `ttl`).
+        ttl: usize,
+    },
+    /// `dbr serve <d> [--listen ADDR]` — standing route/distance query
+    /// service with `/metrics`.
+    Serve {
+        /// Digit radix served.
+        d: u8,
+        /// Bind address (`127.0.0.1:0` picks a free port).
+        listen: String,
     },
     /// `dbr trace <summary|links|hist|diff|export> …` — offline
     /// analysis of `--trace` JSONL files.
@@ -188,6 +221,17 @@ pub enum TraceAction {
         /// Radix override (applied to both files).
         radix: Option<u8>,
     },
+    /// `dbr trace prom <file> [--threads N]` — render the trace as
+    /// Prometheus exposition text (what a live scrape would have seen).
+    Prom {
+        /// Trace file path.
+        file: String,
+        /// Radix override.
+        radix: Option<u8>,
+        /// Worker threads for the sharded fold (1 = inline, 0 = all
+        /// cores); output is identical for every value.
+        threads: usize,
+    },
     /// `dbr trace export <in> <out>` — convert to Chrome trace-event
     /// JSON.
     Export {
@@ -216,12 +260,16 @@ USAGE:
                        [--policy zero|random|round-robin|least-loaded] [--seed S]
                        [--threads N] [--route-cache N]
                        [--metrics] [--trace FILE] [--progress N]
-                       [--chrome-trace FILE]
+                       [--chrome-trace FILE] [--listen ADDR]
+                       [--metrics-out FILE] [--flight-recorder FILE]
+                       [--flight-capacity N] [--faults W1,W2] [--ttl N]
+  dbr serve <d> [--listen ADDR]     HTTP route/distance query service
   dbr trace summary <file>          reconstruct the --metrics report
   dbr trace links <file> [--top N]  hottest links, utilization table
   dbr trace hist <metric> <file>    ASCII histogram (hops|latency|stretch|
                                     queue-wait|queue-depth|per-hop-latency)
   dbr trace diff <A> <B>            per-metric deltas between two runs
+  dbr trace prom <file>             render as Prometheus exposition text
   dbr trace export <in> <out>       convert to Chrome trace-event JSON
   dbr multipath <d> <X> <Y>
   dbr gdb <d> <N> <i> <j>
@@ -254,8 +302,20 @@ route-cache and convergecast profile); --trace FILE streams every event as JSON 
 that every `dbr trace` command can analyse offline (they infer the
 radix from the file; pass --radix D to override); --progress N prints
 an in-flight snapshot to stderr every N ticks; --chrome-trace FILE
-writes a timeline for https://ui.perfetto.dev. See
-docs/OBSERVABILITY.md.
+writes a timeline for https://ui.perfetto.dev.
+
+--listen ADDR serves Prometheus text at http://ADDR/metrics (plus
+/healthz) while the run executes and until the process is killed; the
+bound address is printed to stderr, so `--listen 127.0.0.1:0` works.
+--metrics-out FILE writes the same text to a file periodically and at
+exit. --flight-recorder FILE arms an anomaly-triggered ring buffer
+(drop/no-route bursts, queue high-water, stalled links) that dumps the
+pre-anomaly event window as JSONL readable by every `dbr trace`
+command; --flight-capacity N sizes the ring (default 4096). --faults
+W1,W2 marks nodes faulty; --ttl N drops messages exceeding N hops
+(reason `ttl`). `dbr serve <d>` answers GET /distance?x=X&y=Y and
+/route?x=X&y=Y (add &directed=1 for Algorithm 1) and exports its own
+request counters at /metrics. See docs/OBSERVABILITY.md.
 ";
 
 /// Usage text for the `dbr trace` family, shown on trace parse errors.
@@ -266,6 +326,7 @@ USAGE:
   dbr trace hist <metric> <file> [--radix D]
       metrics: hops|latency|stretch|queue-wait|queue-depth|per-hop-latency
   dbr trace diff <A> <B> [--radix D]
+  dbr trace prom <file> [--threads N] [--radix D]
   dbr trace export <in> <out> [--radix D]
 ";
 
@@ -355,6 +416,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 "--trace",
                 "--progress",
                 "--chrome-trace",
+                "--listen",
+                "--metrics-out",
+                "--flight-recorder",
+                "--flight-capacity",
+                "--faults",
+                "--ttl",
             ])?;
             let [d, k] = positional::<2>(&pos, "simulate <d> <k>")?;
             Ok(Command::Simulate {
@@ -400,6 +467,36 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     })
                     .transpose()?,
                 chrome_trace: flags.value("--chrome-trace")?.map(String::from),
+                listen: flags.value("--listen")?.map(String::from),
+                metrics_out: flags.value("--metrics-out")?.map(String::from),
+                flight_recorder: flags.value("--flight-recorder")?.map(String::from),
+                flight_capacity: flags
+                    .value("--flight-capacity")?
+                    .map(|v| match parse_num(v, "flight-capacity") {
+                        Ok(n) if n > 0 => Ok(n),
+                        Ok(_) => Err("bad flight-capacity '0' (need >= 1)".to_string()),
+                        Err(e) => Err(e),
+                    })
+                    .transpose()?
+                    .unwrap_or(4096),
+                faults: flags.value("--faults")?.map(String::from),
+                ttl: flags
+                    .value("--ttl")?
+                    .map(|v| parse_num(v, "ttl"))
+                    .transpose()?
+                    .unwrap_or(0),
+            })
+        }
+        "serve" => {
+            let (pos, flags) = split_flags(&rest);
+            flags.expect_only(&["--listen"])?;
+            let [d] = positional::<1>(&pos, "serve <d> [--listen ADDR]")?;
+            Ok(Command::Serve {
+                d: parse_radix(d)?,
+                listen: flags
+                    .value("--listen")?
+                    .unwrap_or("127.0.0.1:0")
+                    .to_string(),
             })
         }
         "trace" => {
@@ -446,6 +543,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         a: a.to_string(),
                         b: b.to_string(),
                         radix,
+                    }
+                }
+                "prom" => {
+                    flags.expect_only(&["--radix", "--threads"])?;
+                    let [file] = positional::<1>(pos, "trace prom <file>")?;
+                    TraceAction::Prom {
+                        file: file.to_string(),
+                        radix,
+                        threads: parse_threads(&flags)?,
                     }
                 }
                 "export" => {
@@ -685,6 +791,12 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             trace,
             progress,
             chrome_trace,
+            listen,
+            metrics_out,
+            flight_recorder,
+            flight_capacity,
+            faults,
+            ttl,
         } => {
             let space = space_of(*d, *k)?;
             let config = SimConfig {
@@ -693,10 +805,49 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 seed: *seed,
                 threads: *threads,
                 route_cache: *route_cache,
+                ttl: *ttl,
                 ..SimConfig::default()
             };
-            let sim = Simulation::new(space, config).map_err(|e| e.to_string())?;
+            let mut sim = Simulation::new(space, config).map_err(|e| e.to_string())?;
+            if let Some(list) = faults {
+                let words = list
+                    .split(',')
+                    .map(|w| Word::parse(*d, w.trim()).map_err(|e| format!("bad fault '{w}': {e}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                sim = sim.with_faults(words).map_err(|e| e.to_string())?;
+            }
             let traffic = workload::uniform_random(space, *messages, *seed);
+
+            // One registry backs both exposure paths: the HTTP scrape
+            // server (--listen) and the periodic file snapshot
+            // (--metrics-out). The core profile counters join it as a
+            // collector, so scrapes see engine/cache activity too.
+            let registry = (listen.is_some() || metrics_out.is_some()).then(|| {
+                let registry = Arc::new(MetricsRegistry::new());
+                register_core_profile(&registry);
+                registry
+            });
+            let mut registry_recorder = registry.as_ref().map(RegistryRecorder::new);
+            let server = listen
+                .as_ref()
+                .map(|addr| {
+                    let registry = registry.as_ref().expect("listen implies registry");
+                    ScrapeServer::bind(addr.as_str(), Arc::clone(registry))
+                        .map_err(|e| format!("cannot listen on '{addr}': {e}"))
+                })
+                .transpose()?;
+            if let Some(server) = &server {
+                // Announced on stderr (stdout carries the report), so
+                // scripts binding port 0 can discover the address.
+                eprintln!("listening on http://{}/metrics", server.local_addr());
+            }
+            let mut metrics_file = metrics_out
+                .as_ref()
+                .map(|path| MetricsFileWriter::new(registry.as_ref().cloned().unwrap(), path));
+            let mut flight = flight_recorder.as_ref().map(|path| {
+                FlightRecorder::new(*flight_capacity, AnomalyTriggers::default())
+                    .with_dump_path(path)
+            });
 
             let profile_before = profile::snapshot();
             let mut memory = InMemoryRecorder::new();
@@ -720,6 +871,9 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 progress.map(|every| SnapshotRecorder::new(every, std::io::stderr()));
             let report = {
                 let mut fan = FanoutRecorder::new();
+                if let Some(r) = registry_recorder.as_mut() {
+                    fan.push(r);
+                }
                 if *metrics {
                     fan.push(&mut memory);
                 }
@@ -731,6 +885,14 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 }
                 if let Some(s) = snapshots.as_mut() {
                     fan.push(s);
+                }
+                // After the registry recorder, so snapshots include the
+                // tick that triggered them.
+                if let Some(w) = metrics_file.as_mut() {
+                    fan.push(w);
+                }
+                if let Some(f) = flight.as_mut() {
+                    fan.push(f);
                 }
                 sim.run_recorded(&traffic, &mut fan)
             };
@@ -744,6 +906,12 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 out,
                 "delivered:    {}/{}",
                 report.delivered, report.injected
+            )
+            .expect("write");
+            writeln!(
+                out,
+                "dropped:      {}",
+                trace::drop_breakdown(&report.dropped_by_reason)
             )
             .expect("write");
             writeln!(out, "mean hops:    {:.4}", report.mean_hops()).expect("write");
@@ -821,6 +989,52 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 )
                 .expect("write");
             }
+            if let Some(f) = flight {
+                match f
+                    .finish()
+                    .map_err(|e| format!("writing flight-recorder dump: {e}"))?
+                {
+                    Some(anomaly) => writeln!(
+                        out,
+                        "flight recorder: {anomaly}; window dumped to {}",
+                        flight_recorder.as_deref().unwrap_or_default()
+                    )
+                    .expect("write"),
+                    None => writeln!(out, "flight recorder: no anomaly detected").expect("write"),
+                }
+            }
+            if let Some(w) = metrics_file.take() {
+                w.finish()?;
+                writeln!(
+                    out,
+                    "metrics snapshot written to {}",
+                    metrics_out.as_deref().unwrap_or_default()
+                )
+                .expect("write");
+            }
+            if let Some(server) = server {
+                // Flush the report now: the scrape server keeps the
+                // process alive until killed, and consumers should not
+                // have to wait for the results.
+                print!("{out}");
+                out.clear();
+                std::io::Write::flush(&mut std::io::stdout()).map_err(|e| e.to_string())?;
+                server.block();
+            }
+        }
+        Command::Serve { d, listen } => {
+            let registry = Arc::new(MetricsRegistry::new());
+            register_core_profile(&registry);
+            let handler = serve_handler(*d, Arc::clone(&registry));
+            let server = ScrapeServer::bind_with_handler(listen.as_str(), registry, Some(handler))
+                .map_err(|e| format!("cannot listen on '{listen}': {e}"))?;
+            eprintln!("listening on http://{}/metrics", server.local_addr());
+            println!(
+                "serving radix-{d} route/distance queries on http://{}",
+                server.local_addr()
+            );
+            std::io::Write::flush(&mut std::io::stdout()).map_err(|e| e.to_string())?;
+            server.block();
         }
         Command::Trace { action } => match action {
             TraceAction::Summary { file, radix } => {
@@ -843,6 +1057,14 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 let ta = trace::load(a, *radix)?;
                 let tb = trace::load(b, *radix)?;
                 out.push_str(&trace::diff(&ta, &tb));
+            }
+            TraceAction::Prom {
+                file,
+                radix,
+                threads,
+            } => {
+                let t = trace::load(file, *radix)?;
+                out.push_str(&trace::prom(&t, *threads));
             }
             TraceAction::Export {
                 input,
@@ -906,6 +1128,129 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// The HTTP handler behind `dbr serve`: answers
+/// `GET /distance?x=X&y=Y[&directed=1]` with the distance and
+/// `GET /route?x=X&y=Y[&directed=1]` with the same two lines
+/// `dbr route` prints, counting every query in
+/// `dbr_serve_requests_total{endpoint,status}` on `registry`.
+///
+/// Exposed so the query grammar is unit-testable without binding a
+/// socket; [`ScrapeServer::bind_with_handler`] wires it live.
+pub fn serve_handler(d: u8, registry: Arc<MetricsRegistry>) -> HttpHandler {
+    Arc::new(move |target: &str| {
+        let (path, query) = target.split_once('?').unwrap_or((target, ""));
+        let endpoint = match path {
+            "/distance" => "distance",
+            "/route" => "route",
+            _ => return None,
+        };
+        let result = serve_query(d, endpoint, query);
+        let status = if result.is_ok() { "200" } else { "400" };
+        registry
+            .counter_with(
+                "dbr_serve_requests_total",
+                "Route/distance queries served, by endpoint and status.",
+                &[("endpoint", endpoint), ("status", status)],
+            )
+            .inc();
+        Some(match result {
+            Ok(body) => HttpResponse::ok(body),
+            Err(message) => HttpResponse::bad_request(format!("{message}\n")),
+        })
+    })
+}
+
+/// Evaluates one `dbr serve` query string against the route/distance
+/// library.
+fn serve_query(d: u8, endpoint: &str, query: &str) -> Result<String, String> {
+    let param = |key: &str| {
+        query.split('&').find_map(|kv| {
+            kv.split_once('=')
+                .filter(|(k, _)| *k == key)
+                .map(|(_, v)| v)
+        })
+    };
+    let x = param("x").ok_or("missing query parameter 'x'")?;
+    let y = param("y").ok_or("missing query parameter 'y'")?;
+    let directed = matches!(param("directed"), Some("1" | "true"));
+    let (x, y) = parse_pair(d, x, y)?;
+    Ok(if endpoint == "distance" {
+        let dist = if directed {
+            distance::directed::distance(&x, &y)
+        } else {
+            distance::undirected::distance_with(Engine::Auto, &x, &y)
+        };
+        format!("{dist}\n")
+    } else {
+        let route = if directed {
+            routing::algorithm1(&x, &y)
+        } else {
+            routing::route_with_engine(&x, &y, Engine::Auto)
+        };
+        format!("distance: {}\nroute:    {route}\n", route.len())
+    })
+}
+
+/// How often `--metrics-out` rewrites its snapshot file, in simulated
+/// ticks.
+const METRICS_OUT_EVERY: u64 = 1000;
+
+/// A [`Recorder`] that periodically renders the registry to a file, so
+/// external collectors can tail a run without the HTTP listener. The
+/// final state is written by [`MetricsFileWriter::finish`].
+struct MetricsFileWriter {
+    registry: Arc<MetricsRegistry>,
+    path: String,
+    next: u64,
+    error: Option<String>,
+}
+
+impl MetricsFileWriter {
+    fn new(registry: Arc<MetricsRegistry>, path: &str) -> Self {
+        Self {
+            registry,
+            path: path.to_string(),
+            next: 0,
+            error: None,
+        }
+    }
+
+    fn write_snapshot(&mut self) {
+        if let Err(e) = std::fs::write(&self.path, self.registry.snapshot().render()) {
+            self.error = Some(format!("writing metrics snapshot '{}': {e}", self.path));
+        }
+    }
+
+    /// Writes the end-of-run snapshot, surfacing the first error.
+    fn finish(mut self) -> Result<(), String> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.write_snapshot();
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Recorder for MetricsFileWriter {
+    fn enabled(&self) -> bool {
+        self.error.is_none()
+    }
+
+    fn record(&mut self, event: &NetEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let now = event.time();
+        if now >= self.next {
+            self.next = now + METRICS_OUT_EVERY;
+            self.write_snapshot();
+        }
+    }
 }
 
 fn space_of(d: u8, k: usize) -> Result<DeBruijn, String> {
@@ -1185,6 +1530,211 @@ mod tests {
     }
 
     #[test]
+    fn parses_observability_flags() {
+        let cmd = parse_line(
+            "simulate 2 6 --listen 127.0.0.1:0 --metrics-out m.prom \
+             --flight-recorder f.jsonl --flight-capacity 128 --faults 000000,111111 --ttl 9",
+        )
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                listen,
+                metrics_out,
+                flight_recorder,
+                flight_capacity,
+                faults,
+                ttl,
+                ..
+            } => {
+                assert_eq!(listen.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(metrics_out.as_deref(), Some("m.prom"));
+                assert_eq!(flight_recorder.as_deref(), Some("f.jsonl"));
+                assert_eq!(flight_capacity, 128);
+                assert_eq!(faults.as_deref(), Some("000000,111111"));
+                assert_eq!(ttl, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: no listeners, 4096-event ring, no hop budget.
+        assert!(matches!(
+            parse_line("simulate 2 6").unwrap(),
+            Command::Simulate {
+                listen: None,
+                metrics_out: None,
+                flight_recorder: None,
+                flight_capacity: 4096,
+                faults: None,
+                ttl: 0,
+                ..
+            }
+        ));
+        assert!(parse_line("simulate 2 6 --flight-capacity 0").is_err());
+        assert!(parse_line("simulate 2 6 --ttl x").is_err());
+        assert_eq!(
+            parse_line("serve 2").unwrap(),
+            Command::Serve {
+                d: 2,
+                listen: "127.0.0.1:0".into(),
+            }
+        );
+        assert_eq!(
+            parse_line("serve 3 --listen 0.0.0.0:9100").unwrap(),
+            Command::Serve {
+                d: 3,
+                listen: "0.0.0.0:9100".into(),
+            }
+        );
+        assert!(parse_line("serve").is_err());
+        assert_eq!(
+            parse_line("trace prom run.jsonl --threads 4").unwrap(),
+            Command::Trace {
+                action: TraceAction::Prom {
+                    file: "run.jsonl".into(),
+                    radix: None,
+                    threads: 4,
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn simulate_ttl_and_faults_break_out_the_dropped_line() {
+        // Clean run: an explicit zero.
+        let out = run(&parse_line("simulate 2 5 --messages 100 --seed 4").unwrap()).unwrap();
+        assert!(out.contains("dropped:      0\n"), "{out}");
+        // Trivial routing always takes k = 5 hops; a 3-hop budget kills
+        // every message that is not already at its destination.
+        let out = run(
+            &parse_line("simulate 2 5 --messages 100 --router trivial --ttl 3 --seed 4").unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("(ttl "), "{out}");
+        // A faulty node attributes losses to the fault reasons.
+        let out = run(&parse_line("simulate 2 5 --messages 200 --faults 00000 --seed 4").unwrap())
+            .unwrap();
+        assert!(out.contains("faulty-"), "{out}");
+        assert!(!out.contains("dropped:      0\n"), "{out}");
+        let err = run(&parse_line("simulate 2 5 --faults 00000,0x1").unwrap()).unwrap_err();
+        assert!(err.contains("bad fault"), "{err}");
+    }
+
+    #[test]
+    fn simulate_metrics_out_writes_prometheus_text() {
+        let path = std::env::temp_dir().join(format!("dbr-mout-{}.prom", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let line = format!("simulate 2 5 --messages 120 --seed 2 --metrics-out {path_str}");
+        let out = run(&parse_line(&line).unwrap()).unwrap();
+        assert!(out.contains("metrics snapshot written to"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("dbr_sim_injected_total 120"), "{text}");
+        assert!(text.contains("dbr_sim_delivered_total 120"), "{text}");
+        assert!(text.contains("dbr_link_forward_total{"), "{text}");
+        // The core profile collector is registered alongside the
+        // simulator's own counters.
+        assert!(text.contains("dbr_core_engine_solves_total{"), "{text}");
+        assert!(text.contains("dbr_core_route_cache_total{"), "{text}");
+    }
+
+    #[test]
+    fn simulate_flight_recorder_dump_round_trips_through_trace_summary() {
+        let dir = std::env::temp_dir();
+        let dump = dir.join(format!("dbr-flight-cli-{}.jsonl", std::process::id()));
+        let dump_str = dump.to_str().unwrap();
+        // A faulty node sheds enough messages at injection time to trip
+        // the default drop-burst trigger (8 drops in 128 ticks).
+        let line = format!(
+            "simulate 2 5 --messages 400 --faults 00000 --seed 4 --flight-recorder {dump_str}"
+        );
+        let out = run(&parse_line(&line).unwrap()).unwrap();
+        assert!(out.contains("flight recorder: "), "{out}");
+        assert!(out.contains("window dumped to"), "{out}");
+        // The dump is a regular trace: `dbr trace summary` parses it and
+        // shows the per-reason drop breakdown.
+        let summary = run(&parse_line(&format!("trace summary {dump_str}")).unwrap()).unwrap();
+        std::fs::remove_file(&dump).ok();
+        assert!(summary.contains("dropped ("), "{summary}");
+        assert!(summary.contains("dropped:      "), "{summary}");
+        // A clean run arms but never fires.
+        let line = format!("simulate 2 5 --messages 50 --flight-recorder {dump_str}");
+        let out = run(&parse_line(&line).unwrap()).unwrap();
+        assert!(
+            out.contains("flight recorder: no anomaly detected"),
+            "{out}"
+        );
+        assert!(!dump.exists(), "no dump without an anomaly");
+    }
+
+    #[test]
+    fn serve_handler_answers_distance_and_route_queries() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let handler = serve_handler(2, Arc::clone(&registry));
+        let ok = handler("/distance?x=0110&y=1011").unwrap();
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body, "1\n");
+        let directed = handler("/distance?x=0110&y=1011&directed=1").unwrap();
+        assert_eq!(directed.body, "2\n");
+        let route = handler("/route?x=010011&y=110100").unwrap();
+        assert!(route.body.contains("distance: 2"), "{}", route.body);
+        assert!(route.body.contains("route:"), "{}", route.body);
+        let bad = handler("/distance?x=0110").unwrap();
+        assert_eq!(bad.status, 400);
+        assert!(bad.body.contains("missing query parameter 'y'"));
+        let bad = handler("/distance?x=01&y=0110").unwrap();
+        assert_eq!(bad.status, 400);
+        // Paths outside the query grammar fall through to 404.
+        assert!(handler("/frobnicate").is_none());
+        // Every query was counted by endpoint and status.
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value(
+                "dbr_serve_requests_total",
+                &[("endpoint", "distance"), ("status", "200")]
+            ),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "dbr_serve_requests_total",
+                &[("endpoint", "distance"), ("status", "400")]
+            ),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value(
+                "dbr_serve_requests_total",
+                &[("endpoint", "route"), ("status", "200")]
+            ),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn trace_prom_command_matches_live_metrics_out() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let jsonl = dir.join(format!("dbr-prom-{pid}.jsonl"));
+        let live = dir.join(format!("dbr-prom-live-{pid}.prom"));
+        let (jsonl_s, live_s) = (jsonl.to_str().unwrap(), live.to_str().unwrap());
+        let line =
+            format!("simulate 2 4 --messages 60 --seed 8 --trace {jsonl_s} --metrics-out {live_s}");
+        run(&parse_line(&line).unwrap()).unwrap();
+        let offline =
+            run(&parse_line(&format!("trace prom {jsonl_s} --threads 4")).unwrap()).unwrap();
+        let live_text = std::fs::read_to_string(&live).unwrap();
+        std::fs::remove_file(&jsonl).ok();
+        std::fs::remove_file(&live).ok();
+        // The offline fold reproduces every simulator family the live
+        // file has (the live file additionally carries the process-wide
+        // core-profile collector families).
+        for line in live_text.lines().filter(|l| l.starts_with("dbr_sim_")) {
+            assert!(offline.contains(line), "missing live line: {line}");
+        }
+        assert!(offline.contains("dbr_sim_injected_total 60"), "{offline}");
+        assert!(!offline.contains("dbr_core_"), "{offline}");
+    }
+
+    #[test]
     fn rejects_unknown_subcommand_and_engine() {
         assert!(parse_line("frobnicate 1 2").is_err());
         assert!(parse_line("route 2 01 10 --engine quantum").is_err());
@@ -1415,7 +1965,12 @@ mod tests {
         let live_block = live_metrics.split("== core profile").next().unwrap();
         assert_eq!(live_block.trim_end(), offline_metrics.trim_end());
         // And so do the headline report lines.
-        for needle in ["delivered:    150/150", "mean hops:", "mean latency:"] {
+        for needle in [
+            "delivered:    150/150",
+            "dropped:      0",
+            "mean hops:",
+            "mean latency:",
+        ] {
             let line = live.lines().find(|l| l.starts_with(needle)).unwrap();
             assert!(offline.contains(line), "{offline}\nmissing {line}");
         }

@@ -18,6 +18,7 @@
 //! every digit seen); pass `--radix` to override when a run never
 //! exercised its highest digits.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
 
@@ -100,6 +101,23 @@ pub fn infer_radix(text: &str) -> u8 {
     max_digit.saturating_add(1).max(2)
 }
 
+/// Formats a per-reason loss total for the `dropped:` headline line:
+/// `"0"` for a clean run, `"5 (dead-link 3, ttl 2)"` otherwise.
+///
+/// Shared by the live `dbr simulate` report (fed from
+/// [`SimReport::dropped_by_reason`](debruijn_net::SimReport)) and the
+/// offline [`summary`] (fed from the replayed
+/// [`InMemoryRecorder::drops_by_reason`]), so the two renderings stay
+/// byte-identical and CI can diff them.
+pub fn drop_breakdown(by_reason: &BTreeMap<&'static str, u64>) -> String {
+    let total: u64 = by_reason.values().sum();
+    if total == 0 {
+        return "0".to_string();
+    }
+    let parts: Vec<String> = by_reason.iter().map(|(r, n)| format!("{r} {n}")).collect();
+    format!("{total} ({})", parts.join(", "))
+}
+
 /// Replays a trace through both aggregators.
 fn aggregate(trace: &Trace) -> (InMemoryRecorder, Telemetry) {
     let mut memory = InMemoryRecorder::new();
@@ -129,6 +147,12 @@ pub fn summary(trace: &Trace) -> String {
         out,
         "delivered:    {}/{}",
         memory.delivered, memory.injected
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "dropped:      {}",
+        drop_breakdown(&memory.drops_by_reason)
     )
     .expect("write to string");
     writeln!(out, "mean hops:    {:.4}", memory.hops.mean()).expect("write to string");
@@ -344,6 +368,18 @@ pub fn diff(a: &Trace, b: &Trace) -> String {
     table.to_string()
 }
 
+/// Renders a trace as Prometheus exposition text — the same families
+/// a live `dbr simulate --listen` scrape serves (minus the core
+/// profile collectors, which are process-wide and not part of the
+/// event stream).
+///
+/// The fold fans out over `threads` workers (1 = inline, 0 = all
+/// cores) via [`debruijn_net::metrics::replay_sharded`]; the output is
+/// byte-identical for every thread count.
+pub fn prom(trace: &Trace, threads: usize) -> String {
+    debruijn_net::metrics::replay_sharded(threads, &trace.events).render()
+}
+
 /// Converts a trace to a Chrome trace-event JSON array (the format
 /// `chrome://tracing` and Perfetto read), returning the writer.
 ///
@@ -457,10 +493,40 @@ mod tests {
     }
 
     #[test]
+    fn drop_breakdown_formats_reasons_in_order() {
+        assert_eq!(drop_breakdown(&BTreeMap::new()), "0");
+        let mut by_reason = BTreeMap::new();
+        by_reason.insert("ttl", 2u64);
+        by_reason.insert("dead-link", 3u64);
+        // BTreeMap ordering: alphabetical by reason name.
+        assert_eq!(drop_breakdown(&by_reason), "5 (dead-link 3, ttl 2)");
+    }
+
+    #[test]
+    fn prom_renders_trace_counters_thread_count_invariantly() {
+        let t = sample(2, "0110", "1011");
+        let text = prom(&t, 1);
+        assert!(text.contains("dbr_sim_injected_total 2"), "{text}");
+        assert!(text.contains("dbr_sim_delivered_total 1"), "{text}");
+        assert!(
+            text.contains("dbr_sim_dropped_total{reason=\"no-route\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dbr_link_forward_total{from=\"0110\",to=\"1011\"} 1"),
+            "{text}"
+        );
+        for threads in [2, 4, 0] {
+            assert_eq!(text, prom(&t, threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn summary_reconstructs_counters_and_histograms() {
         let out = summary(&sample(2, "0110", "1011"));
         assert!(out.contains("events:       5 (radix 2)"), "{out}");
         assert!(out.contains("delivered:    1/2"), "{out}");
+        assert!(out.contains("dropped:      1 (no-route 1)"), "{out}");
         assert!(out.contains("mean hops:    1.0000"), "{out}");
         assert!(out.contains("max latency:  3"), "{out}");
         assert!(out.contains("makespan:     4"), "{out}");
