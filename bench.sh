@@ -9,24 +9,33 @@
 # bench_check binary, failing if any series regressed more than 30%.
 # The simulator bench additionally self-gates: serving /metrics
 # scrapes at 4 Hz must not steal more than 2% of the simulator's CPU
-# (--max-scrape-overhead-pct, see docs/OBSERVABILITY.md). ci.sh runs
-# this as its performance smoke.
+# (--max-scrape-overhead-pct, see docs/OBSERVABILITY.md), and the
+# sharded-simulator scaling bench requires >= 1.8x throughput at 4
+# threads over 1 (--min-speedup-4t; self-skipped on hosts with fewer
+# than 4 cores, where that floor is physically unreachable). The
+# speedup series is a higher-is-better ratio, so the scaling bench is
+# compared ns-only (--ns-only) under bench_check's lower-is-better
+# rule. ci.sh runs this as its performance smoke.
 set -eu
 
 out=BENCH_results.json
 
 if [ "${1:-}" = "--check" ]; then
     cargo build --release -q -p debruijn-bench \
-        --bench distance_engines --bench simulation_throughput --bin bench_check
+        --bench distance_engines --bench simulation_throughput \
+        --bench simulation_scaling --bin bench_check
     tmp=$(mktemp)
     trap 'rm -f "$tmp"' EXIT
     dist_line=$(cargo bench -q -p debruijn-bench --bench distance_engines -- --json)
     sim_line=$(cargo bench -q -p debruijn-bench --bench simulation_throughput -- \
         --json --max-scrape-overhead-pct 2)
+    scale_line=$(cargo bench -q -p debruijn-bench --bench simulation_scaling -- \
+        --json --ns-only --min-speedup-4t 1.8)
     {
         printf '[\n'
         printf '%s,\n' "$dist_line"
-        printf '%s' "$sim_line"
+        printf '%s,\n' "$sim_line"
+        printf '%s' "$scale_line"
         printf '\n]\n'
     } > "$tmp"
     cargo run --release -q -p debruijn-bench --bin bench_check -- "$out" "$tmp"
@@ -36,12 +45,13 @@ fi
 cargo build --release -q -p debruijn-bench \
     --bench distance_engines \
     --bench routing_algorithms \
-    --bench simulation_throughput
+    --bench simulation_throughput \
+    --bench simulation_scaling
 
 {
     printf '[\n'
     first=1
-    for bench in distance_engines routing_algorithms simulation_throughput; do
+    for bench in distance_engines routing_algorithms simulation_throughput simulation_scaling; do
         line=$(cargo bench -q -p debruijn-bench --bench "$bench" -- --json)
         if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
         printf '%s' "$line"

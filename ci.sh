@@ -105,6 +105,22 @@ grep -qF "dropped (" "$smoke_dir/flight_summary.txt"
 grep -qF "dropped:      " "$smoke_dir/flight_summary.txt"
 echo "flight-recorder dump round-trips through dbr trace summary"
 
+echo "== sharded determinism smoke =="
+# The sharded simulator's contract: for the same seed, the CLI report,
+# the JSONL trace, and the metrics block are byte-identical no matter
+# how many shards and threads execute it (the in-crate tests cover the
+# full grid; this drives it end to end through the CLI).
+# Both runs write the same trace path so the printed reports (which
+# name it) stay byte-comparable; the first trace is copied aside.
+./target/release/dbr simulate 2 8 --messages 3000 --shards 1 --threads 1 \
+    --metrics --trace "$smoke_dir/shard.jsonl" > "$smoke_dir/shard11.txt"
+cp "$smoke_dir/shard.jsonl" "$smoke_dir/shard11.jsonl"
+./target/release/dbr simulate 2 8 --messages 3000 --shards 4 --threads 4 \
+    --metrics --trace "$smoke_dir/shard.jsonl" > "$smoke_dir/shard44.txt"
+cmp "$smoke_dir/shard11.txt" "$smoke_dir/shard44.txt"
+cmp "$smoke_dir/shard11.jsonl" "$smoke_dir/shard.jsonl"
+echo "1 shard / 1 thread and 4 shards / 4 threads agree byte for byte"
+
 echo "== bench regression smoke =="
 # Reruns the distance-engine bench and fails if any series regressed
 # more than 30% against the checked-in BENCH_results.json.

@@ -1,0 +1,132 @@
+//! Thread-scaling of the sharded deterministic simulator: the same
+//! fixed workload (a 50k-message uniform burst on `DG(2,10)`, 8
+//! shards) run at 1, 2, 4, and 8 worker threads.
+//!
+//! Reports median ns per injected message for each thread count plus
+//! the speedup over the 1-thread run (`speedup_vs_1_thread`, a ratio —
+//! higher is better, so `bench.sh --check` excludes it from the
+//! lower-is-better regression comparison via `--ns-only` and instead
+//! gates it inside this binary: `--min-speedup-4t N` exits non-zero if
+//! the 4-thread speedup falls below `N`).
+//!
+//! The workload is a burst (every message injected at tick 0) rather
+//! than one-message-per-tick: a time-stepped engine can only
+//! parallelize within a tick, so per-tick density is what exposes the
+//! scaling. Determinism is not sacrificed for it — every thread count
+//! here produces the identical report (asserted below).
+
+use debruijn_bench::{json_mode, median_nanos_per_call, JsonReport};
+use debruijn_core::DeBruijn;
+use debruijn_net::shard::ShardedSimulation;
+use debruijn_net::{workload, SimConfig};
+use std::hint::black_box;
+
+const MESSAGES: usize = 50_000;
+const SHARDS: usize = 8;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The number following `flag`, if present.
+fn flag_value(flag: &str) -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == flag)?;
+    let value = args.get(i + 1).and_then(|v| v.parse().ok());
+    if value.is_none() {
+        eprintln!("{flag} needs a number");
+        std::process::exit(2);
+    }
+    value
+}
+
+fn main() {
+    let json = json_mode();
+    let ns_only = std::env::args().any(|a| a == "--ns-only");
+    let min_speedup_4t = flag_value("--min-speedup-4t");
+    let mut report = JsonReport::new("simulation_scaling", "ns_per_message");
+
+    let space = DeBruijn::new(2, 10).unwrap();
+    let traffic = workload::uniform_burst(space, MESSAGES, 42);
+    if !json {
+        println!(
+            "sharded simulator scaling: DG(2,10), {MESSAGES} burst messages, \
+             {SHARDS} shards (median of 5 runs)\n"
+        );
+        println!(
+            "{:>8} {:>16} {:>10}",
+            "threads", "ns_per_message", "speedup"
+        );
+    }
+
+    let mut baseline_report = None;
+    let mut one_thread_ns = 0.0;
+    let mut speedup_4t = 0.0;
+    for threads in THREADS {
+        let sim = ShardedSimulation::new(
+            space,
+            SimConfig {
+                threads,
+                ..SimConfig::default()
+            },
+            SHARDS,
+        )
+        .unwrap();
+        assert!(sim.uses_table(), "DG(2,10) fits the next-hop table cap");
+        let ns = median_nanos_per_call(
+            || {
+                black_box(sim.run(black_box(&traffic)));
+            },
+            1,
+            5,
+        ) / MESSAGES as f64;
+        // The scaling claim is only meaningful if every thread count
+        // computes the same simulation.
+        let run = sim.run(&traffic);
+        match &baseline_report {
+            None => baseline_report = Some(run),
+            Some(base) => assert_eq!(&run, base, "report differs at {threads} threads"),
+        }
+        if threads == 1 {
+            one_thread_ns = ns;
+        }
+        let speedup = one_thread_ns / ns;
+        if threads == 4 {
+            speedup_4t = speedup;
+        }
+        report.push("ns_per_message", threads, ns);
+        if !ns_only {
+            report.push("speedup_vs_1_thread", threads, speedup);
+        }
+        if !json {
+            println!("{threads:>8} {ns:>16.1} {speedup:>9.2}x");
+        }
+    }
+
+    if json {
+        println!("{}", report.render());
+    } else {
+        println!("\nSame report at every thread count (asserted); the residual");
+        println!("is the tick barrier plus cross-shard mailbox traffic.");
+    }
+
+    if let Some(limit) = min_speedup_4t {
+        // Scaling is bounded by the hardware: on a host with fewer
+        // than 4 cores a 4-thread run cannot beat 1 thread, so the
+        // floor only gates where the machine can express it.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores < 4 {
+            eprintln!(
+                "4-thread speedup floor skipped: only {cores} core(s) available \
+                 (measured {speedup_4t:.2}x)"
+            );
+        } else if speedup_4t < limit {
+            eprintln!(
+                "4-thread speedup {speedup_4t:.2}x below the {limit}x floor \
+                 ({one_thread_ns:.0} ns/msg at 1 thread)"
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!("4-thread speedup {speedup_4t:.2}x meets the {limit}x floor");
+        }
+    }
+}

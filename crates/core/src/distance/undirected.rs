@@ -55,8 +55,36 @@ pub enum Engine {
 }
 
 /// `Engine::Auto` uses [`Engine::BitParallel`] up to this `k` and
-/// [`Engine::SuffixTree`] beyond (measured crossover, `docs/PERFORMANCE.md`).
+/// [`Engine::SuffixTree`] beyond.
+///
+/// Pinned against the `distance_engines` series in
+/// `BENCH_results.json` (re-measured 2026-08; `bench.sh` regenerates
+/// it): at `k = 512` the bit-parallel sweep still wins (≈545 µs vs
+/// ≈700 µs per 1k pairs for the suffix tree), while at `k = 1024` the
+/// suffix tree's `O(k)` construction has overtaken the sweep's
+/// `O(k²/64)` word work (≈1.43 ms vs ≈2.18 ms). The crossover
+/// therefore lies in `(512, 1024]`; 512 is the largest benched size
+/// where bit-parallel is not dominated. See `docs/PERFORMANCE.md`.
 pub const AUTO_BITPARALLEL_MAX_K: usize = 512;
+
+impl Engine {
+    /// The concrete engine [`Engine::Auto`] picks for word length `k`
+    /// (other engines resolve to themselves). Exposed so benchmarks and
+    /// tests can assert the selection matches the measured winner.
+    #[must_use]
+    pub fn resolve(self, k: usize) -> Engine {
+        match self {
+            Engine::Auto => {
+                if k <= AUTO_BITPARALLEL_MAX_K {
+                    Engine::BitParallel
+                } else {
+                    Engine::SuffixTree
+                }
+            }
+            other => other,
+        }
+    }
+}
 
 /// The minimum of one matching-function family, with its minimizer.
 ///
@@ -117,18 +145,15 @@ impl Solution {
 pub fn solve(x: &Word, y: &Word, engine: Engine) -> Solution {
     assert_same_space(x, y);
     let k = x.len();
-    let engine = match engine {
-        Engine::Auto => {
-            if k <= AUTO_BITPARALLEL_MAX_K {
-                crate::profile::count_auto_to_bit_parallel();
-                Engine::BitParallel
-            } else {
-                crate::profile::count_auto_to_suffix_tree();
-                Engine::SuffixTree
-            }
+    let resolved = engine.resolve(k);
+    if engine == Engine::Auto {
+        match resolved {
+            Engine::BitParallel => crate::profile::count_auto_to_bit_parallel(),
+            Engine::SuffixTree => crate::profile::count_auto_to_suffix_tree(),
+            _ => unreachable!("Auto resolves to a measured engine"),
         }
-        other => other,
-    };
+    }
+    let engine = resolved;
     match engine {
         Engine::Naive => crate::profile::count_engine_naive(),
         Engine::MorrisPratt => crate::profile::count_engine_morris_pratt(),
@@ -413,5 +438,38 @@ mod tests {
         let x = Word::parse(2, "01").unwrap();
         let y = Word::parse(3, "01").unwrap();
         distance(&x, &y);
+    }
+
+    /// Auto must never pick an engine the `distance_engines` bench
+    /// series shows to be dominated at that size. The measured winners
+    /// (BENCH_results.json, `bench.sh` regenerates): bit-parallel at
+    /// every benched `k ≤ 512`, suffix tree at `k ≥ 1024`. If the
+    /// crossover [`AUTO_BITPARALLEL_MAX_K`] drifts away from the data,
+    /// this fails before a user sees the regression.
+    #[test]
+    fn auto_never_selects_a_dominated_engine_at_bench_sizes() {
+        for k in [8usize, 32, 128, 512] {
+            assert_eq!(
+                Engine::Auto.resolve(k),
+                Engine::BitParallel,
+                "bit-parallel is the measured winner at k={k}"
+            );
+        }
+        for k in [1024usize, 2048] {
+            assert_eq!(
+                Engine::Auto.resolve(k),
+                Engine::SuffixTree,
+                "suffix tree is the measured winner at k={k}"
+            );
+        }
+        // Non-auto engines resolve to themselves at any size.
+        for e in [
+            Engine::Naive,
+            Engine::MorrisPratt,
+            Engine::SuffixTree,
+            Engine::BitParallel,
+        ] {
+            assert_eq!(e.resolve(4096), e);
+        }
     }
 }

@@ -14,10 +14,12 @@
 mod cached;
 mod multipath;
 mod path;
+pub mod table;
 
 pub use cached::{DirectedDestinationRouter, RouteCache, RouteCacheStats};
 pub use multipath::all_shortest_routes;
 pub use path::{Digit, RoutePath, ShiftKind, Step};
+pub use table::NextHopTable;
 
 use crate::distance::assert_same_space;
 use crate::distance::undirected::{self, Engine, Solution};

@@ -158,6 +158,86 @@ impl DeBruijn {
     }
 }
 
+/// Index arithmetic on an enumerable de Bruijn space: node IDs are word
+/// ranks (`0 ≤ id < d^k`), and the two shift operations become `O(1)`
+/// integer operations instead of digit-vector rebuilds.
+///
+/// With `x1` the most significant digit of the rank,
+/// `X⁻(a) = (x_2, …, x_k, a)` has rank `(rank·d + a) mod d^k` and
+/// `X⁺(a) = (a, x_1, …, x_{k−1})` has rank `a·d^{k−1} + ⌊rank/d⌋`. This is
+/// what lets simulator hot loops route without allocating a [`Word`] per
+/// message.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::space::RankSpace;
+/// use debruijn_core::{DeBruijn, Word};
+///
+/// let space = DeBruijn::new(2, 4)?;
+/// let ranks = RankSpace::new(space).expect("2^4 fits in u64");
+/// let x = Word::parse(2, "0110")?;
+/// let id = x.rank() as u64;
+/// assert_eq!(ranks.shift_left(id, 1), x.shift_left(1).rank() as u64);
+/// assert_eq!(ranks.shift_right(id, 1), x.shift_right(1).rank() as u64);
+/// # Ok::<(), debruijn_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankSpace {
+    space: DeBruijn,
+    /// `d` widened for the mixed arithmetic below.
+    d: u64,
+    /// `d^k`, the number of vertices.
+    order: u64,
+    /// `d^{k−1}`, the weight of the most significant digit.
+    msd: u64,
+}
+
+impl RankSpace {
+    /// Wraps `space`, or `None` if `d^k` does not fit in `u64`.
+    pub fn new(space: DeBruijn) -> Option<Self> {
+        let order = u64::from(space.d()).checked_pow(u32::try_from(space.k()).ok()?)?;
+        Some(Self {
+            space,
+            d: u64::from(space.d()),
+            order,
+            msd: order / u64::from(space.d()),
+        })
+    }
+
+    /// The wrapped parameter space.
+    pub fn space(&self) -> DeBruijn {
+        self.space
+    }
+
+    /// Number of vertices `d^k`.
+    pub fn order(&self) -> u64 {
+        self.order
+    }
+
+    /// Rank of the type-L neighbor `X⁻(a)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `id < d^k` and `a < d`.
+    #[inline]
+    pub fn shift_left(&self, id: u64, a: u8) -> u64 {
+        debug_assert!(id < self.order && u64::from(a) < self.d);
+        (id % self.msd) * self.d + u64::from(a)
+    }
+
+    /// Rank of the type-R neighbor `X⁺(a)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `id < d^k` and `a < d`.
+    #[inline]
+    pub fn shift_right(&self, id: u64, a: u8) -> u64 {
+        debug_assert!(id < self.order && u64::from(a) < self.d);
+        u64::from(a) * self.msd + id / self.d
+    }
+}
+
 /// Iterator over all vertices of a [`DeBruijn`] space in rank order.
 ///
 /// Created by [`DeBruijn::vertices`].

@@ -58,6 +58,7 @@ pub mod metrics;
 pub mod policy;
 pub mod record;
 pub mod router;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod telemetry;
@@ -67,6 +68,7 @@ pub use message::{ControlCode, Message};
 pub use policy::WildcardPolicy;
 pub use record::{DropReason, InMemoryRecorder, NetEvent, NullRecorder, Recorder};
 pub use router::RouterKind;
+pub use shard::ShardedSimulation;
 pub use sim::{
     FaultHandling, ForwardingMode, Injection, LinkParams, NetError, SimConfig, Simulation,
     TraceEvent, TraceKind,

@@ -1,0 +1,1022 @@
+//! Sharded deterministic simulation: the simulator as a throughput
+//! engine.
+//!
+//! [`Simulation`](crate::Simulation) is an exact, fully-featured
+//! discrete-event loop — and single-threaded, at microseconds per
+//! message mostly spent re-deriving routes from the paper's word-level
+//! algorithms. [`ShardedSimulation`] is the scale-out counterpart:
+//!
+//! * **`O(1)` forwarding**: a precomputed
+//!   [`NextHopTable`] answers
+//!   "which port moves this message closer?" with one indexed load, and
+//!   [`RankSpace`] arithmetic replaces
+//!   per-hop [`Word`] allocation. Above the table's memory cap the
+//!   engine transparently falls back to the word-level routers
+//!   (Algorithm 1 / Theorem 2 engines) per hop.
+//! * **Conservative time-stepped parallelism**: nodes are partitioned
+//!   into `S` contiguous rank ranges (shards); each shard owns its
+//!   event queue, message arena, link state, and report accumulators.
+//!   Because every link has `service + latency ≥ 1` tick, a message
+//!   forwarded at tick `T` cannot arrive before `T + 1` — a guaranteed
+//!   lookahead of one tick — so all shards process the same tick with
+//!   no coordination, then exchange cross-shard messages through
+//!   per-`(src, dst)` mailboxes and agree on the next tick at a
+//!   [`TickBarrier`](debruijn_parallel::TickBarrier).
+//! * **Bit-for-bit determinism**: each tick's batch is sorted by
+//!   message id before processing, mailboxes are drained in fixed shard
+//!   order, per-shard partial reports merge over order-independent
+//!   (sum/max/`BTreeMap`) accumulators, and recorded events are
+//!   replayed to the [`Recorder`] in a canonical `(tick, message)`
+//!   order — so the final report, trace, and metrics are identical for
+//!   **any** `--shards`/`--threads` combination (the same contract the
+//!   batch routing drivers established, and tested the same way).
+//!
+//! See `docs/PERFORMANCE.md` (shard partitioning, the lookahead-1
+//! argument) and ADR 0005 (why conservative time-stepping rather than
+//! optimistic/Time-Warp).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Mutex;
+
+use debruijn_core::distance;
+use debruijn_core::distance::undirected::Engine;
+use debruijn_core::rng::SplitMix64;
+use debruijn_core::routing::table::DEFAULT_TABLE_MEMORY_CAP;
+use debruijn_core::routing::{self, NextHopTable, RoutingScratch};
+use debruijn_core::space::RankSpace;
+use debruijn_core::{DeBruijn, Digit, RoutePath, ShiftKind, Word};
+
+use crate::record::{DropReason, NetEvent, NullRecorder, Recorder};
+use crate::router::RouterKind;
+use crate::sim::{FaultHandling, Injection, NetError, SimConfig};
+use crate::stats::SimReport;
+
+/// A sharded, deterministic, time-stepped simulation of `DG(d,k)`.
+///
+/// Honors the [`SimConfig`] fields that make sense for next-hop
+/// forwarding: `router` selects the network model (Algorithm 1 ⇒
+/// directed, Algorithms 2/4 ⇒ undirected), `policy` resolves wildcard
+/// first steps on the engine-fallback path, `link`, `seed`, `threads`
+/// and `ttl` behave as in [`Simulation`](crate::Simulation). Node
+/// faults drop messages ([`FaultHandling::Drop`]); source rerouting,
+/// link faults, and the non-optimal routers (`Trivial`, `Multipath`)
+/// are not supported — the constructor rejects them.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::DeBruijn;
+/// use debruijn_net::shard::ShardedSimulation;
+/// use debruijn_net::{workload, SimConfig, Simulation};
+///
+/// let space = DeBruijn::new(2, 6)?;
+/// let traffic = workload::uniform_random(space, 500, 7);
+/// let sharded = ShardedSimulation::new(space, SimConfig::default(), 4)?;
+/// let report = sharded.run(&traffic);
+/// // Optimal next-hop forwarding delivers everything at distance hops,
+/// // so the hop histogram matches the word-level source router's.
+/// let classic = Simulation::new(space, SimConfig::default())?.run(&traffic);
+/// assert_eq!(report.hop_histogram, classic.hop_histogram);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedSimulation {
+    space: DeBruijn,
+    config: SimConfig,
+    shards: usize,
+    ranks: RankSpace,
+    directed: bool,
+    table: Option<NextHopTable>,
+    table_cap: usize,
+    /// Faulty nodes by rank.
+    faults: HashSet<u64>,
+}
+
+/// One in-flight message: plain-old-data, moved by value between shard
+/// arenas and mailboxes — no per-message heap allocation.
+#[derive(Debug, Clone, Copy)]
+struct Flight {
+    /// Index in the injected traffic; also the deterministic sort key.
+    id: u32,
+    at: u64,
+    dst: u64,
+    injected_at: u64,
+    hops: u32,
+    /// Fault-free shortest distance, recorded at injection for
+    /// observability (0 when unobserved).
+    shortest: u32,
+}
+
+/// Per-tick event storage with a free-list of batch vectors, so a
+/// shard's steady-state tick processing recycles arena buffers instead
+/// of allocating.
+#[derive(Debug, Default)]
+struct TickQueue {
+    by_tick: BTreeMap<u64, Vec<Flight>>,
+    pool: Vec<Vec<Flight>>,
+}
+
+impl TickQueue {
+    fn push(&mut self, tick: u64, flight: Flight) {
+        use std::collections::btree_map::Entry;
+        match self.by_tick.entry(tick) {
+            Entry::Occupied(e) => e.into_mut().push(flight),
+            Entry::Vacant(v) => {
+                let mut batch = self.pool.pop().unwrap_or_default();
+                batch.push(flight);
+                v.insert(batch);
+            }
+        }
+    }
+
+    fn take(&mut self, tick: u64) -> Option<Vec<Flight>> {
+        self.by_tick.remove(&tick)
+    }
+
+    fn recycle(&mut self, mut batch: Vec<Flight>) {
+        batch.clear();
+        if self.pool.len() < 64 {
+            self.pool.push(batch);
+        }
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.by_tick.keys().next().copied().unwrap_or(u64::MAX)
+    }
+}
+
+/// Per-link FIFO state and load counters, keyed by `(from, to)` node
+/// pairs exactly like [`SimReport::link_loads`].
+#[derive(Debug)]
+enum LinkState {
+    /// Table mode: the shard's nodes are few, so links live in flat
+    /// arrays indexed by `(node − base) · ports + canonical port`.
+    Dense {
+        base: u64,
+        ports: usize,
+        free: Vec<u64>,
+        loads: Vec<u64>,
+    },
+    /// Fallback mode (space above the table cap): hash/tree maps.
+    Sparse {
+        free: HashMap<(u64, u64), u64>,
+        loads: BTreeMap<(u128, u128), u64>,
+    },
+}
+
+impl LinkState {
+    /// The canonical slot for the link `at → next`: parallel shift
+    /// operations can alias (e.g. `X⁻(a) = X⁺(b)`), and the report
+    /// keys links by endpoints, so all aliases share the slot of the
+    /// smallest port reaching `next`.
+    fn dense_slot(ranks: &RankSpace, base: u64, ports: usize, at: u64, next: u64) -> usize {
+        let d = ranks.space().d();
+        for p in 0..ports as u8 {
+            let target = if p < d {
+                ranks.shift_left(at, p)
+            } else {
+                ranks.shift_right(at, p - d)
+            };
+            if target == next {
+                return (at - base) as usize * ports + p as usize;
+            }
+        }
+        unreachable!("next must be a neighbor of at")
+    }
+
+    fn free_time(&self, ranks: &RankSpace, at: u64, next: u64) -> u64 {
+        match self {
+            LinkState::Dense {
+                base, ports, free, ..
+            } => free[Self::dense_slot(ranks, *base, *ports, at, next)],
+            LinkState::Sparse { free, .. } => free.get(&(at, next)).copied().unwrap_or(0),
+        }
+    }
+
+    /// Books one message on the link: bumps the FIFO free time and the
+    /// load counter, returning the departure tick.
+    fn book(&mut self, ranks: &RankSpace, at: u64, next: u64, now: u64, service: u64) -> u64 {
+        match self {
+            LinkState::Dense {
+                base,
+                ports,
+                free,
+                loads,
+            } => {
+                let slot = Self::dense_slot(ranks, *base, *ports, at, next);
+                let depart = now.max(free[slot]);
+                free[slot] = depart + service;
+                loads[slot] += 1;
+                depart
+            }
+            LinkState::Sparse { free, loads } => {
+                let f = free.entry((at, next)).or_insert(0);
+                let depart = now.max(*f);
+                *f = depart + service;
+                *loads.entry((u128::from(at), u128::from(next))).or_insert(0) += 1;
+                depart
+            }
+        }
+    }
+
+    /// Folds this shard's loads into the merged report map.
+    fn merge_loads(self, ranks: &RankSpace, into: &mut BTreeMap<(u128, u128), u64>) {
+        match self {
+            LinkState::Dense {
+                base, ports, loads, ..
+            } => {
+                let d = ranks.space().d();
+                for (slot, &load) in loads.iter().enumerate() {
+                    if load == 0 {
+                        continue;
+                    }
+                    let node = base + (slot / ports) as u64;
+                    let p = (slot % ports) as u8;
+                    let target = if p < d {
+                        ranks.shift_left(node, p)
+                    } else {
+                        ranks.shift_right(node, p - d)
+                    };
+                    *into
+                        .entry((u128::from(node), u128::from(target)))
+                        .or_insert(0) += load;
+                }
+            }
+            LinkState::Sparse { loads, .. } => {
+                for (key, load) in loads {
+                    *into.entry(key).or_insert(0) += load;
+                }
+            }
+        }
+    }
+}
+
+/// Everything one shard owns: nodes `[lo, hi)`, their event queue and
+/// arena, link state, wildcard counters, partial report, and (when
+/// observed) the events it witnessed.
+#[derive(Debug)]
+struct ShardState {
+    sid: usize,
+    links: LinkState,
+    /// Per-node round-robin wildcard counters (fallback path only).
+    rr: HashMap<u64, u8>,
+    report: SimReport,
+    events: Vec<NetEvent>,
+    queue: TickQueue,
+    scratch: RoutingScratch,
+    route: RoutePath,
+}
+
+impl ShardedSimulation {
+    /// Creates a sharded simulation of `DG(d,k)` with `shards` node
+    /// partitions (clamped to `[1, d^k]`; the partition — and therefore
+    /// every result — depends only on the clamped count, never on
+    /// `config.threads`).
+    ///
+    /// Builds the [`NextHopTable`] fast path in parallel
+    /// (`config.threads`) when it fits the default memory cap
+    /// ([`DEFAULT_TABLE_MEMORY_CAP`]); otherwise forwarding falls back
+    /// to the word-level engines per hop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Unsupported`] if the space is too large for
+    /// 64-bit node ids, the router is not one of the optimal label
+    /// routers (Algorithm 1/2/4), fault handling is not
+    /// [`FaultHandling::Drop`], or the link timing violates the
+    /// lookahead requirement `service + latency ≥ 1`.
+    pub fn new(space: DeBruijn, config: SimConfig, shards: usize) -> Result<Self, NetError> {
+        let Some(ranks) = RankSpace::new(space) else {
+            return Err(NetError::Unsupported {
+                what: "sharded simulation needs d^k to fit 64-bit node ids".to_string(),
+            });
+        };
+        match config.router {
+            RouterKind::Algorithm1 | RouterKind::Algorithm2 | RouterKind::Algorithm4 => {}
+            RouterKind::Trivial | RouterKind::Multipath => {
+                return Err(NetError::Unsupported {
+                    what: format!(
+                        "sharded simulation forwards along optimal next hops; router '{}' \
+                         is not a deterministic optimal router",
+                        config.router.name()
+                    ),
+                });
+            }
+        }
+        if config.fault_handling != FaultHandling::Drop {
+            return Err(NetError::Unsupported {
+                what: "sharded simulation supports FaultHandling::Drop only".to_string(),
+            });
+        }
+        if config.link.service + config.link.latency == 0 {
+            return Err(NetError::Unsupported {
+                what: "sharded simulation needs service + latency >= 1 (lookahead)".to_string(),
+            });
+        }
+        let shards = shards
+            .max(1)
+            .min(usize::try_from(ranks.order()).unwrap_or(usize::MAX));
+        let directed = !config.router.needs_bidirectional();
+        let mut sim = Self {
+            space,
+            config,
+            shards,
+            ranks,
+            directed,
+            table: None,
+            table_cap: DEFAULT_TABLE_MEMORY_CAP,
+            faults: HashSet::new(),
+        };
+        sim.table = NextHopTable::build(space, directed, config.threads, sim.table_cap);
+        Ok(sim)
+    }
+
+    /// Rebuilds the fast path under a different memory cap (`0` forces
+    /// the engine-fallback path; tests use this to cover both).
+    pub fn with_table_memory_cap(mut self, bytes: usize) -> Self {
+        self.table_cap = bytes;
+        self.table = NextHopTable::build(self.space, self.directed, self.config.threads, bytes);
+        self
+    }
+
+    /// Declares the given nodes faulty (messages touching them drop).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a fault word is not in the simulated space.
+    pub fn with_faults(mut self, faults: Vec<Word>) -> Result<Self, NetError> {
+        for f in &faults {
+            if !self.space.contains(f) {
+                return Err(NetError::ForeignWord {
+                    word: f.to_string(),
+                });
+            }
+        }
+        self.faults = faults
+            .iter()
+            .map(|f| u64::try_from(f.rank()).expect("rank fits: order fits u64"))
+            .collect();
+        Ok(self)
+    }
+
+    /// The simulated parameter space.
+    pub fn space(&self) -> DeBruijn {
+        self.space
+    }
+
+    /// The effective (clamped) shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Whether the `O(1)` next-hop table is active (vs the word-level
+    /// engine fallback).
+    pub fn uses_table(&self) -> bool {
+        self.table.is_some()
+    }
+
+    /// The shard owning `node`: contiguous rank ranges, shard `s`
+    /// covering `[s·n/S, (s+1)·n/S)`.
+    #[inline]
+    fn shard_of(&self, node: u64) -> usize {
+        let n = self.ranks.order() as u128;
+        let s = self.shards as u128;
+        ((u128::from(node) * s) / n) as usize
+    }
+
+    /// First rank owned by shard `sid`: `⌈n·sid/S⌉`, the exact inverse
+    /// of [`ShardedSimulation::shard_of`] (shard `s` owns ranks in
+    /// `[⌈n·s/S⌉, ⌈n·(s+1)/S⌉)`).
+    fn shard_base(&self, sid: usize) -> u64 {
+        (self.ranks.order() as u128 * sid as u128).div_ceil(self.shards as u128) as u64
+    }
+
+    /// Runs the simulation, returning aggregate statistics. For a fixed
+    /// config, traffic, and (clamped) shard count the report is
+    /// identical for every `threads` value; and because each shard's
+    /// tick batch is processed in canonical message order, it is in
+    /// fact identical for every shard count too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an injection references a word outside the simulated
+    /// space.
+    pub fn run(&self, traffic: &[Injection]) -> SimReport {
+        self.run_recorded(traffic, &mut NullRecorder)
+    }
+
+    /// Like [`ShardedSimulation::run`], but replays every [`NetEvent`]
+    /// into `recorder` after the run, sorted by `(tick, message id)` —
+    /// a canonical order independent of shard and thread count. (Unlike
+    /// [`Simulation::run_recorded`](crate::Simulation::run_recorded),
+    /// events are buffered per shard and delivered at the end, not
+    /// streamed live; recorded runs trade peak throughput and memory
+    /// for observability.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if an injection references a word outside the simulated
+    /// space, or if the traffic exceeds `u32::MAX` messages.
+    pub fn run_recorded(&self, traffic: &[Injection], recorder: &mut dyn Recorder) -> SimReport {
+        let observed = recorder.enabled();
+        assert!(
+            u32::try_from(traffic.len()).is_ok(),
+            "sharded message ids are u32"
+        );
+        let s = self.shards;
+
+        let mut states: Vec<ShardState> = (0..s)
+            .map(|sid| {
+                let base = self.shard_base(sid);
+                let owned = (self.shard_base(sid + 1) - base) as usize;
+                let links = if self.table.is_some() {
+                    let ports = if self.directed {
+                        usize::from(self.space.d())
+                    } else {
+                        2 * usize::from(self.space.d())
+                    };
+                    LinkState::Dense {
+                        base,
+                        ports,
+                        free: vec![0; owned * ports],
+                        loads: vec![0; owned * ports],
+                    }
+                } else {
+                    LinkState::Sparse {
+                        free: HashMap::new(),
+                        loads: BTreeMap::new(),
+                    }
+                };
+                ShardState {
+                    sid,
+                    links,
+                    rr: HashMap::new(),
+                    report: SimReport::default(),
+                    events: Vec::new(),
+                    queue: TickQueue::default(),
+                    scratch: RoutingScratch::new(),
+                    route: RoutePath::empty(),
+                }
+            })
+            .collect();
+
+        // Seed every shard's queue with its injections, in traffic
+        // order (the canonical id order re-established per tick).
+        for (index, inj) in traffic.iter().enumerate() {
+            assert!(
+                self.space.contains(&inj.source) && self.space.contains(&inj.destination),
+                "injection endpoints must be vertices of the simulated space"
+            );
+            let src = u64::try_from(inj.source.rank()).expect("order fits u64");
+            let dst = u64::try_from(inj.destination.rank()).expect("order fits u64");
+            states[self.shard_of(src)].queue.push(
+                inj.time,
+                Flight {
+                    id: index as u32,
+                    at: src,
+                    dst,
+                    injected_at: inj.time,
+                    hops: 0,
+                    shortest: 0,
+                },
+            );
+        }
+
+        // Hand each worker its (static, round-robin) set of shards.
+        let workers = debruijn_parallel::effective_threads(self.config.threads)
+            .min(s)
+            .max(1);
+        let worker_states: Vec<Mutex<Vec<ShardState>>> = {
+            let mut per: Vec<Vec<ShardState>> = (0..workers).map(|_| Vec::new()).collect();
+            for st in states.into_iter() {
+                per[st.sid % workers].push(st);
+            }
+            per.into_iter().map(Mutex::new).collect()
+        };
+        let mailboxes: Vec<Mutex<Vec<(u64, Flight)>>> =
+            (0..s * s).map(|_| Mutex::new(Vec::new())).collect();
+        let barrier = debruijn_parallel::TickBarrier::new(workers);
+
+        debruijn_parallel::run_workers(workers, |w| {
+            let mut states = worker_states[w].lock().expect("worker owns its shards");
+            let mut tick = {
+                let local = states.iter().map(|st| st.queue.next_tick()).min();
+                barrier.sync_min(w, local.unwrap_or(u64::MAX))
+            };
+            while tick != u64::MAX {
+                let mut local_min = u64::MAX;
+                for st in states.iter_mut() {
+                    // Drain inboxes in fixed sender order. Entries
+                    // always carry future ticks, so whether a racing
+                    // sender's push lands in this drain or the next
+                    // cannot change any tick batch at processing time.
+                    for src in 0..s {
+                        let mut inbox = mailboxes[src * s + st.sid]
+                            .lock()
+                            .expect("mailbox lock poisoned");
+                        for (t, f) in inbox.drain(..) {
+                            st.queue.push(t, f);
+                        }
+                    }
+                    if let Some(mut batch) = st.queue.take(tick) {
+                        // Canonical processing order: message id. This
+                        // makes link contention independent of how the
+                        // batch was assembled, hence of S and threads.
+                        batch.sort_unstable_by_key(|f| f.id);
+                        for flight in batch.drain(..) {
+                            self.step(st, tick, flight, &mailboxes, &mut local_min, observed);
+                        }
+                        st.queue.recycle(batch);
+                    }
+                    local_min = local_min.min(st.queue.next_tick());
+                }
+                tick = barrier.sync_min(w, local_min);
+            }
+        });
+
+        // Deterministic merge: shards in index order; every accumulator
+        // is a sum, a max, or a BTreeMap fold (the same shape the
+        // metrics registry's GaugeMerge uses), so the merged report is
+        // independent of thread interleaving by construction.
+        let mut all: Vec<ShardState> = worker_states
+            .into_iter()
+            .flat_map(|m| m.into_inner().expect("workers done"))
+            .collect();
+        all.sort_by_key(|st| st.sid);
+
+        let mut report = SimReport {
+            total_links: self.count_links(),
+            ..SimReport::default()
+        };
+        let mut events: Vec<NetEvent> = Vec::new();
+        for st in all {
+            let part = st.report;
+            report.injected += part.injected;
+            report.delivered += part.delivered;
+            report.dropped += part.dropped;
+            for (reason, count) in part.dropped_by_reason {
+                *report.dropped_by_reason.entry(reason).or_insert(0) += count;
+            }
+            for (hops, count) in part.hop_histogram {
+                *report.hop_histogram.entry(hops).or_insert(0) += count;
+            }
+            report.total_hops += part.total_hops;
+            report.latency_total += part.latency_total;
+            report.latency_max = report.latency_max.max(part.latency_max);
+            report.makespan = report.makespan.max(part.makespan);
+            report.max_queue_wait = report.max_queue_wait.max(part.max_queue_wait);
+            report.total_queue_wait += part.total_queue_wait;
+            st.links.merge_loads(&self.ranks, &mut report.link_loads);
+            if observed {
+                events.extend(st.events);
+            }
+        }
+        if observed {
+            // Canonical replay order. A message occupies one node per
+            // tick, so `(time, message)` collides only for the
+            // Inject/Wildcard/Forward triple of a single shard, whose
+            // relative order the stable sort preserves.
+            events.sort_by_key(|e| (e.time(), e.message()));
+            for event in &events {
+                recorder.record(event);
+            }
+        }
+        report
+    }
+
+    /// Processes one flight at `now`: injection bookkeeping, fault and
+    /// TTL drops, delivery, or one forward hop.
+    fn step(
+        &self,
+        st: &mut ShardState,
+        now: u64,
+        flight: Flight,
+        mailboxes: &[Mutex<Vec<(u64, Flight)>>],
+        local_min: &mut u64,
+        observed: bool,
+    ) {
+        let mut flight = flight;
+        if flight.hops == 0 {
+            st.report.injected += 1;
+            if self.faults.contains(&flight.at) {
+                self.drop_flight(st, now, &flight, DropReason::FaultySource, observed);
+                return;
+            }
+            if observed {
+                flight.shortest = self.shortest(flight.at, flight.dst);
+                st.events.push(NetEvent::Inject {
+                    time: now,
+                    message: flight.id as usize,
+                    source: self.word(flight.at),
+                    destination: self.word(flight.dst),
+                    // Next-hop forwarding carries no route field, like
+                    // the hop-by-hop mode of the classic simulator.
+                    route_len: 0,
+                    shortest: flight.shortest as usize,
+                });
+            }
+        } else if self.faults.contains(&flight.at) {
+            self.drop_flight(st, now, &flight, DropReason::FaultyNode, observed);
+            return;
+        }
+        if flight.at == flight.dst {
+            st.report.delivered += 1;
+            st.report.total_hops += u64::from(flight.hops);
+            *st.report
+                .hop_histogram
+                .entry(flight.hops as usize)
+                .or_insert(0) += 1;
+            let latency = now - flight.injected_at;
+            st.report.latency_total += latency;
+            st.report.latency_max = st.report.latency_max.max(latency);
+            st.report.makespan = st.report.makespan.max(now);
+            if observed {
+                st.events.push(NetEvent::Deliver {
+                    time: now,
+                    message: flight.id as usize,
+                    hops: flight.hops as usize,
+                    latency,
+                    shortest: flight.shortest as usize,
+                });
+            }
+            return;
+        }
+        if self.config.ttl > 0 && flight.hops as usize >= self.config.ttl {
+            self.drop_flight(st, now, &flight, DropReason::Ttl, observed);
+            return;
+        }
+
+        let next = match &self.table {
+            Some(table) => table.apply(flight.at, table.next_hop(flight.at, flight.dst)),
+            None => self.fallback_next(st, now, &flight, observed),
+        };
+        let service = self.config.link.service;
+        let depart = st.links.book(&self.ranks, flight.at, next, now, service);
+        let arrive = depart + service + self.config.link.latency;
+        let wait = depart - now;
+        st.report.total_queue_wait += wait;
+        st.report.max_queue_wait = st.report.max_queue_wait.max(wait);
+        if observed {
+            st.events.push(NetEvent::Forward {
+                time: now,
+                message: flight.id as usize,
+                hop: flight.hops as usize,
+                from: self.word(flight.at),
+                to: self.word(next),
+                departs: depart,
+                arrives: arrive,
+                queue_wait: wait,
+                queue_depth: wait.div_ceil(service.max(1)) as usize,
+            });
+        }
+
+        let forwarded = Flight {
+            at: next,
+            hops: flight.hops + 1,
+            ..flight
+        };
+        *local_min = (*local_min).min(arrive);
+        let dshard = self.shard_of(next);
+        if dshard == st.sid {
+            st.queue.push(arrive, forwarded);
+        } else {
+            mailboxes[st.sid * self.shards + dshard]
+                .lock()
+                .expect("mailbox lock poisoned")
+                .push((arrive, forwarded));
+        }
+    }
+
+    /// Fallback `O(k)` next hop: run the configured word-level router
+    /// from `at` and take (and, for wildcards, resolve) its first step.
+    fn fallback_next(&self, st: &mut ShardState, now: u64, flight: &Flight, observed: bool) -> u64 {
+        let x = self.word(flight.at);
+        let y = self.word(flight.dst);
+        if self.directed {
+            routing::algorithm1_into(&x, &y, &mut st.scratch, &mut st.route);
+        } else {
+            routing::route_with_engine_into(&x, &y, Engine::Auto, &mut st.route);
+        }
+        let first = st.route.steps()[0];
+        let digit = match first.digit {
+            Digit::Exact(b) => b,
+            Digit::Any => {
+                let b = self.resolve_wildcard(st, flight, first.shift);
+                if observed {
+                    st.events.push(NetEvent::WildcardResolved {
+                        time: now,
+                        message: flight.id as usize,
+                        at: x,
+                        shift: first.shift,
+                        digit: b,
+                        policy: self.config.policy,
+                    });
+                }
+                b
+            }
+        };
+        match first.shift {
+            ShiftKind::Left => self.ranks.shift_left(flight.at, digit),
+            ShiftKind::Right => self.ranks.shift_right(flight.at, digit),
+        }
+    }
+
+    /// Wildcard resolution without shared RNG state: the random policy
+    /// hashes `(seed, message, hop)`, so the chosen digit is a pure
+    /// function of the flight — identical for every shard layout
+    /// (unlike the classic simulator's single shared RNG stream, whose
+    /// draws depend on global event interleaving).
+    fn resolve_wildcard(&self, st: &mut ShardState, flight: &Flight, shift: ShiftKind) -> u8 {
+        use crate::policy::WildcardPolicy;
+        let at = flight.at;
+        let d = self.space.d();
+        match self.config.policy {
+            WildcardPolicy::Zero => 0,
+            WildcardPolicy::Random => {
+                let mix = self
+                    .config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(u64::from(flight.id) << 16)
+                    .wrapping_add(u64::from(flight.hops));
+                SplitMix64::new(mix).digit(d)
+            }
+            WildcardPolicy::RoundRobin => {
+                let counter = st.rr.entry(at).or_insert(0);
+                let b = *counter % d;
+                *counter = (*counter + 1) % d;
+                b
+            }
+            WildcardPolicy::LeastLoaded => (0..d)
+                .min_by_key(|&b| {
+                    let next = match shift {
+                        ShiftKind::Left => self.ranks.shift_left(at, b),
+                        ShiftKind::Right => self.ranks.shift_right(at, b),
+                    };
+                    st.links.free_time(&self.ranks, at, next)
+                })
+                .expect("d >= 2"),
+        }
+    }
+
+    fn drop_flight(
+        &self,
+        st: &mut ShardState,
+        now: u64,
+        flight: &Flight,
+        reason: DropReason,
+        observed: bool,
+    ) {
+        st.report.dropped += 1;
+        *st.report
+            .dropped_by_reason
+            .entry(reason.name())
+            .or_insert(0) += 1;
+        if observed {
+            st.events.push(NetEvent::Drop {
+                time: now,
+                message: flight.id as usize,
+                reason,
+            });
+        }
+    }
+
+    /// Fault-free shortest distance under the configured model, via the
+    /// table when present (an `O(k)` walk) or the distance engines.
+    fn shortest(&self, src: u64, dst: u64) -> u32 {
+        match &self.table {
+            Some(table) => table.walk_distance(src, dst) as u32,
+            None => {
+                let x = self.word(src);
+                let y = self.word(dst);
+                let dist = if self.directed {
+                    distance::directed::distance(&x, &y)
+                } else {
+                    distance::undirected::distance(&x, &y)
+                };
+                dist as u32
+            }
+        }
+    }
+
+    fn word(&self, rank: u64) -> Word {
+        self.space
+            .word_from_rank(u128::from(rank))
+            .expect("rank below order")
+    }
+
+    /// Total directed links, mirroring the classic simulator's count
+    /// (0 when the space is too large to enumerate cheaply).
+    fn count_links(&self) -> usize {
+        const ENUMERATION_LIMIT: usize = 1 << 16;
+        let Some(n) = self.space.order_usize() else {
+            return 0;
+        };
+        if n > ENUMERATION_LIMIT {
+            return 0;
+        }
+        self.space
+            .vertices()
+            .map(|w| {
+                if self.directed {
+                    self.space.directed_out_neighbors(&w).len()
+                } else {
+                    self.space.undirected_neighbors(&w).len()
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::WildcardPolicy;
+    use crate::record::{InMemoryRecorder, JsonlRecorder};
+    use crate::sim::Simulation;
+    use crate::workload;
+
+    fn space(d: u8, k: usize) -> DeBruijn {
+        DeBruijn::new(d, k).expect("valid parameters")
+    }
+
+    fn run_grid(space: DeBruijn, config: SimConfig, traffic: &[Injection], cap: Option<usize>) {
+        let mut baseline: Option<(SimReport, Vec<u8>, InMemoryRecorder)> = None;
+        for shards in [1usize, 2, 4] {
+            for threads in [1usize, 2, 4] {
+                let mut cfg = config;
+                cfg.threads = threads;
+                let mut sim = ShardedSimulation::new(space, cfg, shards).expect("supported config");
+                if let Some(bytes) = cap {
+                    sim = sim.with_table_memory_cap(bytes);
+                }
+                let mut jsonl = JsonlRecorder::new(Vec::new());
+                let mut metrics = InMemoryRecorder::new();
+                let mut fan = crate::record::FanoutRecorder::new();
+                fan.push(&mut jsonl);
+                fan.push(&mut metrics);
+                let report = sim.run_recorded(traffic, &mut fan);
+                drop(fan);
+                let trace = jsonl.finish().expect("in-memory trace never fails");
+                match &baseline {
+                    None => baseline = Some((report, trace, metrics)),
+                    Some((r, t, m)) => {
+                        assert_eq!(&report, r, "report differs at S={shards} T={threads}");
+                        assert_eq!(&trace, t, "trace differs at S={shards} T={threads}");
+                        assert_eq!(&metrics, m, "metrics differ at S={shards} T={threads}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tentpole determinism contract: the final report, the JSONL trace
+    /// (byte for byte), and the metrics snapshot are identical for
+    /// every shard/thread combination.
+    #[test]
+    fn report_trace_and_metrics_identical_across_shards_and_threads() {
+        let space = space(2, 7);
+        let traffic = workload::uniform_random(space, 400, 11);
+        run_grid(space, SimConfig::default(), &traffic, None);
+    }
+
+    /// Same contract on the engine-fallback path (table disabled) with
+    /// a wildcard-heavy router and the stateful round-robin policy.
+    #[test]
+    fn fallback_path_is_deterministic_too() {
+        let space = space(3, 4);
+        let traffic = workload::uniform_burst(space, 300, 5);
+        let config = SimConfig {
+            policy: WildcardPolicy::RoundRobin,
+            ..SimConfig::default()
+        };
+        run_grid(space, config, &traffic, Some(0));
+    }
+
+    /// The sharded engine is a faithful optimal-routing simulator: every
+    /// message is delivered in exactly the hops the classic source-routed
+    /// simulator takes (both route optimally), for the same traffic.
+    #[test]
+    fn hop_histogram_matches_classic_simulator() {
+        let space = space(2, 8);
+        let traffic = workload::uniform_random(space, 500, 23);
+        let classic = Simulation::new(space, SimConfig::default())
+            .expect("classic sim")
+            .run(&traffic);
+        let sim = ShardedSimulation::new(space, SimConfig::default(), 4).expect("supported config");
+        assert!(sim.uses_table(), "d=2 k=8 fits the default memory cap");
+        let sharded = sim.run(&traffic);
+        assert_eq!(sharded.hop_histogram, classic.hop_histogram);
+        assert_eq!(sharded.delivered, classic.delivered);
+        assert_eq!(sharded.injected, classic.injected);
+        assert_eq!(sharded.total_hops, classic.total_hops);
+    }
+
+    /// Directed mode (Algorithm 1): hop counts equal directed distances.
+    #[test]
+    fn directed_mode_routes_at_directed_distance() {
+        let space = space(2, 5);
+        let config = SimConfig {
+            router: RouterKind::Algorithm1,
+            ..SimConfig::default()
+        };
+        let traffic = workload::uniform_random(space, 200, 3);
+        let report = ShardedSimulation::new(space, config, 3)
+            .expect("supported config")
+            .run(&traffic);
+        let mut expected: BTreeMap<usize, usize> = BTreeMap::new();
+        for inj in &traffic {
+            *expected
+                .entry(distance::directed::distance(&inj.source, &inj.destination))
+                .or_insert(0) += 1;
+        }
+        assert_eq!(report.hop_histogram, expected);
+        // And the fallback path agrees with the table path.
+        let fallback = ShardedSimulation::new(space, config, 3)
+            .expect("supported config")
+            .with_table_memory_cap(0)
+            .run(&traffic);
+        assert_eq!(fallback.hop_histogram, expected);
+    }
+
+    /// Faulty nodes drop traffic at injection and in transit; TTL expiry
+    /// drops the rest — matching the classic simulator's accounting.
+    #[test]
+    fn faults_and_ttl_are_honored() {
+        let space = space(2, 6);
+        let faulty = space.word_from_rank(0).expect("rank 0 exists");
+        let traffic = workload::uniform_random(space, 300, 9);
+        let sim = ShardedSimulation::new(space, SimConfig::default(), 4)
+            .expect("supported config")
+            .with_faults(vec![faulty])
+            .expect("fault word in space");
+        let report = sim.run(&traffic);
+        assert_eq!(report.injected, 300);
+        assert_eq!(report.delivered + report.dropped, 300);
+        assert!(report.dropped > 0, "rank 0 participates in some routes");
+
+        let strangled = ShardedSimulation::new(
+            space,
+            SimConfig {
+                ttl: 1,
+                ..SimConfig::default()
+            },
+            4,
+        )
+        .expect("supported config")
+        .run(&traffic);
+        assert_eq!(
+            strangled.dropped as u64,
+            strangled.dropped_by_reason.get("ttl").copied().unwrap_or(0),
+            "with ttl=1 every drop is a TTL drop"
+        );
+        assert!(strangled.dropped > 0, "most pairs are farther than 1 hop");
+    }
+
+    /// Configurations the sharded engine cannot honor are rejected up
+    /// front instead of silently diverging from the classic simulator.
+    #[test]
+    fn unsupported_configs_are_rejected() {
+        let space = space(2, 4);
+        for config in [
+            SimConfig {
+                router: RouterKind::Trivial,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                router: RouterKind::Multipath,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                fault_handling: FaultHandling::SourceReroute,
+                ..SimConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                ShardedSimulation::new(space, config, 2),
+                Err(NetError::Unsupported { .. })
+            ));
+        }
+    }
+
+    /// Shard counts beyond the node count clamp instead of panicking,
+    /// and a single shard still honors `threads > 1`.
+    #[test]
+    fn extreme_shard_counts_clamp() {
+        let space = space(2, 3);
+        let traffic = workload::uniform_random(space, 50, 2);
+        let huge =
+            ShardedSimulation::new(space, SimConfig::default(), 1000).expect("supported config");
+        assert_eq!(huge.shards(), 8);
+        let one = ShardedSimulation::new(
+            space,
+            SimConfig {
+                threads: 8,
+                ..SimConfig::default()
+            },
+            1,
+        )
+        .expect("supported config");
+        assert_eq!(huge.run(&traffic), one.run(&traffic));
+    }
+}

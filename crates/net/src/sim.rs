@@ -150,6 +150,12 @@ pub enum NetError {
     },
     /// Source rerouting requires the explicit graph, which is too large.
     Graph(GraphError),
+    /// The requested configuration is outside what this engine supports
+    /// (e.g. the sharded simulator with a non-optimal router).
+    Unsupported {
+        /// Human-readable description of the unsupported combination.
+        what: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -159,6 +165,9 @@ impl fmt::Display for NetError {
                 write!(f, "word {word} is not a vertex of the simulated network")
             }
             NetError::Graph(e) => write!(f, "cannot materialize reroute graph: {e}"),
+            NetError::Unsupported { what } => {
+                write!(f, "unsupported configuration: {what}")
+            }
         }
     }
 }

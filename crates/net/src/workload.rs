@@ -44,6 +44,25 @@ pub fn uniform_random(space: DeBruijn, n: usize, seed: u64) -> Vec<Injection> {
         .collect()
 }
 
+/// Like [`uniform_random`], but all `n` messages are injected at tick 0
+/// — a saturating burst that keeps every node busy from the first tick.
+/// This is the workload the scaling benchmarks use: one message per tick
+/// leaves parallel shards idle, a burst exposes the real per-tick
+/// parallelism. Deterministic for a fixed seed, and endpoint-identical
+/// to [`uniform_random`] with the same seed.
+///
+/// # Panics
+///
+/// Panics if the space has fewer than two vertices or is too large to
+/// enumerate.
+pub fn uniform_burst(space: DeBruijn, n: usize, seed: u64) -> Vec<Injection> {
+    let mut traffic = uniform_random(space, n, seed);
+    for inj in &mut traffic {
+        inj.time = 0;
+    }
+    traffic
+}
+
 /// A random derangement workload: every node sends exactly one message to
 /// its image under a fixed-point-free random permutation, all injected at
 /// tick 0. The classical stress pattern for interconnection networks.

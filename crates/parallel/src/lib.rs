@@ -173,6 +173,99 @@ where
     chunks.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Runs `f(worker)` for `workers` scoped workers, ids `0..workers`.
+///
+/// Worker 0 runs on the calling thread (so `workers <= 1` spawns
+/// nothing); the rest run on scoped threads, and panics propagate. This
+/// is the spawn layer of time-stepped drivers: callers pair it with a
+/// [`TickBarrier`] and keep the same worker ids across every tick, so
+/// per-worker state stays thread-local for the whole run instead of
+/// being re-distributed per tick.
+pub fn run_workers<F>(workers: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if workers <= 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for w in 1..workers {
+            let f = &f;
+            scope.spawn(move || f(w));
+        }
+        f(0);
+    });
+}
+
+/// A reusable rendezvous for lockstep (time-stepped) parallel drivers:
+/// all workers finish tick `T`, publish the next tick they each need,
+/// and every worker learns the global minimum before anyone proceeds.
+///
+/// This is the conservative-simulation barrier: with a known lookahead
+/// (for the unit-delay de Bruijn simulator, 1 tick), a worker may
+/// process everything at the agreed tick without coordination, then
+/// [`TickBarrier::sync_min`] both separates the phases and elects the
+/// next tick. `u64::MAX` means "nothing left"; when every worker says
+/// so, the returned minimum signals termination.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_parallel::TickBarrier;
+///
+/// let barrier = TickBarrier::new(2);
+/// debruijn_parallel::run_workers(2, |w| {
+///     // Worker 0 next needs tick 7, worker 1 tick 3: both learn 3.
+///     let next = barrier.sync_min(w, if w == 0 { 7 } else { 3 });
+///     assert_eq!(next, 3);
+/// });
+/// ```
+pub struct TickBarrier {
+    barrier: std::sync::Barrier,
+    slots: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl TickBarrier {
+    /// A barrier for `workers` participants (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self {
+            barrier: std::sync::Barrier::new(workers),
+            slots: (0..workers)
+                .map(|_| std::sync::atomic::AtomicU64::new(u64::MAX))
+                .collect(),
+        }
+    }
+
+    /// Number of participating workers.
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Publishes this worker's next-needed tick and returns the minimum
+    /// over all workers. Blocks until every worker has called in; all
+    /// workers observe the same minimum for the same round.
+    ///
+    /// Internally two waits: one so every slot is published before
+    /// anyone reads, one so every worker has read before anyone writes
+    /// the next round's value. The barrier's own synchronization orders
+    /// the relaxed slot accesses.
+    pub fn sync_min(&self, worker: usize, local: u64) -> u64 {
+        use std::sync::atomic::Ordering;
+        self.slots[worker].store(local, Ordering::Relaxed);
+        self.barrier.wait();
+        let min = self
+            .slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .min()
+            .expect("at least one worker");
+        self.barrier.wait();
+        min
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +357,48 @@ mod tests {
         assert_eq!(map_chunks(4, 0, 8, |r| r.len()), Vec::<usize>::new());
         // One chunk covers everything when chunk >= n.
         assert_eq!(map_chunks(4, 5, 100, |r| (r.start, r.end)), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn run_workers_covers_every_id_once() {
+        for workers in [1, 2, 5] {
+            let seen: Vec<std::sync::atomic::AtomicUsize> = (0..workers)
+                .map(|_| std::sync::atomic::AtomicUsize::new(0))
+                .collect();
+            run_workers(workers, |w| {
+                seen[w].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn sync_min_agrees_across_rounds_and_workers() {
+        for workers in [1, 2, 4] {
+            let barrier = TickBarrier::new(workers);
+            let mins: Mutex<Vec<Vec<u64>>> = Mutex::new(vec![Vec::new(); workers]);
+            run_workers(workers, |w| {
+                // Round r: worker w publishes r * 10 + w; the global
+                // minimum is r * 10 (worker 0's value) every round.
+                for r in 0..50u64 {
+                    let got = barrier.sync_min(w, r * 10 + w as u64);
+                    mins.lock().unwrap()[w].push(got);
+                }
+            });
+            let mins = mins.into_inner().unwrap();
+            for per_worker in mins {
+                let want: Vec<u64> = (0..50).map(|r| r * 10).collect();
+                assert_eq!(per_worker, want);
+            }
+        }
+    }
+
+    #[test]
+    fn sync_min_terminates_on_unanimous_max() {
+        let barrier = TickBarrier::new(3);
+        run_workers(3, |w| {
+            assert_eq!(barrier.sync_min(w, u64::MAX), u64::MAX);
+        });
     }
 
     #[test]

@@ -19,7 +19,8 @@ use debruijn_net::metrics::{
 use debruijn_net::record::{FanoutRecorder, InMemoryRecorder, JsonlRecorder};
 use debruijn_net::telemetry::{ChromeTraceRecorder, SnapshotRecorder};
 use debruijn_net::{
-    workload, NetEvent, Recorder, RouterKind, SimConfig, Simulation, WildcardPolicy,
+    workload, NetEvent, Recorder, RouterKind, ShardedSimulation, SimConfig, Simulation,
+    WildcardPolicy,
 };
 
 use crate::trace::{self, TraceMetric};
@@ -105,8 +106,12 @@ pub enum Command {
         policy: WildcardPolicy,
         /// RNG seed.
         seed: u64,
-        /// Worker threads for the route-precompute pass.
+        /// Worker threads for the route-precompute pass (classic
+        /// engine) or the per-tick shard workers (sharded engine).
         threads: usize,
+        /// Run the sharded deterministic engine with this many node
+        /// partitions (`None` = classic event-driven engine).
+        shards: Option<usize>,
         /// Route-cache capacity (0 disables).
         route_cache: usize,
         /// Print per-hop/queue histograms and wildcard/profile counters.
@@ -258,7 +263,7 @@ USAGE:
   dbr average <d> <k> [--directed] [--samples N]
   dbr simulate <d> <k> [--messages N] [--router trivial|alg1|alg2|alg4]
                        [--policy zero|random|round-robin|least-loaded] [--seed S]
-                       [--threads N] [--route-cache N]
+                       [--threads N] [--shards S] [--route-cache N]
                        [--metrics] [--trace FILE] [--progress N]
                        [--chrome-trace FILE] [--listen ADDR]
                        [--metrics-out FILE] [--flight-recorder FILE]
@@ -294,6 +299,12 @@ crossover where tree construction overtakes the packed diagonal sweep
 out over N workers (0 = all cores) with results merged in input order,
 byte-identical to --threads 1. --route-cache N bounds the simulator's
 (source, destination) route cache (clock eviction, 0 disables).
+--shards S switches `simulate` to the sharded deterministic engine:
+nodes are split into S partitions stepped in parallel (--threads) with
+O(1) precomputed next-hop forwarding, and the report, trace, and
+metrics are identical for every shards/threads combination (only the
+optimal routers alg1/alg2/alg4 and drop-on-fault are supported; see
+docs/PERFORMANCE.md).
 
 --metrics prints exact histograms (hops, stretch over D(X,Y), per-hop
 latency, queue wait/depth, end-to-end latency) and counters (wildcard
@@ -411,6 +422,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 "--policy",
                 "--seed",
                 "--threads",
+                "--shards",
                 "--route-cache",
                 "--metrics",
                 "--trace",
@@ -452,6 +464,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .transpose()?
                     .unwrap_or(0xDB),
                 threads: parse_threads(&flags)?,
+                shards: flags
+                    .value("--shards")?
+                    .map(|v| match parse_num(v, "shards") {
+                        Ok(n) if n > 0 => Ok(n),
+                        Ok(_) => Err("bad shards '0' (need >= 1)".to_string()),
+                        Err(e) => Err(e),
+                    })
+                    .transpose()?,
                 route_cache: flags
                     .value("--route-cache")?
                     .map(|v| parse_num(v, "route-cache"))
@@ -786,6 +806,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             policy,
             seed,
             threads,
+            shards,
             route_cache,
             metrics,
             trace,
@@ -808,14 +829,40 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 ttl: *ttl,
                 ..SimConfig::default()
             };
-            let mut sim = Simulation::new(space, config).map_err(|e| e.to_string())?;
-            if let Some(list) = faults {
-                let words = list
-                    .split(',')
-                    .map(|w| Word::parse(*d, w.trim()).map_err(|e| format!("bad fault '{w}': {e}")))
-                    .collect::<Result<Vec<_>, _>>()?;
-                sim = sim.with_faults(words).map_err(|e| e.to_string())?;
+            let fault_words = faults
+                .as_ref()
+                .map(|list| {
+                    list.split(',')
+                        .map(|w| {
+                            Word::parse(*d, w.trim()).map_err(|e| format!("bad fault '{w}': {e}"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .transpose()?;
+            // --shards selects the time-stepped sharded engine (same
+            // report for any shard/thread count); without it the
+            // classic event-driven simulator runs.
+            enum SimEngine {
+                Classic(Simulation),
+                Sharded(ShardedSimulation),
             }
+            let engine = match shards {
+                Some(s) => {
+                    let mut sim =
+                        ShardedSimulation::new(space, config, *s).map_err(|e| e.to_string())?;
+                    if let Some(words) = fault_words {
+                        sim = sim.with_faults(words).map_err(|e| e.to_string())?;
+                    }
+                    SimEngine::Sharded(sim)
+                }
+                None => {
+                    let mut sim = Simulation::new(space, config).map_err(|e| e.to_string())?;
+                    if let Some(words) = fault_words {
+                        sim = sim.with_faults(words).map_err(|e| e.to_string())?;
+                    }
+                    SimEngine::Classic(sim)
+                }
+            };
             let traffic = workload::uniform_random(space, *messages, *seed);
 
             // One registry backs both exposure paths: the HTTP scrape
@@ -894,7 +941,10 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 if let Some(f) = flight.as_mut() {
                     fan.push(f);
                 }
-                sim.run_recorded(&traffic, &mut fan)
+                match &engine {
+                    SimEngine::Classic(sim) => sim.run_recorded(&traffic, &mut fan),
+                    SimEngine::Sharded(sim) => sim.run_recorded(&traffic, &mut fan),
+                }
             };
             if let Some(s) = snapshots {
                 s.finish().map_err(|e| format!("writing snapshots: {e}"))?;
