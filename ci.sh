@@ -121,6 +121,19 @@ cmp "$smoke_dir/shard11.txt" "$smoke_dir/shard44.txt"
 cmp "$smoke_dir/shard11.jsonl" "$smoke_dir/shard.jsonl"
 echo "1 shard / 1 thread and 4 shards / 4 threads agree byte for byte"
 
+echo "== next-hop tier smoke =="
+# The compressed shift-prediction tier must reproduce the dense
+# table's run byte for byte, across shard/thread counts, on a skewed
+# workload (see docs/SCALING.md and ADR 0006).
+./target/release/dbr simulate 2 8 --messages 3000 --workload zipf \
+    --shards 1 --threads 1 --next-hop dense --metrics \
+    > "$smoke_dir/tier_dense.txt"
+./target/release/dbr simulate 2 8 --messages 3000 --workload zipf \
+    --shards 4 --threads 4 --next-hop compressed --metrics \
+    > "$smoke_dir/tier_compressed.txt"
+cmp "$smoke_dir/tier_dense.txt" "$smoke_dir/tier_compressed.txt"
+echo "dense 1x1 and compressed 4x4 agree byte for byte"
+
 echo "== bench regression smoke =="
 # Reruns the distance-engine bench and fails if any series regressed
 # more than 30% against the checked-in BENCH_results.json.

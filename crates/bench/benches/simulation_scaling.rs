@@ -14,10 +14,16 @@
 //! parallelize within a tick, so per-tick density is what exposes the
 //! scaling. Determinism is not sacrificed for it — every thread count
 //! here produces the identical report (asserted below).
+//!
+//! A second series (`ns_per_message_compressed`) runs the same workload
+//! through the compressed shift-prediction tier (`--next-hop
+//! compressed`) at 1 and 4 threads, so the checked-in baseline records
+//! what large spaces pay for dropping the dense table. Its report is
+//! asserted byte-identical to the dense runs.
 
 use debruijn_bench::{json_mode, median_nanos_per_call, JsonReport};
 use debruijn_core::DeBruijn;
-use debruijn_net::shard::ShardedSimulation;
+use debruijn_net::shard::{NextHopMode, ShardedSimulation};
 use debruijn_net::{workload, SimConfig};
 use std::hint::black_box;
 
@@ -97,6 +103,41 @@ fn main() {
         }
         if !json {
             println!("{threads:>8} {ns:>16.1} {speedup:>9.2}x");
+        }
+    }
+
+    // The compressed shift-prediction tier on the same workload: no
+    // dense table, O(1) memory per flight. Its per-message cost tracks
+    // the dense series closely on directed-style hops; the gap is what
+    // DG(2,20)+ pays for dropping the d^{2k}-byte table.
+    for threads in [1usize, 4] {
+        let sim = ShardedSimulation::new(
+            space,
+            SimConfig {
+                threads,
+                ..SimConfig::default()
+            },
+            SHARDS,
+        )
+        .unwrap()
+        .with_next_hop(NextHopMode::Compressed)
+        .unwrap();
+        let ns = median_nanos_per_call(
+            || {
+                black_box(sim.run(black_box(&traffic)));
+            },
+            1,
+            5,
+        ) / MESSAGES as f64;
+        let run = sim.run(&traffic);
+        assert_eq!(
+            Some(&run),
+            baseline_report.as_ref(),
+            "compressed tier diverged at {threads} threads"
+        );
+        report.push("ns_per_message_compressed", threads, ns);
+        if !json {
+            println!("{threads:>8} {ns:>16.1} (compressed tier)");
         }
     }
 

@@ -1,0 +1,425 @@
+//! Compressed next-hop forwarding: `O(k)` state instead of `O(n²)`.
+//!
+//! The dense [`NextHopTable`](super::NextHopTable) stores one byte per
+//! `(node, destination)` pair — `d^{2k}` bytes, which crosses its 64 MiB
+//! cap at `DG(2,7)²⁰ ≈ 8192` nodes and is hopeless at the million-node
+//! scale (`DG(2,20)` would need a terabyte). But the table's content is
+//! almost entirely *predictable from the shift structure of the graph*,
+//! which is exactly what the paper proves:
+//!
+//! * **Directed network (Property 1).** `D(X,Y) = k − m` where `m` is
+//!   the overlap (longest suffix of `X` that prefixes `Y`), and the
+//!   *unique* distance-reducing left shift is `X⁻(y_{m+1})`: appending
+//!   digit `a` extends the overlap to `m + 1` iff `a = y_{m+1}`, and no
+//!   digit can reach overlap `m + 2` because that would require a
+//!   length-`(m+1)` suffix match `X` does not have. So the dense
+//!   table's directed column is the function `port = y_{k−D+1}` — no
+//!   storage needed beyond the destination's own digits, and the
+//!   per-hop state is a single counter (the remaining distance), which
+//!   this module maintains for the caller as a *cursor*.
+//! * **Undirected network (Theorem 2).** The dense table pins the
+//!   *smallest* distance-reducing port among the `2d` shifts. Because
+//!   every optimal hop reduces `D` by exactly one, that port is
+//!   recoverable on the fly: probe ports in the canonical order
+//!   `X⁻(0), …, X⁻(d−1), X⁺(0), …, X⁺(d−1)` and take the first whose
+//!   neighbor sits at distance `D − 1`, with each probe answered by an
+//!   allocation-free Theorem 2 solve over the digit buffers
+//!   ([`debruijn_strings::bitmatch`]). At most `2d` solves of
+//!   `O(k²/64)` words each — independent of `n`.
+//!
+//! Both rules reproduce the dense table's ports *exactly* (not just
+//! ports of equal quality), so a simulation that swaps the dense table
+//! for [`CompressedNextHop`] produces byte-identical reports — the
+//! differential grid in this module's tests asserts port-for-port
+//! equality over every pair of every `DG(d,k)` with `d ∈ {2,3}`,
+//! `k ≤ 6`.
+//!
+//! The "exception side-table" variant (store only the pairs where a
+//! naive shift prediction misses) was rejected: its key space is the
+//! full `(src, dst)` square, which is the `O(n²)` we are escaping — see
+//! ADR 0006.
+
+use debruijn_strings::bitmatch::{self, BitScratch};
+use debruijn_strings::failure;
+
+use super::table::PORT_SELF;
+use crate::space::{DeBruijn, RankSpace};
+use crate::ShiftKind;
+
+/// Port-prediction engine for spaces too large for the dense table.
+///
+/// Holds `O(k)` state (the digit place values); all per-query buffers
+/// live in a caller-provided [`CompressedScratch`], so one instance can
+/// serve any number of concurrent workers.
+///
+/// # Cursor protocol
+///
+/// A message in flight carries one `u32`: its remaining distance.
+/// Initialize it with [`CompressedNextHop::distance`], then each hop
+/// calls [`CompressedNextHop::advance`] with the current value and
+/// decrements it — `O(1)` per hop in the directed network, at most `2d`
+/// bit-parallel solves in the undirected one.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::routing::compressed::{CompressedNextHop, CompressedScratch};
+/// use debruijn_core::DeBruijn;
+///
+/// // DG(2,20): a million nodes — 10¹² table entries, zero stored here.
+/// let space = DeBruijn::new(2, 20)?;
+/// let engine = CompressedNextHop::new(space, false).expect("ranks fit u64");
+/// let mut scratch = CompressedScratch::new();
+/// let (src, dst) = (123_456, 987_654);
+/// let mut dist = engine.distance(src, dst, &mut scratch);
+/// let mut at = src;
+/// while at != dst {
+///     let port = engine.advance(at, dst, dist, &mut scratch);
+///     at = engine.apply(at, port);
+///     dist -= 1;
+/// }
+/// assert_eq!(dist, 0); // arrived in exactly D(src, dst) hops
+/// # Ok::<(), debruijn_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompressedNextHop {
+    ranks: RankSpace,
+    d: u8,
+    k: usize,
+    directed: bool,
+    /// `pows[i] = d^(k−1−i)`: place value of digit `i` (most
+    /// significant first), so digit `i` of rank `r` is `r / pows[i] % d`.
+    pows: Vec<u64>,
+}
+
+/// Reusable buffers for [`CompressedNextHop`] queries: digit
+/// materializations of the node, neighbor, and destination, the
+/// failure-function table (directed overlap), and the packed lanes of
+/// the bit-parallel Theorem 2 solver. One per worker keeps the hot path
+/// allocation-free after warm-up.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::routing::compressed::{CompressedNextHop, CompressedScratch};
+/// use debruijn_core::DeBruijn;
+///
+/// let engine = CompressedNextHop::new(DeBruijn::new(2, 5)?, true).unwrap();
+/// let mut scratch = CompressedScratch::new();
+/// assert_eq!(engine.distance(0b00000, 0b11111, &mut scratch), 5);
+/// # Ok::<(), debruijn_core::Error>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct CompressedScratch {
+    x: Vec<u8>,
+    y: Vec<u8>,
+    nbr: Vec<u8>,
+    fail: Vec<usize>,
+    bits: BitScratch,
+}
+
+impl CompressedScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CompressedNextHop {
+    /// Creates the engine for `space`. `directed` selects Property 1
+    /// prediction (left shifts only) over Theorem 2 probing.
+    ///
+    /// Returns `None` when `d^k` does not fit 64-bit ranks or the `2d`
+    /// ports do not fit the `u8` encoding — the same preconditions as
+    /// the dense table, minus the memory cap.
+    pub fn new(space: DeBruijn, directed: bool) -> Option<Self> {
+        let ranks = RankSpace::new(space)?;
+        if usize::from(space.d()) * 2 >= usize::from(PORT_SELF) {
+            return None;
+        }
+        let d = space.d();
+        let k = space.k();
+        let mut pows = vec![1u64; k];
+        for i in (0..k.saturating_sub(1)).rev() {
+            pows[i] = pows[i + 1].checked_mul(u64::from(d))?;
+        }
+        Some(Self {
+            ranks,
+            d,
+            k,
+            directed,
+            pows,
+        })
+    }
+
+    /// The wrapped rank arithmetic.
+    pub fn ranks(&self) -> RankSpace {
+        self.ranks
+    }
+
+    /// Number of vertices `d^k`.
+    pub fn order(&self) -> u64 {
+        self.ranks.order()
+    }
+
+    /// Whether ports follow Property 1 (left shifts only).
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Bytes held by this engine — `O(k)`, versus the dense table's
+    /// `d^{2k}`.
+    pub fn memory_bytes(&self) -> usize {
+        self.pows.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Writes the `k` digits of `rank` (most significant first) into
+    /// `out`.
+    fn digits_into(&self, mut rank: u64, out: &mut Vec<u8>) {
+        out.clear();
+        out.resize(self.k, 0);
+        for slot in out.iter_mut().rev() {
+            *slot = (rank % u64::from(self.d)) as u8;
+            rank /= u64::from(self.d);
+        }
+    }
+
+    /// `D(src, dst)` under the configured model: Property 1 overlap for
+    /// the directed network (`O(k)`), a bit-parallel Theorem 2 solve
+    /// for the undirected one (`O(k²/64)` words). This is the cursor
+    /// initializer for [`CompressedNextHop::advance`].
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts both ranks are below `d^k`.
+    pub fn distance(&self, src: u64, dst: u64, scratch: &mut CompressedScratch) -> u32 {
+        debug_assert!(src < self.ranks.order() && dst < self.ranks.order());
+        if src == dst {
+            return 0;
+        }
+        self.digits_into(src, &mut scratch.x);
+        self.digits_into(dst, &mut scratch.y);
+        if self.directed {
+            (self.k - failure::overlap_with_scratch(&scratch.x, &scratch.y, &mut scratch.fail))
+                as u32
+        } else {
+            undirected_digits(self.d, &scratch.x, &scratch.y, &mut scratch.bits) as u32
+        }
+    }
+
+    /// The dense table's port at `(src, dst)` — [`PORT_SELF`] when they
+    /// coincide — computed from scratch (one distance solve plus the
+    /// port rule). Prefer the cursor protocol
+    /// ([`CompressedNextHop::distance`] once, then
+    /// [`CompressedNextHop::advance`] per hop) on hot paths.
+    pub fn next_hop(&self, src: u64, dst: u64, scratch: &mut CompressedScratch) -> u8 {
+        if src == dst {
+            return PORT_SELF;
+        }
+        let remaining = self.distance(src, dst, scratch);
+        self.advance(src, dst, remaining, scratch)
+    }
+
+    /// The next port from `at` toward `dst`, given the current distance
+    /// `remaining = D(at, dst) ≥ 1` — exactly the port the dense table
+    /// stores. The caller decrements `remaining` after applying the
+    /// port (every optimal hop reduces the distance by exactly one).
+    ///
+    /// # Panics
+    ///
+    /// Panics (directly or via a failed probe) if `remaining` is not
+    /// the true distance from `at` to `dst`.
+    pub fn advance(
+        &self,
+        at: u64,
+        dst: u64,
+        remaining: u32,
+        scratch: &mut CompressedScratch,
+    ) -> u8 {
+        assert!(
+            remaining >= 1 && remaining as usize <= 2 * self.k,
+            "cursor out of range: remaining={remaining}"
+        );
+        if self.directed {
+            // Property 1: with overlap m = k − D, the unique improving
+            // digit is y_{m+1} (1-indexed) — digit index m of dst.
+            let i = self.k - remaining as usize;
+            return ((dst / self.pows[i]) % u64::from(self.d)) as u8;
+        }
+        self.digits_into(at, &mut scratch.x);
+        self.digits_into(dst, &mut scratch.y);
+        let want = remaining as usize - 1;
+        for p in 0..2 * self.d {
+            // Neighbor digits by shifting the buffer — cheaper than
+            // re-expanding the neighbor's rank.
+            scratch.nbr.clear();
+            if p < self.d {
+                scratch.nbr.extend_from_slice(&scratch.x[1..]);
+                scratch.nbr.push(p);
+            } else {
+                scratch.nbr.push(p - self.d);
+                scratch.nbr.extend_from_slice(&scratch.x[..self.k - 1]);
+            }
+            if undirected_digits(self.d, &scratch.nbr, &scratch.y, &mut scratch.bits) == want {
+                return p;
+            }
+        }
+        panic!("no port reduces the distance: cursor desynchronized from the flight")
+    }
+
+    /// The neighbor rank one `port` hop from `node` (same encoding as
+    /// the dense table: `a < d` is `X⁻(a)`, `d + a` is `X⁺(a)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` does not encode a shift of this engine (e.g.
+    /// [`PORT_SELF`], or a right shift on a directed engine).
+    #[inline]
+    pub fn apply(&self, node: u64, port: u8) -> u64 {
+        if port < self.d {
+            self.ranks.shift_left(node, port)
+        } else {
+            assert!(!self.directed && port < 2 * self.d, "port {port} invalid");
+            self.ranks.shift_right(node, port - self.d)
+        }
+    }
+
+    /// Decodes a port into the shift it performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`PORT_SELF`] or an out-of-range port.
+    pub fn decode_port(&self, port: u8) -> (ShiftKind, u8) {
+        if port < self.d {
+            (ShiftKind::Left, port)
+        } else {
+            assert!(!self.directed && port < 2 * self.d, "port {port} invalid");
+            (ShiftKind::Right, port - self.d)
+        }
+    }
+}
+
+/// Theorem 2 distance on raw digit slices: `2k − 1 + min(l_min, r_min)`
+/// over both matching families, allocation-free with caller scratch.
+fn undirected_digits(d: u8, x: &[u8], y: &[u8], bits: &mut BitScratch) -> usize {
+    let k = x.len() as i64;
+    let (l_min, r_min) = bitmatch::both_family_minima(d, x, y, bits);
+    (2 * k - 1 + l_min.value.min(r_min.value)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::table::NextHopTable;
+
+    /// The satellite differential grid: over **every** pair of **every**
+    /// `DG(d,k)` with `d ∈ {2,3}` and `k ≤ 6`, in both network models,
+    /// the compressed engine returns exactly the dense table's port.
+    /// Port equality (not just walk-length equality) is what makes the
+    /// two fast paths byte-interchangeable in the simulator.
+    #[test]
+    fn compressed_ports_equal_dense_ports_on_full_grid() {
+        for d in [2u8, 3] {
+            for k in 1..=6usize {
+                let space = DeBruijn::new(d, k).unwrap();
+                for directed in [false, true] {
+                    let dense = NextHopTable::build(space, directed, 0, usize::MAX).unwrap();
+                    let engine = CompressedNextHop::new(space, directed).unwrap();
+                    let mut scratch = CompressedScratch::new();
+                    let n = engine.order();
+                    for src in 0..n {
+                        for dst in 0..n {
+                            assert_eq!(
+                                engine.next_hop(src, dst, &mut scratch),
+                                dense.next_hop(src, dst),
+                                "d={d} k={k} directed={directed} {src} -> {dst}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cursor protocol walks the same nodes the dense table walks,
+    /// arrives in exactly `D` hops, and ends with the counter at zero.
+    #[test]
+    fn cursor_walk_matches_dense_walk() {
+        for directed in [false, true] {
+            let space = DeBruijn::new(2, 6).unwrap();
+            let dense = NextHopTable::build(space, directed, 0, usize::MAX).unwrap();
+            let engine = CompressedNextHop::new(space, directed).unwrap();
+            let mut scratch = CompressedScratch::new();
+            let n = engine.order();
+            for src in 0..n {
+                for dst in 0..n {
+                    let mut remaining = engine.distance(src, dst, &mut scratch);
+                    assert_eq!(remaining as usize, dense.walk_distance(src, dst));
+                    let mut at = src;
+                    while at != dst {
+                        let port = engine.advance(at, dst, remaining, &mut scratch);
+                        assert_eq!(port, dense.next_hop(at, dst), "{src}->{dst} at {at}");
+                        at = engine.apply(at, port);
+                        remaining -= 1;
+                    }
+                    assert_eq!(remaining, 0);
+                }
+            }
+        }
+    }
+
+    /// Million-node smoke: `DG(2,20)` routes without any `O(n)` or
+    /// `O(n²)` precomputation, in both models, within the diameter.
+    #[test]
+    fn dg_2_20_routes_with_constant_memory() {
+        let space = DeBruijn::new(2, 20).unwrap();
+        for directed in [false, true] {
+            let engine = CompressedNextHop::new(space, directed).unwrap();
+            assert!(engine.memory_bytes() <= 1024, "O(k) state only");
+            let mut scratch = CompressedScratch::new();
+            let mut rng = crate::rng::SplitMix64::new(0x20_20);
+            for _ in 0..50 {
+                let src = rng.below_u64(engine.order());
+                let dst = rng.below_u64(engine.order());
+                let mut remaining = engine.distance(src, dst, &mut scratch);
+                // The undirected distance never exceeds the directed
+                // one, so k = 20 bounds both models.
+                assert!(remaining <= 20);
+                let mut at = src;
+                let mut hops = 0u32;
+                while at != dst {
+                    let port = engine.advance(at, dst, remaining, &mut scratch);
+                    at = engine.apply(at, port);
+                    remaining -= 1;
+                    hops += 1;
+                    assert!(hops <= 40, "walk must terminate");
+                }
+                assert_eq!(remaining, 0, "arrived in exactly D hops");
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_handles_self_and_rejects_bad_cursor() {
+        let space = DeBruijn::new(2, 4).unwrap();
+        let engine = CompressedNextHop::new(space, false).unwrap();
+        let mut scratch = CompressedScratch::new();
+        assert_eq!(engine.next_hop(5, 5, &mut scratch), PORT_SELF);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.advance(5, 5, 0, &mut CompressedScratch::new())
+        }));
+        assert!(result.is_err(), "remaining = 0 is not a forwardable state");
+    }
+
+    #[test]
+    fn decode_and_apply_mirror_the_dense_encoding() {
+        let space = DeBruijn::new(3, 3).unwrap();
+        let engine = CompressedNextHop::new(space, false).unwrap();
+        assert_eq!(engine.decode_port(2), (ShiftKind::Left, 2));
+        assert_eq!(engine.decode_port(4), (ShiftKind::Right, 1));
+        // X⁻(a) on rank arithmetic: (id mod d^{k−1})·d + a.
+        assert_eq!(engine.apply(0, 2), 2);
+        // X⁺(a): a·d^{k−1} + id/d.
+        assert_eq!(engine.apply(0, 3 + 1), 9);
+    }
+}

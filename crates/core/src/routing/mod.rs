@@ -12,11 +12,13 @@
 //! resolution ([`RoutePath::leads_to`]).
 
 mod cached;
+pub mod compressed;
 mod multipath;
 mod path;
 pub mod table;
 
 pub use cached::{DirectedDestinationRouter, RouteCache, RouteCacheStats};
+pub use compressed::{CompressedNextHop, CompressedScratch};
 pub use multipath::all_shortest_routes;
 pub use path::{Digit, RoutePath, ShiftKind, Step};
 pub use table::NextHopTable;

@@ -68,7 +68,7 @@ pub use message::{ControlCode, Message};
 pub use policy::WildcardPolicy;
 pub use record::{DropReason, InMemoryRecorder, NetEvent, NullRecorder, Recorder};
 pub use router::RouterKind;
-pub use shard::ShardedSimulation;
+pub use shard::{NextHopMode, ShardedSimulation};
 pub use sim::{
     FaultHandling, ForwardingMode, Injection, LinkParams, NetError, SimConfig, Simulation,
     TraceEvent, TraceKind,

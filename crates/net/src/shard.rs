@@ -6,43 +6,55 @@
 //! message mostly spent re-deriving routes from the paper's word-level
 //! algorithms. [`ShardedSimulation`] is the scale-out counterpart:
 //!
-//! * **`O(1)` forwarding**: a precomputed
-//!   [`NextHopTable`] answers
-//!   "which port moves this message closer?" with one indexed load, and
-//!   [`RankSpace`] arithmetic replaces
-//!   per-hop [`Word`] allocation. Above the table's memory cap the
-//!   engine transparently falls back to the word-level routers
-//!   (Algorithm 1 / Theorem 2 engines) per hop.
+//! * **Tiered fast-path forwarding** ([`NextHopMode`]): a precomputed
+//!   [`NextHopTable`] answers "which port moves this message closer?"
+//!   with one indexed load when the space fits its memory cap; above
+//!   the cap a [`CompressedNextHop`] cursor predicts the *same ports*
+//!   from the shift structure with `O(k)` state — so `DG(2,20)` and
+//!   beyond stay on a fast path instead of falling back to the
+//!   word-level routers (which remain available as an explicit third
+//!   tier). [`RankSpace`] arithmetic replaces per-hop [`Word`]
+//!   allocation on every tier.
 //! * **Conservative time-stepped parallelism**: nodes are partitioned
 //!   into `S` contiguous rank ranges (shards); each shard owns its
 //!   event queue, message arena, link state, and report accumulators.
-//!   Because every link has `service + latency ≥ 1` tick, a message
-//!   forwarded at tick `T` cannot arrive before `T + 1` — a guaranteed
-//!   lookahead of one tick — so all shards process the same tick with
-//!   no coordination, then exchange cross-shard messages through
-//!   per-`(src, dst)` mailboxes and agree on the next tick at a
-//!   [`TickBarrier`](debruijn_parallel::TickBarrier).
-//! * **Bit-for-bit determinism**: each tick's batch is sorted by
-//!   message id before processing, mailboxes are drained in fixed shard
-//!   order, per-shard partial reports merge over order-independent
+//!   Every link has lookahead `L = service + latency ≥ 1` ticks, so a
+//!   message forwarded at tick `T` cannot arrive before `T + L`:
+//!   each worker processes the whole window `[T, T + L)` with no
+//!   coordination, exchanges cross-shard messages through fixed-
+//!   capacity SPSC ring mailboxes (single producer and single consumer
+//!   per `(src, dst)` shard pair — no locks on the fast path, a
+//!   mutexed sidecar absorbs overflow), and agrees on the next window
+//!   at a spinning [`TickBarrier`](debruijn_parallel::TickBarrier).
+//! * **Bit-for-bit determinism**: each tick's batch is restored to
+//!   message-id order before processing (a natural-run merge — pushes
+//!   arrive as pre-sorted runs, so an already-ordered batch costs one
+//!   scan), mailboxes are drained in fixed shard order, per-shard
+//!   partial reports merge over order-independent
 //!   (sum/max/`BTreeMap`) accumulators, and recorded events are
 //!   replayed to the [`Recorder`] in a canonical `(tick, message)`
 //!   order — so the final report, trace, and metrics are identical for
-//!   **any** `--shards`/`--threads` combination (the same contract the
+//!   **any** `--shards`/`--threads` combination *and* any
+//!   [`NextHopMode`] except the fallback tier (the same contract the
 //!   batch routing drivers established, and tested the same way).
 //!
-//! See `docs/PERFORMANCE.md` (shard partitioning, the lookahead-1
-//! argument) and ADR 0005 (why conservative time-stepping rather than
-//! optimistic/Time-Warp).
+//! See `docs/SCALING.md` for the full architecture (mailboxes,
+//! windowed barrier, determinism proof sketch, next-hop compression)
+//! and ADR 0005/0006 for the alternatives this design rejected.
 
+use std::cell::UnsafeCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use debruijn_core::distance;
 use debruijn_core::distance::undirected::Engine;
 use debruijn_core::rng::SplitMix64;
 use debruijn_core::routing::table::DEFAULT_TABLE_MEMORY_CAP;
-use debruijn_core::routing::{self, NextHopTable, RoutingScratch};
+use debruijn_core::routing::{
+    self, CompressedNextHop, CompressedScratch, NextHopTable, RoutingScratch,
+};
 use debruijn_core::space::RankSpace;
 use debruijn_core::{DeBruijn, Digit, RoutePath, ShiftKind, Word};
 
@@ -86,10 +98,56 @@ pub struct ShardedSimulation {
     shards: usize,
     ranks: RankSpace,
     directed: bool,
-    table: Option<NextHopTable>,
+    path: FastPath,
     table_cap: usize,
     /// Faulty nodes by rank.
     faults: HashSet<u64>,
+}
+
+/// Which next-hop tier the sharded engine forwards with. `Auto` (the
+/// default) resolves to the fastest tier the space admits: the dense
+/// table when it fits the memory cap, the compressed shift-prediction
+/// cursor beyond it. The three concrete tiers produce byte-identical
+/// reports for the dense/compressed pair (the compressed engine
+/// reproduces the dense table's ports exactly); the word-level fallback
+/// also routes optimally but resolves wildcard steps through the
+/// configured policy, so it is only selectable explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::DeBruijn;
+/// use debruijn_net::shard::{NextHopMode, ShardedSimulation};
+/// use debruijn_net::SimConfig;
+///
+/// let space = DeBruijn::new(2, 6)?;
+/// let sim = ShardedSimulation::new(space, SimConfig::default(), 2)?;
+/// // 64 nodes fit the dense cap comfortably.
+/// assert_eq!(sim.next_hop_mode(), NextHopMode::Dense);
+/// let sim = sim.with_next_hop(NextHopMode::Compressed)?;
+/// assert_eq!(sim.next_hop_mode(), NextHopMode::Compressed);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NextHopMode {
+    /// Dense if it fits the memory cap, else compressed.
+    #[default]
+    Auto,
+    /// Force the dense [`NextHopTable`] (error if it cannot be built).
+    Dense,
+    /// Force the compressed shift-prediction cursor.
+    Compressed,
+    /// Force the word-level router fallback (Algorithm 1 / Theorem 2
+    /// engines per hop).
+    Fallback,
+}
+
+/// The resolved forwarding tier (see [`NextHopMode`]).
+#[derive(Debug)]
+enum FastPath {
+    Dense(NextHopTable),
+    Compressed(CompressedNextHop),
+    Fallback,
 }
 
 /// One in-flight message: plain-old-data, moved by value between shard
@@ -102,6 +160,9 @@ struct Flight {
     dst: u64,
     injected_at: u64,
     hops: u32,
+    /// Remaining distance to `dst` — the compressed next-hop cursor,
+    /// maintained only on the compressed tier (0 elsewhere).
+    dist: u32,
     /// Fault-free shortest distance, recorded at injection for
     /// observability (0 when unobserved).
     shortest: u32,
@@ -142,6 +203,170 @@ impl TickQueue {
 
     fn next_tick(&self) -> u64 {
         self.by_tick.keys().next().copied().unwrap_or(u64::MAX)
+    }
+}
+
+/// One `(arrival tick, flight)` ring entry, written by the producer
+/// before its release store of `tail` and read by the consumer after
+/// its acquire load of it.
+type RingSlot = UnsafeCell<MaybeUninit<(u64, Flight)>>;
+
+/// A fixed-capacity single-producer/single-consumer ring mailbox for
+/// one `(source shard, destination shard)` pair, with a mutexed sidecar
+/// for overflow.
+///
+/// The shard→worker assignment is static (`sid % workers`), so exactly
+/// one worker ever pushes to a given ring (the one owning the source
+/// shard) and exactly one ever drains it (the one owning the
+/// destination shard) — the SPSC invariant holds by construction and
+/// the fast path needs two atomics per transfer instead of a mutex per
+/// message. Entries pushed during window `W` carry arrival ticks
+/// `≥ W_end`, so whether a racing push lands in this window's drain or
+/// the next cannot change any batch at processing time (same argument
+/// as the previous mutexed mailboxes, now lock-free).
+struct SpscRing {
+    mask: usize,
+    slots: Box<[RingSlot]>,
+    /// Consumer position; only `drain_into` advances it.
+    head: AtomicUsize,
+    /// Producer position; only `push` advances it.
+    tail: AtomicUsize,
+    /// Set by the producer after a sidecar push so the consumer only
+    /// locks the mutex when something actually spilled.
+    spilled: AtomicBool,
+    overflow: Mutex<Vec<(u64, Flight)>>,
+}
+
+// SAFETY: the ring is shared across worker threads, but each slot is
+// written only by the single producer (before its release store of
+// `tail`) and read only by the single consumer (after its acquire load
+// of `tail`), so no slot is ever accessed concurrently.
+unsafe impl Send for SpscRing {}
+unsafe impl Sync for SpscRing {}
+
+impl SpscRing {
+    /// Ring capacity per mailbox: bounded so the `S × S` mailbox matrix
+    /// stays within a fixed memory budget at any shard count, and the
+    /// sidecar handles bursts beyond it.
+    fn capacity(shards: usize) -> usize {
+        ((1usize << 20) / (shards * shards))
+            .clamp(16, 256)
+            .next_power_of_two()
+    }
+
+    fn new(shards: usize) -> Self {
+        let capacity = Self::capacity(shards);
+        Self {
+            mask: capacity - 1,
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            spilled: AtomicBool::new(false),
+            overflow: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Producer side: deposits one `(arrival tick, flight)` entry.
+    fn push(&self, entry: (u64, Flight)) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) <= self.mask {
+            // SAFETY: `tail - head <= mask` means the slot is free, and
+            // only this producer writes slots at `tail`.
+            unsafe { (*self.slots[tail & self.mask].get()).write(entry) };
+            self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        } else {
+            self.overflow.lock().expect("mailbox sidecar").push(entry);
+            self.spilled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Consumer side: moves every deposited entry into `queue`.
+    fn drain_into(&self, queue: &mut TickQueue) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut i = head;
+        while i != tail {
+            // SAFETY: entries in `head..tail` were fully written before
+            // the producer's release store of `tail`, and only this
+            // consumer reads them.
+            let (t, f) = unsafe { (*self.slots[i & self.mask].get()).assume_init_read() };
+            queue.push(t, f);
+            i = i.wrapping_add(1);
+        }
+        self.head.store(tail, Ordering::Release);
+        if self.spilled.swap(false, Ordering::AcqRel) {
+            let mut sidecar = self.overflow.lock().expect("mailbox sidecar");
+            for (t, f) in sidecar.drain(..) {
+                queue.push(t, f);
+            }
+        }
+    }
+}
+
+/// Index of the first element of `v[start..]` that breaks the
+/// non-decreasing id run starting at `start`.
+fn run_end(v: &[Flight], start: usize) -> usize {
+    let mut end = start + 1;
+    while end < v.len() && v[end].id >= v[end - 1].id {
+        end += 1;
+    }
+    end
+}
+
+/// One bottom-up pass: merges adjacent pairs of non-decreasing id runs
+/// of `input` into `output`; returns the number of runs found.
+fn merge_pass(input: &[Flight], output: &mut Vec<Flight>) -> usize {
+    output.clear();
+    output.reserve(input.len());
+    let mut runs = 0;
+    let mut i = 0;
+    while i < input.len() {
+        let mid = run_end(input, i);
+        runs += 1;
+        if mid == input.len() {
+            output.extend_from_slice(&input[i..]);
+            break;
+        }
+        let end = run_end(input, mid);
+        runs += 1;
+        let (mut a, mut b) = (i, mid);
+        while a < mid && b < end {
+            if input[a].id <= input[b].id {
+                output.push(input[a]);
+                a += 1;
+            } else {
+                output.push(input[b]);
+                b += 1;
+            }
+        }
+        output.extend_from_slice(&input[a..mid]);
+        output.extend_from_slice(&input[b..end]);
+        i = end;
+    }
+    runs
+}
+
+/// Restores a tick batch to canonical message-id order.
+///
+/// Batches are concatenations of already-sorted runs — every enqueue
+/// source (injection seeding, a local forward loop, one mailbox drain
+/// from one sender tick) appends ids in increasing order — so instead
+/// of a full `sort_unstable` per tick, this is a natural-run merge:
+/// one `O(B)` scan when the batch is already sorted (the common case
+/// at low shard counts), `O(B log R)` for `R` runs otherwise.
+fn sort_by_id(batch: &mut Vec<Flight>, scratch: &mut Vec<Flight>) {
+    if batch.len() <= 1 || run_end(batch, 0) == batch.len() {
+        return;
+    }
+    loop {
+        let runs = merge_pass(batch, scratch);
+        if runs <= 1 {
+            return;
+        }
+        std::mem::swap(batch, scratch);
     }
 }
 
@@ -264,6 +489,9 @@ struct ShardState {
     events: Vec<NetEvent>,
     queue: TickQueue,
     scratch: RoutingScratch,
+    cscratch: CompressedScratch,
+    /// Spare buffer for the natural-run batch merge ([`sort_by_id`]).
+    merge: Vec<Flight>,
     route: RoutePath,
 }
 
@@ -323,20 +551,113 @@ impl ShardedSimulation {
             shards,
             ranks,
             directed,
-            table: None,
+            path: FastPath::Fallback,
             table_cap: DEFAULT_TABLE_MEMORY_CAP,
             faults: HashSet::new(),
         };
-        sim.table = NextHopTable::build(space, directed, config.threads, sim.table_cap);
+        sim.path = sim.resolve_auto();
         Ok(sim)
     }
 
-    /// Rebuilds the fast path under a different memory cap (`0` forces
-    /// the engine-fallback path; tests use this to cover both).
+    /// Resolves [`NextHopMode::Auto`] under the current memory cap:
+    /// dense when it fits, else the compressed cursor (which exists for
+    /// every space this engine accepts), fallback only if the `2d`
+    /// ports do not fit the `u8` encoding.
+    fn resolve_auto(&self) -> FastPath {
+        if let Some(table) = NextHopTable::build(
+            self.space,
+            self.directed,
+            self.config.threads,
+            self.table_cap,
+        ) {
+            return FastPath::Dense(table);
+        }
+        match CompressedNextHop::new(self.space, self.directed) {
+            Some(engine) => FastPath::Compressed(engine),
+            None => FastPath::Fallback,
+        }
+    }
+
+    /// Rebuilds the auto-selected fast path under a different dense-
+    /// table memory cap: dense when the table fits `bytes`, otherwise
+    /// the compressed cursor. (Before the compressed tier existed the
+    /// only alternative was the word-level fallback; use
+    /// [`ShardedSimulation::with_next_hop`] to force a specific tier.)
     pub fn with_table_memory_cap(mut self, bytes: usize) -> Self {
         self.table_cap = bytes;
-        self.table = NextHopTable::build(self.space, self.directed, self.config.threads, bytes);
+        self.path = self.resolve_auto();
         self
+    }
+
+    /// Forces a specific forwarding tier (see [`NextHopMode`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Unsupported`] if the requested tier cannot
+    /// be built for this space — e.g. [`NextHopMode::Dense`] on a space
+    /// whose `d^{2k}` port array is unbuildable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use debruijn_core::DeBruijn;
+    /// use debruijn_net::shard::{NextHopMode, ShardedSimulation};
+    /// use debruijn_net::{workload, SimConfig};
+    ///
+    /// let space = DeBruijn::new(2, 6)?;
+    /// let traffic = workload::uniform_burst(space, 100, 7);
+    /// let dense = ShardedSimulation::new(space, SimConfig::default(), 2)?;
+    /// let compressed = ShardedSimulation::new(space, SimConfig::default(), 2)?
+    ///     .with_next_hop(NextHopMode::Compressed)?;
+    /// // The tiers are byte-equivalent: same ports, same report.
+    /// assert_eq!(dense.run(&traffic), compressed.run(&traffic));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn with_next_hop(mut self, mode: NextHopMode) -> Result<Self, NetError> {
+        self.path = match mode {
+            NextHopMode::Auto => self.resolve_auto(),
+            NextHopMode::Dense => {
+                match NextHopTable::build(
+                    self.space,
+                    self.directed,
+                    self.config.threads,
+                    usize::MAX,
+                ) {
+                    Some(table) => FastPath::Dense(table),
+                    None => {
+                        return Err(NetError::Unsupported {
+                            what: format!(
+                                "dense next-hop table is unbuildable for DG({},{})",
+                                self.space.d(),
+                                self.space.k()
+                            ),
+                        })
+                    }
+                }
+            }
+            NextHopMode::Compressed => match CompressedNextHop::new(self.space, self.directed) {
+                Some(engine) => FastPath::Compressed(engine),
+                None => {
+                    return Err(NetError::Unsupported {
+                        what: format!(
+                            "compressed next-hop needs 2d ports to fit a byte (d = {})",
+                            self.space.d()
+                        ),
+                    })
+                }
+            },
+            NextHopMode::Fallback => FastPath::Fallback,
+        };
+        Ok(self)
+    }
+
+    /// The resolved forwarding tier (never [`NextHopMode::Auto`]).
+    pub fn next_hop_mode(&self) -> NextHopMode {
+        match self.path {
+            FastPath::Dense(_) => NextHopMode::Dense,
+            FastPath::Compressed(_) => NextHopMode::Compressed,
+            FastPath::Fallback => NextHopMode::Fallback,
+        }
     }
 
     /// Declares the given nodes faulty (messages touching them drop).
@@ -369,10 +690,11 @@ impl ShardedSimulation {
         self.shards
     }
 
-    /// Whether the `O(1)` next-hop table is active (vs the word-level
-    /// engine fallback).
+    /// Whether the `O(1)` dense next-hop table is active (vs the
+    /// compressed cursor or the word-level engine fallback; see
+    /// [`ShardedSimulation::next_hop_mode`] for the full picture).
     pub fn uses_table(&self) -> bool {
-        self.table.is_some()
+        matches!(self.path, FastPath::Dense(_))
     }
 
     /// The shard owning `node`: contiguous rank ranges, shard `s`
@@ -425,16 +747,27 @@ impl ShardedSimulation {
         );
         let s = self.shards;
 
+        // Flat link arrays when the whole space's slots fit a fixed
+        // budget (the fast-path tiers guarantee enumerable ranks);
+        // hash/tree maps beyond that or on the word-router fallback.
+        const DENSE_LINK_MEMORY_CAP: u64 = 1 << 30;
+        let ports = if self.directed {
+            usize::from(self.space.d())
+        } else {
+            2 * usize::from(self.space.d())
+        };
+        let dense_links = !matches!(self.path, FastPath::Fallback)
+            && self
+                .ranks
+                .order()
+                .checked_mul(ports as u64 * 16)
+                .is_some_and(|bytes| bytes <= DENSE_LINK_MEMORY_CAP);
+
         let mut states: Vec<ShardState> = (0..s)
             .map(|sid| {
                 let base = self.shard_base(sid);
                 let owned = (self.shard_base(sid + 1) - base) as usize;
-                let links = if self.table.is_some() {
-                    let ports = if self.directed {
-                        usize::from(self.space.d())
-                    } else {
-                        2 * usize::from(self.space.d())
-                    };
+                let links = if dense_links {
                     LinkState::Dense {
                         base,
                         ports,
@@ -455,6 +788,8 @@ impl ShardedSimulation {
                     events: Vec::new(),
                     queue: TickQueue::default(),
                     scratch: RoutingScratch::new(),
+                    cscratch: CompressedScratch::new(),
+                    merge: Vec::new(),
                     route: RoutePath::empty(),
                 }
             })
@@ -477,6 +812,7 @@ impl ShardedSimulation {
                     dst,
                     injected_at: inj.time,
                     hops: 0,
+                    dist: 0,
                     shortest: 0,
                 },
             );
@@ -493,9 +829,15 @@ impl ShardedSimulation {
             }
             per.into_iter().map(Mutex::new).collect()
         };
-        let mailboxes: Vec<Mutex<Vec<(u64, Flight)>>> =
-            (0..s * s).map(|_| Mutex::new(Vec::new())).collect();
+        let mailboxes: Vec<SpscRing> = (0..s * s).map(|_| SpscRing::new(s)).collect();
         let barrier = debruijn_parallel::TickBarrier::new(workers);
+
+        // The conservative window: a message forwarded at tick `t`
+        // arrives at `t + lookahead` at the earliest, so every event in
+        // `[T, T + lookahead)` is processable without coordination —
+        // one barrier crossing per window instead of per tick.
+        // (`new` validated lookahead >= 1.)
+        let lookahead = self.config.link.service + self.config.link.latency;
 
         debruijn_parallel::run_workers(workers, |w| {
             let mut states = worker_states[w].lock().expect("worker owns its shards");
@@ -504,27 +846,28 @@ impl ShardedSimulation {
                 barrier.sync_min(w, local.unwrap_or(u64::MAX))
             };
             while tick != u64::MAX {
+                let window_end = tick.saturating_add(lookahead);
                 let mut local_min = u64::MAX;
                 for st in states.iter_mut() {
-                    // Drain inboxes in fixed sender order. Entries
-                    // always carry future ticks, so whether a racing
-                    // sender's push lands in this drain or the next
-                    // cannot change any tick batch at processing time.
+                    // Drain inboxes once per window, in fixed sender
+                    // order. Entries always carry ticks at or beyond
+                    // some window end, so whether a racing sender's
+                    // push lands in this drain or the next cannot
+                    // change any tick batch at processing time — and
+                    // no arrival can land *inside* the current window,
+                    // so one drain up front covers all its ticks.
                     for src in 0..s {
-                        let mut inbox = mailboxes[src * s + st.sid]
-                            .lock()
-                            .expect("mailbox lock poisoned");
-                        for (t, f) in inbox.drain(..) {
-                            st.queue.push(t, f);
-                        }
+                        mailboxes[src * s + st.sid].drain_into(&mut st.queue);
                     }
-                    if let Some(mut batch) = st.queue.take(tick) {
+                    while st.queue.next_tick() < window_end {
+                        let now = st.queue.next_tick();
+                        let mut batch = st.queue.take(now).expect("next_tick is occupied");
                         // Canonical processing order: message id. This
                         // makes link contention independent of how the
                         // batch was assembled, hence of S and threads.
-                        batch.sort_unstable_by_key(|f| f.id);
+                        sort_by_id(&mut batch, &mut st.merge);
                         for flight in batch.drain(..) {
-                            self.step(st, tick, flight, &mailboxes, &mut local_min, observed);
+                            self.step(st, now, flight, &mailboxes, &mut local_min, observed);
                         }
                         st.queue.recycle(batch);
                     }
@@ -591,7 +934,7 @@ impl ShardedSimulation {
         st: &mut ShardState,
         now: u64,
         flight: Flight,
-        mailboxes: &[Mutex<Vec<(u64, Flight)>>],
+        mailboxes: &[SpscRing],
         local_min: &mut u64,
         observed: bool,
     ) {
@@ -602,8 +945,16 @@ impl ShardedSimulation {
                 self.drop_flight(st, now, &flight, DropReason::FaultySource, observed);
                 return;
             }
+            if let FastPath::Compressed(engine) = &self.path {
+                // Arm the per-flight cursor: one distance solve at
+                // injection, then O(1)–O(d) per hop.
+                flight.dist = engine.distance(flight.at, flight.dst, &mut st.cscratch);
+            }
             if observed {
-                flight.shortest = self.shortest(flight.at, flight.dst);
+                flight.shortest = match &self.path {
+                    FastPath::Compressed(_) => flight.dist,
+                    _ => self.shortest(flight.at, flight.dst),
+                };
                 st.events.push(NetEvent::Inject {
                     time: now,
                     message: flight.id as usize,
@@ -646,9 +997,14 @@ impl ShardedSimulation {
             return;
         }
 
-        let next = match &self.table {
-            Some(table) => table.apply(flight.at, table.next_hop(flight.at, flight.dst)),
-            None => self.fallback_next(st, now, &flight, observed),
+        let next = match &self.path {
+            FastPath::Dense(table) => table.apply(flight.at, table.next_hop(flight.at, flight.dst)),
+            FastPath::Compressed(engine) => {
+                let port = engine.advance(flight.at, flight.dst, flight.dist, &mut st.cscratch);
+                flight.dist -= 1;
+                engine.apply(flight.at, port)
+            }
+            FastPath::Fallback => self.fallback_next(st, now, &flight, observed),
         };
         let service = self.config.link.service;
         let depart = st.links.book(&self.ranks, flight.at, next, now, service);
@@ -680,10 +1036,7 @@ impl ShardedSimulation {
         if dshard == st.sid {
             st.queue.push(arrive, forwarded);
         } else {
-            mailboxes[st.sid * self.shards + dshard]
-                .lock()
-                .expect("mailbox lock poisoned")
-                .push((arrive, forwarded));
+            mailboxes[st.sid * self.shards + dshard].push((arrive, forwarded));
         }
     }
 
@@ -782,11 +1135,13 @@ impl ShardedSimulation {
     }
 
     /// Fault-free shortest distance under the configured model, via the
-    /// table when present (an `O(k)` walk) or the distance engines.
+    /// dense table when present (an `O(k)` walk) or the distance
+    /// engines. (The compressed tier answers this from its own cursor
+    /// initializer before reaching here.)
     fn shortest(&self, src: u64, dst: u64) -> u32 {
-        match &self.table {
-            Some(table) => table.walk_distance(src, dst) as u32,
-            None => {
+        match &self.path {
+            FastPath::Dense(table) => table.walk_distance(src, dst) as u32,
+            FastPath::Compressed(_) | FastPath::Fallback => {
                 let x = self.word(src);
                 let y = self.word(dst);
                 let dist = if self.directed {
@@ -840,16 +1195,16 @@ mod tests {
         DeBruijn::new(d, k).expect("valid parameters")
     }
 
-    fn run_grid(space: DeBruijn, config: SimConfig, traffic: &[Injection], cap: Option<usize>) {
+    fn run_grid(space: DeBruijn, config: SimConfig, traffic: &[Injection], mode: NextHopMode) {
         let mut baseline: Option<(SimReport, Vec<u8>, InMemoryRecorder)> = None;
         for shards in [1usize, 2, 4] {
             for threads in [1usize, 2, 4] {
                 let mut cfg = config;
                 cfg.threads = threads;
-                let mut sim = ShardedSimulation::new(space, cfg, shards).expect("supported config");
-                if let Some(bytes) = cap {
-                    sim = sim.with_table_memory_cap(bytes);
-                }
+                let sim = ShardedSimulation::new(space, cfg, shards)
+                    .expect("supported config")
+                    .with_next_hop(mode)
+                    .expect("tier available");
                 let mut jsonl = JsonlRecorder::new(Vec::new());
                 let mut metrics = InMemoryRecorder::new();
                 let mut fan = crate::record::FanoutRecorder::new();
@@ -877,11 +1232,42 @@ mod tests {
     fn report_trace_and_metrics_identical_across_shards_and_threads() {
         let space = space(2, 7);
         let traffic = workload::uniform_random(space, 400, 11);
-        run_grid(space, SimConfig::default(), &traffic, None);
+        run_grid(space, SimConfig::default(), &traffic, NextHopMode::Auto);
     }
 
-    /// Same contract on the engine-fallback path (table disabled) with
-    /// a wildcard-heavy router and the stateful round-robin policy.
+    /// Same contract on the compressed tier — and because the
+    /// compressed cursor reproduces the dense table's ports exactly,
+    /// the compressed grid's baseline equals the dense run bit for bit.
+    #[test]
+    fn compressed_tier_is_deterministic_and_byte_equal_to_dense() {
+        let space = space(2, 7);
+        let traffic = workload::uniform_random(space, 400, 11);
+        for router in [RouterKind::Algorithm2, RouterKind::Algorithm1] {
+            let config = SimConfig {
+                router,
+                ..SimConfig::default()
+            };
+            run_grid(space, config, &traffic, NextHopMode::Compressed);
+
+            let run = |mode: NextHopMode, shards: usize, threads: usize| {
+                let cfg = SimConfig { threads, ..config };
+                let sim = ShardedSimulation::new(space, cfg, shards)
+                    .expect("supported config")
+                    .with_next_hop(mode)
+                    .expect("tier available");
+                let mut jsonl = JsonlRecorder::new(Vec::new());
+                let report = sim.run_recorded(&traffic, &mut jsonl);
+                (report, jsonl.finish().expect("in-memory trace"))
+            };
+            let dense = run(NextHopMode::Dense, 1, 1);
+            let compressed = run(NextHopMode::Compressed, 4, 4);
+            assert_eq!(dense, compressed, "router {router:?}");
+        }
+    }
+
+    /// Same contract on the engine-fallback path (forced explicitly)
+    /// with a wildcard-heavy router and the stateful round-robin
+    /// policy.
     #[test]
     fn fallback_path_is_deterministic_too() {
         let space = space(3, 4);
@@ -890,7 +1276,129 @@ mod tests {
             policy: WildcardPolicy::RoundRobin,
             ..SimConfig::default()
         };
-        run_grid(space, config, &traffic, Some(0));
+        run_grid(space, config, &traffic, NextHopMode::Fallback);
+    }
+
+    /// Auto degrades dense → compressed (not fallback) above the
+    /// memory cap, and the zipf burst is deterministic across the whole
+    /// shard/thread grid on that tier.
+    #[test]
+    fn auto_selects_compressed_above_the_cap_and_zipf_is_deterministic() {
+        let space = space(2, 7);
+        let sim = ShardedSimulation::new(space, SimConfig::default(), 2)
+            .expect("supported config")
+            .with_table_memory_cap(0);
+        assert_eq!(sim.next_hop_mode(), NextHopMode::Compressed);
+
+        let traffic = workload::zipf(space, 400, 1.1, 7);
+        run_grid(space, SimConfig::default(), &traffic, NextHopMode::Auto);
+        run_grid(
+            space,
+            SimConfig::default(),
+            &traffic,
+            NextHopMode::Compressed,
+        );
+    }
+
+    /// The acceptance-criteria run: DG(2,20) — a million nodes — stays
+    /// on the compressed fast path (no word-router fallback) and its
+    /// report is identical across `{1,4}` shards × `{1,4}` threads.
+    #[test]
+    fn dg_2_20_runs_compressed_with_shard_invariant_reports() {
+        let space = space(2, 20);
+        let traffic = workload::uniform_random(space, 500, 42);
+        let mut baseline: Option<SimReport> = None;
+        for shards in [1usize, 4] {
+            for threads in [1usize, 4] {
+                let config = SimConfig {
+                    threads,
+                    ..SimConfig::default()
+                };
+                let sim = ShardedSimulation::new(space, config, shards).expect("supported config");
+                assert_eq!(
+                    sim.next_hop_mode(),
+                    NextHopMode::Compressed,
+                    "a million nodes must not fall back to the word routers"
+                );
+                let report = sim.run(&traffic);
+                assert_eq!(report.delivered, 500);
+                assert!(report.mean_hops() <= 20.0, "within the diameter");
+                match &baseline {
+                    None => baseline = Some(report),
+                    Some(b) => assert_eq!(&report, b, "S={shards} T={threads}"),
+                }
+            }
+        }
+    }
+
+    /// The SPSC mailbox delivers every entry exactly once, in deposit
+    /// order, across ring wrap-arounds and sidecar overflow.
+    #[test]
+    fn spsc_ring_preserves_entries_through_overflow() {
+        let ring = SpscRing::new(64); // small capacity at high shard count
+        let capacity = SpscRing::capacity(64);
+        let flight = |id: u32| Flight {
+            id,
+            at: 0,
+            dst: 1,
+            injected_at: 0,
+            hops: 0,
+            dist: 0,
+            shortest: 0,
+        };
+        let total = 3 * capacity + 7; // forces wrap + sidecar
+        let mut queue = TickQueue::default();
+        for round in 0..3 {
+            for i in 0..total as u32 {
+                ring.push((u64::from(i), flight(i)));
+            }
+            for _ in 0..capacity {
+                // Interleave a partial drain cycle too.
+            }
+            ring.drain_into(&mut queue);
+            let mut seen = 0;
+            for t in 0..total as u64 {
+                let batch = queue.take(t).expect("entry for every tick");
+                assert_eq!(batch.len(), 1);
+                assert_eq!(batch[0].id as u64, t);
+                seen += 1;
+                queue.recycle(batch);
+            }
+            assert_eq!(seen, total, "round {round}");
+        }
+    }
+
+    /// The natural-run merge equals a full sort on adversarial run
+    /// layouts (sorted, reversed runs, interleaved, singleton).
+    #[test]
+    fn sort_by_id_matches_full_sort() {
+        let flight = |id: u32| Flight {
+            id,
+            at: 0,
+            dst: 0,
+            injected_at: 0,
+            hops: 0,
+            dist: 0,
+            shortest: 0,
+        };
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![3],
+            (0..50).collect(),
+            (0..50).rev().collect(),
+            vec![0, 2, 4, 6, 1, 3, 5, 7],
+            vec![5, 6, 7, 0, 1, 2, 8, 9, 3, 4],
+            vec![1, 1, 0, 2, 2, 0],
+        ];
+        for ids in cases {
+            let mut batch: Vec<Flight> = ids.iter().map(|&i| flight(i)).collect();
+            let mut want = ids.clone();
+            want.sort_unstable();
+            let mut scratch = Vec::new();
+            sort_by_id(&mut batch, &mut scratch);
+            let got: Vec<u32> = batch.iter().map(|f| f.id).collect();
+            assert_eq!(got, want, "input {ids:?}");
+        }
     }
 
     /// The sharded engine is a faithful optimal-routing simulator: every
@@ -931,12 +1439,15 @@ mod tests {
                 .or_insert(0) += 1;
         }
         assert_eq!(report.hop_histogram, expected);
-        // And the fallback path agrees with the table path.
-        let fallback = ShardedSimulation::new(space, config, 3)
-            .expect("supported config")
-            .with_table_memory_cap(0)
-            .run(&traffic);
-        assert_eq!(fallback.hop_histogram, expected);
+        // And the compressed and fallback tiers agree with the table.
+        for mode in [NextHopMode::Compressed, NextHopMode::Fallback] {
+            let tier = ShardedSimulation::new(space, config, 3)
+                .expect("supported config")
+                .with_next_hop(mode)
+                .expect("tier available")
+                .run(&traffic);
+            assert_eq!(tier.hop_histogram, expected, "{mode:?}");
+        }
     }
 
     /// Faulty nodes drop traffic at injection and in transit; TTL expiry

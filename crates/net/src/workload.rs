@@ -146,6 +146,72 @@ pub fn hotspot(
         .collect()
 }
 
+/// Zipf-skewed burst traffic: all `n` messages are injected at tick 0,
+/// destinations drawn with probability proportional to
+/// `1 / (rank + 1)^exponent`, sources uniform among the other nodes.
+///
+/// `exponent = 0` degenerates to [`uniform_burst`]-style uniformity;
+/// `exponent ≈ 1` is the classic web/content skew. Because ranks are
+/// hot in *numeric* order, the hottest destinations are contiguous —
+/// they pile into the lowest shard of the sharded simulator, which is
+/// exactly the mailbox/cache skew this workload exists to exercise
+/// (see `docs/SCALING.md`). Deterministic for a fixed seed via
+/// [`SplitMix64`]; `O(d^k)` memory for the cumulative weight table.
+///
+/// # Panics
+///
+/// Panics if the space has fewer than two vertices or is too large to
+/// enumerate, or if `exponent` is negative or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use debruijn_core::DeBruijn;
+/// use debruijn_net::workload;
+///
+/// let space = DeBruijn::new(2, 6)?;
+/// let traffic = workload::zipf(space, 1000, 1.0, 7);
+/// assert_eq!(traffic.len(), 1000);
+/// // Rank 0 is the hottest destination by construction.
+/// let hot = traffic
+///     .iter()
+///     .filter(|inj| inj.destination.rank() == 0)
+///     .count();
+/// assert!(hot > 1000 / 64, "skewed well above the uniform share");
+/// # Ok::<(), debruijn_core::Error>(())
+/// ```
+pub fn zipf(space: DeBruijn, n: usize, exponent: f64, seed: u64) -> Vec<Injection> {
+    assert!(
+        exponent >= 0.0 && exponent.is_finite(),
+        "exponent must be finite and non-negative"
+    );
+    let order = order(space);
+    assert!(order >= 2, "need at least two vertices");
+    // Cumulative weights once, then one binary search per draw.
+    let mut cumulative = Vec::with_capacity(order);
+    let mut total = 0.0f64;
+    for rank in 0..order {
+        total += 1.0 / ((rank + 1) as f64).powf(exponent);
+        cumulative.push(total);
+    }
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let u = rng.next_f64() * total;
+            let dst = cumulative.partition_point(|&c| c <= u).min(order - 1);
+            let mut src = rng.below_usize(order - 1);
+            if src >= dst {
+                src += 1;
+            }
+            Injection {
+                time: 0,
+                source: word_at(space, src),
+                destination: word_at(space, dst),
+            }
+        })
+        .collect()
+}
+
 /// Every ordered pair `(x, y)` with `x != y`, all injected at tick 0.
 /// Used to measure exact hop-count averages (experiment E6).
 ///
@@ -235,6 +301,37 @@ mod tests {
         let hot = sp.word_from_rank(0).unwrap();
         let result = std::panic::catch_unwind(|| hotspot(sp, 10, &hot, 1.5, 0));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_shaped_like_a_power_law() {
+        let sp = space(2, 5);
+        let a = zipf(sp, 20_000, 1.0, 11);
+        assert_eq!(a, zipf(sp, 20_000, 1.0, 11));
+        assert_ne!(a, zipf(sp, 20_000, 1.0, 12));
+        for inj in &a {
+            assert_ne!(inj.source, inj.destination);
+            assert_eq!(inj.time, 0, "zipf is a burst workload");
+        }
+        // Frequency of rank r should scale like 1/(r+1): rank 0 roughly
+        // twice as popular as rank 1, four times rank 3. Wide tolerances
+        // keep the check statistical rather than exact.
+        let count = |r: u128| a.iter().filter(|i| i.destination.rank() == r).count() as f64;
+        let (c0, c1, c3) = (count(0), count(1), count(3));
+        assert!(c0 / c1 > 1.5 && c0 / c1 < 2.5, "c0/c1 = {}", c0 / c1);
+        assert!(c0 / c3 > 3.0 && c0 / c3 < 5.0, "c0/c3 = {}", c0 / c3);
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform_and_bad_exponents_panic() {
+        let sp = space(2, 4);
+        let t = zipf(sp, 16_000, 0.0, 3);
+        for rank in 0..16u128 {
+            let c = t.iter().filter(|i| i.destination.rank() == rank).count();
+            assert!((700..1300).contains(&c), "rank {rank} drew {c} of 16000");
+        }
+        assert!(std::panic::catch_unwind(|| zipf(sp, 10, -1.0, 0)).is_err());
+        assert!(std::panic::catch_unwind(|| zipf(sp, 10, f64::NAN, 0)).is_err());
     }
 
     #[test]

@@ -203,11 +203,21 @@ where
 /// and every worker learns the global minimum before anyone proceeds.
 ///
 /// This is the conservative-simulation barrier: with a known lookahead
-/// (for the unit-delay de Bruijn simulator, 1 tick), a worker may
-/// process everything at the agreed tick without coordination, then
+/// `L = service + latency`, a worker may process every event in the
+/// window `[T, T + L)` without coordination, then
 /// [`TickBarrier::sync_min`] both separates the phases and elects the
 /// next tick. `u64::MAX` means "nothing left"; when every worker says
 /// so, the returned minimum signals termination.
+///
+/// The implementation is a spinning min-reduction with per-worker
+/// generation counters and parity-indexed value slots — no mutex, no
+/// condvar, no syscall on the fast path. A `std::sync::Barrier` round
+/// costs two mutex/condvar waits (microseconds when workers park);
+/// simulator windows are often shorter than that, which is how the
+/// PR 5 engine lost its parallelism (`speedup_vs_1_thread = 1.0` in
+/// BENCH_results.json — see docs/SCALING.md). Spins yield to the
+/// scheduler after a short busy phase, so oversubscribed boxes (more
+/// workers than cores) still make progress.
 ///
 /// # Examples
 ///
@@ -222,46 +232,82 @@ where
 /// });
 /// ```
 pub struct TickBarrier {
-    barrier: std::sync::Barrier,
-    slots: Vec<std::sync::atomic::AtomicU64>,
+    /// `gens[w]`: rounds worker `w` has completed publishing. Padded to
+    /// a cache line so spinning on one worker's counter does not
+    /// false-share with its neighbors.
+    gens: Vec<CachePadded<std::sync::atomic::AtomicU64>>,
+    /// `vals[r & 1][w]`: worker `w`'s published tick for round `r`.
+    /// Two parity slots suffice: a worker can only start publishing
+    /// round `r + 2` after every worker finished *reading* round `r`
+    /// (it must first observe everyone at generation `r + 1`).
+    vals: [Vec<CachePadded<std::sync::atomic::AtomicU64>>; 2],
 }
+
+/// Pads a value to its own cache line(s) to prevent false sharing
+/// between per-worker atomics. 128 bytes covers the adjacent-line
+/// prefetcher on common x86 parts.
+#[repr(align(128))]
+struct CachePadded<T>(T);
 
 impl TickBarrier {
     /// A barrier for `workers` participants (at least 1).
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
+        let column = |value: u64| {
+            (0..workers)
+                .map(|_| CachePadded(std::sync::atomic::AtomicU64::new(value)))
+                .collect::<Vec<_>>()
+        };
         Self {
-            barrier: std::sync::Barrier::new(workers),
-            slots: (0..workers)
-                .map(|_| std::sync::atomic::AtomicU64::new(u64::MAX))
-                .collect(),
+            gens: column(0),
+            vals: [column(u64::MAX), column(u64::MAX)],
         }
     }
 
     /// Number of participating workers.
     pub fn workers(&self) -> usize {
-        self.slots.len()
+        self.gens.len()
     }
 
     /// Publishes this worker's next-needed tick and returns the minimum
-    /// over all workers. Blocks until every worker has called in; all
-    /// workers observe the same minimum for the same round.
+    /// over all workers. Blocks (spinning, then yielding) until every
+    /// worker has called in; all workers observe the same minimum for
+    /// the same round.
     ///
-    /// Internally two waits: one so every slot is published before
-    /// anyone reads, one so every worker has read before anyone writes
-    /// the next round's value. The barrier's own synchronization orders
-    /// the relaxed slot accesses.
+    /// The release store of the generation counter orders each worker's
+    /// pre-call writes before every other worker's post-call reads — the
+    /// same happens-before edge a `std::sync::Barrier` provides — so
+    /// callers may hand off arbitrary data (e.g. mailbox contents)
+    /// across the rendezvous.
     pub fn sync_min(&self, worker: usize, local: u64) -> u64 {
         use std::sync::atomic::Ordering;
-        self.slots[worker].store(local, Ordering::Relaxed);
-        self.barrier.wait();
-        let min = self
-            .slots
-            .iter()
-            .map(|s| s.load(Ordering::Relaxed))
-            .min()
-            .expect("at least one worker");
-        self.barrier.wait();
+        if self.gens.len() == 1 {
+            return local;
+        }
+        let round = self.gens[worker].0.load(Ordering::Relaxed) + 1;
+        let slot = &self.vals[(round & 1) as usize];
+        slot[worker].0.store(local, Ordering::Relaxed);
+        self.gens[worker].0.store(round, Ordering::Release);
+        let mut min = local;
+        for (peer, gen) in self.gens.iter().enumerate() {
+            if peer == worker {
+                continue;
+            }
+            let mut spins = 0u32;
+            while gen.0.load(Ordering::Acquire) < round {
+                if spins < 128 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            // The acquire above synchronized with the peer's release of
+            // generation >= round, which happens after its round-value
+            // store — a relaxed read suffices (and a peer one round
+            // ahead writes the *other* parity slot, never this one).
+            min = min.min(slot[peer].0.load(Ordering::Relaxed));
+        }
         min
     }
 }

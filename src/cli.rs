@@ -19,8 +19,8 @@ use debruijn_net::metrics::{
 use debruijn_net::record::{FanoutRecorder, InMemoryRecorder, JsonlRecorder};
 use debruijn_net::telemetry::{ChromeTraceRecorder, SnapshotRecorder};
 use debruijn_net::{
-    workload, NetEvent, Recorder, RouterKind, ShardedSimulation, SimConfig, Simulation,
-    WildcardPolicy,
+    workload, NetEvent, NextHopMode, Recorder, RouterKind, ShardedSimulation, SimConfig,
+    Simulation, WildcardPolicy,
 };
 
 use crate::trace::{self, TraceMetric};
@@ -92,7 +92,8 @@ pub enum Command {
     /// `dbr simulate <d> <k> [--messages N] [--router R] [--policy P] [--seed S]
     /// [--metrics] [--trace FILE] [--progress N] [--chrome-trace FILE]
     /// [--listen ADDR] [--metrics-out FILE] [--flight-recorder FILE]
-    /// [--flight-capacity N] [--faults W1,W2] [--ttl N]`
+    /// [--flight-capacity N] [--faults W1,W2] [--ttl N] [--next-hop T]
+    /// [--workload W]`
     Simulate {
         /// Digit radix.
         d: u8,
@@ -138,6 +139,10 @@ pub enum Command {
         /// Per-message hop budget (0 disables; exceeding it drops with
         /// reason `ttl`).
         ttl: usize,
+        /// Forwarding tier for the sharded engine (`--next-hop`).
+        next_hop: NextHopMode,
+        /// Traffic pattern (`--workload`).
+        workload: WorkloadKind,
     },
     /// `dbr serve <d> [--listen ADDR]` — standing route/distance query
     /// service with `/metrics`.
@@ -184,6 +189,45 @@ pub enum Command {
     },
     /// `dbr help`
     Help,
+}
+
+/// Traffic pattern selected by `dbr simulate --workload`.
+///
+/// `uniform` injects one message per tick ([`workload::uniform_random`]),
+/// `burst` injects them all at tick 0 ([`workload::uniform_burst`]), and
+/// `zipf:EXP` is a tick-0 burst whose destinations follow a power law
+/// with the given exponent ([`workload::zipf`]; `zipf` alone means
+/// exponent 1.0). All are deterministic for a fixed `--seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum WorkloadKind {
+    /// One uniform random message per tick (the default).
+    #[default]
+    Uniform,
+    /// All uniform random messages at tick 0.
+    Burst,
+    /// Zipf-skewed destinations, injected at tick 0.
+    Zipf(f64),
+}
+
+impl WorkloadKind {
+    /// Parses a `--workload` value: `uniform`, `burst`, `zipf`, or
+    /// `zipf:EXP`.
+    fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "uniform" => Ok(WorkloadKind::Uniform),
+            "burst" => Ok(WorkloadKind::Burst),
+            "zipf" => Ok(WorkloadKind::Zipf(1.0)),
+            other => match other.strip_prefix("zipf:") {
+                Some(exp) => match exp.parse::<f64>() {
+                    Ok(e) if e.is_finite() && e >= 0.0 => Ok(WorkloadKind::Zipf(e)),
+                    _ => Err(format!("bad zipf exponent '{exp}' (need finite >= 0)")),
+                },
+                None => Err(format!(
+                    "unknown workload '{other}' (uniform|burst|zipf[:EXP])"
+                )),
+            },
+        }
+    }
 }
 
 /// One `dbr trace` analysis over JSONL trace files.
@@ -268,6 +312,8 @@ USAGE:
                        [--chrome-trace FILE] [--listen ADDR]
                        [--metrics-out FILE] [--flight-recorder FILE]
                        [--flight-capacity N] [--faults W1,W2] [--ttl N]
+                       [--next-hop auto|dense|compressed|fallback]
+                       [--workload uniform|burst|zipf[:EXP]]
   dbr serve <d> [--listen ADDR]     HTTP route/distance query service
   dbr trace summary <file>          reconstruct the --metrics report
   dbr trace links <file> [--top N]  hottest links, utilization table
@@ -301,10 +347,18 @@ byte-identical to --threads 1. --route-cache N bounds the simulator's
 (source, destination) route cache (clock eviction, 0 disables).
 --shards S switches `simulate` to the sharded deterministic engine:
 nodes are split into S partitions stepped in parallel (--threads) with
-O(1) precomputed next-hop forwarding, and the report, trace, and
-metrics are identical for every shards/threads combination (only the
-optimal routers alg1/alg2/alg4 and drop-on-fault are supported; see
-docs/PERFORMANCE.md).
+O(1) next-hop forwarding, and the report, trace, and metrics are
+identical for every shards/threads combination (only the optimal
+routers alg1/alg2/alg4 and drop-on-fault are supported; see
+docs/SCALING.md). --next-hop picks the sharded engine's forwarding
+tier: auto (default) uses the dense precomputed table when it fits the
+memory cap and the O(1)-memory compressed shift-prediction cursor
+beyond it (so DG(2,20)'s million nodes simulate without a table);
+dense/compressed force a tier, fallback selects the word-level
+routers. dense and compressed produce byte-identical reports.
+--workload picks the traffic pattern: uniform (one message per tick,
+default), burst (all at tick 0), or zipf[:EXP] (tick-0 burst with
+power-law destination skew, default exponent 1.0).
 
 --metrics prints exact histograms (hops, stretch over D(X,Y), per-hop
 latency, queue wait/depth, end-to-end latency) and counters (wildcard
@@ -434,6 +488,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 "--flight-capacity",
                 "--faults",
                 "--ttl",
+                "--next-hop",
+                "--workload",
             ])?;
             let [d, k] = positional::<2>(&pos, "simulate <d> <k>")?;
             Ok(Command::Simulate {
@@ -505,6 +561,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map(|v| parse_num(v, "ttl"))
                     .transpose()?
                     .unwrap_or(0),
+                next_hop: match flags.value("--next-hop")? {
+                    None | Some("auto") => NextHopMode::Auto,
+                    Some("dense") => NextHopMode::Dense,
+                    Some("compressed") => NextHopMode::Compressed,
+                    Some("fallback") => NextHopMode::Fallback,
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown next-hop tier '{other}' (auto|dense|compressed|fallback)"
+                        ))
+                    }
+                },
+                workload: flags
+                    .value("--workload")?
+                    .map(WorkloadKind::parse)
+                    .transpose()?
+                    .unwrap_or_default(),
             })
         }
         "serve" => {
@@ -818,6 +890,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             flight_capacity,
             faults,
             ttl,
+            next_hop,
+            workload: workload_kind,
         } => {
             let space = space_of(*d, *k)?;
             let config = SimConfig {
@@ -848,14 +922,19 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             }
             let engine = match shards {
                 Some(s) => {
-                    let mut sim =
-                        ShardedSimulation::new(space, config, *s).map_err(|e| e.to_string())?;
+                    let mut sim = ShardedSimulation::new(space, config, *s)
+                        .map_err(|e| e.to_string())?
+                        .with_next_hop(*next_hop)
+                        .map_err(|e| e.to_string())?;
                     if let Some(words) = fault_words {
                         sim = sim.with_faults(words).map_err(|e| e.to_string())?;
                     }
                     SimEngine::Sharded(sim)
                 }
                 None => {
+                    if *next_hop != NextHopMode::Auto {
+                        return Err("--next-hop requires the sharded engine (--shards)".into());
+                    }
                     let mut sim = Simulation::new(space, config).map_err(|e| e.to_string())?;
                     if let Some(words) = fault_words {
                         sim = sim.with_faults(words).map_err(|e| e.to_string())?;
@@ -863,7 +942,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                     SimEngine::Classic(sim)
                 }
             };
-            let traffic = workload::uniform_random(space, *messages, *seed);
+            let traffic = match workload_kind {
+                WorkloadKind::Uniform => workload::uniform_random(space, *messages, *seed),
+                WorkloadKind::Burst => workload::uniform_burst(space, *messages, *seed),
+                WorkloadKind::Zipf(exp) => workload::zipf(space, *messages, *exp, *seed),
+            };
 
             // One registry backs both exposure paths: the HTTP scrape
             // server (--listen) and the periodic file snapshot
@@ -1577,6 +1660,54 @@ mod tests {
             let got = run(&parse_line(&format!("{base} {extra}")).unwrap()).unwrap();
             assert_eq!(want, got, "{extra}");
         }
+    }
+
+    #[test]
+    fn simulate_next_hop_and_workload_flags_work_end_to_end() {
+        // Parsing: tiers and workloads round-trip, junk is rejected.
+        assert!(matches!(
+            parse_line("simulate 2 6 --shards 2 --next-hop compressed --workload zipf:1.5")
+                .unwrap(),
+            Command::Simulate {
+                next_hop: NextHopMode::Compressed,
+                workload: WorkloadKind::Zipf(exp),
+                ..
+            } if exp == 1.5
+        ));
+        assert!(matches!(
+            parse_line("simulate 2 6 --workload zipf").unwrap(),
+            Command::Simulate {
+                next_hop: NextHopMode::Auto,
+                workload: WorkloadKind::Zipf(exp),
+                ..
+            } if exp == 1.0
+        ));
+        assert!(matches!(
+            parse_line("simulate 2 6 --workload burst").unwrap(),
+            Command::Simulate {
+                workload: WorkloadKind::Burst,
+                ..
+            }
+        ));
+        assert!(parse_line("simulate 2 6 --next-hop turbo").is_err());
+        assert!(parse_line("simulate 2 6 --workload zipf:-1").is_err());
+        assert!(parse_line("simulate 2 6 --workload poisson").is_err());
+        // --next-hop is a sharded-engine switch.
+        let err = run(&parse_line("simulate 2 5 --next-hop dense").unwrap()).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+
+        // Execution: the compressed tier on a 4x4 grid reproduces the
+        // single-threaded dense run byte for byte, on a skewed workload.
+        let base = "simulate 2 6 --messages 300 --router alg2 --seed 5 --workload zipf:1.2";
+        let dense =
+            run(&parse_line(&format!("{base} --shards 1 --next-hop dense")).unwrap()).unwrap();
+        let compressed = run(&parse_line(&format!(
+            "{base} --shards 4 --threads 4 --next-hop compressed"
+        ))
+        .unwrap())
+        .unwrap();
+        assert_eq!(dense, compressed);
+        assert!(dense.contains("delivered:    300/300"), "{dense}");
     }
 
     #[test]

@@ -42,3 +42,9 @@ pub use debruijn_strings as strings;
 #[cfg(doctest)]
 #[doc = include_str!("../README.md")]
 pub struct ReadmeDoctests;
+
+/// The sharded-simulator scaling guide (`docs/SCALING.md`), rendered
+/// into the crate docs so `cargo doc -D warnings` parses and
+/// link-checks it alongside the API it describes.
+#[doc = include_str!("../docs/SCALING.md")]
+pub mod scaling {}
