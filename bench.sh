@@ -12,10 +12,14 @@
 # (--max-scrape-overhead-pct, see docs/OBSERVABILITY.md), and the
 # sharded-simulator scaling bench requires >= 1.8x throughput at 4
 # threads over 1 (--min-speedup-4t; self-skipped on hosts with fewer
-# than 4 cores, where that floor is physically unreachable). The
-# speedup series is a higher-is-better ratio, so the scaling bench is
-# compared ns-only (--ns-only) under bench_check's lower-is-better
-# rule. ci.sh runs this as its performance smoke.
+# than 4 cores, where that floor is physically unreachable — the skip
+# and its reason land in the emitted JSON as a "skipped" field) and
+# caps the engine profiler's cost at default sampling to 2% over an
+# unprofiled run while asserting profiling perturbs no output
+# (--max-profile-overhead-pct, see docs/OBSERVABILITY.md "Profiling
+# the engine"). The speedup series is a higher-is-better ratio, so the
+# scaling bench is compared ns-only (--ns-only) under bench_check's
+# lower-is-better rule. ci.sh runs this as its performance smoke.
 set -eu
 
 out=BENCH_results.json
@@ -30,7 +34,7 @@ if [ "${1:-}" = "--check" ]; then
     sim_line=$(cargo bench -q -p debruijn-bench --bench simulation_throughput -- \
         --json --max-scrape-overhead-pct 2)
     scale_line=$(cargo bench -q -p debruijn-bench --bench simulation_scaling -- \
-        --json --ns-only --min-speedup-4t 1.8)
+        --json --ns-only --min-speedup-4t 1.8 --max-profile-overhead-pct 2)
     {
         printf '[\n'
         printf '%s,\n' "$dist_line"

@@ -134,6 +134,29 @@ echo "== next-hop tier smoke =="
 cmp "$smoke_dir/tier_dense.txt" "$smoke_dir/tier_compressed.txt"
 echo "dense 1x1 and compressed 4x4 agree byte for byte"
 
+echo "== engine profiler smoke =="
+# `dbr profile` must observe without perturbing: its headline report
+# is byte-identical to an unprofiled `dbr simulate` of the same
+# configuration, and the JSON export carries the documented schema
+# (see docs/OBSERVABILITY.md "Profiling the engine").
+./target/release/dbr simulate 2 6 --messages 2000 --shards 4 --threads 2 \
+    --seed 7 > "$smoke_dir/plain.txt"
+./target/release/dbr profile 2 6 --messages 2000 --shards 4 --threads 2 \
+    --seed 7 --profile-out "$smoke_dir/profile.json" > "$smoke_dir/profiled.txt"
+head -n 7 "$smoke_dir/plain.txt" > "$smoke_dir/plain_head.txt"
+head -n 7 "$smoke_dir/profiled.txt" > "$smoke_dir/profiled_head.txt"
+cmp "$smoke_dir/plain_head.txt" "$smoke_dir/profiled_head.txt"
+grep -qF "== engine profile ==" "$smoke_dir/profiled.txt"
+for key in '"schema": "dbr-engine-profile/v1"' '"phases": [' \
+    '"critical_paths": [' '"imbalance": {' '"sampler": {'; do
+    if ! grep -qF "$key" "$smoke_dir/profile.json"; then
+        echo "profiler smoke: profile JSON lacks '$key'"
+        cat "$smoke_dir/profile.json"
+        exit 1
+    fi
+done
+echo "profiled report matches the unprofiled run; profile JSON schema present"
+
 echo "== bench regression smoke =="
 # Reruns the distance-engine bench and fails if any series regressed
 # more than 30% against the checked-in BENCH_results.json.

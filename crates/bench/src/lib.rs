@@ -68,6 +68,7 @@ pub struct JsonReport {
     bench: &'static str,
     unit: &'static str,
     entries: Vec<String>,
+    skipped: Option<String>,
 }
 
 impl JsonReport {
@@ -77,6 +78,7 @@ impl JsonReport {
             bench,
             unit,
             entries: Vec::new(),
+            skipped: None,
         }
     }
 
@@ -87,12 +89,28 @@ impl JsonReport {
         ));
     }
 
+    /// Records that a self-gating check declined to run (e.g. a
+    /// speedup floor on a host with too few cores), so the emitted
+    /// JSON says *why* instead of silently omitting the verdict.
+    /// The reason shares the no-escaping restriction of [`push`]:
+    /// keep it to `[A-Za-z0-9 ().<_-]`.
+    ///
+    /// [`push`]: JsonReport::push
+    pub fn skip(&mut self, reason: &str) {
+        self.skipped = Some(reason.to_string());
+    }
+
     /// The report as a single JSON line.
     pub fn render(&self) -> String {
+        let skipped = match &self.skipped {
+            Some(reason) => format!("\"skipped\":\"{reason}\","),
+            None => String::new(),
+        };
         format!(
-            "{{\"bench\":\"{}\",\"unit\":\"{}\",\"results\":[{}]}}",
+            "{{\"bench\":\"{}\",\"unit\":\"{}\",{}\"results\":[{}]}}",
             self.bench,
             self.unit,
+            skipped,
             self.entries.join(",")
         )
     }
@@ -115,6 +133,19 @@ mod tests {
              {\"series\":\"slow\",\"size\":32,\"value\":5678.9}]}"
         );
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn json_report_records_an_explicit_skip() {
+        let mut r = JsonReport::new("demo", "ns_per_call");
+        r.push("fast", 8, 12.34);
+        r.skip("4-thread floor skipped: only 2 core(s)");
+        assert_eq!(
+            r.render(),
+            "{\"bench\":\"demo\",\"unit\":\"ns_per_call\",\
+             \"skipped\":\"4-thread floor skipped: only 2 core(s)\",\
+             \"results\":[{\"series\":\"fast\",\"size\":8,\"value\":12.3}]}"
+        );
     }
 
     #[test]

@@ -56,6 +56,7 @@
 pub mod message;
 pub mod metrics;
 pub mod policy;
+pub mod profiler;
 pub mod record;
 pub mod router;
 pub mod shard;
@@ -66,6 +67,9 @@ pub mod workload;
 
 pub use message::{ControlCode, Message};
 pub use policy::WildcardPolicy;
+pub use profiler::{
+    CriticalPath, EngineProfile, HopSpan, Phase, ProfileConfig, SampledDelivery, SpanSampler,
+};
 pub use record::{DropReason, InMemoryRecorder, NetEvent, NullRecorder, Recorder};
 pub use router::RouterKind;
 pub use shard::{NextHopMode, ShardedSimulation};

@@ -519,6 +519,70 @@ mod tests {
         assert!(flight.finish().is_err());
     }
 
+    /// Skewed (`--workload zipf`) load funnels a large fraction of a
+    /// tick-0 burst into the rank-0 destination, so its in-links build
+    /// queues far beyond anything uniform traffic produces: the
+    /// queue-depth trigger fires from real simulator events, not
+    /// synthetic ones.
+    #[test]
+    fn zipf_skew_trips_the_queue_depth_trigger_in_the_sharded_sim() {
+        let space = debruijn_core::DeBruijn::new(2, 6).unwrap();
+        let traffic = crate::workload::zipf(space, 3000, 1.2, 21);
+        let triggers = AnomalyTriggers {
+            drop_burst: None,
+            no_route_burst: None,
+            queue_depth_limit: Some(64),
+            queue_wait_limit: None,
+        };
+        let mut flight = FlightRecorder::new(256, triggers);
+        let sim = crate::shard::ShardedSimulation::new(space, crate::sim::SimConfig::default(), 4)
+            .unwrap();
+        let report = sim.run_recorded(&traffic, &mut flight);
+        assert_eq!(report.delivered, 3000, "healthy network delivers");
+        match flight.anomaly() {
+            Some(Anomaly::QueueDepthBreach { depth, limit, .. }) => {
+                assert!(depth >= limit, "{depth} < {limit}");
+            }
+            other => panic!("expected a queue-depth breach, got {other:?}"),
+        }
+        assert!(!flight.window().unwrap().is_empty());
+    }
+
+    /// Faulting the zipf-hottest node (rank 0) sheds a burst of
+    /// dead-link drops dense enough for the default drop-burst
+    /// threshold, and the dump stays a regular trace: every line
+    /// re-parses through the `dbr trace` event parser.
+    #[test]
+    fn zipf_hotspot_fault_trips_the_drop_burst_and_dumps_a_parseable_trace() {
+        let space = debruijn_core::DeBruijn::new(2, 6).unwrap();
+        let hot = space.word_from_rank(0).unwrap();
+        let traffic = crate::workload::zipf(space, 1000, 1.2, 33);
+        let to_hot = traffic.iter().filter(|i| i.destination == hot).count();
+        assert!(to_hot > 100, "rank 0 draws the skew ({to_hot}/1000)");
+        let path =
+            std::env::temp_dir().join(format!("dbr-flight-zipf-{}.jsonl", std::process::id()));
+        let mut flight = FlightRecorder::new(128, only_drop_burst(8, 128)).with_dump_path(&path);
+        let sim = crate::shard::ShardedSimulation::new(space, crate::sim::SimConfig::default(), 4)
+            .unwrap()
+            .with_faults(vec![hot])
+            .unwrap();
+        let report = sim.run_recorded(&traffic, &mut flight);
+        assert!(report.dropped >= 8, "the faulted hotspot sheds drops");
+        assert!(matches!(
+            flight.window().unwrap().last(),
+            Some(NetEvent::Drop { .. })
+        ));
+        let anomaly = flight.finish().unwrap().expect("anomaly fired");
+        assert!(matches!(anomaly, Anomaly::DropBurst { .. }), "{anomaly:?}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let events: Vec<NetEvent> = text
+            .lines()
+            .map(|l| crate::record::parse_event(2, l).expect("dump line parses"))
+            .collect();
+        assert!(events.len() >= 8, "window holds the burst");
+    }
+
     #[test]
     fn anomalies_render_human_readably() {
         let text = Anomaly::DropBurst {

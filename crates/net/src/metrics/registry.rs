@@ -78,6 +78,12 @@ impl Histogram {
     pub fn snapshot(&self) -> LogHistogram {
         self.0.lock().expect("histogram lock").clone()
     }
+
+    /// Folds an externally accumulated histogram into this series
+    /// (bucket-wise, same guarantees as [`LogHistogram::merge`]).
+    pub fn merge_from(&self, other: &LogHistogram) {
+        self.0.lock().expect("histogram lock").merge(other);
+    }
 }
 
 enum Series {

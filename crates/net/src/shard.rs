@@ -58,6 +58,10 @@ use debruijn_core::routing::{
 use debruijn_core::space::RankSpace;
 use debruijn_core::{DeBruijn, Digit, RoutePath, ShiftKind, Word};
 
+use crate::profiler::{
+    EngineProfile, HopSpan, Phase, ProfShared, ProfileConfig, SampledDelivery, ShardMeta,
+    SpanSampler, WorkerTimer,
+};
 use crate::record::{DropReason, NetEvent, NullRecorder, Recorder};
 use crate::router::RouterKind;
 use crate::sim::{FaultHandling, Injection, NetError, SimConfig};
@@ -166,6 +170,9 @@ struct Flight {
     /// Fault-free shortest distance, recorded at injection for
     /// observability (0 when unobserved).
     shortest: u32,
+    /// Whether the profiler's [`SpanSampler`] tagged this message for
+    /// causal span tracing (always `false` on unprofiled runs).
+    sampled: bool,
 }
 
 /// Per-tick event storage with a free-list of batch vectors, so a
@@ -269,7 +276,10 @@ impl SpscRing {
     }
 
     /// Producer side: deposits one `(arrival tick, flight)` entry.
-    fn push(&self, entry: (u64, Flight)) {
+    /// Returns whether the entry spilled to the overflow sidecar (a
+    /// timing-dependent fact — profiler accounting only, never part of
+    /// the deterministic report).
+    fn push(&self, entry: (u64, Flight)) -> bool {
         let tail = self.tail.load(Ordering::Relaxed);
         let head = self.head.load(Ordering::Acquire);
         if tail.wrapping_sub(head) <= self.mask {
@@ -277,9 +287,11 @@ impl SpscRing {
             // only this producer writes slots at `tail`.
             unsafe { (*self.slots[tail & self.mask].get()).write(entry) };
             self.tail.store(tail.wrapping_add(1), Ordering::Release);
+            false
         } else {
             self.overflow.lock().expect("mailbox sidecar").push(entry);
             self.spilled.store(true, Ordering::Release);
+            true
         }
     }
 
@@ -493,6 +505,16 @@ struct ShardState {
     /// Spare buffer for the natural-run batch merge ([`sort_by_id`]).
     merge: Vec<Flight>,
     route: RoutePath,
+    /// Flight steps processed — deterministic work accounting for the
+    /// profiler's imbalance report.
+    steps: u64,
+    /// Outbound mailbox pushes that spilled to the overflow sidecar
+    /// (profiler-only: depends on drain timing, not deterministic).
+    overflows: u64,
+    /// Causal spans of sampled messages (profiled runs only).
+    spans: Vec<HopSpan>,
+    /// Terminal records of sampled deliveries (profiled runs only).
+    deliveries: Vec<SampledDelivery>,
 }
 
 impl ShardedSimulation {
@@ -740,7 +762,57 @@ impl ShardedSimulation {
     /// Panics if an injection references a word outside the simulated
     /// space, or if the traffic exceeds `u32::MAX` messages.
     pub fn run_recorded(&self, traffic: &[Injection], recorder: &mut dyn Recorder) -> SimReport {
+        let (report, _, _) = self.run_inner(traffic, recorder, None);
+        report
+    }
+
+    /// Like [`ShardedSimulation::run_recorded`], but with the engine
+    /// profiler armed: workers time each phase of the windowed loop
+    /// (mailbox drain, batch merge, compute, barrier wait, report
+    /// merge) and a deterministic seed-hashed [`SpanSampler`] tags
+    /// ~1/`sample_every` messages with per-hop causal spans.
+    ///
+    /// The profiler observes without perturbing: the report, trace,
+    /// and metrics streams are byte-identical to an unprofiled run
+    /// (the sampler and timers never touch simulation state), while
+    /// the returned [`EngineProfile`] carries wall-clock phase totals,
+    /// per-shard imbalance, barrier spin/yield accounting, and the
+    /// sampled critical paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`ShardedSimulation::run_recorded`].
+    pub fn run_profiled(
+        &self,
+        traffic: &[Injection],
+        recorder: &mut dyn Recorder,
+        profile: &ProfileConfig,
+    ) -> (SimReport, EngineProfile) {
+        let shared = ProfShared::new(self.worker_count(), self.shards, self.config.seed, profile);
+        let started = std::time::Instant::now();
+        let (report, metas, report_nanos) = self.run_inner(traffic, recorder, Some(&shared));
+        let wall = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        (report, shared.finish(wall, report_nanos, metas))
+    }
+
+    /// The worker-thread count a run will use: the configured thread
+    /// count, clamped to the shard count (a shard is owned by exactly
+    /// one worker).
+    fn worker_count(&self) -> usize {
+        debruijn_parallel::effective_threads(self.config.threads)
+            .min(self.shards)
+            .max(1)
+    }
+
+    fn run_inner(
+        &self,
+        traffic: &[Injection],
+        recorder: &mut dyn Recorder,
+        prof: Option<&ProfShared>,
+    ) -> (SimReport, Vec<ShardMeta>, u64) {
         let observed = recorder.enabled();
+        let sampler = prof.and_then(|p| p.sampler());
         assert!(
             u32::try_from(traffic.len()).is_ok(),
             "sharded message ids are u32"
@@ -791,6 +863,10 @@ impl ShardedSimulation {
                     cscratch: CompressedScratch::new(),
                     merge: Vec::new(),
                     route: RoutePath::empty(),
+                    steps: 0,
+                    overflows: 0,
+                    spans: Vec::new(),
+                    deliveries: Vec::new(),
                 }
             })
             .collect();
@@ -814,14 +890,13 @@ impl ShardedSimulation {
                     hops: 0,
                     dist: 0,
                     shortest: 0,
+                    sampled: false,
                 },
             );
         }
 
         // Hand each worker its (static, round-robin) set of shards.
-        let workers = debruijn_parallel::effective_threads(self.config.threads)
-            .min(s)
-            .max(1);
+        let workers = self.worker_count();
         let worker_states: Vec<Mutex<Vec<ShardState>>> = {
             let mut per: Vec<Vec<ShardState>> = (0..workers).map(|_| Vec::new()).collect();
             for st in states.into_iter() {
@@ -840,12 +915,29 @@ impl ShardedSimulation {
         let lookahead = self.config.link.service + self.config.link.latency;
 
         debruijn_parallel::run_workers(workers, |w| {
+            // The lap timer exists only on profiled runs; the hot path
+            // otherwise branches on `None` and never reads a clock.
+            let mut timer = prof.map(|shared| shared.begin(w));
+            let sync = |w: usize, local: u64, timer: &mut Option<WorkerTimer>| match timer.as_mut()
+            {
+                Some(t) => {
+                    let next = barrier.sync_min_timed(w, local, t.barrier_mut());
+                    // The barrier accounts for its own wait: restart
+                    // the lap clock so none of it bleeds into Mailbox.
+                    t.reset();
+                    next
+                }
+                None => barrier.sync_min(w, local),
+            };
             let mut states = worker_states[w].lock().expect("worker owns its shards");
             let mut tick = {
                 let local = states.iter().map(|st| st.queue.next_tick()).min();
-                barrier.sync_min(w, local.unwrap_or(u64::MAX))
+                sync(w, local.unwrap_or(u64::MAX), &mut timer)
             };
             while tick != u64::MAX {
+                if let Some(t) = timer.as_mut() {
+                    t.window();
+                }
                 let window_end = tick.saturating_add(lookahead);
                 let mut local_min = u64::MAX;
                 for st in states.iter_mut() {
@@ -859,23 +951,45 @@ impl ShardedSimulation {
                     for src in 0..s {
                         mailboxes[src * s + st.sid].drain_into(&mut st.queue);
                     }
+                    if let Some(t) = timer.as_mut() {
+                        t.lap(Phase::Mailbox, st.sid);
+                    }
                     while st.queue.next_tick() < window_end {
                         let now = st.queue.next_tick();
                         let mut batch = st.queue.take(now).expect("next_tick is occupied");
                         // Canonical processing order: message id. This
                         // makes link contention independent of how the
                         // batch was assembled, hence of S and threads.
+                        let merged = batch.len() > 1;
                         sort_by_id(&mut batch, &mut st.merge);
+                        if let Some(t) = timer.as_mut().filter(|_| merged) {
+                            t.lap(Phase::Merge, st.sid);
+                        }
                         for flight in batch.drain(..) {
-                            self.step(st, now, flight, &mailboxes, &mut local_min, observed);
+                            self.step(
+                                st,
+                                now,
+                                flight,
+                                &mailboxes,
+                                &mut local_min,
+                                observed,
+                                sampler,
+                            );
+                        }
+                        if let Some(t) = timer.as_mut() {
+                            t.lap(Phase::Compute, st.sid);
                         }
                         st.queue.recycle(batch);
                     }
                     local_min = local_min.min(st.queue.next_tick());
                 }
-                tick = barrier.sync_min(w, local_min);
+                tick = sync(w, local_min, &mut timer);
             }
         });
+
+        // Everything below is the Report phase: the single-threaded
+        // merge and (when observed) the canonical event replay.
+        let report_started = prof.map(|_| std::time::Instant::now());
 
         // Deterministic merge: shards in index order; every accumulator
         // is a sum, a max, or a BTreeMap fold (the same shape the
@@ -892,7 +1006,17 @@ impl ShardedSimulation {
             ..SimReport::default()
         };
         let mut events: Vec<NetEvent> = Vec::new();
-        for st in all {
+        let mut metas: Vec<ShardMeta> = Vec::new();
+        for mut st in all {
+            if prof.is_some() {
+                metas.push(ShardMeta {
+                    sid: st.sid,
+                    steps: st.steps,
+                    overflows: st.overflows,
+                    spans: std::mem::take(&mut st.spans),
+                    deliveries: std::mem::take(&mut st.deliveries),
+                });
+            }
             let part = st.report;
             report.injected += part.injected;
             report.delivered += part.delivered;
@@ -924,11 +1048,15 @@ impl ShardedSimulation {
                 recorder.record(event);
             }
         }
-        report
+        let report_nanos = report_started.map_or(0, |t| {
+            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        });
+        (report, metas, report_nanos)
     }
 
     /// Processes one flight at `now`: injection bookkeeping, fault and
     /// TTL drops, delivery, or one forward hop.
+    #[allow(clippy::too_many_arguments)]
     fn step(
         &self,
         st: &mut ShardState,
@@ -937,10 +1065,17 @@ impl ShardedSimulation {
         mailboxes: &[SpscRing],
         local_min: &mut u64,
         observed: bool,
+        sampler: Option<SpanSampler>,
     ) {
         let mut flight = flight;
+        st.steps += 1;
         if flight.hops == 0 {
             st.report.injected += 1;
+            if let Some(sampler) = &sampler {
+                // Tag once at injection: a pure function of (seed, id),
+                // so the sampled set is shard/thread-invariant.
+                flight.sampled = sampler.sampled(flight.id);
+            }
             if self.faults.contains(&flight.at) {
                 self.drop_flight(st, now, &flight, DropReason::FaultySource, observed);
                 return;
@@ -971,6 +1106,14 @@ impl ShardedSimulation {
             return;
         }
         if flight.at == flight.dst {
+            if flight.sampled {
+                st.deliveries.push(SampledDelivery {
+                    message: flight.id,
+                    injected_at: flight.injected_at,
+                    delivered_at: now,
+                    hops: flight.hops,
+                });
+            }
             st.report.delivered += 1;
             st.report.total_hops += u64::from(flight.hops);
             *st.report
@@ -1033,10 +1176,22 @@ impl ShardedSimulation {
         };
         *local_min = (*local_min).min(arrive);
         let dshard = self.shard_of(next);
+        if flight.sampled {
+            st.spans.push(HopSpan {
+                message: flight.id,
+                hop: flight.hops,
+                start: now,
+                departs: depart,
+                arrives: arrive,
+                from_shard: st.sid as u32,
+                to_shard: dshard as u32,
+            });
+        }
         if dshard == st.sid {
             st.queue.push(arrive, forwarded);
         } else {
-            mailboxes[st.sid * self.shards + dshard].push((arrive, forwarded));
+            let spilled = mailboxes[st.sid * self.shards + dshard].push((arrive, forwarded));
+            st.overflows += u64::from(spilled);
         }
     }
 
@@ -1345,6 +1500,7 @@ mod tests {
             hops: 0,
             dist: 0,
             shortest: 0,
+            sampled: false,
         };
         let total = 3 * capacity + 7; // forces wrap + sidecar
         let mut queue = TickQueue::default();
@@ -1380,6 +1536,7 @@ mod tests {
             hops: 0,
             dist: 0,
             shortest: 0,
+            sampled: false,
         };
         let cases: Vec<Vec<u32>> = vec![
             vec![],
@@ -1508,6 +1665,173 @@ mod tests {
                 Err(NetError::Unsupported { .. })
             ));
         }
+    }
+
+    /// The profiler observes without perturbing: report, JSONL trace,
+    /// and metrics are byte-identical with profiling on vs. off across
+    /// the `{1,4} × {1,4}` shard/thread grid, and the profile itself is
+    /// internally consistent (steps cover every injection, windows
+    /// crossed, phases timed).
+    #[test]
+    fn profiled_runs_are_byte_identical_to_unprofiled() {
+        let space = space(2, 7);
+        let traffic = workload::uniform_burst(space, 400, 13);
+        let observe = |sim: &ShardedSimulation, profile: Option<&ProfileConfig>| {
+            let mut jsonl = JsonlRecorder::new(Vec::new());
+            let mut metrics = InMemoryRecorder::new();
+            let mut fan = crate::record::FanoutRecorder::new();
+            fan.push(&mut jsonl);
+            fan.push(&mut metrics);
+            let (report, prof) = match profile {
+                Some(cfg) => {
+                    let (report, prof) = sim.run_profiled(&traffic, &mut fan, cfg);
+                    (report, Some(prof))
+                }
+                None => (sim.run_recorded(&traffic, &mut fan), None),
+            };
+            drop(fan);
+            let trace = jsonl.finish().expect("in-memory trace");
+            (report, trace, metrics, prof)
+        };
+        for shards in [1usize, 4] {
+            for threads in [1usize, 4] {
+                let config = SimConfig {
+                    threads,
+                    ..SimConfig::default()
+                };
+                let sim = ShardedSimulation::new(space, config, shards).expect("supported config");
+                let (report, trace, metrics, _) = observe(&sim, None);
+                let cfg = ProfileConfig {
+                    sample_every: 8,
+                    slices: true,
+                };
+                let (preport, ptrace, pmetrics, prof) = observe(&sim, Some(&cfg));
+                assert_eq!(
+                    report, preport,
+                    "report perturbed at S={shards} T={threads}"
+                );
+                assert_eq!(trace, ptrace, "trace perturbed at S={shards} T={threads}");
+                assert_eq!(
+                    metrics, pmetrics,
+                    "metrics perturbed at S={shards} T={threads}"
+                );
+                let prof = prof.expect("profiled run returns a profile");
+                assert_eq!(prof.shards, sim.shards());
+                assert!(prof.windows > 0, "at least one window crossed");
+                assert!(prof.wall_nanos > 0);
+                assert!(
+                    prof.total_steps() >= 400,
+                    "every injection is at least one step"
+                );
+                assert!(
+                    prof.phase_totals()
+                        .iter()
+                        .any(|&(p, ns)| p == Phase::Compute && ns > 0),
+                    "compute time was observed"
+                );
+                assert!(!prof.slices.is_empty(), "slices were recorded");
+                assert!(prof.step_imbalance() >= 1.0);
+            }
+        }
+    }
+
+    /// The span sampler's causal record is deterministic: the same
+    /// messages are tagged, and their per-hop tick spans are identical,
+    /// for every shard/thread combination (shard endpoints aside, which
+    /// are a function of the shard count only).
+    #[test]
+    fn sampled_spans_are_shard_and_thread_invariant() {
+        let space = space(2, 7);
+        let traffic = workload::uniform_random(space, 400, 17);
+        let cfg = ProfileConfig {
+            sample_every: 4,
+            slices: false,
+        };
+        type SpanTicks = (u32, u32, u64, u64, u64);
+        let mut baseline: Option<(Vec<SpanTicks>, Vec<SampledDelivery>)> = None;
+        let mut per_shard_spans: Option<Vec<HopSpan>> = None;
+        for shards in [1usize, 4] {
+            for threads in [1usize, 4] {
+                let config = SimConfig {
+                    threads,
+                    ..SimConfig::default()
+                };
+                let sim = ShardedSimulation::new(space, config, shards).expect("supported config");
+                let (_, prof) = sim.run_profiled(&traffic, &mut crate::record::NullRecorder, &cfg);
+                assert!(!prof.spans.is_empty(), "1/4 sampling tags some messages");
+                let ticks: Vec<(u32, u32, u64, u64, u64)> = prof
+                    .spans
+                    .iter()
+                    .map(|s| (s.message, s.hop, s.start, s.departs, s.arrives))
+                    .collect();
+                match &baseline {
+                    None => baseline = Some((ticks, prof.deliveries.clone())),
+                    Some((t, d)) => {
+                        assert_eq!(&ticks, t, "span ticks differ at S={shards} T={threads}");
+                        assert_eq!(
+                            &prof.deliveries, d,
+                            "deliveries differ at S={shards} T={threads}"
+                        );
+                    }
+                }
+                // Full spans (shard endpoints included) depend only on
+                // the shard count, never the thread count.
+                if shards == 4 {
+                    match &per_shard_spans {
+                        None => per_shard_spans = Some(prof.spans.clone()),
+                        Some(s) => assert_eq!(&prof.spans, s, "T={threads}"),
+                    }
+                }
+                // Every sampled delivery's path is fully stitched: one
+                // span per hop, and the critical path reproduces the
+                // delivery latency.
+                for path in prof.critical_paths(usize::MAX) {
+                    if let Ok(i) = prof
+                        .deliveries
+                        .binary_search_by_key(&path.message, |d| d.message)
+                    {
+                        let d = prof.deliveries[i];
+                        assert_eq!(path.hops, d.hops, "msg {}", path.message);
+                        assert_eq!(path.ticks, d.delivered_at - d.injected_at);
+                        assert!(path.delivered);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `sample_every: 0` disables causal tracing but keeps the phase
+    /// timers; `sample_every: 1` tags everything.
+    #[test]
+    fn sampling_rate_bounds() {
+        let space = space(2, 6);
+        let traffic = workload::uniform_random(space, 100, 3);
+        let sim = ShardedSimulation::new(space, SimConfig::default(), 2).expect("supported config");
+        let (report, off) = sim.run_profiled(
+            &traffic,
+            &mut crate::record::NullRecorder,
+            &ProfileConfig {
+                sample_every: 0,
+                slices: false,
+            },
+        );
+        assert!(off.spans.is_empty() && off.deliveries.is_empty());
+        assert_eq!(off.sample_every, 0);
+        assert!(off.windows > 0);
+        let (_, all) = sim.run_profiled(
+            &traffic,
+            &mut crate::record::NullRecorder,
+            &ProfileConfig {
+                sample_every: 1,
+                slices: false,
+            },
+        );
+        assert_eq!(all.deliveries.len() as u64, report.delivered as u64);
+        assert_eq!(
+            all.spans.len() as u64,
+            report.total_hops,
+            "one span per delivered hop (nothing drops here)"
+        );
     }
 
     /// Shard counts beyond the node count clamp instead of panicking,

@@ -280,10 +280,34 @@ impl TickBarrier {
     /// callers may hand off arbitrary data (e.g. mailbox contents)
     /// across the rendezvous.
     pub fn sync_min(&self, worker: usize, local: u64) -> u64 {
+        let mut wait = BarrierWait::default();
+        self.sync_inner::<false>(worker, local, &mut wait)
+    }
+
+    /// [`TickBarrier::sync_min`] with wait accounting: wall-clock time,
+    /// spin iterations, and yields spent inside the rendezvous are
+    /// added to `wait`. The synchronization protocol is identical; the
+    /// untimed entry point compiles with every accounting branch
+    /// removed (`TIMED` is a const), so instrumentation is zero-cost
+    /// when unused.
+    pub fn sync_min_timed(&self, worker: usize, local: u64, wait: &mut BarrierWait) -> u64 {
+        self.sync_inner::<true>(worker, local, wait)
+    }
+
+    fn sync_inner<const TIMED: bool>(
+        &self,
+        worker: usize,
+        local: u64,
+        wait: &mut BarrierWait,
+    ) -> u64 {
         use std::sync::atomic::Ordering;
+        if TIMED {
+            wait.rounds += 1;
+        }
         if self.gens.len() == 1 {
             return local;
         }
+        let started = TIMED.then(std::time::Instant::now);
         let round = self.gens[worker].0.load(Ordering::Relaxed) + 1;
         let slot = &self.vals[(round & 1) as usize];
         slot[worker].0.store(local, Ordering::Relaxed);
@@ -297,8 +321,14 @@ impl TickBarrier {
             while gen.0.load(Ordering::Acquire) < round {
                 if spins < 128 {
                     spins += 1;
+                    if TIMED {
+                        wait.spins += 1;
+                    }
                     std::hint::spin_loop();
                 } else {
+                    if TIMED {
+                        wait.yields += 1;
+                    }
                     std::thread::yield_now();
                 }
             }
@@ -308,7 +338,37 @@ impl TickBarrier {
             // ahead writes the *other* parity slot, never this one).
             min = min.min(slot[peer].0.load(Ordering::Relaxed));
         }
+        if let Some(started) = started {
+            wait.nanos += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
         min
+    }
+}
+
+/// Accumulated barrier-wait accounting for one worker, filled by
+/// [`TickBarrier::sync_min_timed`]: how long (and how busily) the
+/// worker sat at the rendezvous waiting for its slowest peer. This is
+/// the number that explains a flat `speedup_vs_1_thread` — compute
+/// imbalance shows up here, not in the compute timers.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierWait {
+    /// Wall-clock nanoseconds inside the rendezvous (publish to fold).
+    pub nanos: u64,
+    /// Busy-spin iterations while waiting for peers.
+    pub spins: u64,
+    /// `yield_now` calls after the spin budget ran out.
+    pub yields: u64,
+    /// Rendezvous rounds crossed (windows + the seeding round).
+    pub rounds: u64,
+}
+
+impl BarrierWait {
+    /// Folds another worker's accounting into this one.
+    pub fn merge(&mut self, other: &BarrierWait) {
+        self.nanos += other.nanos;
+        self.spins += other.spins;
+        self.yields += other.yields;
+        self.rounds += other.rounds;
     }
 }
 
@@ -445,6 +505,67 @@ mod tests {
         run_workers(3, |w| {
             assert_eq!(barrier.sync_min(w, u64::MAX), u64::MAX);
         });
+    }
+
+    #[test]
+    fn sync_min_timed_returns_the_same_minima_and_counts_rounds() {
+        for workers in [1, 2, 4] {
+            let barrier = TickBarrier::new(workers);
+            let waits: Mutex<Vec<BarrierWait>> = Mutex::new(vec![BarrierWait::default(); workers]);
+            let mins: Mutex<Vec<Vec<u64>>> = Mutex::new(vec![Vec::new(); workers]);
+            run_workers(workers, |w| {
+                let mut wait = BarrierWait::default();
+                for r in 0..20u64 {
+                    let got = barrier.sync_min_timed(w, r * 10 + w as u64, &mut wait);
+                    mins.lock().unwrap()[w].push(got);
+                }
+                waits.lock().unwrap()[w] = wait;
+            });
+            for per_worker in mins.into_inner().unwrap() {
+                let want: Vec<u64> = (0..20).map(|r| r * 10).collect();
+                assert_eq!(per_worker, want, "workers {workers}");
+            }
+            for wait in waits.into_inner().unwrap() {
+                assert_eq!(wait.rounds, 20, "workers {workers}");
+                // A single worker never waits; with peers the timer may
+                // legitimately read 0 ns on a fast rendezvous, so only
+                // the round count is asserted exactly.
+                if workers == 1 {
+                    assert_eq!(
+                        wait,
+                        BarrierWait {
+                            rounds: 20,
+                            ..BarrierWait::default()
+                        }
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_wait_merge_adds_fields() {
+        let mut a = BarrierWait {
+            nanos: 5,
+            spins: 2,
+            yields: 1,
+            rounds: 3,
+        };
+        a.merge(&BarrierWait {
+            nanos: 10,
+            spins: 4,
+            yields: 0,
+            rounds: 7,
+        });
+        assert_eq!(
+            a,
+            BarrierWait {
+                nanos: 15,
+                spins: 6,
+                yields: 1,
+                rounds: 10,
+            }
+        );
     }
 
     #[test]

@@ -19,8 +19,8 @@ use debruijn_net::metrics::{
 use debruijn_net::record::{FanoutRecorder, InMemoryRecorder, JsonlRecorder};
 use debruijn_net::telemetry::{ChromeTraceRecorder, SnapshotRecorder};
 use debruijn_net::{
-    workload, NetEvent, NextHopMode, Recorder, RouterKind, ShardedSimulation, SimConfig,
-    Simulation, WildcardPolicy,
+    workload, NetEvent, NextHopMode, ProfileConfig, Recorder, RouterKind, ShardedSimulation,
+    SimConfig, SimReport, Simulation, WildcardPolicy,
 };
 
 use crate::trace::{self, TraceMetric};
@@ -143,6 +143,48 @@ pub enum Command {
         next_hop: NextHopMode,
         /// Traffic pattern (`--workload`).
         workload: WorkloadKind,
+    },
+    /// `dbr profile <d> <k> [--shards S] [--threads N] [--sample N]
+    /// [--top K] [--profile-out FILE] [--chrome-out FILE] …` — run the
+    /// sharded engine with the profiler armed and print the phase-time
+    /// breakdown, per-shard imbalance, and top-k critical paths.
+    Profile {
+        /// Digit radix.
+        d: u8,
+        /// Word length.
+        k: usize,
+        /// Number of messages.
+        messages: usize,
+        /// Routing strategy (optimal routers only, as for `--shards`).
+        router: RouterKind,
+        /// Wildcard policy (fallback tier only).
+        policy: WildcardPolicy,
+        /// RNG seed (also feeds the span sampler).
+        seed: u64,
+        /// Shard worker threads.
+        threads: usize,
+        /// Node partitions (the profiled engine is always sharded).
+        shards: usize,
+        /// Forwarding tier.
+        next_hop: NextHopMode,
+        /// Traffic pattern.
+        workload: WorkloadKind,
+        /// Comma-separated faulty node addresses.
+        faults: Option<String>,
+        /// Per-message hop budget (0 disables).
+        ttl: usize,
+        /// Causal-tracing rate: tag ~1/N messages (0 disables spans).
+        sample: u32,
+        /// How many critical paths to print.
+        top: usize,
+        /// Write the profile as JSON to this file.
+        profile_out: Option<String>,
+        /// Write a Chrome trace of engine phase slices to this file.
+        chrome_out: Option<String>,
+        /// Write the simulation event trace (JSONL) to this file.
+        trace: Option<String>,
+        /// Print the simulation metrics block too.
+        metrics: bool,
     },
     /// `dbr serve <d> [--listen ADDR]` — standing route/distance query
     /// service with `/metrics`.
@@ -314,6 +356,11 @@ USAGE:
                        [--flight-capacity N] [--faults W1,W2] [--ttl N]
                        [--next-hop auto|dense|compressed|fallback]
                        [--workload uniform|burst|zipf[:EXP]]
+  dbr profile <d> <k> [--shards S] [--threads N] [--sample N] [--top K]
+                      [--profile-out FILE] [--chrome-out FILE]
+                      [--messages N] [--router R] [--policy P] [--seed S]
+                      [--next-hop T] [--workload W] [--faults W1,W2]
+                      [--ttl N] [--trace FILE] [--metrics]
   dbr serve <d> [--listen ADDR]     HTTP route/distance query service
   dbr trace summary <file>          reconstruct the --metrics report
   dbr trace links <file> [--top N]  hottest links, utilization table
@@ -359,6 +406,18 @@ routers. dense and compressed produce byte-identical reports.
 --workload picks the traffic pattern: uniform (one message per tick,
 default), burst (all at tick 0), or zipf[:EXP] (tick-0 burst with
 power-law destination skew, default exponent 1.0).
+
+`dbr profile` runs the sharded engine with the engine profiler armed:
+it prints the same seven report lines as `simulate` (byte-identical —
+the profiler observes without perturbing), then a phase-time breakdown
+(compute, barrier wait, mailbox drain, batch merge, report), per-shard
+imbalance, and the top K critical paths among the ~1/N messages a
+deterministic seed-hashed sampler tags for causal span tracing
+(--sample N, default 64, 0 = off; the sampled set is identical for
+every --shards/--threads combination). --profile-out FILE writes the
+profile as JSON; --chrome-out FILE writes engine phase slices as a
+Chrome trace with one lane per shard (https://ui.perfetto.dev); see
+docs/OBSERVABILITY.md \"Profiling the engine\".
 
 --metrics prints exact histograms (hops, stretch over D(X,Y), per-hop
 latency, queue wait/depth, end-to-end latency) and counters (wildcard
@@ -500,25 +559,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map(|v| parse_num(v, "messages"))
                     .transpose()?
                     .unwrap_or(1000),
-                router: match flags.value("--router")? {
-                    None | Some("alg2") => RouterKind::Algorithm2,
-                    Some("trivial") => RouterKind::Trivial,
-                    Some("alg1") => RouterKind::Algorithm1,
-                    Some("alg4") => RouterKind::Algorithm4,
-                    Some(other) => return Err(format!("unknown router '{other}'")),
-                },
-                policy: match flags.value("--policy")? {
-                    None | Some("zero") => WildcardPolicy::Zero,
-                    Some("random") => WildcardPolicy::Random,
-                    Some("round-robin") => WildcardPolicy::RoundRobin,
-                    Some("least-loaded") => WildcardPolicy::LeastLoaded,
-                    Some(other) => return Err(format!("unknown policy '{other}'")),
-                },
-                seed: flags
-                    .value("--seed")?
-                    .map(|v| v.parse::<u64>().map_err(|_| format!("bad seed '{v}'")))
-                    .transpose()?
-                    .unwrap_or(0xDB),
+                router: parse_router(flags.value("--router")?)?,
+                policy: parse_policy(flags.value("--policy")?)?,
+                seed: parse_seed(&flags)?,
                 threads: parse_threads(&flags)?,
                 shards: flags
                     .value("--shards")?
@@ -561,22 +604,85 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map(|v| parse_num(v, "ttl"))
                     .transpose()?
                     .unwrap_or(0),
-                next_hop: match flags.value("--next-hop")? {
-                    None | Some("auto") => NextHopMode::Auto,
-                    Some("dense") => NextHopMode::Dense,
-                    Some("compressed") => NextHopMode::Compressed,
-                    Some("fallback") => NextHopMode::Fallback,
-                    Some(other) => {
-                        return Err(format!(
-                            "unknown next-hop tier '{other}' (auto|dense|compressed|fallback)"
-                        ))
-                    }
-                },
+                next_hop: parse_next_hop(flags.value("--next-hop")?)?,
                 workload: flags
                     .value("--workload")?
                     .map(WorkloadKind::parse)
                     .transpose()?
                     .unwrap_or_default(),
+            })
+        }
+        "profile" => {
+            let (pos, flags) = split_flags(&rest);
+            flags.expect_only(&[
+                "--messages",
+                "--router",
+                "--policy",
+                "--seed",
+                "--threads",
+                "--shards",
+                "--next-hop",
+                "--workload",
+                "--faults",
+                "--ttl",
+                "--sample",
+                "--top",
+                "--profile-out",
+                "--chrome-out",
+                "--trace",
+                "--metrics",
+            ])?;
+            let [d, k] = positional::<2>(&pos, "profile <d> <k>")?;
+            Ok(Command::Profile {
+                d: parse_radix(d)?,
+                k: parse_num(k, "k")?,
+                messages: flags
+                    .value("--messages")?
+                    .map(|v| parse_num(v, "messages"))
+                    .transpose()?
+                    .unwrap_or(1000),
+                router: parse_router(flags.value("--router")?)?,
+                policy: parse_policy(flags.value("--policy")?)?,
+                seed: parse_seed(&flags)?,
+                threads: parse_threads(&flags)?,
+                shards: flags
+                    .value("--shards")?
+                    .map(|v| match parse_num(v, "shards") {
+                        Ok(n) if n > 0 => Ok(n),
+                        Ok(_) => Err("bad shards '0' (need >= 1)".to_string()),
+                        Err(e) => Err(e),
+                    })
+                    .transpose()?
+                    .unwrap_or(4),
+                next_hop: parse_next_hop(flags.value("--next-hop")?)?,
+                workload: flags
+                    .value("--workload")?
+                    .map(WorkloadKind::parse)
+                    .transpose()?
+                    .unwrap_or_default(),
+                faults: flags.value("--faults")?.map(String::from),
+                ttl: flags
+                    .value("--ttl")?
+                    .map(|v| parse_num(v, "ttl"))
+                    .transpose()?
+                    .unwrap_or(0),
+                sample: flags
+                    .value("--sample")?
+                    .map(|v| {
+                        v.parse::<u32>()
+                            .map_err(|_| format!("bad sample rate '{v}'"))
+                    })
+                    .transpose()?
+                    .unwrap_or(64),
+                top: flags
+                    .value("--top")?
+                    .map(|v| parse_num(v, "top"))
+                    .transpose()?
+                    .unwrap_or(5),
+                profile_out: flags.value("--profile-out")?.map(String::from),
+                chrome_out: flags.value("--chrome-out")?.map(String::from),
+                trace: flags.value("--trace")?.map(String::from),
+                metrics: flags.has("--metrics")?,
             })
         }
         "serve" => {
@@ -903,16 +1009,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 ttl: *ttl,
                 ..SimConfig::default()
             };
-            let fault_words = faults
-                .as_ref()
-                .map(|list| {
-                    list.split(',')
-                        .map(|w| {
-                            Word::parse(*d, w.trim()).map_err(|e| format!("bad fault '{w}': {e}"))
-                        })
-                        .collect::<Result<Vec<_>, _>>()
-                })
-                .transpose()?;
+            let fault_words = parse_fault_words(*d, faults.as_deref())?;
             // --shards selects the time-stepped sharded engine (same
             // report for any shard/thread count); without it the
             // classic event-driven simulator runs.
@@ -1034,29 +1131,7 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             }
             let profile_used = profile::snapshot().since(&profile_before);
 
-            let loads = report.link_load_summary();
-            writeln!(
-                out,
-                "delivered:    {}/{}",
-                report.delivered, report.injected
-            )
-            .expect("write");
-            writeln!(
-                out,
-                "dropped:      {}",
-                trace::drop_breakdown(&report.dropped_by_reason)
-            )
-            .expect("write");
-            writeln!(out, "mean hops:    {:.4}", report.mean_hops()).expect("write");
-            writeln!(out, "mean latency: {:.4}", report.mean_latency()).expect("write");
-            writeln!(out, "max latency:  {}", report.latency_max).expect("write");
-            writeln!(out, "makespan:     {}", report.makespan).expect("write");
-            writeln!(
-                out,
-                "max link load: {} (std {:.3})",
-                loads.max, loads.std_dev
-            )
-            .expect("write");
+            write_report(&mut out, &report);
             if *metrics {
                 writeln!(out, "\n== metrics ==").expect("write");
                 write!(out, "{memory}").expect("write");
@@ -1153,6 +1228,110 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 out.clear();
                 std::io::Write::flush(&mut std::io::stdout()).map_err(|e| e.to_string())?;
                 server.block();
+            }
+        }
+        Command::Profile {
+            d,
+            k,
+            messages,
+            router,
+            policy,
+            seed,
+            threads,
+            shards,
+            next_hop,
+            workload: workload_kind,
+            faults,
+            ttl,
+            sample,
+            top,
+            profile_out,
+            chrome_out,
+            trace,
+            metrics,
+        } => {
+            let space = space_of(*d, *k)?;
+            let config = SimConfig {
+                router: *router,
+                policy: *policy,
+                seed: *seed,
+                threads: *threads,
+                ttl: *ttl,
+                ..SimConfig::default()
+            };
+            let mut sim = ShardedSimulation::new(space, config, *shards)
+                .map_err(|e| e.to_string())?
+                .with_next_hop(*next_hop)
+                .map_err(|e| e.to_string())?;
+            if let Some(words) = parse_fault_words(*d, faults.as_deref())? {
+                sim = sim.with_faults(words).map_err(|e| e.to_string())?;
+            }
+            let traffic = match workload_kind {
+                WorkloadKind::Uniform => workload::uniform_random(space, *messages, *seed),
+                WorkloadKind::Burst => workload::uniform_burst(space, *messages, *seed),
+                WorkloadKind::Zipf(exp) => workload::zipf(space, *messages, *exp, *seed),
+            };
+            let profile_cfg = ProfileConfig {
+                sample_every: *sample,
+                // Lap slices are only recorded when someone will render
+                // them — they cost memory per window.
+                slices: chrome_out.is_some(),
+            };
+            let mut memory = InMemoryRecorder::new();
+            let mut jsonl = trace
+                .as_ref()
+                .map(|path| {
+                    std::fs::File::create(path)
+                        .map(|f| JsonlRecorder::new(std::io::BufWriter::new(f)))
+                        .map_err(|e| format!("cannot create trace file '{path}': {e}"))
+                })
+                .transpose()?;
+            let (report, profile) = {
+                let mut fan = FanoutRecorder::new();
+                if *metrics {
+                    fan.push(&mut memory);
+                }
+                if let Some(j) = jsonl.as_mut() {
+                    fan.push(j);
+                }
+                sim.run_profiled(&traffic, &mut fan, &profile_cfg)
+            };
+            // The same seven headline lines `dbr simulate` prints, so a
+            // profiled run's report can be cmp'd against an unprofiled
+            // one byte for byte.
+            write_report(&mut out, &report);
+            if *metrics {
+                writeln!(out, "\n== metrics ==").expect("write");
+                write!(out, "{memory}").expect("write");
+                // The same phase data as dbr_engine_* registry
+                // families, scrape-format, for machine consumption.
+                let registry = MetricsRegistry::new();
+                profile.export_to(&registry);
+                writeln!(out, "\n== engine metrics ==").expect("write");
+                out.push_str(&registry.snapshot().render());
+            }
+            writeln!(out).expect("write");
+            out.push_str(&profile.render(*top));
+            if let Some(path) = profile_out {
+                std::fs::write(path, profile.to_json(*top))
+                    .map_err(|e| format!("cannot write profile '{path}': {e}"))?;
+                writeln!(out, "profile written to {path}").expect("write");
+            }
+            if let Some(path) = chrome_out {
+                std::fs::write(path, profile.chrome_trace())
+                    .map_err(|e| format!("cannot write engine chrome trace '{path}': {e}"))?;
+                writeln!(out, "engine chrome trace written to {path}").expect("write");
+            }
+            if let Some(j) = jsonl {
+                j.finish()
+                    .and_then(|mut w| std::io::Write::flush(&mut w))
+                    .map_err(|e| format!("writing trace: {e}"))?;
+                writeln!(
+                    out,
+                    "trace written to {}",
+                    trace.as_deref().unwrap_or_default()
+                )
+                .expect("write");
             }
         }
         Command::Serve { d, listen } => {
@@ -1386,6 +1565,46 @@ impl Recorder for MetricsFileWriter {
     }
 }
 
+/// The seven-line headline block shared by `dbr simulate` and
+/// `dbr profile` — kept in one place so a profiled run's report can be
+/// `cmp`'d byte for byte against an unprofiled one.
+fn write_report(out: &mut String, report: &SimReport) {
+    let loads = report.link_load_summary();
+    writeln!(
+        out,
+        "delivered:    {}/{}",
+        report.delivered, report.injected
+    )
+    .expect("write");
+    writeln!(
+        out,
+        "dropped:      {}",
+        trace::drop_breakdown(&report.dropped_by_reason)
+    )
+    .expect("write");
+    writeln!(out, "mean hops:    {:.4}", report.mean_hops()).expect("write");
+    writeln!(out, "mean latency: {:.4}", report.mean_latency()).expect("write");
+    writeln!(out, "max latency:  {}", report.latency_max).expect("write");
+    writeln!(out, "makespan:     {}", report.makespan).expect("write");
+    writeln!(
+        out,
+        "max link load: {} (std {:.3})",
+        loads.max, loads.std_dev
+    )
+    .expect("write");
+}
+
+/// Parses a `--faults W1,W2` list into words of radix `d`.
+fn parse_fault_words(d: u8, faults: Option<&str>) -> Result<Option<Vec<Word>>, String> {
+    faults
+        .map(|list| {
+            list.split(',')
+                .map(|w| Word::parse(d, w.trim()).map_err(|e| format!("bad fault '{w}': {e}")))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .transpose()
+}
+
 fn space_of(d: u8, k: usize) -> Result<DeBruijn, String> {
     let space = DeBruijn::new(d, k).map_err(|e| e.to_string())?;
     if space.order_usize().is_none() {
@@ -1416,6 +1635,46 @@ fn parse_engine(value: Option<&str>) -> Result<Engine, String> {
         Some("bit-parallel") => Ok(Engine::BitParallel),
         Some(other) => Err(format!("unknown engine '{other}'")),
     }
+}
+
+fn parse_router(value: Option<&str>) -> Result<RouterKind, String> {
+    match value {
+        None | Some("alg2") => Ok(RouterKind::Algorithm2),
+        Some("trivial") => Ok(RouterKind::Trivial),
+        Some("alg1") => Ok(RouterKind::Algorithm1),
+        Some("alg4") => Ok(RouterKind::Algorithm4),
+        Some(other) => Err(format!("unknown router '{other}'")),
+    }
+}
+
+fn parse_policy(value: Option<&str>) -> Result<WildcardPolicy, String> {
+    match value {
+        None | Some("zero") => Ok(WildcardPolicy::Zero),
+        Some("random") => Ok(WildcardPolicy::Random),
+        Some("round-robin") => Ok(WildcardPolicy::RoundRobin),
+        Some("least-loaded") => Ok(WildcardPolicy::LeastLoaded),
+        Some(other) => Err(format!("unknown policy '{other}'")),
+    }
+}
+
+fn parse_next_hop(value: Option<&str>) -> Result<NextHopMode, String> {
+    match value {
+        None | Some("auto") => Ok(NextHopMode::Auto),
+        Some("dense") => Ok(NextHopMode::Dense),
+        Some("compressed") => Ok(NextHopMode::Compressed),
+        Some("fallback") => Ok(NextHopMode::Fallback),
+        Some(other) => Err(format!(
+            "unknown next-hop tier '{other}' (auto|dense|compressed|fallback)"
+        )),
+    }
+}
+
+fn parse_seed(flags: &Flags<'_>) -> Result<u64, String> {
+    flags
+        .value("--seed")?
+        .map(|v| v.parse::<u64>().map_err(|_| format!("bad seed '{v}'")))
+        .transpose()
+        .map(|s| s.unwrap_or(0xDB))
 }
 
 fn parse_threads(flags: &Flags<'_>) -> Result<usize, String> {
@@ -1663,6 +1922,110 @@ mod tests {
     }
 
     #[test]
+    fn parses_profile_flags_with_defaults() {
+        let cmd = parse_line("profile 2 6").unwrap();
+        assert!(
+            matches!(
+                cmd,
+                Command::Profile {
+                    d: 2,
+                    k: 6,
+                    messages: 1000,
+                    shards: 4,
+                    sample: 64,
+                    top: 5,
+                    metrics: false,
+                    ..
+                }
+            ),
+            "{cmd:?}"
+        );
+        let cmd = parse_line(
+            "profile 2 8 --messages 500 --shards 8 --threads 2 --sample 16 --top 3 \
+             --profile-out p.json --chrome-out c.json --next-hop compressed --workload zipf:1.2",
+        )
+        .unwrap();
+        match cmd {
+            Command::Profile {
+                messages,
+                shards,
+                threads,
+                sample,
+                top,
+                profile_out,
+                chrome_out,
+                next_hop,
+                workload,
+                ..
+            } => {
+                assert_eq!(messages, 500);
+                assert_eq!(shards, 8);
+                assert_eq!(threads, 2);
+                assert_eq!(sample, 16);
+                assert_eq!(top, 3);
+                assert_eq!(profile_out.as_deref(), Some("p.json"));
+                assert_eq!(chrome_out.as_deref(), Some("c.json"));
+                assert_eq!(next_hop, NextHopMode::Compressed);
+                assert_eq!(workload, WorkloadKind::Zipf(1.2));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_line("profile 2").is_err(), "missing k");
+        assert!(parse_line("profile 2 6 --shards 0").is_err());
+        assert!(parse_line("profile 2 6 --samples 8").is_err(), "typo flag");
+    }
+
+    #[test]
+    fn profile_report_matches_simulate_and_emits_engine_sections() {
+        let params = "2 6 --messages 300 --shards 4 --threads 2 --seed 9";
+        let sim = run(&parse_line(&format!("simulate {params}")).unwrap()).unwrap();
+        let tmp = std::env::temp_dir();
+        let json_path = tmp.join(format!("dbr-prof-{}.json", std::process::id()));
+        let chrome_path = tmp.join(format!("dbr-prof-{}.chrome.json", std::process::id()));
+        let prof = run(&parse_line(&format!(
+            "profile {params} --sample 8 --metrics --profile-out {} --chrome-out {}",
+            json_path.display(),
+            chrome_path.display()
+        ))
+        .unwrap())
+        .unwrap();
+        // The seven headline lines are byte-identical: the profiler
+        // observes without perturbing the report.
+        let head = |s: &str| s.lines().take(7).collect::<Vec<_>>().join("\n");
+        assert_eq!(head(&sim), head(&prof));
+        for needle in [
+            "== engine profile ==",
+            "phase",
+            "barrier",
+            "imbalance:",
+            "sampler:      1/8",
+            "critical paths",
+            "profile written to",
+            "engine chrome trace written to",
+            "== engine metrics ==",
+            "dbr_engine_phase_nanos_total{phase=\"compute\"}",
+            "dbr_engine_sampled_messages_total",
+        ] {
+            assert!(prof.contains(needle), "missing {needle:?} in:\n{prof}");
+        }
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        std::fs::remove_file(&json_path).ok();
+        for key in [
+            "\"schema\": \"dbr-engine-profile/v1\"",
+            "\"phases\": [",
+            "\"critical_paths\": [",
+            "\"imbalance\": {",
+        ] {
+            assert!(json.contains(key), "missing {key:?} in:\n{json}");
+        }
+        let chrome = std::fs::read_to_string(&chrome_path).unwrap();
+        std::fs::remove_file(&chrome_path).ok();
+        assert!(chrome.starts_with("[\n{"), "{chrome}");
+        assert!(chrome.ends_with("\n]\n"), "{chrome}");
+        assert!(chrome.contains("\"ph\":\"X\""), "phase slices present");
+    }
+
+    #[test]
     fn simulate_next_hop_and_workload_flags_work_end_to_end() {
         // Parsing: tiers and workloads round-trip, junk is rejected.
         assert!(matches!(
@@ -1844,6 +2207,24 @@ mod tests {
             "{out}"
         );
         assert!(!dump.exists(), "no dump without an anomaly");
+    }
+
+    #[test]
+    fn zipf_skew_trips_the_queue_depth_trigger_through_the_cli() {
+        let dir = std::env::temp_dir();
+        let dump = dir.join(format!("dbr-flight-zipf-cli-{}.jsonl", std::process::id()));
+        let dump_str = dump.to_str().unwrap();
+        // A heavy zipf burst funnels most of the traffic into rank 0,
+        // whose in-links back up past the default 1024 high-water mark.
+        let line = format!(
+            "simulate 2 6 --messages 12000 --workload zipf:2.5 --flight-recorder {dump_str}"
+        );
+        let out = run(&parse_line(&line).unwrap()).unwrap();
+        assert!(out.contains("queue high-water breach"), "{out}");
+        let summary = run(&parse_line(&format!("trace summary {dump_str}")).unwrap()).unwrap();
+        std::fs::remove_file(&dump).ok();
+        assert!(summary.contains("events:"), "{summary}");
+        assert!(summary.contains("makespan:"), "{summary}");
     }
 
     #[test]
