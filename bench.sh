@@ -17,9 +17,13 @@
 # caps the engine profiler's cost at default sampling to 2% over an
 # unprofiled run while asserting profiling perturbs no output
 # (--max-profile-overhead-pct, see docs/OBSERVABILITY.md "Profiling
-# the engine"). The speedup series is a higher-is-better ratio, so the
-# scaling bench is compared ns-only (--ns-only) under bench_check's
-# lower-is-better rule. ci.sh runs this as its performance smoke.
+# the engine"). The query-service bench likewise self-gates: the
+# sharded+batched service must beat the shared-cache unbatched
+# baseline on QPS (--min-qps-ratio; self-skipped on single-core hosts
+# where the worker pool cannot express parallelism). Speedup and QPS
+# are higher-is-better series, so those benches are compared ns-only
+# (--ns-only) under bench_check's lower-is-better rule. ci.sh runs
+# this as its performance smoke.
 set -eu
 
 out=BENCH_results.json
@@ -27,7 +31,7 @@ out=BENCH_results.json
 if [ "${1:-}" = "--check" ]; then
     cargo build --release -q -p debruijn-bench \
         --bench distance_engines --bench simulation_throughput \
-        --bench simulation_scaling --bin bench_check
+        --bench simulation_scaling --bench service_throughput --bin bench_check
     tmp=$(mktemp)
     trap 'rm -f "$tmp"' EXIT
     dist_line=$(cargo bench -q -p debruijn-bench --bench distance_engines -- --json)
@@ -35,11 +39,14 @@ if [ "${1:-}" = "--check" ]; then
         --json --max-scrape-overhead-pct 2)
     scale_line=$(cargo bench -q -p debruijn-bench --bench simulation_scaling -- \
         --json --ns-only --min-speedup-4t 1.8 --max-profile-overhead-pct 2)
+    service_line=$(cargo bench -q -p debruijn-bench --bench service_throughput -- \
+        --json --ns-only --min-qps-ratio 1.0)
     {
         printf '[\n'
         printf '%s,\n' "$dist_line"
         printf '%s,\n' "$sim_line"
-        printf '%s' "$scale_line"
+        printf '%s,\n' "$scale_line"
+        printf '%s' "$service_line"
         printf '\n]\n'
     } > "$tmp"
     cargo run --release -q -p debruijn-bench --bin bench_check -- "$out" "$tmp"
@@ -50,12 +57,13 @@ cargo build --release -q -p debruijn-bench \
     --bench distance_engines \
     --bench routing_algorithms \
     --bench simulation_throughput \
-    --bench simulation_scaling
+    --bench simulation_scaling \
+    --bench service_throughput
 
 {
     printf '[\n'
     first=1
-    for bench in distance_engines routing_algorithms simulation_throughput simulation_scaling; do
+    for bench in distance_engines routing_algorithms simulation_throughput simulation_scaling service_throughput; do
         line=$(cargo bench -q -p debruijn-bench --bench "$bench" -- --json)
         if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
         printf '%s' "$line"

@@ -157,6 +157,77 @@ for key in '"schema": "dbr-engine-profile/v1"' '"phases": [' \
 done
 echo "profiled report matches the unprofiled run; profile JSON schema present"
 
+echo "== query service smoke =="
+# The thread-per-core query service end to end over loopback:
+# concurrent keep-alive clients get correct answers, malformed queries
+# get typed 400s, unknown endpoints 404, the scrape carries the
+# dbr_service_* families, and /quitquitquit shuts down cleanly with an
+# end-of-run metrics dump on stdout (see docs/OBSERVABILITY.md
+# "Serving traffic").
+./target/release/dbr serve 2 --listen 127.0.0.1:0 --threads 2 \
+    > "$smoke_dir/serve.txt" 2> "$smoke_dir/serve.err" &
+listen_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|^listening on http://\([^/]*\)/metrics$|\1|p' \
+        "$smoke_dir/serve.err")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve smoke: server never announced its address"
+    cat "$smoke_dir/serve.err"
+    exit 1
+fi
+# Concurrent clients: every answer must be the engine's.
+client_pids=""
+for _ in 1 2 3 4; do
+    {
+        for _ in 1 2 3 4 5 6 7 8; do
+            curl -fsS "http://$addr/distance?x=00000000&y=11111111"
+            curl -fsS "http://$addr/route?x=00000000&y=11111111"
+        done
+    } > /dev/null &
+    client_pids="$client_pids $!"
+done
+for pid in $client_pids; do
+    wait "$pid" || { echo "serve smoke: a client batch failed"; exit 1; }
+done
+dist=$(curl -fsS "http://$addr/distance?x=00000000&y=11111111")
+if [ "$dist" != "8" ]; then
+    echo "serve smoke: distance(00000000,11111111) = '$dist', want 8"
+    exit 1
+fi
+# Typed errors: bad digit -> 400 with a JSON kind, unknown path -> 404.
+code=$(curl -s -o "$smoke_dir/serve_400.txt" -w '%{http_code}' \
+    "http://$addr/distance?x=012&y=000")
+[ "$code" = "400" ] || { echo "serve smoke: bad digit gave $code, want 400"; exit 1; }
+grep -qF '"error":"bad-address"' "$smoke_dir/serve_400.txt"
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/frobnicate")
+[ "$code" = "404" ] || { echo "serve smoke: unknown path gave $code, want 404"; exit 1; }
+# The scrape carries the service families with real counts.
+curl -fsS "http://$addr/metrics" > "$smoke_dir/serve_scrape.txt"
+for family in "dbr_service_requests_total{" "dbr_service_errors_total{" \
+    "dbr_service_cache_total{" "dbr_service_latency_ns_count{"; do
+    if ! grep -qF "$family" "$smoke_dir/serve_scrape.txt"; then
+        echo "serve smoke: /metrics lacks '$family'"
+        cat "$smoke_dir/serve_scrape.txt"
+        exit 1
+    fi
+done
+if ! grep -E '^dbr_service_requests_total\{[^}]*\} [1-9]' \
+    "$smoke_dir/serve_scrape.txt" > /dev/null; then
+    echo "serve smoke: dbr_service_requests_total never counted a request"
+    exit 1
+fi
+curl -fsS "http://$addr/quitquitquit" | grep -q "shutting down"
+wait "$listen_pid" || { echo "serve smoke: serve exited non-zero"; exit 1; }
+listen_pid=""
+# The end-of-run dump on stdout repeats the registry, cache stats
+# included.
+grep -qF "dbr_service_cache_total{" "$smoke_dir/serve.txt"
+echo "query service answers, sheds typed errors, scrapes, and drains cleanly"
+
 echo "== bench regression smoke =="
 # Reruns the distance-engine bench and fails if any series regressed
 # more than 30% against the checked-in BENCH_results.json.

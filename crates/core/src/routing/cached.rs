@@ -125,6 +125,47 @@ impl RouteCacheStats {
         }
         Some(self.hits as f64 / total as f64)
     }
+
+    /// Folds another cache's counts into this one — the aggregation
+    /// step for sharded (per-worker) cache deployments.
+    pub fn merge(&mut self, other: &RouteCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+
+    /// The counts accumulated since an earlier snapshot of the same
+    /// cache — what a worker publishes to a metrics registry between
+    /// batches without double counting.
+    pub fn since(&self, earlier: &RouteCacheStats) -> RouteCacheStats {
+        RouteCacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+/// The cache shard a destination hashes to, for a pool of `shards`
+/// per-worker [`RouteCache`] rings.
+///
+/// Deterministic across processes and runs (the hasher is keyed with
+/// constants), so repeated queries for one destination always land on
+/// the same worker's ring — the property that makes per-worker caches
+/// as effective as one shared cache without any shared lock. Sharding
+/// by *destination only* (not the pair) keeps convergecast traffic —
+/// many sources, one sink — on a single shard, where Algorithm 1's
+/// per-destination preprocessing amortizes best.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn destination_shard(y: &Word, shards: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    assert!(shards > 0, "shard count must be positive");
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    y.hash(&mut h);
+    (h.finish() % shards as u64) as usize
 }
 
 #[derive(Debug, Clone)]
@@ -391,6 +432,53 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hits, 0);
         assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn destination_shard_is_deterministic_and_in_range() {
+        let g = DeBruijn::new(2, 6).unwrap();
+        for shards in [1usize, 2, 3, 8] {
+            for y in g.vertices() {
+                let s = destination_shard(&y, shards);
+                assert!(s < shards, "{y} -> {s} out of range for {shards}");
+                assert_eq!(s, destination_shard(&y, shards), "unstable for {y}");
+            }
+        }
+        // One shard takes everything.
+        assert_eq!(destination_shard(&Word::parse(2, "0110").unwrap(), 1), 0);
+        // The hash actually spreads: 64 destinations over 4 shards
+        // must not collapse onto a single one.
+        let mut seen = [false; 4];
+        for y in g.vertices() {
+            seen[destination_shard(&y, 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 4 shards receive traffic");
+    }
+
+    #[test]
+    fn stats_merge_and_since_compose() {
+        let a = RouteCacheStats {
+            hits: 10,
+            misses: 4,
+            evictions: 1,
+        };
+        let b = RouteCacheStats {
+            hits: 5,
+            misses: 6,
+            evictions: 0,
+        };
+        let mut total = a;
+        total.merge(&b);
+        assert_eq!(
+            total,
+            RouteCacheStats {
+                hits: 15,
+                misses: 10,
+                evictions: 1
+            }
+        );
+        assert_eq!(total.since(&a), b);
+        assert_eq!(total.since(&total), RouteCacheStats::default());
     }
 
     #[test]

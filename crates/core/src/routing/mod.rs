@@ -17,7 +17,7 @@ mod multipath;
 mod path;
 pub mod table;
 
-pub use cached::{DirectedDestinationRouter, RouteCache, RouteCacheStats};
+pub use cached::{destination_shard, DirectedDestinationRouter, RouteCache, RouteCacheStats};
 pub use compressed::{CompressedNextHop, CompressedScratch};
 pub use multipath::all_shortest_routes;
 pub use path::{Digit, RoutePath, ShiftKind, Step};

@@ -32,7 +32,12 @@
 //!   of named counters/gauges/histograms with Prometheus text export, a
 //!   std-only HTTP scrape server ([`metrics::ScrapeServer`]), and an
 //!   anomaly-triggered [`metrics::FlightRecorder`] for post-mortem event
-//!   capture.
+//!   capture;
+//! * [`service`] — a thread-per-core query service over the routing
+//!   engines ([`QueryService`]): HTTP/1.1 keep-alive, per-worker
+//!   sharded route caches, request batching, and bounded admission
+//!   queues that shed overload with `503` + `Retry-After` — answers
+//!   byte-identical to the direct engine at any thread count.
 //!
 //! Everything is deterministic given the seed in [`SimConfig`].
 //!
@@ -59,6 +64,7 @@ pub mod policy;
 pub mod profiler;
 pub mod record;
 pub mod router;
+pub mod service;
 pub mod shard;
 pub mod sim;
 pub mod stats;
@@ -72,6 +78,7 @@ pub use profiler::{
 };
 pub use record::{DropReason, InMemoryRecorder, NetEvent, NullRecorder, Recorder};
 pub use router::RouterKind;
+pub use service::{QueryService, ServiceConfig};
 pub use shard::{NextHopMode, ShardedSimulation};
 pub use sim::{
     FaultHandling, ForwardingMode, Injection, LinkParams, NetError, SimConfig, Simulation,

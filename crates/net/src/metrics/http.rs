@@ -33,6 +33,8 @@ pub struct HttpResponse {
     pub content_type: String,
     /// Response body.
     pub body: String,
+    /// Optional `Retry-After` header value in seconds (load shedding).
+    pub retry_after: Option<u64>,
 }
 
 impl HttpResponse {
@@ -42,6 +44,7 @@ impl HttpResponse {
             status: 200,
             content_type: "text/plain; charset=utf-8".to_string(),
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -51,8 +54,134 @@ impl HttpResponse {
             status: 400,
             content_type: "text/plain; charset=utf-8".to_string(),
             body: body.into(),
+            retry_after: None,
         }
     }
+
+    /// An arbitrary-status plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into(),
+            retry_after: None,
+        }
+    }
+
+    /// A machine-readable error: `{"error":"<kind>","detail":"<detail>"}`
+    /// as `application/json`. The detail is JSON-escaped; the kind must
+    /// already be a stable kebab-case identifier.
+    pub fn json_error(status: u16, kind: &str, detail: &str) -> Self {
+        let mut escaped = String::with_capacity(detail.len());
+        for c in detail.chars() {
+            match c {
+                '"' => escaped.push_str("\\\""),
+                '\\' => escaped.push_str("\\\\"),
+                '\n' => escaped.push_str("\\n"),
+                c if (c as u32) < 0x20 => {
+                    use std::fmt::Write as _;
+                    let _ = write!(escaped, "\\u{:04x}", c as u32);
+                }
+                c => escaped.push(c),
+            }
+        }
+        Self {
+            status,
+            content_type: "application/json; charset=utf-8".to_string(),
+            body: format!("{{\"error\":\"{kind}\",\"detail\":\"{escaped}\"}}\n"),
+            retry_after: None,
+        }
+    }
+
+    /// A `503 Service Unavailable` shed response with `Retry-After`.
+    pub fn overloaded(retry_after_secs: u64) -> Self {
+        let mut response = Self::json_error(503, "overloaded", "queue full, retry later");
+        response.retry_after = Some(retry_after_secs);
+        response
+    }
+}
+
+/// One parsed HTTP request line plus the connection-management headers
+/// the servers here care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET`, ...).
+    pub method: String,
+    /// Request target: path plus optional query string.
+    pub target: String,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by `Connection: close`; HTTP/1.0
+    /// defaults to close unless `Connection: keep-alive`).
+    pub keep_alive: bool,
+}
+
+/// Reads one request head from `reader`. `Ok(None)` means the peer
+/// closed the connection cleanly between requests (keep-alive end).
+///
+/// Headers are drained (bounded at 8 KiB) so pipelined clients stay in
+/// sync; only the `Connection` header is interpreted.
+pub(crate) fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<HttpRequest>> {
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let http10 = parts.next().is_some_and(|v| v == "HTTP/1.0");
+    let mut keep_alive = !http10;
+    let mut drained = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        drained += n;
+        if n == 0 || line == "\r\n" || line == "\n" || drained > 8192 {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+    }
+    Ok(Some(HttpRequest {
+        method,
+        target,
+        keep_alive,
+    }))
+}
+
+/// Writes `response` to `stream` with an explicit `Connection` header
+/// (`keep-alive` keeps the stream reusable for the next request).
+pub(crate) fn write_response(
+    stream: &mut TcpStream,
+    response: &HttpResponse,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let retry = match response.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
+    // One buffer, one write: `write!` straight into an unbuffered
+    // TcpStream would issue a syscall (and, under TCP_NODELAY, a
+    // packet) per format fragment.
+    let message = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n{}",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len(),
+        retry,
+        if keep_alive { "keep-alive" } else { "close" },
+        response.body
+    );
+    stream.write_all(message.as_bytes())?;
+    stream.flush()
 }
 
 /// A pluggable route: receives the request target (path plus query
@@ -66,6 +195,7 @@ fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
@@ -205,6 +335,11 @@ impl Drop for ScrapeServer {
 }
 
 /// Reads one request, routes it, writes one response.
+///
+/// Scrape traffic is one request per connection, so this server stays
+/// close-per-request; the keep-alive query plane lives in
+/// [`crate::service::QueryService`], which shares [`read_request`] /
+/// [`write_response`].
 fn serve_connection(
     stream: &mut TcpStream,
     registry: &Arc<MetricsRegistry>,
@@ -212,23 +347,11 @@ fn serve_connection(
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain headers (bounded) so well-behaved clients see a clean close.
-    let mut drained = 0usize;
-    loop {
-        let mut line = String::new();
-        let n = reader.read_line(&mut line)?;
-        drained += n;
-        if n == 0 || line == "\r\n" || line == "\n" || drained > 8192 {
-            break;
-        }
-    }
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let target = parts.next().unwrap_or("");
-    let response = route(method, target, registry, handler);
-    let endpoint = match target.split('?').next().unwrap_or("") {
+    let Some(request) = read_request(&mut reader)? else {
+        return Ok(());
+    };
+    let response = route(&request.method, &request.target, registry, handler);
+    let endpoint = match request.target.split('?').next().unwrap_or("") {
         path @ ("/metrics" | "/healthz") => path.to_string(),
         path if response.status != 404 => path.to_string(),
         // Unknown paths share one label to keep cardinality bounded.
@@ -244,16 +367,7 @@ fn serve_connection(
             ],
         )
         .inc();
-    write!(
-        stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-        response.status,
-        status_reason(response.status),
-        response.content_type,
-        response.body.len(),
-        response.body
-    )?;
-    stream.flush()
+    write_response(stream, &response, false)
 }
 
 fn route(
@@ -263,28 +377,21 @@ fn route(
     handler: Option<&HttpHandler>,
 ) -> HttpResponse {
     if method != "GET" {
-        return HttpResponse {
-            status: 405,
-            content_type: "text/plain; charset=utf-8".to_string(),
-            body: "only GET is supported\n".to_string(),
-        };
+        return HttpResponse::text(405, "only GET is supported\n");
     }
     match target.split('?').next().unwrap_or("") {
         "/metrics" => HttpResponse {
             status: 200,
             content_type: PROMETHEUS_CONTENT_TYPE.to_string(),
             body: registry.snapshot().render(),
+            retry_after: None,
         },
         "/healthz" => HttpResponse::ok("ok\n"),
         _ => {
             if let Some(response) = handler.and_then(|h| h(target)) {
                 return response;
             }
-            HttpResponse {
-                status: 404,
-                content_type: "text/plain; charset=utf-8".to_string(),
-                body: "not found\n".to_string(),
-            }
+            HttpResponse::text(404, "not found\n")
         }
     }
 }

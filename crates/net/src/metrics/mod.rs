@@ -54,6 +54,7 @@ mod registry;
 
 pub use export::{FamilySnapshot, GaugeMerge, LabelSet, MetricKind, MetricValue, MetricsSnapshot};
 pub use flight::{Anomaly, AnomalyTriggers, Burst, FlightRecorder};
-pub use http::{HttpHandler, HttpResponse, ScrapeServer, PROMETHEUS_CONTENT_TYPE};
+pub(crate) use http::{read_request, write_response};
+pub use http::{HttpHandler, HttpRequest, HttpResponse, ScrapeServer, PROMETHEUS_CONTENT_TYPE};
 pub use recorder::{register_core_profile, replay_sharded, RegistryRecorder};
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};

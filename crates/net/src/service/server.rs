@@ -1,0 +1,407 @@
+//! The I/O plane: HTTP/1.1 keep-alive connection handling in front of
+//! the [`Dispatcher`].
+//!
+//! A [`QueryService`] owns one accept thread, a bounded pool of
+//! connection threads (one per live connection — blocking I/O, no
+//! reactor), and one compute worker per dispatcher shard. Connection
+//! threads do only protocol work: parse a request, hand the query to
+//! [`Dispatcher::submit`], block on the reply channel, write the
+//! response, repeat on the same socket. All routing math happens on the
+//! worker that owns the destination's cache shard, so answers are
+//! identical no matter which connection carried the query.
+//!
+//! Endpoints: `/distance` and `/route` (the query grammar of
+//! [`parse_query`]), `/metrics` (Prometheus text), `/healthz`, and
+//! `/quitquitquit` (graceful shutdown: answer, stop accepting, drain
+//! queues, join workers — how `dbr serve` gets an end-of-run metrics
+//! dump and CI gets a deterministic teardown).
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use super::query::{parse_query, QueryKind};
+use super::worker::{Dispatcher, ServiceConfig};
+use crate::metrics::{
+    read_request, write_response, Anomaly, HttpResponse, MetricsRegistry, PROMETHEUS_CONTENT_TYPE,
+};
+
+/// Hard cap on concurrent connections; beyond it new sockets get an
+/// immediate `503`. Queue bounds (not this) are the real admission
+/// control — the cap only stops a connection flood from exhausting
+/// threads.
+const MAX_CONNECTIONS: usize = 1024;
+
+/// How long an idle keep-alive connection may sit between requests.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long shutdown waits for in-flight connections to finish before
+/// proceeding (stragglers then shed against the closed queues).
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Shared state every connection thread needs.
+struct Shared {
+    dispatcher: Arc<Dispatcher>,
+    registry: Arc<MetricsRegistry>,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    addr: SocketAddr,
+}
+
+/// A thread-per-core HTTP query service over one TCP listener.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use debruijn_net::metrics::{MetricsRegistry, ScrapeServer};
+/// use debruijn_net::service::{QueryService, ServiceConfig};
+///
+/// let registry = Arc::new(MetricsRegistry::new());
+/// let service = QueryService::bind("127.0.0.1:0", ServiceConfig::new(2), Arc::clone(&registry))?;
+/// let addr = service.local_addr();
+/// assert_eq!(ScrapeServer::get(addr, "/distance?x=0000&y=1111")?, "4\n");
+/// service.shutdown()?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct QueryService {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    dispatcher: Arc<Dispatcher>,
+    active: Arc<AtomicUsize>,
+    torn_down: bool,
+}
+
+impl QueryService {
+    /// Binds `addr` and starts the accept thread plus one compute
+    /// worker per shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind or thread-spawn error.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServiceConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> io::Result<Self> {
+        let dispatcher = Dispatcher::new(config, Arc::clone(&registry));
+        Self::bind_dispatcher(addr, dispatcher, registry)
+    }
+
+    /// Like [`QueryService::bind`] with a pre-built dispatcher (e.g.
+    /// one carrying a flight recorder).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind or thread-spawn error.
+    pub fn bind_dispatcher(
+        addr: impl ToSocketAddrs,
+        dispatcher: Dispatcher,
+        registry: Arc<MetricsRegistry>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let dispatcher = Arc::new(dispatcher);
+        let mut workers = Vec::with_capacity(dispatcher.workers());
+        for w in 0..dispatcher.workers() {
+            let dispatcher = Arc::clone(&dispatcher);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dbr-serve-worker-{w}"))
+                    .spawn(move || dispatcher.run_worker(w))?,
+            );
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let shared = Arc::new(Shared {
+            dispatcher: Arc::clone(&dispatcher),
+            registry,
+            stop: Arc::clone(&stop),
+            active: Arc::clone(&active),
+            addr: local,
+        });
+        let accept = std::thread::Builder::new()
+            .name("dbr-serve-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    if shared.active.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
+                        let retry = shared.dispatcher.config().retry_after_secs;
+                        let _ =
+                            write_response(&mut stream, &HttpResponse::overloaded(retry), false);
+                        continue;
+                    }
+                    shared.active.fetch_add(1, Ordering::SeqCst);
+                    let conn_shared = Arc::clone(&shared);
+                    let spawned = std::thread::Builder::new()
+                        .name("dbr-serve-conn".to_string())
+                        .spawn(move || {
+                            let _ = serve_connection(&conn_shared, stream);
+                            conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        shared.active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr: local,
+            stop,
+            accept: Some(accept),
+            workers,
+            dispatcher,
+            active,
+            torn_down: false,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The compute plane, for inspection in tests and CLI reporting.
+    pub fn dispatcher(&self) -> &Arc<Dispatcher> {
+        &self.dispatcher
+    }
+
+    /// Parks the caller until the service stops (a `/quitquitquit`
+    /// request), then drains and joins everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flight-recorder dump error, if any.
+    pub fn block(mut self) -> io::Result<Option<Anomaly>> {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.teardown()
+    }
+
+    /// Stops accepting, drains in-flight work, joins all threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flight-recorder dump error, if any.
+    pub fn shutdown(mut self) -> io::Result<Option<Anomaly>> {
+        self.stop_accepting();
+        self.teardown()
+    }
+
+    fn stop_accepting(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept call with one throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+
+    fn teardown(&mut self) -> io::Result<Option<Anomaly>> {
+        self.torn_down = true;
+        // Let live connections finish their current exchanges; after
+        // the deadline, any straggler sheds against the closed queues.
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        while self.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.dispatcher.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.dispatcher.finish_flight()
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.stop_accepting();
+        if !self.torn_down {
+            let _ = self.teardown();
+        }
+    }
+}
+
+/// One connection's keep-alive serve loop.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(IDLE_TIMEOUT))?;
+    // Responses are small and latency-bound: without TCP_NODELAY,
+    // Nagle holding them for the peer's delayed ACK costs ~40ms per
+    // keep-alive exchange even on loopback.
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    // One reply channel reused for every query on this connection: the
+    // connection blocks on it, so at most one answer is in flight.
+    let (reply_tx, reply_rx) = sync_channel::<String>(1);
+    loop {
+        let Some(request) = read_request(&mut reader)? else {
+            return Ok(());
+        };
+        let (path, query_string) = request
+            .target
+            .split_once('?')
+            .unwrap_or((request.target.as_str(), ""));
+        let response = respond(
+            shared,
+            &request.method,
+            path,
+            query_string,
+            &reply_tx,
+            &reply_rx,
+        );
+        let endpoint = match path {
+            "/distance" => "distance",
+            "/route" => "route",
+            "/metrics" => "metrics",
+            "/healthz" => "healthz",
+            "/quitquitquit" => "quitquitquit",
+            // Unknown paths share one label to keep cardinality bounded.
+            _ => "other",
+        };
+        shared
+            .registry
+            .counter_with(
+                "dbr_service_requests_total",
+                "Service requests, by endpoint and status.",
+                &[
+                    ("endpoint", endpoint),
+                    ("status", &response.status.to_string()),
+                ],
+            )
+            .inc();
+        write_response(&mut stream, &response, request.keep_alive)?;
+        if path == "/quitquitquit" {
+            // Stop accepting after the response is on the wire; the
+            // owner's block()/teardown drains and joins the rest.
+            shared.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(shared.addr);
+            return Ok(());
+        }
+        if !request.keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+fn respond(
+    shared: &Shared,
+    method: &str,
+    path: &str,
+    query_string: &str,
+    reply_tx: &SyncSender<String>,
+    reply_rx: &Receiver<String>,
+) -> HttpResponse {
+    if method != "GET" {
+        count_error(shared, "method");
+        return HttpResponse::json_error(405, "method", "only GET is supported");
+    }
+    let kind = match path {
+        "/distance" => QueryKind::Distance,
+        "/route" => QueryKind::Route,
+        "/metrics" => {
+            return HttpResponse {
+                status: 200,
+                content_type: PROMETHEUS_CONTENT_TYPE.to_string(),
+                body: shared.registry.snapshot().render(),
+                retry_after: None,
+            }
+        }
+        "/healthz" => return HttpResponse::ok("ok\n"),
+        "/quitquitquit" => return HttpResponse::ok("shutting down\n"),
+        _ => {
+            count_error(shared, "unknown-endpoint");
+            return HttpResponse::json_error(
+                404,
+                "unknown-endpoint",
+                &format!("no such endpoint: {path}"),
+            );
+        }
+    };
+    let query = match parse_query(shared.dispatcher.config().d, kind, query_string) {
+        Ok(query) => query,
+        Err(e) => {
+            count_error(shared, e.kind);
+            return HttpResponse::json_error(400, e.kind, &e.detail);
+        }
+    };
+    match shared.dispatcher.submit(query, reply_tx.clone()) {
+        Err(_) => HttpResponse::overloaded(shared.dispatcher.config().retry_after_secs),
+        Ok(_) => match reply_rx.recv() {
+            Ok(body) => HttpResponse::ok(body),
+            // The worker vanished mid-query (panic or forced teardown).
+            Err(_) => {
+                count_error(shared, "internal");
+                HttpResponse::json_error(500, "internal", "worker unavailable")
+            }
+        },
+    }
+}
+
+fn count_error(shared: &Shared, kind: &str) {
+    shared
+        .registry
+        .counter_with(
+            "dbr_service_errors_total",
+            "Rejected service requests, by error kind.",
+            &[("kind", kind)],
+        )
+        .inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ScrapeServer;
+
+    fn service(workers: usize) -> (QueryService, Arc<MetricsRegistry>) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let config = ServiceConfig {
+            workers,
+            ..ServiceConfig::new(2)
+        };
+        let service = QueryService::bind("127.0.0.1:0", config, Arc::clone(&registry)).unwrap();
+        (service, registry)
+    }
+
+    #[test]
+    fn serves_distance_route_metrics_and_health() {
+        let (service, _registry) = service(2);
+        let addr = service.local_addr();
+        assert_eq!(
+            ScrapeServer::get(addr, "/distance?x=0000&y=1111").unwrap(),
+            "4\n"
+        );
+        let route = ScrapeServer::get(addr, "/route?x=0110&y=1011").unwrap();
+        assert!(route.starts_with("distance: "), "{route}");
+        assert_eq!(ScrapeServer::get(addr, "/healthz").unwrap(), "ok\n");
+        let metrics = ScrapeServer::get(addr, "/metrics").unwrap();
+        assert!(
+            metrics.contains("dbr_service_requests_total{endpoint=\"distance\",status=\"200\"} 1"),
+            "{metrics}"
+        );
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn quitquitquit_unblocks_block_and_drains() {
+        let (service, registry) = service(1);
+        let addr = service.local_addr();
+        let body = ScrapeServer::get(addr, "/distance?x=0110&y=1011").unwrap();
+        assert_eq!(body, "1\n");
+        let quitter = std::thread::spawn(move || ScrapeServer::get(addr, "/quitquitquit"));
+        service.block().unwrap();
+        assert_eq!(quitter.join().unwrap().unwrap(), "shutting down\n");
+        // The dump after shutdown still carries the service families.
+        let rendered = registry.snapshot().render();
+        assert!(rendered.contains("dbr_service_cache_total"), "{rendered}");
+    }
+}

@@ -1,0 +1,548 @@
+//! The compute plane: sharded bounded queues, per-worker route caches,
+//! batched answering, and admission control.
+//!
+//! A [`Dispatcher`] owns one [`BoundedQueue`] per worker. Queries are
+//! assigned to workers by [`destination_shard`] — a deterministic hash
+//! of the destination — so repeated traffic toward one destination
+//! always lands on the same worker's private [`RouteCache`]. That makes
+//! the per-worker caches collectively as effective as one shared cache
+//! while keeping the hot path free of shared locks: each worker mutates
+//! only state it exclusively owns.
+//!
+//! Admission control is the queue bound: [`Dispatcher::submit`] never
+//! blocks, and a full queue hands the query back so the HTTP layer can
+//! shed it with `503` + `Retry-After` instead of letting latency grow
+//! without bound. Workers drain up to [`ServiceConfig::batch`] queued
+//! jobs per wakeup, amortizing the condvar round-trip and the metrics
+//! publication across the batch.
+//!
+//! The `shared_cache` flag flips the dispatcher into the pre-sharding
+//! architecture — one global queue and one mutex-guarded cache all
+//! workers contend on — kept as the measured baseline for the
+//! `service_throughput` bench.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use debruijn_core::routing::{
+    destination_shard, RouteCache, RouteCacheStats, RoutePath, RoutingScratch,
+};
+use debruijn_core::Word;
+use debruijn_parallel::{effective_threads, BoundedQueue};
+
+use super::query::{answer_query_cached, Query, QueryKind};
+use crate::metrics::{Anomaly, Counter, FlightRecorder, GaugeMerge, MetricsRegistry};
+use crate::record::{NetEvent, Recorder};
+
+/// Tuning knobs for the query service, exposed as `dbr serve` flags.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Radix of the served `DG(d,k)` address space.
+    pub d: u8,
+    /// Worker (and cache-shard) count; `0` means one per core.
+    pub workers: usize,
+    /// Total cached routes, split evenly across shards (`0` disables
+    /// caching).
+    pub cache_capacity: usize,
+    /// Per-worker queue bound: queries beyond it are shed with `503`.
+    pub max_inflight: usize,
+    /// Maximum queries a worker drains (and answers) per wakeup.
+    pub batch: usize,
+    /// Baseline mode: the pre-sharding architecture — one global
+    /// queue and one mutex-guarded cache shared by all workers
+    /// instead of per-worker shards (the `service_throughput` bench's
+    /// comparison series — measurably slower, kept honest).
+    pub shared_cache: bool,
+    /// `Retry-After` seconds advertised on shed responses.
+    pub retry_after_secs: u64,
+}
+
+impl ServiceConfig {
+    /// Production defaults for radix `d`: one worker per core, 4096
+    /// cached routes, 256 queued queries per worker, batches of 32.
+    pub fn new(d: u8) -> Self {
+        Self {
+            d,
+            workers: 0,
+            cache_capacity: 4096,
+            max_inflight: 256,
+            batch: 32,
+            shared_cache: false,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// One admitted query travelling from the HTTP layer to a worker.
+pub struct Job {
+    query: Query,
+    enqueued: Instant,
+    reply: SyncSender<String>,
+}
+
+struct Shard {
+    queue: BoundedQueue<Job>,
+    depth: AtomicU64,
+    high_water: AtomicU64,
+}
+
+/// A shared cache plus the stats already published to the registry, so
+/// concurrent workers publish disjoint deltas.
+struct SharedCache {
+    cache: RouteCache,
+    published: RouteCacheStats,
+}
+
+/// The service's compute plane: per-worker bounded queues and route
+/// caches behind a deterministic destination-shard map.
+///
+/// The dispatcher only owns state; callers spawn the worker threads
+/// (one [`Dispatcher::run_worker`] call per shard). Keeping the threads
+/// external makes overload deterministic to test: fill a queue with no
+/// worker running, observe the sheds, then start the worker and watch
+/// the clean drain.
+pub struct Dispatcher {
+    config: ServiceConfig,
+    shards: Arc<Vec<Shard>>,
+    shared: Option<Mutex<SharedCache>>,
+    registry: Arc<MetricsRegistry>,
+    shed_total: Counter,
+    flight: Mutex<Option<FlightRecorder>>,
+    flight_armed: AtomicBool,
+    seq: AtomicU64,
+}
+
+impl Dispatcher {
+    /// Builds the dispatcher and registers its queue-depth gauges on
+    /// `registry`. `config.workers` is resolved via [`effective_threads`]
+    /// (0 → one per core).
+    pub fn new(config: ServiceConfig, registry: Arc<MetricsRegistry>) -> Self {
+        let workers = effective_threads(config.workers);
+        let config = ServiceConfig { workers, ..config };
+        let shards: Arc<Vec<Shard>> = Arc::new(
+            (0..workers)
+                .map(|_| Shard {
+                    queue: BoundedQueue::new(config.max_inflight),
+                    depth: AtomicU64::new(0),
+                    high_water: AtomicU64::new(0),
+                })
+                .collect(),
+        );
+        let gauge_shards = Arc::clone(&shards);
+        registry.register_collector(move |snap| {
+            for (w, shard) in gauge_shards.iter().enumerate() {
+                let label = w.to_string();
+                snap.set_gauge(
+                    "dbr_service_queue_depth",
+                    "Queries queued per worker shard.",
+                    &[("shard", &label)],
+                    GaugeMerge::Sum,
+                    shard.depth.load(Ordering::Relaxed) as i64,
+                );
+                snap.set_gauge(
+                    "dbr_service_queue_depth_high_water",
+                    "Peak queue depth observed per worker shard.",
+                    &[("shard", &label)],
+                    GaugeMerge::Max,
+                    shard.high_water.load(Ordering::Relaxed) as i64,
+                );
+            }
+        });
+        let shed_total = registry.counter(
+            "dbr_service_shed_total",
+            "Queries shed with 503 because a worker queue was full.",
+        );
+        let shared = config.shared_cache.then(|| {
+            Mutex::new(SharedCache {
+                cache: RouteCache::new(config.cache_capacity),
+                published: RouteCacheStats::default(),
+            })
+        });
+        Self {
+            config,
+            shards,
+            shared,
+            registry,
+            shed_total,
+            flight: Mutex::new(None),
+            flight_armed: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs a flight recorder fed one synthetic forward event per
+    /// admission decision, carrying the observed queue depth — so an
+    /// [`crate::metrics::AnomalyTriggers::queue_depth_limit`] of
+    /// [`ServiceConfig::max_inflight`] trips exactly when the service
+    /// starts shedding and freezes the pre-overload window.
+    pub fn with_flight_recorder(self, recorder: FlightRecorder) -> Self {
+        *self.flight.lock().expect("flight lock") = Some(recorder);
+        self.flight_armed.store(true, Ordering::SeqCst);
+        self
+    }
+
+    /// The resolved configuration (with `workers` made concrete).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a destination hashes to.
+    pub fn shard_of(&self, y: &Word) -> usize {
+        destination_shard(y, self.shards.len())
+    }
+
+    /// Current depth of one shard's queue.
+    pub fn queue_depth(&self, shard: usize) -> usize {
+        self.shards[shard].queue.len()
+    }
+
+    /// Admits `query` to its destination shard, or hands it back when
+    /// the shard's queue is full (the caller sheds it with `503`).
+    /// Never blocks. On success returns the queue depth after the push;
+    /// the answer is delivered through `reply`.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, query: Query, reply: SyncSender<String>) -> Result<usize, Query> {
+        // The shared-cache baseline is the whole pre-sharding
+        // architecture: one global queue every worker contends on, not
+        // just one cache.
+        let shard = if self.shared.is_some() {
+            0
+        } else {
+            self.shard_of(&query.y)
+        };
+        let state = &self.shards[shard];
+        let flight_event = self
+            .flight_armed
+            .load(Ordering::Relaxed)
+            .then(|| (query.x.clone(), query.y.clone()));
+        let job = Job {
+            query,
+            enqueued: Instant::now(),
+            reply,
+        };
+        match state.queue.try_push(job) {
+            Ok(depth) => {
+                state.depth.store(depth as u64, Ordering::Relaxed);
+                state.high_water.fetch_max(depth as u64, Ordering::Relaxed);
+                if let Some((x, y)) = flight_event {
+                    self.record_flight(&x, &y, depth);
+                }
+                Ok(depth)
+            }
+            Err(job) => {
+                self.shed_total.inc();
+                if let Some((x, y)) = flight_event {
+                    // A rejected push means the queue sits at its bound:
+                    // report the bound itself so a queue-depth trigger
+                    // set to `max_inflight` fires on the first shed.
+                    self.record_flight(&x, &y, self.config.max_inflight);
+                }
+                Err(job.query)
+            }
+        }
+    }
+
+    /// One worker's serve loop: block on the shard queue, drain up to
+    /// [`ServiceConfig::batch`] jobs, answer each through the worker's
+    /// private cache and reusable buffers, publish the cache-stat
+    /// deltas, repeat. Returns after [`Dispatcher::close`] once the
+    /// queue is fully drained — no admitted query is ever dropped.
+    pub fn run_worker(&self, w: usize) {
+        let per_shard = if self.config.cache_capacity == 0 {
+            0
+        } else {
+            self.config.cache_capacity.div_ceil(self.workers()).max(1)
+        };
+        let mut cache = RouteCache::new(per_shard);
+        let mut scratch = RoutingScratch::new();
+        let mut path_buf = RoutePath::empty();
+        let mut published = RouteCacheStats::default();
+        let mut batch: Vec<Job> = Vec::with_capacity(self.config.batch);
+        let shard_label = w.to_string();
+        let stats_counters = CacheCounters::new(&self.registry, &shard_label);
+        let latency = |kind: QueryKind| {
+            self.registry.histogram_with(
+                "dbr_service_latency_ns",
+                "Queue-to-answer latency per query, nanoseconds.",
+                &[("endpoint", kind.label())],
+            )
+        };
+        let lat_distance = latency(QueryKind::Distance);
+        let lat_route = latency(QueryKind::Route);
+        let state = &self.shards[if self.shared.is_some() { 0 } else { w }];
+        while state.queue.drain_into(&mut batch, self.config.batch) {
+            state
+                .depth
+                .store(state.queue.len() as u64, Ordering::Relaxed);
+            for job in batch.drain(..) {
+                let body = match &self.shared {
+                    Some(shared) => {
+                        let mut guard = shared.lock().expect("shared cache lock");
+                        answer_query_cached(
+                            &job.query,
+                            &mut guard.cache,
+                            &mut scratch,
+                            &mut path_buf,
+                        )
+                    }
+                    None => {
+                        answer_query_cached(&job.query, &mut cache, &mut scratch, &mut path_buf)
+                    }
+                };
+                let hist = match job.query.kind {
+                    QueryKind::Distance => &lat_distance,
+                    QueryKind::Route => &lat_route,
+                };
+                hist.observe(job.enqueued.elapsed().as_nanos() as u64);
+                // A send error means the client hung up; the answer is
+                // simply discarded.
+                let _ = job.reply.send(body);
+            }
+            match &self.shared {
+                Some(shared) => {
+                    let mut guard = shared.lock().expect("shared cache lock");
+                    let now = guard.cache.stats();
+                    let delta = now.since(&guard.published);
+                    guard.published = now;
+                    stats_counters.publish(&delta);
+                }
+                None => {
+                    let now = cache.stats();
+                    stats_counters.publish(&now.since(&published));
+                    published = now;
+                }
+            }
+        }
+        state.depth.store(0, Ordering::Relaxed);
+    }
+
+    /// Closes every shard queue: subsequent submits shed, blocked
+    /// workers wake, and each worker exits after draining what was
+    /// already admitted.
+    pub fn close(&self) {
+        for shard in self.shards.iter() {
+            shard.queue.close();
+        }
+    }
+
+    /// The anomaly the flight recorder captured, if any (without
+    /// consuming the recorder).
+    pub fn flight_anomaly(&self) -> Option<Anomaly> {
+        self.flight
+            .lock()
+            .expect("flight lock")
+            .as_ref()
+            .and_then(|f| f.anomaly().cloned())
+    }
+
+    /// Takes the flight recorder and finalizes it, writing the dump
+    /// file when one was configured and an anomaly fired.
+    ///
+    /// # Errors
+    ///
+    /// Returns the dump-file write error.
+    pub fn finish_flight(&self) -> std::io::Result<Option<Anomaly>> {
+        match self.flight.lock().expect("flight lock").take() {
+            Some(recorder) => recorder.finish(),
+            None => Ok(None),
+        }
+    }
+
+    fn record_flight(&self, from: &Word, to: &Word, queue_depth: usize) {
+        let mut guard = self.flight.lock().expect("flight lock");
+        if let Some(flight) = guard.as_mut() {
+            // Admission decisions mapped onto the trace vocabulary:
+            // one Forward per admitted (or shed) query, sequenced by a
+            // monotone counter standing in for simulator time.
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            flight.record(&NetEvent::Forward {
+                time: seq,
+                message: seq as usize,
+                hop: 0,
+                from: from.clone(),
+                to: to.clone(),
+                departs: seq,
+                arrives: seq,
+                queue_wait: 0,
+                queue_depth,
+            });
+        }
+    }
+}
+
+/// The six counter handles a worker publishes cache-stat deltas to:
+/// per-shard series plus the cross-shard aggregate (distinct family
+/// names, so a scrape never double counts).
+struct CacheCounters {
+    shard: [Counter; 3],
+    aggregate: [Counter; 3],
+}
+
+const OUTCOMES: [&str; 3] = ["hit", "miss", "eviction"];
+
+impl CacheCounters {
+    fn new(registry: &MetricsRegistry, shard_label: &str) -> Self {
+        let shard = OUTCOMES.map(|outcome| {
+            registry.counter_with(
+                "dbr_service_cache_shard_total",
+                "Route-cache lookups per worker shard, by outcome.",
+                &[("shard", shard_label), ("outcome", outcome)],
+            )
+        });
+        let aggregate = OUTCOMES.map(|outcome| {
+            registry.counter_with(
+                "dbr_service_cache_total",
+                "Route-cache lookups across all shards, by outcome.",
+                &[("outcome", outcome)],
+            )
+        });
+        Self { shard, aggregate }
+    }
+
+    fn publish(&self, delta: &RouteCacheStats) {
+        for (i, n) in [delta.hits, delta.misses, delta.evictions]
+            .into_iter()
+            .enumerate()
+        {
+            if n > 0 {
+                self.shard[i].add(n);
+                self.aggregate[i].add(n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::AnomalyTriggers;
+    use crate::service::query::{answer_query_direct, parse_query};
+    use std::sync::mpsc::sync_channel;
+
+    fn config(workers: usize, max_inflight: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers,
+            max_inflight,
+            ..ServiceConfig::new(2)
+        }
+    }
+
+    fn query(q: &str) -> Query {
+        parse_query(2, QueryKind::Route, q).unwrap()
+    }
+
+    #[test]
+    fn submit_routes_to_the_destination_shard_and_workers_answer() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let dispatcher = Arc::new(Dispatcher::new(config(3, 16), Arc::clone(&registry)));
+        assert_eq!(dispatcher.workers(), 3);
+        let (tx, rx) = sync_channel(1);
+        let q = query("x=0110&y=1011");
+        let shard = dispatcher.shard_of(&q.y);
+        assert_eq!(dispatcher.submit(q.clone(), tx), Ok(1));
+        assert_eq!(dispatcher.queue_depth(shard), 1);
+        dispatcher.close();
+        dispatcher.run_worker(shard);
+        assert_eq!(rx.recv().unwrap(), answer_query_direct(&q));
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("dbr_service_cache_total", &[("outcome", "miss")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn full_queue_sheds_then_drains_cleanly_after_close() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let triggers = AnomalyTriggers {
+            drop_burst: None,
+            no_route_burst: None,
+            queue_depth_limit: Some(2),
+            queue_wait_limit: None,
+        };
+        let dispatcher = Dispatcher::new(config(1, 2), Arc::clone(&registry))
+            .with_flight_recorder(FlightRecorder::new(16, triggers));
+        // No worker running: both slots fill, the third submit sheds.
+        let q = query("x=0110&y=1011");
+        let mut receivers = Vec::new();
+        for _ in 0..2 {
+            let (tx, rx) = sync_channel(1);
+            assert!(dispatcher.submit(q.clone(), tx).is_ok());
+            receivers.push(rx);
+        }
+        assert_eq!(dispatcher.queue_depth(0), 2, "depth stays bounded");
+        let (tx, _rx) = sync_channel(1);
+        let rejected = dispatcher.submit(q.clone(), tx).unwrap_err();
+        assert_eq!(rejected, q);
+        assert_eq!(dispatcher.queue_depth(0), 2);
+        assert!(
+            matches!(
+                dispatcher.flight_anomaly(),
+                Some(Anomaly::QueueDepthBreach {
+                    depth: 2,
+                    limit: 2,
+                    ..
+                })
+            ),
+            "{:?}",
+            dispatcher.flight_anomaly()
+        );
+        // Close, then drain: the two admitted queries are still answered.
+        dispatcher.close();
+        dispatcher.run_worker(0);
+        for rx in receivers {
+            assert_eq!(rx.recv().unwrap(), answer_query_direct(&q));
+        }
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_value("dbr_service_shed_total", &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn shared_cache_baseline_answers_identically() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let cfg = ServiceConfig {
+            shared_cache: true,
+            batch: 1,
+            ..config(2, 16)
+        };
+        let dispatcher = Dispatcher::new(cfg, Arc::clone(&registry));
+        let queries = ["x=0110&y=1011", "x=0000&y=1111", "x=1010&y=0101"];
+        let mut expected = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            // Alternate kinds so both endpoints cross the shared cache.
+            let kind = if i % 2 == 0 {
+                QueryKind::Route
+            } else {
+                QueryKind::Distance
+            };
+            let q = parse_query(2, kind, q).unwrap();
+            let (tx, rx) = sync_channel(1);
+            dispatcher.submit(q.clone(), tx).unwrap();
+            expected.push((rx, answer_query_direct(&q)));
+        }
+        dispatcher.close();
+        for w in 0..dispatcher.workers() {
+            dispatcher.run_worker(w);
+        }
+        for (rx, want) in expected {
+            assert_eq!(rx.recv().unwrap(), want);
+        }
+        let snap = registry.snapshot();
+        let lookups: u64 = ["hit", "miss"]
+            .iter()
+            .filter_map(|o| snap.counter_value("dbr_service_cache_total", &[("outcome", o)]))
+            .sum();
+        assert_eq!(lookups, 3, "every undirected query crosses the cache");
+    }
+}

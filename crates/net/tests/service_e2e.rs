@@ -1,0 +1,318 @@
+//! End-to-end tests for the thread-per-core query service: concurrent
+//! keep-alive clients, typed error handling, and overload shedding.
+//!
+//! The contract under test: every response is byte-identical to the
+//! single-threaded direct-engine answer regardless of worker count,
+//! connection assignment, or cache state; malformed queries are typed
+//! `400`s; overload sheds with `503` + `Retry-After` and never grows a
+//! queue past its bound; shutdown drains every admitted query.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+use debruijn_core::Word;
+use debruijn_net::metrics::MetricsRegistry;
+use debruijn_net::service::{
+    answer_query_direct, parse_query, Dispatcher, Query, QueryKind, QueryService, ServiceConfig,
+};
+
+/// A minimal HTTP/1.1 keep-alive client: one socket, many requests.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// One parsed response: status, `Retry-After` (if present), body.
+struct Response {
+    status: u16,
+    retry_after: Option<u64>,
+    content_type: String,
+    body: String,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Self { stream, reader }
+    }
+
+    /// Sends `GET target` on the persistent connection and reads the
+    /// full response (Content-Length framed).
+    fn get(&mut self, target: &str) -> Response {
+        write!(self.stream, "GET {target} HTTP/1.1\r\nHost: dbr\r\n\r\n").unwrap();
+        self.stream.flush().unwrap();
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"))
+            .parse()
+            .unwrap();
+        let mut content_length = 0usize;
+        let mut retry_after = None;
+        let mut content_type = String::new();
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            if line == "\r\n" || line == "\n" || line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse().unwrap();
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = Some(value.parse().unwrap());
+                } else if name.eq_ignore_ascii_case("content-type") {
+                    content_type = value.to_string();
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).unwrap();
+        Response {
+            status,
+            retry_after,
+            content_type,
+            body: String::from_utf8(body).unwrap(),
+        }
+    }
+}
+
+fn bind_service(config: ServiceConfig) -> (QueryService, Arc<MetricsRegistry>) {
+    let registry = Arc::new(MetricsRegistry::new());
+    let service = QueryService::bind("127.0.0.1:0", config, Arc::clone(&registry)).unwrap();
+    (service, registry)
+}
+
+/// The query mix every client thread issues: a deterministic walk over
+/// DG(2,6) pairs, alternating endpoint and network direction. All
+/// clients share the walk, so the same pairs arrive concurrently from
+/// different connections — the cache-hit and determinism stress case.
+fn query_mix() -> Vec<(String, Query)> {
+    let mut queries = Vec::new();
+    for i in 0..48u128 {
+        let x = Word::from_rank(2, 6, (i * 5) % 64).unwrap();
+        let y = Word::from_rank(2, 6, (i * 11) % 64).unwrap();
+        let kind = if i % 2 == 0 { "route" } else { "distance" };
+        let directed = i % 3 == 0;
+        let target = format!(
+            "/{kind}?x={x}&y={y}{}",
+            if directed { "&directed=1" } else { "" }
+        );
+        let kind = if i % 2 == 0 {
+            QueryKind::Route
+        } else {
+            QueryKind::Distance
+        };
+        let (_, query_string) = target.split_once('?').unwrap();
+        let query = parse_query(2, kind, query_string).unwrap();
+        queries.push((target, query));
+    }
+    queries
+}
+
+#[test]
+fn concurrent_keep_alive_clients_get_byte_identical_answers() {
+    let (service, registry) = bind_service(ServiceConfig {
+        workers: 3,
+        cache_capacity: 64, // small: force eviction traffic too
+        ..ServiceConfig::new(2)
+    });
+    let addr = service.local_addr();
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                for (target, query) in query_mix() {
+                    let response = client.get(&target);
+                    assert_eq!(response.status, 200, "{target}");
+                    // Byte-for-byte the single-threaded engine answer.
+                    assert_eq!(response.body, answer_query_direct(&query), "{target}");
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().unwrap();
+    }
+    service.shutdown().unwrap();
+    let snap = registry.snapshot();
+    let requests: u64 = ["distance", "route"]
+        .iter()
+        .filter_map(|e| {
+            snap.counter_value(
+                "dbr_service_requests_total",
+                &[("endpoint", e), ("status", "200")],
+            )
+        })
+        .sum();
+    assert_eq!(requests, 4 * 48);
+    // The cache shards saw the traffic (hits and misses both nonzero:
+    // clients overlap in their walks).
+    let lookups = |outcome: &str| {
+        snap.counter_value("dbr_service_cache_total", &[("outcome", outcome)])
+            .unwrap_or(0)
+    };
+    assert!(lookups("miss") > 0);
+    assert!(lookups("hit") > 0, "overlapping clients must hit");
+}
+
+#[test]
+fn malformed_queries_get_typed_400s_and_unknown_endpoints_404() {
+    let (service, registry) = bind_service(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::new(2)
+    });
+    let mut client = Client::connect(service.local_addr());
+
+    let cases = [
+        ("/distance?y=1011", 400, "missing-param"),
+        ("/distance?x=012&y=000", 400, "bad-address"),
+        ("/route?x=0110&y=01", 400, "length-mismatch"),
+        ("/frobnicate", 404, "unknown-endpoint"),
+    ];
+    for (target, status, kind) in cases {
+        let response = client.get(target);
+        assert_eq!(response.status, status, "{target}");
+        assert!(
+            response.content_type.starts_with("application/json"),
+            "{target}: {}",
+            response.content_type
+        );
+        assert!(
+            response.body.contains(&format!("\"error\":\"{kind}\"")),
+            "{target}: {}",
+            response.body
+        );
+    }
+    // A good query on the same (still keep-alive) connection works.
+    assert_eq!(client.get("/distance?x=0110&y=1011").body, "1\n");
+    service.shutdown().unwrap();
+    let snap = registry.snapshot();
+    for (_, _, kind) in cases {
+        assert_eq!(
+            snap.counter_value("dbr_service_errors_total", &[("kind", kind)]),
+            Some(1),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn overloaded_service_sheds_503_with_retry_after() {
+    let (service, registry) = bind_service(ServiceConfig {
+        workers: 1,
+        max_inflight: 4,
+        retry_after_secs: 2,
+        ..ServiceConfig::new(2)
+    });
+    // Closing the dispatcher queues makes every subsequent admission
+    // fail — the deterministic stand-in for saturated workers.
+    service.dispatcher().close();
+    let mut client = Client::connect(service.local_addr());
+    let response = client.get("/route?x=0110&y=1011");
+    assert_eq!(response.status, 503);
+    assert_eq!(response.retry_after, Some(2));
+    assert!(response.body.contains("\"error\":\"overloaded\""));
+    // Non-query endpoints still answer while shedding.
+    assert_eq!(client.get("/healthz").body, "ok\n");
+    service.shutdown().unwrap();
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter_value("dbr_service_shed_total", &[]), Some(1));
+    assert_eq!(
+        snap.counter_value(
+            "dbr_service_requests_total",
+            &[("endpoint", "route"), ("status", "503")]
+        ),
+        Some(1)
+    );
+}
+
+#[test]
+fn dispatcher_overload_keeps_depth_bounded_and_drains_on_shutdown() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let config = ServiceConfig {
+        workers: 1,
+        max_inflight: 8,
+        ..ServiceConfig::new(2)
+    };
+    let dispatcher = Dispatcher::new(config, Arc::clone(&registry));
+    let query = parse_query(2, QueryKind::Route, "x=0110&y=1011").unwrap();
+    // No worker is running: exactly max_inflight admissions succeed,
+    // everything beyond sheds, and the depth never exceeds the bound.
+    let mut receivers = Vec::new();
+    let mut sheds = 0;
+    for _ in 0..20 {
+        let (tx, rx) = sync_channel(1);
+        match dispatcher.submit(query.clone(), tx) {
+            Ok(depth) => {
+                assert!(depth <= 8);
+                receivers.push(rx);
+            }
+            Err(_) => sheds += 1,
+        }
+    }
+    assert_eq!(receivers.len(), 8);
+    assert_eq!(sheds, 12);
+    assert_eq!(dispatcher.queue_depth(0), 8);
+    // Shutdown: close, then a (late-started) worker drains what was
+    // admitted — every accepted query still gets its answer.
+    dispatcher.close();
+    dispatcher.run_worker(0);
+    let expected = answer_query_direct(&query);
+    for rx in receivers {
+        assert_eq!(rx.recv().unwrap(), expected);
+    }
+    assert_eq!(dispatcher.queue_depth(0), 0);
+    assert_eq!(
+        registry
+            .snapshot()
+            .counter_value("dbr_service_shed_total", &[]),
+        Some(12)
+    );
+}
+
+#[test]
+fn connection_close_is_honored_and_http10_defaults_to_close() {
+    let (service, _registry) = bind_service(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::new(2)
+    });
+    let addr = service.local_addr();
+    // `Connection: close`: the server answers then closes the socket.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    write!(
+        stream,
+        "GET /distance?x=0110&y=1011 HTTP/1.1\r\nHost: dbr\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    assert!(response.contains("Connection: close"), "{response}");
+    assert!(response.ends_with("1\n"), "{response}");
+    // HTTP/1.0 without keep-alive: also one-shot.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    write!(stream, "GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.contains("Connection: close"), "{response}");
+    assert!(response.ends_with("ok\n"), "{response}");
+    service.shutdown().unwrap();
+}

@@ -13,10 +13,11 @@ use debruijn_core::distance::undirected::Engine;
 use debruijn_core::{directed_average_distance, distance, profile, routing, DeBruijn, Word};
 use debruijn_graph::{census, diameter, euler, DebruijnGraph};
 use debruijn_net::metrics::{
-    register_core_profile, AnomalyTriggers, FlightRecorder, HttpHandler, HttpResponse,
-    MetricsRegistry, RegistryRecorder, ScrapeServer,
+    register_core_profile, AnomalyTriggers, FlightRecorder, MetricsRegistry, RegistryRecorder,
+    ScrapeServer,
 };
 use debruijn_net::record::{FanoutRecorder, InMemoryRecorder, JsonlRecorder};
+use debruijn_net::service::{QueryService, ServiceConfig};
 use debruijn_net::telemetry::{ChromeTraceRecorder, SnapshotRecorder};
 use debruijn_net::{
     workload, NetEvent, NextHopMode, ProfileConfig, Recorder, RouterKind, ShardedSimulation,
@@ -186,13 +187,25 @@ pub enum Command {
         /// Print the simulation metrics block too.
         metrics: bool,
     },
-    /// `dbr serve <d> [--listen ADDR]` — standing route/distance query
-    /// service with `/metrics`.
+    /// `dbr serve <d> [--listen ADDR] [--threads N] [--cache-capacity N]
+    /// [--max-inflight N] [--batch B] [--flight-dump FILE]` — standing
+    /// thread-per-core route/distance query service with `/metrics`.
     Serve {
         /// Digit radix served.
         d: u8,
         /// Bind address (`127.0.0.1:0` picks a free port).
         listen: String,
+        /// Worker threads / cache shards (0 = one per core).
+        threads: usize,
+        /// Total route-cache capacity split across shards (0 disables).
+        cache_capacity: usize,
+        /// Per-worker queue bound; overflow is shed with 503.
+        max_inflight: usize,
+        /// Maximum queries a worker answers per wakeup.
+        batch: usize,
+        /// Arm the queue-depth flight recorder, dumping the
+        /// pre-overload window to this JSONL file.
+        flight_dump: Option<String>,
     },
     /// `dbr trace <summary|links|hist|diff|export> …` — offline
     /// analysis of `--trace` JSONL files.
@@ -361,7 +374,9 @@ USAGE:
                       [--messages N] [--router R] [--policy P] [--seed S]
                       [--next-hop T] [--workload W] [--faults W1,W2]
                       [--ttl N] [--trace FILE] [--metrics]
-  dbr serve <d> [--listen ADDR]     HTTP route/distance query service
+  dbr serve <d> [--listen ADDR] [--threads N] [--cache-capacity N]
+                [--max-inflight N] [--batch B] [--flight-dump FILE]
+                                    HTTP route/distance query service
   dbr trace summary <file>          reconstruct the --metrics report
   dbr trace links <file> [--top N]  hottest links, utilization table
   dbr trace hist <metric> <file>    ASCII histogram (hops|latency|stretch|
@@ -438,8 +453,16 @@ pre-anomaly event window as JSONL readable by every `dbr trace`
 command; --flight-capacity N sizes the ring (default 4096). --faults
 W1,W2 marks nodes faulty; --ttl N drops messages exceeding N hops
 (reason `ttl`). `dbr serve <d>` answers GET /distance?x=X&y=Y and
-/route?x=X&y=Y (add &directed=1 for Algorithm 1) and exports its own
-request counters at /metrics. See docs/OBSERVABILITY.md.
+/route?x=X&y=Y (add &directed=1 for Algorithm 1) over keep-alive
+HTTP/1.1 on a thread-per-core worker pool with sharded route caches:
+--threads N sets the worker/shard count (0 = one per core),
+--cache-capacity the total cached routes, --max-inflight the
+per-worker queue bound (overflow is shed with 503 + Retry-After),
+--batch the per-wakeup drain size, and --flight-dump FILE arms a
+queue-depth flight recorder that dumps the pre-overload window.
+Malformed queries get 400 with a JSON error body; unknown endpoints
+404. dbr_service_* metrics are exported at /metrics and printed as an
+end-of-run dump after GET /quitquitquit. See docs/OBSERVABILITY.md.
 ";
 
 /// Usage text for the `dbr trace` family, shown on trace parse errors.
@@ -687,14 +710,41 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "serve" => {
             let (pos, flags) = split_flags(&rest);
-            flags.expect_only(&["--listen"])?;
-            let [d] = positional::<1>(&pos, "serve <d> [--listen ADDR]")?;
+            flags.expect_only(&[
+                "--listen",
+                "--threads",
+                "--cache-capacity",
+                "--max-inflight",
+                "--batch",
+                "--flight-dump",
+            ])?;
+            let [d] = positional::<1>(&pos, "serve <d> [--listen ADDR] [--threads N]")?;
+            let numeric = |flag: &str, name: &str, default: usize| {
+                flags
+                    .value(flag)?
+                    .map(|v| parse_num(v, name))
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let max_inflight = numeric("--max-inflight", "max-inflight", 256)?;
+            if max_inflight == 0 {
+                return Err("--max-inflight must be at least 1".into());
+            }
+            let batch = numeric("--batch", "batch", 32)?;
+            if batch == 0 {
+                return Err("--batch must be at least 1".into());
+            }
             Ok(Command::Serve {
                 d: parse_radix(d)?,
                 listen: flags
                     .value("--listen")?
                     .unwrap_or("127.0.0.1:0")
                     .to_string(),
+                threads: numeric("--threads", "threads", 0)?,
+                cache_capacity: numeric("--cache-capacity", "cache-capacity", 4096)?,
+                max_inflight,
+                batch,
+                flight_dump: flags.value("--flight-dump")?.map(String::from),
             })
         }
         "trace" => {
@@ -1334,19 +1384,59 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 .expect("write");
             }
         }
-        Command::Serve { d, listen } => {
+        Command::Serve {
+            d,
+            listen,
+            threads,
+            cache_capacity,
+            max_inflight,
+            batch,
+            flight_dump,
+        } => {
             let registry = Arc::new(MetricsRegistry::new());
             register_core_profile(&registry);
-            let handler = serve_handler(*d, Arc::clone(&registry));
-            let server = ScrapeServer::bind_with_handler(listen.as_str(), registry, Some(handler))
-                .map_err(|e| format!("cannot listen on '{listen}': {e}"))?;
-            eprintln!("listening on http://{}/metrics", server.local_addr());
+            let config = ServiceConfig {
+                workers: *threads,
+                cache_capacity: *cache_capacity,
+                max_inflight: *max_inflight,
+                batch: *batch,
+                ..ServiceConfig::new(*d)
+            };
+            let mut dispatcher =
+                debruijn_net::service::Dispatcher::new(config, Arc::clone(&registry));
+            if let Some(path) = flight_dump {
+                // Trip exactly when a worker queue first fills (the
+                // moment shedding starts) and freeze the pre-overload
+                // admission window as `dbr trace`-readable JSONL.
+                let triggers = AnomalyTriggers {
+                    drop_burst: None,
+                    no_route_burst: None,
+                    queue_depth_limit: Some(*max_inflight),
+                    queue_wait_limit: None,
+                };
+                dispatcher = dispatcher
+                    .with_flight_recorder(FlightRecorder::new(4096, triggers).with_dump_path(path));
+            }
+            let service =
+                QueryService::bind_dispatcher(listen.as_str(), dispatcher, Arc::clone(&registry))
+                    .map_err(|e| format!("cannot listen on '{listen}': {e}"))?;
+            eprintln!("listening on http://{}/metrics", service.local_addr());
             println!(
-                "serving radix-{d} route/distance queries on http://{}",
-                server.local_addr()
+                "serving radix-{d} route/distance queries on http://{} ({} workers, \
+                 cache {cache_capacity}, max-inflight {max_inflight}, batch {batch})",
+                service.local_addr(),
+                service.dispatcher().workers(),
             );
             std::io::Write::flush(&mut std::io::stdout()).map_err(|e| e.to_string())?;
-            server.block();
+            let anomaly = service
+                .block()
+                .map_err(|e| format!("writing flight dump: {e}"))?;
+            if let Some(anomaly) = anomaly {
+                eprintln!("flight recorder: {anomaly}");
+            }
+            // End-of-run metrics dump: the final state of every
+            // dbr_service_* family, scrape-identical text.
+            out.push_str(&registry.snapshot().render());
         }
         Command::Trace { action } => match action {
             TraceAction::Summary { file, radix } => {
@@ -1440,69 +1530,6 @@ pub fn run(cmd: &Command) -> Result<String, String> {
         }
     }
     Ok(out)
-}
-
-/// The HTTP handler behind `dbr serve`: answers
-/// `GET /distance?x=X&y=Y[&directed=1]` with the distance and
-/// `GET /route?x=X&y=Y[&directed=1]` with the same two lines
-/// `dbr route` prints, counting every query in
-/// `dbr_serve_requests_total{endpoint,status}` on `registry`.
-///
-/// Exposed so the query grammar is unit-testable without binding a
-/// socket; [`ScrapeServer::bind_with_handler`] wires it live.
-pub fn serve_handler(d: u8, registry: Arc<MetricsRegistry>) -> HttpHandler {
-    Arc::new(move |target: &str| {
-        let (path, query) = target.split_once('?').unwrap_or((target, ""));
-        let endpoint = match path {
-            "/distance" => "distance",
-            "/route" => "route",
-            _ => return None,
-        };
-        let result = serve_query(d, endpoint, query);
-        let status = if result.is_ok() { "200" } else { "400" };
-        registry
-            .counter_with(
-                "dbr_serve_requests_total",
-                "Route/distance queries served, by endpoint and status.",
-                &[("endpoint", endpoint), ("status", status)],
-            )
-            .inc();
-        Some(match result {
-            Ok(body) => HttpResponse::ok(body),
-            Err(message) => HttpResponse::bad_request(format!("{message}\n")),
-        })
-    })
-}
-
-/// Evaluates one `dbr serve` query string against the route/distance
-/// library.
-fn serve_query(d: u8, endpoint: &str, query: &str) -> Result<String, String> {
-    let param = |key: &str| {
-        query.split('&').find_map(|kv| {
-            kv.split_once('=')
-                .filter(|(k, _)| *k == key)
-                .map(|(_, v)| v)
-        })
-    };
-    let x = param("x").ok_or("missing query parameter 'x'")?;
-    let y = param("y").ok_or("missing query parameter 'y'")?;
-    let directed = matches!(param("directed"), Some("1" | "true"));
-    let (x, y) = parse_pair(d, x, y)?;
-    Ok(if endpoint == "distance" {
-        let dist = if directed {
-            distance::directed::distance(&x, &y)
-        } else {
-            distance::undirected::distance_with(Engine::Auto, &x, &y)
-        };
-        format!("{dist}\n")
-    } else {
-        let route = if directed {
-            routing::algorithm1(&x, &y)
-        } else {
-            routing::route_with_engine(&x, &y, Engine::Auto)
-        };
-        format!("distance: {}\nroute:    {route}\n", route.len())
-    })
 }
 
 /// How often `--metrics-out` rewrites its snapshot file, in simulated
@@ -2119,16 +2146,32 @@ mod tests {
             Command::Serve {
                 d: 2,
                 listen: "127.0.0.1:0".into(),
+                threads: 0,
+                cache_capacity: 4096,
+                max_inflight: 256,
+                batch: 32,
+                flight_dump: None,
             }
         );
         assert_eq!(
-            parse_line("serve 3 --listen 0.0.0.0:9100").unwrap(),
+            parse_line(
+                "serve 3 --listen 0.0.0.0:9100 --threads 4 --cache-capacity 128 \
+                 --max-inflight 64 --batch 8 --flight-dump overload.jsonl"
+            )
+            .unwrap(),
             Command::Serve {
                 d: 3,
                 listen: "0.0.0.0:9100".into(),
+                threads: 4,
+                cache_capacity: 128,
+                max_inflight: 64,
+                batch: 8,
+                flight_dump: Some("overload.jsonl".into()),
             }
         );
         assert!(parse_line("serve").is_err());
+        assert!(parse_line("serve 2 --max-inflight 0").is_err());
+        assert!(parse_line("serve 2 --batch 0").is_err());
         assert_eq!(
             parse_line("trace prom run.jsonl --threads 4").unwrap(),
             Command::Trace {
@@ -2228,45 +2271,70 @@ mod tests {
     }
 
     #[test]
-    fn serve_handler_answers_distance_and_route_queries() {
+    fn serve_service_answers_queries_with_typed_errors() {
+        use debruijn_net::metrics::ScrapeServer;
         let registry = Arc::new(MetricsRegistry::new());
-        let handler = serve_handler(2, Arc::clone(&registry));
-        let ok = handler("/distance?x=0110&y=1011").unwrap();
-        assert_eq!(ok.status, 200);
-        assert_eq!(ok.body, "1\n");
-        let directed = handler("/distance?x=0110&y=1011&directed=1").unwrap();
-        assert_eq!(directed.body, "2\n");
-        let route = handler("/route?x=010011&y=110100").unwrap();
-        assert!(route.body.contains("distance: 2"), "{}", route.body);
-        assert!(route.body.contains("route:"), "{}", route.body);
-        let bad = handler("/distance?x=0110").unwrap();
-        assert_eq!(bad.status, 400);
-        assert!(bad.body.contains("missing query parameter 'y'"));
-        let bad = handler("/distance?x=01&y=0110").unwrap();
-        assert_eq!(bad.status, 400);
-        // Paths outside the query grammar fall through to 404.
-        assert!(handler("/frobnicate").is_none());
-        // Every query was counted by endpoint and status.
+        let service = QueryService::bind(
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::new(2)
+            },
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let addr = service.local_addr();
+        assert_eq!(
+            ScrapeServer::get(addr, "/distance?x=0110&y=1011").unwrap(),
+            "1\n"
+        );
+        assert_eq!(
+            ScrapeServer::get(addr, "/distance?x=0110&y=1011&directed=1").unwrap(),
+            "2\n"
+        );
+        let route = ScrapeServer::get(addr, "/route?x=010011&y=110100").unwrap();
+        assert!(route.contains("distance: 2"), "{route}");
+        assert!(route.contains("route:"), "{route}");
+        // Malformed queries are 400 with a JSON error body; unknown
+        // endpoints are 404 — ScrapeServer::get surfaces both as Err.
+        assert!(ScrapeServer::get(addr, "/distance?x=0110").is_err());
+        assert!(ScrapeServer::get(addr, "/distance?x=01&y=0110").is_err());
+        assert!(ScrapeServer::get(addr, "/frobnicate").is_err());
+        service.shutdown().unwrap();
+        // Every query was counted by endpoint and status, and every
+        // rejection by kind.
         let snap = registry.snapshot();
         assert_eq!(
             snap.counter_value(
-                "dbr_serve_requests_total",
+                "dbr_service_requests_total",
                 &[("endpoint", "distance"), ("status", "200")]
             ),
             Some(2)
         );
         assert_eq!(
             snap.counter_value(
-                "dbr_serve_requests_total",
+                "dbr_service_requests_total",
                 &[("endpoint", "distance"), ("status", "400")]
             ),
             Some(2)
         );
         assert_eq!(
             snap.counter_value(
-                "dbr_serve_requests_total",
+                "dbr_service_requests_total",
                 &[("endpoint", "route"), ("status", "200")]
             ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("dbr_service_errors_total", &[("kind", "missing-param")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("dbr_service_errors_total", &[("kind", "length-mismatch")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value("dbr_service_errors_total", &[("kind", "unknown-endpoint")]),
             Some(1)
         );
     }
