@@ -22,8 +22,11 @@
 # baseline on QPS (--min-qps-ratio; self-skipped on single-core hosts
 # where the worker pool cannot express parallelism). Speedup and QPS
 # are higher-is-better series, so those benches are compared ns-only
-# (--ns-only) under bench_check's lower-is-better rule. ci.sh runs
-# this as its performance smoke.
+# (--ns-only) under bench_check's lower-is-better rule. The monitor
+# bench self-gates identifying-code fault monitors to at most 2%
+# ns/msg over a monitors-off run (--max-monitor-overhead-pct, see
+# docs/OBSERVABILITY.md "Localizing faults"). ci.sh runs this as its
+# performance smoke.
 set -eu
 
 out=BENCH_results.json
@@ -31,7 +34,8 @@ out=BENCH_results.json
 if [ "${1:-}" = "--check" ]; then
     cargo build --release -q -p debruijn-bench \
         --bench distance_engines --bench simulation_throughput \
-        --bench simulation_scaling --bench service_throughput --bin bench_check
+        --bench simulation_scaling --bench service_throughput \
+        --bench monitor_overhead --bin bench_check
     tmp=$(mktemp)
     trap 'rm -f "$tmp"' EXIT
     dist_line=$(cargo bench -q -p debruijn-bench --bench distance_engines -- --json)
@@ -41,12 +45,15 @@ if [ "${1:-}" = "--check" ]; then
         --json --ns-only --min-speedup-4t 1.8 --max-profile-overhead-pct 2)
     service_line=$(cargo bench -q -p debruijn-bench --bench service_throughput -- \
         --json --ns-only --min-qps-ratio 1.0)
+    monitor_line=$(cargo bench -q -p debruijn-bench --bench monitor_overhead -- \
+        --json --max-monitor-overhead-pct 2)
     {
         printf '[\n'
         printf '%s,\n' "$dist_line"
         printf '%s,\n' "$sim_line"
         printf '%s,\n' "$scale_line"
-        printf '%s' "$service_line"
+        printf '%s,\n' "$service_line"
+        printf '%s' "$monitor_line"
         printf '\n]\n'
     } > "$tmp"
     cargo run --release -q -p debruijn-bench --bin bench_check -- "$out" "$tmp"
@@ -58,12 +65,13 @@ cargo build --release -q -p debruijn-bench \
     --bench routing_algorithms \
     --bench simulation_throughput \
     --bench simulation_scaling \
-    --bench service_throughput
+    --bench service_throughput \
+    --bench monitor_overhead
 
 {
     printf '[\n'
     first=1
-    for bench in distance_engines routing_algorithms simulation_throughput simulation_scaling service_throughput; do
+    for bench in distance_engines routing_algorithms simulation_throughput simulation_scaling service_throughput monitor_overhead; do
         line=$(cargo bench -q -p debruijn-bench --bench "$bench" -- --json)
         if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
         printf '%s' "$line"

@@ -105,6 +105,20 @@ grep -qF "dropped (" "$smoke_dir/flight_summary.txt"
 grep -qF "dropped:      " "$smoke_dir/flight_summary.txt"
 echo "flight-recorder dump round-trips through dbr trace summary"
 
+echo "== fault localization smoke =="
+# One faulty node in a DG(2,8) zipf run; the identifying-code monitor
+# placement must decode it exactly — live during the run and again
+# offline from the recorded trace alone (see docs/OBSERVABILITY.md
+# "Localizing faults").
+./target/release/dbr simulate 2 8 --messages 4000 --workload zipf \
+    --faults 00110101 --monitors identifying \
+    --trace "$smoke_dir/localize.jsonl" > "$smoke_dir/localize_live.txt"
+grep -qF "verdict:   exact — faulty node 00110101" "$smoke_dir/localize_live.txt"
+./target/release/dbr localize 2 8 "$smoke_dir/localize.jsonl" \
+    --monitors identifying > "$smoke_dir/localize.txt"
+grep -qF "verdict:   exact — faulty node 00110101" "$smoke_dir/localize.txt"
+echo "identifying-code monitors localize the injected fault exactly"
+
 echo "== sharded determinism smoke =="
 # The sharded simulator's contract: for the same seed, the CLI report,
 # the JSONL trace, and the metrics block are byte-identical no matter

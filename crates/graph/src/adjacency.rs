@@ -171,6 +171,134 @@ impl DebruijnGraph {
     }
 }
 
+/// The minimal adjacency view the graph algorithms need: a contiguous
+/// rank space `0..node_count` and out-neighbor slices.
+///
+/// [`bfs`](crate::bfs), [`disjoint`](crate::disjoint) and the rank-level
+/// half of [`fault`](crate::fault) are generic over this trait, so the
+/// same fault-tolerance machinery runs on [`DebruijnGraph`] and on any
+/// materialized [`RankGraph`] (Kautz, generalized de Bruijn, …).
+pub trait Adjacency {
+    /// Number of nodes; valid indices are `0..node_count`.
+    fn node_count(&self) -> usize;
+
+    /// Out-neighbors (directed) or neighbors (undirected) of `node`.
+    fn neighbors(&self, node: u32) -> &[u32];
+}
+
+impl Adjacency for DebruijnGraph {
+    fn node_count(&self) -> usize {
+        DebruijnGraph::node_count(self)
+    }
+
+    fn neighbors(&self, node: u32) -> &[u32] {
+        DebruijnGraph::neighbors(self, node)
+    }
+}
+
+impl<G: Adjacency + ?Sized> Adjacency for &G {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn neighbors(&self, node: u32) -> &[u32] {
+        (**self).neighbors(node)
+    }
+}
+
+/// A label-free CSR graph over a plain rank space.
+///
+/// This is how the non-`DG(d,k)` members of the de Bruijn family —
+/// [`Kautz`](crate::kautz::Kautz) via
+/// [`to_rank_graph`](crate::kautz::Kautz::to_rank_graph), and
+/// [`Gdb`](crate::generalized::Gdb) via
+/// [`to_rank_graph`](crate::generalized::Gdb::to_rank_graph) — plug into
+/// the BFS / disjoint-path / fault-avoidance algorithms. Construction
+/// drops self-loops and parallel arcs, matching the reduction
+/// [`DebruijnGraph`] applies.
+#[derive(Debug, Clone)]
+pub struct RankGraph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl RankGraph {
+    /// Builds the CSR from a successor function over `0..n`, dropping
+    /// self-loops and duplicate arcs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a successor is `>= n`.
+    pub fn from_successors(n: usize, mut successors: impl FnMut(u32) -> Vec<u32>) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for v in 0..n as u32 {
+            let mut succ = successors(v);
+            succ.sort_unstable();
+            succ.dedup();
+            for s in succ {
+                assert!((s as usize) < n, "successor {s} of {v} out of range");
+                if s != v {
+                    targets.push(s);
+                }
+            }
+            offsets.push(targets.len());
+        }
+        Self { offsets, targets }
+    }
+
+    /// The symmetric closure: every arc kept in both directions (the
+    /// bi-directional network over the same vertex set).
+    pub fn symmetrized(&self) -> Self {
+        let n = self.node_count();
+        let mut both: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n as u32 {
+            for &w in self.neighbors(v) {
+                both[v as usize].push(w);
+                both[w as usize].push(v);
+            }
+        }
+        Self::from_successors(n, |v| std::mem::take(&mut both[v as usize]))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Out-neighbors of `node`, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: u32) -> &[u32] {
+        let i = node as usize;
+        assert!(i < self.node_count(), "node {node} out of range");
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Iterates over all node indices.
+    pub fn nodes(&self) -> impl Iterator<Item = u32> {
+        0..self.node_count() as u32
+    }
+
+    /// Whether an arc `a → b` is present.
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+}
+
+impl Adjacency for RankGraph {
+    fn node_count(&self) -> usize {
+        RankGraph::node_count(self)
+    }
+
+    fn neighbors(&self, node: u32) -> &[u32] {
+        RankGraph::neighbors(self, node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +387,39 @@ mod tests {
     fn neighbors_panics_out_of_range() {
         let g = DebruijnGraph::directed(space(2, 2)).unwrap();
         g.neighbors(100);
+    }
+
+    #[test]
+    fn rank_graph_drops_loops_and_duplicates() {
+        let g = RankGraph::from_successors(3, |v| vec![v, (v + 1) % 3, (v + 1) % 3]);
+        for v in g.nodes() {
+            assert_eq!(g.neighbors(v), &[(v + 1) % 3]);
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn symmetrized_rank_graph_has_both_arc_directions() {
+        let ring = RankGraph::from_successors(4, |v| vec![(v + 1) % 4]);
+        let both = ring.symmetrized();
+        for v in both.nodes() {
+            for &w in both.neighbors(v) {
+                assert!(both.has_edge(w, v), "{v}->{w} not symmetric");
+            }
+        }
+        assert_eq!(both.neighbors(0), &[1, 3]);
+    }
+
+    #[test]
+    fn rank_graph_matches_debruijn_adjacency() {
+        // Materializing DG(2,3) through the generic CSR reproduces the
+        // specialized one arc for arc.
+        let g = DebruijnGraph::directed(space(2, 3)).unwrap();
+        let r = RankGraph::from_successors(g.node_count(), |v| g.neighbors(v).to_vec());
+        for v in g.nodes() {
+            let mut expect = g.neighbors(v).to_vec();
+            expect.sort_unstable();
+            assert_eq!(r.neighbors(v), &expect[..]);
+        }
     }
 }

@@ -7,7 +7,7 @@
 
 use std::collections::VecDeque;
 
-use crate::adjacency::DebruijnGraph;
+use crate::adjacency::Adjacency;
 
 /// Marker for unreachable nodes in [`distances`] output.
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -19,7 +19,7 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// # Panics
 ///
 /// Panics if `src` is out of range.
-pub fn distances(graph: &DebruijnGraph, src: u32) -> Vec<u32> {
+pub fn distances(graph: &impl Adjacency, src: u32) -> Vec<u32> {
     let mut dist = vec![UNREACHABLE; graph.node_count()];
     let mut queue = VecDeque::new();
     dist[src as usize] = 0;
@@ -42,7 +42,7 @@ pub fn distances(graph: &DebruijnGraph, src: u32) -> Vec<u32> {
 /// # Panics
 ///
 /// Panics if either node is out of range.
-pub fn shortest_path(graph: &DebruijnGraph, src: u32, dst: u32) -> Option<Vec<u32>> {
+pub fn shortest_path(graph: &impl Adjacency, src: u32, dst: u32) -> Option<Vec<u32>> {
     shortest_path_avoiding(graph, src, dst, &[])
 }
 
@@ -58,7 +58,7 @@ pub fn shortest_path(graph: &DebruijnGraph, src: u32, dst: u32) -> Option<Vec<u3
 ///
 /// Panics if any node index is out of range.
 pub fn shortest_path_avoiding(
-    graph: &DebruijnGraph,
+    graph: &impl Adjacency,
     src: u32,
     dst: u32,
     faults: &[u32],
@@ -111,7 +111,7 @@ pub fn shortest_path_avoiding(
 ///
 /// Panics if any node index is out of range.
 pub fn shortest_path_avoiding_links(
-    graph: &DebruijnGraph,
+    graph: &impl Adjacency,
     src: u32,
     dst: u32,
     node_faults: &[u32],
@@ -167,6 +167,7 @@ pub fn shortest_path_avoiding_links(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adjacency::DebruijnGraph;
     use debruijn_core::{distance, DeBruijn};
 
     fn undirected(d: u8, k: usize) -> DebruijnGraph {

@@ -8,7 +8,7 @@
 
 use debruijn_core::{RoutePath, Word};
 
-use crate::adjacency::{DebruijnGraph, EdgeMode};
+use crate::adjacency::{Adjacency, DebruijnGraph, EdgeMode};
 use crate::bfs;
 
 /// A shortest route from `x` to `y` that avoids every word in `faults`,
@@ -64,6 +64,46 @@ pub fn route_avoiding_full(
         RoutePath::from_word_walk(&words).expect("BFS paths follow graph edges, which are shifts");
     debug_assert!(path.leads_to(x, y));
     Some(path)
+}
+
+/// A shortest surviving route on *any* adjacency view — Kautz graphs,
+/// generalized de Bruijn graphs, or `DG(d,k)` itself — as a rank walk
+/// (inclusive of both endpoints), or `None` when the faults cut every
+/// path or claim an endpoint.
+///
+/// This is the label-free counterpart of [`route_avoiding`]: the other
+/// members of the de Bruijn family have no `(a, b)` wire encoding, so
+/// the reroute is expressed as the node sequence itself (see
+/// [`Kautz::to_rank_graph`](crate::kautz::Kautz::to_rank_graph) and
+/// [`Gdb::to_rank_graph`](crate::generalized::Gdb::to_rank_graph)).
+///
+/// # Panics
+///
+/// Panics if any node index is out of range.
+pub fn route_avoiding_ranks(
+    graph: &impl Adjacency,
+    src: u32,
+    dst: u32,
+    faults: &[u32],
+) -> Option<Vec<u32>> {
+    bfs::shortest_path_avoiding(graph, src, dst, faults)
+}
+
+/// The rank-level stretch: surviving route length over fault-free
+/// distance (1.0 when the faults don't matter), or `None` when no
+/// surviving route exists. The rank-walk analogue of [`stretch`].
+///
+/// # Panics
+///
+/// Panics if `src == dst` or any node index is out of range.
+pub fn stretch_ranks(graph: &impl Adjacency, src: u32, dst: u32, faults: &[u32]) -> Option<f64> {
+    assert_ne!(src, dst, "stretch is undefined for equal endpoints");
+    let detour = route_avoiding_ranks(graph, src, dst, faults)?.len() - 1;
+    let direct = bfs::shortest_path(graph, src, dst)
+        .expect("a surviving path implies a fault-free path")
+        .len()
+        - 1;
+    Some(detour as f64 / direct as f64)
 }
 
 /// The stretch of fault-avoiding routing for one pair: the ratio between
@@ -171,6 +211,77 @@ mod tests {
         let f = Word::parse(2, "1100").unwrap();
         if let Some(s) = stretch(&g, &x, &y, std::slice::from_ref(&f)) {
             assert!(s >= 1.0);
+        }
+    }
+
+    #[test]
+    fn kautz_routes_around_any_single_fault() {
+        // K(2,3): 12 vertices, out-degree 2, vertex-connectivity 2 — one
+        // fault never disconnects the survivors.
+        let g = crate::kautz::Kautz::new(2, 3).unwrap().to_rank_graph();
+        let n = g.node_count() as u32;
+        for f in 0..n {
+            for s in 0..n {
+                for t in 0..n {
+                    if s == t || s == f || t == f {
+                        continue;
+                    }
+                    let p = route_avoiding_ranks(&g, s, t, &[f])
+                        .unwrap_or_else(|| panic!("{s}->{t} cut by {f}"));
+                    assert_eq!(p[0], s);
+                    assert_eq!(*p.last().unwrap(), t);
+                    assert!(!p.contains(&f));
+                    for w in p.windows(2) {
+                        assert!(g.has_edge(w[0], w[1]), "non-arc {w:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kautz_faulty_endpoints_yield_none() {
+        let g = crate::kautz::Kautz::new(2, 2).unwrap().to_rank_graph();
+        assert_eq!(route_avoiding_ranks(&g, 0, 3, &[0]), None);
+        assert_eq!(route_avoiding_ranks(&g, 0, 3, &[3]), None);
+    }
+
+    #[test]
+    fn generalized_debruijn_detours_have_bounded_stretch() {
+        // GDB(2,12) — an Imase–Itoh size with no DG(d,k) counterpart.
+        let g = crate::generalized::Gdb::new(2, 12).unwrap().to_rank_graph();
+        let n = g.node_count() as u32;
+        for f in 0..n {
+            for s in 0..n {
+                for t in 0..n {
+                    if s == t || s == f || t == f {
+                        continue;
+                    }
+                    // Loop-reduction can leave vertex 0 with a single
+                    // distinct out-arc, so some (s,t,f) triples are
+                    // legitimately cut; every survivor must be a valid
+                    // detour with stretch >= 1.
+                    if let Some(stretch) = stretch_ranks(&g, s, t, &[f]) {
+                        assert!(stretch >= 1.0, "{s}->{t} avoiding {f}: {stretch}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_debruijn_fault_free_routes_match_the_label_router() {
+        // The rank-level BFS reproduces the arithmetic router's distances.
+        let gdb = crate::generalized::Gdb::new(3, 10).unwrap();
+        let g = gdb.to_rank_graph();
+        for s in 0..10u32 {
+            for t in 0..10u32 {
+                if s == t {
+                    continue;
+                }
+                let walk = route_avoiding_ranks(&g, s, t, &[]).expect("connected");
+                assert_eq!(walk.len() - 1, gdb.distance(u64::from(s), u64::from(t)));
+            }
         }
     }
 

@@ -87,6 +87,28 @@ impl Gdb {
         (0..self.d).map(|a| self.successor(i, a)).collect()
     }
 
+    /// Materializes this graph as a rank-indexed CSR
+    /// ([`RankGraph`](crate::adjacency::RankGraph)), node `i` keeping
+    /// its label as its rank, ready for the generic BFS / disjoint-path
+    /// / fault-avoidance algorithms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `N` does not fit a `u32` rank space.
+    pub fn to_rank_graph(&self) -> crate::adjacency::RankGraph {
+        let n = usize::try_from(self.n).expect("N fits usize");
+        assert!(
+            u32::try_from(n).is_ok(),
+            "N = {n} exceeds the u32 rank space"
+        );
+        crate::adjacency::RankGraph::from_successors(n, |v| {
+            self.successors(u64::from(v))
+                .into_iter()
+                .map(|s| s as u32)
+                .collect()
+        })
+    }
+
     /// Label-based shortest-path length from `i` to `j`, without
     /// materializing the graph: the smallest `m` with
     /// `(j − i·d^m) mod N < d^m`.

@@ -1,0 +1,405 @@
+//! (1-)identifying codes on de Bruijn graphs: monitor placements from
+//! which a single faulty node is located exactly.
+//!
+//! A code `C ⊆ V` is *1-identifying* when every vertex `v` has a
+//! nonempty, pairwise-distinct *signature* `σ(v) = B⁻[v] ∩ C`, where
+//! `B⁻[v] = {v} ∪ N⁻(v)` is the closed in-ball. If monitors sit on `C`
+//! and a fault at `v` trips exactly the monitors in `B⁻[v]`, the set of
+//! tripped monitors is a fingerprint that names `v` uniquely — no
+//! flooding, no probes, just reading which monitors saw trouble
+//! (Boutin/Horan/Pelto, arXiv:1412.5842; Horan, arXiv:1508.00403).
+//!
+//! On the directed `DG(d,k)` the in-neighbours of `y₁…y_k` are the `d`
+//! right-shifts `b·y₁…y_{k−1}`, so all `d` *siblings* (words sharing a
+//! prefix of length `k−1`) have identical in-neighbourhoods and can only
+//! be told apart by their own self-bit — any identifying code must keep
+//! at least `d−1` of every sibling class, giving the sharp lower bound
+//! `(d−1)·d^{k−1}` (arXiv:1412.5842, Theorem 7). [`identifying_code`]
+//! starts from a digit-sum transversal that meets the bound, then runs a
+//! deterministic repair loop (adding a vertex never merges signatures,
+//! so each addition strictly shrinks the violation set) until the
+//! brute-force [`verify`] accepts. Undirected graphs use the same repair
+//! loop from the same seed; graphs with *twins* (`B[u] = B[v]`, e.g.
+//! undirected `DG(2,1)`, `DG(2,2)`, or directed `DG(d,1)`) admit no
+//! identifying code at all and are rejected with
+//! [`IdentifyError::Twins`].
+
+use std::collections::HashMap;
+
+use crate::adjacency::{DebruijnGraph, EdgeMode};
+
+/// Why a vertex set fails to be a 1-identifying code, or why the graph
+/// cannot have one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdentifyError {
+    /// Some vertex sees no code member in its closed in-ball: a fault
+    /// there would trip zero monitors.
+    Uncovered {
+        /// The invisible vertex.
+        node: u32,
+    },
+    /// Two vertices have the same signature: faults at either trip the
+    /// same monitors and cannot be told apart.
+    Ambiguous {
+        /// The lexicographically first colliding pair.
+        a: u32,
+        /// Second member of the pair.
+        b: u32,
+    },
+    /// Two vertices have identical closed in-balls (*twins*), so no
+    /// code whatsoever separates them — the graph is not 1-identifiable.
+    Twins {
+        /// First twin.
+        a: u32,
+        /// Second twin.
+        b: u32,
+    },
+}
+
+impl std::fmt::Display for IdentifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdentifyError::Uncovered { node } => {
+                write!(f, "node {node} has no code member in its closed in-ball")
+            }
+            IdentifyError::Ambiguous { a, b } => {
+                write!(f, "nodes {a} and {b} have identical signatures")
+            }
+            IdentifyError::Twins { a, b } => write!(
+                f,
+                "nodes {a} and {b} have identical closed in-balls; \
+                 the graph is not 1-identifiable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IdentifyError {}
+
+/// The closed in-ball `B⁻[v] = {v} ∪ N⁻(v)`, sorted and deduplicated.
+///
+/// For undirected graphs the CSR neighbours *are* the in-neighbours; for
+/// directed `DG(d,k)` the CSR stores out-edges, so the in-neighbours are
+/// recomputed as the `d` right-shifts of the vertex label.
+pub fn closed_in_ball(graph: &DebruijnGraph, v: u32) -> Vec<u32> {
+    let mut ball = vec![v];
+    match graph.mode() {
+        EdgeMode::Undirected => ball.extend_from_slice(graph.neighbors(v)),
+        EdgeMode::Directed => {
+            let word = graph.word_of(v);
+            for b in 0..graph.space().d() {
+                ball.push(graph.rank_of(&word.shift_right(b)));
+            }
+        }
+    }
+    ball.sort_unstable();
+    ball.dedup();
+    ball
+}
+
+/// Every vertex's signature `σ(v) = B⁻[v] ∩ code`, in vertex order.
+///
+/// `code` need not be sorted; signatures come back sorted. This is the
+/// same table a monitoring plane decodes against: row `v` is exactly the
+/// set of monitors a fault at `v` trips.
+pub fn signatures(graph: &DebruijnGraph, code: &[u32]) -> Vec<Vec<u32>> {
+    let mut member = vec![false; graph.node_count()];
+    for &c in code {
+        member[c as usize] = true;
+    }
+    graph
+        .nodes()
+        .map(|v| {
+            closed_in_ball(graph, v)
+                .into_iter()
+                .filter(|&u| member[u as usize])
+                .collect()
+        })
+        .collect()
+}
+
+/// Brute-force check that `code` is a 1-identifying code: every
+/// signature nonempty ([`IdentifyError::Uncovered`]) and pairwise
+/// distinct ([`IdentifyError::Ambiguous`]).
+pub fn verify(graph: &DebruijnGraph, code: &[u32]) -> Result<(), IdentifyError> {
+    if let Some((a, b)) = first_violation(&signatures(graph, code))? {
+        return Err(IdentifyError::Ambiguous { a, b });
+    }
+    Ok(())
+}
+
+/// The first uncovered vertex (as `Err`) or colliding pair (as
+/// `Some`) in a signature table, scanning vertices in order.
+fn first_violation(sigs: &[Vec<u32>]) -> Result<Option<(u32, u32)>, IdentifyError> {
+    let mut seen: HashMap<&[u32], u32> = HashMap::with_capacity(sigs.len());
+    let mut collision: Option<(u32, u32)> = None;
+    for (v, sig) in sigs.iter().enumerate() {
+        if sig.is_empty() {
+            return Err(IdentifyError::Uncovered { node: v as u32 });
+        }
+        if let Some(&first) = seen.get(sig.as_slice()) {
+            if collision.is_none() {
+                collision = Some((first, v as u32));
+            }
+        } else {
+            seen.insert(sig, v as u32);
+        }
+    }
+    Ok(collision)
+}
+
+/// A verified 1-identifying code for `graph`, as a sorted vertex list.
+///
+/// Starts from the digit-sum transversal `C₀ = {y : y_k ≢ y₁+…+y_{k−1}
+/// (mod d)}` — one excluded vertex per sibling class, so `|C₀| =
+/// (d−1)·d^{k−1}` meets the directed lower bound and every vertex keeps
+/// `d−1` of its `d` in-neighbours — then repairs the few residual
+/// collisions (e.g. `σ(1^k) = σ(1^{k−1}0)` at `d = 2`, odd `k`) by
+/// re-adding vertices. Adding a vertex can only split signatures, never
+/// merge them, so each round strictly reduces the violation count and
+/// the loop terminates in at most `|V \ C₀|` rounds. Returns
+/// [`IdentifyError::Twins`] when two vertices have equal closed
+/// in-balls, which no code can distinguish.
+pub fn identifying_code(graph: &DebruijnGraph) -> Result<Vec<u32>, IdentifyError> {
+    let d = u32::from(graph.space().d());
+    let mut member: Vec<bool> = graph
+        .nodes()
+        .map(|v| {
+            let digits = graph.word_of(v).digits_u32();
+            let (&last, prefix) = digits.split_last().expect("k >= 1");
+            let prefix_sum: u32 = prefix.iter().sum();
+            last != prefix_sum % d
+        })
+        .collect();
+
+    loop {
+        let code: Vec<u32> = collect_members(&member);
+        match first_violation(&signatures(graph, &code)) {
+            Ok(None) => return Ok(code),
+            Ok(Some((a, b))) => {
+                // Split the colliding pair: any vertex in one ball but
+                // not the other lands in exactly one of the two
+                // signatures. An empty symmetric difference means twins.
+                let ball_a = closed_in_ball(graph, a);
+                let ball_b = closed_in_ball(graph, b);
+                match symmetric_difference(&ball_a, &ball_b)
+                    .into_iter()
+                    .find(|&u| !member[u as usize])
+                {
+                    Some(u) => member[u as usize] = true,
+                    None => return Err(IdentifyError::Twins { a, b }),
+                }
+            }
+            Err(IdentifyError::Uncovered { node }) => {
+                // Cover it with itself: the self-bit is always in the
+                // ball and cannot already be a member (a member covers
+                // itself).
+                debug_assert!(!member[node as usize]);
+                member[node as usize] = true;
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
+/// The directed lower bound `(d−1)·d^{k−1}` on any 1-identifying code of
+/// `DG(d,k)` (arXiv:1412.5842, Theorem 7): sibling vertices share all
+/// in-neighbours, so at most one per class of `d` may be left out.
+pub fn directed_lower_bound(d: u8, k: usize) -> usize {
+    let d = d as usize;
+    (d - 1) * d.pow(k as u32 - 1)
+}
+
+fn collect_members(member: &[bool]) -> Vec<u32> {
+    member
+        .iter()
+        .enumerate()
+        .filter(|(_, &m)| m)
+        .map(|(v, _)| v as u32)
+        .collect()
+}
+
+/// Elements of exactly one of two sorted slices, sorted.
+fn symmetric_difference(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debruijn_core::DeBruijn;
+
+    fn directed(d: u8, k: usize) -> DebruijnGraph {
+        DebruijnGraph::directed(DeBruijn::new(d, k).unwrap()).unwrap()
+    }
+
+    fn undirected(d: u8, k: usize) -> DebruijnGraph {
+        DebruijnGraph::undirected(DeBruijn::new(d, k).unwrap()).unwrap()
+    }
+
+    /// Naive quadratic re-derivation of [`verify`]: recompute every
+    /// ball from scratch and compare all pairs directly.
+    fn verify_naive(graph: &DebruijnGraph, code: &[u32]) -> bool {
+        let sigs: Vec<Vec<u32>> = graph
+            .nodes()
+            .map(|v| {
+                let ball = closed_in_ball(graph, v);
+                code.iter()
+                    .copied()
+                    .filter(|c| ball.contains(c))
+                    .collect::<Vec<_>>()
+            })
+            .map(|mut s| {
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        sigs.iter().all(|s| !s.is_empty())
+            && (0..sigs.len()).all(|i| (0..i).all(|j| sigs[i] != sigs[j]))
+    }
+
+    #[test]
+    fn directed_closed_in_ball_is_the_right_shifts() {
+        let g = directed(2, 3);
+        // 011: in-neighbours are 001 and 101 (right shifts), plus self.
+        let v = g.rank_of(&debruijn_core::Word::parse(2, "011").unwrap());
+        let ball = closed_in_ball(&g, v);
+        let words: Vec<String> = ball.iter().map(|&u| g.word_of(u).to_string()).collect();
+        assert_eq!(words, ["001", "011", "101"]);
+    }
+
+    #[test]
+    fn uniform_words_have_directed_self_loops() {
+        let g = directed(2, 4);
+        let v = g.rank_of(&debruijn_core::Word::parse(2, "1111").unwrap());
+        // Self-loop folds into the closed ball: {0111, 1111}.
+        assert_eq!(closed_in_ball(&g, v).len(), 2);
+    }
+
+    #[test]
+    fn constructed_codes_verify_on_directed_dg2k() {
+        for k in 2..=10 {
+            let g = directed(2, k);
+            let code = identifying_code(&g).unwrap();
+            verify(&g, &code).unwrap();
+            assert!(
+                code.len() >= directed_lower_bound(2, k),
+                "k={k}: |C|={} below the sharp bound",
+                code.len()
+            );
+            // The repair loop stays near the transversal seed.
+            assert!(
+                code.len() <= directed_lower_bound(2, k) + 4,
+                "k={k}: |C|={} drifted far from optimal",
+                code.len()
+            );
+        }
+    }
+
+    #[test]
+    fn constructed_codes_verify_on_undirected_dg2k() {
+        for k in 3..=10 {
+            let g = undirected(2, k);
+            let code = identifying_code(&g).unwrap();
+            verify(&g, &code).unwrap();
+        }
+    }
+
+    #[test]
+    fn constructed_codes_verify_at_higher_radix() {
+        for (d, k) in [(3, 2), (3, 3), (4, 2), (5, 2), (3, 4)] {
+            let g = directed(d, k);
+            let code = identifying_code(&g).unwrap();
+            verify(&g, &code).unwrap();
+            assert!(code.len() >= directed_lower_bound(d, k));
+            let g = undirected(d, k);
+            let code = identifying_code(&g).unwrap();
+            verify(&g, &code).unwrap();
+        }
+    }
+
+    #[test]
+    fn twins_are_rejected() {
+        // Undirected DG(2,1) and DG(2,2) have twin vertices (B[01] =
+        // B[10] = {00,01,10,11}); directed DG(d,1) is complete, so all
+        // balls coincide. None admit a 1-identifying code.
+        assert!(matches!(
+            identifying_code(&undirected(2, 1)),
+            Err(IdentifyError::Twins { .. })
+        ));
+        assert!(matches!(
+            identifying_code(&undirected(2, 2)),
+            Err(IdentifyError::Twins { .. })
+        ));
+        assert!(matches!(
+            identifying_code(&directed(2, 1)),
+            Err(IdentifyError::Twins { .. })
+        ));
+    }
+
+    #[test]
+    fn verifier_rejects_the_empty_and_the_broken() {
+        let g = directed(2, 4);
+        assert!(matches!(
+            verify(&g, &[]),
+            Err(IdentifyError::Uncovered { node: 0 })
+        ));
+        // Dropping one member of a verified code must break either
+        // coverage or distinctness.
+        let code = identifying_code(&g).unwrap();
+        let mut truncated = code.clone();
+        truncated.pop();
+        assert!(verify(&g, &truncated).is_err());
+    }
+
+    #[test]
+    fn verifier_matches_naive_reimplementation_on_all_subsets() {
+        // Differential test: enumerate every subset of V on tiny graphs
+        // and demand bit-identical accept/reject decisions from the
+        // fast verifier and the naive quadratic one.
+        for g in [directed(2, 2), directed(2, 3), undirected(2, 3)] {
+            let n = g.node_count();
+            for mask in 0u32..(1 << n) {
+                let code: Vec<u32> = (0..n as u32).filter(|v| mask >> v & 1 == 1).collect();
+                assert_eq!(
+                    verify(&g, &code).is_ok(),
+                    verify_naive(&g, &code),
+                    "disagreement on mask {mask:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_are_rows_of_the_decode_table() {
+        let g = directed(2, 5);
+        let code = identifying_code(&g).unwrap();
+        let table = signatures(&g, &code);
+        // Every row is the code intersected with that vertex's ball.
+        for v in g.nodes() {
+            let ball = closed_in_ball(&g, v);
+            let expect: Vec<u32> = ball.into_iter().filter(|u| code.contains(u)).collect();
+            assert_eq!(table[v as usize], expect);
+        }
+    }
+}

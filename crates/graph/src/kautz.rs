@@ -203,6 +203,25 @@ impl Kautz {
             .collect()
     }
 
+    /// Materializes this Kautz graph as a rank-indexed CSR
+    /// ([`RankGraph`](crate::adjacency::RankGraph)), vertices numbered
+    /// lexicographically (the [`vertices`](Self::vertices) order), ready
+    /// for the generic BFS / disjoint-path / fault-avoidance algorithms.
+    pub fn to_rank_graph(&self) -> crate::adjacency::RankGraph {
+        let vertices = self.vertices();
+        let rank: std::collections::HashMap<&KautzWord, u32> = vertices
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w, i as u32))
+            .collect();
+        crate::adjacency::RankGraph::from_successors(vertices.len(), |v| {
+            self.successors(&vertices[v as usize])
+                .iter()
+                .map(|s| rank[s])
+                .collect()
+        })
+    }
+
     /// Distance by the Kautz analogue of Property 1: the smallest `m`
     /// such that the length-`(k−m)` suffix of `X` equals the prefix of
     /// `Y` *and* the first freshly inserted symbol respects the

@@ -40,9 +40,10 @@ pub mod euler;
 pub mod fault;
 pub mod generalized;
 pub mod hamiltonian;
+pub mod identifying;
 pub mod kautz;
 pub mod line_graph;
 pub mod tables;
 
-pub use adjacency::DebruijnGraph;
+pub use adjacency::{Adjacency, DebruijnGraph, RankGraph};
 pub use error::GraphError;

@@ -60,6 +60,7 @@
 
 pub mod message;
 pub mod metrics;
+pub mod monitor;
 pub mod policy;
 pub mod profiler;
 pub mod record;
@@ -72,11 +73,12 @@ pub mod telemetry;
 pub mod workload;
 
 pub use message::{ControlCode, Message};
+pub use monitor::{Localizer, MonitorConfig, MonitorSet, Placement, Verdict};
 pub use policy::WildcardPolicy;
 pub use profiler::{
     CriticalPath, EngineProfile, HopSpan, Phase, ProfileConfig, SampledDelivery, SpanSampler,
 };
-pub use record::{DropReason, InMemoryRecorder, NetEvent, NullRecorder, Recorder};
+pub use record::{DropReason, EventClass, InMemoryRecorder, NetEvent, NullRecorder, Recorder};
 pub use router::RouterKind;
 pub use service::{QueryService, ServiceConfig};
 pub use shard::{NextHopMode, ShardedSimulation};

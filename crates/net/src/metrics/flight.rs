@@ -9,17 +9,41 @@
 //! [`render_json`], so the existing `dbr trace summary/links/hist`
 //! toolkit works unchanged on the post-mortem dump.
 //!
-//! The recorder disarms after the first anomaly: the interesting
-//! window is the one *around the onset*, and continuing to record
-//! would overwrite it.
+//! The recorder re-arms after each capture: the ring and the burst
+//! windows reset so the next capture is again a window *around an
+//! onset*, not the tail of the previous one. Dump files are
+//! sequence-numbered (`path`, `path.2`, `path.3`, …) so firings never
+//! overwrite each other, and [`MAX_CAPTURES`] bounds the total so a
+//! sustained breach cannot hoard memory or flood the filesystem.
+//! [`FlightRecorder::anomaly`]/[`FlightRecorder::window`] keep their
+//! original meaning — the *first* capture, the onset of trouble.
 
 use std::collections::VecDeque;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use crate::record::{render_json, DropReason, NetEvent, Recorder};
+
+/// Hard cap on captures per run: a sustained breach (every forward
+/// over the queue limit, say) re-fires on each qualifying event, and
+/// without a ceiling would buffer an unbounded capture list and write
+/// an unbounded dump series.
+pub const MAX_CAPTURES: usize = 16;
+
+/// The dump path for capture number `seq` (1-based): capture 1 keeps
+/// `path` itself, later captures append the sequence (`path.2`,
+/// `path.3`, …), so every file from one run survives side by side and
+/// each still ends in a `tail`-able, `dbr trace`-able JSONL name.
+pub fn numbered_path(path: &Path, seq: usize) -> PathBuf {
+    if seq <= 1 {
+        return path.to_path_buf();
+    }
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".{seq}"));
+    path.with_file_name(name)
+}
 
 /// A sliding-window rate trigger: fires when `count` qualifying
 /// events land within `window` ticks.
@@ -144,12 +168,15 @@ impl fmt::Display for Anomaly {
 /// Use as a [`Recorder`] sink (typically inside a fanout next to the
 /// metrics recorder). After a trigger fires, [`FlightRecorder::anomaly`]
 /// reports what happened, [`FlightRecorder::window`] holds the captured
-/// pre-anomaly window, and the recorder disarms. [`FlightRecorder::finish`]
-/// surfaces any dump-file write error.
+/// pre-anomaly window, and the recorder re-arms for the next onset
+/// (up to [`MAX_CAPTURES`], with dump files numbered per
+/// [`numbered_path`]). [`FlightRecorder::finish`] surfaces any
+/// dump-file write error.
 ///
 /// # Examples
 ///
 /// ```
+/// use debruijn_core::Word;
 /// use debruijn_net::metrics::{AnomalyTriggers, Burst, FlightRecorder};
 /// use debruijn_net::{DropReason, NetEvent, Recorder};
 ///
@@ -158,11 +185,19 @@ impl fmt::Display for Anomaly {
 ///     ..AnomalyTriggers::default()
 /// };
 /// let mut flight = FlightRecorder::new(64, triggers);
+/// let at = Word::parse(2, "0110")?;
 /// for time in [3, 5] {
-///     flight.record(&NetEvent::Drop { time, message: 0, reason: DropReason::NoRoute });
+///     flight.record(&NetEvent::Drop {
+///         time,
+///         message: 0,
+///         reason: DropReason::NoRoute,
+///         at: at.clone(),
+///         upstream: None,
+///     });
 /// }
 /// assert!(flight.anomaly().is_some());
 /// assert_eq!(flight.window().unwrap().len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct FlightRecorder {
     capacity: usize,
@@ -172,8 +207,8 @@ pub struct FlightRecorder {
     drop_times: VecDeque<u64>,
     /// Recent `no-route`/`ttl` drop ticks, oldest first.
     no_route_times: VecDeque<u64>,
-    /// The frozen window, once a trigger fired.
-    capture: Option<(Anomaly, Vec<NetEvent>)>,
+    /// The frozen windows, one per firing, oldest first.
+    captures: Vec<(Anomaly, Vec<NetEvent>)>,
     dump_path: Option<PathBuf>,
     error: Option<io::Error>,
 }
@@ -187,33 +222,48 @@ impl FlightRecorder {
             ring: VecDeque::with_capacity(capacity.clamp(1, 4096)),
             drop_times: VecDeque::new(),
             no_route_times: VecDeque::new(),
-            capture: None,
+            captures: Vec::new(),
             dump_path: None,
             error: None,
         }
     }
 
-    /// Writes the captured window to `path` as JSONL the moment a
-    /// trigger fires (the file is only created on an anomaly).
+    /// Writes each captured window as JSONL the moment its trigger
+    /// fires: the first to `path` itself, later firings to the
+    /// sequence-numbered `path.2`, `path.3`, … (see [`numbered_path`]),
+    /// so no firing overwrites an earlier one. Files are only created
+    /// on an anomaly.
     pub fn with_dump_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.dump_path = Some(path.into());
         self
     }
 
-    /// The anomaly that fired, if any.
+    /// The first anomaly that fired — the onset of trouble — if any.
     pub fn anomaly(&self) -> Option<&Anomaly> {
-        self.capture.as_ref().map(|(a, _)| a)
+        self.captures.first().map(|(a, _)| a)
     }
 
-    /// The captured pre-anomaly window (oldest first, ending with the
-    /// triggering event), if a trigger fired.
+    /// The window captured around the *first* anomaly (oldest event
+    /// first, ending with the triggering event), if a trigger fired.
     pub fn window(&self) -> Option<&[NetEvent]> {
-        self.capture.as_ref().map(|(_, w)| w.as_slice())
+        self.captures.first().map(|(_, w)| w.as_slice())
     }
 
-    /// Consumes the recorder: `Ok(Some(anomaly))` if a trigger fired
-    /// and any dump was written cleanly, `Ok(None)` if nothing
-    /// happened.
+    /// How many captures have fired so far (bounded by
+    /// [`MAX_CAPTURES`]).
+    pub fn capture_count(&self) -> usize {
+        self.captures.len()
+    }
+
+    /// Every anomaly that fired, in firing order. Capture `i`
+    /// (0-based) was dumped to `numbered_path(path, i + 1)`.
+    pub fn anomalies(&self) -> impl Iterator<Item = &Anomaly> {
+        self.captures.iter().map(|(a, _)| a)
+    }
+
+    /// Consumes the recorder: `Ok(Some(anomaly))` with the *first*
+    /// anomaly if any trigger fired and every dump was written
+    /// cleanly, `Ok(None)` if nothing happened.
     ///
     /// # Errors
     ///
@@ -222,7 +272,7 @@ impl FlightRecorder {
         if let Some(e) = self.error {
             return Err(e);
         }
-        Ok(self.capture.map(|(a, _)| a))
+        Ok(self.captures.into_iter().next().map(|(a, _)| a))
     }
 
     /// Slides `times` to `[now − window, now]`, pushes `now`, and
@@ -291,8 +341,9 @@ impl FlightRecorder {
         }
     }
 
-    fn dump(&mut self, window: &[NetEvent]) {
+    fn dump(&mut self, window: &[NetEvent], seq: usize) {
         let Some(path) = &self.dump_path else { return };
+        let path = numbered_path(path, seq);
         let result = (|| -> io::Result<()> {
             let mut out = BufWriter::new(File::create(path)?);
             for event in window {
@@ -301,20 +352,20 @@ impl FlightRecorder {
             out.flush()
         })();
         if let Err(e) = result {
-            self.error = Some(e);
+            self.error.get_or_insert(e);
         }
     }
 }
 
 impl Recorder for FlightRecorder {
-    /// Armed until the first anomaly; afterwards the recorder stops
-    /// consuming events (the captured window is the deliverable).
+    /// Armed until [`MAX_CAPTURES`] windows have fired; afterwards the
+    /// recorder stops consuming events.
     fn enabled(&self) -> bool {
-        self.capture.is_none()
+        self.captures.len() < MAX_CAPTURES
     }
 
     fn record(&mut self, event: &NetEvent) {
-        if self.capture.is_some() {
+        if self.captures.len() >= MAX_CAPTURES {
             return;
         }
         if self.ring.len() == self.capacity {
@@ -322,9 +373,15 @@ impl Recorder for FlightRecorder {
         }
         self.ring.push_back(event.clone());
         if let Some(anomaly) = self.check_triggers(event) {
-            let window: Vec<NetEvent> = self.ring.iter().cloned().collect();
-            self.dump(&window);
-            self.capture = Some((anomaly, window));
+            // Freeze the window, then re-arm fresh: the ring and the
+            // burst counters restart so the next capture documents a
+            // new onset rather than the fading edge of this one.
+            let window: Vec<NetEvent> = self.ring.drain(..).collect();
+            self.drop_times.clear();
+            self.no_route_times.clear();
+            let seq = self.captures.len() + 1;
+            self.dump(&window, seq);
+            self.captures.push((anomaly, window));
         }
     }
 }
@@ -339,6 +396,8 @@ mod tests {
             time,
             message: 0,
             reason,
+            at: Word::parse(2, "0110").unwrap(),
+            upstream: None,
         }
     }
 
@@ -397,16 +456,65 @@ mod tests {
     }
 
     #[test]
-    fn recorder_disarms_after_the_first_anomaly() {
-        let mut flight = FlightRecorder::new(16, only_drop_burst(2, 100));
-        assert!(flight.enabled());
-        for t in [1, 2, 3, 4] {
+    fn numbered_paths_keep_the_first_and_suffix_the_rest() {
+        let base = Path::new("/tmp/flight.jsonl");
+        assert_eq!(numbered_path(base, 1), PathBuf::from("/tmp/flight.jsonl"));
+        assert_eq!(numbered_path(base, 2), PathBuf::from("/tmp/flight.jsonl.2"));
+        assert_eq!(
+            numbered_path(base, 12),
+            PathBuf::from("/tmp/flight.jsonl.12")
+        );
+    }
+
+    #[test]
+    fn recorder_rearms_and_numbers_each_capture() {
+        let dir = std::env::temp_dir().join("dbr-flight-rearm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("dump-{}.jsonl", std::process::id()));
+        let mut flight = FlightRecorder::new(16, only_drop_burst(2, 5)).with_dump_path(&path);
+        // Firing 1: two drops inside one window.
+        flight.record(&drop_at(0, DropReason::NoRoute));
+        flight.record(&drop_at(1, DropReason::NoRoute));
+        assert_eq!(flight.capture_count(), 1);
+        // One drop alone after the reset must NOT fire: the burst
+        // counter restarted with the capture.
+        flight.record(&forward_at(90, 0, 0));
+        flight.record(&drop_at(100, DropReason::DeadLink));
+        assert_eq!(flight.capture_count(), 1);
+        // Firing 2: a second drop lands inside the fresh window.
+        flight.record(&drop_at(101, DropReason::DeadLink));
+        assert_eq!(flight.capture_count(), 2);
+        // `anomaly()`/`window()` keep meaning the onset capture.
+        assert!(matches!(
+            flight.anomaly(),
+            Some(Anomaly::DropBurst { at: 1, .. })
+        ));
+        assert_eq!(flight.window().unwrap().len(), 2);
+        let second = flight.anomalies().nth(1).unwrap().clone();
+        assert!(matches!(second, Anomaly::DropBurst { at: 101, .. }));
+        flight.finish().unwrap();
+        // Both dumps survive side by side and re-parse as traces.
+        let first = std::fs::read_to_string(&path).unwrap();
+        let rearmed = std::fs::read_to_string(numbered_path(&path, 2)).unwrap();
+        assert_eq!(first.lines().count(), 2, "the onset burst");
+        assert_eq!(rearmed.lines().count(), 3, "forward context + the burst");
+        for line in first.lines().chain(rearmed.lines()) {
+            crate::record::parse_event(2, line).expect("dump line parses");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(numbered_path(&path, 2)).ok();
+    }
+
+    #[test]
+    fn capture_cap_disarms_the_recorder() {
+        let mut flight = FlightRecorder::new(4, only_drop_burst(1, 1));
+        for t in 0..(MAX_CAPTURES as u64 + 8) {
             if flight.enabled() {
-                flight.record(&drop_at(t, DropReason::NoRoute));
+                flight.record(&drop_at(t, DropReason::DeadLink));
             }
         }
         assert!(!flight.enabled());
-        assert_eq!(flight.window().unwrap().len(), 2, "capture is frozen");
+        assert_eq!(flight.capture_count(), MAX_CAPTURES);
     }
 
     #[test]
@@ -575,7 +683,9 @@ mod tests {
         let anomaly = flight.finish().unwrap().expect("anomaly fired");
         assert!(matches!(anomaly, Anomaly::DropBurst { .. }), "{anomaly:?}");
         let text = std::fs::read_to_string(&path).unwrap();
-        std::fs::remove_file(&path).ok();
+        for seq in 1..=MAX_CAPTURES {
+            std::fs::remove_file(numbered_path(&path, seq)).ok();
+        }
         let events: Vec<NetEvent> = text
             .lines()
             .map(|l| crate::record::parse_event(2, l).expect("dump line parses"))

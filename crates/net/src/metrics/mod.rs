@@ -53,7 +53,7 @@ mod recorder;
 mod registry;
 
 pub use export::{FamilySnapshot, GaugeMerge, LabelSet, MetricKind, MetricValue, MetricsSnapshot};
-pub use flight::{Anomaly, AnomalyTriggers, Burst, FlightRecorder};
+pub use flight::{numbered_path, Anomaly, AnomalyTriggers, Burst, FlightRecorder, MAX_CAPTURES};
 pub(crate) use http::{read_request, write_response};
 pub use http::{HttpHandler, HttpRequest, HttpResponse, ScrapeServer, PROMETHEUS_CONTENT_TYPE};
 pub use recorder::{register_core_profile, replay_sharded, RegistryRecorder};

@@ -165,7 +165,44 @@ pub enum NetEvent {
         message: usize,
         /// Why it was lost.
         reason: DropReason,
+        /// The node holding the message when it was lost (the source
+        /// for injection-time drops, the faulty/expiring node
+        /// otherwise).
+        at: Word,
+        /// The node that forwarded the message to `at`, when the loss
+        /// happened mid-flight; `None` for drops at the source.
+        upstream: Option<Word>,
     },
+}
+
+/// The coarse classes of [`NetEvent`], for per-class recorder
+/// subscriptions ([`Recorder::wants`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventClass {
+    /// [`NetEvent::Inject`].
+    Inject,
+    /// [`NetEvent::WildcardResolved`].
+    Wildcard,
+    /// [`NetEvent::Forward`].
+    Forward,
+    /// [`NetEvent::Reroute`].
+    Reroute,
+    /// [`NetEvent::Deliver`].
+    Deliver,
+    /// [`NetEvent::Drop`].
+    Drop,
+}
+
+impl EventClass {
+    /// Every class, in stream order.
+    pub const ALL: [EventClass; 6] = [
+        EventClass::Inject,
+        EventClass::Wildcard,
+        EventClass::Forward,
+        EventClass::Reroute,
+        EventClass::Deliver,
+        EventClass::Drop,
+    ];
 }
 
 impl NetEvent {
@@ -192,6 +229,18 @@ impl NetEvent {
             | NetEvent::Drop { message, .. } => *message,
         }
     }
+
+    /// The event's [`EventClass`].
+    pub fn class(&self) -> EventClass {
+        match self {
+            NetEvent::Inject { .. } => EventClass::Inject,
+            NetEvent::WildcardResolved { .. } => EventClass::Wildcard,
+            NetEvent::Forward { .. } => EventClass::Forward,
+            NetEvent::Reroute { .. } => EventClass::Reroute,
+            NetEvent::Deliver { .. } => EventClass::Deliver,
+            NetEvent::Drop { .. } => EventClass::Drop,
+        }
+    }
 }
 
 /// A sink for simulation events.
@@ -200,7 +249,11 @@ impl NetEvent {
 /// simulation order. The [`Recorder::enabled`] gate is checked before
 /// each event is *constructed*, so a disabled recorder (the default
 /// [`NullRecorder`]) costs one virtual call per would-be event and no
-/// allocation.
+/// allocation. Sinks that only care about part of the stream can
+/// additionally narrow [`Recorder::wants`]: the engines snapshot the
+/// per-class answers once per run and skip *constructing* events of
+/// unwanted classes, so a drop-only sink (e.g. a fault-monitor set)
+/// pays nothing for the forward/deliver flood.
 pub trait Recorder {
     /// Whether the sink wants events at all. Checked before event
     /// construction; return `false` to make recording free.
@@ -208,8 +261,53 @@ pub trait Recorder {
         true
     }
 
+    /// Whether the sink wants events of `class`. Defaults to
+    /// [`Recorder::enabled`]; override to subscribe to a subset.
+    /// Engines snapshot the answers before a run, so they must not
+    /// change mid-run.
+    fn wants(&self, class: EventClass) -> bool {
+        let _ = class;
+        self.enabled()
+    }
+
     /// Consumes one event.
     fn record(&mut self, event: &NetEvent);
+}
+
+/// Per-class event-construction gates, snapshotted from a recorder
+/// once per engine run ([`Recorder::wants`] must not change mid-run).
+/// A drop-only sink — e.g. a fault-monitor set — leaves the hot
+/// forward/deliver path entirely event-free.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Observe {
+    pub(crate) inject: bool,
+    pub(crate) wildcard: bool,
+    pub(crate) forward: bool,
+    pub(crate) reroute: bool,
+    pub(crate) deliver: bool,
+    pub(crate) drop: bool,
+}
+
+impl Observe {
+    /// Snapshots the recorder's subscriptions (all-false if disabled).
+    pub(crate) fn of(recorder: &dyn Recorder) -> Self {
+        if !recorder.enabled() {
+            return Self::default();
+        }
+        Self {
+            inject: recorder.wants(EventClass::Inject),
+            wildcard: recorder.wants(EventClass::Wildcard),
+            forward: recorder.wants(EventClass::Forward),
+            reroute: recorder.wants(EventClass::Reroute),
+            deliver: recorder.wants(EventClass::Deliver),
+            drop: recorder.wants(EventClass::Drop),
+        }
+    }
+
+    /// Whether any class is observed at all.
+    pub(crate) fn any(self) -> bool {
+        self.inject || self.wildcard || self.forward || self.reroute || self.deliver || self.drop
+    }
 }
 
 /// The default sink: drops everything, costs nothing.
@@ -226,7 +324,9 @@ impl Recorder for NullRecorder {
 
 /// Fans one event stream out to several sinks (e.g. metrics + trace).
 ///
-/// Enabled iff any child is enabled; disabled children are skipped.
+/// Enabled iff any child is enabled; wants a class iff any child
+/// wants it; each event is routed only to the children that want its
+/// class.
 #[derive(Default)]
 pub struct FanoutRecorder<'a> {
     sinks: Vec<&'a mut dyn Recorder>,
@@ -249,9 +349,14 @@ impl Recorder for FanoutRecorder<'_> {
         self.sinks.iter().any(|s| s.enabled())
     }
 
+    fn wants(&self, class: EventClass) -> bool {
+        self.sinks.iter().any(|s| s.wants(class))
+    }
+
     fn record(&mut self, event: &NetEvent) {
+        let class = event.class();
         for sink in &mut self.sinks {
-            if sink.enabled() {
+            if sink.wants(class) {
                 sink.record(event);
             }
         }
@@ -530,10 +635,16 @@ pub fn render_json(event: &NetEvent) -> String {
         NetEvent::Deliver { time, message, hops, latency, shortest } => format!(
             "{{\"type\":\"deliver\",\"time\":{time},\"message\":{message},\"hops\":{hops},\"latency\":{latency},\"shortest\":{shortest}}}"
         ),
-        NetEvent::Drop { time, message, reason } => format!(
-            "{{\"type\":\"drop\",\"time\":{time},\"message\":{message},\"reason\":\"{}\"}}",
-            reason.name()
-        ),
+        NetEvent::Drop { time, message, reason, at, upstream } => match upstream {
+            Some(upstream) => format!(
+                "{{\"type\":\"drop\",\"time\":{time},\"message\":{message},\"reason\":\"{}\",\"at\":\"{at}\",\"upstream\":\"{upstream}\"}}",
+                reason.name()
+            ),
+            None => format!(
+                "{{\"type\":\"drop\",\"time\":{time},\"message\":{message},\"reason\":\"{}\",\"at\":\"{at}\"}}",
+                reason.name()
+            ),
+        },
     }
 }
 
@@ -620,6 +731,11 @@ pub fn parse_event(d: u8, line: &str) -> Result<NetEvent, String> {
                 message: num("message")? as usize,
                 reason: DropReason::parse(reason)
                     .ok_or_else(|| format!("unknown drop reason '{reason}'"))?,
+                at: word("at")?,
+                upstream: match fields.get("upstream") {
+                    Some(_) => Some(word("upstream")?),
+                    None => None,
+                },
             })
         }
         other => Err(format!("unknown event type '{other}'")),
@@ -778,6 +894,8 @@ mod tests {
                 time: 6,
                 message: 1,
                 reason: DropReason::DeadLink,
+                at: w("0000"),
+                upstream: Some(w("1000")),
             },
         ]
     }
@@ -857,17 +975,24 @@ mod tests {
                 latency: u64::MAX,
                 shortest: usize::MAX,
             });
-            for reason in [
+            for (i, reason) in [
                 DropReason::FaultySource,
                 DropReason::NoRoute,
                 DropReason::FaultyNode,
                 DropReason::DeadLink,
                 DropReason::Ttl,
-            ] {
+            ]
+            .into_iter()
+            .enumerate()
+            {
                 events.push(NetEvent::Drop {
                     time: u64::MAX,
                     message: 3,
                     reason,
+                    at: x.clone(),
+                    // Exercise both the sourced (no upstream) and
+                    // mid-flight serialized forms.
+                    upstream: (i % 2 == 1).then(|| y.clone()),
                 });
             }
             for event in events {
@@ -900,7 +1025,13 @@ mod tests {
         assert!(parse_event(2, "{\"type\":\"drop\",\"time\":0}").is_err());
         assert!(parse_event(
             2,
-            "{\"type\":\"drop\",\"time\":0,\"message\":1,\"reason\":\"gremlins\"}"
+            "{\"type\":\"drop\",\"time\":0,\"message\":1,\"reason\":\"gremlins\",\"at\":\"0110\"}"
+        )
+        .is_err());
+        // A drop without its location is rejected.
+        assert!(parse_event(
+            2,
+            "{\"type\":\"drop\",\"time\":0,\"message\":1,\"reason\":\"ttl\"}"
         )
         .is_err());
         // A word from the wrong radix fails to parse back.
@@ -939,6 +1070,60 @@ mod tests {
         assert_eq!(a.dropped(), 1);
         assert_eq!(a.reroutes, 1);
         assert_eq!(a.wildcards_resolved(), 1);
+    }
+
+    #[test]
+    fn fanout_routes_events_by_class() {
+        /// Accepts only drops; counts everything offered to it.
+        struct DropOnly {
+            seen: usize,
+        }
+        impl Recorder for DropOnly {
+            fn wants(&self, class: EventClass) -> bool {
+                class == EventClass::Drop
+            }
+            fn record(&mut self, event: &NetEvent) {
+                assert_eq!(event.class(), EventClass::Drop);
+                self.seen += 1;
+            }
+        }
+        let mut drops = DropOnly { seen: 0 };
+        let mut everything = InMemoryRecorder::new();
+        let mut fan = FanoutRecorder::new();
+        fan.push(&mut drops);
+        assert!(fan.wants(EventClass::Drop));
+        assert!(
+            !fan.wants(EventClass::Forward),
+            "fanout of a drop-only sink must not request forwards"
+        );
+        fan.push(&mut everything);
+        for class in EventClass::ALL {
+            assert!(fan.wants(class), "a default sink widens every class");
+        }
+        for e in sample_events() {
+            fan.record(&e);
+        }
+        drop(fan);
+        assert_eq!(drops.seen, 1);
+        assert_eq!(everything.injected, 1);
+        assert_eq!(everything.delivered, 1);
+    }
+
+    #[test]
+    fn event_class_covers_every_variant() {
+        let classes: Vec<EventClass> = sample_events().iter().map(NetEvent::class).collect();
+        assert_eq!(
+            classes,
+            [
+                EventClass::Inject,
+                EventClass::Wildcard,
+                EventClass::Forward,
+                EventClass::Reroute,
+                EventClass::Deliver,
+                EventClass::Drop,
+            ]
+        );
+        assert_eq!(EventClass::ALL.to_vec(), classes);
     }
 
     #[test]

@@ -62,7 +62,7 @@ use crate::profiler::{
     EngineProfile, HopSpan, Phase, ProfShared, ProfileConfig, SampledDelivery, ShardMeta,
     SpanSampler, WorkerTimer,
 };
-use crate::record::{DropReason, NetEvent, NullRecorder, Recorder};
+use crate::record::{DropReason, NetEvent, NullRecorder, Observe, Recorder};
 use crate::router::RouterKind;
 use crate::sim::{FaultHandling, Injection, NetError, SimConfig};
 use crate::stats::SimReport;
@@ -162,6 +162,9 @@ struct Flight {
     id: u32,
     at: u64,
     dst: u64,
+    /// The node that forwarded the message to `at` (equal to `at`
+    /// until the first hop) — the `upstream` of a drop event.
+    prev: u64,
     injected_at: u64,
     hops: u32,
     /// Remaining distance to `dst` — the compressed next-hop cursor,
@@ -811,7 +814,7 @@ impl ShardedSimulation {
         recorder: &mut dyn Recorder,
         prof: Option<&ProfShared>,
     ) -> (SimReport, Vec<ShardMeta>, u64) {
-        let observed = recorder.enabled();
+        let observed = Observe::of(recorder);
         let sampler = prof.and_then(|p| p.sampler());
         assert!(
             u32::try_from(traffic.len()).is_ok(),
@@ -886,6 +889,7 @@ impl ShardedSimulation {
                     id: index as u32,
                     at: src,
                     dst,
+                    prev: src,
                     injected_at: inj.time,
                     hops: 0,
                     dist: 0,
@@ -1034,11 +1038,11 @@ impl ShardedSimulation {
             report.max_queue_wait = report.max_queue_wait.max(part.max_queue_wait);
             report.total_queue_wait += part.total_queue_wait;
             st.links.merge_loads(&self.ranks, &mut report.link_loads);
-            if observed {
+            if observed.any() {
                 events.extend(st.events);
             }
         }
-        if observed {
+        if observed.any() {
             // Canonical replay order. A message occupies one node per
             // tick, so `(time, message)` collides only for the
             // Inject/Wildcard/Forward triple of a single shard, whose
@@ -1064,7 +1068,7 @@ impl ShardedSimulation {
         flight: Flight,
         mailboxes: &[SpscRing],
         local_min: &mut u64,
-        observed: bool,
+        observed: Observe,
         sampler: Option<SpanSampler>,
     ) {
         let mut flight = flight;
@@ -1085,11 +1089,15 @@ impl ShardedSimulation {
                 // injection, then O(1)–O(d) per hop.
                 flight.dist = engine.distance(flight.at, flight.dst, &mut st.cscratch);
             }
-            if observed {
+            if observed.inject || observed.deliver {
+                // Deliver events report the stretch baseline, so the
+                // distance solve is needed for either class.
                 flight.shortest = match &self.path {
                     FastPath::Compressed(_) => flight.dist,
                     _ => self.shortest(flight.at, flight.dst),
                 };
+            }
+            if observed.inject {
                 st.events.push(NetEvent::Inject {
                     time: now,
                     message: flight.id as usize,
@@ -1124,7 +1132,7 @@ impl ShardedSimulation {
             st.report.latency_total += latency;
             st.report.latency_max = st.report.latency_max.max(latency);
             st.report.makespan = st.report.makespan.max(now);
-            if observed {
+            if observed.deliver {
                 st.events.push(NetEvent::Deliver {
                     time: now,
                     message: flight.id as usize,
@@ -1155,7 +1163,7 @@ impl ShardedSimulation {
         let wait = depart - now;
         st.report.total_queue_wait += wait;
         st.report.max_queue_wait = st.report.max_queue_wait.max(wait);
-        if observed {
+        if observed.forward {
             st.events.push(NetEvent::Forward {
                 time: now,
                 message: flight.id as usize,
@@ -1171,6 +1179,7 @@ impl ShardedSimulation {
 
         let forwarded = Flight {
             at: next,
+            prev: flight.at,
             hops: flight.hops + 1,
             ..flight
         };
@@ -1197,7 +1206,13 @@ impl ShardedSimulation {
 
     /// Fallback `O(k)` next hop: run the configured word-level router
     /// from `at` and take (and, for wildcards, resolve) its first step.
-    fn fallback_next(&self, st: &mut ShardState, now: u64, flight: &Flight, observed: bool) -> u64 {
+    fn fallback_next(
+        &self,
+        st: &mut ShardState,
+        now: u64,
+        flight: &Flight,
+        observed: Observe,
+    ) -> u64 {
         let x = self.word(flight.at);
         let y = self.word(flight.dst);
         if self.directed {
@@ -1210,7 +1225,7 @@ impl ShardedSimulation {
             Digit::Exact(b) => b,
             Digit::Any => {
                 let b = self.resolve_wildcard(st, flight, first.shift);
-                if observed {
+                if observed.wildcard {
                     st.events.push(NetEvent::WildcardResolved {
                         time: now,
                         message: flight.id as usize,
@@ -1273,18 +1288,20 @@ impl ShardedSimulation {
         now: u64,
         flight: &Flight,
         reason: DropReason,
-        observed: bool,
+        observed: Observe,
     ) {
         st.report.dropped += 1;
         *st.report
             .dropped_by_reason
             .entry(reason.name())
             .or_insert(0) += 1;
-        if observed {
+        if observed.drop {
             st.events.push(NetEvent::Drop {
                 time: now,
                 message: flight.id as usize,
                 reason,
+                at: self.word(flight.at),
+                upstream: (flight.hops > 0).then(|| self.word(flight.prev)),
             });
         }
     }
@@ -1496,6 +1513,7 @@ mod tests {
             id,
             at: 0,
             dst: 1,
+            prev: 0,
             injected_at: 0,
             hops: 0,
             dist: 0,
@@ -1532,6 +1550,7 @@ mod tests {
             id,
             at: 0,
             dst: 0,
+            prev: 0,
             injected_at: 0,
             hops: 0,
             dist: 0,

@@ -24,7 +24,7 @@ use debruijn_graph::{fault, DebruijnGraph, GraphError};
 
 use crate::message::Message;
 use crate::policy::WildcardPolicy;
-use crate::record::{DropReason, NetEvent, NullRecorder, Recorder, TraceAdapter};
+use crate::record::{DropReason, NetEvent, NullRecorder, Observe, Recorder, TraceAdapter};
 use crate::router::RouterKind;
 use crate::stats::SimReport;
 
@@ -381,7 +381,7 @@ impl Simulation {
             ..SimReport::default()
         };
         let mut rng = SplitMix64::new(self.config.seed);
-        let observed = recorder.enabled();
+        let observed = Observe::of(recorder);
 
         // Per-link FIFO state: next time the link is free.
         let mut link_free: HashMap<(u128, u128), u64> = HashMap::new();
@@ -434,6 +434,8 @@ impl Simulation {
                     inj.time,
                     index,
                     DropReason::FaultySource,
+                    &inj.source,
+                    None,
                 );
                 continue;
             }
@@ -465,6 +467,8 @@ impl Simulation {
                                 inj.time,
                                 index,
                                 DropReason::NoRoute,
+                                &inj.source,
+                                None,
                             );
                             continue;
                         }
@@ -472,9 +476,10 @@ impl Simulation {
                 }
             };
             // The fault-free shortest distance is only needed for
-            // observability (the stretch histogram); skip the distance
-            // computation entirely when nobody listens.
-            let shortest = if observed {
+            // observability (the stretch histogram of inject/deliver
+            // events); skip the distance computation when nobody
+            // listens to either class.
+            let shortest = if observed.inject || observed.deliver {
                 if self.config.router.needs_bidirectional() {
                     debruijn_core::distance::undirected::distance(&inj.source, &inj.destination)
                 } else {
@@ -483,7 +488,7 @@ impl Simulation {
             } else {
                 0
             };
-            if observed {
+            if observed.inject {
                 recorder.record(&NetEvent::Inject {
                     time: inj.time,
                     message: index,
@@ -492,18 +497,19 @@ impl Simulation {
                     route_len: route.steps().len(),
                     shortest,
                 });
-                if rerouted {
-                    recorder.record(&NetEvent::Reroute {
-                        time: inj.time,
-                        message: index,
-                        at: inj.source.clone(),
-                    });
-                }
+            }
+            if rerouted && observed.reroute {
+                recorder.record(&NetEvent::Reroute {
+                    time: inj.time,
+                    message: index,
+                    at: inj.source.clone(),
+                });
             }
             let msg = Message::data(inj.source.clone(), inj.destination.clone(), route);
             let flight = Flight {
                 index,
                 at: inj.source.clone(),
+                prev: None,
                 msg,
                 injected_at: inj.time,
                 hops: 0,
@@ -519,6 +525,7 @@ impl Simulation {
             let Flight {
                 index,
                 at,
+                prev,
                 msg,
                 injected_at,
                 hops,
@@ -533,6 +540,8 @@ impl Simulation {
                     now,
                     index,
                     DropReason::FaultyNode,
+                    &at,
+                    prev.as_ref(),
                 );
                 continue;
             }
@@ -549,7 +558,7 @@ impl Simulation {
                 report.latency_total += latency;
                 report.latency_max = report.latency_max.max(latency);
                 report.makespan = report.makespan.max(now);
-                if observed {
+                if observed.deliver {
                     recorder.record(&NetEvent::Deliver {
                         time: now,
                         message: index,
@@ -561,7 +570,16 @@ impl Simulation {
                 continue;
             }
             if self.config.ttl > 0 && hops >= self.config.ttl {
-                drop_message(&mut report, recorder, observed, now, index, DropReason::Ttl);
+                drop_message(
+                    &mut report,
+                    recorder,
+                    observed,
+                    now,
+                    index,
+                    DropReason::Ttl,
+                    &at,
+                    prev.as_ref(),
+                );
                 continue;
             }
 
@@ -583,7 +601,7 @@ impl Simulation {
                         &mut scratch,
                     ) {
                         Some(route) if !route.is_empty() => {
-                            if rerouted && observed {
+                            if rerouted && observed.reroute {
                                 recorder.record(&NetEvent::Reroute {
                                     time: now,
                                     message: index,
@@ -608,6 +626,8 @@ impl Simulation {
                                 now,
                                 index,
                                 DropReason::NoRoute,
+                                &at,
+                                prev.as_ref(),
                             );
                             continue;
                         }
@@ -617,7 +637,7 @@ impl Simulation {
             let was_wildcard = matches!(step.digit, Digit::Any);
             let digit =
                 self.resolve_digit(&at, step.shift, step.digit, &link_free, &mut rr, &mut rng);
-            if was_wildcard && observed {
+            if was_wildcard && observed.wildcard {
                 recorder.record(&NetEvent::WildcardResolved {
                     time: now,
                     message: index,
@@ -643,6 +663,8 @@ impl Simulation {
                     now,
                     index,
                     DropReason::DeadLink,
+                    &at,
+                    prev.as_ref(),
                 );
                 continue;
             }
@@ -654,7 +676,7 @@ impl Simulation {
             let wait = depart - now;
             report.total_queue_wait += wait;
             report.max_queue_wait = report.max_queue_wait.max(wait);
-            if observed {
+            if observed.forward {
                 recorder.record(&NetEvent::Forward {
                     time: now,
                     message: index,
@@ -674,6 +696,9 @@ impl Simulation {
             let flight = Flight {
                 index,
                 at: next,
+                // Only drop events consume the upstream pointer; keep
+                // the flight lean for everyone else.
+                prev: observed.drop.then_some(at),
                 msg,
                 injected_at,
                 hops: hops + 1,
@@ -820,22 +845,29 @@ impl Simulation {
 }
 
 /// Books one message loss: the aggregate counters, the per-reason
-/// breakdown, and (when observed) the [`NetEvent::Drop`] record.
+/// breakdown, and (when observed) the [`NetEvent::Drop`] record with
+/// the holding node `at` and the `upstream` node that forwarded there
+/// (`None` for drops at the source).
+#[allow(clippy::too_many_arguments)]
 fn drop_message(
     report: &mut SimReport,
     recorder: &mut dyn Recorder,
-    observed: bool,
+    observed: Observe,
     time: u64,
     message: usize,
     reason: DropReason,
+    at: &Word,
+    upstream: Option<&Word>,
 ) {
     report.dropped += 1;
     *report.dropped_by_reason.entry(reason.name()).or_insert(0) += 1;
-    if observed {
+    if observed.drop {
         recorder.record(&NetEvent::Drop {
             time,
             message,
             reason,
+            at: at.clone(),
+            upstream: upstream.cloned(),
         });
     }
 }
@@ -845,6 +877,10 @@ struct Flight {
     /// Index of the message in the injected traffic (for tracing).
     index: usize,
     at: Word,
+    /// The node that forwarded the message to `at` — the `upstream` of
+    /// a drop event. Tracked only when drops are observed; `None` at
+    /// the source.
+    prev: Option<Word>,
     msg: Message,
     injected_at: u64,
     hops: usize,

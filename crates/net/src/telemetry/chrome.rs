@@ -214,6 +214,7 @@ impl<W: io::Write> Recorder for ChromeTraceRecorder<W> {
                 time,
                 message,
                 reason,
+                ..
             } => {
                 let label = self.labels.remove(message).unwrap_or_default();
                 self.emit(&format!(
@@ -270,6 +271,8 @@ mod tests {
             time: 9,
             message: 1,
             reason: DropReason::NoRoute,
+            at: w("1011"),
+            upstream: Some(w("0110")),
         });
         let n = c.events_written();
         let text = String::from_utf8(c.finish().unwrap()).unwrap();
@@ -317,6 +320,8 @@ mod tests {
             time: 0,
             message: 0,
             reason: DropReason::NoRoute,
+            at: Word::parse(2, "0110").unwrap(),
+            upstream: None,
         });
         assert!(!c.enabled());
         assert!(c.finish().is_err());

@@ -239,6 +239,7 @@ impl Recorder for Telemetry {
                 time,
                 message,
                 reason,
+                ..
             } => {
                 *self.drops_by_reason.entry(reason.name()).or_insert(0) += 1;
                 if let Some(rank) = self.locations.remove(message) {
@@ -366,6 +367,8 @@ mod tests {
             time: 5,
             message: 1,
             reason: DropReason::DeadLink,
+            at: w("0000"),
+            upstream: None,
         });
 
         assert_eq!(t.injected, 2);

@@ -196,6 +196,8 @@ mod tests {
             time: 3,
             message: 0,
             reason: DropReason::DeadLink,
+            at: Word::parse(2, "1011").unwrap(),
+            upstream: None,
         });
         assert_eq!(snap.telemetry().dropped(), 1, "aggregation continued");
         assert!(snap.finish().is_err());

@@ -16,12 +16,12 @@ use debruijn_net::metrics::{
     register_core_profile, AnomalyTriggers, FlightRecorder, MetricsRegistry, RegistryRecorder,
     ScrapeServer,
 };
-use debruijn_net::record::{FanoutRecorder, InMemoryRecorder, JsonlRecorder};
+use debruijn_net::record::{parse_event, FanoutRecorder, InMemoryRecorder, JsonlRecorder};
 use debruijn_net::service::{QueryService, ServiceConfig};
 use debruijn_net::telemetry::{ChromeTraceRecorder, SnapshotRecorder};
 use debruijn_net::{
-    workload, NetEvent, NextHopMode, ProfileConfig, Recorder, RouterKind, ShardedSimulation,
-    SimConfig, SimReport, Simulation, WildcardPolicy,
+    workload, MonitorConfig, MonitorSet, NetEvent, NextHopMode, ProfileConfig, Recorder,
+    RouterKind, ShardedSimulation, SimConfig, SimReport, Simulation, Verdict, WildcardPolicy,
 };
 
 use crate::trace::{self, TraceMetric};
@@ -144,6 +144,11 @@ pub enum Command {
         next_hop: NextHopMode,
         /// Traffic pattern (`--workload`).
         workload: WorkloadKind,
+        /// Fault-localizing monitor placement (`--monitors`).
+        monitors: MonitorChoice,
+        /// Dump the monitors' anomaly-evidence window to this JSONL
+        /// file after the decode.
+        monitor_dump: Option<String>,
     },
     /// `dbr profile <d> <k> [--shards S] [--threads N] [--sample N]
     /// [--top K] [--profile-out FILE] [--chrome-out FILE] …` — run the
@@ -207,6 +212,25 @@ pub enum Command {
         /// pre-overload window to this JSONL file.
         flight_dump: Option<String>,
     },
+    /// `dbr localize <d> <k> <trace.jsonl> [--directed] [--monitors
+    /// identifying|all] [--threshold N]` — replay a trace through a
+    /// monitor set and print the fault-localization verdict with the
+    /// monitor evidence table.
+    Localize {
+        /// Digit radix.
+        d: u8,
+        /// Word length.
+        k: usize,
+        /// The JSONL trace to replay (from `--trace` or a flight dump).
+        file: String,
+        /// Decode against the directed graph's in-balls (traces from
+        /// `--router alg1`/`trivial`) instead of the undirected ones.
+        directed: bool,
+        /// Monitor placement to decode with.
+        monitors: MonitorChoice,
+        /// Graded anomaly count a monitor needs before its bit is set.
+        threshold: u64,
+    },
     /// `dbr trace <summary|links|hist|diff|export> …` — offline
     /// analysis of `--trace` JSONL files.
     Trace {
@@ -244,6 +268,35 @@ pub enum Command {
     },
     /// `dbr help`
     Help,
+}
+
+/// Monitor placement selected by `dbr simulate --monitors` and
+/// `dbr localize --monitors`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MonitorChoice {
+    /// No monitors (the `simulate` default — output stays untouched).
+    #[default]
+    None,
+    /// Monitors on a verified 1-identifying code: the cheapest
+    /// placement that still makes every single fault's signature
+    /// unique.
+    Identifying,
+    /// Monitors on every vertex: the exhaustive baseline.
+    All,
+}
+
+impl MonitorChoice {
+    /// Parses a `--monitors` value: `identifying`, `all`, or `none`.
+    fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "identifying" => Ok(MonitorChoice::Identifying),
+            "all" => Ok(MonitorChoice::All),
+            "none" => Ok(MonitorChoice::None),
+            other => Err(format!(
+                "unknown monitor placement '{other}' (expected identifying|all|none)"
+            )),
+        }
+    }
 }
 
 /// Traffic pattern selected by `dbr simulate --workload`.
@@ -369,6 +422,8 @@ USAGE:
                        [--flight-capacity N] [--faults W1,W2] [--ttl N]
                        [--next-hop auto|dense|compressed|fallback]
                        [--workload uniform|burst|zipf[:EXP]]
+                       [--monitors identifying|all|none]
+                       [--monitor-dump FILE]
   dbr profile <d> <k> [--shards S] [--threads N] [--sample N] [--top K]
                       [--profile-out FILE] [--chrome-out FILE]
                       [--messages N] [--router R] [--policy P] [--seed S]
@@ -377,6 +432,9 @@ USAGE:
   dbr serve <d> [--listen ADDR] [--threads N] [--cache-capacity N]
                 [--max-inflight N] [--batch B] [--flight-dump FILE]
                                     HTTP route/distance query service
+  dbr localize <d> <k> <trace.jsonl> [--directed]
+               [--monitors identifying|all] [--threshold N]
+                                    decode a fault from a recorded trace
   dbr trace summary <file>          reconstruct the --metrics report
   dbr trace links <file> [--top N]  hottest links, utilization table
   dbr trace hist <metric> <file>    ASCII histogram (hops|latency|stretch|
@@ -450,9 +508,29 @@ bound address is printed to stderr, so `--listen 127.0.0.1:0` works.
 exit. --flight-recorder FILE arms an anomaly-triggered ring buffer
 (drop/no-route bursts, queue high-water, stalled links) that dumps the
 pre-anomaly event window as JSONL readable by every `dbr trace`
-command; --flight-capacity N sizes the ring (default 4096). --faults
+command; it re-arms after each capture, numbering later dumps FILE.2,
+FILE.3, … so firings never overwrite each other (16 max);
+--flight-capacity N sizes the ring (default 4096). --faults
 W1,W2 marks nodes faulty; --ttl N drops messages exceeding N hops
-(reason `ttl`). `dbr serve <d>` answers GET /distance?x=X&y=Y and
+(reason `ttl`).
+
+--monitors places fault-localizing monitors on the network (see
+docs/OBSERVABILITY.md \"Localizing faults\"): `identifying` uses a
+verified 1-identifying code of DG(d,k) — the cheapest placement whose
+anomaly signatures stay unique per faulty node — and `all` monitors
+every vertex. Each monitor folds the drops, routing failures and
+queue breaches attributed to it into a signature bit; after the run
+the signature decodes to a verdict (`exact — faulty node W`, `ranked`,
+or `clean`) printed with the per-monitor evidence table, and the
+dbr_monitor_* families join any --listen/--metrics-out registry.
+--monitor-dump FILE writes the anomalous-event evidence window as
+JSONL after the decode. `dbr localize <d> <k> <trace.jsonl>` replays a
+recorded trace (from --trace or a flight dump) through the same
+monitors offline and prints the same table and verdict; pass
+--directed for traces routed with alg1/trivial, --threshold N to
+require N graded anomalies per signature bit (default 1).
+
+`dbr serve <d>` answers GET /distance?x=X&y=Y and
 /route?x=X&y=Y (add &directed=1 for Algorithm 1) over keep-alive
 HTTP/1.1 on a thread-per-core worker pool with sharded route caches:
 --threads N sets the worker/shard count (0 = one per core),
@@ -572,6 +650,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 "--ttl",
                 "--next-hop",
                 "--workload",
+                "--monitors",
+                "--monitor-dump",
             ])?;
             let [d, k] = positional::<2>(&pos, "simulate <d> <k>")?;
             Ok(Command::Simulate {
@@ -633,6 +713,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     .map(WorkloadKind::parse)
                     .transpose()?
                     .unwrap_or_default(),
+                monitors: flags
+                    .value("--monitors")?
+                    .map(MonitorChoice::parse)
+                    .transpose()?
+                    .unwrap_or_default(),
+                monitor_dump: flags.value("--monitor-dump")?.map(String::from),
             })
         }
         "profile" => {
@@ -745,6 +831,34 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 max_inflight,
                 batch,
                 flight_dump: flags.value("--flight-dump")?.map(String::from),
+            })
+        }
+        "localize" => {
+            let (pos, flags) = split_flags(&rest);
+            flags.expect_only(&["--directed", "--monitors", "--threshold"])?;
+            let [d, k, file] = positional::<3>(&pos, "localize <d> <k> <trace.jsonl>")?;
+            let monitors = flags
+                .value("--monitors")?
+                .map(MonitorChoice::parse)
+                .transpose()?
+                .unwrap_or(MonitorChoice::Identifying);
+            if monitors == MonitorChoice::None {
+                return Err("localize needs monitors (identifying|all)".into());
+            }
+            Ok(Command::Localize {
+                d: parse_radix(d)?,
+                k: parse_num(k, "k")?,
+                file: file.to_string(),
+                directed: flags.has("--directed")?,
+                monitors,
+                threshold: flags
+                    .value("--threshold")?
+                    .map(|v| match v.parse::<u64>() {
+                        Ok(n) if n > 0 => Ok(n),
+                        _ => Err(format!("bad threshold '{v}' (need >= 1)")),
+                    })
+                    .transpose()?
+                    .unwrap_or(1),
             })
         }
         "trace" => {
@@ -1048,6 +1162,8 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             ttl,
             next_hop,
             workload: workload_kind,
+            monitors,
+            monitor_dump,
         } => {
             let space = space_of(*d, *k)?;
             let config = SimConfig {
@@ -1125,6 +1241,11 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 FlightRecorder::new(*flight_capacity, AnomalyTriggers::default())
                     .with_dump_path(path)
             });
+            let mut monitor_set = build_monitors(
+                space,
+                matches!(router, RouterKind::Algorithm1 | RouterKind::Trivial),
+                *monitors,
+            )?;
 
             let profile_before = profile::snapshot();
             let mut memory = InMemoryRecorder::new();
@@ -1170,6 +1291,9 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 }
                 if let Some(f) = flight.as_mut() {
                     fan.push(f);
+                }
+                if let Some(m) = monitor_set.as_mut() {
+                    fan.push(m);
                 }
                 match &engine {
                     SimEngine::Classic(sim) => sim.run_recorded(&traffic, &mut fan),
@@ -1248,17 +1372,46 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 .expect("write");
             }
             if let Some(f) = flight {
+                let captures = f.capture_count();
+                let path = flight_recorder.as_deref().unwrap_or_default();
                 match f
                     .finish()
                     .map_err(|e| format!("writing flight-recorder dump: {e}"))?
                 {
-                    Some(anomaly) => writeln!(
-                        out,
-                        "flight recorder: {anomaly}; window dumped to {}",
-                        flight_recorder.as_deref().unwrap_or_default()
-                    )
-                    .expect("write"),
+                    Some(anomaly) => {
+                        writeln!(out, "flight recorder: {anomaly}; window dumped to {path}")
+                            .expect("write");
+                        if captures > 1 {
+                            writeln!(
+                                out,
+                                "flight recorder: {} more capture(s) after re-arming; \
+                                 windows numbered {path}.2 onward",
+                                captures - 1
+                            )
+                            .expect("write");
+                        }
+                    }
                     None => writeln!(out, "flight recorder: no anomaly detected").expect("write"),
+                }
+            }
+            if let Some(m) = monitor_set.as_ref() {
+                writeln!(out, "\n== monitors ==").expect("write");
+                // Exporting into the registry also performs the decode,
+                // so the verdict counter and the printed verdict agree.
+                let verdict = match registry.as_ref() {
+                    Some(registry) => m.export(registry),
+                    None => m.localize(),
+                };
+                write_monitor_report(&mut out, m, &verdict);
+                if let Some(path) = monitor_dump {
+                    m.dump_evidence(std::path::Path::new(path))
+                        .map_err(|e| format!("writing monitor dump '{path}': {e}"))?;
+                    writeln!(
+                        out,
+                        "monitor evidence ({} event(s)) dumped to {path}",
+                        m.evidence_len()
+                    )
+                    .expect("write");
                 }
             }
             if let Some(w) = metrics_file.take() {
@@ -1437,6 +1590,37 @@ pub fn run(cmd: &Command) -> Result<String, String> {
             // End-of-run metrics dump: the final state of every
             // dbr_service_* family, scrape-identical text.
             out.push_str(&registry.snapshot().render());
+        }
+        Command::Localize {
+            d,
+            k,
+            file,
+            directed,
+            monitors,
+            threshold,
+        } => {
+            let space = space_of(*d, *k)?;
+            let mut monitor_set = build_monitors(space, *directed, *monitors)?
+                .expect("parser rejects --monitors none")
+                .with_config(MonitorConfig {
+                    threshold: *threshold,
+                    ..MonitorConfig::default()
+                });
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| format!("cannot read trace '{file}': {e}"))?;
+            let mut events = 0usize;
+            for (number, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let event =
+                    parse_event(*d, line).map_err(|e| format!("{file}:{}: {e}", number + 1))?;
+                monitor_set.record(&event);
+                events += 1;
+            }
+            writeln!(out, "replayed:  {events} event(s) from {file}").expect("write");
+            let verdict = monitor_set.localize();
+            write_monitor_report(&mut out, &monitor_set, &verdict);
         }
         Command::Trace { action } => match action {
             TraceAction::Summary { file, radix } => {
@@ -1630,6 +1814,68 @@ fn parse_fault_words(d: u8, faults: Option<&str>) -> Result<Option<Vec<Word>>, S
                 .collect::<Result<Vec<_>, _>>()
         })
         .transpose()
+}
+
+/// Builds the `--monitors` placement on the graph matching the route
+/// direction: Algorithm 1 and the trivial router only shift left, so a
+/// fault is witnessed by its *directed* in-ball; Algorithms 2/4 route
+/// on the bidirectional network, so the undirected ball applies.
+fn build_monitors(
+    space: DeBruijn,
+    directed: bool,
+    choice: MonitorChoice,
+) -> Result<Option<MonitorSet>, String> {
+    if choice == MonitorChoice::None {
+        return Ok(None);
+    }
+    let graph = if directed {
+        DebruijnGraph::directed(space)
+    } else {
+        DebruijnGraph::undirected(space)
+    }
+    .map_err(|e| e.to_string())?;
+    match choice {
+        MonitorChoice::None => unreachable!("handled above"),
+        MonitorChoice::Identifying => MonitorSet::identifying(graph)
+            .map(Some)
+            .map_err(|e| format!("cannot place identifying monitors: {e}")),
+        MonitorChoice::All => Ok(Some(MonitorSet::all(graph))),
+    }
+}
+
+/// The monitor placement line, evidence table and verdict shared by
+/// `dbr simulate --monitors` and `dbr localize`.
+fn write_monitor_report(out: &mut String, monitors: &MonitorSet, verdict: &Verdict) {
+    writeln!(
+        out,
+        "placement: {} — {} of {} nodes",
+        monitors.placement().name(),
+        monitors.monitors().len(),
+        monitors.graph().node_count()
+    )
+    .expect("write");
+    let readings = monitors.readings();
+    if readings.is_empty() {
+        writeln!(out, "flagged:   none").expect("write");
+    } else {
+        writeln!(out, "flagged:   {} monitor(s)", readings.len()).expect("write");
+        for reading in &readings {
+            let kinds: Vec<String> = reading
+                .by_kind
+                .iter()
+                .map(|(kind, n)| format!("{kind} {n}"))
+                .collect();
+            writeln!(
+                out,
+                "  {}  total {}  ({})",
+                reading.node,
+                reading.total,
+                kinds.join(", ")
+            )
+            .expect("write");
+        }
+    }
+    writeln!(out, "verdict:   {verdict}").expect("write");
 }
 
 fn space_of(d: u8, k: usize) -> Result<DeBruijn, String> {
@@ -1932,6 +2178,63 @@ mod tests {
         assert_eq!(route_serial, route_par);
         // Each batch route line is "<len> <route>", one per pair.
         assert_eq!(route_serial.lines().count(), 16 * 16);
+    }
+
+    #[test]
+    fn parses_monitor_flags_and_localize() {
+        let cmd = parse_line("simulate 2 6 --monitors identifying --monitor-dump ev.jsonl");
+        assert!(matches!(
+            cmd.unwrap(),
+            Command::Simulate {
+                monitors: MonitorChoice::Identifying,
+                ..
+            }
+        ));
+        let cmd = parse_line("localize 2 6 t.jsonl --directed --threshold 3").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Localize {
+                d: 2,
+                k: 6,
+                file: "t.jsonl".into(),
+                directed: true,
+                monitors: MonitorChoice::Identifying,
+                threshold: 3,
+            }
+        );
+        assert!(parse_line("simulate 2 6 --monitors sometimes").is_err());
+        assert!(parse_line("localize 2 6 t.jsonl --monitors none").is_err());
+        assert!(parse_line("localize 2 6 t.jsonl --threshold 0").is_err());
+    }
+
+    #[test]
+    fn simulate_monitors_localize_the_injected_fault_and_replay_agrees() {
+        let dir = std::env::temp_dir().join("dbr-cli-localize");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join(format!("t-{}.jsonl", std::process::id()));
+        let trace_str = trace.to_str().unwrap();
+        let sim = run(&parse_line(&format!(
+            "simulate 2 6 --messages 300 --shards 2 --seed 7 --faults 010101 \
+             --monitors identifying --trace {trace_str}"
+        ))
+        .unwrap())
+        .unwrap();
+        assert!(
+            sim.contains("verdict:   exact — faulty node 010101"),
+            "{sim}"
+        );
+        // Replaying the same trace offline reaches the same verdict.
+        let loc = run(&parse_line(&format!("localize 2 6 {trace_str}")).unwrap()).unwrap();
+        assert!(
+            loc.contains("verdict:   exact — faulty node 010101"),
+            "{loc}"
+        );
+        std::fs::remove_file(&trace).ok();
+        // `--monitors none` leaves the output byte-identical.
+        let base = "simulate 2 6 --messages 300 --shards 2 --seed 7 --faults 010101";
+        let bare = run(&parse_line(base).unwrap()).unwrap();
+        let none = run(&parse_line(&format!("{base} --monitors none")).unwrap()).unwrap();
+        assert_eq!(bare, none);
     }
 
     #[test]

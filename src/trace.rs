@@ -464,6 +464,8 @@ mod tests {
                 time: 4,
                 message: 1,
                 reason: DropReason::NoRoute,
+                at: w(d, dst),
+                upstream: None,
             },
         ];
         Trace { d, events }
