@@ -25,8 +25,11 @@
 # (--ns-only) under bench_check's lower-is-better rule. The monitor
 # bench self-gates identifying-code fault monitors to at most 2%
 # ns/msg over a monitors-off run (--max-monitor-overhead-pct, see
-# docs/OBSERVABILITY.md "Localizing faults"). ci.sh runs this as its
-# performance smoke.
+# docs/OBSERVABILITY.md "Localizing faults"). The batched-query bench
+# self-gates the destination-major kernel to >= 3x the scalar loop on
+# undirected destination-skewed batches (--min-batch-speedup, see
+# docs/PERFORMANCE.md "Amortized destination-major evaluation").
+# ci.sh runs this as its performance smoke.
 set -eu
 
 out=BENCH_results.json
@@ -35,10 +38,12 @@ if [ "${1:-}" = "--check" ]; then
     cargo build --release -q -p debruijn-bench \
         --bench distance_engines --bench simulation_throughput \
         --bench simulation_scaling --bench service_throughput \
-        --bench monitor_overhead --bin bench_check
+        --bench monitor_overhead --bench batched_query --bin bench_check
     tmp=$(mktemp)
     trap 'rm -f "$tmp"' EXIT
     dist_line=$(cargo bench -q -p debruijn-bench --bench distance_engines -- --json)
+    batch_line=$(cargo bench -q -p debruijn-bench --bench batched_query -- \
+        --json --min-batch-speedup 3)
     sim_line=$(cargo bench -q -p debruijn-bench --bench simulation_throughput -- \
         --json --max-scrape-overhead-pct 2)
     scale_line=$(cargo bench -q -p debruijn-bench --bench simulation_scaling -- \
@@ -50,6 +55,7 @@ if [ "${1:-}" = "--check" ]; then
     {
         printf '[\n'
         printf '%s,\n' "$dist_line"
+        printf '%s,\n' "$batch_line"
         printf '%s,\n' "$sim_line"
         printf '%s,\n' "$scale_line"
         printf '%s,\n' "$service_line"
@@ -63,6 +69,7 @@ fi
 cargo build --release -q -p debruijn-bench \
     --bench distance_engines \
     --bench routing_algorithms \
+    --bench batched_query \
     --bench simulation_throughput \
     --bench simulation_scaling \
     --bench service_throughput \
@@ -71,7 +78,7 @@ cargo build --release -q -p debruijn-bench \
 {
     printf '[\n'
     first=1
-    for bench in distance_engines routing_algorithms simulation_throughput simulation_scaling service_throughput monitor_overhead; do
+    for bench in distance_engines routing_algorithms batched_query simulation_throughput simulation_scaling service_throughput monitor_overhead; do
         line=$(cargo bench -q -p debruijn-bench --bench "$bench" -- --json)
         if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
         printf '%s' "$line"

@@ -242,6 +242,54 @@ listen_pid=""
 grep -qF "dbr_service_cache_total{" "$smoke_dir/serve.txt"
 echo "query service answers, sheds typed errors, scrapes, and drains cleanly"
 
+echo "== batched query kernel smoke =="
+# Batch mode routes `route`/`distance` through the destination-major
+# kernel (see docs/PERFORMANCE.md "Amortized destination-major
+# evaluation"). On a mixed-destination file — hot sinks repeated across
+# many sources plus singleton tails — its output must match one dbr
+# invocation per pair, and must be byte-identical across --threads
+# values (the chunk geometry, not the worker count, fixes the output).
+batch_file="$smoke_dir/batch_pairs.txt"
+: > "$batch_file"
+for x in 00000000 01100110 10101010 11110000 00001111 11011011; do
+    for y in 10110001 10110001 01001110 11111111; do
+        printf '%s %s\n' "$x" "$y" >> "$batch_file"
+    done
+done
+./target/release/dbr distance 2 --batch "$batch_file" > "$smoke_dir/batch_dist.txt"
+: > "$smoke_dir/scalar_dist.txt"
+while read -r x y; do
+    ./target/release/dbr distance 2 "$x" "$y" >> "$smoke_dir/scalar_dist.txt"
+done < "$batch_file"
+cmp "$smoke_dir/batch_dist.txt" "$smoke_dir/scalar_dist.txt"
+./target/release/dbr route 2 --batch "$batch_file" > "$smoke_dir/batch_route.txt"
+: > "$smoke_dir/scalar_route.txt"
+while read -r x y; do
+    one=$(./target/release/dbr route 2 "$x" "$y")
+    d=$(printf '%s\n' "$one" | sed -n 's/^distance: //p')
+    r=$(printf '%s\n' "$one" | sed -n 's/^route:    //p')
+    printf '%s %s\n' "$d" "$r" >> "$smoke_dir/scalar_route.txt"
+done < "$batch_file"
+cmp "$smoke_dir/batch_route.txt" "$smoke_dir/scalar_route.txt"
+./target/release/dbr distance 2 --batch "$batch_file" --directed \
+    > "$smoke_dir/batch_dist_dir.txt"
+: > "$smoke_dir/scalar_dist_dir.txt"
+while read -r x y; do
+    ./target/release/dbr distance 2 "$x" "$y" --directed \
+        >> "$smoke_dir/scalar_dist_dir.txt"
+done < "$batch_file"
+cmp "$smoke_dir/batch_dist_dir.txt" "$smoke_dir/scalar_dist_dir.txt"
+for dir_flag in "" "--directed"; do
+    # shellcheck disable=SC2086
+    ./target/release/dbr distance 2 --batch "$batch_file" --threads 1 $dir_flag \
+        > "$smoke_dir/batch_t1.txt"
+    # shellcheck disable=SC2086
+    ./target/release/dbr distance 2 --batch "$batch_file" --threads 4 $dir_flag \
+        > "$smoke_dir/batch_t4.txt"
+    cmp "$smoke_dir/batch_t1.txt" "$smoke_dir/batch_t4.txt"
+done
+echo "batched and per-pair answers agree; output is thread-count invariant"
+
 echo "== bench regression smoke =="
 # Reruns the distance-engine bench and fails if any series regressed
 # more than 30% against the checked-in BENCH_results.json.

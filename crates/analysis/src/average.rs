@@ -4,7 +4,9 @@
 //! convention for Eq. (5); the self-pairs contribute distance 0, so the
 //! two conventions differ by the factor `N/(N−1)`).
 
+use debruijn_core::batch::{distance_column_into, ColumnScratch};
 use debruijn_core::rng::SplitMix64;
+use debruijn_core::space::RankSpace;
 use debruijn_core::{distance, DeBruijn, Word};
 
 fn order(space: DeBruijn) -> usize {
@@ -13,8 +15,29 @@ fn order(space: DeBruijn) -> usize {
         .expect("exact averages require an enumerable space")
 }
 
-/// Exact average distance of the **directed** `DG(d,k)` by enumerating
-/// all `N²` ordered pairs with Property 1. `O(N²·k)`.
+/// Destination-major all-pairs total: one reverse-BFS distance column per
+/// destination (each column is `O(N·d)` instead of `N` formula solves),
+/// fanned out over `threads` workers with a per-worker [`ColumnScratch`].
+/// Column totals are integers summed in destination order, so the result
+/// is the same `u64` the pair-by-pair sweep produces.
+///
+/// Returns `None` when the space has no [`RankSpace`] (`d^k` beyond
+/// `u64`), in which case callers fall back to the formula sweep.
+fn column_total(space: DeBruijn, directed: bool, threads: usize) -> Option<u64> {
+    let ranks = RankSpace::new(space)?;
+    let n = usize::try_from(ranks.order()).ok()?;
+    let totals =
+        debruijn_parallel::map_range_with(threads, n, ColumnScratch::new, move |col, dst| {
+            distance_column_into(ranks, directed, dst as u64, col);
+            col.distances().iter().map(|&d| u64::from(d)).sum::<u64>()
+        });
+    Some(totals.into_iter().sum())
+}
+
+/// Exact average distance of the **directed** `DG(d,k)` over all `N²`
+/// ordered pairs — destination-major (`O(N²·d)` via one reverse-BFS
+/// column per destination), falling back to the `O(N²·k)` Property-1
+/// pair sweep when no `u64` rank space exists.
 ///
 /// # Panics
 ///
@@ -23,29 +46,38 @@ pub fn exact_directed(space: DeBruijn) -> f64 {
     exact_directed_threads(space, 1)
 }
 
-/// [`exact_directed`] with the per-source rows of the `N²` pair sweep
-/// fanned out over `threads` scoped workers (1 = inline, 0 = available
-/// parallelism). Row totals are integers merged in source order, so the
-/// result is bit-identical for every thread count.
+/// [`exact_directed`] with the `N²` pair sweep evaluated
+/// destination-major — one reverse-BFS column per destination — fanned
+/// out over `threads` scoped workers (1 = inline, 0 = available
+/// parallelism). All partial totals are integers, so the result is
+/// bit-identical for every thread count *and* to the pair-by-pair
+/// Property-1 sweep (which remains as the fallback for spaces without a
+/// `u64` rank space).
 ///
 /// # Panics
 ///
 /// Panics if `d^k` does not fit in `usize`.
 pub fn exact_directed_threads(space: DeBruijn, threads: usize) -> f64 {
     let n = order(space);
-    let words: Vec<Word> = space.vertices().collect();
-    let totals = debruijn_parallel::map_slice(threads, &words, |x| {
-        words
-            .iter()
-            .map(|y| distance::directed::distance(x, y) as u64)
-            .sum::<u64>()
+    let total = column_total(space, true, threads).unwrap_or_else(|| {
+        let words: Vec<Word> = space.vertices().collect();
+        debruijn_parallel::map_slice(threads, &words, |x| {
+            words
+                .iter()
+                .map(|y| distance::directed::distance(x, y) as u64)
+                .sum::<u64>()
+        })
+        .into_iter()
+        .sum()
     });
-    totals.into_iter().sum::<u64>() as f64 / (n as f64 * n as f64)
+    total as f64 / (n as f64 * n as f64)
 }
 
 /// Exact average distance of the **undirected** `DG(d,k)` (the quantity
-/// plotted in the paper's Figure 2) by enumerating all ordered pairs with
-/// Theorem 2. `O(N²·k²)`.
+/// plotted in the paper's Figure 2) over all ordered pairs —
+/// destination-major (`O(N²·d)` via one reverse-BFS column per
+/// destination), falling back to the `O(N²·k²)` Theorem-2 pair sweep
+/// when no `u64` rank space exists.
 ///
 /// # Panics
 ///
@@ -54,24 +86,31 @@ pub fn exact_undirected(space: DeBruijn) -> f64 {
     exact_undirected_threads(space, 1)
 }
 
-/// [`exact_undirected`] with the all-pairs Theorem-2 sweep fanned out
-/// over `threads` scoped workers (1 = inline, 0 = available parallelism).
-/// Integer row totals merged in source order make the result
-/// bit-identical for every thread count.
+/// [`exact_undirected`] with the all-pairs sweep evaluated
+/// destination-major — one reverse-BFS column per destination instead of
+/// `N` Theorem-2 solves — fanned out over `threads` scoped workers (1 =
+/// inline, 0 = available parallelism). All partial totals are integers,
+/// so the result is bit-identical for every thread count *and* to the
+/// pair-by-pair Theorem-2 sweep (the fallback for spaces without a `u64`
+/// rank space).
 ///
 /// # Panics
 ///
 /// Panics if `d^k` does not fit in `usize`.
 pub fn exact_undirected_threads(space: DeBruijn, threads: usize) -> f64 {
     let n = order(space);
-    let words: Vec<Word> = space.vertices().collect();
-    let totals = debruijn_parallel::map_slice(threads, &words, |x| {
-        words
-            .iter()
-            .map(|y| distance::undirected::distance(x, y) as u64)
-            .sum::<u64>()
+    let total = column_total(space, false, threads).unwrap_or_else(|| {
+        let words: Vec<Word> = space.vertices().collect();
+        debruijn_parallel::map_slice(threads, &words, |x| {
+            words
+                .iter()
+                .map(|y| distance::undirected::distance(x, y) as u64)
+                .sum::<u64>()
+        })
+        .into_iter()
+        .sum()
     });
-    totals.into_iter().sum::<u64>() as f64 / (n as f64 * n as f64)
+    total as f64 / (n as f64 * n as f64)
 }
 
 /// Exact average undirected distance computed with BFS from every vertex
@@ -172,6 +211,33 @@ mod tests {
                 (by_formula - by_bfs).abs() < 1e-12,
                 "d={d} k={k}: {by_formula} vs {by_bfs}"
             );
+        }
+    }
+
+    #[test]
+    fn column_totals_match_the_pair_by_pair_sweeps() {
+        for (d, k) in [(2u8, 5usize), (3, 3), (4, 2), (5, 2)] {
+            let s = space(d, k);
+            let words: Vec<Word> = s.vertices().collect();
+            for directed in [true, false] {
+                let pairwise: u64 = words
+                    .iter()
+                    .flat_map(|x| {
+                        words.iter().map(move |y| {
+                            if directed {
+                                distance::directed::distance(x, y) as u64
+                            } else {
+                                distance::undirected::distance(x, y) as u64
+                            }
+                        })
+                    })
+                    .sum();
+                assert_eq!(
+                    column_total(s, directed, 1),
+                    Some(pairwise),
+                    "d={d} k={k} directed={directed}"
+                );
+            }
         }
     }
 

@@ -10,7 +10,11 @@
 //!   query per wakeup.
 //!
 //! The two configurations' runs are interleaved (A,B,A,B,...) so
-//! machine drift lands on both sides of the comparison equally.
+//! machine drift lands on both sides of the comparison equally. Both
+//! run twice: once over uniform random pairs and once over a
+//! destination-skewed workload (`workload::zipf`, `--zipf-exponent`,
+//! default 1.0) whose hot sinks concentrate on few cache shards and
+//! feed the workers' destination-major batch drains (`*_zipf` series).
 //!
 //! Reports QPS for both plus client-observed p50/p99 latency. QPS is a
 //! higher-is-better series, so `bench.sh --check` excludes it from the
@@ -33,9 +37,10 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use debruijn_bench::{json_mode, random_pairs, JsonReport};
+use debruijn_core::DeBruijn;
 use debruijn_net::metrics::MetricsRegistry;
 use debruijn_net::service::{answer_query_direct, parse_query, QueryKind, QueryService};
-use debruijn_net::ServiceConfig;
+use debruijn_net::{workload, ServiceConfig};
 
 const D: u8 = 2;
 const K: usize = 16;
@@ -57,12 +62,12 @@ fn flag_value(flag: &str) -> Option<f64> {
     value
 }
 
-/// The deterministic request list every client replays: alternating
-/// `/route` and `/distance` targets over the same undirected pairs
-/// (undirected is the cacheable path), with the expected byte-exact
-/// body precomputed from the direct engine.
-fn request_list() -> Vec<(String, String)> {
-    random_pairs(D, K, PAIRS, 0xDB)
+/// Builds the `(target, expected body)` list the clients replay:
+/// alternating `/route` and `/distance` targets over `pairs`
+/// (undirected, the cacheable path), with the expected byte-exact body
+/// precomputed from the direct engine.
+fn requests_from(pairs: Vec<(debruijn_core::Word, debruijn_core::Word)>) -> Vec<(String, String)> {
+    pairs
         .into_iter()
         .enumerate()
         .map(|(i, (x, y))| {
@@ -80,6 +85,25 @@ fn request_list() -> Vec<(String, String)> {
             )
         })
         .collect()
+}
+
+/// The uniform request list: independent random pairs.
+fn request_list() -> Vec<(String, String)> {
+    requests_from(random_pairs(D, K, PAIRS, 0xDB))
+}
+
+/// A destination-skewed request list: `workload::zipf` draws the
+/// destinations Zipf(`exponent`)-style over all of `DG(D,K)`, so a few
+/// hot sinks dominate — convergecast-shaped traffic that concentrates on
+/// few cache shards and rewards the workers' destination-major batch
+/// drains.
+fn zipf_request_list(exponent: f64) -> Vec<(String, String)> {
+    let space = DeBruijn::new(D, K).expect("bench space is valid");
+    let pairs = workload::zipf(space, PAIRS, exponent, 0xDB)
+        .into_iter()
+        .map(|inj| (inj.source, inj.destination))
+        .collect();
+    requests_from(pairs)
 }
 
 /// One keep-alive connection issuing `PASSES` passes over `requests`,
@@ -185,17 +209,20 @@ fn main() {
     let json = json_mode();
     let ns_only = std::env::args().any(|a| a == "--ns-only");
     let min_qps_ratio = flag_value("--min-qps-ratio");
+    let zipf_exponent = flag_value("--zipf-exponent").unwrap_or(1.0);
     let mut report = JsonReport::new("service_throughput", "qps_and_ns");
 
     let requests = Arc::new(request_list());
+    let zipf_requests = Arc::new(zipf_request_list(zipf_exponent));
     let total = CLIENTS * PASSES * requests.len();
     if !json {
         println!(
             "query service loopback throughput: DG({D},{K}), {CLIENTS} keep-alive \
-             clients, {total} requests per run (median of {RUNS} runs)\n"
+             clients, {total} requests per run (median of {RUNS} runs);\n\
+             zipf = destinations drawn Zipf({zipf_exponent}) over the whole space\n"
         );
         println!(
-            "{:>18} {:>10} {:>12} {:>12}",
+            "{:>23} {:>10} {:>12} {:>12}",
             "configuration", "qps", "p50_ns", "p99_ns"
         );
     }
@@ -211,24 +238,30 @@ fn main() {
         ..ServiceConfig::new(D)
     };
 
-    let measured = measure_interleaved([&sharded, &shared], &requests);
     let mut qps_by_mode = Vec::new();
-    for ((name, _), (qps, mut latencies)) in
-        [("sharded_batched", &sharded), ("shared_unbatched", &shared)]
-            .into_iter()
-            .zip(measured)
-    {
-        let p50 = percentile(&mut latencies, 50.0);
-        let p99 = percentile(&mut latencies, 99.0);
-        if !ns_only {
-            report.push(&format!("qps_{name}"), CLIENTS, qps);
+    for (suffix, request_set) in [("", &requests), ("_zipf", &zipf_requests)] {
+        let measured = measure_interleaved([&sharded, &shared], request_set);
+        for ((name, _), (qps, mut latencies)) in
+            [("sharded_batched", &sharded), ("shared_unbatched", &shared)]
+                .into_iter()
+                .zip(measured)
+        {
+            let p50 = percentile(&mut latencies, 50.0);
+            let p99 = percentile(&mut latencies, 99.0);
+            if !ns_only {
+                report.push(&format!("qps_{name}{suffix}"), CLIENTS, qps);
+            }
+            report.push(&format!("p50_ns_{name}{suffix}"), CLIENTS, p50 as f64);
+            report.push(&format!("p99_ns_{name}{suffix}"), CLIENTS, p99 as f64);
+            if !json {
+                let label = format!("{name}{suffix}");
+                println!("{label:>23} {qps:>10.0} {p50:>12} {p99:>12}");
+            }
+            // The uniform-workload ratio (suffix "") feeds the QPS gate.
+            if suffix.is_empty() {
+                qps_by_mode.push(qps);
+            }
         }
-        report.push(&format!("p50_ns_{name}"), CLIENTS, p50 as f64);
-        report.push(&format!("p99_ns_{name}"), CLIENTS, p99 as f64);
-        if !json {
-            println!("{name:>18} {qps:>10.0} {p50:>12} {p99:>12}");
-        }
-        qps_by_mode.push(qps);
     }
     let ratio = qps_by_mode[0] / qps_by_mode[1];
 

@@ -37,6 +37,7 @@
 //! # Ok::<(), debruijn_core::Error>(())
 //! ```
 
+pub mod batch;
 pub mod distance;
 pub mod error;
 pub mod packed;
@@ -46,6 +47,7 @@ pub mod routing;
 pub mod space;
 pub mod word;
 
+pub use batch::{distance_batch, distance_batch_into, route_batch, route_batch_into, BatchScratch};
 pub use error::Error;
 pub use routing::{Digit, RoutePath, ShiftKind, Step};
 pub use space::DeBruijn;

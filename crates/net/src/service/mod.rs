@@ -40,7 +40,8 @@ mod server;
 mod worker;
 
 pub use query::{
-    answer_query_cached, answer_query_direct, parse_query, Query, QueryError, QueryKind,
+    answer_batch_cached, answer_query_cached, answer_query_direct, parse_query, BatchAnswerState,
+    Query, QueryError, QueryKind,
 };
 pub use server::QueryService;
 pub use worker::{Dispatcher, Job, ServiceConfig};

@@ -32,7 +32,7 @@ use debruijn_core::routing::{
 use debruijn_core::Word;
 use debruijn_parallel::{effective_threads, BoundedQueue};
 
-use super::query::{answer_query_cached, Query, QueryKind};
+use super::query::{answer_batch_cached, answer_query_cached, BatchAnswerState, Query, QueryKind};
 use crate::metrics::{Anomaly, Counter, FlightRecorder, GaugeMerge, MetricsRegistry};
 use crate::record::{NetEvent, Recorder};
 
@@ -265,6 +265,8 @@ impl Dispatcher {
         let mut path_buf = RoutePath::empty();
         let mut published = RouteCacheStats::default();
         let mut batch: Vec<Job> = Vec::with_capacity(self.config.batch);
+        let mut batch_state = BatchAnswerState::new();
+        let mut bodies: Vec<String> = Vec::with_capacity(self.config.batch);
         let shard_label = w.to_string();
         let stats_counters = CacheCounters::new(&self.registry, &shard_label);
         let latency = |kind: QueryKind| {
@@ -281,29 +283,49 @@ impl Dispatcher {
             state
                 .depth
                 .store(state.queue.len() as u64, Ordering::Relaxed);
-            for job in batch.drain(..) {
-                let body = match &self.shared {
-                    Some(shared) => {
-                        let mut guard = shared.lock().expect("shared cache lock");
-                        answer_query_cached(
-                            &job.query,
-                            &mut guard.cache,
-                            &mut scratch,
-                            &mut path_buf,
-                        )
+            match &self.shared {
+                Some(shared) => {
+                    // Baseline architecture: per-job answering under the
+                    // global cache mutex, exactly as before sharding.
+                    for job in batch.drain(..) {
+                        let body = {
+                            let mut guard = shared.lock().expect("shared cache lock");
+                            answer_query_cached(
+                                &job.query,
+                                &mut guard.cache,
+                                &mut scratch,
+                                &mut path_buf,
+                            )
+                        };
+                        let hist = match job.query.kind {
+                            QueryKind::Distance => &lat_distance,
+                            QueryKind::Route => &lat_route,
+                        };
+                        hist.observe(job.enqueued.elapsed().as_nanos() as u64);
+                        // A send error means the client hung up; the
+                        // answer is simply discarded.
+                        let _ = job.reply.send(body);
                     }
-                    None => {
-                        answer_query_cached(&job.query, &mut cache, &mut scratch, &mut path_buf)
+                }
+                None => {
+                    // Sharded path: the whole drained batch goes through
+                    // the destination-major kernel, which amortizes the
+                    // per-destination preprocessing across every job
+                    // aimed at the same sink while leaving the bodies and
+                    // cache counters byte-identical to per-job answering.
+                    let queries: Vec<&Query> = batch.iter().map(|job| &job.query).collect();
+                    answer_batch_cached(&queries, &mut cache, &mut batch_state, &mut bodies);
+                    for (job, body) in batch.drain(..).zip(bodies.drain(..)) {
+                        let hist = match job.query.kind {
+                            QueryKind::Distance => &lat_distance,
+                            QueryKind::Route => &lat_route,
+                        };
+                        hist.observe(job.enqueued.elapsed().as_nanos() as u64);
+                        // A send error means the client hung up; the
+                        // answer is simply discarded.
+                        let _ = job.reply.send(body);
                     }
-                };
-                let hist = match job.query.kind {
-                    QueryKind::Distance => &lat_distance,
-                    QueryKind::Route => &lat_route,
-                };
-                hist.observe(job.enqueued.elapsed().as_nanos() as u64);
-                // A send error means the client hung up; the answer is
-                // simply discarded.
-                let _ = job.reply.send(body);
+                }
             }
             match &self.shared {
                 Some(shared) => {

@@ -31,6 +31,7 @@
 
 pub mod algorithm3;
 pub mod bitmatch;
+pub mod context;
 pub mod failure;
 pub mod gst;
 pub mod matcher;
@@ -41,6 +42,7 @@ pub mod zfunction;
 
 pub use algorithm3::{algorithm3_row, algorithm3_row_into};
 pub use bitmatch::{both_family_minima, BitScratch};
+pub use context::DestinationContext;
 pub use failure::failure_function;
 pub use gst::{MatchMinimum, TwoStringTree};
 pub use matcher::MpMatcher;

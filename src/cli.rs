@@ -968,6 +968,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
 }
 
+/// Lines per work unit in `route`/`distance` batch mode. The chunk
+/// geometry — not the worker count — partitions the input, so the
+/// output is byte-identical for every `--threads` value; within a chunk
+/// the destination-major kernel amortizes per-destination work.
+const BATCH_CHUNK: usize = 512;
+
 /// Executes a command, returning its stdout text.
 ///
 /// # Errors
@@ -1002,10 +1008,35 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 }
                 (None, Some(file)) => {
                     let pairs = read_batch_pairs(*d, file)?;
-                    let routes =
-                        debruijn_parallel::map_slice(*threads, &pairs, |(x, y)| route_one(x, y));
-                    for r in routes {
-                        writeln!(out, "{} {r}", r.len()).expect("write to string");
+                    // Fixed-size chunks through the destination-major
+                    // kernel: per-destination preprocessing amortizes
+                    // within each chunk, one scratch + route buffer +
+                    // output string per chunk instead of per line, and
+                    // the chunk geometry (not the thread count) fixes
+                    // the output, so `--threads` never changes a byte.
+                    let chunks = debruijn_parallel::map_chunks(
+                        *threads,
+                        pairs.len(),
+                        BATCH_CHUNK,
+                        |range| {
+                            let mut scratch = debruijn_core::BatchScratch::new();
+                            let mut routes = Vec::new();
+                            debruijn_core::route_batch_into(
+                                &pairs[range],
+                                *directed,
+                                *engine,
+                                &mut scratch,
+                                &mut routes,
+                            );
+                            let mut text = String::new();
+                            for r in &routes {
+                                writeln!(text, "{} {r}", r.len()).expect("write to string");
+                            }
+                            text
+                        },
+                    );
+                    for chunk in chunks {
+                        out.push_str(&chunk);
                     }
                 }
                 (None, None) => unreachable!("parser guarantees pair or batch"),
@@ -1033,10 +1064,29 @@ pub fn run(cmd: &Command) -> Result<String, String> {
                 }
                 (None, Some(file)) => {
                     let pairs = read_batch_pairs(*d, file)?;
-                    let dists =
-                        debruijn_parallel::map_slice(*threads, &pairs, |(x, y)| dist_one(x, y));
-                    for dist in dists {
-                        writeln!(out, "{dist}").expect("write to string");
+                    let chunks = debruijn_parallel::map_chunks(
+                        *threads,
+                        pairs.len(),
+                        BATCH_CHUNK,
+                        |range| {
+                            let mut scratch = debruijn_core::BatchScratch::new();
+                            let mut dists = Vec::new();
+                            debruijn_core::distance_batch_into(
+                                &pairs[range],
+                                *directed,
+                                *engine,
+                                &mut scratch,
+                                &mut dists,
+                            );
+                            let mut text = String::new();
+                            for dist in &dists {
+                                writeln!(text, "{dist}").expect("write to string");
+                            }
+                            text
+                        },
+                    );
+                    for chunk in chunks {
+                        out.push_str(&chunk);
                     }
                 }
                 (None, None) => unreachable!("parser guarantees pair or batch"),
@@ -1987,7 +2037,9 @@ fn read_batch_pairs(d: u8, path: &str) -> Result<Vec<(Word, Word)>, String> {
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read batch '{path}': {e}"))?
     };
-    let mut pairs = Vec::new();
+    // One up-front reservation instead of doubling mid-parse: batch
+    // files are one pair per line, so the line count bounds the result.
+    let mut pairs = Vec::with_capacity(text.lines().count());
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
